@@ -1,0 +1,210 @@
+//! FPGA area allocation (§IV-A.d).
+//!
+//! "With reconfigurable hardware, nearly everything can be accelerated to
+//! varying degrees of profitability; as a result, a Polystore++ system
+//! needs to solve the additional problem of area and bandwidth allocation
+//! on these accelerators." This module models that problem: each kernel
+//! bitstream occupies LUTs, the fabric has a budget, and the allocator
+//! picks the utility-maximizing subset (0/1 knapsack, exact DP).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use pspp_common::{Error, Result};
+
+use crate::device::KernelClass;
+
+/// Area demand and expected utility for instantiating one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelFootprint {
+    /// The kernel.
+    pub kernel: KernelClass,
+    /// LUTs required for one instance.
+    pub luts: u64,
+    /// Expected utility of having the kernel resident (e.g. simulated
+    /// seconds saved per workload run, from the cost model).
+    pub utility: f64,
+}
+
+impl KernelFootprint {
+    /// Default LUT footprints per kernel class on the reference fabric.
+    pub fn default_luts(kernel: KernelClass) -> u64 {
+        match kernel {
+            KernelClass::Sort => 180_000,          // bitonic network + merger
+            KernelClass::FilterProject => 45_000,  // comparators + muxes
+            KernelClass::Gemm => 320_000,          // MAC tile array
+            KernelClass::Gemv => 120_000,
+            KernelClass::HashPartition => 70_000,
+            KernelClass::Aggregate => 60_000,
+            KernelClass::Serialize => 85_000,      // type converters + framer
+            KernelClass::RuleTransform => 50_000,  // encoded data-flow rules
+            KernelClass::KMeans => 150_000,
+            KernelClass::GraphTraverse => 110_000,
+        }
+    }
+
+    /// A footprint with the default LUT demand and the given utility.
+    pub fn with_utility(kernel: KernelClass, utility: f64) -> Self {
+        KernelFootprint {
+            kernel,
+            luts: Self::default_luts(kernel),
+            utility,
+        }
+    }
+}
+
+/// Chooses which kernels to instantiate on a LUT budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaAllocator {
+    budget_luts: u64,
+}
+
+impl AreaAllocator {
+    /// Allocator for a fabric with `budget_luts` LUTs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Accelerator`] if the budget is zero.
+    pub fn new(budget_luts: u64) -> Result<Self> {
+        if budget_luts == 0 {
+            return Err(Error::Accelerator("zero LUT budget".into()));
+        }
+        Ok(AreaAllocator { budget_luts })
+    }
+
+    /// Allocator sized like the reference mid-range FPGA (1.2 M LUTs).
+    pub fn midrange() -> Self {
+        AreaAllocator {
+            budget_luts: 1_200_000,
+        }
+    }
+
+    /// The fabric budget.
+    pub fn budget_luts(&self) -> u64 {
+        self.budget_luts
+    }
+
+    /// Selects the utility-maximizing subset of kernels that fits the
+    /// budget. Exact 0/1 knapsack with LUTs quantized to 1k units.
+    ///
+    /// Ties are broken toward smaller area. Kernels with non-positive
+    /// utility are never selected.
+    pub fn allocate(&self, candidates: &[KernelFootprint]) -> Allocation {
+        const QUANTUM: u64 = 1_000;
+        let cap = (self.budget_luts / QUANTUM) as usize;
+        let items: Vec<(usize, u64, f64)> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.utility > 0.0)
+            .map(|(i, c)| (i, c.luts.div_ceil(QUANTUM), c.utility))
+            .collect();
+
+        // dp[w] = (best utility, chosen set) using at most w quanta.
+        let mut dp: Vec<(f64, BTreeSet<usize>)> = vec![(0.0, BTreeSet::new()); cap + 1];
+        for &(idx, w, u) in &items {
+            let w = w as usize;
+            if w > cap {
+                continue;
+            }
+            for budget in (w..=cap).rev() {
+                let cand = dp[budget - w].0 + u;
+                if cand > dp[budget].0 + 1e-12 {
+                    let mut set = dp[budget - w].1.clone();
+                    set.insert(idx);
+                    dp[budget] = (cand, set);
+                }
+            }
+        }
+        let (utility, chosen) = dp[cap].clone();
+        let selected: Vec<KernelFootprint> = chosen
+            .iter()
+            .map(|&i| candidates[i].clone())
+            .collect();
+        let used: u64 = selected.iter().map(|k| k.luts).sum();
+        Allocation {
+            selected,
+            used_luts: used,
+            budget_luts: self.budget_luts,
+            utility,
+        }
+    }
+}
+
+/// The result of an area allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Kernels chosen for instantiation.
+    pub selected: Vec<KernelFootprint>,
+    /// LUTs consumed.
+    pub used_luts: u64,
+    /// Fabric budget.
+    pub budget_luts: u64,
+    /// Total expected utility.
+    pub utility: f64,
+}
+
+impl Allocation {
+    /// Whether `kernel` made it onto the fabric.
+    pub fn contains(&self, kernel: KernelClass) -> bool {
+        self.selected.iter().any(|k| k.kernel == kernel)
+    }
+
+    /// Fabric utilization in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        self.used_luts as f64 / self.budget_luts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<KernelFootprint> {
+        vec![
+            KernelFootprint::with_utility(KernelClass::Sort, 10.0),
+            KernelFootprint::with_utility(KernelClass::FilterProject, 6.0),
+            KernelFootprint::with_utility(KernelClass::Gemm, 9.0),
+            KernelFootprint::with_utility(KernelClass::Serialize, 5.0),
+            KernelFootprint::with_utility(KernelClass::HashPartition, 1.0),
+        ]
+    }
+
+    #[test]
+    fn respects_budget() {
+        let alloc = AreaAllocator::new(400_000).unwrap().allocate(&candidates());
+        assert!(alloc.used_luts <= 400_000);
+        assert!(!alloc.selected.is_empty());
+    }
+
+    #[test]
+    fn prefers_high_utility_per_area() {
+        // 400k LUTs: picking Sort(180k,10) + FilterProject(45k,6) +
+        // Serialize(85k,5) + HashPartition(70k,1) = 380k, utility 22 beats
+        // Gemm(320k, 9) + FilterProject(45k, 6) = 15.
+        let alloc = AreaAllocator::new(400_000).unwrap().allocate(&candidates());
+        assert!(alloc.contains(KernelClass::Sort));
+        assert!(!alloc.contains(KernelClass::Gemm));
+        assert!((alloc.utility - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn big_fabric_takes_everything_useful() {
+        let alloc = AreaAllocator::midrange().allocate(&candidates());
+        assert_eq!(alloc.selected.len(), 5);
+        assert!(alloc.utilization() < 1.0);
+    }
+
+    #[test]
+    fn zero_utility_kernels_skipped() {
+        let cands = vec![KernelFootprint::with_utility(KernelClass::Sort, 0.0)];
+        let alloc = AreaAllocator::midrange().allocate(&cands);
+        assert!(alloc.selected.is_empty());
+        assert_eq!(alloc.used_luts, 0);
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        assert!(AreaAllocator::new(0).is_err());
+    }
+}

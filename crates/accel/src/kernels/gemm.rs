@@ -1,0 +1,337 @@
+//! Dense GEMM/GEMV: the workhorse of DNN training and inference
+//! (§III-A.1: "deep-learning algorithms are converted into GEMV and GEMM
+//! operations for inference and training").
+//!
+//! The host implementation is a cache-blocked triple loop; the device
+//! models capture the defining structures: CPUs fused-multiply-add across
+//! SIMD lanes, GPUs across thousands of lanes, and the TPU's systolic
+//! array processing `E×E` tiles with a `k + 2E` fill per tile.
+
+use serde::{Deserialize, Serialize};
+
+use pspp_common::{Error, Result};
+
+use crate::device::{DeviceKind, DeviceProfile, KernelClass};
+use crate::kernels::KernelReport;
+use crate::ledger::CostLedger;
+
+/// A dense row-major `f64` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use pspp_accel::kernels::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// assert_eq!(a.get(1, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::Invalid(format!(
+                "matrix {rows}x{cols} needs {} values, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] on ragged rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(Error::Invalid("ragged matrix rows".into()));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: r, cols: c, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Payload bytes.
+    pub fn byte_size(&self) -> u64 {
+        (self.data.len() * 8) as u64
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+/// GEMM/GEMV kernel with per-device cost models.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gemm;
+
+impl Gemm {
+    /// `C = A · B`, charging the device model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] on dimension mismatch.
+    pub fn run(
+        profile: &DeviceProfile,
+        a: &Matrix,
+        b: &Matrix,
+        ledger: Option<&CostLedger>,
+        component: &str,
+    ) -> Result<(Matrix, KernelReport)> {
+        let c = Self::multiply_host(a, b)?;
+        let (m, k, n) = (a.rows() as u64, a.cols() as u64, b.cols() as u64);
+        let cycles = Self::cycles(profile, m, k, n);
+        let bytes = a.byte_size() + b.byte_size() + c.byte_size();
+        let kernel = if n == 1 {
+            KernelClass::Gemv
+        } else {
+            KernelClass::Gemm
+        };
+        let report =
+            KernelReport::charge(profile, kernel, m * n, bytes, cycles, ledger, component);
+        Ok((c, report))
+    }
+
+    /// Cache-blocked host matrix multiply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] on dimension mismatch.
+    pub fn multiply_host(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        if a.cols() != b.rows() {
+            return Err(Error::Invalid(format!(
+                "gemm dims {}x{} . {}x{}",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols()
+            )));
+        }
+        const BLOCK: usize = 64;
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = Matrix::zeros(m, n);
+        for kk in (0..k).step_by(BLOCK) {
+            let k_hi = (kk + BLOCK).min(k);
+            for i in 0..m {
+                let a_row = a.row(i);
+                for p in kk..k_hi {
+                    let av = a_row[p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = b.row(p);
+                    let c_row = c.row_mut(i);
+                    for j in 0..n {
+                        c_row[j] += av * b_row[j];
+                    }
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Device cycles for an `m×k · k×n` multiply.
+    pub fn cycles(profile: &DeviceProfile, m: u64, k: u64, n: u64) -> u64 {
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let kernel = if n == 1 {
+            KernelClass::Gemv
+        } else {
+            KernelClass::Gemm
+        };
+        match profile.kind() {
+            DeviceKind::Tpu => {
+                // Systolic tiles of E×E with a (k + 2E) fill per tile pass.
+                let e = profile.lanes;
+                let tiles = m.div_ceil(e) * n.div_ceil(e);
+                let eff = profile.efficiency(kernel).max(1e-3);
+                ((tiles * (k + 2 * e)) as f64 / eff).ceil() as u64
+            }
+            DeviceKind::Fpga => {
+                // A 32x32 MAC array on the fabric.
+                let macs_per_cycle = 1024.0 * profile.efficiency(kernel).max(1e-3);
+                (flops / 2.0 / macs_per_cycle).ceil() as u64
+            }
+            _ => {
+                // FMA across lanes: lanes × 2 flops/cycle × efficiency.
+                let eff = profile.efficiency(kernel).max(1e-3);
+                let flops_per_cycle = profile.lanes as f64 * 2.0 * eff;
+                (flops / flops_per_cycle).ceil() as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::SplitMix64;
+
+    #[test]
+    fn multiply_small_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = Gemm::multiply_host(&a, &b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn multiply_matches_naive_on_random() {
+        let mut rng = SplitMix64::new(3);
+        let (m, k, n) = (17, 33, 9);
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.next_range(-1.0, 1.0)).collect())
+            .unwrap();
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.next_range(-1.0, 1.0)).collect())
+            .unwrap();
+        let c = Gemm::multiply_host(&a, &b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let expect: f64 = (0..k).map(|p| a.get(i, p) * b.get(p, j)).sum();
+                assert!((c.get(i, j) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(Gemm::multiply_host(&a, &b).is_err());
+    }
+
+    #[test]
+    fn tpu_dominates_large_gemm() {
+        let cpu = DeviceProfile::cpu();
+        let tpu = DeviceProfile::tpu();
+        let (m, k, n) = (1024, 1024, 1024);
+        let t_cpu = cpu.cycles_to_s(Gemm::cycles(&cpu, m, k, n));
+        let t_tpu = tpu.cycles_to_s(Gemm::cycles(&tpu, m, k, n));
+        assert!(t_cpu / t_tpu > 20.0, "speedup {}", t_cpu / t_tpu);
+    }
+
+    #[test]
+    fn tpu_underutilized_on_small_tiles() {
+        let tpu = DeviceProfile::tpu();
+        // A 16x16 GEMM still pays a full tile: effective throughput is low.
+        let cyc_small = Gemm::cycles(&tpu, 16, 16, 16);
+        let cyc_big = Gemm::cycles(&tpu, 256, 256, 256);
+        let flops_small = 2.0 * 16f64.powi(3);
+        let flops_big = 2.0 * 256f64.powi(3);
+        let eff_small = flops_small / cyc_small as f64;
+        let eff_big = flops_big / cyc_big as f64;
+        assert!(eff_big > 100.0 * eff_small);
+    }
+
+    #[test]
+    fn gemv_classified() {
+        let (_, r) = Gemm::run(
+            &DeviceProfile::cpu(),
+            &Matrix::zeros(4, 4),
+            &Matrix::zeros(4, 1),
+            None,
+            "t",
+        )
+        .unwrap();
+        assert_eq!(r.kernel, KernelClass::Gemv);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The simulated clock: a thread-safe ledger of cost events.
+//!
+//! Every engine operator, kernel launch, transfer and migration posts a
+//! [`CostEvent`]. Reports (EXPERIMENTS.md) aggregate the ledger by
+//! component and device. Simulated time never reads the wall clock, so all
+//! numbers are reproducible bit-for-bit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceKind;
+
+/// A span of simulated time, in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use pspp_accel::SimDuration;
+/// let d = SimDuration::from_secs(0.0032);
+/// assert_eq!(d.to_string(), "3.200ms");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimDuration(f64);
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// From seconds.
+    pub fn from_secs(s: f64) -> Self {
+        SimDuration(s)
+    }
+
+    /// From microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        SimDuration(us * 1e-6)
+    }
+
+    /// As seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Component-wise max.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl std::ops::Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else if s >= 1e-6 {
+            write!(f, "{:.3}us", s * 1e6)
+        } else {
+            write!(f, "{:.1}ns", s * 1e9)
+        }
+    }
+}
+
+/// What kind of work a [`CostEvent`] represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Arithmetic / operator execution.
+    Compute,
+    /// Bytes moved over an interconnect.
+    Transfer,
+    /// (De)serialization and data remodeling.
+    Transform,
+    /// Fabric reconfiguration.
+    Reconfigure,
+    /// Kernel launch / driver overhead.
+    Launch,
+    /// Disk or storage access.
+    Storage,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::Compute => "compute",
+            EventKind::Transfer => "transfer",
+            EventKind::Transform => "transform",
+            EventKind::Reconfigure => "reconfigure",
+            EventKind::Launch => "launch",
+            EventKind::Storage => "storage",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One unit of simulated work posted to the [`CostLedger`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostEvent {
+    /// Logical component posting the event (e.g. `"relstore.sort"`).
+    pub component: String,
+    /// Device the work ran on.
+    pub device: DeviceKind,
+    /// Work category.
+    pub kind: EventKind,
+    /// Payload bytes touched or moved.
+    pub bytes: u64,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Energy consumed, in joules.
+    pub energy_j: f64,
+}
+
+/// Aggregated view of a set of events.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostSummary {
+    /// Number of events.
+    pub events: usize,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Total simulated busy time (sum over events; stages that overlap in a
+    /// pipeline are accounted by the executor, not here).
+    pub busy: SimDuration,
+    /// Total energy in joules.
+    pub energy_j: f64,
+}
+
+impl CostSummary {
+    fn absorb(&mut self, e: &CostEvent) {
+        self.events += 1;
+        self.bytes += e.bytes;
+        self.busy += e.duration;
+        self.energy_j += e.energy_j;
+    }
+}
+
+impl fmt::Display for CostSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events, {} bytes, busy {}, {:.3} J",
+            self.events, self.bytes, self.busy, self.energy_j
+        )
+    }
+}
+
+/// Thread-safe simulated-cost ledger.
+///
+/// Cloning is cheap: clones share the same underlying event log, which is
+/// how engines, the migrator and the executor all post into one account.
+///
+/// # Examples
+///
+/// ```
+/// use pspp_accel::{CostLedger, EventKind, SimDuration};
+/// use pspp_accel::DeviceKind;
+///
+/// let ledger = CostLedger::new();
+/// ledger.post("relstore.scan", DeviceKind::Cpu, EventKind::Compute,
+///             4096, SimDuration::from_micros(12.0), 0.001);
+/// assert_eq!(ledger.total().events, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    events: Arc<Mutex<Vec<CostEvent>>>,
+}
+
+impl CostLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Posts an event.
+    pub fn post(
+        &self,
+        component: impl Into<String>,
+        device: DeviceKind,
+        kind: EventKind,
+        bytes: u64,
+        duration: SimDuration,
+        energy_j: f64,
+    ) {
+        self.events.lock().push(CostEvent {
+            component: component.into(),
+            device,
+            kind,
+            bytes,
+            duration,
+            energy_j,
+        });
+    }
+
+    /// Posts a prebuilt event.
+    pub fn post_event(&self, event: CostEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Clears all events (used between experiment trials).
+    pub fn reset(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Snapshot of all events.
+    pub fn events(&self) -> Vec<CostEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Aggregate over all events.
+    pub fn total(&self) -> CostSummary {
+        let mut s = CostSummary::default();
+        for e in self.events.lock().iter() {
+            s.absorb(e);
+        }
+        s
+    }
+
+    /// Aggregates grouped by device.
+    pub fn by_device(&self) -> BTreeMap<DeviceKind, CostSummary> {
+        let mut m: BTreeMap<DeviceKind, CostSummary> = BTreeMap::new();
+        for e in self.events.lock().iter() {
+            m.entry(e.device).or_default().absorb(e);
+        }
+        m
+    }
+
+    /// Aggregates grouped by component prefix (text before the first `.`).
+    pub fn by_component(&self) -> BTreeMap<String, CostSummary> {
+        let mut m: BTreeMap<String, CostSummary> = BTreeMap::new();
+        for e in self.events.lock().iter() {
+            let prefix = e.component.split('.').next().unwrap_or("").to_owned();
+            m.entry(prefix).or_default().absorb(e);
+        }
+        m
+    }
+
+    /// Aggregates grouped by event kind.
+    pub fn by_kind(&self) -> BTreeMap<EventKind, CostSummary> {
+        let mut m: BTreeMap<EventKind, CostSummary> = BTreeMap::new();
+        for e in self.events.lock().iter() {
+            m.entry(e.kind).or_default().absorb(e);
+        }
+        m
+    }
+
+    /// Sum of busy time for events whose component starts with `prefix`.
+    pub fn busy_for(&self, prefix: &str) -> SimDuration {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.component.starts_with(prefix))
+            .map(|e| e.duration)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post_some(ledger: &CostLedger) {
+        ledger.post(
+            "relstore.scan",
+            DeviceKind::Cpu,
+            EventKind::Compute,
+            100,
+            SimDuration::from_secs(1.0),
+            2.0,
+        );
+        ledger.post(
+            "migrate.pipe",
+            DeviceKind::Fpga,
+            EventKind::Transfer,
+            50,
+            SimDuration::from_secs(0.5),
+            1.0,
+        );
+    }
+
+    #[test]
+    fn totals_aggregate() {
+        let ledger = CostLedger::new();
+        post_some(&ledger);
+        let t = ledger.total();
+        assert_eq!(t.events, 2);
+        assert_eq!(t.bytes, 150);
+        assert!((t.busy.as_secs() - 1.5).abs() < 1e-12);
+        assert!((t.energy_j - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouping() {
+        let ledger = CostLedger::new();
+        post_some(&ledger);
+        assert_eq!(ledger.by_device().len(), 2);
+        assert_eq!(ledger.by_component()["relstore"].events, 1);
+        assert_eq!(ledger.by_kind()[&EventKind::Transfer].bytes, 50);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let ledger = CostLedger::new();
+        let clone = ledger.clone();
+        post_some(&clone);
+        assert_eq!(ledger.len(), 2);
+        ledger.reset();
+        assert!(clone.is_empty());
+    }
+
+    #[test]
+    fn busy_for_prefix() {
+        let ledger = CostLedger::new();
+        post_some(&ledger);
+        assert!((ledger.busy_for("relstore").as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(SimDuration::from_secs(2.5).to_string(), "2.500s");
+        assert_eq!(SimDuration::from_secs(2.5e-3).to_string(), "2.500ms");
+        assert_eq!(SimDuration::from_secs(2.5e-6).to_string(), "2.500us");
+        assert_eq!(SimDuration::from_secs(2.5e-9).to_string(), "2.5ns");
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let mut d = SimDuration::from_secs(1.0) + SimDuration::from_secs(2.0);
+        d += SimDuration::from_secs(0.5);
+        assert!((d.as_secs() - 3.5).abs() < 1e-12);
+        assert_eq!(
+            SimDuration::from_secs(1.0).max(SimDuration::from_secs(2.0)),
+            SimDuration::from_secs(2.0)
+        );
+    }
+}

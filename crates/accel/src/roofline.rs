@@ -1,0 +1,118 @@
+//! The Roofline performance model (§IV-B.4, reference [53]).
+//!
+//! Attainable throughput of a kernel on a device is bounded by
+//! `min(peak_compute, operational_intensity × memory_bandwidth)`.
+//! The paper notes the Roofline model extends naturally to fixed hardware
+//! but is harder for reconfigurable fabrics; we expose an empirical
+//! correction hook ([`Roofline::with_efficiency`]) in the spirit of
+//! Koeplinger et al. [54]'s sampled models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DeviceProfile, KernelClass};
+
+/// A device roofline: peak compute and memory bandwidth ceilings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak arithmetic throughput, ops/second.
+    pub peak_ops_per_s: f64,
+    /// Peak memory bandwidth, bytes/second.
+    pub mem_bw_bps: f64,
+    /// Sustained-efficiency multiplier in (0, 1], defaults to 1.
+    pub efficiency: f64,
+}
+
+impl Roofline {
+    /// Builds the roofline for a device profile.
+    pub fn for_device(profile: &DeviceProfile) -> Self {
+        Roofline {
+            peak_ops_per_s: profile.peak_ops_per_s(),
+            mem_bw_bps: profile.mem_bw_bps,
+            efficiency: 1.0,
+        }
+    }
+
+    /// Applies a sustained-efficiency correction for a kernel class
+    /// (empirical roofline, per [54]).
+    pub fn with_efficiency(mut self, efficiency: f64) -> Self {
+        self.efficiency = efficiency.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Builds the empirical roofline for `kernel` on `profile`.
+    pub fn for_kernel(profile: &DeviceProfile, kernel: KernelClass) -> Self {
+        Self::for_device(profile).with_efficiency(profile.efficiency(kernel).max(1e-6))
+    }
+
+    /// Attainable throughput (ops/s) at operational intensity `oi`
+    /// (ops per byte moved).
+    pub fn attainable_ops_per_s(&self, oi: f64) -> f64 {
+        (self.peak_ops_per_s.min(oi * self.mem_bw_bps)) * self.efficiency
+    }
+
+    /// The ridge point: operational intensity where the kernel turns from
+    /// memory-bound to compute-bound.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_ops_per_s / self.mem_bw_bps
+    }
+
+    /// Whether a kernel at intensity `oi` is memory-bound on this device.
+    pub fn is_memory_bound(&self, oi: f64) -> bool {
+        oi < self.ridge_point()
+    }
+
+    /// Predicted execution time for `ops` total operations at intensity
+    /// `oi`, in seconds.
+    pub fn predict_time_s(&self, ops: f64, oi: f64) -> f64 {
+        ops / self.attainable_ops_per_s(oi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+
+    #[test]
+    fn ceilings_apply() {
+        let r = Roofline {
+            peak_ops_per_s: 1e12,
+            mem_bw_bps: 1e11,
+            efficiency: 1.0,
+        };
+        // Below the ridge (10 ops/byte) bandwidth rules.
+        assert_eq!(r.attainable_ops_per_s(1.0), 1e11);
+        // Above it compute rules.
+        assert_eq!(r.attainable_ops_per_s(100.0), 1e12);
+        assert!((r.ridge_point() - 10.0).abs() < 1e-9);
+        assert!(r.is_memory_bound(5.0));
+        assert!(!r.is_memory_bound(50.0));
+    }
+
+    #[test]
+    fn tpu_ridge_is_far_right() {
+        // Systolic arrays need huge intensity to saturate: the ridge point
+        // of the TPU must dwarf the CPU's.
+        let cpu = Roofline::for_device(&DeviceProfile::cpu());
+        let tpu = Roofline::for_device(&DeviceProfile::tpu());
+        assert!(tpu.ridge_point() > 30.0 * cpu.ridge_point());
+    }
+
+    #[test]
+    fn efficiency_scales_attainable() {
+        let cpu = DeviceProfile::cpu();
+        let full = Roofline::for_device(&cpu);
+        let eff = Roofline::for_kernel(&cpu, KernelClass::Gemm);
+        assert!(eff.attainable_ops_per_s(100.0) < full.attainable_ops_per_s(100.0));
+    }
+
+    #[test]
+    fn predict_time_inverts_throughput() {
+        let r = Roofline {
+            peak_ops_per_s: 1e9,
+            mem_bw_bps: 1e9,
+            efficiency: 1.0,
+        };
+        assert!((r.predict_time_s(1e9, 100.0) - 1.0).abs() < 1e-9);
+    }
+}

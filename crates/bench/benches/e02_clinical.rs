@@ -1,0 +1,18 @@
+//! Criterion bench regenerating fig2_clinical_pipeline (see pspp-bench/src/lib.rs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e02_clinical");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    g.bench_function("fig2_clinical_pipeline", |b| {
+        b.iter(|| pspp_bench::run("e2").expect("experiment runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

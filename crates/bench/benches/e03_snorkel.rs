@@ -1,0 +1,18 @@
+//! Criterion bench regenerating fig3_snorkel_loop (see pspp-bench/src/lib.rs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e03_snorkel");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    g.bench_function("fig3_snorkel_loop", |b| {
+        b.iter(|| pspp_bench::run("e3").expect("experiment runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating fig7_kmeans (see pspp-bench/src/lib.rs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e06_kmeans");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    g.bench_function("fig7_kmeans", |b| {
+        b.iter(|| pspp_bench::run("e6").expect("experiment runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

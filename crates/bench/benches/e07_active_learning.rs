@@ -1,0 +1,18 @@
+//! Criterion bench regenerating fig8_active_learning (see pspp-bench/src/lib.rs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e07_active_learning");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    g.bench_function("fig8_active_learning", |b| {
+        b.iter(|| pspp_bench::run("e7").expect("experiment runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

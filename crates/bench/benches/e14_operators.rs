@@ -1,0 +1,18 @@
+//! Criterion bench regenerating s3a1_operator_microbench (see pspp-bench/src/lib.rs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_operators");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    g.bench_function("s3a1_operator_microbench", |b| {
+        b.iter(|| pspp_bench::run("e14").expect("experiment runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

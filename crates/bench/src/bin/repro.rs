@@ -1,0 +1,29 @@
+//! Reproduces every experiment table (E1–E15) from DESIGN.md.
+//!
+//! ```text
+//! cargo run -p pspp-bench --bin repro --release            # all
+//! cargo run -p pspp-bench --bin repro --release -- e8 e10  # subset
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        pspp_bench::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failures = 0;
+    for name in which {
+        println!("==================================================================");
+        match pspp_bench::run(name) {
+            Ok(table) => println!("{table}"),
+            Err(e) => {
+                failures += 1;
+                eprintln!("{name} failed: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

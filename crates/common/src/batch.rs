@@ -1,0 +1,325 @@
+//! Column-major batches: the exchange unit of the data migrator.
+//!
+//! PipeGen-style binary pipes (§III-A.3) get their speedup from typed,
+//! columnar buffers that can be memcpy-serialized. [`Batch`] is that format:
+//! one typed [`Column`] per field plus a validity mask for NULLs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{DataType, Value};
+use crate::{Error, Result, Row, Schema};
+
+/// A typed column of values with an optional validity (non-null) mask.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// UTF-8 strings.
+    Str(Vec<String>),
+    /// Byte arrays.
+    Bytes(Vec<Vec<u8>>),
+    /// Timestamps (µs since epoch).
+    Timestamp(Vec<i64>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(data_type: DataType) -> Column {
+        match data_type {
+            DataType::Bool => Column::Bool(vec![]),
+            DataType::Int => Column::Int(vec![]),
+            DataType::Float => Column::Float(vec![]),
+            DataType::Str => Column::Str(vec![]),
+            DataType::Bytes => Column::Bytes(vec![]),
+            DataType::Timestamp => Column::Timestamp(vec![]),
+        }
+    }
+
+    /// The column's [`DataType`].
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Bool(_) => DataType::Bool,
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Str(_) => DataType::Str,
+            Column::Bytes(_) => DataType::Bytes,
+            Column::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bytes(v) => v.len(),
+            Column::Timestamp(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `idx` as a [`Value`]. Ignores validity; see
+    /// [`Batch::value`] for the null-aware accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn value(&self, idx: usize) -> Value {
+        match self {
+            Column::Bool(v) => Value::Bool(v[idx]),
+            Column::Int(v) => Value::Int(v[idx]),
+            Column::Float(v) => Value::Float(v[idx]),
+            Column::Str(v) => Value::Str(v[idx].clone()),
+            Column::Bytes(v) => Value::Bytes(v[idx].clone()),
+            Column::Timestamp(v) => Value::Timestamp(v[idx]),
+        }
+    }
+
+    /// Appends `value`, coercing `Null` to the type's default.
+    ///
+    /// Returns `false` (and appends nothing) on a type mismatch.
+    pub fn push(&mut self, value: &Value) -> bool {
+        match (self, value) {
+            (Column::Bool(v), Value::Bool(b)) => v.push(*b),
+            (Column::Bool(v), Value::Null) => v.push(false),
+            (Column::Int(v), Value::Int(x)) => v.push(*x),
+            (Column::Int(v), Value::Null) => v.push(0),
+            (Column::Float(v), Value::Float(x)) => v.push(*x),
+            (Column::Float(v), Value::Null) => v.push(0.0),
+            (Column::Str(v), Value::Str(s)) => v.push(s.clone()),
+            (Column::Str(v), Value::Null) => v.push(String::new()),
+            (Column::Bytes(v), Value::Bytes(b)) => v.push(b.clone()),
+            (Column::Bytes(v), Value::Null) => v.push(Vec::new()),
+            (Column::Timestamp(v), Value::Timestamp(t)) => v.push(*t),
+            (Column::Timestamp(v), Value::Null) => v.push(0),
+            _ => return false,
+        }
+        true
+    }
+
+    /// Payload bytes held by the column.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.len(),
+            Column::Int(v) | Column::Timestamp(v) => v.len() * 8,
+            Column::Float(v) => v.len() * 8,
+            Column::Str(v) => v.iter().map(String::len).sum(),
+            Column::Bytes(v) => v.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// Borrow as `&[i64]` when the column is `Int`.
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[f64]` when the column is `Float`.
+    pub fn as_float(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[String]` when the column is `Str`.
+    pub fn as_str(&self) -> Option<&[String]> {
+        match self {
+            Column::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A column-major slice of a table: a schema, typed columns and validity
+/// masks.
+///
+/// # Examples
+///
+/// ```
+/// use pspp_common::{Batch, Schema, DataType, row};
+/// let schema = Schema::new(vec![("a", DataType::Int), ("b", DataType::Float)]);
+/// let batch = Batch::from_rows(&schema, vec![row![1i64, 0.5], row![2i64, 1.5]]).unwrap();
+/// assert_eq!(batch.column(0).as_int().unwrap(), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Batch {
+    schema: Schema,
+    columns: Vec<Column>,
+    /// `validity[c][r]` is false when row `r`, column `c` is NULL.
+    validity: Vec<Vec<bool>>,
+    num_rows: usize,
+}
+
+impl Batch {
+    /// An empty batch with the given schema.
+    pub fn empty(schema: Schema) -> Batch {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.data_type))
+            .collect();
+        let validity = vec![Vec::new(); schema.arity()];
+        Batch {
+            schema,
+            columns,
+            validity,
+            num_rows: 0,
+        }
+    }
+
+    /// Builds a batch from rows, validating each against `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SchemaMismatch`] if any row violates the schema.
+    pub fn from_rows(schema: &Schema, rows: Vec<Row>) -> Result<Batch> {
+        let mut batch = Batch::empty(schema.clone());
+        for row in rows {
+            batch.push_row(&row)?;
+        }
+        Ok(batch)
+    }
+
+    /// Appends one row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SchemaMismatch`] if the row violates the schema.
+    pub fn push_row(&mut self, row: &Row) -> Result<()> {
+        self.schema.check_row(row)?;
+        for (c, value) in row.values().iter().enumerate() {
+            if !self.columns[c].push(value) {
+                return Err(Error::SchemaMismatch(format!(
+                    "column {c} type mismatch for {value:?}"
+                )));
+            }
+            self.validity[c].push(!value.is_null());
+        }
+        self.num_rows += 1;
+        Ok(())
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// The column at position `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn column(&self, c: usize) -> &Column {
+        &self.columns[c]
+    }
+
+    /// The column named `name`.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Null-aware accessor for cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        if self.validity[col][row] {
+            self.columns[col].value(row)
+        } else {
+            Value::Null
+        }
+    }
+
+    /// Converts back to row-major form.
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.num_rows)
+            .map(|r| {
+                (0..self.schema.arity())
+                    .map(|c| self.value(r, c))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Total payload bytes across columns (excludes validity overhead).
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("w", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_with_nulls() {
+        let rows = vec![
+            row![1i64, "a", 0.5],
+            Row::from(vec![Value::Int(2), Value::Null, Value::Float(1.5)]),
+        ];
+        let b = Batch::from_rows(&schema(), rows.clone()).unwrap();
+        assert_eq!(b.to_rows(), rows);
+        assert_eq!(b.value(1, 1), Value::Null);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let err = Batch::from_rows(&schema(), vec![row!["x", "a", 0.5]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let b = Batch::from_rows(&schema(), vec![row![1i64, "a", 0.5]]).unwrap();
+        assert_eq!(b.column(0).as_int().unwrap(), &[1]);
+        assert_eq!(b.column(2).as_float().unwrap(), &[0.5]);
+        assert!(b.column(0).as_float().is_none());
+        assert_eq!(b.column_by_name("name").unwrap().as_str().unwrap()[0], "a");
+    }
+
+    #[test]
+    fn byte_size_counts_payload() {
+        let b = Batch::from_rows(&schema(), vec![row![1i64, "abc", 0.5]]).unwrap();
+        assert_eq!(b.byte_size(), 8 + 3 + 8);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = Batch::empty(schema());
+        assert!(b.is_empty());
+        assert_eq!(b.to_rows(), Vec::<Row>::new());
+    }
+}

@@ -1,0 +1,65 @@
+//! The device-kind vocabulary shared between the IR, optimizer and the
+//! accelerator simulator.
+//!
+//! Device *models* (clocks, power, efficiencies) live in `pspp-accel`;
+//! only the enumeration lives here so that plan annotations can name a
+//! target device without depending on the simulator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The class of computing unit executing a kernel (§II-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// General-purpose multicore host CPU.
+    Cpu,
+    /// Wide-SIMD throughput device (hundreds of low-clocked cores).
+    Gpu,
+    /// Reconfigurable pipeline fabric (LUT-based), low clock, deep pipelines.
+    Fpga,
+    /// Coarse-grain reconfigurable array (Plasticine-like): pattern units,
+    /// microsecond reconfiguration.
+    Cgra,
+    /// Fixed-function systolic matrix engine (TPU/Brainwave-like).
+    Tpu,
+}
+
+impl DeviceKind {
+    /// All device kinds, in a stable order.
+    pub fn all() -> [DeviceKind; 5] {
+        [
+            DeviceKind::Cpu,
+            DeviceKind::Gpu,
+            DeviceKind::Fpga,
+            DeviceKind::Cgra,
+            DeviceKind::Tpu,
+        ]
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceKind::Cpu => "cpu",
+            DeviceKind::Gpu => "gpu",
+            DeviceKind::Fpga => "fpga",
+            DeviceKind::Cgra => "cgra",
+            DeviceKind::Tpu => "tpu",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_distinct_and_displayable() {
+        let mut names: Vec<String> = DeviceKind::all().iter().map(|d| d.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

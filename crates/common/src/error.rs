@@ -1,0 +1,83 @@
+//! The error type shared across the Polystore++ workspace.
+
+use std::fmt;
+
+/// Errors produced by any Polystore++ component.
+///
+/// One workspace-wide error enum keeps cross-crate plumbing simple: every
+/// crate's fallible API returns [`Result`], and the middleware can surface
+/// any failure uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A referenced column does not exist.
+    ColumnNotFound(String),
+    /// A referenced table / collection / series does not exist.
+    TableNotFound(String),
+    /// A referenced engine is not registered with the middleware.
+    EngineNotFound(String),
+    /// A row or value does not match the expected schema.
+    SchemaMismatch(String),
+    /// Query text failed to parse.
+    Parse(String),
+    /// A semantically invalid program (type error, unknown reference).
+    Semantic(String),
+    /// A plan stage could not be executed.
+    Execution(String),
+    /// Data migration between engines failed.
+    Migration(String),
+    /// An optimizer invariant was violated or a design space was empty.
+    Optimizer(String),
+    /// Accelerator configuration or kernel launch failure.
+    Accelerator(String),
+    /// Invalid configuration supplied by the user.
+    Config(String),
+    /// Duplicate key or object on creation.
+    AlreadyExists(String),
+    /// Arbitrary invariant violation with context.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            Error::TableNotFound(t) => write!(f, "table not found: {t}"),
+            Error::EngineNotFound(e) => write!(f, "engine not found: {e}"),
+            Error::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Semantic(m) => write!(f, "semantic error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Migration(m) => write!(f, "migration error: {m}"),
+            Error::Optimizer(m) => write!(f, "optimizer error: {m}"),
+            Error::Accelerator(m) => write!(f, "accelerator error: {m}"),
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
+            Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            Error::Invalid(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = Error::TableNotFound("t".into());
+        let s = e.to_string();
+        assert!(s.starts_with("table not found"));
+        assert!(!s.ends_with('.'));
+    }
+}

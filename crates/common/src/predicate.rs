@@ -1,0 +1,248 @@
+//! Scan predicates: a small expression tree evaluated against rows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, Row, Schema, Value};
+
+/// A boolean predicate over a row.
+///
+/// # Examples
+///
+/// ```
+/// use pspp_common::Predicate;
+/// use pspp_common::{Schema, DataType, row};
+///
+/// let schema = Schema::new(vec![("age", DataType::Int)]);
+/// let p = Predicate::ge("age", 65i64).and(Predicate::lt("age", 90i64));
+/// assert!(p.eval(&schema, &row![70i64]).unwrap());
+/// assert!(!p.eval(&schema, &row![30i64]).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum Predicate {
+    /// Always true (full scan).
+    #[default]
+    True,
+    /// `column = value`.
+    Eq(String, Value),
+    /// `column != value`.
+    Ne(String, Value),
+    /// `column < value`.
+    Lt(String, Value),
+    /// `column <= value`.
+    Le(String, Value),
+    /// `column > value`.
+    Gt(String, Value),
+    /// `column >= value`.
+    Ge(String, Value),
+    /// `lo <= column <= hi`.
+    Between(String, Value, Value),
+    /// `column IN (values)`.
+    In(String, Vec<Value>),
+    /// `column IS NULL`.
+    IsNull(String),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = value`.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Eq(column.into(), value.into())
+    }
+
+    /// `column != value`.
+    pub fn ne(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Ne(column.into(), value.into())
+    }
+
+    /// `column < value`.
+    pub fn lt(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Lt(column.into(), value.into())
+    }
+
+    /// `column <= value`.
+    pub fn le(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Le(column.into(), value.into())
+    }
+
+    /// `column > value`.
+    pub fn gt(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Gt(column.into(), value.into())
+    }
+
+    /// `column >= value`.
+    pub fn ge(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Ge(column.into(), value.into())
+    }
+
+    /// `lo <= column <= hi`.
+    pub fn between(
+        column: impl Into<String>,
+        lo: impl Into<Value>,
+        hi: impl Into<Value>,
+    ) -> Self {
+        Predicate::Between(column.into(), lo.into(), hi.into())
+    }
+
+    /// Conjunction with `other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction with `other`.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates against a row.
+    ///
+    /// NULL comparisons follow SQL three-valued logic collapsed to
+    /// `false` (a NULL never satisfies a comparison except `IsNull`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pspp_common::Error::ColumnNotFound`] for unknown columns.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> Result<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Eq(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x == *v),
+            Predicate::Ne(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x != *v),
+            Predicate::Lt(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x < *v),
+            Predicate::Le(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x <= *v),
+            Predicate::Gt(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x > *v),
+            Predicate::Ge(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x >= *v),
+            Predicate::Between(c, lo, hi) => {
+                Self::cmp_col(schema, row, c)?.map_or(false, |x| x >= *lo && x <= *hi)
+            }
+            Predicate::In(c, vs) => {
+                Self::cmp_col(schema, row, c)?.map_or(false, |x| vs.contains(&x))
+            }
+            Predicate::IsNull(c) => row[schema.require(c)?].is_null(),
+            Predicate::And(a, b) => a.eval(schema, row)? && b.eval(schema, row)?,
+            Predicate::Or(a, b) => a.eval(schema, row)? || b.eval(schema, row)?,
+            Predicate::Not(p) => !p.eval(schema, row)?,
+        })
+    }
+
+    fn cmp_col(schema: &Schema, row: &Row, column: &str) -> Result<Option<Value>> {
+        let idx = schema.require(column)?;
+        let v = &row[idx];
+        Ok(if v.is_null() { None } else { Some(v.clone()) })
+    }
+
+    /// If the predicate (or its leading conjunct) is a point/range lookup
+    /// on one column, returns `(column, lo, hi)` bounds usable by an
+    /// index scan (either bound may be `None` for open ranges).
+    pub fn index_bounds(&self) -> Option<(&str, Option<&Value>, Option<&Value>)> {
+        match self {
+            Predicate::Eq(c, v) => Some((c, Some(v), Some(v))),
+            Predicate::Between(c, lo, hi) => Some((c, Some(lo), Some(hi))),
+            Predicate::Lt(c, v) | Predicate::Le(c, v) => Some((c, None, Some(v))),
+            Predicate::Gt(c, v) | Predicate::Ge(c, v) => Some((c, Some(v), None)),
+            Predicate::And(a, _) => a.index_bounds(),
+            _ => None,
+        }
+    }
+
+    /// Rough selectivity estimate in (0, 1]; used by the optimizer's
+    /// cardinality model before execution.
+    pub fn selectivity(&self) -> f64 {
+        match self {
+            Predicate::True => 1.0,
+            Predicate::Eq(..) => 0.05,
+            Predicate::Ne(..) => 0.95,
+            Predicate::Lt(..) | Predicate::Le(..) | Predicate::Gt(..) | Predicate::Ge(..) => 0.33,
+            Predicate::Between(..) => 0.2,
+            Predicate::In(_, vs) => (0.05 * vs.len() as f64).min(1.0),
+            Predicate::IsNull(_) => 0.02,
+            Predicate::And(a, b) => a.selectivity() * b.selectivity(),
+            Predicate::Or(a, b) => (a.selectivity() + b.selectivity()).min(1.0),
+            Predicate::Not(p) => 1.0 - p.selectivity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{row, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("a", DataType::Int), ("s", DataType::Str)])
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let r = row![5i64, "x"];
+        assert!(Predicate::eq("a", 5i64).eval(&s, &r).unwrap());
+        assert!(Predicate::ne("a", 4i64).eval(&s, &r).unwrap());
+        assert!(Predicate::between("a", 1i64, 9i64).eval(&s, &r).unwrap());
+        assert!(Predicate::In("s".into(), vec!["x".into(), "y".into()])
+            .eval(&s, &r)
+            .unwrap());
+        assert!(!Predicate::lt("a", 5i64).eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn null_never_matches_comparison() {
+        let s = schema();
+        let r = Row::from(vec![Value::Null, Value::from("x")]);
+        assert!(!Predicate::eq("a", 5i64).eval(&s, &r).unwrap());
+        assert!(!Predicate::ne("a", 5i64).eval(&s, &r).unwrap());
+        assert!(Predicate::IsNull("a".into()).eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let s = schema();
+        let r = row![5i64, "x"];
+        let p = Predicate::gt("a", 0i64)
+            .and(Predicate::eq("s", "x"))
+            .or(Predicate::eq("a", -1i64));
+        assert!(p.eval(&s, &r).unwrap());
+        assert!(!p.clone().not().eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        assert!(Predicate::eq("zzz", 1i64).eval(&s, &row![1i64, "x"]).is_err());
+    }
+
+    #[test]
+    fn index_bounds_extraction() {
+        let p = Predicate::eq("k", 5i64).and(Predicate::gt("v", 1i64));
+        let (c, lo, hi) = p.index_bounds().unwrap();
+        assert_eq!(c, "k");
+        assert_eq!(lo, Some(&Value::Int(5)));
+        assert_eq!(hi, Some(&Value::Int(5)));
+        assert!(Predicate::IsNull("k".into()).index_bounds().is_none());
+    }
+
+    #[test]
+    fn selectivity_sane() {
+        assert!(Predicate::True.selectivity() == 1.0);
+        let and = Predicate::eq("a", 1i64).and(Predicate::eq("s", "x"));
+        assert!(and.selectivity() < Predicate::eq("a", 1i64).selectivity());
+        for p in [
+            Predicate::eq("a", 1i64),
+            Predicate::between("a", 1i64, 2i64),
+            Predicate::IsNull("a".into()),
+        ] {
+            let s = p.selectivity();
+            assert!(s > 0.0 && s <= 1.0);
+        }
+    }
+}

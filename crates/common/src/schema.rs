@@ -1,0 +1,269 @@
+//! Column schemas shared by the relational model and the CAST layer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::DataType;
+use crate::{Error, Result, Row};
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name, unique within a [`Schema`].
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// A NOT NULL field.
+    pub fn required(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.data_type)?;
+        if !self.nullable {
+            f.write_str(" not null")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of [`Field`]s describing a record shape.
+///
+/// # Examples
+///
+/// ```
+/// use pspp_common::{Schema, DataType};
+/// let s = Schema::new(vec![("id", DataType::Int), ("name", DataType::Str)]);
+/// assert_eq!(s.index_of("name"), Some(1));
+/// assert_eq!(s.arity(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema of nullable fields from `(name, type)` pairs.
+    pub fn new<N: Into<String>>(fields: Vec<(N, DataType)>) -> Self {
+        Schema {
+            fields: fields
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        }
+    }
+
+    /// Builds a schema from explicit [`Field`]s.
+    pub fn from_fields(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// An empty schema (zero columns).
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Position of column `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field named `name`, if present.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Position of column `name`, or a [`Error::ColumnNotFound`].
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| Error::ColumnNotFound(name.to_owned()))
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A new schema keeping only the named columns, in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ColumnNotFound`] if any name is absent.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            let idx = self.require(n)?;
+            fields.push(self.fields[idx].clone());
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Concatenates two schemas (e.g. for join output). Duplicate names on
+    /// the right side are suffixed with `_r`.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let mut f = f.clone();
+            if self.index_of(&f.name).is_some() {
+                f.name = format!("{}_r", f.name);
+            }
+            fields.push(f);
+        }
+        Schema { fields }
+    }
+
+    /// Validates `row` against this schema (arity, types, nullability).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SchemaMismatch`] describing the first violation.
+    pub fn check_row(&self, row: &Row) -> Result<()> {
+        if row.len() != self.arity() {
+            return Err(Error::SchemaMismatch(format!(
+                "expected {} columns, got {}",
+                self.arity(),
+                row.len()
+            )));
+        }
+        for (field, value) in self.fields.iter().zip(row.values()) {
+            if value.is_null() {
+                if !field.nullable {
+                    return Err(Error::SchemaMismatch(format!(
+                        "null in not-null column {}",
+                        field.name
+                    )));
+                }
+                continue;
+            }
+            if value.data_type() != Some(field.data_type) {
+                return Err(Error::SchemaMismatch(format!(
+                    "column {} expects {}, got {:?}",
+                    field.name, field.data_type, value
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes per row for fixed-width columns, plus an estimate for varlen.
+    ///
+    /// Used by cost models before any data exists.
+    pub fn estimated_row_bytes(&self) -> usize {
+        self.fields
+            .iter()
+            .map(|f| f.data_type.fixed_width().unwrap_or(24))
+            .sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl FromIterator<Field> for Schema {
+    fn from_iter<T: IntoIterator<Item = Field>>(iter: T) -> Self {
+        Schema {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("score", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn index_and_field_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("score"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(s.require("nope").is_err());
+        assert_eq!(s.field("name").unwrap().data_type, DataType::Str);
+    }
+
+    #[test]
+    fn project_keeps_order() {
+        let s = sample().project(&["score", "id"]).unwrap();
+        assert_eq!(s.names(), vec!["score", "id"]);
+    }
+
+    #[test]
+    fn join_renames_duplicates() {
+        let left = sample();
+        let right = Schema::new(vec![("id", DataType::Int), ("city", DataType::Str)]);
+        let j = left.join(&right);
+        assert_eq!(j.names(), vec!["id", "name", "score", "id_r", "city"]);
+    }
+
+    #[test]
+    fn check_row_catches_violations() {
+        let s = Schema::from_fields(vec![
+            Field::required("id", DataType::Int),
+            Field::new("name", DataType::Str),
+        ]);
+        assert!(s
+            .check_row(&Row::from(vec![Value::Int(1), Value::from("a")]))
+            .is_ok());
+        assert!(s
+            .check_row(&Row::from(vec![Value::Null, Value::from("a")]))
+            .is_err());
+        assert!(s
+            .check_row(&Row::from(vec![Value::Int(1), Value::Int(2)]))
+            .is_err());
+        assert!(s.check_row(&Row::from(vec![Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn row_bytes_estimate() {
+        assert_eq!(sample().estimated_row_bytes(), 8 + 24 + 8);
+    }
+}

@@ -1,0 +1,434 @@
+//! Dynamically typed scalar values exchanged between engines.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The scalar type of a [`Value`] / a column in a [`crate::Schema`].
+///
+/// # Examples
+///
+/// ```
+/// use pspp_common::{DataType, Value};
+/// assert_eq!(Value::Int(3).data_type(), Some(DataType::Int));
+/// assert_eq!(DataType::Float.fixed_width(), Some(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// Signed 64-bit integer.
+    Int,
+    /// IEEE-754 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Raw byte array.
+    Bytes,
+    /// Microseconds since the Unix epoch.
+    Timestamp,
+}
+
+impl DataType {
+    /// Width in bytes when the type is fixed-width, `None` for `Str`/`Bytes`.
+    pub fn fixed_width(self) -> Option<usize> {
+        match self {
+            DataType::Bool => Some(1),
+            DataType::Int | DataType::Float | DataType::Timestamp => Some(8),
+            DataType::Str | DataType::Bytes => None,
+        }
+    }
+
+    /// Whether values of this type are numeric (castable to `f64`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Timestamp)
+    }
+
+    /// All supported types, in a stable order.
+    pub fn all() -> [DataType; 6] {
+        [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Bytes,
+            DataType::Timestamp,
+        ]
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bytes => "bytes",
+            DataType::Timestamp => "timestamp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// `Value` is the unit of data exchanged across engine boundaries: the CAST
+/// layer of the paper's architecture maps every native representation into
+/// and out of this type. A total order is defined (nulls first, then by
+/// type, floats by IEEE total order) so values can be used as sort keys in
+/// any engine.
+///
+/// # Examples
+///
+/// ```
+/// use pspp_common::Value;
+/// let v = Value::from(2.5);
+/// assert_eq!(v.as_f64(), Some(2.5));
+/// assert!(Value::Null < v);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// Absent / SQL NULL.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed 64-bit integer.
+    Int(i64),
+    /// IEEE-754 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Microseconds since the Unix epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The [`DataType`] of this value, or `None` for [`Value::Null`].
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bytes(_) => Some(DataType::Bytes),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// Whether this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload (`Int` or `Timestamp`).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) | Value::Timestamp(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A numeric view: `Int`, `Float` and `Timestamp` cast to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) | Value::Timestamp(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The byte payload, if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory size of the payload in bytes.
+    ///
+    /// Used by every cost model to account for bytes moved; must therefore
+    /// stay cheap and deterministic.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+        }
+    }
+
+    /// Lossy cast to `target`, following SQL-ish coercion rules.
+    ///
+    /// Returns `None` when the cast is not meaningful (e.g. `Bytes -> Int`).
+    /// `Null` casts to `Null` of any type.
+    pub fn cast(&self, target: DataType) -> Option<Value> {
+        if self.is_null() {
+            return Some(Value::Null);
+        }
+        match (self, target) {
+            (v, t) if v.data_type() == Some(t) => Some(v.clone()),
+            (Value::Int(v), DataType::Float) => Some(Value::Float(*v as f64)),
+            (Value::Int(v), DataType::Timestamp) => Some(Value::Timestamp(*v)),
+            (Value::Int(v), DataType::Bool) => Some(Value::Bool(*v != 0)),
+            (Value::Int(v), DataType::Str) => Some(Value::Str(v.to_string())),
+            (Value::Float(v), DataType::Int) => Some(Value::Int(*v as i64)),
+            (Value::Float(v), DataType::Str) => Some(Value::Str(v.to_string())),
+            (Value::Timestamp(v), DataType::Int) => Some(Value::Int(*v)),
+            (Value::Timestamp(v), DataType::Float) => Some(Value::Float(*v as f64)),
+            (Value::Bool(v), DataType::Int) => Some(Value::Int(i64::from(*v))),
+            (Value::Bool(v), DataType::Str) => Some(Value::Str(v.to_string())),
+            (Value::Str(s), DataType::Int) => s.trim().parse().ok().map(Value::Int),
+            (Value::Str(s), DataType::Float) => s.trim().parse().ok().map(Value::Float),
+            (Value::Str(s), DataType::Bool) => match s.as_str() {
+                "true" | "t" | "1" => Some(Value::Bool(true)),
+                "false" | "f" | "0" => Some(Value::Bool(false)),
+                _ => None,
+            },
+            (Value::Str(s), DataType::Bytes) => Some(Value::Bytes(s.clone().into_bytes())),
+            (Value::Bytes(b), DataType::Str) => {
+                String::from_utf8(b.clone()).ok().map(Value::Str)
+            }
+            _ => None,
+        }
+    }
+
+    /// Rank used to order values of different types; nulls sort first.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2, // ints and floats compare numerically
+            Value::Timestamp(_) => 3,
+            Value::Str(_) => 4,
+            Value::Bytes(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(v) | Value::Timestamp(v) => v.hash(state),
+            // Hash the bit pattern; `eq` uses total_cmp so this is consistent
+            // for all values that compare equal except Int==Float pairs,
+            // which are never mixed inside one hashed column.
+            Value::Float(v) => v.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Bytes(b) => b.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Bytes(b) => write!(f, "0x{}", hex(b)),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_roundtrip() {
+        for (v, t) in [
+            (Value::Bool(true), DataType::Bool),
+            (Value::Int(1), DataType::Int),
+            (Value::Float(1.5), DataType::Float),
+            (Value::from("x"), DataType::Str),
+            (Value::Bytes(vec![1]), DataType::Bytes),
+            (Value::Timestamp(7), DataType::Timestamp),
+        ] {
+            assert_eq!(v.data_type(), Some(t));
+        }
+        assert_eq!(Value::Null.data_type(), None);
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vs = vec![Value::Int(1), Value::Null, Value::Int(-5)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Int(-5));
+    }
+
+    #[test]
+    fn mixed_numeric_ordering() {
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(2.5) > Value::Int(2));
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let mut vs = vec![
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Float(f64::NEG_INFINITY),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Float(f64::NEG_INFINITY));
+        assert_eq!(vs[1], Value::Float(1.0));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(Value::Int(3).cast(DataType::Float), Some(Value::Float(3.0)));
+        assert_eq!(
+            Value::from("42").cast(DataType::Int),
+            Some(Value::Int(42))
+        );
+        assert_eq!(Value::from("x").cast(DataType::Int), None);
+        assert_eq!(Value::Null.cast(DataType::Int), Some(Value::Null));
+        assert_eq!(Value::Bool(true).cast(DataType::Int), Some(Value::Int(1)));
+        assert_eq!(Value::Bytes(vec![0xff]).cast(DataType::Int), None);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Value::Int(0).byte_size(), 8);
+        assert_eq!(Value::from("abc").byte_size(), 3);
+        assert_eq!(Value::Null.byte_size(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for v in [
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Float(0.0),
+            Value::Str(String::new()),
+            Value::Bytes(vec![]),
+            Value::Timestamp(0),
+        ] {
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn from_option() {
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+    }
+}

@@ -1,0 +1,466 @@
+//! Deterministic synthetic deployments.
+//!
+//! MIMIC-III is credentialed-access, so the clinical deployment
+//! reproduces its *shape* instead (see DESIGN.md's substitution table):
+//! relational admissions, free-text notes, vital-sign timeseries, a
+//! patient/admission/ward graph, a key/value profile store and an ICU
+//! device stream — everything Fig. 2's heterogeneous program touches.
+
+use std::collections::HashMap;
+
+use pspp_common::{
+    row, DataType, EngineId, Result, Row, Schema, SplitMix64, TableRef, Value,
+};
+use pspp_frontend::nlq::ClinicalNames;
+use pspp_frontend::Catalog;
+use pspp_graphstore::GraphStore;
+use pspp_kvstore::KvStore;
+use pspp_optimizer::TableStats;
+use pspp_relstore::RelationalStore;
+use pspp_streamstore::{Event, StreamStore};
+use pspp_textstore::TextStore;
+use pspp_tsstore::TimeseriesStore;
+use pspp_runtime::{EngineInstance, EngineRegistry};
+
+/// A ready-to-run deployment: engines + catalog + statistics.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The engines.
+    pub registry: EngineRegistry,
+    /// Name resolution for the frontends.
+    pub catalog: Catalog,
+    /// Cardinality statistics for the optimizer.
+    pub stats: HashMap<TableRef, TableStats>,
+    /// Clinical naming convention (meaningful for clinical deployments).
+    pub clinical_names: ClinicalNames,
+}
+
+/// Size knobs for the clinical deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClinicalConfig {
+    /// Number of patients.
+    pub patients: usize,
+    /// Vital-sign observations per patient.
+    pub vitals_per_patient: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClinicalConfig {
+    fn default() -> Self {
+        ClinicalConfig {
+            patients: 500,
+            vitals_per_patient: 48,
+            seed: 2019,
+        }
+    }
+}
+
+/// Builds the MIMIC-shaped clinical deployment (Fig. 2).
+///
+/// Ground truth: `long_stay = 1` when the (synthetic) length of stay
+/// exceeds 5 days; age, ICU note keywords and mean heart rate all
+/// correlate with it, so the Fig. 2 classifier has signal to learn.
+pub fn clinical(config: &ClinicalConfig) -> Deployment {
+    let mut rng = SplitMix64::new(config.seed);
+    let n = config.patients;
+
+    // ---- relational: admissions (DB1) + patients (DB2, §III example) ----
+    let mut db1 = RelationalStore::new("db1");
+    db1.create_table(
+        "admissions",
+        Schema::new(vec![
+            ("pid", DataType::Int),
+            ("age", DataType::Int),
+            ("date", DataType::Int),
+            ("los", DataType::Float),
+            ("long_stay", DataType::Float),
+        ]),
+    )
+    .expect("fresh store");
+    let mut db2 = RelationalStore::new("db2");
+    db2.create_table(
+        "patients",
+        Schema::new(vec![
+            ("pid", DataType::Int),
+            ("name", DataType::Str),
+            ("gender", DataType::Str),
+        ]),
+    )
+    .expect("fresh store");
+
+    let mut notes = TextStore::new("textdb");
+    let mut vitals = TimeseriesStore::new("tsdb");
+    let mut graph = GraphStore::new("graphdb");
+    let mut profiles = KvStore::new("kvdb");
+    let mut devices = StreamStore::new("streamdb");
+
+    let mut admission_rows = Vec::with_capacity(n);
+    let mut patient_rows = Vec::with_capacity(n);
+    let ward_icu = graph.add_node("Ward", vec![("name".into(), Value::from("icu"))]);
+    let ward_gen = graph.add_node("Ward", vec![("name".into(), Value::from("general"))]);
+
+    for pid in 0..n {
+        let age = rng.next_i64(18, 95);
+        let severity = rng.next_f64() + (age as f64 - 18.0) / 150.0;
+        let los = 1.0 + severity * 9.0 + rng.next_gaussian().abs();
+        let long_stay = f64::from(los > 5.0);
+        let date = rng.next_i64(0, 3650);
+        admission_rows.push(row![
+            pid as i64,
+            age,
+            date,
+            (los * 10.0).round() / 10.0,
+            long_stay
+        ]);
+        patient_rows.push(row![
+            pid as i64,
+            format!("patient_{pid}"),
+            if rng.next_bool(0.5) { "f" } else { "m" }
+        ]);
+
+        // Notes mention severity-correlated keywords.
+        let mut text = format!("patient {pid} admitted. ");
+        if severity > 0.9 {
+            text.push_str("icu transfer, sepsis suspected, ventilator support. ");
+        } else if severity > 0.6 {
+            text.push_str("icu observation, vitals unstable. ");
+        } else {
+            text.push_str("stable, routine monitoring. ");
+        }
+        notes.add_document(pid as u64, text);
+
+        // Heart-rate series: higher and noisier for severe cases. The
+        // series is laid out as `pid*100 + offset`, so a width-100
+        // tumbling window aggregates per patient (window_idx == pid).
+        let base = 70.0 + severity * 30.0;
+        for k in 0..config.vitals_per_patient.min(100) {
+            let t = pid as i64 * 100 + k as i64;
+            let v = base + rng.next_gaussian() * 5.0;
+            vitals.append("vitals", t, v);
+            devices.publish("icu_devices", Event::new(t, row![pid as i64, v]));
+        }
+
+        // Graph: Patient -> Admission -> Ward.
+        let p = graph.add_node("Patient", vec![("pid".into(), Value::Int(pid as i64))]);
+        let a = graph.add_node("Admission", vec![("los".into(), Value::Float(los))]);
+        graph.add_edge(p, a, "HAS_ADMISSION", 1.0).expect("nodes exist");
+        let ward = if severity > 0.6 { ward_icu } else { ward_gen };
+        graph.add_edge(a, ward, "IN_WARD", 1.0).expect("nodes exist");
+
+        profiles.put(
+            format!("patient:{pid}"),
+            Value::Float((severity * 100.0).round() / 100.0),
+        );
+    }
+    db1.insert("admissions", admission_rows).expect("valid rows");
+    db1.create_index("admissions", "pid").expect("column exists");
+    db2.insert("patients", patient_rows).expect("valid rows");
+    db2.create_index("patients", "pid").expect("column exists");
+
+    // ---- catalog + stats ----
+    let mut catalog = Catalog::new();
+    let mut stats = HashMap::new();
+    let adm_ref = TableRef::new("db1", "admissions");
+    catalog.register(adm_ref.clone(), db1.table("admissions").expect("exists").schema().clone());
+    stats.insert(
+        adm_ref,
+        TableStats {
+            rows: n as f64,
+            row_bytes: 40.0,
+        },
+    );
+    let pat_ref = TableRef::new("db2", "patients");
+    catalog.register(pat_ref.clone(), db2.table("patients").expect("exists").schema().clone());
+    stats.insert(
+        pat_ref,
+        TableStats {
+            rows: n as f64,
+            row_bytes: 32.0,
+        },
+    );
+    let notes_ref = TableRef::new("textdb", "notes");
+    catalog.register(notes_ref.clone(), Schema::empty());
+    stats.insert(
+        notes_ref,
+        TableStats {
+            rows: n as f64,
+            row_bytes: 80.0,
+        },
+    );
+    let vitals_ref = TableRef::new("tsdb", "vitals");
+    catalog.register(vitals_ref.clone(), Schema::empty());
+    stats.insert(
+        vitals_ref,
+        TableStats {
+            rows: (n * config.vitals_per_patient) as f64,
+            row_bytes: 16.0,
+        },
+    );
+    let graph_ref = TableRef::new("graphdb", "clinical");
+    catalog.register(graph_ref.clone(), Schema::empty());
+    stats.insert(
+        graph_ref,
+        TableStats {
+            rows: graph.node_count() as f64,
+            row_bytes: 24.0,
+        },
+    );
+    let stream_ref = TableRef::new("streamdb", "icu_devices");
+    catalog.register(stream_ref.clone(), Schema::empty());
+    stats.insert(
+        stream_ref,
+        TableStats {
+            rows: (n * config.vitals_per_patient) as f64,
+            row_bytes: 24.0,
+        },
+    );
+
+    // ---- registry ----
+    let mut registry = EngineRegistry::new();
+    registry
+        .register(EngineId::new("db1"), EngineInstance::Relational(db1))
+        .expect("unique id");
+    registry
+        .register(EngineId::new("db2"), EngineInstance::Relational(db2))
+        .expect("unique id");
+    registry
+        .register(EngineId::new("textdb"), EngineInstance::Text(notes))
+        .expect("unique id");
+    registry
+        .register(EngineId::new("tsdb"), EngineInstance::Timeseries(vitals))
+        .expect("unique id");
+    registry
+        .register(EngineId::new("graphdb"), EngineInstance::Graph(graph))
+        .expect("unique id");
+    registry
+        .register(EngineId::new("kvdb"), EngineInstance::KeyValue(profiles))
+        .expect("unique id");
+    registry
+        .register(EngineId::new("streamdb"), EngineInstance::Stream(devices))
+        .expect("unique id");
+
+    Deployment {
+        registry,
+        catalog,
+        stats,
+        clinical_names: ClinicalNames::default(),
+    }
+}
+
+/// Size knobs for the recommendation deployment (Fig. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendationConfig {
+    /// Number of customers.
+    pub customers: usize,
+    /// Clickstream events per customer.
+    pub clicks_per_customer: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RecommendationConfig {
+    fn default() -> Self {
+        RecommendationConfig {
+            customers: 1_000,
+            clicks_per_customer: 20,
+            seed: 7,
+        }
+    }
+}
+
+/// Builds the Fig. 1 enterprise deployment: customers + transactions in
+/// an RDBMS, per-customer profiles in a key/value store, clickstreams in
+/// a timeseries store.
+pub fn recommendation(config: &RecommendationConfig) -> Deployment {
+    let mut rng = SplitMix64::new(config.seed);
+    let n = config.customers;
+
+    let mut rdbms = RelationalStore::new("rdbms");
+    rdbms
+        .create_table(
+            "customers",
+            Schema::new(vec![
+                ("cid", DataType::Int),
+                ("segment", DataType::Str),
+                ("spend", DataType::Float),
+            ]),
+        )
+        .expect("fresh store");
+    rdbms
+        .create_table(
+            "transactions",
+            Schema::new(vec![
+                ("cid", DataType::Int),
+                ("amount", DataType::Float),
+                ("day", DataType::Int),
+            ]),
+        )
+        .expect("fresh store");
+
+    let mut kv = KvStore::new("kv");
+    let mut clicks = TimeseriesStore::new("clicks");
+
+    let mut customers = Vec::with_capacity(n);
+    let mut transactions = Vec::new();
+    for cid in 0..n {
+        let spend = rng.next_range(10.0, 5_000.0);
+        let segment = if spend > 2_500.0 { "premium" } else { "standard" };
+        customers.push(row![cid as i64, segment, (spend * 100.0).round() / 100.0]);
+        for _ in 0..rng.next_index(5) + 1 {
+            transactions.push(row![
+                cid as i64,
+                (rng.next_range(1.0, 500.0) * 100.0).round() / 100.0,
+                rng.next_i64(0, 365)
+            ]);
+        }
+        kv.put(format!("profile:{cid}"), Value::Float(rng.next_f64()));
+        for k in 0..config.clicks_per_customer {
+            let t = (cid * config.clicks_per_customer + k) as i64;
+            clicks.append("clickstream", t, rng.next_f64());
+        }
+    }
+    let tx_count = transactions.len();
+    rdbms.insert("customers", customers).expect("valid rows");
+    rdbms.insert("transactions", transactions).expect("valid rows");
+    rdbms.create_index("customers", "cid").expect("column exists");
+
+    let mut catalog = Catalog::new();
+    let mut stats = HashMap::new();
+    for (name, rows, width) in [
+        ("customers", n as f64, 32.0),
+        ("transactions", tx_count as f64, 24.0),
+    ] {
+        let r = TableRef::new("rdbms", name);
+        catalog.register(
+            r.clone(),
+            rdbms.table(name).expect("exists").schema().clone(),
+        );
+        stats.insert(
+            r,
+            TableStats {
+                rows,
+                row_bytes: width,
+            },
+        );
+    }
+    let clicks_ref = TableRef::new("clicks", "clickstream");
+    catalog.register(clicks_ref.clone(), Schema::empty());
+    stats.insert(
+        clicks_ref,
+        TableStats {
+            rows: (n * config.clicks_per_customer) as f64,
+            row_bytes: 16.0,
+        },
+    );
+
+    let mut registry = EngineRegistry::new();
+    registry
+        .register(EngineId::new("rdbms"), EngineInstance::Relational(rdbms))
+        .expect("unique id");
+    registry
+        .register(EngineId::new("kv"), EngineInstance::KeyValue(kv))
+        .expect("unique id");
+    registry
+        .register(EngineId::new("clicks"), EngineInstance::Timeseries(clicks))
+        .expect("unique id");
+
+    Deployment {
+        registry,
+        catalog,
+        stats,
+        clinical_names: ClinicalNames::default(),
+    }
+}
+
+/// Generates the PipeGen row shape — 4 ints + 3 doubles per row
+/// (§III-A.3) — as `(schema, rows)` for migration experiments.
+pub fn pipegen_rows(n: usize, seed: u64) -> Result<(Schema, Vec<Row>)> {
+    let mut rng = SplitMix64::new(seed);
+    let schema = Schema::new(vec![
+        ("a", DataType::Int),
+        ("b", DataType::Int),
+        ("c", DataType::Int),
+        ("d", DataType::Int),
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+        ("z", DataType::Float),
+    ]);
+    let rows = (0..n)
+        .map(|_| {
+            row![
+                rng.next_i64(i64::MIN / 2, i64::MAX / 2),
+                rng.next_i64(-1_000_000, 1_000_000),
+                rng.next_i64(0, 100),
+                rng.next_i64(0, 2),
+                rng.next_gaussian(),
+                rng.next_range(-1e6, 1e6),
+                rng.next_f64()
+            ]
+        })
+        .collect();
+    Ok((schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clinical_deployment_is_complete_and_deterministic() {
+        let cfg = ClinicalConfig {
+            patients: 40,
+            vitals_per_patient: 8,
+            seed: 1,
+        };
+        let a = clinical(&cfg);
+        let b = clinical(&cfg);
+        assert_eq!(a.registry.len(), 7);
+        assert!(a.catalog.resolve("admissions").is_ok());
+        assert!(a.catalog.resolve("vitals").is_ok());
+        let ra = a.registry.relational(&EngineId::new("db1")).unwrap();
+        let rb = b.registry.relational(&EngineId::new("db1")).unwrap();
+        assert_eq!(
+            ra.table("admissions").unwrap().rows(),
+            rb.table("admissions").unwrap().rows()
+        );
+        assert_eq!(ra.table("admissions").unwrap().len(), 40);
+    }
+
+    #[test]
+    fn clinical_labels_have_both_classes() {
+        let d = clinical(&ClinicalConfig {
+            patients: 200,
+            vitals_per_patient: 4,
+            seed: 3,
+        });
+        let db1 = d.registry.relational(&EngineId::new("db1")).unwrap();
+        let rows = db1.table("admissions").unwrap().rows();
+        let positives = rows
+            .iter()
+            .filter(|r| r[4].as_f64() == Some(1.0))
+            .count();
+        assert!(positives > 20 && positives < 180, "positives {positives}");
+    }
+
+    #[test]
+    fn recommendation_deployment_spans_three_engines() {
+        let d = recommendation(&RecommendationConfig {
+            customers: 50,
+            clicks_per_customer: 5,
+            seed: 2,
+        });
+        assert_eq!(d.registry.len(), 3);
+        assert!(d.catalog.resolve("customers").is_ok());
+        assert!(d.catalog.resolve("clickstream").is_ok());
+        assert!(d.stats.len() >= 3);
+    }
+
+    #[test]
+    fn pipegen_shape() {
+        let (schema, rows) = pipegen_rows(10, 5).unwrap();
+        assert_eq!(schema.arity(), 7);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].byte_size(), 56);
+    }
+}

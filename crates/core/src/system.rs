@@ -1,0 +1,347 @@
+//! The [`Polystore`] facade: EIDE configuration, compilation,
+//! optimization and execution in one object (Fig. 4).
+
+use pspp_accel::{AcceleratorFleet, CostLedger, CostSummary};
+use pspp_common::Result;
+use pspp_frontend::nlq::{self, ClinicalNames};
+use pspp_frontend::{sql, Catalog, HeterogeneousProgram};
+use pspp_ir::Program;
+use pspp_migrate::MigrationPath;
+use pspp_optimizer::{optimize_l1, CostModel, OptLevel, PlacementPlan, RewriteReport};
+use pspp_runtime::{EngineRegistry, ExecutionReport, Executor};
+
+use crate::datagen::Deployment;
+
+/// Everything a run produces: results, plan info, and simulated costs.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Executor accounting and outputs.
+    pub execution: ExecutionReport,
+    /// L1 rules applied (empty at `OptLevel::None`).
+    pub rewrites: RewriteReport,
+    /// Placement summary when L2+ ran.
+    pub placement: Option<PlacementPlan>,
+    /// Ledger totals for the run.
+    pub costs: CostSummary,
+}
+
+impl RunReport {
+    /// The effective simulated makespan.
+    pub fn makespan(&self) -> f64 {
+        self.execution.makespan()
+    }
+}
+
+/// Builder for a [`Polystore`] system.
+#[derive(Debug, Clone)]
+pub struct PolystoreBuilder {
+    deployment: Deployment,
+    fleet: AcceleratorFleet,
+    opt_level: OptLevel,
+    migration_path: MigrationPath,
+}
+
+impl PolystoreBuilder {
+    /// Attaches an accelerator fleet (default: CPU only).
+    pub fn accelerators(mut self, fleet: AcceleratorFleet) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
+    /// Sets the optimization level (default: `L2`).
+    pub fn opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
+    }
+
+    /// Sets the cross-engine migration path (default: binary pipe).
+    pub fn migration_path(mut self, path: MigrationPath) -> Self {
+        self.migration_path = path;
+        self
+    }
+
+    /// Finalizes the system.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for configuration validation; currently infallible.
+    pub fn build(self) -> Result<Polystore> {
+        let ledger = CostLedger::new();
+        let cost_model = CostModel::new(self.fleet.clone(), self.deployment.stats.clone());
+        Ok(Polystore {
+            registry: self.deployment.registry,
+            catalog: self.deployment.catalog,
+            clinical_names: self.deployment.clinical_names,
+            fleet: self.fleet,
+            cost_model,
+            opt_level: self.opt_level,
+            migration_path: self.migration_path,
+            ledger,
+        })
+    }
+}
+
+/// A configured Polystore++ system.
+#[derive(Debug, Clone)]
+pub struct Polystore {
+    registry: EngineRegistry,
+    catalog: Catalog,
+    clinical_names: ClinicalNames,
+    fleet: AcceleratorFleet,
+    cost_model: CostModel,
+    opt_level: OptLevel,
+    migration_path: MigrationPath,
+    ledger: CostLedger,
+}
+
+impl Polystore {
+    /// Starts a builder from a generated [`Deployment`].
+    pub fn from_deployment(deployment: Deployment) -> PolystoreBuilder {
+        PolystoreBuilder {
+            deployment,
+            fleet: AcceleratorFleet::cpu_only(),
+            opt_level: OptLevel::L2,
+            migration_path: MigrationPath::BinaryPipe,
+        }
+    }
+
+    /// Alias for [`Polystore::from_deployment`], reading as a builder
+    /// entry point.
+    pub fn builder() -> PolystoreBuilder {
+        PolystoreBuilder {
+            deployment: Deployment {
+                registry: EngineRegistry::new(),
+                catalog: Catalog::new(),
+                stats: std::collections::HashMap::new(),
+                clinical_names: ClinicalNames::default(),
+            },
+            fleet: AcceleratorFleet::cpu_only(),
+            opt_level: OptLevel::L2,
+            migration_path: MigrationPath::BinaryPipe,
+        }
+    }
+
+    /// The shared simulated-cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine registry.
+    pub fn registry(&self) -> &EngineRegistry {
+        &self.registry
+    }
+
+    /// The accelerator fleet.
+    pub fn fleet(&self) -> &AcceleratorFleet {
+        &self.fleet
+    }
+
+    /// The active optimization level.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// Changes the optimization level (used by the Fig. 6 ablation).
+    pub fn set_opt_level(&mut self, level: OptLevel) {
+        self.opt_level = level;
+    }
+
+    /// Compiles a SQL query into an (unoptimized) IR program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and catalog errors.
+    pub fn compile_sql(&self, query: &str) -> Result<Program> {
+        sql::parse_to_program(query, &self.catalog)
+    }
+
+    /// Compiles a heterogeneous program into the IR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/semantic errors from any subprogram.
+    pub fn compile(&self, program: &HeterogeneousProgram) -> Result<Program> {
+        program.build(&self.catalog)
+    }
+
+    /// Compiles a natural-language question (§IV-A.e).
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error listing the supported templates.
+    pub fn compile_nlq(&self, question: &str) -> Result<Program> {
+        nlq::compile(question, &self.catalog, &self.clinical_names)
+    }
+
+    /// Optimizes a program in place according to the configured level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost-model errors.
+    pub fn optimize(&self, program: &mut Program) -> Result<(RewriteReport, Option<PlacementPlan>)> {
+        let rewrites = if self.opt_level.rewrites() {
+            optimize_l1(program)
+        } else {
+            RewriteReport::default()
+        };
+        let placement = if self.opt_level.placement() {
+            Some(self.cost_model.place(program)?)
+        } else {
+            None
+        };
+        Ok((rewrites, placement))
+    }
+
+    /// Executes an already-optimized program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors.
+    pub fn execute(&self, program: &Program) -> Result<ExecutionReport> {
+        let executor = Executor::new(self.fleet.clone(), self.ledger.clone())
+            .offload(self.opt_level.placement())
+            .pipelined(self.opt_level.pipelined())
+            .migration_path(self.migration_path);
+        executor.execute(program, &self.registry)
+    }
+
+    /// Compile → optimize → execute a SQL query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation, optimization and execution errors.
+    pub fn run_sql(&mut self, query: &str) -> Result<RunReport> {
+        let program = self.compile_sql(query)?;
+        self.run_program(program)
+    }
+
+    /// Compile → optimize → execute a heterogeneous program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation, optimization and execution errors.
+    pub fn run(&mut self, program: &HeterogeneousProgram) -> Result<RunReport> {
+        let program = self.compile(program)?;
+        self.run_program(program)
+    }
+
+    /// Compile → optimize → execute a natural-language question.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation, optimization and execution errors.
+    pub fn run_nlq(&mut self, question: &str) -> Result<RunReport> {
+        let program = self.compile_nlq(question)?;
+        self.run_program(program)
+    }
+
+    /// Optimizes and executes an IR program, collecting the cost report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimization and execution errors.
+    pub fn run_program(&mut self, mut program: Program) -> Result<RunReport> {
+        self.ledger.reset();
+        let (rewrites, placement) = self.optimize(&mut program)?;
+        let execution = self.execute(&program)?;
+        Ok(RunReport {
+            execution,
+            rewrites,
+            placement,
+            costs: self.ledger.total(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{self, ClinicalConfig};
+    use pspp_frontend::Language;
+
+    fn system(level: OptLevel) -> Polystore {
+        Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients: 120,
+            vitals_per_patient: 8,
+            seed: 11,
+        }))
+        .accelerators(AcceleratorFleet::workstation())
+        .opt_level(level)
+        .build()
+        .expect("valid config")
+    }
+
+    #[test]
+    fn sql_round_trip() {
+        let mut s = system(OptLevel::L2);
+        let report = s
+            .run_sql("SELECT pid, age FROM admissions WHERE age >= 65 ORDER BY age DESC LIMIT 10")
+            .unwrap();
+        let out = &report.execution.outputs[0];
+        assert!(out.len() <= 10);
+        assert!(report.rewrites.predicate_pushdowns >= 1);
+        assert!(report.costs.events > 0);
+    }
+
+    #[test]
+    fn federated_join_runs() {
+        let mut s = system(OptLevel::L2);
+        let report = s
+            .run_sql(
+                "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
+                 WHERE age >= 80",
+            )
+            .unwrap();
+        assert!(report.execution.outputs[0].len() > 0);
+        assert!(report.execution.migration_seconds > 0.0);
+    }
+
+    #[test]
+    fn opt_levels_reduce_makespan() {
+        let query =
+            "SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date";
+        let mut makespans = Vec::new();
+        for level in OptLevel::all() {
+            let mut s = system(level);
+            let report = s.run_sql(query).unwrap();
+            makespans.push(report.makespan());
+        }
+        // L3 <= L2 <= L1 <= None (allowing ties).
+        assert!(makespans[3] <= makespans[2] + 1e-12);
+        assert!(makespans[2] <= makespans[1] + 1e-12);
+        assert!(makespans[1] <= makespans[0] + 1e-12);
+    }
+
+    #[test]
+    fn nlq_clinical_pipeline_trains_a_model() {
+        let mut s = system(OptLevel::L2);
+        let report = s
+            .run_nlq("Will patients have a long stay at the hospital or short when they exit the ICU?")
+            .unwrap();
+        // The program output is the trained model dataset.
+        assert!(report.execution.outputs[0].try_model().is_ok());
+        assert!(report.execution.offloaded > 0);
+    }
+
+    #[test]
+    fn hetero_program_via_builder() {
+        let mut s = system(OptLevel::L2);
+        let program = HeterogeneousProgram::builder()
+            .subprogram("base", Language::Sql, "SELECT pid, los, long_stay FROM admissions", &[])
+            .subprogram(
+                "model",
+                Language::MlDsl,
+                "TRAIN MLP HIDDEN 8 EPOCHS 3 BATCH 32 LR 0.3 LABEL long_stay",
+                &["base"],
+            )
+            .build(s.catalog())
+            .unwrap();
+        let report = s.run_program(program).unwrap();
+        assert!(report.execution.outputs[0].try_model().is_ok());
+    }
+}

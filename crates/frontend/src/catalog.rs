@@ -1,0 +1,77 @@
+//! The deployment catalog: which engine holds which dataset, with what
+//! schema (the EIDE "configuration parameters ... location, type, and
+//! schema" of §III).
+
+use std::collections::BTreeMap;
+
+use pspp_common::{Error, Result, Schema, TableRef};
+
+/// Name resolution and schema lookup for frontends and the optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, (TableRef, Schema)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a dataset under its unqualified name (and its qualified
+    /// `engine.name` form).
+    pub fn register(&mut self, table: TableRef, schema: Schema) {
+        self.tables
+            .insert(table.name.clone(), (table.clone(), schema.clone()));
+        self.tables
+            .insert(format!("{}.{}", table.engine, table.name), (table, schema));
+    }
+
+    /// Resolves a (possibly qualified) table name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableNotFound`] for unknown names.
+    pub fn resolve(&self, name: &str) -> Result<&(TableRef, Schema)> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::TableNotFound(name.to_owned()))
+    }
+
+    /// The schema of a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableNotFound`] for unknown names.
+    pub fn schema(&self, name: &str) -> Result<&Schema> {
+        Ok(&self.resolve(name)?.1)
+    }
+
+    /// All registered unqualified names.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables
+            .keys()
+            .filter(|k| !k.contains('.'))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::DataType;
+
+    #[test]
+    fn register_and_resolve_both_forms() {
+        let mut c = Catalog::new();
+        c.register(
+            TableRef::new("db1", "t"),
+            Schema::new(vec![("a", DataType::Int)]),
+        );
+        assert_eq!(c.resolve("t").unwrap().0.engine.as_str(), "db1");
+        assert_eq!(c.resolve("db1.t").unwrap().0.name, "t");
+        assert!(c.resolve("zzz").is_err());
+        assert_eq!(c.names(), vec!["t"]);
+    }
+}

@@ -1,0 +1,168 @@
+//! The Cypher-like graph frontend ("Cipher" in the paper's terminology).
+//!
+//! Grammar:
+//!
+//! ```text
+//! MATCH (a:Label)[-[:REL]->(b[:Label2])]* RETURN PATHS [LIMIT n]
+//! ```
+
+use pspp_common::Result;
+use pspp_ir::{NodeId, Operator, Program};
+
+use crate::catalog::Catalog;
+use crate::lexer::{lex, Cursor};
+
+/// Parses a `MATCH` query into a fresh program.
+///
+/// `graph` names the graph dataset in the catalog (the paper's Neo4j
+/// instance).
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] on syntax errors or catalog misses.
+pub fn parse_to_program(query: &str, graph: &str, catalog: &Catalog) -> Result<Program> {
+    let mut program = Program::new();
+    let out = lower_into(query, graph, catalog, &mut program, "cypher")?;
+    program.mark_output(out);
+    Ok(program)
+}
+
+/// Lowers a `MATCH` query into an existing program; returns the output
+/// node.
+///
+/// # Errors
+///
+/// See [`parse_to_program`].
+pub fn lower_into(
+    query: &str,
+    graph: &str,
+    catalog: &Catalog,
+    program: &mut Program,
+    subprogram: &str,
+) -> Result<NodeId> {
+    let (table, _) = catalog.resolve(graph)?.clone();
+    let mut c = Cursor::new(lex(query)?);
+    c.expect_kw("match")?;
+
+    // (a:Label)
+    c.expect_sym("(")?;
+    let _binding = c.expect_ident()?;
+    c.expect_sym(":")?;
+    let start_label = c.expect_ident()?;
+    c.expect_sym(")")?;
+
+    // -[:REL]->(b[:Label]) repeated
+    let mut steps: Vec<(Option<String>, Option<String>)> = Vec::new();
+    while c.eat_sym("-") {
+        let mut rel = None;
+        if c.eat_sym("[") {
+            c.expect_sym(":")?;
+            rel = Some(c.expect_ident()?);
+            c.expect_sym("]")?;
+        }
+        c.expect_sym("->")?;
+        c.expect_sym("(")?;
+        let _binding = c.expect_ident()?;
+        let mut label = None;
+        if c.eat_sym(":") {
+            label = Some(c.expect_ident()?);
+        }
+        c.expect_sym(")")?;
+        steps.push((rel, label));
+    }
+
+    c.expect_kw("return")?;
+    c.expect_kw("paths")?;
+    let mut limit = None;
+    if c.eat_kw("limit") {
+        limit = Some(c.expect_int()? as usize);
+    }
+    c.expect_end()?;
+
+    let mut node = program.add_source(
+        Operator::GraphMatch {
+            table,
+            start_label,
+            steps,
+        },
+        subprogram,
+    );
+    if let Some(n) = limit {
+        node = program.add_node(Operator::Limit { n }, vec![node], subprogram);
+    }
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::{Schema, TableRef};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(TableRef::new("neo", "clinical"), Schema::empty());
+        c
+    }
+
+    #[test]
+    fn single_hop() {
+        let p = parse_to_program(
+            "MATCH (p:Patient)-[:HAS_ADMISSION]->(a:Admission) RETURN PATHS",
+            "clinical",
+            &catalog(),
+        )
+        .unwrap();
+        match &p.node(p.outputs()[0]).op {
+            Operator::GraphMatch {
+                start_label, steps, ..
+            } => {
+                assert_eq!(start_label, "Patient");
+                assert_eq!(
+                    steps,
+                    &[(Some("HAS_ADMISSION".into()), Some("Admission".into()))]
+                );
+            }
+            _ => panic!("wrong op"),
+        }
+    }
+
+    #[test]
+    fn multi_hop_with_wildcards_and_limit() {
+        let p = parse_to_program(
+            "MATCH (p:Patient)-[:HAS]->(a)-->(w:Ward) RETURN PATHS LIMIT 5",
+            "clinical",
+            &catalog(),
+        )
+        .unwrap();
+        let names: Vec<&str> = p.nodes().iter().map(|n| n.op.name()).collect();
+        assert_eq!(names, vec!["graph_match", "limit"]);
+        match &p.nodes()[0].op {
+            Operator::GraphMatch { steps, .. } => {
+                assert_eq!(steps.len(), 2);
+                assert_eq!(steps[1], (None, Some("Ward".into())));
+            }
+            _ => panic!("wrong op"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors() {
+        for q in [
+            "MATCH p RETURN PATHS",
+            "MATCH (p:Patient) RETURN",
+            "MATCH (p:Patient)-[:X]->(q) RETURN PATHS junk",
+        ] {
+            assert!(parse_to_program(q, "clinical", &catalog()).is_err(), "{q}");
+        }
+    }
+
+    #[test]
+    fn unknown_graph_rejected() {
+        assert!(parse_to_program(
+            "MATCH (p:Patient) RETURN PATHS",
+            "missing",
+            &catalog()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! The ML pipeline DSL: the frontend face of Figs. 2, 3 and 7.
+//!
+//! Grammar (one statement per subprogram):
+//!
+//! ```text
+//! TRAIN MLP HIDDEN h1[,h2...] EPOCHS e BATCH b LR r LABEL col
+//! KMEANS K k [ITERS n]
+//! PREDICT
+//! ```
+//!
+//! All three are transforms: they consume the dataset produced by the
+//! subprogram(s) they are wired to in the heterogeneous program.
+
+use pspp_common::{Error, Result};
+use pspp_ir::{NodeId, Operator, Program};
+
+use crate::lexer::{lex, Cursor};
+
+/// Lowers an ML DSL statement into `program`, consuming `inputs`.
+///
+/// `TRAIN`/`KMEANS` take one input; `PREDICT` takes two (data, model).
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] on syntax errors, [`Error::Semantic`] on
+/// wrong input arity.
+pub fn lower_into(
+    statement: &str,
+    inputs: &[NodeId],
+    program: &mut Program,
+    subprogram: &str,
+) -> Result<NodeId> {
+    let mut c = Cursor::new(lex(statement)?);
+    if c.eat_kw("train") {
+        c.expect_kw("mlp")?;
+        c.expect_kw("hidden")?;
+        let mut hidden = vec![c.expect_int()? as usize];
+        while c.eat_sym(",") {
+            hidden.push(c.expect_int()? as usize);
+        }
+        c.expect_kw("epochs")?;
+        let epochs = c.expect_int()? as usize;
+        c.expect_kw("batch")?;
+        let batch_size = c.expect_int()? as usize;
+        c.expect_kw("lr")?;
+        let learning_rate = c.expect_number()?;
+        c.expect_kw("label")?;
+        let label_column = c.expect_ident()?;
+        c.expect_end()?;
+        require_arity(inputs, 1, "TRAIN")?;
+        return Ok(program.add_node(
+            Operator::TrainMlp {
+                label_column,
+                hidden,
+                epochs,
+                batch_size,
+                learning_rate,
+            },
+            inputs.to_vec(),
+            subprogram,
+        ));
+    }
+    if c.eat_kw("kmeans") {
+        c.expect_kw("k")?;
+        let k = c.expect_int()? as usize;
+        let max_iters = if c.eat_kw("iters") {
+            c.expect_int()? as usize
+        } else {
+            50
+        };
+        c.expect_end()?;
+        require_arity(inputs, 1, "KMEANS")?;
+        return Ok(program.add_node(
+            Operator::KMeansCluster { k, max_iters },
+            inputs.to_vec(),
+            subprogram,
+        ));
+    }
+    if c.eat_kw("predict") {
+        c.expect_end()?;
+        require_arity(inputs, 2, "PREDICT")?;
+        return Ok(program.add_node(Operator::Predict, inputs.to_vec(), subprogram));
+    }
+    Err(Error::Parse(format!(
+        "unknown ML statement: {statement:?}"
+    )))
+}
+
+fn require_arity(inputs: &[NodeId], want: usize, what: &str) -> Result<()> {
+    if inputs.len() == want {
+        Ok(())
+    } else {
+        Err(Error::Semantic(format!(
+            "{what} expects {want} input dataset(s), got {}",
+            inputs.len()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::TableRef;
+
+    fn source(p: &mut Program) -> NodeId {
+        p.add_source(Operator::scan(TableRef::new("db", "t")), "sql")
+    }
+
+    #[test]
+    fn train_statement() {
+        let mut p = Program::new();
+        let s = source(&mut p);
+        let n = lower_into(
+            "TRAIN MLP HIDDEN 16,8 EPOCHS 20 BATCH 32 LR 0.5 LABEL long_stay",
+            &[s],
+            &mut p,
+            "ml",
+        )
+        .unwrap();
+        match &p.node(n).op {
+            Operator::TrainMlp {
+                hidden,
+                epochs,
+                batch_size,
+                learning_rate,
+                label_column,
+            } => {
+                assert_eq!(hidden, &[16, 8]);
+                assert_eq!(*epochs, 20);
+                assert_eq!(*batch_size, 32);
+                assert!((learning_rate - 0.5).abs() < 1e-12);
+                assert_eq!(label_column, "long_stay");
+            }
+            _ => panic!("wrong op"),
+        }
+    }
+
+    #[test]
+    fn kmeans_defaults_iters() {
+        let mut p = Program::new();
+        let s = source(&mut p);
+        let n = lower_into("KMEANS K 3", &[s], &mut p, "ml").unwrap();
+        match &p.node(n).op {
+            Operator::KMeansCluster { k, max_iters } => {
+                assert_eq!(*k, 3);
+                assert_eq!(*max_iters, 50);
+            }
+            _ => panic!("wrong op"),
+        }
+    }
+
+    #[test]
+    fn predict_needs_two_inputs() {
+        let mut p = Program::new();
+        let s = source(&mut p);
+        assert!(lower_into("PREDICT", &[s], &mut p, "ml").is_err());
+        let m = source(&mut p);
+        assert!(lower_into("PREDICT", &[s, m], &mut p, "ml").is_ok());
+    }
+
+    #[test]
+    fn unknown_statement_rejected() {
+        let mut p = Program::new();
+        let s = source(&mut p);
+        assert!(lower_into("FIT SVM", &[s], &mut p, "ml").is_err());
+    }
+}

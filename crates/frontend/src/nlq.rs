@@ -1,0 +1,207 @@
+//! Natural-language queries compiled to heterogeneous programs
+//! (§IV-A.e, in the spirit of SQLizer [49] and Almond [51]).
+//!
+//! A small template matcher: each template recognizes keyword patterns
+//! and expands to a parameterized [`HeterogeneousProgram`]. The flagship
+//! template is the paper's own Fig. 2 question — "Will patients have a
+//! long stay at the hospital (> 5 days) or short (≤ 5 days) when they
+//! exit the ICU" — which expands to the full clinical pipeline.
+
+use pspp_common::{Error, Result};
+use pspp_ir::Program;
+
+use crate::catalog::Catalog;
+use crate::hetero::{HeterogeneousProgram, Language};
+
+/// Conventional dataset names the clinical template expects in the
+/// catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClinicalNames {
+    /// Relational admissions table (pid, age, los, ...).
+    pub admissions: String,
+    /// Text store with clinical notes.
+    pub notes: String,
+    /// Timeseries store with vital signs.
+    pub vitals: String,
+    /// Label column for "long stay".
+    pub label: String,
+}
+
+impl Default for ClinicalNames {
+    fn default() -> Self {
+        ClinicalNames {
+            admissions: "admissions".into(),
+            notes: "notes".into(),
+            vitals: "vitals".into(),
+            label: "long_stay".into(),
+        }
+    }
+}
+
+/// Compiles a natural-language question into an IR program.
+///
+/// Supported templates:
+///
+/// 1. **Clinical stay prediction** (Fig. 2): question mentions
+///    "stay" + ("long" or "short" or "predict") — expands to
+///    scan+search+window → join → MLP training.
+/// 2. **Grouped average**: "average `<col>` by `<col2>` in `<table>`".
+/// 3. **Count**: "how many rows in `<table>`".
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] when no template matches, listing the
+/// supported shapes.
+pub fn compile(question: &str, catalog: &Catalog, names: &ClinicalNames) -> Result<Program> {
+    let q = question.to_lowercase();
+    let words: Vec<&str> = q
+        .split(|c: char| !c.is_alphanumeric() && c != '_')
+        .filter(|w| !w.is_empty())
+        .collect();
+
+    if words.contains(&"stay") && (words.contains(&"long") || words.contains(&"predict")) {
+        return clinical_program(names).build(catalog);
+    }
+    if let Some(avg_pos) = words.iter().position(|w| *w == "average" || *w == "avg") {
+        // "average <col> by <group> in <table>"
+        let col = words.get(avg_pos + 1);
+        let by = words.iter().position(|w| *w == "by");
+        let tbl = words.iter().position(|w| *w == "in");
+        if let (Some(col), Some(by), Some(tbl)) = (col, by, tbl) {
+            if let (Some(group), Some(table)) = (words.get(by + 1), words.get(tbl + 1)) {
+                let sql = format!("SELECT {group}, avg({col}) AS avg_{col} FROM {table} GROUP BY {group}");
+                return HeterogeneousProgram::builder()
+                    .subprogram("nlq", Language::Sql, sql, &[])
+                    .build(catalog);
+            }
+        }
+    }
+    if q.contains("how many") {
+        if let Some(tbl) = words.iter().position(|w| *w == "in") {
+            if let Some(table) = words.get(tbl + 1) {
+                let sql = format!("SELECT count(*) AS n FROM {table}");
+                return HeterogeneousProgram::builder()
+                    .subprogram("nlq", Language::Sql, sql, &[])
+                    .build(catalog);
+            }
+        }
+    }
+    Err(Error::Parse(format!(
+        "no template matches {question:?}; supported: 'will patients have a long stay...', \
+         'average <col> by <col> in <table>', 'how many rows in <table>'"
+    )))
+}
+
+/// The Fig. 2 heterogeneous program, parameterized by catalog names.
+pub fn clinical_program(names: &ClinicalNames) -> HeterogeneousProgram {
+    HeterogeneousProgram::builder()
+        // P = patients' admission, discharge and other details.
+        .subprogram(
+            "p",
+            Language::Sql,
+            format!(
+                "SELECT pid, age, los, {} FROM {} WHERE age >= 18",
+                names.label, names.admissions
+            ),
+            &[],
+        )
+        // N = text evidence from doctors'/nurses' notes.
+        .subprogram(
+            "n",
+            Language::TextSearch {
+                dataset: names.notes.clone(),
+            },
+            "SEARCH icu sepsis ventilator MODE top 1000000",
+            &[],
+        )
+        // S = vital signs from ICU devices: one window per patient
+        // (series laid out as pid*100 + offset; see datagen).
+        .subprogram(
+            "s",
+            Language::TsDsl,
+            format!("WINDOW {} FROM 0 TO 100000000 WIDTH 100 AGG mean", names.vitals),
+            &[],
+        )
+        // Join P, N and S to get the feature vector for all patients.
+        .subprogram("pn", Language::Connector, "JOIN pid = doc_id", &["p", "n"])
+        .subprogram("pns", Language::Connector, "JOIN pid = window_idx", &["pn", "s"])
+        // Model = build neural-network model.
+        .subprogram(
+            "model",
+            Language::MlDsl,
+            format!(
+                "TRAIN MLP HIDDEN 64,32 EPOCHS 20 BATCH 128 LR 0.3 LABEL {}",
+                names.label
+            ),
+            &["pns"],
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::{DataType, Schema, TableRef};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            TableRef::new("db1", "admissions"),
+            Schema::new(vec![
+                ("pid", DataType::Int),
+                ("age", DataType::Int),
+                ("los", DataType::Float),
+                ("long_stay", DataType::Float),
+                ("ward", DataType::Str),
+            ]),
+        );
+        c.register(TableRef::new("text", "notes"), Schema::empty());
+        c.register(TableRef::new("ts", "vitals"), Schema::empty());
+        c
+    }
+
+    #[test]
+    fn fig2_question_builds_clinical_pipeline() {
+        let p = compile(
+            "Will patients have a long stay at the hospital (> 5 days) or short (<= 5 days) \
+             when they exit the ICU?",
+            &catalog(),
+            &ClinicalNames::default(),
+        )
+        .unwrap();
+        assert!(p.nodes().iter().any(|n| n.op.name() == "train_mlp"));
+        assert!(p.nodes().iter().any(|n| n.op.name() == "text_search"));
+        assert!(p.nodes().iter().any(|n| n.op.name() == "ts_window"));
+        assert!(p.cross_subprogram_edges().len() >= 4);
+    }
+
+    #[test]
+    fn grouped_average_template() {
+        let p = compile(
+            "average age by ward in admissions",
+            &catalog(),
+            &ClinicalNames::default(),
+        )
+        .unwrap();
+        assert!(p.nodes().iter().any(|n| n.op.name() == "group_by"));
+    }
+
+    #[test]
+    fn count_template() {
+        let p = compile(
+            "how many rows in admissions",
+            &catalog(),
+            &ClinicalNames::default(),
+        )
+        .unwrap();
+        assert!(p.nodes().iter().any(|n| n.op.name() == "group_by"));
+    }
+
+    #[test]
+    fn unmatched_question_lists_templates() {
+        let err = compile("what is the meaning of life", &catalog(), &ClinicalNames::default());
+        match err {
+            Err(Error::Parse(msg)) => assert!(msg.contains("supported")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

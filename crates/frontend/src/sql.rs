@@ -1,0 +1,448 @@
+//! The mini-SQL frontend.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT select_list
+//! FROM table [JOIN table ON col = col]
+//! [WHERE disjunction]
+//! [GROUP BY col, ...]
+//! [ORDER BY col [ASC|DESC], ...]
+//! [LIMIT n]
+//!
+//! select_list := '*' | item (',' item)*
+//! item        := col | AGG '(' (col|'*') ')' [AS name]
+//! disjunction := conjunction (OR conjunction)*
+//! conjunction := comparison (AND comparison)*
+//! comparison  := col (= | != | < | <= | > | >=) literal
+//!              | col BETWEEN literal AND literal
+//!              | col IS NULL | NOT comparison | '(' disjunction ')'
+//! ```
+
+use pspp_common::{Error, Predicate, Result, Value};
+use pspp_ir::{AggFn, AggSpec, NodeId, Operator, Program, SortSpec};
+
+use crate::catalog::Catalog;
+use crate::lexer::{lex, Cursor, Token};
+
+/// A parsed select item.
+#[derive(Debug, Clone, PartialEq)]
+enum SelectItem {
+    Star,
+    Column(String),
+    Aggregate(AggFn, String, String), // func, column, output
+}
+
+/// Parses a SQL query and lowers it into a fresh [`Program`] tagged with
+/// subprogram `"sql"`.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] on syntax errors, [`Error::TableNotFound`] /
+/// [`Error::Semantic`] on unresolvable names.
+pub fn parse_to_program(query: &str, catalog: &Catalog) -> Result<Program> {
+    let mut program = Program::new();
+    let out = lower_into(query, catalog, &mut program, "sql")?;
+    program.mark_output(out);
+    Ok(program)
+}
+
+/// Lowers a SQL query into an existing program (used by the
+/// heterogeneous-program builder); returns the output node.
+///
+/// # Errors
+///
+/// See [`parse_to_program`].
+pub fn lower_into(
+    query: &str,
+    catalog: &Catalog,
+    program: &mut Program,
+    subprogram: &str,
+) -> Result<NodeId> {
+    let mut c = Cursor::new(lex(query)?);
+    c.expect_kw("select")?;
+    let items = parse_select_list(&mut c)?;
+    c.expect_kw("from")?;
+    let left_table = parse_table_name(&mut c)?;
+    let mut join: Option<(String, String, String)> = None; // table, left_on, right_on
+    if c.eat_kw("join") {
+        let right_table = parse_table_name(&mut c)?;
+        c.expect_kw("on")?;
+        let l = parse_qualified_col(&mut c)?;
+        c.expect_sym("=")?;
+        let r = parse_qualified_col(&mut c)?;
+        join = Some((right_table, l, r));
+    }
+    let mut predicate = None;
+    if c.eat_kw("where") {
+        predicate = Some(parse_disjunction(&mut c)?);
+    }
+    let mut group_by: Vec<String> = Vec::new();
+    if c.eat_kw("group") {
+        c.expect_kw("by")?;
+        group_by.push(c.expect_ident()?);
+        while c.eat_sym(",") {
+            group_by.push(c.expect_ident()?);
+        }
+    }
+    let mut order_by: Vec<SortSpec> = Vec::new();
+    if c.eat_kw("order") {
+        c.expect_kw("by")?;
+        loop {
+            let column = c.expect_ident()?;
+            let ascending = if c.eat_kw("desc") {
+                false
+            } else {
+                c.eat_kw("asc");
+                true
+            };
+            order_by.push(SortSpec { column, ascending });
+            if !c.eat_sym(",") {
+                break;
+            }
+        }
+    }
+    let mut limit = None;
+    if c.eat_kw("limit") {
+        limit = Some(c.expect_int()? as usize);
+    }
+    c.expect_end()?;
+
+    // ---- lowering ----
+    let (left_ref, _) = catalog.resolve(&left_table)?.clone();
+    let mut node = program.add_source(Operator::scan(left_ref), subprogram);
+    if let Some((right_table, left_on, right_on)) = join {
+        let (right_ref, _) = catalog.resolve(&right_table)?.clone();
+        let right = program.add_source(Operator::scan(right_ref), subprogram);
+        node = program.add_node(
+            Operator::HashJoin { left_on, right_on },
+            vec![node, right],
+            subprogram,
+        );
+    }
+    if let Some(p) = predicate {
+        node = program.add_node(Operator::Filter { predicate: p }, vec![node], subprogram);
+    }
+    let has_aggs = items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Aggregate(..)));
+    if has_aggs || !group_by.is_empty() {
+        let aggs: Vec<AggSpec> = items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Aggregate(func, column, output) => Some(AggSpec {
+                    func: *func,
+                    column: column.clone(),
+                    output: output.clone(),
+                }),
+                _ => None,
+            })
+            .collect();
+        // Plain columns in an aggregate query must be grouping keys.
+        for i in &items {
+            if let SelectItem::Column(name) = i {
+                if !group_by.contains(name) {
+                    return Err(Error::Semantic(format!(
+                        "column {name} must appear in GROUP BY"
+                    )));
+                }
+            }
+        }
+        node = program.add_node(
+            Operator::GroupBy {
+                keys: group_by,
+                aggs,
+            },
+            vec![node],
+            subprogram,
+        );
+    }
+    if !order_by.is_empty() {
+        node = program.add_node(Operator::Sort { keys: order_by }, vec![node], subprogram);
+    }
+    if !has_aggs {
+        let columns: Vec<String> = items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Column(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect();
+        if !columns.is_empty() {
+            node = program.add_node(Operator::Project { columns }, vec![node], subprogram);
+        }
+    }
+    if let Some(n) = limit {
+        node = program.add_node(Operator::Limit { n }, vec![node], subprogram);
+    }
+    Ok(node)
+}
+
+fn parse_select_list(c: &mut Cursor) -> Result<Vec<SelectItem>> {
+    if c.eat_sym("*") {
+        return Ok(vec![SelectItem::Star]);
+    }
+    let mut items = Vec::new();
+    loop {
+        items.push(parse_select_item(c)?);
+        if !c.eat_sym(",") {
+            break;
+        }
+    }
+    Ok(items)
+}
+
+fn parse_select_item(c: &mut Cursor) -> Result<SelectItem> {
+    let name = c.expect_ident()?;
+    let agg = match name.to_ascii_lowercase().as_str() {
+        "count" => Some(AggFn::Count),
+        "sum" => Some(AggFn::Sum),
+        "avg" => Some(AggFn::Avg),
+        "min" => Some(AggFn::Min),
+        "max" => Some(AggFn::Max),
+        _ => None,
+    };
+    if let Some(func) = agg {
+        if c.eat_sym("(") {
+            let column = if c.eat_sym("*") {
+                "*".to_owned()
+            } else {
+                c.expect_ident()?
+            };
+            c.expect_sym(")")?;
+            let output = if c.eat_kw("as") {
+                c.expect_ident()?
+            } else {
+                format!("{}_{}", name.to_ascii_lowercase(), column.replace('*', "all"))
+            };
+            return Ok(SelectItem::Aggregate(func, column, output));
+        }
+    }
+    Ok(SelectItem::Column(name))
+}
+
+fn parse_table_name(c: &mut Cursor) -> Result<String> {
+    let mut name = c.expect_ident()?;
+    if c.eat_sym(".") {
+        name = format!("{name}.{}", c.expect_ident()?);
+    }
+    Ok(name)
+}
+
+fn parse_qualified_col(c: &mut Cursor) -> Result<String> {
+    let first = c.expect_ident()?;
+    if c.eat_sym(".") {
+        // Strip the table qualifier: our row model uses flat column names.
+        Ok(c.expect_ident()?)
+    } else {
+        Ok(first)
+    }
+}
+
+fn parse_disjunction(c: &mut Cursor) -> Result<Predicate> {
+    let mut p = parse_conjunction(c)?;
+    while c.eat_kw("or") {
+        p = p.or(parse_conjunction(c)?);
+    }
+    Ok(p)
+}
+
+fn parse_conjunction(c: &mut Cursor) -> Result<Predicate> {
+    let mut p = parse_comparison(c)?;
+    while c.eat_kw("and") {
+        p = p.and(parse_comparison(c)?);
+    }
+    Ok(p)
+}
+
+fn parse_comparison(c: &mut Cursor) -> Result<Predicate> {
+    if c.eat_kw("not") {
+        return Ok(parse_comparison(c)?.not());
+    }
+    if c.eat_sym("(") {
+        let p = parse_disjunction(c)?;
+        c.expect_sym(")")?;
+        return Ok(p);
+    }
+    let col = parse_qualified_col(c)?;
+    if c.eat_kw("is") {
+        c.expect_kw("null")?;
+        return Ok(Predicate::IsNull(col));
+    }
+    if c.eat_kw("between") {
+        let lo = parse_literal(c)?;
+        c.expect_kw("and")?;
+        let hi = parse_literal(c)?;
+        return Ok(Predicate::Between(col, lo, hi));
+    }
+    let op = match c.next() {
+        Some(Token::Sym(s)) => s,
+        other => return Err(Error::Parse(format!("expected comparison, found {other:?}"))),
+    };
+    let lit = parse_literal(c)?;
+    Ok(match op.as_str() {
+        "=" => Predicate::Eq(col, lit),
+        "!=" => Predicate::Ne(col, lit),
+        "<" => Predicate::Lt(col, lit),
+        "<=" => Predicate::Le(col, lit),
+        ">" => Predicate::Gt(col, lit),
+        ">=" => Predicate::Ge(col, lit),
+        other => return Err(Error::Parse(format!("unknown operator {other}"))),
+    })
+}
+
+fn parse_literal(c: &mut Cursor) -> Result<Value> {
+    match c.next() {
+        Some(Token::Int(v)) => Ok(Value::Int(v)),
+        Some(Token::Float(v)) => Ok(Value::Float(v)),
+        Some(Token::Str(s)) => Ok(Value::Str(s)),
+        Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+        Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+        Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+        other => Err(Error::Parse(format!("expected literal, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::{DataType, Schema, TableRef};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            TableRef::new("db1", "admissions"),
+            Schema::new(vec![
+                ("pid", DataType::Int),
+                ("age", DataType::Int),
+                ("ward", DataType::Str),
+            ]),
+        );
+        c.register(
+            TableRef::new("db2", "patients"),
+            Schema::new(vec![("pid", DataType::Int), ("name", DataType::Str)]),
+        );
+        c
+    }
+
+    #[test]
+    fn select_star() {
+        let p = parse_to_program("SELECT * FROM admissions", &catalog()).unwrap();
+        assert_eq!(p.nodes().len(), 1);
+        assert_eq!(p.node(p.outputs()[0]).op.name(), "scan");
+    }
+
+    #[test]
+    fn filter_project_limit() {
+        let p = parse_to_program(
+            "SELECT pid, ward FROM admissions WHERE age >= 65 AND ward = 'icu' LIMIT 10",
+            &catalog(),
+        )
+        .unwrap();
+        let names: Vec<&str> = p.nodes().iter().map(|n| n.op.name()).collect();
+        assert_eq!(names, vec!["scan", "filter", "project", "limit"]);
+    }
+
+    #[test]
+    fn join_on_qualified_columns() {
+        let p = parse_to_program(
+            "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid",
+            &catalog(),
+        )
+        .unwrap();
+        let join = p
+            .nodes()
+            .iter()
+            .find(|n| n.op.name() == "hash_join")
+            .unwrap();
+        assert_eq!(join.inputs.len(), 2);
+        match &join.op {
+            Operator::HashJoin { left_on, right_on } => {
+                assert_eq!(left_on, "pid");
+                assert_eq!(right_on, "pid");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let p = parse_to_program(
+            "SELECT ward, count(*) AS n, avg(age) FROM admissions GROUP BY ward",
+            &catalog(),
+        )
+        .unwrap();
+        let gb = p.nodes().iter().find(|n| n.op.name() == "group_by").unwrap();
+        match &gb.op {
+            Operator::GroupBy { keys, aggs } => {
+                assert_eq!(keys, &["ward"]);
+                assert_eq!(aggs.len(), 2);
+                assert_eq!(aggs[0].output, "n");
+                assert_eq!(aggs[1].output, "avg_age");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn order_by_directions() {
+        let p = parse_to_program(
+            "SELECT pid FROM admissions ORDER BY age DESC, pid",
+            &catalog(),
+        )
+        .unwrap();
+        let sort = p.nodes().iter().find(|n| n.op.name() == "sort").unwrap();
+        match &sort.op {
+            Operator::Sort { keys } => {
+                assert!(!keys[0].ascending);
+                assert!(keys[1].ascending);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn where_with_or_and_between() {
+        let p = parse_to_program(
+            "SELECT * FROM admissions WHERE age BETWEEN 60 AND 70 OR ward = 'icu'",
+            &catalog(),
+        )
+        .unwrap();
+        let filter = p.nodes().iter().find(|n| n.op.name() == "filter").unwrap();
+        match &filter.op {
+            Operator::Filter { predicate } => {
+                assert!(matches!(predicate, Predicate::Or(..)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn ungrouped_column_rejected() {
+        let err = parse_to_program(
+            "SELECT ward, count(*) FROM admissions",
+            &catalog(),
+        );
+        assert!(matches!(err, Err(Error::Semantic(_))));
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        assert!(matches!(
+            parse_to_program("SELECT * FROM nope", &catalog()),
+            Err(Error::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        for q in [
+            "SELECT",
+            "SELECT * FROM admissions WHERE",
+            "SELECT * FROM admissions LIMIT x",
+            "SELECT * FROM admissions trailing",
+        ] {
+            assert!(parse_to_program(q, &catalog()).is_err(), "{q}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The timeseries DSL.
+//!
+//! Grammar:
+//!
+//! ```text
+//! WINDOW series FROM lo TO hi WIDTH w AGG (mean|min|max|sum|count|last)
+//! RANGE series FROM lo TO hi
+//! ```
+
+use pspp_common::{Error, Result};
+use pspp_ir::{NodeId, Operator, Program, TsAgg};
+
+use crate::catalog::Catalog;
+use crate::lexer::{lex, Cursor};
+
+/// Lowers a timeseries DSL statement into `program` as a source node.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] on syntax errors or catalog misses.
+pub fn lower_into(
+    statement: &str,
+    catalog: &Catalog,
+    program: &mut Program,
+    subprogram: &str,
+) -> Result<NodeId> {
+    let mut c = Cursor::new(lex(statement)?);
+    if c.eat_kw("window") {
+        let series = c.expect_ident()?;
+        let (table, _) = catalog.resolve(&series)?.clone();
+        c.expect_kw("from")?;
+        let lo = c.expect_int()?;
+        c.expect_kw("to")?;
+        let hi = c.expect_int()?;
+        c.expect_kw("width")?;
+        let width = c.expect_int()?;
+        c.expect_kw("agg")?;
+        let agg = parse_agg(&c.expect_ident()?)?;
+        c.expect_end()?;
+        return Ok(program.add_source(
+            Operator::TsWindow {
+                table,
+                lo,
+                hi,
+                width,
+                agg,
+            },
+            subprogram,
+        ));
+    }
+    if c.eat_kw("range") {
+        let series = c.expect_ident()?;
+        let (table, _) = catalog.resolve(&series)?.clone();
+        c.expect_kw("from")?;
+        let lo = c.expect_int()?;
+        c.expect_kw("to")?;
+        let hi = c.expect_int()?;
+        c.expect_end()?;
+        return Ok(program.add_source(Operator::TsRange { table, lo, hi }, subprogram));
+    }
+    Err(Error::Parse(format!(
+        "unknown timeseries statement: {statement:?}"
+    )))
+}
+
+fn parse_agg(name: &str) -> Result<TsAgg> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "mean" | "avg" => TsAgg::Mean,
+        "min" => TsAgg::Min,
+        "max" => TsAgg::Max,
+        "sum" => TsAgg::Sum,
+        "count" => TsAgg::Count,
+        "last" => TsAgg::Last,
+        other => return Err(Error::Parse(format!("unknown aggregate {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::{Schema, TableRef};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(TableRef::new("ts", "heart_rate"), Schema::empty());
+        c
+    }
+
+    #[test]
+    fn window_statement() {
+        let mut p = Program::new();
+        let n = lower_into(
+            "WINDOW heart_rate FROM 0 TO 86400 WIDTH 3600 AGG mean",
+            &catalog(),
+            &mut p,
+            "ts",
+        )
+        .unwrap();
+        match &p.node(n).op {
+            Operator::TsWindow {
+                lo, hi, width, agg, ..
+            } => {
+                assert_eq!((*lo, *hi, *width), (0, 86_400, 3_600));
+                assert_eq!(*agg, TsAgg::Mean);
+            }
+            _ => panic!("wrong op"),
+        }
+    }
+
+    #[test]
+    fn range_statement() {
+        let mut p = Program::new();
+        let n = lower_into("RANGE heart_rate FROM 10 TO 20", &catalog(), &mut p, "ts").unwrap();
+        assert_eq!(p.node(n).op.name(), "ts_range");
+    }
+
+    #[test]
+    fn errors() {
+        let mut p = Program::new();
+        for q in [
+            "WINDOW heart_rate FROM 0 TO 10 WIDTH 5 AGG median",
+            "WINDOW missing FROM 0 TO 10 WIDTH 5 AGG mean",
+            "SLIDE heart_rate",
+        ] {
+            assert!(lower_into(q, &catalog(), &mut p, "ts").is_err(), "{q}");
+        }
+    }
+}

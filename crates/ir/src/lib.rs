@@ -1,0 +1,53 @@
+//! The hierarchical intermediate representation (Fig. 5, §IV-B.1).
+//!
+//! "One approach is to have a hierarchical IR consisting of control nodes
+//! and each control node may have a data-flow graph for an operator."
+//! This crate implements exactly that: a [`Program`] is a DAG of typed
+//! [`Operator`] nodes, each tagged with the *subprogram* it came from
+//! (the control level — one subprogram per source language/engine in the
+//! heterogeneous program) while the node edges form the data-flow level.
+//!
+//! The optimizer rewrites the graph (L1), annotates placements
+//! ([`Annotations`]: engine + device per node), and the executor walks it
+//! in topological stages.
+//!
+//! # Examples
+//!
+//! ```
+//! use pspp_ir::{Program, Operator};
+//! use pspp_common::{Predicate, TableRef};
+//!
+//! let mut p = Program::new();
+//! let scan = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+//! let filter = p.add_node(Operator::Filter { predicate: Predicate::gt("age", 64i64) }, vec![scan], "sql");
+//! p.mark_output(filter);
+//! assert_eq!(p.topo_order().unwrap().len(), 2);
+//! ```
+
+pub mod graph;
+pub mod op;
+
+pub use graph::{NodeId, Program, ProgramNode};
+pub use op::{AggFn, AggSpec, Operator, SortSpec, TextSearchMode, TsAgg};
+
+use serde::{Deserialize, Serialize};
+
+use pspp_common::{DeviceKind, EngineId};
+
+/// Per-node plan annotations filled in by the optimizer (§IV-B.3:
+/// "the core must decide where each task should be assigned").
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Annotations {
+    /// The engine instance that executes the node (None = middleware).
+    pub engine: Option<EngineId>,
+    /// The computing unit the node's kernel runs on.
+    pub device: Option<DeviceKind>,
+    /// Estimated output rows.
+    pub est_rows: Option<f64>,
+    /// Estimated output bytes.
+    pub est_bytes: Option<f64>,
+    /// Estimated execution seconds (simulated).
+    pub est_seconds: Option<f64>,
+    /// Whether this node was fused into its consumer by L1 rewrites.
+    pub fused_into_consumer: bool,
+}

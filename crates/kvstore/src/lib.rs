@@ -1,0 +1,315 @@
+//! A key/value data-processing engine (Accumulo/Redis-like substrate).
+//!
+//! One of the paper's heterogeneous data stores (Fig. 1 pairs an RDBMS
+//! with a key/value store and a timeseries store). Supports versioned
+//! puts, point gets, deletes, prefix and range scans, and TTL expiry
+//! against a logical clock. Every operation posts simulated CPU cost to
+//! the shared [`CostLedger`].
+//!
+//! # Examples
+//!
+//! ```
+//! use pspp_kvstore::KvStore;
+//! use pspp_common::Value;
+//!
+//! let mut kv = KvStore::new("profiles");
+//! kv.put("user:1", Value::from("ada"));
+//! assert_eq!(kv.get("user:1"), Some(&Value::Str("ada".into())));
+//! assert_eq!(kv.get("user:2"), None);
+//! ```
+
+use std::collections::BTreeMap;
+
+use pspp_accel::kernels::KernelReport;
+use pspp_accel::{CostLedger, DeviceProfile, KernelClass};
+use pspp_common::{EngineId, Row, Value};
+
+/// Maximum versions retained per key.
+const MAX_VERSIONS: usize = 4;
+
+/// One stored version of a value.
+#[derive(Debug, Clone, PartialEq)]
+struct Versioned {
+    value: Value,
+    /// Logical write time.
+    written_at: u64,
+    /// Expiry tick (None = immortal).
+    expires_at: Option<u64>,
+}
+
+/// The key/value engine.
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    id: EngineId,
+    data: BTreeMap<String, Vec<Versioned>>,
+    clock: u64,
+    ledger: CostLedger,
+    cpu: DeviceProfile,
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new(id: impl Into<EngineId>) -> Self {
+        KvStore {
+            id: id.into(),
+            data: BTreeMap::new(),
+            clock: 0,
+            ledger: CostLedger::new(),
+            cpu: DeviceProfile::cpu(),
+        }
+    }
+
+    /// Attaches a shared cost ledger.
+    pub fn with_ledger(mut self, ledger: CostLedger) -> Self {
+        self.ledger = ledger;
+        self
+    }
+
+    /// The engine id.
+    pub fn id(&self) -> &EngineId {
+        &self.id
+    }
+
+    /// The ledger this engine posts to.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the logical clock (expiring TTL'd entries lazily on read).
+    pub fn tick(&mut self, by: u64) {
+        self.clock += by;
+    }
+
+    /// Writes a new version of `key`.
+    pub fn put(&mut self, key: impl Into<String>, value: Value) {
+        self.put_with_ttl(key, value, None);
+    }
+
+    /// Writes a version that expires `ttl` ticks from now.
+    pub fn put_with_ttl(&mut self, key: impl Into<String>, value: Value, ttl: Option<u64>) {
+        let key = key.into();
+        let bytes = (key.len() + value.byte_size()) as u64;
+        let versions = self.data.entry(key).or_default();
+        versions.push(Versioned {
+            value,
+            written_at: self.clock,
+            expires_at: ttl.map(|t| self.clock + t),
+        });
+        if versions.len() > MAX_VERSIONS {
+            versions.remove(0);
+        }
+        self.charge("kvstore.put", 1, bytes, 60);
+    }
+
+    /// The live value for `key`, if present and unexpired.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.charge("kvstore.get", 1, key.len() as u64, 50);
+        let v = self.data.get(key)?.last()?;
+        match v.expires_at {
+            Some(t) if t <= self.clock => None,
+            _ => Some(&v.value),
+        }
+    }
+
+    /// The value as of logical time `at` (time-travel read).
+    pub fn get_at(&self, key: &str, at: u64) -> Option<&Value> {
+        self.charge("kvstore.get_at", 1, key.len() as u64, 80);
+        let versions = self.data.get(key)?;
+        versions
+            .iter()
+            .rev()
+            .find(|v| v.written_at <= at && v.expires_at.map_or(true, |t| t > at))
+            .map(|v| &v.value)
+    }
+
+    /// Removes a key entirely. Returns whether it existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        self.charge("kvstore.delete", 1, key.len() as u64, 60);
+        self.data.remove(key).is_some()
+    }
+
+    /// Number of live keys (expired keys included until compaction).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// All live `(key, value)` pairs with keys starting with `prefix`.
+    pub fn scan_prefix(&self, prefix: &str) -> Vec<(&str, &Value)> {
+        let out: Vec<(&str, &Value)> = self
+            .data
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(k, vs)| {
+                let v = vs.last()?;
+                match v.expires_at {
+                    Some(t) if t <= self.clock => None,
+                    _ => Some((k.as_str(), &v.value)),
+                }
+            })
+            .collect();
+        let bytes: u64 = out.iter().map(|(k, v)| (k.len() + v.byte_size()) as u64).sum();
+        self.charge("kvstore.scan", out.len() as u64, bytes, 40 + out.len() as u64 * 8);
+        out
+    }
+
+    /// All live pairs in `[lo, hi)` key order.
+    pub fn scan_range(&self, lo: &str, hi: &str) -> Vec<(&str, &Value)> {
+        let out: Vec<(&str, &Value)> = self
+            .data
+            .range(lo.to_owned()..hi.to_owned())
+            .filter_map(|(k, vs)| {
+                let v = vs.last()?;
+                match v.expires_at {
+                    Some(t) if t <= self.clock => None,
+                    _ => Some((k.as_str(), &v.value)),
+                }
+            })
+            .collect();
+        let bytes: u64 = out.iter().map(|(k, v)| (k.len() + v.byte_size()) as u64).sum();
+        self.charge("kvstore.scan", out.len() as u64, bytes, 40 + out.len() as u64 * 8);
+        out
+    }
+
+    /// Drops expired versions and empty keys; returns reclaimed entries.
+    pub fn compact(&mut self) -> usize {
+        let clock = self.clock;
+        let mut reclaimed = 0;
+        self.data.retain(|_, vs| {
+            let before = vs.len();
+            vs.retain(|v| v.expires_at.map_or(true, |t| t > clock));
+            reclaimed += before - vs.len();
+            !vs.is_empty()
+        });
+        self.charge("kvstore.compact", reclaimed as u64, 0, 100 + reclaimed as u64 * 20);
+        reclaimed
+    }
+
+    /// Exports live pairs as two-column rows (`key: Str`, `value`), the
+    /// relational projection of the KV model used by the data migrator.
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.data
+            .iter()
+            .filter_map(|(k, vs)| {
+                let v = vs.last()?;
+                match v.expires_at {
+                    Some(t) if t <= self.clock => None,
+                    _ => Some(Row::from(vec![Value::from(k.clone()), v.value.clone()])),
+                }
+            })
+            .collect()
+    }
+
+    fn charge(&self, component: &str, elems: u64, bytes: u64, cycles: u64) {
+        KernelReport::charge(
+            &self.cpu,
+            KernelClass::FilterProject,
+            elems,
+            bytes,
+            cycles,
+            Some(&self.ledger),
+            component,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = KvStore::new("kv");
+        kv.put("a", Value::Int(1));
+        assert_eq!(kv.get("a"), Some(&Value::Int(1)));
+        assert!(kv.delete("a"));
+        assert!(!kv.delete("a"));
+        assert_eq!(kv.get("a"), None);
+    }
+
+    #[test]
+    fn versions_overwrite_and_time_travel() {
+        let mut kv = KvStore::new("kv");
+        kv.put("k", Value::Int(1));
+        kv.tick(10);
+        kv.put("k", Value::Int(2));
+        assert_eq!(kv.get("k"), Some(&Value::Int(2)));
+        assert_eq!(kv.get_at("k", 5), Some(&Value::Int(1)));
+        assert_eq!(kv.get_at("k", 10), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn version_cap_enforced() {
+        let mut kv = KvStore::new("kv");
+        for i in 0..10 {
+            kv.tick(1);
+            kv.put("k", Value::Int(i));
+        }
+        // Oldest surviving version is 10 - MAX_VERSIONS.
+        assert_eq!(kv.get_at("k", 7), Some(&Value::Int(6)));
+        assert_eq!(kv.get_at("k", 5), None);
+    }
+
+    #[test]
+    fn ttl_expiry_and_compaction() {
+        let mut kv = KvStore::new("kv");
+        kv.put_with_ttl("session", Value::Bool(true), Some(5));
+        kv.put("forever", Value::Bool(true));
+        assert!(kv.get("session").is_some());
+        kv.tick(5);
+        assert!(kv.get("session").is_none());
+        assert!(kv.get("forever").is_some());
+        let reclaimed = kv.compact();
+        assert_eq!(reclaimed, 1);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn prefix_and_range_scans() {
+        let mut kv = KvStore::new("kv");
+        for (k, v) in [("user:1", 1i64), ("user:2", 2), ("item:9", 9)] {
+            kv.put(k, Value::Int(v));
+        }
+        let users = kv.scan_prefix("user:");
+        assert_eq!(users.len(), 2);
+        assert_eq!(users[0].0, "user:1");
+        let range = kv.scan_range("item:", "user:");
+        assert_eq!(range.len(), 1);
+    }
+
+    #[test]
+    fn expired_keys_hidden_from_scans() {
+        let mut kv = KvStore::new("kv");
+        kv.put_with_ttl("user:1", Value::Int(1), Some(1));
+        kv.put("user:2", Value::Int(2));
+        kv.tick(2);
+        assert_eq!(kv.scan_prefix("user:").len(), 1);
+        assert_eq!(kv.to_rows().len(), 1);
+    }
+
+    #[test]
+    fn costs_are_charged() {
+        let mut kv = KvStore::new("kv");
+        kv.put("a", Value::Int(1));
+        kv.get("a");
+        assert!(kv.ledger().len() >= 2);
+    }
+
+    #[test]
+    fn rows_export_shape() {
+        let mut kv = KvStore::new("kv");
+        kv.put("a", Value::Int(1));
+        let rows = kv.to_rows();
+        assert_eq!(rows[0].len(), 2);
+        assert_eq!(rows[0][0], Value::from("a"));
+    }
+}

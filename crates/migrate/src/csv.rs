@@ -1,0 +1,177 @@
+//! A real CSV codec: the naive migration path's data plane.
+
+use pspp_common::{Batch, DataType, Error, Result, Row, Schema, Value};
+
+/// Encodes a batch as CSV text (header + one line per row).
+pub fn encode(batch: &Batch) -> String {
+    let mut out = String::new();
+    out.push_str(&batch.schema().names().join(","));
+    out.push('\n');
+    for row in batch.to_rows() {
+        let mut first = true;
+        for v in row.values() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match v {
+                Value::Null => {}
+                Value::Str(s) => {
+                    out.push('"');
+                    out.push_str(&s.replace('"', "\"\""));
+                    out.push('"');
+                }
+                other => out.push_str(&other.to_string()),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text produced by [`encode`] back into rows, coercing each
+/// field to the schema's type.
+///
+/// # Errors
+///
+/// Returns [`Error::Migration`] on header mismatch or unparseable
+/// fields.
+pub fn decode(schema: &Schema, text: &str) -> Result<Vec<Row>> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Migration("empty csv".into()))?;
+    if header != schema.names().join(",") {
+        return Err(Error::Migration(format!("header mismatch: {header}")));
+    }
+    let mut rows = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(line);
+        if fields.len() != schema.arity() {
+            return Err(Error::Migration(format!(
+                "expected {} fields, got {} in {line:?}",
+                schema.arity(),
+                fields.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for ((field, quoted), spec) in fields.iter().zip(schema.fields()) {
+            row.push(parse_field(field, *quoted, spec.data_type)?);
+        }
+        rows.push(Row::from(row));
+    }
+    Ok(rows)
+}
+
+/// Splits one CSV line into `(content, was_quoted)` fields; quoting
+/// distinguishes the empty string from an absent (NULL) value.
+fn split_csv_line(line: &str) -> Vec<(String, bool)> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut saw_quote = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => {
+                in_quotes = !in_quotes;
+                saw_quote = true;
+            }
+            ',' if !in_quotes => {
+                fields.push((std::mem::take(&mut cur), saw_quote));
+                saw_quote = false;
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push((cur, saw_quote));
+    fields
+}
+
+fn parse_field(text: &str, quoted: bool, data_type: DataType) -> Result<Value> {
+    if text.is_empty() && !quoted {
+        return Ok(Value::Null);
+    }
+    let err = |t: &str| Error::Migration(format!("cannot parse {text:?} as {t}"));
+    Ok(match data_type {
+        DataType::Int => Value::Int(text.parse().map_err(|_| err("int"))?),
+        DataType::Float => Value::Float(text.parse().map_err(|_| err("float"))?),
+        DataType::Bool => Value::Bool(text.parse().map_err(|_| err("bool"))?),
+        DataType::Str => Value::Str(text.to_owned()),
+        DataType::Bytes => Value::Bytes(text.as_bytes().to_vec()),
+        DataType::Timestamp => Value::Timestamp(
+            text.trim_start_matches('@').parse().map_err(|_| err("timestamp"))?,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::row;
+
+    fn batch() -> Batch {
+        let schema = Schema::new(vec![
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("w", DataType::Float),
+            ("ok", DataType::Bool),
+            ("at", DataType::Timestamp),
+        ]);
+        Batch::from_rows(
+            &schema,
+            vec![
+                row![1i64, "plain", 0.5, true, Value::Timestamp(99)],
+                row![2i64, "with,comma", -1.25, false, Value::Timestamp(0)],
+                row![3i64, "with\"quote", 2.0, true, Value::Timestamp(-5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_commas_and_quotes() {
+        let b = batch();
+        let text = encode(&b);
+        let rows = decode(b.schema(), &text).unwrap();
+        assert_eq!(rows, b.to_rows());
+    }
+
+    #[test]
+    fn nulls_roundtrip_as_empty_fields() {
+        let schema = Schema::new(vec![("a", DataType::Int), ("b", DataType::Str)]);
+        let b = Batch::from_rows(
+            &schema,
+            vec![Row::from(vec![Value::Null, Value::from("x")])],
+        )
+        .unwrap();
+        let rows = decode(b.schema(), &encode(&b)).unwrap();
+        assert_eq!(rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let b = batch();
+        assert!(decode(b.schema(), "x,y\n1,2\n").is_err());
+    }
+
+    #[test]
+    fn bad_field_count_rejected() {
+        let b = batch();
+        let text = format!("{}\n1,only_two\n", b.schema().names().join(","));
+        assert!(decode(b.schema(), &text).is_err());
+    }
+
+    #[test]
+    fn type_errors_rejected() {
+        let schema = Schema::new(vec![("a", DataType::Int)]);
+        assert!(decode(&schema, "a\nnot_a_number\n").is_err());
+    }
+}

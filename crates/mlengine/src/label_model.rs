@@ -1,0 +1,273 @@
+//! Snorkel-style weak supervision (Fig. 3, reference [14]).
+//!
+//! The paper's Fig. 3 shows Snorkel's pipeline: unlabeled data in an
+//! RDBMS, labeling functions producing noisy votes, and a label model
+//! turning votes into probabilistic training labels for the ML engine.
+//! This module implements the label model: per-function accuracies are
+//! estimated by agreement-weighted EM, and examples get probabilistic
+//! labels via a weighted (log-odds) vote.
+
+use pspp_common::{Error, Result};
+
+/// A labeling function's vote on one example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vote {
+    /// No opinion.
+    Abstain,
+    /// Vote for the negative class.
+    Negative,
+    /// Vote for the positive class.
+    Positive,
+}
+
+impl Vote {
+    fn as_sign(self) -> Option<f64> {
+        match self {
+            Vote::Abstain => None,
+            Vote::Negative => Some(-1.0),
+            Vote::Positive => Some(1.0),
+        }
+    }
+}
+
+/// A named labeling function: any heuristic mapping an example to a
+/// [`Vote`] (regex matches, threshold rules, dictionary lookups...).
+pub struct LabelingFunction<T> {
+    /// Human-readable name.
+    pub name: String,
+    /// The heuristic.
+    pub func: Box<dyn Fn(&T) -> Vote + Send + Sync>,
+}
+
+impl<T> LabelingFunction<T> {
+    /// Wraps a closure.
+    pub fn new(name: impl Into<String>, func: impl Fn(&T) -> Vote + Send + Sync + 'static) -> Self {
+        LabelingFunction {
+            name: name.into(),
+            func: Box::new(func),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for LabelingFunction<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LabelingFunction({})", self.name)
+    }
+}
+
+/// The trained label model: one weight per labeling function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelModel {
+    /// Estimated accuracy per function, in (0.5, 1).
+    pub accuracies: Vec<f64>,
+    /// Log-odds weight per function.
+    pub weights: Vec<f64>,
+}
+
+impl LabelModel {
+    /// Fits the model on a vote matrix (`votes[example][function]`) by
+    /// agreement-weighted EM: initialize all accuracies at 0.7, compute
+    /// probabilistic labels, re-estimate each function's accuracy against
+    /// them, repeat.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] for an empty or ragged vote matrix.
+    pub fn fit(votes: &[Vec<Vote>], iterations: usize) -> Result<LabelModel> {
+        let n = votes.len();
+        let m = votes.first().map(Vec::len).unwrap_or(0);
+        if n == 0 || m == 0 {
+            return Err(Error::Invalid("empty vote matrix".into()));
+        }
+        if votes.iter().any(|r| r.len() != m) {
+            return Err(Error::Invalid("ragged vote matrix".into()));
+        }
+
+        let mut acc = vec![0.7f64; m];
+        for _ in 0..iterations.max(1) {
+            let weights: Vec<f64> = acc.iter().map(|&a| Self::log_odds(a)).collect();
+            // E-step: probabilistic labels under current weights.
+            let probs: Vec<f64> = votes
+                .iter()
+                .map(|row| Self::combine(row, &weights))
+                .collect();
+            // M-step: accuracy of each function against soft labels.
+            for j in 0..m {
+                let mut agree = 0.0;
+                let mut total = 0.0;
+                for (row, &p) in votes.iter().zip(&probs) {
+                    let Some(sign) = row[j].as_sign() else { continue };
+                    // Probability this vote matches the soft label.
+                    let match_p = if sign > 0.0 { p } else { 1.0 - p };
+                    agree += match_p;
+                    total += 1.0;
+                }
+                if total > 0.0 {
+                    // Clamp away from 0.5/1.0 for stable log-odds.
+                    acc[j] = (agree / total).clamp(0.55, 0.95);
+                }
+            }
+        }
+        let weights = acc.iter().map(|&a| Self::log_odds(a)).collect();
+        Ok(LabelModel {
+            accuracies: acc,
+            weights,
+        })
+    }
+
+    /// Probabilistic label for one example's votes.
+    pub fn predict_proba(&self, row: &[Vote]) -> f64 {
+        Self::combine(row, &self.weights)
+    }
+
+    /// Probabilistic labels for a vote matrix.
+    pub fn predict(&self, votes: &[Vec<Vote>]) -> Vec<f64> {
+        votes.iter().map(|r| self.predict_proba(r)).collect()
+    }
+
+    /// Applies labeling functions to data, producing the vote matrix.
+    pub fn apply_functions<T>(functions: &[LabelingFunction<T>], data: &[T]) -> Vec<Vec<Vote>> {
+        data.iter()
+            .map(|x| functions.iter().map(|lf| (lf.func)(x)).collect())
+            .collect()
+    }
+
+    fn log_odds(acc: f64) -> f64 {
+        (acc / (1.0 - acc)).ln()
+    }
+
+    fn combine(row: &[Vote], weights: &[f64]) -> f64 {
+        let score: f64 = row
+            .iter()
+            .zip(weights)
+            .filter_map(|(v, w)| v.as_sign().map(|s| s * w))
+            .sum();
+        1.0 / (1.0 + (-score).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::SplitMix64;
+
+    /// Synthetic task: true label = x > 0; three LFs with different
+    /// accuracies and one near-random LF.
+    fn synthetic() -> (Vec<f64>, Vec<Vec<Vote>>) {
+        let mut rng = SplitMix64::new(99);
+        let mut labels = Vec::new();
+        let mut votes = Vec::new();
+        for _ in 0..500 {
+            let x = rng.next_range(-1.0, 1.0);
+            let y = if x > 0.0 { 1.0 } else { 0.0 };
+            labels.push(y);
+            let vote = |acc: f64, rng: &mut SplitMix64| {
+                if rng.next_f64() < 0.2 {
+                    Vote::Abstain
+                } else if rng.next_f64() < acc {
+                    if y > 0.5 { Vote::Positive } else { Vote::Negative }
+                } else if y > 0.5 {
+                    Vote::Negative
+                } else {
+                    Vote::Positive
+                }
+            };
+            votes.push(vec![
+                vote(0.9, &mut rng),
+                vote(0.8, &mut rng),
+                vote(0.7, &mut rng),
+                vote(0.52, &mut rng),
+            ]);
+        }
+        (labels, votes)
+    }
+
+    #[test]
+    fn fit_orders_function_accuracies() {
+        let (_, votes) = synthetic();
+        let model = LabelModel::fit(&votes, 10).unwrap();
+        assert!(model.accuracies[0] > model.accuracies[3]);
+        assert!(model.weights[0] > model.weights[3]);
+    }
+
+    #[test]
+    fn weighted_vote_beats_single_function() {
+        let (labels, votes) = synthetic();
+        let model = LabelModel::fit(&votes, 10).unwrap();
+        let probs = model.predict(&votes);
+        let acc_model = accuracy(&labels, &probs);
+        // Accuracy of using only LF-2 (0.7 accurate) directly.
+        let lf2: Vec<f64> = votes
+            .iter()
+            .map(|r| match r[2] {
+                Vote::Positive => 1.0,
+                Vote::Negative => 0.0,
+                Vote::Abstain => 0.5,
+            })
+            .collect();
+        let acc_lf2 = accuracy(&labels, &lf2);
+        assert!(
+            acc_model > acc_lf2 + 0.05,
+            "model {acc_model} vs lf2 {acc_lf2}"
+        );
+        assert!(acc_model > 0.85);
+    }
+
+    #[test]
+    fn abstain_only_rows_give_uncertain_labels() {
+        let votes = vec![vec![Vote::Abstain, Vote::Abstain]; 3];
+        let model = LabelModel {
+            accuracies: vec![0.8, 0.8],
+            weights: vec![1.0, 1.0],
+        };
+        for p in model.predict(&votes) {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(LabelModel::fit(&[], 5).is_err());
+        assert!(LabelModel::fit(&[vec![]], 5).is_err());
+        assert!(LabelModel::fit(
+            &[vec![Vote::Positive], vec![Vote::Positive, Vote::Negative]],
+            5
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn apply_functions_builds_matrix() {
+        let lfs = vec![
+            LabelingFunction::new("positive_if_big", |x: &i64| {
+                if *x > 10 {
+                    Vote::Positive
+                } else {
+                    Vote::Abstain
+                }
+            }),
+            LabelingFunction::new("negative_if_negative", |x: &i64| {
+                if *x < 0 {
+                    Vote::Negative
+                } else {
+                    Vote::Abstain
+                }
+            }),
+        ];
+        let data = vec![20i64, -5, 3];
+        let votes = LabelModel::apply_functions(&lfs, &data);
+        assert_eq!(votes[0], vec![Vote::Positive, Vote::Abstain]);
+        assert_eq!(votes[1], vec![Vote::Abstain, Vote::Negative]);
+        assert_eq!(votes[2], vec![Vote::Abstain, Vote::Abstain]);
+        assert_eq!(format!("{:?}", lfs[0]), "LabelingFunction(positive_if_big)");
+    }
+
+    fn accuracy(labels: &[f64], probs: &[f64]) -> f64 {
+        labels
+            .iter()
+            .zip(probs)
+            .filter(|(y, p)| (**p >= 0.5) == (**y >= 0.5))
+            .count() as f64
+            / labels.len() as f64
+    }
+}

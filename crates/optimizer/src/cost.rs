@@ -1,0 +1,542 @@
+//! Cardinality estimation, per-device operator costing, and placement
+//! (§IV-B.3: "the core must decide where each task should be assigned").
+//!
+//! The cost model reuses the accelerator kernel cycle models, so the
+//! optimizer's predictions and the executor's charges come from one
+//! source of truth; prediction error then comes only from cardinality
+//! estimation (measured by experiment E15).
+
+use std::collections::HashMap;
+
+use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
+use pspp_accel::{AcceleratorFleet, Interconnect, KernelClass, SimDuration};
+use pspp_common::{DataModel, DeviceKind, Result, TableRef};
+use pspp_ir::{NodeId, Operator, Program};
+
+use crate::rewrite::resolve_fused;
+
+/// Base statistics for one stored dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableStats {
+    /// Row (or element) count.
+    pub rows: f64,
+    /// Mean row payload bytes.
+    pub row_bytes: f64,
+}
+
+impl Default for TableStats {
+    fn default() -> Self {
+        TableStats {
+            rows: 10_000.0,
+            row_bytes: 64.0,
+        }
+    }
+}
+
+/// The outcome of placement: per-node device/cost plus plan totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementPlan {
+    /// Estimated per-node execution seconds, indexed by node id.
+    pub node_seconds: HashMap<NodeId, f64>,
+    /// Estimated migration seconds across cross-engine edges.
+    pub migration_seconds: f64,
+    /// Estimated total (sequential) plan seconds.
+    pub total_seconds: f64,
+    /// Nodes offloaded to accelerators.
+    pub offloaded: usize,
+}
+
+/// The optimizer cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    fleet: AcceleratorFleet,
+    stats: HashMap<TableRef, TableStats>,
+    /// Cross-engine migration link.
+    pub migration_link: Interconnect,
+}
+
+impl CostModel {
+    /// Creates a model over a fleet and dataset statistics.
+    pub fn new(fleet: AcceleratorFleet, stats: HashMap<TableRef, TableStats>) -> Self {
+        CostModel {
+            fleet,
+            stats,
+            migration_link: Interconnect::network_10g(),
+        }
+    }
+
+    /// The fleet used for estimates.
+    pub fn fleet(&self) -> &AcceleratorFleet {
+        &self.fleet
+    }
+
+    /// Registers statistics for a dataset.
+    pub fn set_stats(&mut self, table: TableRef, stats: TableStats) {
+        self.stats.insert(table, stats);
+    }
+
+    /// Kernel class an operator maps to, when offloadable.
+    pub fn kernel_of(op: &Operator) -> Option<KernelClass> {
+        Some(match op {
+            Operator::Scan { .. } | Operator::Filter { .. } | Operator::KvPrefixScan { .. } => {
+                KernelClass::FilterProject
+            }
+            Operator::Project { .. } | Operator::Limit { .. } => KernelClass::FilterProject,
+            Operator::Sort { .. } => KernelClass::Sort,
+            Operator::HashJoin { .. } => KernelClass::HashPartition,
+            Operator::SortMergeJoin { .. } => KernelClass::Sort,
+            Operator::GroupBy { .. } | Operator::TsWindow { .. } | Operator::StreamWindow { .. } => {
+                KernelClass::Aggregate
+            }
+            Operator::TsRange { .. } => KernelClass::FilterProject,
+            Operator::GraphMatch { .. } => KernelClass::GraphTraverse,
+            Operator::TextSearch { .. } => KernelClass::FilterProject,
+            Operator::TrainMlp { .. } => KernelClass::Gemm,
+            Operator::Predict => KernelClass::Gemv,
+            Operator::KMeansCluster { .. } => KernelClass::KMeans,
+            Operator::Custom { .. } => return None,
+        })
+    }
+
+    /// Fills `est_rows`/`est_bytes` annotations in topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pspp_common::Error::Semantic`] on cyclic programs.
+    pub fn estimate_cardinalities(&self, program: &mut Program) -> Result<()> {
+        let order = program.topo_order()?;
+        for id in order {
+            let node = program.node(id).clone();
+            let input_est: Vec<(f64, f64)> = node
+                .inputs
+                .iter()
+                .map(|&i| {
+                    let n = program.node(resolve_fused(program, i));
+                    (
+                        n.annotations.est_rows.unwrap_or(1_000.0),
+                        n.annotations.est_bytes.unwrap_or(64_000.0),
+                    )
+                })
+                .collect();
+            let (rows, bytes) = self.estimate_node(&node.op, &input_est);
+            let ann = &mut program.node_mut(id).annotations;
+            ann.est_rows = Some(rows);
+            ann.est_bytes = Some(bytes);
+        }
+        Ok(())
+    }
+
+    fn estimate_node(&self, op: &Operator, inputs: &[(f64, f64)]) -> (f64, f64) {
+        let stats_for = |t: &TableRef| self.stats.get(t).copied().unwrap_or_default();
+        match op {
+            Operator::Scan {
+                table,
+                predicate,
+                projection,
+            } => {
+                let s = stats_for(table);
+                let rows = (s.rows * predicate.selectivity()).max(1.0);
+                let width = if projection.is_some() {
+                    s.row_bytes * 0.5
+                } else {
+                    s.row_bytes
+                };
+                (rows, rows * width)
+            }
+            Operator::KvPrefixScan { table, .. } => {
+                let s = stats_for(table);
+                (s.rows * 0.1, s.rows * 0.1 * s.row_bytes)
+            }
+            Operator::TsRange { table, lo, hi } => {
+                let s = stats_for(table);
+                let frac = (((hi - lo) as f64) / 86_400.0).clamp(0.01, 1.0);
+                (s.rows * frac, s.rows * frac * 16.0)
+            }
+            Operator::TsWindow { lo, hi, width, .. } => {
+                let windows = (((hi - lo) / width.max(&1)) as f64).max(1.0);
+                (windows, windows * 16.0)
+            }
+            Operator::StreamWindow { lo, hi, width, .. } => {
+                let windows = (((hi - lo) / width.max(&1)) as f64).max(1.0);
+                (windows, windows * 16.0)
+            }
+            Operator::GraphMatch { table, steps, .. } => {
+                let s = stats_for(table);
+                let fanout = 3.0f64.powi(steps.len() as i32);
+                let rows = (s.rows * 0.1 * fanout).max(1.0);
+                (rows, rows * 24.0)
+            }
+            Operator::TextSearch { table, mode, .. } => {
+                let s = stats_for(table);
+                let rows = match mode {
+                    pspp_ir::TextSearchMode::Ranked(k) => (*k as f64).min(s.rows),
+                    _ => s.rows * 0.1,
+                };
+                (rows, rows * 16.0)
+            }
+            Operator::Filter { predicate } => {
+                let (r, b) = inputs[0];
+                let sel = predicate.selectivity();
+                (r * sel, b * sel)
+            }
+            Operator::Project { columns } => {
+                let (r, b) = inputs[0];
+                let frac = (columns.len() as f64 * 0.15).min(1.0);
+                (r, b * frac)
+            }
+            Operator::Sort { .. } => inputs[0],
+            Operator::HashJoin { .. } | Operator::SortMergeJoin { .. } => {
+                let (lr, lb) = inputs[0];
+                let (rr, rb) = inputs[1];
+                let rows = (lr.max(rr) * 1.2).max(1.0);
+                let width = (lb / lr.max(1.0)) + (rb / rr.max(1.0));
+                (rows, rows * width)
+            }
+            Operator::GroupBy { .. } => {
+                let (r, b) = inputs[0];
+                ((r * 0.1).max(1.0), (b * 0.1).max(16.0))
+            }
+            Operator::Limit { n } => {
+                let (r, b) = inputs[0];
+                let rows = (*n as f64).min(r);
+                (rows, b * rows / r.max(1.0))
+            }
+            Operator::TrainMlp { .. } => (1.0, 4096.0), // the model itself
+            Operator::Predict => inputs[0],
+            Operator::KMeansCluster { k, .. } => {
+                let (r, _) = inputs[0];
+                (r, r * 8.0 + *k as f64 * 64.0)
+            }
+            Operator::Custom { .. } => inputs.first().copied().unwrap_or((1.0, 64.0)),
+        }
+    }
+
+    /// Estimated execution seconds of `op` on `device`, including the
+    /// coprocessor transfer where applicable.
+    pub fn node_cost(&self, op: &Operator, device: DeviceKind, est_rows: f64, est_bytes: f64) -> Option<SimDuration> {
+        let kernel = Self::kernel_of(op)?;
+        let profile = self.fleet.profile(device)?;
+        if !profile.supports(kernel) || profile.efficiency(kernel) <= 0.0 {
+            return None;
+        }
+        let n = est_rows.max(1.0) as u64;
+        let cycles = match op {
+            Operator::Sort { .. } | Operator::SortMergeJoin { .. } => {
+                BitonicSorter::cycles(profile, n)
+            }
+            Operator::TrainMlp {
+                hidden,
+                epochs,
+                batch_size: _,
+                ..
+            } => {
+                // epochs × (forward + backward ≈ 6×) GEMM flops.
+                let dim = (est_bytes / est_rows.max(1.0) / 8.0).max(4.0);
+                let mut flops = 0.0;
+                let mut prev = dim;
+                for &h in hidden {
+                    flops += 2.0 * est_rows * prev * h as f64;
+                    prev = h as f64;
+                }
+                flops += 2.0 * est_rows * prev;
+                flops *= *epochs as f64 * 3.0;
+                let edge = (flops / 2.0).cbrt().max(8.0) as u64;
+                Gemm::cycles(profile, edge, edge, edge)
+            }
+            Operator::Predict => Gemm::cycles(profile, n, 32, 1),
+            Operator::KMeansCluster { k, max_iters } => {
+                let dim = (est_bytes / est_rows.max(1.0) / 8.0).max(2.0);
+                let flops =
+                    *max_iters as f64 * est_rows * *k as f64 * dim * 3.0;
+                let eff = profile.efficiency(KernelClass::KMeans).max(1e-3);
+                (flops / (profile.lanes as f64 * 2.0 * eff)).ceil() as u64
+            }
+            Operator::HashJoin { .. } | Operator::GroupBy { .. } => {
+                HashPartitioner::cycles(profile, n)
+            }
+            _ => StreamFilter::cycles(profile, n, est_bytes.max(1.0) as u64),
+        };
+        let mut t = SimDuration::from_secs(
+            profile.cycles_to_s(cycles + profile.launch_overhead_cycles),
+        );
+        if let Some(attached) = self.fleet.device(device) {
+            // Sorting offload ships keys + row ids (16 B/row), not whole
+            // payloads; the host applies the returned permutation.
+            let transfer_bytes = match op {
+                Operator::Sort { .. } | Operator::SortMergeJoin { .. } => est_rows as u64 * 16,
+                _ => est_bytes.max(0.0) as u64,
+            };
+            t += attached.transfer_cost(transfer_bytes);
+        }
+        Some(t)
+    }
+
+    /// Estimated migration seconds for moving `bytes` between data
+    /// models over the migration link (remodeling factor included,
+    /// §IV-A.b).
+    pub fn migration_cost(&self, bytes: f64, from: DataModel, to: DataModel) -> SimDuration {
+        let factor = DataModel::remodel_factor(from, to);
+        let t = self.migration_link.transfer_time(bytes.max(0.0) as u64);
+        SimDuration::from_secs(t.as_secs() * factor)
+    }
+
+    /// Cost-based placement: annotates every live node with the device
+    /// minimizing its estimated cost, fills `est_seconds`, and returns
+    /// the plan summary. Cardinalities must be estimated first (done
+    /// internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pspp_common::Error::Semantic`] on cyclic programs.
+    pub fn place(&self, program: &mut Program) -> Result<PlacementPlan> {
+        self.estimate_cardinalities(program)?;
+        let order = program.topo_order()?;
+        let mut node_seconds = HashMap::new();
+        let mut offloaded = 0usize;
+        let mut total = 0.0f64;
+        for id in order {
+            let node = program.node(id).clone();
+            if node.annotations.fused_into_consumer {
+                continue;
+            }
+            // Compute cost is driven by the *input* volume (sources use
+            // their own output estimate).
+            let (est_rows, est_bytes) = if node.inputs.is_empty() {
+                (
+                    node.annotations.est_rows.unwrap_or(1_000.0),
+                    node.annotations.est_bytes.unwrap_or(64_000.0),
+                )
+            } else {
+                node.inputs
+                    .iter()
+                    .map(|&i| {
+                        let n = program.node(resolve_fused(program, i));
+                        (
+                            n.annotations.est_rows.unwrap_or(1_000.0),
+                            n.annotations.est_bytes.unwrap_or(64_000.0),
+                        )
+                    })
+                    .fold((0.0f64, 0.0f64), |(ar, ab), (r, b)| (ar.max(r), ab.max(b)))
+            };
+            let mut best: Option<(DeviceKind, SimDuration)> = None;
+            for device in DeviceKind::all() {
+                if let Some(t) = self.node_cost(&node.op, device, est_rows, est_bytes) {
+                    if best.is_none_or(|(_, bt)| t < bt) {
+                        best = Some((device, t));
+                    }
+                }
+            }
+            let (device, seconds) = match best {
+                Some((d, t)) => (d, t.as_secs()),
+                None => (DeviceKind::Cpu, 0.0),
+            };
+            if device != DeviceKind::Cpu {
+                offloaded += 1;
+            }
+            let ann = &mut program.node_mut(id).annotations;
+            ann.device = Some(device);
+            ann.est_seconds = Some(seconds);
+            // Engine: sources stay with their table; transforms inherit
+            // the first input's engine (data gravity).
+            if let Some(t) = node.op.source_table() {
+                ann.engine = Some(t.engine.clone());
+            } else if let Some(&first) = node.inputs.first() {
+                let inherited = program
+                    .node(resolve_fused(program, first))
+                    .annotations
+                    .engine
+                    .clone();
+                program.node_mut(id).annotations.engine = inherited;
+            }
+            node_seconds.insert(id, seconds);
+            total += seconds;
+        }
+        // Migration across engine changes.
+        let mut migration = 0.0;
+        for n in program.nodes() {
+            if n.annotations.fused_into_consumer {
+                continue;
+            }
+            for &i in &n.inputs {
+                let src = program.node(resolve_fused(program, i));
+                if src.annotations.engine != n.annotations.engine {
+                    let bytes = src.annotations.est_bytes.unwrap_or(64_000.0);
+                    migration += self
+                        .migration_cost(bytes, DataModel::Relational, DataModel::Relational)
+                        .as_secs();
+                }
+            }
+        }
+        total += migration;
+        Ok(PlacementPlan {
+            node_seconds,
+            migration_seconds: migration,
+            total_seconds: total,
+            offloaded,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::Predicate;
+    use pspp_ir::SortSpec;
+
+    fn model() -> CostModel {
+        let mut stats = HashMap::new();
+        stats.insert(
+            TableRef::new("db1", "big"),
+            TableStats {
+                rows: 2_000_000.0,
+                row_bytes: 64.0,
+            },
+        );
+        stats.insert(
+            TableRef::new("db2", "small"),
+            TableStats {
+                rows: 1_000.0,
+                row_bytes: 32.0,
+            },
+        );
+        CostModel::new(AcceleratorFleet::workstation(), stats)
+    }
+
+    fn sort_program() -> (Program, NodeId) {
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "big")), "sql");
+        let sort = p.add_node(
+            Operator::Sort {
+                keys: vec![SortSpec {
+                    column: "date".into(),
+                    ascending: true,
+                }],
+            },
+            vec![s],
+            "sql",
+        );
+        p.mark_output(sort);
+        (p, sort)
+    }
+
+    #[test]
+    fn cardinalities_flow_through() {
+        let m = model();
+        let mut p = Program::new();
+        let s = p.add_source(
+            Operator::Scan {
+                table: TableRef::new("db1", "big"),
+                predicate: Predicate::eq("k", 1i64),
+                projection: None,
+            },
+            "sql",
+        );
+        let f = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::gt("v", 0i64),
+            },
+            vec![s],
+            "sql",
+        );
+        p.mark_output(f);
+        m.estimate_cardinalities(&mut p).unwrap();
+        let scan_rows = p.node(s).annotations.est_rows.unwrap();
+        let filter_rows = p.node(f).annotations.est_rows.unwrap();
+        assert!(scan_rows < 2_000_000.0);
+        assert!(filter_rows < scan_rows);
+    }
+
+    #[test]
+    fn placement_offloads_big_sort_to_fpga() {
+        let m = model();
+        let (mut p, sort) = sort_program();
+        let plan = m.place(&mut p).unwrap();
+        assert_eq!(p.node(sort).annotations.device, Some(DeviceKind::Fpga));
+        assert!(plan.offloaded >= 1);
+        assert!(plan.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn small_inputs_stay_on_cpu() {
+        let m = model();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db2", "small")), "sql");
+        let sort = p.add_node(
+            Operator::Sort {
+                keys: vec![SortSpec {
+                    column: "k".into(),
+                    ascending: true,
+                }],
+            },
+            vec![s],
+            "sql",
+        );
+        p.mark_output(sort);
+        m.place(&mut p).unwrap();
+        assert_eq!(p.node(sort).annotations.device, Some(DeviceKind::Cpu));
+    }
+
+    #[test]
+    fn train_goes_to_tpu() {
+        let m = model();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "big")), "sql");
+        let t = p.add_node(
+            Operator::TrainMlp {
+                label_column: "y".into(),
+                hidden: vec![64, 32],
+                epochs: 10,
+                batch_size: 32,
+                learning_rate: 0.1,
+            },
+            vec![s],
+            "ml",
+        );
+        p.mark_output(t);
+        m.place(&mut p).unwrap();
+        assert_eq!(p.node(t).annotations.device, Some(DeviceKind::Tpu));
+    }
+
+    #[test]
+    fn cross_engine_edges_charge_migration() {
+        let m = model();
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "big")), "sql");
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "small")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: "k".into(),
+                right_on: "k".into(),
+            },
+            vec![a, b],
+            "sql",
+        );
+        p.mark_output(j);
+        let plan = m.place(&mut p).unwrap();
+        assert!(plan.migration_seconds > 0.0);
+    }
+
+    #[test]
+    fn remodel_factor_raises_migration_cost() {
+        let m = model();
+        let plain = m.migration_cost(1e6, DataModel::Relational, DataModel::Relational);
+        let remodel = m.migration_cost(1e6, DataModel::Text, DataModel::Tensor);
+        assert!(remodel.as_secs() > plain.as_secs() * 2.0);
+    }
+
+    #[test]
+    fn fused_nodes_cost_nothing() {
+        let m = model();
+        let (mut p, _) = sort_program();
+        let f = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::True,
+            },
+            vec![p.outputs()[0]],
+            "sql",
+        );
+        p.node_mut(f).annotations.fused_into_consumer = true;
+        let plan = m.place(&mut p).unwrap();
+        assert!(!plan.node_seconds.contains_key(&f));
+    }
+}

@@ -1,0 +1,432 @@
+//! Black-box multi-objective design-space exploration (§IV-C, Fig. 8).
+//!
+//! The design space mixes categorical and ordinal variables (derivatives
+//! are unavailable, eq. 1 of the paper), objectives are vector-valued
+//! (latency, energy, ...), and evaluation is expensive. Two searchers
+//! are provided:
+//!
+//! * [`RandomSearch`] — the baseline: uniform sampling.
+//! * [`ActiveLearner`] — the paper's approach: fit a random-forest
+//!   surrogate per objective, predict over a candidate pool, keep the
+//!   predicted-Pareto points, evaluate those for real, retrain
+//!   ("interleaving exploration and exploitation", §IV-C.1).
+//!
+//! Quality is compared via the dominated [`hypervolume`] indicator.
+
+use pspp_common::{Error, Result, SplitMix64};
+
+use crate::forest::RandomForest;
+
+/// One design-space dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Dimension name.
+    pub name: String,
+    /// Level encodings fed to the surrogate (categoricals get their
+    /// index; ordinals their actual value).
+    pub levels: Vec<f64>,
+    /// Human-readable labels per level.
+    pub labels: Vec<String>,
+}
+
+impl Param {
+    /// A categorical dimension.
+    pub fn categorical(name: impl Into<String>, options: &[&str]) -> Self {
+        Param {
+            name: name.into(),
+            levels: (0..options.len()).map(|i| i as f64).collect(),
+            labels: options.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    /// An ordinal dimension over numeric values.
+    pub fn ordinal(name: impl Into<String>, values: &[f64]) -> Self {
+        Param {
+            name: name.into(),
+            levels: values.to_vec(),
+            labels: values.iter().map(f64::to_string).collect(),
+        }
+    }
+
+    /// Number of levels.
+    pub fn cardinality(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// A full design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    params: Vec<Param>,
+}
+
+/// A point: one chosen level index per dimension.
+pub type Point = Vec<usize>;
+
+/// The objective vector at a point (all objectives are minimized).
+pub type Objectives = Vec<f64>;
+
+impl DesignSpace {
+    /// Builds a space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is empty.
+    pub fn new(params: Vec<Param>) -> Self {
+        assert!(params.iter().all(|p| p.cardinality() > 0));
+        DesignSpace { params }
+    }
+
+    /// The dimensions.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Total number of configurations.
+    pub fn size(&self) -> usize {
+        self.params.iter().map(Param::cardinality).product()
+    }
+
+    /// Uniformly random point.
+    pub fn sample(&self, rng: &mut SplitMix64) -> Point {
+        self.params
+            .iter()
+            .map(|p| rng.next_index(p.cardinality()))
+            .collect()
+    }
+
+    /// Surrogate features of a point.
+    pub fn encode(&self, point: &Point) -> Vec<f64> {
+        point
+            .iter()
+            .zip(&self.params)
+            .map(|(&i, p)| p.levels[i])
+            .collect()
+    }
+
+    /// Human-readable rendering of a point.
+    pub fn describe(&self, point: &Point) -> String {
+        point
+            .iter()
+            .zip(&self.params)
+            .map(|(&i, p)| format!("{}={}", p.name, p.labels[i]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// A set of mutually non-dominated `(point, objectives)` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParetoFront {
+    entries: Vec<(Point, Objectives)>,
+}
+
+impl ParetoFront {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront::default()
+    }
+
+    /// `a` dominates `b` when it is no worse everywhere and better
+    /// somewhere (all objectives minimized).
+    pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+    }
+
+    /// Inserts a point, dropping dominated entries. Returns whether the
+    /// point joined the front.
+    pub fn insert(&mut self, point: Point, objectives: Objectives) -> bool {
+        if self
+            .entries
+            .iter()
+            .any(|(_, o)| Self::dominates(o, &objectives) || *o == objectives)
+        {
+            return false;
+        }
+        self.entries.retain(|(_, o)| !Self::dominates(&objectives, o));
+        self.entries.push((point, objectives));
+        true
+    }
+
+    /// The non-dominated entries.
+    pub fn entries(&self) -> &[(Point, Objectives)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dominated hypervolume against `reference` (must be dominated by
+    /// every front point). Supports 2-objective fronts exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Optimizer`] for non-2-objective fronts.
+    pub fn hypervolume(&self, reference: &[f64]) -> Result<f64> {
+        if self.entries.is_empty() {
+            return Ok(0.0);
+        }
+        if reference.len() != 2 || self.entries.iter().any(|(_, o)| o.len() != 2) {
+            return Err(Error::Optimizer(
+                "hypervolume implemented for 2 objectives".into(),
+            ));
+        }
+        let mut pts: Vec<&Objectives> = self.entries.iter().map(|(_, o)| o).collect();
+        pts.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        let mut hv = 0.0;
+        let mut prev_y = reference[1];
+        for p in pts {
+            let width = (reference[0] - p[0]).max(0.0);
+            let height = (prev_y - p[1]).max(0.0);
+            hv += width * height;
+            prev_y = prev_y.min(p[1]);
+        }
+        Ok(hv)
+    }
+}
+
+/// Uniform random search baseline.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    rng: SplitMix64,
+}
+
+impl RandomSearch {
+    /// Creates a seeded searcher.
+    pub fn new(seed: u64) -> Self {
+        RandomSearch {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Evaluates `budget` random points, returning the front and the
+    /// evaluation log.
+    pub fn run<F: FnMut(&Point) -> Objectives>(
+        &mut self,
+        space: &DesignSpace,
+        budget: usize,
+        mut eval: F,
+    ) -> (ParetoFront, Vec<(Point, Objectives)>) {
+        let mut front = ParetoFront::new();
+        let mut log = Vec::with_capacity(budget);
+        for _ in 0..budget {
+            let p = space.sample(&mut self.rng);
+            let o = eval(&p);
+            front.insert(p.clone(), o.clone());
+            log.push((p, o));
+        }
+        (front, log)
+    }
+}
+
+/// Active-learning searcher: random-forest surrogates steering samples
+/// toward the predicted Pareto front (Fig. 8).
+#[derive(Debug, Clone)]
+pub struct ActiveLearner {
+    rng: SplitMix64,
+    /// Initial random warm-up evaluations.
+    pub warmup: usize,
+    /// Evaluations per active-learning iteration.
+    pub batch: usize,
+    /// Candidate pool size scanned by the surrogate per iteration.
+    pub pool: usize,
+    /// Trees per forest.
+    pub trees: usize,
+}
+
+impl ActiveLearner {
+    /// Creates a seeded learner with sensible defaults.
+    pub fn new(seed: u64) -> Self {
+        ActiveLearner {
+            rng: SplitMix64::new(seed),
+            warmup: 10,
+            batch: 5,
+            pool: 200,
+            trees: 24,
+        }
+    }
+
+    /// Runs until `budget` evaluations are spent; returns the front and
+    /// the evaluation log.
+    pub fn run<F: FnMut(&Point) -> Objectives>(
+        &mut self,
+        space: &DesignSpace,
+        budget: usize,
+        mut eval: F,
+    ) -> (ParetoFront, Vec<(Point, Objectives)>) {
+        let mut front = ParetoFront::new();
+        let mut log: Vec<(Point, Objectives)> = Vec::new();
+
+        let warmup = self.warmup.min(budget);
+        for _ in 0..warmup {
+            let p = space.sample(&mut self.rng);
+            let o = eval(&p);
+            front.insert(p.clone(), o.clone());
+            log.push((p, o));
+        }
+
+        while log.len() < budget {
+            let n_obj = log.first().map_or(0, |(_, o)| o.len());
+            if n_obj == 0 {
+                break;
+            }
+            // Fit one surrogate per objective on everything seen so far.
+            let xs: Vec<Vec<f64>> = log.iter().map(|(p, _)| space.encode(p)).collect();
+            let forests: Vec<RandomForest> = (0..n_obj)
+                .map(|k| {
+                    let ys: Vec<f64> = log.iter().map(|(_, o)| o[k]).collect();
+                    RandomForest::fit(&xs, &ys, self.trees, self.rng.next_u64())
+                })
+                .collect();
+            // Predict a candidate pool and keep its non-dominated subset
+            // (the predicted Pareto region).
+            let mut predicted = ParetoFront::new();
+            for _ in 0..self.pool {
+                let p = space.sample(&mut self.rng);
+                let enc = space.encode(&p);
+                let o: Objectives = forests.iter().map(|f| f.predict(&enc)).collect();
+                predicted.insert(p, o);
+            }
+            // Evaluate up to `batch` predicted-Pareto points for real,
+            // preferring uncertain ones (exploration/exploitation mix).
+            let mut candidates: Vec<(Point, f64)> = predicted
+                .entries()
+                .iter()
+                .map(|(p, _)| {
+                    let enc = space.encode(p);
+                    let unc: f64 = forests.iter().map(|f| f.predict_std(&enc)).sum();
+                    (p.clone(), unc)
+                })
+                .collect();
+            candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let take = self.batch.min(budget - log.len()).max(1);
+            let mut taken = 0;
+            for (p, _) in candidates {
+                if taken >= take || log.len() >= budget {
+                    break;
+                }
+                if log.iter().any(|(seen, _)| *seen == p) {
+                    continue; // don't waste budget re-evaluating
+                }
+                let o = eval(&p);
+                front.insert(p.clone(), o.clone());
+                log.push((p, o));
+                taken += 1;
+            }
+            if taken == 0 {
+                // Pool exhausted (tiny spaces): fall back to random.
+                let p = space.sample(&mut self.rng);
+                if log.iter().any(|(seen, _)| *seen == p) && space.size() <= log.len() {
+                    break; // space fully enumerated
+                }
+                let o = eval(&p);
+                front.insert(p.clone(), o.clone());
+                log.push((p, o));
+            }
+        }
+        (front, log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(vec![
+            Param::ordinal("x", &(0..20).map(|i| i as f64 / 19.0).collect::<Vec<_>>()),
+            Param::ordinal("y", &(0..20).map(|i| i as f64 / 19.0).collect::<Vec<_>>()),
+        ])
+    }
+
+    /// A classic 2-objective trade-off: f1 = x, f2 = 1 - sqrt(x) + y²;
+    /// the true Pareto front lies at y = 0.
+    fn eval(space: &DesignSpace, p: &Point) -> Objectives {
+        let enc = space.encode(p);
+        let (x, y) = (enc[0], enc[1]);
+        vec![x, 1.0 - x.sqrt() + y * y]
+    }
+
+    #[test]
+    fn pareto_insert_and_dominance() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(vec![0], vec![1.0, 5.0]));
+        assert!(f.insert(vec![1], vec![5.0, 1.0]));
+        assert!(!f.insert(vec![2], vec![6.0, 2.0])); // dominated
+        assert!(f.insert(vec![3], vec![0.5, 0.5])); // dominates both
+        assert_eq!(f.len(), 1);
+        assert!(ParetoFront::dominates(&[1.0, 1.0], &[1.0, 2.0]));
+        assert!(!ParetoFront::dominates(&[1.0, 1.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn hypervolume_known_case() {
+        let mut f = ParetoFront::new();
+        f.insert(vec![0], vec![1.0, 2.0]);
+        f.insert(vec![1], vec![2.0, 1.0]);
+        // Reference (4,4): boxes (4-1)x(4-2)=6 plus (4-2)x(2-1)=2.
+        assert!((f.hypervolume(&[4.0, 4.0]).unwrap() - 8.0).abs() < 1e-12);
+        assert_eq!(ParetoFront::new().hypervolume(&[1.0, 1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_rejects_other_dims() {
+        let mut f = ParetoFront::new();
+        f.insert(vec![0], vec![1.0, 2.0, 3.0]);
+        assert!(f.hypervolume(&[4.0, 4.0]).is_err());
+    }
+
+    #[test]
+    fn active_learning_beats_random_at_equal_budget() {
+        let s = space();
+        let budget = 60;
+        let reference = [2.0, 2.0];
+
+        let mut hv_al_wins = 0;
+        for seed in 0..5 {
+            let (f_rand, log_r) =
+                RandomSearch::new(seed).run(&s, budget, |p| eval(&s, p));
+            let (f_al, log_a) = ActiveLearner::new(seed).run(&s, budget, |p| eval(&s, p));
+            assert_eq!(log_r.len(), budget);
+            assert!(log_a.len() <= budget);
+            let hv_r = f_rand.hypervolume(&reference).unwrap();
+            let hv_a = f_al.hypervolume(&reference).unwrap();
+            if hv_a >= hv_r {
+                hv_al_wins += 1;
+            }
+        }
+        assert!(
+            hv_al_wins >= 3,
+            "active learning should win most seeds, won {hv_al_wins}/5"
+        );
+    }
+
+    #[test]
+    fn active_learner_respects_budget_and_dedups() {
+        let s = DesignSpace::new(vec![Param::categorical("d", &["a", "b", "c"])]);
+        let mut evals = 0usize;
+        let (_, log) = ActiveLearner::new(1).run(&s, 10, |_| {
+            evals += 1;
+            vec![1.0, 1.0]
+        });
+        assert!(log.len() <= 10);
+        assert_eq!(evals, log.len());
+    }
+
+    #[test]
+    fn describe_points() {
+        let s = DesignSpace::new(vec![
+            Param::categorical("device", &["cpu", "fpga"]),
+            Param::ordinal("batch", &[8.0, 16.0]),
+        ]);
+        assert_eq!(s.describe(&vec![1, 0]), "device=fpga, batch=8");
+        assert_eq!(s.size(), 4);
+    }
+}

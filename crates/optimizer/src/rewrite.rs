@@ -1,0 +1,446 @@
+//! L1 optimizations: semantic, engine-agnostic IR rewrites (Fig. 6).
+//!
+//! Rules implemented:
+//!
+//! 1. **Predicate pushdown** — a `Filter` directly above a `Scan` is
+//!    merged into the scan's pushed-down predicate (§III-A.2's reduced
+//!    data-access traffic starts here).
+//! 2. **Projection pushdown** — a `Project` directly above a `Scan`
+//!    becomes the scan's projection list.
+//! 3. **Filter fusion** — `Filter∘Filter` chains fuse into one
+//!    conjunction (operator fusion à la Weld [19]).
+//! 4. **Join-algorithm selection** — `SortMergeJoin` is rewritten to
+//!    `HashJoin` unless an input is already sorted on the join key;
+//!    a `HashJoin` over two sorted inputs becomes a `SortMergeJoin`.
+//!
+//! Fused nodes are *not* removed: they are marked
+//! [`fused_into_consumer`](pspp_ir::Annotations::fused_into_consumer)
+//! and forward their input unchanged, which keeps node ids stable for
+//! the later passes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pspp_common::Predicate;
+use pspp_ir::{NodeId, Operator, Program};
+
+/// How much of the optimizer to run — the Fig. 6 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// No optimization: literal program, host CPU everywhere.
+    None,
+    /// L1 rewrites only.
+    L1,
+    /// L1 + cost-based placement on engines and accelerators.
+    L2,
+    /// L2 + pipelined stage execution.
+    L3,
+}
+
+impl OptLevel {
+    /// All levels, in ascending order.
+    pub fn all() -> [OptLevel; 4] {
+        [OptLevel::None, OptLevel::L1, OptLevel::L2, OptLevel::L3]
+    }
+
+    /// Whether L1 rewrites run at this level.
+    pub fn rewrites(self) -> bool {
+        self != OptLevel::None
+    }
+
+    /// Whether cost-based placement runs at this level.
+    pub fn placement(self) -> bool {
+        matches!(self, OptLevel::L2 | OptLevel::L3)
+    }
+
+    /// Whether stages execute pipelined at this level.
+    pub fn pipelined(self) -> bool {
+        self == OptLevel::L3
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OptLevel::None => "none",
+            OptLevel::L1 => "L1",
+            OptLevel::L2 => "L1+L2",
+            OptLevel::L3 => "L1+L2+L3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which rules fired, and how often.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RewriteReport {
+    /// Predicates merged into scans.
+    pub predicate_pushdowns: usize,
+    /// Projections merged into scans.
+    pub projection_pushdowns: usize,
+    /// Filter pairs fused.
+    pub filter_fusions: usize,
+    /// Join algorithms switched.
+    pub join_rewrites: usize,
+}
+
+impl RewriteReport {
+    /// Total rule applications.
+    pub fn total(&self) -> usize {
+        self.predicate_pushdowns
+            + self.projection_pushdowns
+            + self.filter_fusions
+            + self.join_rewrites
+    }
+}
+
+/// Runs the L1 rewrite suite in place.
+pub fn optimize_l1(program: &mut Program) -> RewriteReport {
+    let mut report = RewriteReport::default();
+    // Iterate to fixpoint: pushing one filter may expose another.
+    loop {
+        let before = report.total();
+        fuse_filter_chains(program, &mut report);
+        push_predicates(program, &mut report);
+        push_projections(program, &mut report);
+        select_join_algorithms(program, &mut report);
+        if report.total() == before {
+            break;
+        }
+    }
+    report
+}
+
+/// Follows fused nodes down to the live producer.
+pub fn resolve_fused(program: &Program, mut id: NodeId) -> NodeId {
+    while program.node(id).annotations.fused_into_consumer {
+        id = program.node(id).inputs[0];
+    }
+    id
+}
+
+fn single_consumer_map(program: &Program) -> HashMap<NodeId, usize> {
+    let mut counts: HashMap<NodeId, usize> = HashMap::new();
+    for n in program.nodes() {
+        for &i in &n.inputs {
+            *counts.entry(i).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+fn push_predicates(program: &mut Program, report: &mut RewriteReport) {
+    let consumers = single_consumer_map(program);
+    let ids: Vec<NodeId> = program.nodes().iter().map(|n| n.id).collect();
+    for id in ids {
+        if program.node(id).annotations.fused_into_consumer {
+            continue;
+        }
+        let Operator::Filter { predicate } = program.node(id).op.clone() else {
+            continue;
+        };
+        let input = resolve_fused(program, program.node(id).inputs[0]);
+        if consumers.get(&input).copied().unwrap_or(0) != 1 {
+            continue; // shared input: pushing would change other consumers
+        }
+        let input_node = program.node(input).clone();
+        if let Operator::Scan {
+            table,
+            predicate: scan_pred,
+            projection,
+        } = input_node.op
+        {
+            let merged = if scan_pred == Predicate::True {
+                predicate
+            } else {
+                scan_pred.and(predicate)
+            };
+            program.node_mut(input).op = Operator::Scan {
+                table,
+                predicate: merged,
+                projection,
+            };
+            program.node_mut(id).annotations.fused_into_consumer = true;
+            report.predicate_pushdowns += 1;
+        }
+    }
+}
+
+fn push_projections(program: &mut Program, report: &mut RewriteReport) {
+    let consumers = single_consumer_map(program);
+    let ids: Vec<NodeId> = program.nodes().iter().map(|n| n.id).collect();
+    for id in ids {
+        if program.node(id).annotations.fused_into_consumer {
+            continue;
+        }
+        let Operator::Project { columns } = program.node(id).op.clone() else {
+            continue;
+        };
+        let input = resolve_fused(program, program.node(id).inputs[0]);
+        if consumers.get(&input).copied().unwrap_or(0) != 1 {
+            continue;
+        }
+        let input_node = program.node(input).clone();
+        if let Operator::Scan {
+            table,
+            predicate,
+            projection: None,
+        } = input_node.op
+        {
+            // Only safe if the scan predicate references projected
+            // columns — conservatively require predicate == True or all
+            // referenced columns kept. We keep it simple: only push when
+            // the scan has no predicate yet OR the predicate columns are
+            // included (checked by the runtime anyway); conservative
+            // variant: predicate True.
+            if predicate == Predicate::True {
+                program.node_mut(input).op = Operator::Scan {
+                    table,
+                    predicate,
+                    projection: Some(columns),
+                };
+                program.node_mut(id).annotations.fused_into_consumer = true;
+                report.projection_pushdowns += 1;
+            }
+        }
+    }
+}
+
+fn fuse_filter_chains(program: &mut Program, report: &mut RewriteReport) {
+    let consumers = single_consumer_map(program);
+    let ids: Vec<NodeId> = program.nodes().iter().map(|n| n.id).collect();
+    for id in ids {
+        if program.node(id).annotations.fused_into_consumer {
+            continue;
+        }
+        let Operator::Filter { predicate: upper } = program.node(id).op.clone() else {
+            continue;
+        };
+        let input = resolve_fused(program, program.node(id).inputs[0]);
+        if consumers.get(&input).copied().unwrap_or(0) != 1 || input == id {
+            continue;
+        }
+        let input_node = program.node(input).clone();
+        if let Operator::Filter { predicate: lower } = input_node.op {
+            program.node_mut(id).op = Operator::Filter {
+                predicate: lower.and(upper),
+            };
+            program.node_mut(input).annotations.fused_into_consumer = true;
+            report.filter_fusions += 1;
+        }
+    }
+}
+
+fn select_join_algorithms(program: &mut Program, report: &mut RewriteReport) {
+    let ids: Vec<NodeId> = program.nodes().iter().map(|n| n.id).collect();
+    for id in ids {
+        let node = program.node(id).clone();
+        match node.op {
+            Operator::SortMergeJoin { left_on, right_on } => {
+                let sorted = |input: NodeId, col: &str| {
+                    let input = resolve_fused(program, input);
+                    matches!(
+                        &program.node(input).op,
+                        Operator::Sort { keys } if keys.first().is_some_and(|k| k.column == col && k.ascending)
+                    )
+                };
+                if !sorted(node.inputs[0], &left_on) && !sorted(node.inputs[1], &right_on) {
+                    program.node_mut(id).op = Operator::HashJoin { left_on, right_on };
+                    report.join_rewrites += 1;
+                }
+            }
+            Operator::HashJoin { left_on, right_on } => {
+                let sorted = |input: NodeId, col: &str| {
+                    let input = resolve_fused(program, input);
+                    matches!(
+                        &program.node(input).op,
+                        Operator::Sort { keys } if keys.first().is_some_and(|k| k.column == col && k.ascending)
+                    )
+                };
+                if sorted(node.inputs[0], &left_on) && sorted(node.inputs[1], &right_on) {
+                    program.node_mut(id).op = Operator::SortMergeJoin { left_on, right_on };
+                    report.join_rewrites += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::TableRef;
+    use pspp_ir::SortSpec;
+
+    fn scan(p: &mut Program) -> NodeId {
+        p.add_source(Operator::scan(TableRef::new("db", "t")), "sql")
+    }
+
+    #[test]
+    fn predicate_pushes_into_scan() {
+        let mut p = Program::new();
+        let s = scan(&mut p);
+        let f = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::gt("a", 5i64),
+            },
+            vec![s],
+            "sql",
+        );
+        p.mark_output(f);
+        let report = optimize_l1(&mut p);
+        assert_eq!(report.predicate_pushdowns, 1);
+        assert!(p.node(f).annotations.fused_into_consumer);
+        match &p.node(s).op {
+            Operator::Scan { predicate, .. } => assert_eq!(*predicate, Predicate::gt("a", 5i64)),
+            _ => panic!(),
+        }
+        assert_eq!(resolve_fused(&p, f), s);
+    }
+
+    #[test]
+    fn filter_chain_fuses_then_pushes() {
+        let mut p = Program::new();
+        let s = scan(&mut p);
+        let f1 = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::gt("a", 5i64),
+            },
+            vec![s],
+            "sql",
+        );
+        let f2 = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::lt("a", 10i64),
+            },
+            vec![f1],
+            "sql",
+        );
+        p.mark_output(f2);
+        let report = optimize_l1(&mut p);
+        assert_eq!(report.filter_fusions, 1);
+        assert_eq!(report.predicate_pushdowns, 1);
+        // Both filters end up fused; the scan carries the conjunction.
+        match &p.node(s).op {
+            Operator::Scan { predicate, .. } => {
+                assert!(matches!(predicate, Predicate::And(..)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn projection_pushes_only_without_scan_predicate() {
+        let mut p = Program::new();
+        let s = scan(&mut p);
+        let proj = p.add_node(
+            Operator::Project {
+                columns: vec!["a".into()],
+            },
+            vec![s],
+            "sql",
+        );
+        p.mark_output(proj);
+        let report = optimize_l1(&mut p);
+        assert_eq!(report.projection_pushdowns, 1);
+        match &p.node(s).op {
+            Operator::Scan { projection, .. } => {
+                assert_eq!(projection.as_deref(), Some(&["a".to_owned()][..]));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn shared_scan_blocks_pushdown() {
+        let mut p = Program::new();
+        let s = scan(&mut p);
+        let f1 = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::gt("a", 5i64),
+            },
+            vec![s],
+            "sql",
+        );
+        let f2 = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::lt("a", 2i64),
+            },
+            vec![s],
+            "sql",
+        );
+        p.mark_output(f1);
+        p.mark_output(f2);
+        let report = optimize_l1(&mut p);
+        assert_eq!(report.predicate_pushdowns, 0);
+    }
+
+    #[test]
+    fn merge_join_on_unsorted_inputs_becomes_hash_join() {
+        let mut p = Program::new();
+        let a = scan(&mut p);
+        let b = scan(&mut p);
+        let j = p.add_node(
+            Operator::SortMergeJoin {
+                left_on: "k".into(),
+                right_on: "k".into(),
+            },
+            vec![a, b],
+            "sql",
+        );
+        p.mark_output(j);
+        let report = optimize_l1(&mut p);
+        assert_eq!(report.join_rewrites, 1);
+        assert_eq!(p.node(j).op.name(), "hash_join");
+    }
+
+    #[test]
+    fn hash_join_on_sorted_inputs_becomes_merge_join() {
+        let mut p = Program::new();
+        let a = scan(&mut p);
+        let sa = p.add_node(
+            Operator::Sort {
+                keys: vec![SortSpec {
+                    column: "k".into(),
+                    ascending: true,
+                }],
+            },
+            vec![a],
+            "sql",
+        );
+        let b = scan(&mut p);
+        let sb = p.add_node(
+            Operator::Sort {
+                keys: vec![SortSpec {
+                    column: "k".into(),
+                    ascending: true,
+                }],
+            },
+            vec![b],
+            "sql",
+        );
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: "k".into(),
+                right_on: "k".into(),
+            },
+            vec![sa, sb],
+            "sql",
+        );
+        p.mark_output(j);
+        let report = optimize_l1(&mut p);
+        assert_eq!(report.join_rewrites, 1);
+        assert_eq!(p.node(j).op.name(), "sort_merge_join");
+    }
+
+    #[test]
+    fn opt_levels_ordering() {
+        assert!(!OptLevel::None.rewrites());
+        assert!(OptLevel::L1.rewrites() && !OptLevel::L1.placement());
+        assert!(OptLevel::L2.placement() && !OptLevel::L2.pipelined());
+        assert!(OptLevel::L3.pipelined());
+        assert_eq!(OptLevel::L3.to_string(), "L1+L2+L3");
+    }
+}

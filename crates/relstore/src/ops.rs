@@ -1,0 +1,494 @@
+//! Pure relational-algebra operators over row sets.
+//!
+//! These are the operators the paper's IR lowers SQL into (§III-A.1:
+//! "SQL queries get mapped to projection, hash, sort, group-by, and join
+//! operators"). They are pure functions over `(Schema, rows)` so the
+//! runtime adapter can execute IR fragments on intermediate data, not
+//! just on stored tables.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pspp_common::{Error, Result, Row, Schema, Value};
+
+use pspp_common::Predicate;
+
+/// Join flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    /// Keep only matching pairs.
+    Inner,
+    /// Keep all left rows, padding right columns with NULL.
+    LeftOuter,
+}
+
+/// A sort key: column plus direction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortKey {
+    /// Column name.
+    pub column: String,
+    /// Ascending?
+    pub ascending: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(column: impl Into<String>) -> Self {
+        SortKey {
+            column: column.into(),
+            ascending: true,
+        }
+    }
+
+    /// Descending key.
+    pub fn desc(column: impl Into<String>) -> Self {
+        SortKey {
+            column: column.into(),
+            ascending: false,
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Row count (column ignored).
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric mean.
+    Avg,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+}
+
+/// An aggregate over one column with an output name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateSpec {
+    /// Function.
+    pub agg: Aggregate,
+    /// Input column (ignored by `Count`).
+    pub column: String,
+    /// Output column name.
+    pub output: String,
+}
+
+impl AggregateSpec {
+    /// Creates a spec.
+    pub fn new(agg: Aggregate, column: impl Into<String>, output: impl Into<String>) -> Self {
+        AggregateSpec {
+            agg,
+            column: column.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `COUNT(*) AS output`.
+    pub fn count(output: impl Into<String>) -> Self {
+        AggregateSpec::new(Aggregate::Count, "*", output)
+    }
+}
+
+/// Filters rows by a predicate.
+///
+/// # Errors
+///
+/// Propagates predicate evaluation errors (unknown columns).
+pub fn filter_rows(schema: &Schema, rows: Vec<Row>, predicate: &Predicate) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if predicate.eval(schema, &row)? {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Projects rows onto named columns, returning the new schema.
+///
+/// # Errors
+///
+/// Returns [`Error::ColumnNotFound`] for unknown columns.
+pub fn project(schema: &Schema, rows: &[Row], columns: &[&str]) -> Result<(Schema, Vec<Row>)> {
+    let out_schema = schema.project(columns)?;
+    let idx: Vec<usize> = columns
+        .iter()
+        .map(|c| schema.require(c))
+        .collect::<Result<_>>()?;
+    let out = rows.iter().map(|r| r.project(&idx)).collect();
+    Ok((out_schema, out))
+}
+
+/// Stable multi-key sort.
+///
+/// # Errors
+///
+/// Returns [`Error::ColumnNotFound`] for unknown key columns.
+pub fn sort_rows(schema: &Schema, mut rows: Vec<Row>, keys: &[SortKey]) -> Result<Vec<Row>> {
+    let resolved: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|k| Ok((schema.require(&k.column)?, k.ascending)))
+        .collect::<Result<_>>()?;
+    rows.sort_by(|a, b| {
+        for &(idx, asc) in &resolved {
+            let ord = a[idx].cmp(&b[idx]);
+            let ord = if asc { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(rows)
+}
+
+/// Hash join on single-column equality.
+///
+/// # Errors
+///
+/// Returns [`Error::ColumnNotFound`] for unknown join columns.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join(
+    left_schema: &Schema,
+    left: &[Row],
+    right_schema: &Schema,
+    right: &[Row],
+    left_on: &str,
+    right_on: &str,
+    kind: JoinKind,
+) -> Result<(Schema, Vec<Row>)> {
+    let li = left_schema.require(left_on)?;
+    let ri = right_schema.require(right_on)?;
+    let out_schema = left_schema.join(right_schema);
+
+    // Build on the smaller side conceptually; here build on right.
+    let mut table: HashMap<&Value, Vec<&Row>> = HashMap::new();
+    for r in right {
+        if !r[ri].is_null() {
+            table.entry(&r[ri]).or_default().push(r);
+        }
+    }
+    let mut out = Vec::new();
+    let null_right = Row::from(vec![Value::Null; right_schema.arity()]);
+    for l in left {
+        match table.get(&l[li]) {
+            Some(matches) if !l[li].is_null() => {
+                for r in matches {
+                    out.push(l.concat(r));
+                }
+            }
+            _ => {
+                if kind == JoinKind::LeftOuter {
+                    out.push(l.concat(&null_right));
+                }
+            }
+        }
+    }
+    Ok((out_schema, out))
+}
+
+/// Sort-merge join on single-column equality: sorts both inputs by the
+/// join key, then merges. This is the §III worked example's operator
+/// ("DB1 performs a sort-merge on 'Date'").
+///
+/// # Errors
+///
+/// Returns [`Error::ColumnNotFound`] for unknown join columns.
+pub fn sort_merge_join(
+    left_schema: &Schema,
+    left: Vec<Row>,
+    right_schema: &Schema,
+    right: Vec<Row>,
+    left_on: &str,
+    right_on: &str,
+) -> Result<(Schema, Vec<Row>)> {
+    let li = left_schema.require(left_on)?;
+    let ri = right_schema.require(right_on)?;
+    let left = sort_rows(left_schema, left, &[SortKey::asc(left_on)])?;
+    let right = sort_rows(right_schema, right, &[SortKey::asc(right_on)])?;
+    let out_schema = left_schema.join(right_schema);
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        let lv = &left[i][li];
+        let rv = &right[j][ri];
+        if lv.is_null() {
+            i += 1;
+            continue;
+        }
+        if rv.is_null() {
+            j += 1;
+            continue;
+        }
+        match lv.cmp(rv) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                // Emit the cross product of the equal runs.
+                let run_start = j;
+                while i < left.len() && left[i][li] == *rv {
+                    let mut jj = run_start;
+                    while jj < right.len() && right[jj][ri] == *rv {
+                        out.push(left[i].concat(&right[jj]));
+                        jj += 1;
+                    }
+                    i += 1;
+                }
+                j = run_start;
+                while j < right.len() && right[j][ri] == *rv {
+                    j += 1;
+                }
+            }
+        }
+    }
+    Ok((out_schema, out))
+}
+
+/// Group-by aggregation.
+///
+/// Output schema is `keys ++ aggregate outputs`; `Count` yields `Int`,
+/// the numeric aggregates yield `Float`.
+///
+/// # Errors
+///
+/// Returns [`Error::ColumnNotFound`] for unknown columns, or
+/// [`Error::SchemaMismatch`] when aggregating a non-numeric column.
+pub fn group_by(
+    schema: &Schema,
+    rows: &[Row],
+    keys: &[&str],
+    aggs: &[AggregateSpec],
+) -> Result<(Schema, Vec<Row>)> {
+    use pspp_common::{DataType, Field};
+
+    let key_idx: Vec<usize> = keys
+        .iter()
+        .map(|k| schema.require(k))
+        .collect::<Result<_>>()?;
+    let agg_idx: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| {
+            if a.agg == Aggregate::Count {
+                Ok(None)
+            } else {
+                schema.require(&a.column).map(Some)
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    let mut out_fields: Vec<Field> = key_idx
+        .iter()
+        .map(|&i| schema.fields()[i].clone())
+        .collect();
+    for a in aggs {
+        let dt = match a.agg {
+            Aggregate::Count => DataType::Int,
+            _ => DataType::Float,
+        };
+        out_fields.push(Field::new(a.output.clone(), dt));
+    }
+    let out_schema = Schema::from_fields(out_fields);
+
+    #[derive(Clone)]
+    struct Acc {
+        count: i64,
+        sums: Vec<f64>,
+        mins: Vec<Option<Value>>,
+        maxs: Vec<Option<Value>>,
+        counts: Vec<i64>,
+    }
+    let mut groups: HashMap<Vec<Value>, Acc> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+
+    for row in rows {
+        let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+        let acc = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            Acc {
+                count: 0,
+                sums: vec![0.0; aggs.len()],
+                mins: vec![None; aggs.len()],
+                maxs: vec![None; aggs.len()],
+                counts: vec![0; aggs.len()],
+            }
+        });
+        acc.count += 1;
+        for (a, (spec, idx)) in aggs.iter().zip(&agg_idx).enumerate().map(|(i, s)| (i, s)) {
+            let Some(idx) = idx else { continue };
+            let v = &row[*idx];
+            if v.is_null() {
+                continue;
+            }
+            match spec.agg {
+                Aggregate::Sum | Aggregate::Avg => {
+                    let x = v.as_f64().ok_or_else(|| {
+                        Error::SchemaMismatch(format!("cannot aggregate {v:?} numerically"))
+                    })?;
+                    acc.sums[a] += x;
+                    acc.counts[a] += 1;
+                }
+                Aggregate::Min => {
+                    if acc.mins[a].as_ref().is_none_or(|m| v < m) {
+                        acc.mins[a] = Some(v.clone());
+                    }
+                }
+                Aggregate::Max => {
+                    if acc.maxs[a].as_ref().is_none_or(|m| v > m) {
+                        acc.maxs[a] = Some(v.clone());
+                    }
+                }
+                Aggregate::Count => {}
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let acc = &groups[&key];
+        let mut row: Vec<Value> = key.clone();
+        for (a, spec) in aggs.iter().enumerate() {
+            row.push(match spec.agg {
+                Aggregate::Count => Value::Int(acc.count),
+                Aggregate::Sum => Value::Float(acc.sums[a]),
+                Aggregate::Avg => {
+                    if acc.counts[a] == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(acc.sums[a] / acc.counts[a] as f64)
+                    }
+                }
+                Aggregate::Min => acc.mins[a].clone().unwrap_or(Value::Null),
+                Aggregate::Max => acc.maxs[a].clone().unwrap_or(Value::Null),
+            });
+        }
+        out.push(Row::from(row));
+    }
+    Ok((out_schema, out))
+}
+
+/// Limits rows to the first `n`.
+pub fn limit(rows: Vec<Row>, n: usize) -> Vec<Row> {
+    let mut rows = rows;
+    rows.truncate(n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::{row, DataType};
+
+    fn lr() -> (Schema, Vec<Row>, Schema, Vec<Row>) {
+        let ls = Schema::new(vec![("id", DataType::Int), ("x", DataType::Str)]);
+        let rs = Schema::new(vec![("id", DataType::Int), ("y", DataType::Float)]);
+        let left = vec![row![1i64, "a"], row![2i64, "b"], row![3i64, "c"]];
+        let right = vec![row![2i64, 0.2], row![3i64, 0.3], row![3i64, 0.33], row![4i64, 0.4]];
+        (ls, left, rs, right)
+    }
+
+    #[test]
+    fn hash_and_merge_joins_agree() {
+        let (ls, l, rs, r) = lr();
+        let (_, mut h) = hash_join(&ls, &l, &rs, &r, "id", "id", JoinKind::Inner).unwrap();
+        let (_, mut m) = sort_merge_join(&ls, l, &rs, r, "id", "id").unwrap();
+        h.sort();
+        m.sort();
+        assert_eq!(h, m);
+        assert_eq!(h.len(), 3); // 2->1 match, 3->2 matches
+    }
+
+    #[test]
+    fn left_outer_pads_nulls() {
+        let (ls, l, rs, r) = lr();
+        let (schema, rows) =
+            hash_join(&ls, &l, &rs, &r, "id", "id", JoinKind::LeftOuter).unwrap();
+        assert_eq!(rows.len(), 4); // id=1 survives with NULLs
+        let unmatched = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert!(unmatched[2].is_null() && unmatched[3].is_null());
+        assert_eq!(schema.arity(), 4);
+        assert_eq!(schema.names(), vec!["id", "x", "id_r", "y"]);
+    }
+
+    #[test]
+    fn join_skips_null_keys() {
+        let ls = Schema::new(vec![("id", DataType::Int)]);
+        let l = vec![Row::from(vec![Value::Null]), row![1i64]];
+        let r = vec![Row::from(vec![Value::Null]), row![1i64]];
+        let (_, rows) = hash_join(&ls, &l, &ls, &r, "id", "id", JoinKind::Inner).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn multi_key_sort_with_direction() {
+        let s = Schema::new(vec![("a", DataType::Int), ("b", DataType::Int)]);
+        let rows = vec![row![1i64, 2i64], row![1i64, 1i64], row![0i64, 9i64]];
+        let sorted =
+            sort_rows(&s, rows, &[SortKey::asc("a"), SortKey::desc("b")]).unwrap();
+        assert_eq!(sorted, vec![row![0i64, 9i64], row![1i64, 2i64], row![1i64, 1i64]]);
+    }
+
+    #[test]
+    fn group_by_all_aggregates() {
+        let s = Schema::new(vec![("g", DataType::Str), ("v", DataType::Int)]);
+        let rows = vec![row!["a", 1i64], row!["a", 5i64], row!["b", 2i64]];
+        let (schema, out) = group_by(
+            &s,
+            &rows,
+            &["g"],
+            &[
+                AggregateSpec::count("n"),
+                AggregateSpec::new(Aggregate::Sum, "v", "sum"),
+                AggregateSpec::new(Aggregate::Avg, "v", "avg"),
+                AggregateSpec::new(Aggregate::Min, "v", "min"),
+                AggregateSpec::new(Aggregate::Max, "v", "max"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(schema.arity(), 6);
+        let a = out.iter().find(|r| r[0] == Value::from("a")).unwrap();
+        assert_eq!(a[1], Value::Int(2));
+        assert_eq!(a[2], Value::Float(6.0));
+        assert_eq!(a[3], Value::Float(3.0));
+        assert_eq!(a[4], Value::Int(1));
+        assert_eq!(a[5], Value::Int(5));
+    }
+
+    #[test]
+    fn group_by_preserves_first_seen_order() {
+        let s = Schema::new(vec![("g", DataType::Str)]);
+        let rows = vec![row!["z"], row!["a"], row!["z"], row!["m"]];
+        let (_, out) = group_by(&s, &rows, &["g"], &[AggregateSpec::count("n")]).unwrap();
+        let order: Vec<&str> = out.iter().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(order, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn filter_project_limit() {
+        let s = Schema::new(vec![("a", DataType::Int), ("b", DataType::Int)]);
+        let rows: Vec<Row> = (0..10).map(|i| row![i as i64, (i * i) as i64]).collect();
+        let f = filter_rows(&s, rows, &Predicate::ge("a", 5i64)).unwrap();
+        assert_eq!(f.len(), 5);
+        let (ps, p) = project(&s, &f, &["b"]).unwrap();
+        assert_eq!(ps.arity(), 1);
+        assert_eq!(p[0], row![25i64]);
+        assert_eq!(limit(p, 2).len(), 2);
+    }
+
+    #[test]
+    fn aggregate_non_numeric_errors() {
+        let s = Schema::new(vec![("g", DataType::Str)]);
+        let rows = vec![row!["a"]];
+        assert!(group_by(
+            &s,
+            &rows,
+            &[],
+            &[AggregateSpec::new(Aggregate::Sum, "g", "s")]
+        )
+        .is_err());
+    }
+}

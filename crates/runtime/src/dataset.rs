@@ -1,0 +1,129 @@
+//! Datasets: the values flowing along IR edges at runtime.
+
+use pspp_common::{DataModel, EngineId, Error, Result, Row, Schema};
+use pspp_mlengine::Mlp;
+
+/// What a dataset holds.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Tabular rows with a schema.
+    Rows {
+        /// Row schema.
+        schema: Schema,
+        /// The rows.
+        rows: Vec<Row>,
+    },
+    /// A trained model (output of `TrainMlp`).
+    Model(Box<Mlp>),
+}
+
+/// A dataset: payload + data model + current location.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The payload.
+    pub payload: Payload,
+    /// The logical data model the payload is expressed in.
+    pub model: DataModel,
+    /// The engine currently holding the data (`middleware` for values
+    /// materialized at the coordinator).
+    pub location: EngineId,
+}
+
+impl Dataset {
+    /// A relational rows dataset.
+    pub fn rows(schema: Schema, rows: Vec<Row>, model: DataModel, location: EngineId) -> Self {
+        Dataset {
+            payload: Payload::Rows { schema, rows },
+            model,
+            location,
+        }
+    }
+
+    /// The schema, when tabular.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Execution`] for model payloads.
+    pub fn schema(&self) -> Result<&Schema> {
+        match &self.payload {
+            Payload::Rows { schema, .. } => Ok(schema),
+            Payload::Model(_) => Err(Error::Execution("dataset holds a model, not rows".into())),
+        }
+    }
+
+    /// The rows, when tabular.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Execution`] for model payloads.
+    pub fn try_rows(&self) -> Result<&[Row]> {
+        match &self.payload {
+            Payload::Rows { rows, .. } => Ok(rows),
+            Payload::Model(_) => Err(Error::Execution("dataset holds a model, not rows".into())),
+        }
+    }
+
+    /// The trained model, when present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Execution`] for tabular payloads.
+    pub fn try_model(&self) -> Result<&Mlp> {
+        match &self.payload {
+            Payload::Model(m) => Ok(m),
+            Payload::Rows { .. } => Err(Error::Execution("dataset holds rows, not a model".into())),
+        }
+    }
+
+    /// Number of rows (0 for models).
+    pub fn len(&self) -> usize {
+        match &self.payload {
+            Payload::Rows { rows, .. } => rows.len(),
+            Payload::Model(_) => 0,
+        }
+    }
+
+    /// Whether the dataset holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload bytes.
+    pub fn byte_size(&self) -> u64 {
+        match &self.payload {
+            Payload::Rows { rows, .. } => rows.iter().map(|r| r.byte_size() as u64).sum(),
+            Payload::Model(m) => (m.parameter_count() * 8) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::{row, DataType};
+
+    #[test]
+    fn accessors_respect_payload_kind() {
+        let d = Dataset::rows(
+            Schema::new(vec![("a", DataType::Int)]),
+            vec![row![1i64]],
+            DataModel::Relational,
+            EngineId::new("db1"),
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d.schema().is_ok());
+        assert!(d.try_model().is_err());
+        assert_eq!(d.byte_size(), 8);
+
+        let m = Mlp::new(&[2, 1], 1).unwrap();
+        let dm = Dataset {
+            payload: Payload::Model(Box::new(m)),
+            model: DataModel::Tensor,
+            location: EngineId::new("middleware"),
+        };
+        assert!(dm.try_rows().is_err());
+        assert!(dm.try_model().is_ok());
+        assert!(dm.is_empty());
+        assert!(dm.byte_size() > 0);
+    }
+}

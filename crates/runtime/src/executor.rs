@@ -1,0 +1,986 @@
+//! The executor: schedules the optimized IR across engines and
+//! accelerators and accounts the simulated makespan (§IV-D).
+
+use std::collections::HashMap;
+
+use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
+use pspp_accel::{AcceleratorFleet, CostLedger, KernelClass, SimDuration};
+use pspp_common::{
+    Batch, DataModel, DataType, DeviceKind, EngineId, Error, Result, Row, Schema, Value,
+};
+use pspp_ir::{AggFn, NodeId, Operator, Program, TextSearchMode, TsAgg};
+use pspp_migrate::{MigrationPath, Migrator};
+use pspp_mlengine::{Dataset as MlDataset, KMeans, KMeansConfig, Mlp, TrainConfig};
+use pspp_relstore::ops;
+use pspp_relstore::{Aggregate, AggregateSpec, JoinKind, SortKey};
+
+use crate::dataset::{Dataset, Payload};
+use crate::registry::{EngineInstance, EngineRegistry};
+
+/// Chunks used by the pipelined-stages model (§IV-D).
+const PIPELINE_CHUNKS: f64 = 8.0;
+
+/// Execution accounting for one program run.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Program outputs in `Program::outputs()` order.
+    pub outputs: Vec<Dataset>,
+    /// Simulated seconds per live node (execution only).
+    pub node_seconds: HashMap<NodeId, f64>,
+    /// Simulated seconds spent migrating data across engines.
+    pub migration_seconds: f64,
+    /// Makespan with sequential stage execution.
+    pub makespan_sequential: f64,
+    /// Makespan with pipelined stage execution.
+    pub makespan_pipelined: f64,
+    /// Whether the pipelined makespan is the effective one.
+    pub pipelined: bool,
+    /// Number of operators that ran on an accelerator.
+    pub offloaded: usize,
+}
+
+impl ExecutionReport {
+    /// The effective makespan under the configured execution mode.
+    pub fn makespan(&self) -> f64 {
+        if self.pipelined {
+            self.makespan_pipelined
+        } else {
+            self.makespan_sequential
+        }
+    }
+}
+
+/// The middleware executor.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    fleet: AcceleratorFleet,
+    ledger: CostLedger,
+    migrator: Migrator,
+    migration_path: MigrationPath,
+    /// Honor device annotations (L2+); otherwise everything runs on CPU.
+    offload: bool,
+    /// Pipeline stages (L3).
+    pipelined: bool,
+}
+
+impl Executor {
+    /// An executor over a fleet, posting to `ledger`.
+    pub fn new(fleet: AcceleratorFleet, ledger: CostLedger) -> Self {
+        let migrator = Migrator::new().with_ledger(ledger.clone());
+        Executor {
+            fleet,
+            ledger,
+            migrator,
+            migration_path: MigrationPath::BinaryPipe,
+            offload: true,
+            pipelined: false,
+        }
+    }
+
+    /// Enables/disables accelerator offload (L2).
+    pub fn offload(mut self, on: bool) -> Self {
+        self.offload = on;
+        self
+    }
+
+    /// Enables/disables pipelined stage accounting (L3).
+    pub fn pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
+    /// Uses a specific migration path for cross-engine edges.
+    pub fn migration_path(mut self, path: MigrationPath) -> Self {
+        self.migration_path = path;
+        self
+    }
+
+    /// Replaces the migrator (e.g. accelerated or pipelined).
+    pub fn with_migrator(mut self, migrator: Migrator) -> Self {
+        self.migrator = migrator.with_ledger(self.ledger.clone());
+        self
+    }
+
+    /// The shared ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Executes a validated program against the registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Execution`] (and engine-specific errors) when an
+    /// operator cannot run.
+    pub fn execute(&self, program: &Program, registry: &EngineRegistry) -> Result<ExecutionReport> {
+        program.validate()?;
+        let order = program.topo_order()?;
+        let mut results: HashMap<NodeId, Dataset> = HashMap::new();
+        let mut node_seconds: HashMap<NodeId, f64> = HashMap::new();
+        let mut node_total: HashMap<NodeId, f64> = HashMap::new();
+        let mut migration_seconds = 0.0f64;
+        let mut offloaded = 0usize;
+
+        for id in order {
+            let node = program.node(id);
+            if node.annotations.fused_into_consumer {
+                // Fused nodes forward their input.
+                let input = results
+                    .get(&node.inputs[0])
+                    .ok_or_else(|| Error::Execution(format!("missing input for {id}")))?
+                    .clone();
+                results.insert(id, input);
+                continue;
+            }
+            // Gather inputs, migrating those located on other engines.
+            // Placement fallback: run where the first input already is
+            // ("data gravity"), so cross-engine joins pay migration at
+            // every optimization level.
+            let target_engine = self.target_engine(program, id, registry).or_else(|| {
+                node.inputs
+                    .first()
+                    .and_then(|i| results.get(i))
+                    .map(|d| d.location.clone())
+            });
+            let mut inputs = Vec::with_capacity(node.inputs.len());
+            let mut migration_here = 0.0;
+            for &i in &node.inputs {
+                let mut d = results
+                    .get(&i)
+                    .ok_or_else(|| Error::Execution(format!("missing input for {id}")))?
+                    .clone();
+                if let (Some(target), Payload::Rows { schema, rows }) =
+                    (target_engine.as_ref(), &d.payload)
+                {
+                    if d.location != *target && !rows.is_empty() {
+                        let to_model = registry
+                            .get(target)
+                            .map(|e| e.kind().native_model())
+                            .unwrap_or(d.model);
+                        let batch = Batch::from_rows(schema, rows.clone()).map_err(|e| {
+                            Error::Migration(format!("cannot batch rows for migration: {e}"))
+                        })?;
+                        let (rows2, report) =
+                            self.migrator
+                                .migrate(&batch, self.migration_path, d.model, to_model)?;
+                        migration_here += report.total.as_secs();
+                        d = Dataset::rows(schema.clone(), rows2, to_model, target.clone());
+                    }
+                }
+                inputs.push(d);
+            }
+            migration_seconds += migration_here;
+
+            // Execute the operator for real.
+            let device = if self.offload {
+                node.annotations.device.unwrap_or(DeviceKind::Cpu)
+            } else {
+                DeviceKind::Cpu
+            };
+            let ml_before = self.ledger.busy_for("mlengine");
+            let out = self.run_op(&node.op, &inputs, device, registry, target_engine.clone())?;
+            let ml_delta = self.ledger.busy_for("mlengine") - ml_before;
+
+            // Charge the simulated clock with actual sizes.
+            let work_rows = inputs.iter().map(Dataset::len).max().unwrap_or(out.len()).max(out.len());
+            let work_bytes = inputs
+                .iter()
+                .map(Dataset::byte_size)
+                .max()
+                .unwrap_or_else(|| out.byte_size())
+                .max(out.byte_size());
+            let seconds = if matches!(
+                node.op,
+                Operator::TrainMlp { .. } | Operator::Predict | Operator::KMeansCluster { .. }
+            ) {
+                ml_delta.as_secs()
+            } else {
+                self.charge_op(&node.op, device, work_rows as u64, work_bytes, id)
+            };
+            if device != DeviceKind::Cpu && self.fleet.device(device).is_some() {
+                offloaded += 1;
+            }
+            node_seconds.insert(id, seconds);
+            node_total.insert(id, seconds + migration_here);
+            results.insert(id, out);
+        }
+
+        // Makespans over live-node stages.
+        let stages = program.stages()?;
+        let mut stage_times = Vec::new();
+        for stage in &stages {
+            let t = stage
+                .iter()
+                .filter_map(|id| node_total.get(id))
+                .fold(0.0f64, |a, &b| a.max(b));
+            stage_times.push(t);
+        }
+        let makespan_sequential: f64 = node_total.values().sum();
+        let bottleneck = stage_times.iter().fold(0.0f64, |a, &b| a.max(b));
+        let stage_sum: f64 = stage_times.iter().sum();
+        let makespan_pipelined = bottleneck + (stage_sum - bottleneck) / PIPELINE_CHUNKS;
+
+        let outputs = program
+            .outputs()
+            .iter()
+            .map(|id| {
+                results
+                    .get(id)
+                    .cloned()
+                    .ok_or_else(|| Error::Execution(format!("missing output {id}")))
+            })
+            .collect::<Result<_>>()?;
+        Ok(ExecutionReport {
+            outputs,
+            node_seconds,
+            migration_seconds,
+            makespan_sequential,
+            makespan_pipelined,
+            pipelined: self.pipelined,
+            offloaded,
+        })
+    }
+
+    /// The engine a node executes on: its annotation, or its source
+    /// table's engine, or the first input's location.
+    fn target_engine(
+        &self,
+        program: &Program,
+        id: NodeId,
+        registry: &EngineRegistry,
+    ) -> Option<EngineId> {
+        let node = program.node(id);
+        if let Some(e) = &node.annotations.engine {
+            return Some(e.clone());
+        }
+        if let Some(t) = node.op.source_table() {
+            return Some(t.engine.clone());
+        }
+        // Join at the engine of the (statically) first input when known.
+        let _ = registry;
+        None
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_op(
+        &self,
+        op: &Operator,
+        inputs: &[Dataset],
+        _device: DeviceKind,
+        registry: &EngineRegistry,
+        target_engine: Option<EngineId>,
+    ) -> Result<Dataset> {
+        let loc = |d: &Dataset| d.location.clone();
+        match op {
+            Operator::Scan {
+                table,
+                predicate,
+                projection,
+            } => {
+                let store = registry.relational(&table.engine)?;
+                let cols: Option<Vec<&str>> =
+                    projection.as_ref().map(|p| p.iter().map(String::as_str).collect());
+                let rows = store.scan(&table.name, predicate, cols.as_deref())?;
+                let schema = store.scan_schema(&table.name, cols.as_deref())?;
+                Ok(Dataset::rows(
+                    schema,
+                    rows,
+                    DataModel::Relational,
+                    table.engine.clone(),
+                ))
+            }
+            Operator::KvPrefixScan { table, prefix } => {
+                let EngineInstance::KeyValue(kv) = registry.get(&table.engine)? else {
+                    return Err(Error::Invalid(format!("{} is not a kv store", table.engine)));
+                };
+                let pairs = kv.scan_prefix(prefix);
+                let value_type = pairs
+                    .iter()
+                    .find_map(|(_, v)| v.data_type())
+                    .unwrap_or(DataType::Str);
+                let schema =
+                    Schema::new(vec![("key", DataType::Str), ("value", value_type)]);
+                let rows = pairs
+                    .into_iter()
+                    .map(|(k, v)| Row::from(vec![Value::from(k.to_owned()), v.clone()]))
+                    .collect();
+                Ok(Dataset::rows(schema, rows, DataModel::KeyValue, table.engine.clone()))
+            }
+            Operator::TsRange { table, lo, hi } => {
+                let EngineInstance::Timeseries(ts) = registry.get(&table.engine)? else {
+                    return Err(Error::Invalid(format!("{} is not a ts store", table.engine)));
+                };
+                let pts = ts.range(&table.name, *lo, *hi)?;
+                let schema = Schema::new(vec![("ts", DataType::Timestamp), ("value", DataType::Float)]);
+                let rows = pts
+                    .iter()
+                    .map(|&(t, v)| Row::from(vec![Value::Timestamp(t), Value::Float(v)]))
+                    .collect();
+                Ok(Dataset::rows(schema, rows, DataModel::Timeseries, table.engine.clone()))
+            }
+            Operator::TsWindow {
+                table,
+                lo,
+                hi,
+                width,
+                agg,
+            } => {
+                let EngineInstance::Timeseries(ts) = registry.get(&table.engine)? else {
+                    return Err(Error::Invalid(format!("{} is not a ts store", table.engine)));
+                };
+                let windows = ts.window_aggregate(&table.name, *lo, *hi, *width, ts_agg(*agg))?;
+                // `window_idx` (ordinal window number) is the join-friendly
+                // key: deployments that lay series out as
+                // `entity_id × width + offset` can join entities to their
+                // window aggregates directly.
+                let schema = Schema::new(vec![
+                    ("window_idx", DataType::Int),
+                    ("window_start", DataType::Int),
+                    ("value", DataType::Float),
+                ]);
+                let rows = windows
+                    .into_iter()
+                    .map(|(t, v)| {
+                        Row::from(vec![
+                            Value::Int(t / width.max(&1)),
+                            Value::Int(t),
+                            Value::Float(v),
+                        ])
+                    })
+                    .collect();
+                Ok(Dataset::rows(schema, rows, DataModel::Timeseries, table.engine.clone()))
+            }
+            Operator::StreamWindow {
+                table,
+                lo,
+                hi,
+                width,
+                column,
+                agg,
+            } => {
+                let EngineInstance::Stream(s) = registry.get(&table.engine)? else {
+                    return Err(Error::Invalid(format!("{} is not a stream store", table.engine)));
+                };
+                let windows = s.window_aggregate(
+                    &table.name,
+                    *lo,
+                    *hi,
+                    pspp_streamstore::WindowSpec::Tumbling { width: *width },
+                    *column,
+                    stream_agg(*agg),
+                )?;
+                let schema = Schema::new(vec![
+                    ("window_start", DataType::Int),
+                    ("value", DataType::Float),
+                ]);
+                let rows = windows
+                    .into_iter()
+                    .map(|(t, v)| Row::from(vec![Value::Int(t), Value::Float(v)]))
+                    .collect();
+                Ok(Dataset::rows(schema, rows, DataModel::Stream, table.engine.clone()))
+            }
+            Operator::GraphMatch {
+                table,
+                start_label,
+                steps,
+            } => {
+                let EngineInstance::Graph(g) = registry.get(&table.engine)? else {
+                    return Err(Error::Invalid(format!("{} is not a graph store", table.engine)));
+                };
+                let pattern: Vec<pspp_graphstore::PatternStep> = steps
+                    .iter()
+                    .map(|(rel, label)| pspp_graphstore::PatternStep {
+                        rel: rel.clone(),
+                        node_label: label.clone(),
+                    })
+                    .collect();
+                let paths = g.match_pattern(start_label, &pattern);
+                let arity = steps.len() + 1;
+                let schema = Schema::new(
+                    (0..arity)
+                        .map(|i| (format!("node_{i}"), DataType::Int))
+                        .collect::<Vec<_>>(),
+                );
+                let rows = paths
+                    .into_iter()
+                    .map(|p| p.into_iter().map(|n| Value::Int(n as i64)).collect())
+                    .collect();
+                Ok(Dataset::rows(schema, rows, DataModel::Graph, table.engine.clone()))
+            }
+            Operator::TextSearch { table, terms, mode } => {
+                let EngineInstance::Text(t) = registry.get(&table.engine)? else {
+                    return Err(Error::Invalid(format!("{} is not a text store", table.engine)));
+                };
+                let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+                let (schema, rows) = match mode {
+                    TextSearchMode::All => {
+                        let ids = t.search_all(&term_refs);
+                        (
+                            Schema::new(vec![("doc_id", DataType::Int)]),
+                            ids.into_iter()
+                                .map(|d| Row::from(vec![Value::Int(d as i64)]))
+                                .collect::<Vec<Row>>(),
+                        )
+                    }
+                    TextSearchMode::Any => {
+                        let ids = t.search_any(&term_refs);
+                        (
+                            Schema::new(vec![("doc_id", DataType::Int)]),
+                            ids.into_iter()
+                                .map(|d| Row::from(vec![Value::Int(d as i64)]))
+                                .collect::<Vec<Row>>(),
+                        )
+                    }
+                    TextSearchMode::Ranked(k) => {
+                        let hits = t.search_ranked(&terms.join(" "), *k);
+                        (
+                            Schema::new(vec![
+                                ("doc_id", DataType::Int),
+                                ("score", DataType::Float),
+                            ]),
+                            hits.into_iter()
+                                .map(|(d, s)| {
+                                    Row::from(vec![Value::Int(d as i64), Value::Float(s)])
+                                })
+                                .collect::<Vec<Row>>(),
+                        )
+                    }
+                };
+                Ok(Dataset::rows(schema, rows, DataModel::Text, table.engine.clone()))
+            }
+            Operator::Filter { predicate } => {
+                let d = &inputs[0];
+                let rows = ops::filter_rows(d.schema()?, d.try_rows()?.to_vec(), predicate)?;
+                Ok(Dataset::rows(d.schema()?.clone(), rows, d.model, loc(d)))
+            }
+            Operator::Project { columns } => {
+                let d = &inputs[0];
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                let (schema, rows) = ops::project(d.schema()?, d.try_rows()?, &cols)?;
+                Ok(Dataset::rows(schema, rows, d.model, loc(d)))
+            }
+            Operator::Sort { keys } => {
+                let d = &inputs[0];
+                let sort_keys: Vec<SortKey> = keys
+                    .iter()
+                    .map(|k| SortKey {
+                        column: k.column.clone(),
+                        ascending: k.ascending,
+                    })
+                    .collect();
+                let rows = ops::sort_rows(d.schema()?, d.try_rows()?.to_vec(), &sort_keys)?;
+                Ok(Dataset::rows(d.schema()?.clone(), rows, d.model, loc(d)))
+            }
+            Operator::HashJoin { left_on, right_on } => {
+                let (l, r) = (&inputs[0], &inputs[1]);
+                let (schema, rows) = ops::hash_join(
+                    l.schema()?,
+                    l.try_rows()?,
+                    r.schema()?,
+                    r.try_rows()?,
+                    left_on,
+                    right_on,
+                    JoinKind::Inner,
+                )?;
+                let location = target_engine.unwrap_or_else(|| loc(l));
+                Ok(Dataset::rows(schema, rows, l.model, location))
+            }
+            Operator::SortMergeJoin { left_on, right_on } => {
+                let (l, r) = (&inputs[0], &inputs[1]);
+                let (schema, rows) = ops::sort_merge_join(
+                    l.schema()?,
+                    l.try_rows()?.to_vec(),
+                    r.schema()?,
+                    r.try_rows()?.to_vec(),
+                    left_on,
+                    right_on,
+                )?;
+                let location = target_engine.unwrap_or_else(|| loc(l));
+                Ok(Dataset::rows(schema, rows, l.model, location))
+            }
+            Operator::GroupBy { keys, aggs } => {
+                let d = &inputs[0];
+                let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                let specs: Vec<AggregateSpec> = aggs
+                    .iter()
+                    .map(|a| AggregateSpec::new(agg_fn(a.func), a.column.clone(), a.output.clone()))
+                    .collect();
+                let (schema, rows) = ops::group_by(d.schema()?, d.try_rows()?, &key_refs, &specs)?;
+                Ok(Dataset::rows(schema, rows, d.model, loc(d)))
+            }
+            Operator::Limit { n } => {
+                let d = &inputs[0];
+                let rows = ops::limit(d.try_rows()?.to_vec(), *n);
+                Ok(Dataset::rows(d.schema()?.clone(), rows, d.model, loc(d)))
+            }
+            Operator::TrainMlp {
+                label_column,
+                hidden,
+                epochs,
+                batch_size,
+                learning_rate,
+            } => {
+                let d = &inputs[0];
+                let (data, _) = to_ml_dataset(d, Some(label_column))?;
+                let mut sizes = vec![data.dim()];
+                sizes.extend(hidden.iter().copied());
+                sizes.push(1);
+                let mut mlp = Mlp::new(&sizes, 42)?;
+                let profile = self.training_profile();
+                mlp.train(
+                    profile,
+                    &data,
+                    &TrainConfig {
+                        epochs: *epochs,
+                        batch_size: (*batch_size).max(1),
+                        learning_rate: *learning_rate,
+                    },
+                    Some(&self.ledger),
+                )?;
+                Ok(Dataset {
+                    payload: Payload::Model(Box::new(mlp)),
+                    model: DataModel::Tensor,
+                    location: EngineId::new("middleware"),
+                })
+            }
+            Operator::Predict => {
+                let d = &inputs[0];
+                let mlp = inputs[1].try_model()?;
+                // Score with the first `input_dim` numeric columns — the
+                // convention `TrainMlp` used (features in schema order).
+                let (data, schema) = to_ml_dataset_with_dim(d, None, Some(mlp.input_dim()))?;
+                let probs =
+                    mlp.predict_proba(self.training_profile(), data.features(), Some(&self.ledger))?;
+                let mut fields: Vec<pspp_common::Field> = schema.fields().to_vec();
+                fields.push(pspp_common::Field::new("prediction", DataType::Float));
+                let out_schema = Schema::from_fields(fields);
+                let rows: Vec<Row> = d
+                    .try_rows()?
+                    .iter()
+                    .zip(&probs)
+                    .map(|(r, p)| {
+                        let mut vals = r.values().to_vec();
+                        vals.push(Value::Float(*p));
+                        Row::from(vals)
+                    })
+                    .collect();
+                Ok(Dataset::rows(out_schema, rows, d.model, loc(d)))
+            }
+            Operator::KMeansCluster { k, max_iters } => {
+                let d = &inputs[0];
+                let (data, schema) = to_ml_dataset(d, None)?;
+                let result = KMeans::run(
+                    self.training_profile(),
+                    data.features(),
+                    &KMeansConfig {
+                        k: *k,
+                        max_iters: *max_iters,
+                        ..KMeansConfig::default()
+                    },
+                    Some(&self.ledger),
+                )?;
+                let mut fields: Vec<pspp_common::Field> = schema.fields().to_vec();
+                fields.push(pspp_common::Field::new("cluster", DataType::Int));
+                let out_schema = Schema::from_fields(fields);
+                let rows: Vec<Row> = d
+                    .try_rows()?
+                    .iter()
+                    .zip(&result.assignments)
+                    .map(|(r, &c)| {
+                        let mut vals = r.values().to_vec();
+                        vals.push(Value::Int(c as i64));
+                        Row::from(vals)
+                    })
+                    .collect();
+                Ok(Dataset::rows(out_schema, rows, d.model, loc(d)))
+            }
+            Operator::Custom { name } => {
+                Err(Error::Execution(format!("no adapter for custom op {name}")))
+            }
+        }
+    }
+
+    /// The device profile used for ML kernels: the fleet's best matrix
+    /// engine under offload, otherwise the host.
+    fn training_profile(&self) -> &pspp_accel::DeviceProfile {
+        if self.offload {
+            self.fleet
+                .best_device(KernelClass::Gemm)
+                .unwrap_or_else(|| self.fleet.host())
+        } else {
+            self.fleet.host()
+        }
+    }
+
+    /// Posts the simulated execution cost of an operator and returns its
+    /// seconds.
+    fn charge_op(
+        &self,
+        op: &Operator,
+        device: DeviceKind,
+        rows: u64,
+        bytes: u64,
+        node: NodeId,
+    ) -> f64 {
+        let kernel = kernel_for(op);
+        let profile = match self.fleet.profile(device) {
+            Some(p) if p.supports(kernel) && p.efficiency(kernel) > 0.0 => p,
+            _ => self.fleet.host(),
+        };
+        let cycles = match op {
+            Operator::Sort { .. } | Operator::SortMergeJoin { .. } => {
+                BitonicSorter::cycles(profile, rows)
+            }
+            Operator::HashJoin { .. } | Operator::GroupBy { .. } => {
+                HashPartitioner::cycles(profile, rows)
+            }
+            Operator::Predict => Gemm::cycles(profile, rows, 32, 1),
+            _ => StreamFilter::cycles(profile, rows, bytes),
+        };
+        let mut t = SimDuration::from_secs(
+            profile.cycles_to_s(cycles + profile.launch_overhead_cycles),
+        );
+        if let Some(attached) = self.fleet.device(profile.kind()) {
+            let transfer_bytes = match op {
+                Operator::Sort { .. } | Operator::SortMergeJoin { .. } => rows * 16,
+                _ => bytes,
+            };
+            t += attached.transfer_cost(transfer_bytes);
+        }
+        self.ledger.post(
+            format!("executor.{}@{node}", op.name()),
+            profile.kind(),
+            pspp_accel::EventKind::Compute,
+            bytes,
+            t,
+            profile.energy_j(t.as_secs()),
+        );
+        t.as_secs()
+    }
+}
+
+/// Converts a tabular dataset into an ML dataset; numeric columns become
+/// features (the label column, when given, becomes the target).
+fn to_ml_dataset(d: &Dataset, label: Option<&str>) -> Result<(MlDataset, Schema)> {
+    to_ml_dataset_with_dim(d, label, None)
+}
+
+/// As [`to_ml_dataset`], optionally truncating to the first `dim`
+/// numeric columns (for scoring with an already-trained model).
+fn to_ml_dataset_with_dim(
+    d: &Dataset,
+    label: Option<&str>,
+    dim: Option<usize>,
+) -> Result<(MlDataset, Schema)> {
+    let schema = d.schema()?;
+    let rows = d.try_rows()?;
+    let label_idx = match label {
+        Some(l) => Some(schema.require(l)?),
+        None => None,
+    };
+    let mut feature_cols: Vec<usize> = schema
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(i, f)| Some(*i) != label_idx && f.data_type.is_numeric())
+        .map(|(i, _)| i)
+        .collect();
+    if let Some(dim) = dim {
+        if feature_cols.len() < dim {
+            return Err(Error::Execution(format!(
+                "model expects {dim} features, dataset has {}",
+                feature_cols.len()
+            )));
+        }
+        feature_cols.truncate(dim);
+    }
+    if feature_cols.is_empty() {
+        return Err(Error::Execution("no numeric feature columns".into()));
+    }
+    let examples: Vec<(Vec<f64>, f64)> = rows
+        .iter()
+        .map(|r| {
+            let feats: Vec<f64> = feature_cols
+                .iter()
+                .map(|&c| r[c].as_f64().unwrap_or(0.0))
+                .collect();
+            let y = label_idx
+                .map(|i| r[i].as_f64().unwrap_or(0.0))
+                .unwrap_or(0.0);
+            (feats, y)
+        })
+        .collect();
+    Ok((MlDataset::from_examples(&examples)?, schema.clone()))
+}
+
+fn kernel_for(op: &Operator) -> KernelClass {
+    match op {
+        Operator::Sort { .. } | Operator::SortMergeJoin { .. } => KernelClass::Sort,
+        Operator::HashJoin { .. } => KernelClass::HashPartition,
+        Operator::GroupBy { .. } | Operator::TsWindow { .. } | Operator::StreamWindow { .. } => {
+            KernelClass::Aggregate
+        }
+        Operator::GraphMatch { .. } => KernelClass::GraphTraverse,
+        Operator::TrainMlp { .. } => KernelClass::Gemm,
+        Operator::Predict => KernelClass::Gemv,
+        Operator::KMeansCluster { .. } => KernelClass::KMeans,
+        _ => KernelClass::FilterProject,
+    }
+}
+
+fn ts_agg(a: TsAgg) -> pspp_tsstore::WindowAgg {
+    match a {
+        TsAgg::Mean => pspp_tsstore::WindowAgg::Mean,
+        TsAgg::Min => pspp_tsstore::WindowAgg::Min,
+        TsAgg::Max => pspp_tsstore::WindowAgg::Max,
+        TsAgg::Sum => pspp_tsstore::WindowAgg::Sum,
+        TsAgg::Count => pspp_tsstore::WindowAgg::Count,
+        TsAgg::Last => pspp_tsstore::WindowAgg::Last,
+    }
+}
+
+fn stream_agg(a: TsAgg) -> fn(&[f64]) -> f64 {
+    match a {
+        TsAgg::Mean => |v| v.iter().sum::<f64>() / v.len() as f64,
+        TsAgg::Min => |v| v.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+        TsAgg::Max => |v| v.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+        TsAgg::Sum => |v| v.iter().sum(),
+        TsAgg::Count => |v| v.len() as f64,
+        TsAgg::Last => |v| *v.last().expect("nonempty window"),
+    }
+}
+
+fn agg_fn(f: AggFn) -> Aggregate {
+    match f {
+        AggFn::Count => Aggregate::Count,
+        AggFn::Sum => Aggregate::Sum,
+        AggFn::Avg => Aggregate::Avg,
+        AggFn::Min => Aggregate::Min,
+        AggFn::Max => Aggregate::Max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::{row, Predicate, TableRef};
+    use pspp_relstore::RelationalStore;
+
+    fn registry() -> EngineRegistry {
+        let mut r = EngineRegistry::new();
+        let mut db1 = RelationalStore::new("db1");
+        db1.create_table(
+            "admissions",
+            Schema::new(vec![
+                ("pid", DataType::Int),
+                ("age", DataType::Int),
+                ("los", DataType::Float),
+            ]),
+        )
+        .unwrap();
+        db1.insert(
+            "admissions",
+            (0..200)
+                .map(|i| row![i as i64, (20 + i % 60) as i64, (i % 10) as f64])
+                .collect(),
+        )
+        .unwrap();
+        let mut db2 = RelationalStore::new("db2");
+        db2.create_table(
+            "patients",
+            Schema::new(vec![("pid", DataType::Int), ("name", DataType::Str)]),
+        )
+        .unwrap();
+        db2.insert(
+            "patients",
+            (0..200).map(|i| row![i as i64, format!("p{i}")]).collect(),
+        )
+        .unwrap();
+        r.register(
+            EngineId::new("db1"),
+            EngineInstance::Relational(db1),
+        )
+        .unwrap();
+        r.register(
+            EngineId::new("db2"),
+            EngineInstance::Relational(db2),
+        )
+        .unwrap();
+        r
+    }
+
+    fn exec() -> Executor {
+        Executor::new(AcceleratorFleet::workstation(), CostLedger::new())
+    }
+
+    #[test]
+    fn scan_filter_project_pipeline() {
+        let mut p = Program::new();
+        let s = p.add_source(
+            Operator::Scan {
+                table: TableRef::new("db1", "admissions"),
+                predicate: Predicate::ge("age", 60i64),
+                projection: Some(vec!["pid".into(), "age".into()]),
+            },
+            "sql",
+        );
+        p.mark_output(s);
+        let report = exec().execute(&p, &registry()).unwrap();
+        let out = &report.outputs[0];
+        assert!(out.len() > 0 && out.len() < 200);
+        assert_eq!(out.schema().unwrap().arity(), 2);
+        assert!(report.makespan_sequential > 0.0);
+    }
+
+    #[test]
+    fn cross_engine_join_triggers_migration() {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "patients")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: "pid".into(),
+                right_on: "pid".into(),
+            },
+            vec![a, b],
+            "sql",
+        );
+        // Execute the join at db1: patient rows must migrate.
+        p.node_mut(j).annotations.engine = Some(EngineId::new("db1"));
+        p.mark_output(j);
+        let e = exec();
+        let report = e.execute(&p, &registry()).unwrap();
+        assert_eq!(report.outputs[0].len(), 200);
+        assert!(report.migration_seconds > 0.0);
+        assert!(e.ledger().events().iter().any(|ev| ev.component == "migrate.transfer"));
+    }
+
+    #[test]
+    fn fused_nodes_forward_inputs() {
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let f = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::True,
+            },
+            vec![s],
+            "sql",
+        );
+        p.node_mut(f).annotations.fused_into_consumer = true;
+        let lim = p.add_node(Operator::Limit { n: 5 }, vec![f], "sql");
+        p.mark_output(lim);
+        let report = exec().execute(&p, &registry()).unwrap();
+        assert_eq!(report.outputs[0].len(), 5);
+        assert!(!report.node_seconds.contains_key(&f));
+    }
+
+    #[test]
+    fn train_and_predict_end_to_end() {
+        let mut p = Program::new();
+        let s1 = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let t = p.add_node(
+            Operator::TrainMlp {
+                label_column: "los".into(),
+                hidden: vec![8],
+                epochs: 2,
+                batch_size: 32,
+                learning_rate: 0.1,
+            },
+            vec![s1],
+            "ml",
+        );
+        let s2 = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let pred = p.add_node(Operator::Predict, vec![s2, t], "ml");
+        p.mark_output(pred);
+        let report = exec().execute(&p, &registry()).unwrap();
+        let out = &report.outputs[0];
+        assert_eq!(out.len(), 200);
+        let schema = out.schema().unwrap();
+        assert_eq!(schema.names().last().copied(), Some("prediction"));
+        for r in out.try_rows().unwrap().iter().take(5) {
+            let pr = r[schema.arity() - 1].as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&pr));
+        }
+    }
+
+    #[test]
+    fn group_by_executes() {
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let g = p.add_node(
+            Operator::GroupBy {
+                keys: vec![],
+                aggs: vec![pspp_ir::AggSpec {
+                    func: AggFn::Count,
+                    column: "*".into(),
+                    output: "n".into(),
+                }],
+            },
+            vec![s],
+            "sql",
+        );
+        p.mark_output(g);
+        let report = exec().execute(&p, &registry()).unwrap();
+        assert_eq!(report.outputs[0].try_rows().unwrap()[0][0], Value::Int(200));
+    }
+
+    #[test]
+    fn pipelined_makespan_never_exceeds_sequential() {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let f = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::ge("age", 30i64),
+            },
+            vec![a],
+            "sql",
+        );
+        let sort = p.add_node(
+            Operator::Sort {
+                keys: vec![pspp_ir::SortSpec {
+                    column: "age".into(),
+                    ascending: true,
+                }],
+            },
+            vec![f],
+            "sql",
+        );
+        p.mark_output(sort);
+        let report = exec().pipelined(true).execute(&p, &registry()).unwrap();
+        assert!(report.makespan_pipelined <= report.makespan_sequential + 1e-12);
+        assert!(report.pipelined);
+        assert!(report.makespan() <= report.makespan_sequential);
+    }
+
+    #[test]
+    fn offload_disabled_runs_cpu_only() {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let sort = p.add_node(
+            Operator::Sort {
+                keys: vec![pspp_ir::SortSpec {
+                    column: "age".into(),
+                    ascending: true,
+                }],
+            },
+            vec![a],
+            "sql",
+        );
+        p.node_mut(sort).annotations.device = Some(DeviceKind::Fpga);
+        p.mark_output(sort);
+        let report = exec().offload(false).execute(&p, &registry()).unwrap();
+        assert_eq!(report.offloaded, 0);
+    }
+
+    #[test]
+    fn custom_op_fails_cleanly() {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let c = p.add_node(Operator::Custom { name: "mystery".into() }, vec![a], "x");
+        p.mark_output(c);
+        assert!(matches!(
+            exec().execute(&p, &registry()),
+            Err(Error::Execution(_))
+        ));
+    }
+}

@@ -1,0 +1,21 @@
+//! The Polystore++ middleware runtime (§III, §IV-D).
+//!
+//! * [`Dataset`] — data flowing between operators: rows plus their data
+//!   model and current engine location.
+//! * [`EngineRegistry`] — the deployed engine instances (Fig. 4's server
+//!   pools).
+//! * [`Executor`] — walks an annotated IR program in topological stages,
+//!   dispatches each node to its engine via the adapters, offloads
+//!   annotated kernels to the accelerator fleet, invokes the data
+//!   migrator on cross-engine edges, and accounts the simulated
+//!   makespan both sequentially and pipelined (§IV-D: "the whole
+//!   workload execution can be perceived as a pipeline of the stages'
+//!   execution").
+
+pub mod dataset;
+pub mod executor;
+pub mod registry;
+
+pub use dataset::{Dataset, Payload};
+pub use executor::{ExecutionReport, Executor};
+pub use registry::{EngineInstance, EngineRegistry};

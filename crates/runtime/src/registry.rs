@@ -1,0 +1,180 @@
+//! The engine registry: deployed data-processing engines (Fig. 4).
+
+use std::collections::BTreeMap;
+
+use pspp_arraystore::ArrayStore;
+use pspp_common::{EngineId, EngineKind, Error, Result};
+use pspp_graphstore::GraphStore;
+use pspp_kvstore::KvStore;
+use pspp_relstore::RelationalStore;
+use pspp_streamstore::StreamStore;
+use pspp_textstore::TextStore;
+use pspp_tsstore::TimeseriesStore;
+
+/// One deployed engine.
+#[derive(Debug, Clone)]
+pub enum EngineInstance {
+    /// Relational store.
+    Relational(RelationalStore),
+    /// Key/value store.
+    KeyValue(KvStore),
+    /// Timeseries store.
+    Timeseries(TimeseriesStore),
+    /// Graph store.
+    Graph(GraphStore),
+    /// Array store.
+    Array(ArrayStore),
+    /// Text store.
+    Text(TextStore),
+    /// Stream store.
+    Stream(StreamStore),
+}
+
+impl EngineInstance {
+    /// The engine kind.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            EngineInstance::Relational(_) => EngineKind::Relational,
+            EngineInstance::KeyValue(_) => EngineKind::KeyValue,
+            EngineInstance::Timeseries(_) => EngineKind::Timeseries,
+            EngineInstance::Graph(_) => EngineKind::Graph,
+            EngineInstance::Array(_) => EngineKind::Array,
+            EngineInstance::Text(_) => EngineKind::Text,
+            EngineInstance::Stream(_) => EngineKind::Stream,
+        }
+    }
+}
+
+/// All engines of a deployment, keyed by id.
+#[derive(Debug, Clone, Default)]
+pub struct EngineRegistry {
+    engines: BTreeMap<EngineId, EngineInstance>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        EngineRegistry::default()
+    }
+
+    /// Registers an engine under its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AlreadyExists`] on id collisions.
+    pub fn register(&mut self, id: EngineId, engine: EngineInstance) -> Result<()> {
+        if self.engines.contains_key(&id) {
+            return Err(Error::AlreadyExists(format!("engine {id}")));
+        }
+        self.engines.insert(id, engine);
+        Ok(())
+    }
+
+    /// Looks up an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EngineNotFound`] for unknown ids.
+    pub fn get(&self, id: &EngineId) -> Result<&EngineInstance> {
+        self.engines
+            .get(id)
+            .ok_or_else(|| Error::EngineNotFound(id.to_string()))
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EngineNotFound`] for unknown ids.
+    pub fn get_mut(&mut self, id: &EngineId) -> Result<&mut EngineInstance> {
+        self.engines
+            .get_mut(id)
+            .ok_or_else(|| Error::EngineNotFound(id.to_string()))
+    }
+
+    /// The relational store with this id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EngineNotFound`] or [`Error::Invalid`] on kind
+    /// mismatch.
+    pub fn relational(&self, id: &EngineId) -> Result<&RelationalStore> {
+        match self.get(id)? {
+            EngineInstance::Relational(s) => Ok(s),
+            other => Err(Error::Invalid(format!(
+                "engine {id} is {}, not relational",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Mutable relational store accessor.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineRegistry::relational`].
+    pub fn relational_mut(&mut self, id: &EngineId) -> Result<&mut RelationalStore> {
+        match self.get_mut(id)? {
+            EngineInstance::Relational(s) => Ok(s),
+            other => Err(Error::Invalid(format!(
+                "engine {id} is {}, not relational",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Engine ids with kinds, in id order.
+    pub fn list(&self) -> Vec<(&EngineId, EngineKind)> {
+        self.engines.iter().map(|(id, e)| (id, e.kind())).collect()
+    }
+
+    /// Number of engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = EngineRegistry::new();
+        r.register(
+            EngineId::new("db1"),
+            EngineInstance::Relational(RelationalStore::new("db1")),
+        )
+        .unwrap();
+        r.register(
+            EngineId::new("kv"),
+            EngineInstance::KeyValue(KvStore::new("kv")),
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.relational(&EngineId::new("db1")).is_ok());
+        assert!(r.relational(&EngineId::new("kv")).is_err());
+        assert!(r.get(&EngineId::new("nope")).is_err());
+        let err = r.register(
+            EngineId::new("db1"),
+            EngineInstance::Relational(RelationalStore::new("db1")),
+        );
+        assert!(matches!(err, Err(Error::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn kinds_reported() {
+        let mut r = EngineRegistry::new();
+        r.register(
+            EngineId::new("g"),
+            EngineInstance::Graph(GraphStore::new("g")),
+        )
+        .unwrap();
+        assert_eq!(r.list()[0].1, EngineKind::Graph);
+    }
+}

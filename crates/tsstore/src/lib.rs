@@ -1,0 +1,381 @@
+//! A timeseries data-processing engine (TimescaleDB-like substrate).
+//!
+//! Holds named series of `(timestamp, f64)` points (the paper's ICU
+//! bedside-device feeds and clickstreams, Fig. 1–2), with native
+//! operators: append, range query, tumbling-window aggregation,
+//! downsampling, linear gap-fill and rate-of-change. Costs are posted to
+//! the shared [`CostLedger`].
+//!
+//! # Examples
+//!
+//! ```
+//! use pspp_tsstore::{TimeseriesStore, WindowAgg};
+//!
+//! let mut ts = TimeseriesStore::new("vitals");
+//! ts.append("hr:p1", 0, 80.0);
+//! ts.append("hr:p1", 60, 82.0);
+//! ts.append("hr:p1", 120, 95.0);
+//! let w = ts.window_aggregate("hr:p1", 0, 180, 120, WindowAgg::Mean).unwrap();
+//! assert_eq!(w.len(), 2);
+//! assert_eq!(w[0].1, 81.0);
+//! ```
+
+use std::collections::BTreeMap;
+
+use pspp_accel::kernels::KernelReport;
+use pspp_accel::{CostLedger, DeviceProfile, KernelClass};
+use pspp_common::{row, EngineId, Error, Result, Row};
+
+/// A single observation.
+pub type Point = (i64, f64);
+
+/// Aggregation functions over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowAgg {
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Number of points.
+    Count,
+    /// Last value in the window.
+    Last,
+}
+
+impl WindowAgg {
+    fn apply(self, points: &[Point]) -> Option<f64> {
+        if points.is_empty() {
+            return None;
+        }
+        let vals = points.iter().map(|p| p.1);
+        Some(match self {
+            WindowAgg::Mean => vals.clone().sum::<f64>() / points.len() as f64,
+            WindowAgg::Min => vals.fold(f64::INFINITY, f64::min),
+            WindowAgg::Max => vals.fold(f64::NEG_INFINITY, f64::max),
+            WindowAgg::Sum => vals.sum(),
+            WindowAgg::Count => points.len() as f64,
+            WindowAgg::Last => points.last().expect("nonempty").1,
+        })
+    }
+}
+
+/// The timeseries engine.
+#[derive(Debug, Clone)]
+pub struct TimeseriesStore {
+    id: EngineId,
+    series: BTreeMap<String, Vec<Point>>,
+    ledger: CostLedger,
+    cpu: DeviceProfile,
+}
+
+impl TimeseriesStore {
+    /// An empty store.
+    pub fn new(id: impl Into<EngineId>) -> Self {
+        TimeseriesStore {
+            id: id.into(),
+            series: BTreeMap::new(),
+            ledger: CostLedger::new(),
+            cpu: DeviceProfile::cpu(),
+        }
+    }
+
+    /// Attaches a shared cost ledger.
+    pub fn with_ledger(mut self, ledger: CostLedger) -> Self {
+        self.ledger = ledger;
+        self
+    }
+
+    /// The engine id.
+    pub fn id(&self) -> &EngineId {
+        &self.id
+    }
+
+    /// The cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Appends one observation, keeping the series time-ordered (out of
+    /// order points are inserted at the right position).
+    pub fn append(&mut self, series: impl Into<String>, ts: i64, value: f64) {
+        let s = self.series.entry(series.into()).or_default();
+        match s.last() {
+            Some(&(last, _)) if last > ts => {
+                let pos = s.partition_point(|&(t, _)| t <= ts);
+                s.insert(pos, (ts, value));
+            }
+            _ => s.push((ts, value)),
+        }
+        self.charge("tsstore.append", 1, 16, 30);
+    }
+
+    /// Bulk append.
+    pub fn append_many(&mut self, series: &str, points: impl IntoIterator<Item = Point>) {
+        for (ts, v) in points {
+            self.append(series.to_owned(), ts, v);
+        }
+    }
+
+    /// Names of all series.
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Number of points in a series (0 if absent).
+    pub fn len(&self, series: &str) -> usize {
+        self.series.get(series).map_or(0, Vec::len)
+    }
+
+    /// Whether the store holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Points with `lo <= ts < hi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableNotFound`] for unknown series.
+    pub fn range(&self, series: &str, lo: i64, hi: i64) -> Result<&[Point]> {
+        let s = self
+            .series
+            .get(series)
+            .ok_or_else(|| Error::TableNotFound(format!("series {series}")))?;
+        let start = s.partition_point(|&(t, _)| t < lo);
+        let end = s.partition_point(|&(t, _)| t < hi);
+        let out = &s[start..end];
+        self.charge("tsstore.range", out.len() as u64, out.len() as u64 * 16, 60 + out.len() as u64);
+        Ok(out)
+    }
+
+    /// Tumbling-window aggregation over `[lo, hi)` with windows of
+    /// `width` time units; returns `(window_start, aggregate)` for
+    /// non-empty windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableNotFound`] or [`Error::Invalid`] for a
+    /// non-positive width.
+    pub fn window_aggregate(
+        &self,
+        series: &str,
+        lo: i64,
+        hi: i64,
+        width: i64,
+        agg: WindowAgg,
+    ) -> Result<Vec<(i64, f64)>> {
+        if width <= 0 {
+            return Err(Error::Invalid("window width must be positive".into()));
+        }
+        let points = self.range(series, lo, hi)?;
+        let mut out = Vec::new();
+        let mut w_start = lo;
+        let mut i = 0usize;
+        while w_start < hi {
+            let w_end = (w_start + width).min(hi);
+            let begin = i;
+            while i < points.len() && points[i].0 < w_end {
+                i += 1;
+            }
+            if let Some(v) = agg.apply(&points[begin..i]) {
+                out.push((w_start, v));
+            }
+            w_start = w_end;
+        }
+        self.charge(
+            "tsstore.window",
+            points.len() as u64,
+            points.len() as u64 * 16,
+            points.len() as u64 * 4,
+        );
+        Ok(out)
+    }
+
+    /// Downsamples a series to at most `target` points via window means.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableNotFound`] for unknown series or
+    /// [`Error::Invalid`] for `target == 0`.
+    pub fn downsample(&self, series: &str, target: usize) -> Result<Vec<Point>> {
+        if target == 0 {
+            return Err(Error::Invalid("target must be positive".into()));
+        }
+        let s = self
+            .series
+            .get(series)
+            .ok_or_else(|| Error::TableNotFound(format!("series {series}")))?;
+        if s.len() <= target {
+            return Ok(s.clone());
+        }
+        let (lo, hi) = (s[0].0, s[s.len() - 1].0 + 1);
+        let width = ((hi - lo) as f64 / target as f64).ceil() as i64;
+        self.window_aggregate(series, lo, hi, width.max(1), WindowAgg::Mean)
+    }
+
+    /// Linear interpolation at timestamp `at`.
+    ///
+    /// Returns `None` outside the series' time span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableNotFound`] for unknown series.
+    pub fn interpolate(&self, series: &str, at: i64) -> Result<Option<f64>> {
+        let s = self
+            .series
+            .get(series)
+            .ok_or_else(|| Error::TableNotFound(format!("series {series}")))?;
+        if s.is_empty() || at < s[0].0 || at > s[s.len() - 1].0 {
+            return Ok(None);
+        }
+        let pos = s.partition_point(|&(t, _)| t < at);
+        if pos < s.len() && s[pos].0 == at {
+            return Ok(Some(s[pos].1));
+        }
+        let (t0, v0) = s[pos - 1];
+        let (t1, v1) = s[pos];
+        let frac = (at - t0) as f64 / (t1 - t0) as f64;
+        Ok(Some(v0 + frac * (v1 - v0)))
+    }
+
+    /// Discrete rate of change between consecutive points (per time unit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableNotFound`] for unknown series.
+    pub fn rate(&self, series: &str) -> Result<Vec<Point>> {
+        let s = self
+            .series
+            .get(series)
+            .ok_or_else(|| Error::TableNotFound(format!("series {series}")))?;
+        Ok(s.windows(2)
+            .filter(|w| w[1].0 > w[0].0)
+            .map(|w| (w[1].0, (w[1].1 - w[0].1) / (w[1].0 - w[0].0) as f64))
+            .collect())
+    }
+
+    /// Exports a series as relational rows `(ts: Timestamp, value: Float)`
+    /// — the CAST projection used by the data migrator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableNotFound`] for unknown series.
+    pub fn to_rows(&self, series: &str) -> Result<Vec<Row>> {
+        let s = self
+            .series
+            .get(series)
+            .ok_or_else(|| Error::TableNotFound(format!("series {series}")))?;
+        Ok(s.iter()
+            .map(|&(t, v)| row![pspp_common::Value::Timestamp(t), v])
+            .collect())
+    }
+
+    fn charge(&self, component: &str, elems: u64, bytes: u64, cycles: u64) {
+        KernelReport::charge(
+            &self.cpu,
+            KernelClass::Aggregate,
+            elems,
+            bytes,
+            cycles,
+            Some(&self.ledger),
+            component,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TimeseriesStore {
+        let mut ts = TimeseriesStore::new("ts");
+        ts.append_many("s", (0..10).map(|i| (i * 10, i as f64)));
+        ts
+    }
+
+    #[test]
+    fn range_half_open() {
+        let ts = store();
+        let r = ts.range("s", 10, 40).unwrap();
+        assert_eq!(r, &[(10, 1.0), (20, 2.0), (30, 3.0)]);
+        assert!(ts.range("nope", 0, 1).is_err());
+    }
+
+    #[test]
+    fn out_of_order_appends_are_sorted() {
+        let mut ts = TimeseriesStore::new("ts");
+        ts.append("s", 100, 1.0);
+        ts.append("s", 50, 0.5);
+        ts.append("s", 75, 0.75);
+        let pts: Vec<i64> = ts.range("s", 0, 200).unwrap().iter().map(|p| p.0).collect();
+        assert_eq!(pts, vec![50, 75, 100]);
+    }
+
+    #[test]
+    fn window_aggregates() {
+        let ts = store();
+        let means = ts.window_aggregate("s", 0, 100, 50, WindowAgg::Mean).unwrap();
+        assert_eq!(means, vec![(0, 2.0), (50, 7.0)]);
+        let counts = ts.window_aggregate("s", 0, 100, 30, WindowAgg::Count).unwrap();
+        assert_eq!(counts.iter().map(|w| w.1 as i64).sum::<i64>(), 10);
+        let max = ts.window_aggregate("s", 0, 100, 100, WindowAgg::Max).unwrap();
+        assert_eq!(max, vec![(0, 9.0)]);
+        assert!(ts.window_aggregate("s", 0, 100, 0, WindowAgg::Mean).is_err());
+    }
+
+    #[test]
+    fn empty_windows_skipped() {
+        let mut ts = TimeseriesStore::new("ts");
+        ts.append("s", 0, 1.0);
+        ts.append("s", 95, 2.0);
+        let w = ts.window_aggregate("s", 0, 100, 10, WindowAgg::Sum).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[1].0, 90);
+    }
+
+    #[test]
+    fn downsample_reduces_points() {
+        let mut ts = TimeseriesStore::new("ts");
+        ts.append_many("big", (0..1000).map(|i| (i, (i % 7) as f64)));
+        let small = ts.downsample("big", 100).unwrap();
+        assert!(small.len() <= 100);
+        assert!(small.len() >= 90);
+        // No-op when already small enough.
+        assert_eq!(ts.downsample("big", 5000).unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn interpolation() {
+        let ts = store();
+        assert_eq!(ts.interpolate("s", 15).unwrap(), Some(1.5));
+        assert_eq!(ts.interpolate("s", 20).unwrap(), Some(2.0));
+        assert_eq!(ts.interpolate("s", -5).unwrap(), None);
+        assert_eq!(ts.interpolate("s", 1000).unwrap(), None);
+    }
+
+    #[test]
+    fn rate_of_change() {
+        let ts = store();
+        let r = ts.rate("s").unwrap();
+        assert_eq!(r.len(), 9);
+        assert!((r[0].1 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_export() {
+        let ts = store();
+        let rows = ts.to_rows("s").unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[3][0], pspp_common::Value::Timestamp(30));
+    }
+
+    #[test]
+    fn costs_charged() {
+        let ts = store();
+        assert!(ts.ledger().len() >= 10);
+    }
+}

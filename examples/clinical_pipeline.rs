@@ -1,0 +1,41 @@
+//! The paper's Fig. 2 scenario end to end: a natural-language question
+//! compiles to a heterogeneous program spanning the relational, text and
+//! timeseries engines, trains a neural model, and the same system scores
+//! new admissions — once CPU-only, once accelerated.
+//!
+//! ```text
+//! cargo run --example clinical_pipeline
+//! ```
+
+use polystorepp::prelude::*;
+
+fn run(level: OptLevel, fleet: AcceleratorFleet) -> Result<(f64, usize)> {
+    let deployment = datagen::clinical(&ClinicalConfig {
+        patients: 400,
+        vitals_per_patient: 24,
+        seed: 2019,
+    });
+    let mut system = Polystore::from_deployment(deployment)
+        .accelerators(fleet)
+        .opt_level(level)
+        .build()?;
+    let report = system.run_nlq(
+        "Will patients have a long stay at the hospital (> 5 days) or short (<= 5 days) \
+         when they exit the ICU?",
+    )?;
+    assert!(report.execution.outputs[0].try_model().is_ok());
+    Ok((report.makespan(), report.execution.offloaded))
+}
+
+fn main() -> Result<()> {
+    println!("Fig. 2 clinical pipeline: rel + text + ts -> join -> MLP training\n");
+    let (cpu, _) = run(OptLevel::L1, AcceleratorFleet::cpu_only())?;
+    let (accel, offloaded) = run(OptLevel::L3, AcceleratorFleet::workstation())?;
+    println!("CPU-only polystore   : {:>10.3} ms (simulated)", cpu * 1e3);
+    println!(
+        "Polystore++ (L3)     : {:>10.3} ms (simulated), {offloaded} ops offloaded",
+        accel * 1e3
+    );
+    println!("speedup              : {:>10.2}x", cpu / accel);
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Fig. 8: active-learning design-space exploration vs random sampling.
+//!
+//! The design space mixes categorical (device per kernel) and ordinal
+//! (batch size) variables; objectives are simulated latency and energy.
+//!
+//! ```text
+//! cargo run --example design_space_exploration
+//! ```
+
+use polystorepp::accel::kernels::BitonicSorter;
+use polystorepp::optimizer::dse::{ActiveLearner, DesignSpace, Param, RandomSearch};
+use polystorepp::prelude::*;
+
+fn main() -> Result<()> {
+    let space = DesignSpace::new(vec![
+        Param::categorical("sort_device", &["cpu", "gpu", "fpga"]),
+        Param::categorical("gemm_device", &["cpu", "gpu", "tpu"]),
+        Param::ordinal("batch_kilo_rows", &[64.0, 256.0, 1024.0, 4096.0]),
+    ]);
+
+    // Objectives: (latency s, energy J) of sorting + training one batch.
+    let eval = |point: &Vec<usize>| {
+        let enc = space.encode(point);
+        let n = (enc[2] * 1000.0) as u64;
+        let sort_dev = [DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Fpga][point[0]];
+        let gemm_dev = [DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Tpu][point[1]];
+        let sort = DeviceProfile::preset(sort_dev);
+        let gemm = DeviceProfile::preset(gemm_dev);
+        let t_sort = sort.cycles_to_s(BitonicSorter::cycles(&sort, n));
+        let t_gemm = gemm.cycles_to_s(
+            polystorepp::accel::kernels::Gemm::cycles(&gemm, n / 64, 64, 64),
+        );
+        let latency = t_sort + t_gemm;
+        let energy = sort.energy_j(t_sort) + gemm.energy_j(t_gemm);
+        vec![latency, energy]
+    };
+
+    let budget = 30;
+    let (rand_front, _) = RandomSearch::new(1).run(&space, budget, eval);
+    let (al_front, _) = ActiveLearner::new(1).run(&space, budget, eval);
+
+    let reference = [0.5, 500.0];
+    println!("budget: {budget} evaluations each\n");
+    println!(
+        "random search : {} Pareto points, hypervolume {:.4}",
+        rand_front.len(),
+        rand_front.hypervolume(&reference)?
+    );
+    println!(
+        "active learner: {} Pareto points, hypervolume {:.4}",
+        al_front.len(),
+        al_front.hypervolume(&reference)?
+    );
+    println!("\nactive-learning Pareto front (latency s, energy J):");
+    for (point, obj) in al_front.entries() {
+        println!("  [{:9.3e} s, {:9.3e} J]  {}", obj[0], obj[1], space.describe(point));
+    }
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! Workspace-wide property-based tests on core invariants.
+
+use polystorepp::accel::kernels::{Gemm, HashPartitioner, Matrix};
+use polystorepp::accel::{DeviceProfile, LogCa};
+use polystorepp::migrate::csv;
+use polystorepp::optimizer::dse::ParetoFront;
+use polystorepp::prelude::*;
+use polystorepp::relstore::ops;
+use polystorepp::relstore::{JoinKind, SortKey};
+use polystorepp::common::SplitMix64;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Float),
+        "[a-z ]{0,12}".prop_map(Value::from),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hash join and sort-merge join agree on arbitrary key multisets.
+    #[test]
+    fn joins_agree(lk in prop::collection::vec(0i64..20, 0..40),
+                   rk in prop::collection::vec(0i64..20, 0..40)) {
+        let schema = Schema::new(vec![("k", DataType::Int)]);
+        let left: Vec<Row> = lk.iter().map(|&k| row![k]).collect();
+        let right: Vec<Row> = rk.iter().map(|&k| row![k]).collect();
+        let (_, mut h) = ops::hash_join(&schema, &left, &schema, &right, "k", "k", JoinKind::Inner)
+            .expect("hash join");
+        let (_, mut m) = ops::sort_merge_join(&schema, left, &schema, right, "k", "k")
+            .expect("merge join");
+        h.sort();
+        m.sort();
+        prop_assert_eq!(h, m);
+    }
+
+    /// Sorting is idempotent and a permutation.
+    #[test]
+    fn sort_rows_permutation(keys in prop::collection::vec(any::<i64>(), 0..60)) {
+        let schema = Schema::new(vec![("k", DataType::Int)]);
+        let rows: Vec<Row> = keys.iter().map(|&k| row![k]).collect();
+        let sorted = ops::sort_rows(&schema, rows.clone(), &[SortKey::asc("k")]).expect("sorts");
+        let twice = ops::sort_rows(&schema, sorted.clone(), &[SortKey::asc("k")]).expect("sorts");
+        prop_assert_eq!(&sorted, &twice);
+        let mut a: Vec<i64> = rows.iter().map(|r| r[0].as_i64().expect("int")).collect();
+        let b: Vec<i64> = sorted.iter().map(|r| r[0].as_i64().expect("int")).collect();
+        a.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// CSV round-trips arbitrary typed rows (including NULLs, commas and
+    /// quotes in strings).
+    #[test]
+    fn csv_roundtrip(cells in prop::collection::vec((any::<i64>(), "[a-z,\"]{0,10}", any::<bool>()), 0..30)) {
+        let schema = Schema::new(vec![
+            ("i", DataType::Int),
+            ("s", DataType::Str),
+            ("b", DataType::Bool),
+        ]);
+        let rows: Vec<Row> = cells
+            .iter()
+            .map(|(i, s, b)| row![*i, s.clone(), *b])
+            .collect();
+        let batch = Batch::from_rows(&schema, rows.clone()).expect("valid batch");
+        let decoded = csv::decode(&schema, &csv::encode(&batch)).expect("decodes");
+        prop_assert_eq!(decoded, rows);
+    }
+
+    /// GEMM distributes over addition: A(B+C) = AB + AC.
+    #[test]
+    fn gemm_distributive(seed in 0u64..500) {
+        let mut rng = SplitMix64::new(seed);
+        let dim = 6;
+        let mk = |rng: &mut SplitMix64| {
+            Matrix::from_vec(dim, dim, (0..dim * dim).map(|_| rng.next_range(-2.0, 2.0)).collect())
+                .expect("square matrix")
+        };
+        let a = mk(&mut rng);
+        let b = mk(&mut rng);
+        let c = mk(&mut rng);
+        let mut b_plus_c = b.clone();
+        for r in 0..dim {
+            for k in 0..dim {
+                let v = b_plus_c.get(r, k) + c.get(r, k);
+                b_plus_c.set(r, k, v);
+            }
+        }
+        let lhs = Gemm::multiply_host(&a, &b_plus_c).expect("gemm");
+        let ab = Gemm::multiply_host(&a, &b).expect("gemm");
+        let ac = Gemm::multiply_host(&a, &c).expect("gemm");
+        for r in 0..dim {
+            for k in 0..dim {
+                prop_assert!((lhs.get(r, k) - (ab.get(r, k) + ac.get(r, k))).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// LogCA speedup is monotone non-decreasing in granularity for β≥1.
+    #[test]
+    fn logca_monotone(o in 1e-7f64..1e-3, c in 1e-11f64..1e-8, a in 1.1f64..100.0) {
+        let m = LogCa::new(8.3e-11, o, c, 1.0, a);
+        let mut last = 0.0;
+        for g in [1u64 << 6, 1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26] {
+            let s = m.speedup(g);
+            prop_assert!(s >= last - 1e-12);
+            last = s;
+        }
+        prop_assert!(last <= m.asymptotic_speedup() * 1.001);
+    }
+
+    /// Hash partitioning is a deterministic partition of the input.
+    #[test]
+    fn partition_is_partition(keys in prop::collection::vec(any::<u64>(), 0..200),
+                              parts in 1usize..16) {
+        let cpu = DeviceProfile::cpu();
+        let (out, _) = HashPartitioner::run(&cpu, keys.clone(), parts, |k| *k, None, "prop");
+        prop_assert_eq!(out.len(), parts);
+        let mut flat: Vec<u64> = out.into_iter().flatten().collect();
+        let mut orig = keys;
+        flat.sort_unstable();
+        orig.sort_unstable();
+        prop_assert_eq!(flat, orig);
+    }
+
+    /// The Pareto front never contains a dominated pair.
+    #[test]
+    fn pareto_front_invariant(points in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..60)) {
+        let mut front = ParetoFront::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            front.insert(vec![i], vec![*x, *y]);
+        }
+        for (_, a) in front.entries() {
+            for (_, b) in front.entries() {
+                prop_assert!(!(ParetoFront::dominates(a, b)), "{a:?} dominates {b:?}");
+            }
+        }
+    }
+
+    /// Value casts to Str and back preserve numeric payloads.
+    #[test]
+    fn value_str_cast_roundtrip(v in any::<i64>()) {
+        let original = Value::Int(v);
+        let text = original.cast(DataType::Str).expect("casts to str");
+        let back = text.cast(DataType::Int).expect("casts back");
+        prop_assert_eq!(back, original);
+    }
+
+    /// Predicate evaluation never errors on schema-valid rows.
+    #[test]
+    fn predicate_total_on_valid_rows(v in arb_value(), threshold in any::<i64>()) {
+        let schema = Schema::new(vec![("x", DataType::Int)]);
+        let row = Row::from(vec![v.cast(DataType::Int).unwrap_or(Value::Null)]);
+        for p in [
+            Predicate::eq("x", threshold),
+            Predicate::lt("x", threshold),
+            Predicate::IsNull("x".into()),
+            Predicate::ge("x", threshold).not(),
+        ] {
+            prop_assert!(p.eval(&schema, &row).is_ok());
+        }
+    }
+}

@@ -31,14 +31,14 @@ impl KernelFootprint {
     /// Default LUT footprints per kernel class on the reference fabric.
     pub fn default_luts(kernel: KernelClass) -> u64 {
         match kernel {
-            KernelClass::Sort => 180_000,          // bitonic network + merger
-            KernelClass::FilterProject => 45_000,  // comparators + muxes
-            KernelClass::Gemm => 320_000,          // MAC tile array
+            KernelClass::Sort => 180_000,         // bitonic network + merger
+            KernelClass::FilterProject => 45_000, // comparators + muxes
+            KernelClass::Gemm => 320_000,         // MAC tile array
             KernelClass::Gemv => 120_000,
             KernelClass::HashPartition => 70_000,
             KernelClass::Aggregate => 60_000,
-            KernelClass::Serialize => 85_000,      // type converters + framer
-            KernelClass::RuleTransform => 50_000,  // encoded data-flow rules
+            KernelClass::Serialize => 85_000, // type converters + framer
+            KernelClass::RuleTransform => 50_000, // encoded data-flow rules
             KernelClass::KMeans => 150_000,
             KernelClass::GraphTraverse => 110_000,
         }
@@ -117,10 +117,8 @@ impl AreaAllocator {
             }
         }
         let (utility, chosen) = dp[cap].clone();
-        let selected: Vec<KernelFootprint> = chosen
-            .iter()
-            .map(|&i| candidates[i].clone())
-            .collect();
+        let selected: Vec<KernelFootprint> =
+            chosen.iter().map(|&i| candidates[i].clone()).collect();
         let used: u64 = selected.iter().map(|k| k.luts).sum();
         Allocation {
             selected,

@@ -205,10 +205,9 @@ impl DeviceProfile {
             DeviceKind::Cpu | DeviceKind::Fpga | DeviceKind::Cgra => true,
             // Divergent control flow (rule engines, varlen text framing)
             // does not map onto SIMD lanes.
-            DeviceKind::Gpu => !matches!(
-                kernel,
-                KernelClass::RuleTransform | KernelClass::Serialize
-            ),
+            DeviceKind::Gpu => {
+                !matches!(kernel, KernelClass::RuleTransform | KernelClass::Serialize)
+            }
             DeviceKind::Tpu => matches!(
                 kernel,
                 KernelClass::Gemm | KernelClass::Gemv | KernelClass::KMeans

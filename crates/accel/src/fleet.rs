@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 use pspp_common::{Error, Result};
 
 use crate::device::{DeviceKind, DeviceProfile, KernelClass};
-use crate::kernels::{filter::StreamFilter, gemm::Gemm, partition::HashPartitioner, sort::BitonicSorter};
+use crate::kernels::{
+    filter::StreamFilter, gemm::Gemm, partition::HashPartitioner, sort::BitonicSorter,
+};
 use crate::ledger::SimDuration;
 use crate::link::Interconnect;
 
@@ -202,15 +204,19 @@ impl AcceleratorFleet {
     /// Estimated end-to-end time of running `kernel` over `elems`
     /// reference elements on `device`, including transfer in coprocessor
     /// mode. This is the fleet's internal cost model for device selection.
-    pub fn estimate(&self, device: DeviceKind, kernel: KernelClass, elems: u64) -> Option<SimDuration> {
+    pub fn estimate(
+        &self,
+        device: DeviceKind,
+        kernel: KernelClass,
+        elems: u64,
+    ) -> Option<SimDuration> {
         let profile = self.profile(device)?;
         if !profile.supports(kernel) || profile.efficiency(kernel) <= 0.0 {
             return None;
         }
         let cycles = reference_cycles(profile, kernel, elems);
-        let mut t = SimDuration::from_secs(
-            profile.cycles_to_s(cycles + profile.launch_overhead_cycles),
-        );
+        let mut t =
+            SimDuration::from_secs(profile.cycles_to_s(cycles + profile.launch_overhead_cycles));
         if let Some(attached) = self.device(device) {
             t += attached.transfer_cost(elems * 8);
         }
@@ -346,7 +352,10 @@ mod tests {
         );
         let datacenter = AcceleratorFleet::datacenter();
         assert_eq!(
-            datacenter.best_device(KernelClass::Serialize).unwrap().kind(),
+            datacenter
+                .best_device(KernelClass::Serialize)
+                .unwrap()
+                .kind(),
             DeviceKind::Fpga
         );
     }
@@ -374,6 +383,8 @@ mod tests {
     #[test]
     fn unsupported_kernel_estimate_is_none() {
         let fleet = AcceleratorFleet::workstation();
-        assert!(fleet.estimate(DeviceKind::Tpu, KernelClass::Sort, 1024).is_none());
+        assert!(fleet
+            .estimate(DeviceKind::Tpu, KernelClass::Sort, 1024)
+            .is_none());
     }
 }

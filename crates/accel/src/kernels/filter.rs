@@ -122,14 +122,8 @@ mod tests {
     #[test]
     fn filters_correctly() {
         let data: Vec<i64> = (0..100).collect();
-        let (kept, outcome) = StreamFilter::run(
-            &DeviceProfile::cpu(),
-            &data,
-            8,
-            |x| **x % 2 == 0,
-            None,
-            "t",
-        );
+        let (kept, outcome) =
+            StreamFilter::run(&DeviceProfile::cpu(), &data, 8, |x| **x % 2 == 0, None, "t");
         assert_eq!(kept.len(), 50);
         assert_eq!(outcome.rows_out, 50);
         assert!((outcome.reduction() - 0.5).abs() < 1e-9);

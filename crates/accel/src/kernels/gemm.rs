@@ -72,7 +72,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -181,8 +185,7 @@ impl Gemm {
         } else {
             KernelClass::Gemm
         };
-        let report =
-            KernelReport::charge(profile, kernel, m * n, bytes, cycles, ledger, component);
+        let report = KernelReport::charge(profile, kernel, m * n, bytes, cycles, ledger, component);
         Ok((c, report))
     }
 
@@ -208,8 +211,7 @@ impl Gemm {
             let k_hi = (kk + BLOCK).min(k);
             for i in 0..m {
                 let a_row = a.row(i);
-                for p in kk..k_hi {
-                    let av = a_row[p];
+                for (p, &av) in a_row.iter().enumerate().take(k_hi).skip(kk) {
                     if av == 0.0 {
                         continue;
                     }
@@ -265,17 +267,28 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = Gemm::multiply_host(&a, &b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
     fn multiply_matches_naive_on_random() {
         let mut rng = SplitMix64::new(3);
         let (m, k, n) = (17, 33, 9);
-        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.next_range(-1.0, 1.0)).collect())
-            .unwrap();
-        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.next_range(-1.0, 1.0)).collect())
-            .unwrap();
+        let a = Matrix::from_vec(
+            m,
+            k,
+            (0..m * k).map(|_| rng.next_range(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
+        let b = Matrix::from_vec(
+            k,
+            n,
+            (0..k * n).map(|_| rng.next_range(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
         let c = Gemm::multiply_host(&a, &b).unwrap();
         for i in 0..m {
             for j in 0..n {

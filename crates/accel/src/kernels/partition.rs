@@ -81,7 +81,8 @@ mod tests {
     #[test]
     fn partitions_are_deterministic_and_complete() {
         let data: Vec<u64> = (0..1000).collect();
-        let (a, _) = HashPartitioner::run(&DeviceProfile::cpu(), data.clone(), 8, |x| *x, None, "t");
+        let (a, _) =
+            HashPartitioner::run(&DeviceProfile::cpu(), data.clone(), 8, |x| *x, None, "t");
         let (b, _) = HashPartitioner::run(&DeviceProfile::cpu(), data, 8, |x| *x, None, "t");
         assert_eq!(a, b);
         assert_eq!(a.iter().map(Vec::len).sum::<usize>(), 1000);
@@ -90,8 +91,7 @@ mod tests {
     #[test]
     fn same_key_same_bucket() {
         let data = vec![(1u64, "a"), (2, "b"), (1, "c")];
-        let (parts, _) =
-            HashPartitioner::run(&DeviceProfile::cpu(), data, 16, |x| x.0, None, "t");
+        let (parts, _) = HashPartitioner::run(&DeviceProfile::cpu(), data, 16, |x| x.0, None, "t");
         let bucket_of_1: Vec<usize> = parts
             .iter()
             .enumerate()

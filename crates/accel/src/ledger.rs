@@ -7,9 +7,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceKind;
@@ -200,6 +199,12 @@ impl CostLedger {
         CostLedger::default()
     }
 
+    /// The event log, recovering from poisoning: a panicking executor
+    /// worker must not wedge cost accounting for everyone else.
+    fn events_guard(&self) -> MutexGuard<'_, Vec<CostEvent>> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Posts an event.
     pub fn post(
         &self,
@@ -210,7 +215,7 @@ impl CostLedger {
         duration: SimDuration,
         energy_j: f64,
     ) {
-        self.events.lock().push(CostEvent {
+        self.events_guard().push(CostEvent {
             component: component.into(),
             device,
             kind,
@@ -222,33 +227,33 @@ impl CostLedger {
 
     /// Posts a prebuilt event.
     pub fn post_event(&self, event: CostEvent) {
-        self.events.lock().push(event);
+        self.events_guard().push(event);
     }
 
     /// Number of events recorded.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events_guard().len()
     }
 
     /// Whether the ledger is empty.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.events_guard().is_empty()
     }
 
     /// Clears all events (used between experiment trials).
     pub fn reset(&self) {
-        self.events.lock().clear();
+        self.events_guard().clear();
     }
 
     /// Snapshot of all events.
     pub fn events(&self) -> Vec<CostEvent> {
-        self.events.lock().clone()
+        self.events_guard().clone()
     }
 
     /// Aggregate over all events.
     pub fn total(&self) -> CostSummary {
         let mut s = CostSummary::default();
-        for e in self.events.lock().iter() {
+        for e in self.events_guard().iter() {
             s.absorb(e);
         }
         s
@@ -257,7 +262,7 @@ impl CostLedger {
     /// Aggregates grouped by device.
     pub fn by_device(&self) -> BTreeMap<DeviceKind, CostSummary> {
         let mut m: BTreeMap<DeviceKind, CostSummary> = BTreeMap::new();
-        for e in self.events.lock().iter() {
+        for e in self.events_guard().iter() {
             m.entry(e.device).or_default().absorb(e);
         }
         m
@@ -266,7 +271,7 @@ impl CostLedger {
     /// Aggregates grouped by component prefix (text before the first `.`).
     pub fn by_component(&self) -> BTreeMap<String, CostSummary> {
         let mut m: BTreeMap<String, CostSummary> = BTreeMap::new();
-        for e in self.events.lock().iter() {
+        for e in self.events_guard().iter() {
             let prefix = e.component.split('.').next().unwrap_or("").to_owned();
             m.entry(prefix).or_default().absorb(e);
         }
@@ -276,7 +281,7 @@ impl CostLedger {
     /// Aggregates grouped by event kind.
     pub fn by_kind(&self) -> BTreeMap<EventKind, CostSummary> {
         let mut m: BTreeMap<EventKind, CostSummary> = BTreeMap::new();
-        for e in self.events.lock().iter() {
+        for e in self.events_guard().iter() {
             m.entry(e.kind).or_default().absorb(e);
         }
         m
@@ -284,8 +289,7 @@ impl CostLedger {
 
     /// Sum of busy time for events whose component starts with `prefix`.
     pub fn busy_for(&self, prefix: &str) -> SimDuration {
-        self.events
-            .lock()
+        self.events_guard()
             .iter()
             .filter(|e| e.component.starts_with(prefix))
             .map(|e| e.duration)

@@ -180,6 +180,9 @@ mod tests {
         let piped = net.pipelined_transfer_time(1 << 26, 64);
         assert!(piped <= whole);
         // One chunk degenerates to the plain transfer.
-        assert_eq!(net.pipelined_transfer_time(1 << 20, 1), net.transfer_time(1 << 20));
+        assert_eq!(
+            net.pipelined_transfer_time(1 << 20, 1),
+            net.transfer_time(1 << 20)
+        );
     }
 }

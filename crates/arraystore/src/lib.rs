@@ -115,7 +115,9 @@ impl NdArray {
         let mut off = 0usize;
         for (d, (&i, &s)) in index.iter().zip(&self.shape).enumerate() {
             if i >= s {
-                return Err(Error::Invalid(format!("index {i} out of bounds in dim {d}")));
+                return Err(Error::Invalid(format!(
+                    "index {i} out of bounds in dim {d}"
+                )));
             }
             off = off * s + i;
         }
@@ -235,7 +237,10 @@ impl NdArray {
     /// Returns [`Error::Invalid`] unless `ndim == 2`.
     pub fn to_matrix(&self) -> Result<Matrix> {
         if self.shape.len() != 2 {
-            return Err(Error::Invalid(format!("to_matrix on {}-d array", self.ndim())));
+            return Err(Error::Invalid(format!(
+                "to_matrix on {}-d array",
+                self.ndim()
+            )));
         }
         Matrix::from_vec(self.shape[0], self.shape[1], self.data.clone())
     }
@@ -426,14 +431,24 @@ mod tests {
     #[test]
     fn store_matmul_matches_manual() {
         let mut s = ArrayStore::new("arr");
-        s.put("a", NdArray::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap())
-            .unwrap();
-        s.put("i", NdArray::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap())
-            .unwrap();
+        s.put(
+            "a",
+            NdArray::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+        )
+        .unwrap();
+        s.put(
+            "i",
+            NdArray::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap(),
+        )
+        .unwrap();
         s.matmul("a", "i", "out").unwrap();
         assert_eq!(s.get("out").unwrap(), s.get("a").unwrap());
         // GEMM cost was charged to the ledger.
-        assert!(s.ledger().events().iter().any(|e| e.component == "arraystore.matmul"));
+        assert!(s
+            .ledger()
+            .events()
+            .iter()
+            .any(|e| e.component == "arraystore.matmul"));
     }
 
     #[test]

@@ -20,8 +20,7 @@ use pspp_optimizer::forest::RandomForest;
 
 /// Names of all experiments, in order.
 pub const ALL: [&str; 15] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs one experiment by name.
@@ -92,7 +91,11 @@ pub fn e01_recommendation() -> Result<String> {
     for q in queries {
         poly_ms += system.run_sql(q)?.makespan() * 1e3;
     }
-    writeln!(out, "polystore++ (L3)    {poly_ms:>8.3}   native engines + accel").ok();
+    writeln!(
+        out,
+        "polystore++ (L3)    {poly_ms:>8.3}   native engines + accel"
+    )
+    .ok();
 
     // One-size-fits-all: first remodel + migrate every dataset into one
     // store, then run the same queries locally.
@@ -114,8 +117,11 @@ pub fn e01_recommendation() -> Result<String> {
     // Clickstream remodels timeseries -> relational.
     let clicks_bytes = 2_000.0 * 16.0 * 16.0;
     let remodel = DataModel::remodel_factor(DataModel::Timeseries, DataModel::Relational);
-    let clicks_ms =
-        Interconnect::network().transfer_time(clicks_bytes as u64).as_secs() * remodel * 1e3;
+    let clicks_ms = Interconnect::network()
+        .transfer_time(clicks_bytes as u64)
+        .as_secs()
+        * remodel
+        * 1e3;
     osfa_ms += clicks_ms;
     writeln!(
         out,
@@ -138,7 +144,8 @@ pub fn e02_clinical() -> Result<String> {
         "E2 (Fig.2) clinical pipeline (rel+text+ts -> join -> MLP)\n\
          configuration          sim_ms   offloaded\n",
     );
-    let question = "Will patients have a long stay at the hospital or short when they exit the ICU?";
+    let question =
+        "Will patients have a long stay at the hospital or short when they exit the ICU?";
     let mut cpu = clinical_system(OptLevel::L1, AcceleratorFleet::cpu_only(), 2_000)?;
     let r_cpu = cpu.run_nlq(question)?;
     writeln!(
@@ -183,13 +190,27 @@ pub fn e03_snorkel() -> Result<String> {
 
     // load_data = scan + filter + serialize into tensors.
     let load_host = cpu.cycles_to_s(StreamFilter::cycles(&cpu, rows, bytes))
-        + SerializerModel::encode_stream(&cpu, bytes, WireFormat::BinaryColumnar, false, None, "e3")
-            .duration
-            .as_secs();
+        + SerializerModel::encode_stream(
+            &cpu,
+            bytes,
+            WireFormat::BinaryColumnar,
+            false,
+            None,
+            "e3",
+        )
+        .duration
+        .as_secs();
     let load_accel = fpga.cycles_to_s(StreamFilter::cycles(&fpga, rows, bytes))
-        + SerializerModel::encode_stream(&fpga, bytes, WireFormat::BinaryColumnar, false, None, "e3")
-            .duration
-            .as_secs();
+        + SerializerModel::encode_stream(
+            &fpga,
+            bytes,
+            WireFormat::BinaryColumnar,
+            false,
+            None,
+            "e3",
+        )
+        .duration
+        .as_secs();
     // One epoch of GEMMs (batch 32, 3 layers) on CPU vs TPU.
     let train_cpu = cpu.cycles_to_s(Gemm::cycles(&cpu, rows, 64, 32)) * 3.0;
     let train_tpu = tpu.cycles_to_s(Gemm::cycles(&tpu, rows, 64, 32)) * 3.0;
@@ -391,7 +412,8 @@ pub fn e08_migration() -> Result<String> {
          path                wire_MB  encode_ms  wire_ms  decode_ms  total_ms  xform%\n",
     );
     let (schema, rows) = datagen::pipegen_rows(50_000, 8)?;
-    let batch = Batch::from_rows(&schema, rows).map_err(|e| pspp_common::Error::Migration(e.to_string()))?;
+    let batch = Batch::from_rows(&schema, rows)
+        .map_err(|e| pspp_common::Error::Migration(e.to_string()))?;
     let configs: [(&str, Migrator, MigrationPath); 5] = [
         ("csv file", Migrator::new(), MigrationPath::CsvFile),
         ("binary pipe", Migrator::new(), MigrationPath::BinaryPipe),
@@ -402,14 +424,17 @@ pub fn e08_migration() -> Result<String> {
         ),
         (
             "csv + fpga serializer",
-            Migrator::new().with_accelerator(DeviceProfile::fpga()).pipelined(true),
+            Migrator::new()
+                .with_accelerator(DeviceProfile::fpga())
+                .pipelined(true),
             MigrationPath::CsvFile,
         ),
         ("rdma", Migrator::new(), MigrationPath::Rdma),
     ];
     let mut csv_total = 0.0;
     for (name, migrator, path) in configs {
-        let (_, r) = migrator.migrate(&batch, path, DataModel::Relational, DataModel::Relational)?;
+        let (_, r) =
+            migrator.migrate(&batch, path, DataModel::Relational, DataModel::Relational)?;
         if name == "csv file" {
             csv_total = r.total.as_secs();
         }
@@ -472,14 +497,14 @@ pub fn e09_sort_merge() -> Result<String> {
     // Migration of DB2 rows (32 B each) over the network pipe.
     let bytes = migrated_rows as u64 * 32;
     let net = Interconnect::network_10g();
-    let enc = SerializerModel::encode_stream(
-        &cpu, bytes, WireFormat::BinaryColumnar, false, None, "e9")
-        .duration
-        .as_secs();
-    let dec = SerializerModel::encode_stream(
-        &cpu, bytes, WireFormat::BinaryColumnar, true, None, "e9")
-        .duration
-        .as_secs();
+    let enc =
+        SerializerModel::encode_stream(&cpu, bytes, WireFormat::BinaryColumnar, false, None, "e9")
+            .duration
+            .as_secs();
+    let dec =
+        SerializerModel::encode_stream(&cpu, bytes, WireFormat::BinaryColumnar, true, None, "e9")
+            .duration
+            .as_secs();
     let wire = net.transfer_time(bytes).as_secs();
     let mig_seq = enc + wire + dec;
     // Pipelined: transform/transfer/compute overlap; bottleneck + fill.
@@ -492,21 +517,30 @@ pub fn e09_sort_merge() -> Result<String> {
     writeln!(
         out,
         "baseline (cpu, seq)     {:>8.3} {:>11.3} {:>9.3} {:>9.3}",
-        sort_cpu * ms, mig_seq * ms, merge * ms, base * ms
+        sort_cpu * ms,
+        mig_seq * ms,
+        merge * ms,
+        base * ms
     )
     .ok();
     let accel = sort_fpga + mig_seq + merge;
     writeln!(
         out,
         "fpga sort offload       {:>8.3} {:>11.3} {:>9.3} {:>9.3}",
-        sort_fpga * ms, mig_seq * ms, merge * ms, accel * ms
+        sort_fpga * ms,
+        mig_seq * ms,
+        merge * ms,
+        accel * ms
     )
     .ok();
     let piped = bottleneck + fill + merge;
     writeln!(
         out,
         "offload + pipelined     {:>8.3} {:>11.3} {:>9.3} {:>9.3}",
-        sort_fpga * ms, (bottleneck + fill - sort_fpga).max(0.0) * ms, merge * ms, piped * ms
+        sort_fpga * ms,
+        (bottleneck + fill - sort_fpga).max(0.0) * ms,
+        merge * ms,
+        piped * ms
     )
     .ok();
     writeln!(
@@ -520,9 +554,24 @@ pub fn e09_sort_merge() -> Result<String> {
     // Correctness anchor: the same plan end-to-end at small scale.
     let mut system = clinical_system(OptLevel::L2, AcceleratorFleet::workstation(), 300)?;
     let program = HeterogeneousProgram::builder()
-        .subprogram("adm", Language::Sql, "SELECT pid, date, age FROM admissions", &[])
-        .subprogram("pat", Language::Sql, "SELECT pid, name FROM db2.patients", &[])
-        .subprogram("j", Language::Connector, "MERGEJOIN pid = pid", &["adm", "pat"])
+        .subprogram(
+            "adm",
+            Language::Sql,
+            "SELECT pid, date, age FROM admissions",
+            &[],
+        )
+        .subprogram(
+            "pat",
+            Language::Sql,
+            "SELECT pid, name FROM db2.patients",
+            &[],
+        )
+        .subprogram(
+            "j",
+            Language::Connector,
+            "MERGEJOIN pid = pid",
+            &["adm", "pat"],
+        )
         .build(system.catalog())?;
     let r = system.run_program(program)?;
     writeln!(
@@ -617,7 +666,12 @@ pub fn e12_adapter() -> Result<String> {
     let fpga = DeviceProfile::fpga();
     let fpga_rate = fpga.clock_hz * 4.0;
     writeln!(out, "cpu    {cpu_rate:>12.2e}   1.00x").ok();
-    writeln!(out, "fpga   {fpga_rate:>12.2e}   {:.2}x", fpga_rate / cpu_rate).ok();
+    writeln!(
+        out,
+        "fpga   {fpga_rate:>12.2e}   {:.2}x",
+        fpga_rate / cpu_rate
+    )
+    .ok();
     writeln!(
         out,
         "transforming {nodes:.0} IR nodes: cpu {:.1} ms vs fpga {:.2} ms \
@@ -672,7 +726,11 @@ pub fn e14_operators() -> Result<String> {
         for d in [DeviceKind::Gpu, DeviceKind::Fpga] {
             let p = fleet.profile(d).expect("device exists");
             let t = p.cycles_to_s(BitonicSorter::cycles(p, n))
-                + fleet.device(d).expect("attached").transfer_cost(n * 16).as_secs();
+                + fleet
+                    .device(d)
+                    .expect("attached")
+                    .transfer_cost(n * 16)
+                    .as_secs();
             if t < best.1 {
                 best = (d, t, p.energy_j(t));
             }
@@ -752,7 +810,12 @@ pub fn e15_cost_model() -> Result<String> {
         .ok();
     }
     let mean_err = rel_errs.iter().sum::<f64>() / rel_errs.len() as f64;
-    writeln!(out, "mean placement relative error: {:.0}%", mean_err * 100.0).ok();
+    writeln!(
+        out,
+        "mean placement relative error: {:.0}%",
+        mean_err * 100.0
+    )
+    .ok();
 
     // Part 2: random-forest surrogate accuracy on the DSE space.
     let (space, eval) = placement_space();

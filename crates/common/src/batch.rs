@@ -257,11 +257,7 @@ impl Batch {
     /// Converts back to row-major form.
     pub fn to_rows(&self) -> Vec<Row> {
         (0..self.num_rows)
-            .map(|r| {
-                (0..self.schema.arity())
-                    .map(|c| self.value(r, c))
-                    .collect()
-            })
+            .map(|r| (0..self.schema.arity()).map(|c| self.value(r, c)).collect())
             .collect()
     }
 

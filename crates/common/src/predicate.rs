@@ -80,11 +80,7 @@ impl Predicate {
     }
 
     /// `lo <= column <= hi`.
-    pub fn between(
-        column: impl Into<String>,
-        lo: impl Into<Value>,
-        hi: impl Into<Value>,
-    ) -> Self {
+    pub fn between(column: impl Into<String>, lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
         Predicate::Between(column.into(), lo.into(), hi.into())
     }
 
@@ -116,18 +112,16 @@ impl Predicate {
     pub fn eval(&self, schema: &Schema, row: &Row) -> Result<bool> {
         Ok(match self {
             Predicate::True => true,
-            Predicate::Eq(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x == *v),
-            Predicate::Ne(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x != *v),
-            Predicate::Lt(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x < *v),
-            Predicate::Le(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x <= *v),
-            Predicate::Gt(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x > *v),
-            Predicate::Ge(c, v) => Self::cmp_col(schema, row, c)?.map_or(false, |x| x >= *v),
+            Predicate::Eq(c, v) => Self::cmp_col(schema, row, c)?.is_some_and(|x| x == *v),
+            Predicate::Ne(c, v) => Self::cmp_col(schema, row, c)?.is_some_and(|x| x != *v),
+            Predicate::Lt(c, v) => Self::cmp_col(schema, row, c)?.is_some_and(|x| x < *v),
+            Predicate::Le(c, v) => Self::cmp_col(schema, row, c)?.is_some_and(|x| x <= *v),
+            Predicate::Gt(c, v) => Self::cmp_col(schema, row, c)?.is_some_and(|x| x > *v),
+            Predicate::Ge(c, v) => Self::cmp_col(schema, row, c)?.is_some_and(|x| x >= *v),
             Predicate::Between(c, lo, hi) => {
-                Self::cmp_col(schema, row, c)?.map_or(false, |x| x >= *lo && x <= *hi)
+                Self::cmp_col(schema, row, c)?.is_some_and(|x| x >= *lo && x <= *hi)
             }
-            Predicate::In(c, vs) => {
-                Self::cmp_col(schema, row, c)?.map_or(false, |x| vs.contains(&x))
-            }
+            Predicate::In(c, vs) => Self::cmp_col(schema, row, c)?.is_some_and(|x| vs.contains(&x)),
             Predicate::IsNull(c) => row[schema.require(c)?].is_null(),
             Predicate::And(a, b) => a.eval(schema, row)? && b.eval(schema, row)?,
             Predicate::Or(a, b) => a.eval(schema, row)? || b.eval(schema, row)?,
@@ -218,7 +212,9 @@ mod tests {
     #[test]
     fn unknown_column_errors() {
         let s = schema();
-        assert!(Predicate::eq("zzz", 1i64).eval(&s, &row![1i64, "x"]).is_err());
+        assert!(Predicate::eq("zzz", 1i64)
+            .eval(&s, &row![1i64, "x"])
+            .is_err());
     }
 
     #[test]

@@ -67,10 +67,7 @@ impl Schema {
     /// Builds a schema of nullable fields from `(name, type)` pairs.
     pub fn new<N: Into<String>>(fields: Vec<(N, DataType)>) -> Self {
         Schema {
-            fields: fields
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
+            fields: fields.into_iter().map(|(n, t)| Field::new(n, t)).collect(),
         }
     }
 

@@ -209,9 +209,7 @@ impl Value {
                 _ => None,
             },
             (Value::Str(s), DataType::Bytes) => Some(Value::Bytes(s.clone().into_bytes())),
-            (Value::Bytes(b), DataType::Str) => {
-                String::from_utf8(b.clone()).ok().map(Value::Str)
-            }
+            (Value::Bytes(b), DataType::Str) => String::from_utf8(b.clone()).ok().map(Value::Str),
             _ => None,
         }
     }
@@ -366,7 +364,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vs = vec![Value::Int(1), Value::Null, Value::Int(-5)];
+        let mut vs = [Value::Int(1), Value::Null, Value::Int(-5)];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Int(-5));
@@ -381,7 +379,7 @@ mod tests {
 
     #[test]
     fn float_total_order_handles_nan() {
-        let mut vs = vec![
+        let mut vs = [
             Value::Float(f64::NAN),
             Value::Float(1.0),
             Value::Float(f64::NEG_INFINITY),
@@ -394,10 +392,7 @@ mod tests {
     #[test]
     fn casts() {
         assert_eq!(Value::Int(3).cast(DataType::Float), Some(Value::Float(3.0)));
-        assert_eq!(
-            Value::from("42").cast(DataType::Int),
-            Some(Value::Int(42))
-        );
+        assert_eq!(Value::from("42").cast(DataType::Int), Some(Value::Int(42)));
         assert_eq!(Value::from("x").cast(DataType::Int), None);
         assert_eq!(Value::Null.cast(DataType::Int), Some(Value::Null));
         assert_eq!(Value::Bool(true).cast(DataType::Int), Some(Value::Int(1)));

@@ -8,19 +8,17 @@
 
 use std::collections::HashMap;
 
-use pspp_common::{
-    row, DataType, EngineId, Result, Row, Schema, SplitMix64, TableRef, Value,
-};
+use pspp_common::{row, DataType, EngineId, Result, Row, Schema, SplitMix64, TableRef, Value};
 use pspp_frontend::nlq::ClinicalNames;
 use pspp_frontend::Catalog;
 use pspp_graphstore::GraphStore;
 use pspp_kvstore::KvStore;
 use pspp_optimizer::TableStats;
 use pspp_relstore::RelationalStore;
+use pspp_runtime::{EngineInstance, EngineRegistry};
 use pspp_streamstore::{Event, StreamStore};
 use pspp_textstore::TextStore;
 use pspp_tsstore::TimeseriesStore;
-use pspp_runtime::{EngineInstance, EngineRegistry};
 
 /// A ready-to-run deployment: engines + catalog + statistics.
 #[derive(Debug, Clone)]
@@ -144,17 +142,23 @@ pub fn clinical(config: &ClinicalConfig) -> Deployment {
         // Graph: Patient -> Admission -> Ward.
         let p = graph.add_node("Patient", vec![("pid".into(), Value::Int(pid as i64))]);
         let a = graph.add_node("Admission", vec![("los".into(), Value::Float(los))]);
-        graph.add_edge(p, a, "HAS_ADMISSION", 1.0).expect("nodes exist");
+        graph
+            .add_edge(p, a, "HAS_ADMISSION", 1.0)
+            .expect("nodes exist");
         let ward = if severity > 0.6 { ward_icu } else { ward_gen };
-        graph.add_edge(a, ward, "IN_WARD", 1.0).expect("nodes exist");
+        graph
+            .add_edge(a, ward, "IN_WARD", 1.0)
+            .expect("nodes exist");
 
         profiles.put(
             format!("patient:{pid}"),
             Value::Float((severity * 100.0).round() / 100.0),
         );
     }
-    db1.insert("admissions", admission_rows).expect("valid rows");
-    db1.create_index("admissions", "pid").expect("column exists");
+    db1.insert("admissions", admission_rows)
+        .expect("valid rows");
+    db1.create_index("admissions", "pid")
+        .expect("column exists");
     db2.insert("patients", patient_rows).expect("valid rows");
     db2.create_index("patients", "pid").expect("column exists");
 
@@ -162,7 +166,10 @@ pub fn clinical(config: &ClinicalConfig) -> Deployment {
     let mut catalog = Catalog::new();
     let mut stats = HashMap::new();
     let adm_ref = TableRef::new("db1", "admissions");
-    catalog.register(adm_ref.clone(), db1.table("admissions").expect("exists").schema().clone());
+    catalog.register(
+        adm_ref.clone(),
+        db1.table("admissions").expect("exists").schema().clone(),
+    );
     stats.insert(
         adm_ref,
         TableStats {
@@ -171,7 +178,10 @@ pub fn clinical(config: &ClinicalConfig) -> Deployment {
         },
     );
     let pat_ref = TableRef::new("db2", "patients");
-    catalog.register(pat_ref.clone(), db2.table("patients").expect("exists").schema().clone());
+    catalog.register(
+        pat_ref.clone(),
+        db2.table("patients").expect("exists").schema().clone(),
+    );
     stats.insert(
         pat_ref,
         TableStats {
@@ -305,7 +315,11 @@ pub fn recommendation(config: &RecommendationConfig) -> Deployment {
     let mut transactions = Vec::new();
     for cid in 0..n {
         let spend = rng.next_range(10.0, 5_000.0);
-        let segment = if spend > 2_500.0 { "premium" } else { "standard" };
+        let segment = if spend > 2_500.0 {
+            "premium"
+        } else {
+            "standard"
+        };
         customers.push(row![cid as i64, segment, (spend * 100.0).round() / 100.0]);
         for _ in 0..rng.next_index(5) + 1 {
             transactions.push(row![
@@ -322,8 +336,12 @@ pub fn recommendation(config: &RecommendationConfig) -> Deployment {
     }
     let tx_count = transactions.len();
     rdbms.insert("customers", customers).expect("valid rows");
-    rdbms.insert("transactions", transactions).expect("valid rows");
-    rdbms.create_index("customers", "cid").expect("column exists");
+    rdbms
+        .insert("transactions", transactions)
+        .expect("valid rows");
+    rdbms
+        .create_index("customers", "cid")
+        .expect("column exists");
 
     let mut catalog = Catalog::new();
     let mut stats = HashMap::new();
@@ -436,10 +454,7 @@ mod tests {
         });
         let db1 = d.registry.relational(&EngineId::new("db1")).unwrap();
         let rows = db1.table("admissions").unwrap().rows();
-        let positives = rows
-            .iter()
-            .filter(|r| r[4].as_f64() == Some(1.0))
-            .count();
+        let positives = rows.iter().filter(|r| r[4].as_f64() == Some(1.0)).count();
         assert!(positives > 20 && positives < 180, "positives {positives}");
     }
 

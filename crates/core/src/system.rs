@@ -39,6 +39,7 @@ pub struct PolystoreBuilder {
     fleet: AcceleratorFleet,
     opt_level: OptLevel,
     migration_path: MigrationPath,
+    parallel: bool,
 }
 
 impl PolystoreBuilder {
@@ -60,6 +61,14 @@ impl PolystoreBuilder {
         self
     }
 
+    /// Enables/disables parallel stage execution (default: on).
+    /// Sequential mode is bit-identical and exists for debugging and
+    /// determinism checks.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
     /// Finalizes the system.
     ///
     /// # Errors
@@ -76,6 +85,7 @@ impl PolystoreBuilder {
             cost_model,
             opt_level: self.opt_level,
             migration_path: self.migration_path,
+            parallel: self.parallel,
             ledger,
         })
     }
@@ -91,6 +101,7 @@ pub struct Polystore {
     cost_model: CostModel,
     opt_level: OptLevel,
     migration_path: MigrationPath,
+    parallel: bool,
     ledger: CostLedger,
 }
 
@@ -102,6 +113,7 @@ impl Polystore {
             fleet: AcceleratorFleet::cpu_only(),
             opt_level: OptLevel::L2,
             migration_path: MigrationPath::BinaryPipe,
+            parallel: true,
         }
     }
 
@@ -118,6 +130,7 @@ impl Polystore {
             fleet: AcceleratorFleet::cpu_only(),
             opt_level: OptLevel::L2,
             migration_path: MigrationPath::BinaryPipe,
+            parallel: true,
         }
     }
 
@@ -183,7 +196,10 @@ impl Polystore {
     /// # Errors
     ///
     /// Propagates cost-model errors.
-    pub fn optimize(&self, program: &mut Program) -> Result<(RewriteReport, Option<PlacementPlan>)> {
+    pub fn optimize(
+        &self,
+        program: &mut Program,
+    ) -> Result<(RewriteReport, Option<PlacementPlan>)> {
         let rewrites = if self.opt_level.rewrites() {
             optimize_l1(program)
         } else {
@@ -206,6 +222,7 @@ impl Polystore {
         let executor = Executor::new(self.fleet.clone(), self.ledger.clone())
             .offload(self.opt_level.placement())
             .pipelined(self.opt_level.pipelined())
+            .parallel(self.parallel)
             .migration_path(self.migration_path);
         executor.execute(program, &self.registry)
     }
@@ -297,14 +314,13 @@ mod tests {
                  WHERE age >= 80",
             )
             .unwrap();
-        assert!(report.execution.outputs[0].len() > 0);
+        assert!(!report.execution.outputs[0].is_empty());
         assert!(report.execution.migration_seconds > 0.0);
     }
 
     #[test]
     fn opt_levels_reduce_makespan() {
-        let query =
-            "SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date";
+        let query = "SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date";
         let mut makespans = Vec::new();
         for level in OptLevel::all() {
             let mut s = system(level);
@@ -321,7 +337,9 @@ mod tests {
     fn nlq_clinical_pipeline_trains_a_model() {
         let mut s = system(OptLevel::L2);
         let report = s
-            .run_nlq("Will patients have a long stay at the hospital or short when they exit the ICU?")
+            .run_nlq(
+                "Will patients have a long stay at the hospital or short when they exit the ICU?",
+            )
             .unwrap();
         // The program output is the trained model dataset.
         assert!(report.execution.outputs[0].try_model().is_ok());
@@ -332,7 +350,12 @@ mod tests {
     fn hetero_program_via_builder() {
         let mut s = system(OptLevel::L2);
         let program = HeterogeneousProgram::builder()
-            .subprogram("base", Language::Sql, "SELECT pid, los, long_stay FROM admissions", &[])
+            .subprogram(
+                "base",
+                Language::Sql,
+                "SELECT pid, los, long_stay FROM admissions",
+                &[],
+            )
             .subprogram(
                 "model",
                 Language::MlDsl,

@@ -158,11 +158,6 @@ mod tests {
 
     #[test]
     fn unknown_graph_rejected() {
-        assert!(parse_to_program(
-            "MATCH (p:Patient) RETURN PATHS",
-            "missing",
-            &catalog()
-        )
-        .is_err());
+        assert!(parse_to_program("MATCH (p:Patient) RETURN PATHS", "missing", &catalog()).is_err());
     }
 }

@@ -157,7 +157,9 @@ impl HeterogeneousProgram {
                     Self::require_no_inputs(spec)?;
                     tsdsl::lower_into(&spec.code, catalog, &mut program, &spec.name)?
                 }
-                Language::MlDsl => mldsl::lower_into(&spec.code, &inputs, &mut program, &spec.name)?,
+                Language::MlDsl => {
+                    mldsl::lower_into(&spec.code, &inputs, &mut program, &spec.name)?
+                }
                 Language::TextSearch { dataset } => {
                     Self::require_no_inputs(spec)?;
                     lower_text_search(&spec.code, dataset, catalog, &mut program, &spec.name)?
@@ -299,7 +301,12 @@ mod tests {
                 &[],
             )
             .subprogram("pn", Language::Connector, "JOIN pid = node_0", &["p", "n"])
-            .subprogram("pns", Language::Connector, "JOIN pid = window_start", &["pn", "s"])
+            .subprogram(
+                "pns",
+                Language::Connector,
+                "JOIN pid = window_start",
+                &["pn", "s"],
+            )
             .subprogram(
                 "model",
                 Language::MlDsl,

@@ -57,9 +57,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             let start = i;
             i += 1; // consume digit or minus
             let mut is_float = false;
-            while i < chars.len()
-                && (chars[i].is_ascii_digit() || (chars[i] == '.' && !is_float))
-            {
+            while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !is_float)) {
                 if chars[i] == '.' {
                     // `1.` followed by non-digit is a qualified name, not a float.
                     if !chars.get(i + 1).is_some_and(char::is_ascii_digit) {
@@ -75,9 +73,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     Error::Parse(format!("bad float literal {text}"))
                 })?));
             } else {
-                out.push(Token::Int(text.parse().map_err(|_| {
-                    Error::Parse(format!("bad int literal {text}"))
-                })?));
+                out.push(Token::Int(
+                    text.parse()
+                        .map_err(|_| Error::Parse(format!("bad int literal {text}")))?,
+                ));
             }
         } else if c == '\'' {
             let start = i + 1;
@@ -126,6 +125,7 @@ impl Cursor {
     }
 
     /// Advances and returns the consumed token.
+    #[allow(clippy::should_implement_trait)] // cursor API, deliberately not an Iterator
     pub fn next(&mut self) -> Option<Token> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
@@ -195,7 +195,9 @@ impl Cursor {
     pub fn expect_ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 

@@ -81,9 +81,7 @@ pub fn lower_into(
         require_arity(inputs, 2, "PREDICT")?;
         return Ok(program.add_node(Operator::Predict, inputs.to_vec(), subprogram));
     }
-    Err(Error::Parse(format!(
-        "unknown ML statement: {statement:?}"
-    )))
+    Err(Error::Parse(format!("unknown ML statement: {statement:?}")))
 }
 
 fn require_arity(inputs: &[NodeId], want: usize, what: &str) -> Result<()> {

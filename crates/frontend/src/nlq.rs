@@ -69,7 +69,9 @@ pub fn compile(question: &str, catalog: &Catalog, names: &ClinicalNames) -> Resu
         let tbl = words.iter().position(|w| *w == "in");
         if let (Some(col), Some(by), Some(tbl)) = (col, by, tbl) {
             if let (Some(group), Some(table)) = (words.get(by + 1), words.get(tbl + 1)) {
-                let sql = format!("SELECT {group}, avg({col}) AS avg_{col} FROM {table} GROUP BY {group}");
+                let sql = format!(
+                    "SELECT {group}, avg({col}) AS avg_{col} FROM {table} GROUP BY {group}"
+                );
                 return HeterogeneousProgram::builder()
                     .subprogram("nlq", Language::Sql, sql, &[])
                     .build(catalog);
@@ -119,12 +121,20 @@ pub fn clinical_program(names: &ClinicalNames) -> HeterogeneousProgram {
         .subprogram(
             "s",
             Language::TsDsl,
-            format!("WINDOW {} FROM 0 TO 100000000 WIDTH 100 AGG mean", names.vitals),
+            format!(
+                "WINDOW {} FROM 0 TO 100000000 WIDTH 100 AGG mean",
+                names.vitals
+            ),
             &[],
         )
         // Join P, N and S to get the feature vector for all patients.
         .subprogram("pn", Language::Connector, "JOIN pid = doc_id", &["p", "n"])
-        .subprogram("pns", Language::Connector, "JOIN pid = window_idx", &["pn", "s"])
+        .subprogram(
+            "pns",
+            Language::Connector,
+            "JOIN pid = window_idx",
+            &["pn", "s"],
+        )
         // Model = build neural-network model.
         .subprogram(
             "model",
@@ -198,7 +208,11 @@ mod tests {
 
     #[test]
     fn unmatched_question_lists_templates() {
-        let err = compile("what is the meaning of life", &catalog(), &ClinicalNames::default());
+        let err = compile(
+            "what is the meaning of life",
+            &catalog(),
+            &ClinicalNames::default(),
+        );
         match err {
             Err(Error::Parse(msg)) => assert!(msg.contains("supported")),
             other => panic!("expected parse error, got {other:?}"),

@@ -123,9 +123,7 @@ pub fn lower_into(
     if let Some(p) = predicate {
         node = program.add_node(Operator::Filter { predicate: p }, vec![node], subprogram);
     }
-    let has_aggs = items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Aggregate(..)));
+    let has_aggs = items.iter().any(|i| matches!(i, SelectItem::Aggregate(..)));
     if has_aggs || !group_by.is_empty() {
         let aggs: Vec<AggSpec> = items
             .iter()
@@ -213,7 +211,11 @@ fn parse_select_item(c: &mut Cursor) -> Result<SelectItem> {
             let output = if c.eat_kw("as") {
                 c.expect_ident()?
             } else {
-                format!("{}_{}", name.to_ascii_lowercase(), column.replace('*', "all"))
+                format!(
+                    "{}_{}",
+                    name.to_ascii_lowercase(),
+                    column.replace('*', "all")
+                )
             };
             return Ok(SelectItem::Aggregate(func, column, output));
         }
@@ -277,7 +279,11 @@ fn parse_comparison(c: &mut Cursor) -> Result<Predicate> {
     }
     let op = match c.next() {
         Some(Token::Sym(s)) => s,
-        other => return Err(Error::Parse(format!("expected comparison, found {other:?}"))),
+        other => {
+            return Err(Error::Parse(format!(
+                "expected comparison, found {other:?}"
+            )))
+        }
     };
     let lit = parse_literal(c)?;
     Ok(match op.as_str() {
@@ -372,7 +378,11 @@ mod tests {
             &catalog(),
         )
         .unwrap();
-        let gb = p.nodes().iter().find(|n| n.op.name() == "group_by").unwrap();
+        let gb = p
+            .nodes()
+            .iter()
+            .find(|n| n.op.name() == "group_by")
+            .unwrap();
         match &gb.op {
             Operator::GroupBy { keys, aggs } => {
                 assert_eq!(keys, &["ward"]);
@@ -419,10 +429,7 @@ mod tests {
 
     #[test]
     fn ungrouped_column_rejected() {
-        let err = parse_to_program(
-            "SELECT ward, count(*) FROM admissions",
-            &catalog(),
-        );
+        let err = parse_to_program("SELECT ward, count(*) FROM admissions", &catalog());
         assert!(matches!(err, Err(Error::Semantic(_))));
     }
 

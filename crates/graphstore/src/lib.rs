@@ -121,11 +121,7 @@ impl GraphStore {
     }
 
     /// Adds a vertex, returning its id.
-    pub fn add_node(
-        &mut self,
-        label: impl Into<String>,
-        props: Vec<(String, Value)>,
-    ) -> NodeId {
+    pub fn add_node(&mut self, label: impl Into<String>, props: Vec<(String, Value)>) -> NodeId {
         let id = self.next_id;
         self.next_id += 1;
         self.nodes.insert(
@@ -153,7 +149,9 @@ impl GraphStore {
         weight: f64,
     ) -> Result<()> {
         if !self.nodes.contains_key(&from) || !self.nodes.contains_key(&to) {
-            return Err(Error::Invalid(format!("edge {from}->{to} has missing endpoint")));
+            return Err(Error::Invalid(format!(
+                "edge {from}->{to} has missing endpoint"
+            )));
         }
         self.adjacency.entry(from).or_default().push(Edge {
             from,
@@ -185,7 +183,12 @@ impl GraphStore {
     pub fn nodes_with_label(&self, label: &str) -> Vec<&Node> {
         let mut out: Vec<&Node> = self.nodes.values().filter(|n| n.label == label).collect();
         out.sort_by_key(|n| n.id);
-        self.charge("graphstore.label_scan", self.nodes.len() as u64, 0, self.nodes.len() as u64 * 2);
+        self.charge(
+            "graphstore.label_scan",
+            self.nodes.len() as u64,
+            0,
+            self.nodes.len() as u64 * 2,
+        );
         out
     }
 
@@ -492,7 +495,10 @@ mod tests {
         // Wildcard step matches both wards.
         let all = g.match_pattern(
             "Patient",
-            &[PatternStep::new("HAS_ADMISSION", "Admission"), PatternStep::any()],
+            &[
+                PatternStep::new("HAS_ADMISSION", "Admission"),
+                PatternStep::any(),
+            ],
         );
         assert_eq!(all.len(), 2);
     }

@@ -37,6 +37,18 @@ pub struct ProgramNode {
     pub annotations: Annotations,
 }
 
+/// One scheduler stage of a program (see [`Program::execution_stages`]):
+/// `compute` nodes are mutually independent and may execute
+/// concurrently; `forwards` are fused pass-through nodes resolved
+/// before the stage runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Stage {
+    /// Fused nodes that alias their single input (in id order).
+    pub forwards: Vec<NodeId>,
+    /// Independently executable nodes (in id order).
+    pub compute: Vec<NodeId>,
+}
+
 /// A heterogeneous program as a data-flow DAG of typed operators.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Program {
@@ -201,12 +213,7 @@ impl Program {
         let mut max_level = 0usize;
         for id in order {
             let node = self.node(id);
-            let l = node
-                .inputs
-                .iter()
-                .map(|i| level[i] + 1)
-                .max()
-                .unwrap_or(0);
+            let l = node.inputs.iter().map(|i| level[i] + 1).max().unwrap_or(0);
             level.insert(id, l);
             max_level = max_level.max(l);
         }
@@ -218,6 +225,33 @@ impl Program {
             s.sort();
         }
         Ok(stages)
+    }
+
+    /// Groups nodes into scheduler-ready stages: [`Program::stages`]
+    /// with each stage's fused pass-through nodes separated from its
+    /// compute nodes.
+    ///
+    /// The concurrency contract the executor relies on: every node in
+    /// one stage depends only on nodes in strictly earlier stages, so a
+    /// stage's `compute` nodes are mutually independent and may run on
+    /// separate threads. `forwards` nodes (fused into their consumer by
+    /// L1 rewrites) just alias their single input and are resolved
+    /// before the stage's compute set launches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Semantic`] if the graph has a cycle.
+    pub fn execution_stages(&self) -> Result<Vec<Stage>> {
+        Ok(self
+            .stages()?
+            .into_iter()
+            .map(|ids| {
+                let (forwards, compute) = ids
+                    .into_iter()
+                    .partition(|id| self.node(*id).annotations.fused_into_consumer);
+                Stage { forwards, compute }
+            })
+            .collect())
     }
 
     /// Edges whose endpoints live in different subprograms — the
@@ -338,8 +372,7 @@ mod tests {
     fn topo_order_respects_edges() {
         let p = sample();
         let order = p.topo_order().unwrap();
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for n in p.nodes() {
             for i in &n.inputs {
                 assert!(pos[i] < pos[&n.id]);
@@ -429,7 +462,10 @@ mod tests {
         );
         match &p.node(f).op {
             Operator::Filter { predicate } => {
-                assert_eq!(predicate.selectivity(), Predicate::gt("age", 64i64).selectivity());
+                assert_eq!(
+                    predicate.selectivity(),
+                    Predicate::gt("age", 64i64).selectivity()
+                );
             }
             _ => panic!("wrong op"),
         }

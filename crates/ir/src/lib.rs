@@ -27,7 +27,7 @@
 pub mod graph;
 pub mod op;
 
-pub use graph::{NodeId, Program, ProgramNode};
+pub use graph::{NodeId, Program, ProgramNode, Stage};
 pub use op::{AggFn, AggSpec, Operator, SortSpec, TextSearchMode, TsAgg};
 
 use serde::{Deserialize, Serialize};

@@ -339,9 +339,6 @@ mod tests {
     #[test]
     fn names_are_nonempty() {
         assert_eq!(Operator::Predict.name(), "predict");
-        assert_eq!(
-            Operator::Custom { name: "x".into() }.name(),
-            "custom"
-        );
+        assert_eq!(Operator::Custom { name: "x".into() }.name(), "custom");
     }
 }

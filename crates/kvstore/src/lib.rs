@@ -123,7 +123,7 @@ impl KvStore {
         versions
             .iter()
             .rev()
-            .find(|v| v.written_at <= at && v.expires_at.map_or(true, |t| t > at))
+            .find(|v| v.written_at <= at && v.expires_at.is_none_or(|t| t > at))
             .map(|v| &v.value)
     }
 
@@ -157,8 +157,16 @@ impl KvStore {
                 }
             })
             .collect();
-        let bytes: u64 = out.iter().map(|(k, v)| (k.len() + v.byte_size()) as u64).sum();
-        self.charge("kvstore.scan", out.len() as u64, bytes, 40 + out.len() as u64 * 8);
+        let bytes: u64 = out
+            .iter()
+            .map(|(k, v)| (k.len() + v.byte_size()) as u64)
+            .sum();
+        self.charge(
+            "kvstore.scan",
+            out.len() as u64,
+            bytes,
+            40 + out.len() as u64 * 8,
+        );
         out
     }
 
@@ -175,8 +183,16 @@ impl KvStore {
                 }
             })
             .collect();
-        let bytes: u64 = out.iter().map(|(k, v)| (k.len() + v.byte_size()) as u64).sum();
-        self.charge("kvstore.scan", out.len() as u64, bytes, 40 + out.len() as u64 * 8);
+        let bytes: u64 = out
+            .iter()
+            .map(|(k, v)| (k.len() + v.byte_size()) as u64)
+            .sum();
+        self.charge(
+            "kvstore.scan",
+            out.len() as u64,
+            bytes,
+            40 + out.len() as u64 * 8,
+        );
         out
     }
 
@@ -186,11 +202,16 @@ impl KvStore {
         let mut reclaimed = 0;
         self.data.retain(|_, vs| {
             let before = vs.len();
-            vs.retain(|v| v.expires_at.map_or(true, |t| t > clock));
+            vs.retain(|v| v.expires_at.is_none_or(|t| t > clock));
             reclaimed += before - vs.len();
             !vs.is_empty()
         });
-        self.charge("kvstore.compact", reclaimed as u64, 0, 100 + reclaimed as u64 * 20);
+        self.charge(
+            "kvstore.compact",
+            reclaimed as u64,
+            0,
+            100 + reclaimed as u64 * 20,
+        );
         reclaimed
     }
 

@@ -107,7 +107,9 @@ fn parse_field(text: &str, quoted: bool, data_type: DataType) -> Result<Value> {
         DataType::Str => Value::Str(text.to_owned()),
         DataType::Bytes => Value::Bytes(text.as_bytes().to_vec()),
         DataType::Timestamp => Value::Timestamp(
-            text.trim_start_matches('@').parse().map_err(|_| err("timestamp"))?,
+            text.trim_start_matches('@')
+                .parse()
+                .map_err(|_| err("timestamp"))?,
         ),
     })
 }

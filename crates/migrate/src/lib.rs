@@ -11,9 +11,10 @@
 //!   bypasses the host protocol stack.
 //!
 //! Serialization can run on the host CPU or be offloaded to a
-//! streaming accelerator ([`Migrator::with_accelerator`]), and transform
-//! + transfer can be **pipelined** so the wire and the serializer work
-//! concurrently — both §III-A.3 offload opportunities.
+//! streaming accelerator ([`Migrator::with_accelerator`]), and the
+//! transform and transfer phases can be **pipelined** so the wire and
+//! the serializer work concurrently — both §III-A.3 offload
+//! opportunities.
 
 pub mod csv;
 
@@ -222,9 +223,7 @@ impl Migrator {
                 .iter()
                 .map(|s| SimDuration::from_secs(s.as_secs() / self.chunks as f64))
                 .sum();
-            let bottleneck = stages
-                .into_iter()
-                .fold(SimDuration::ZERO, SimDuration::max);
+            let bottleneck = stages.into_iter().fold(SimDuration::ZERO, SimDuration::max);
             fill + bottleneck
         } else {
             encode_t + transfer + decode_t
@@ -326,7 +325,11 @@ pub fn binary_decode(schema: &Schema, bytes: &[u8]) -> Result<Vec<Row>> {
         match field.data_type {
             DataType::Int => {
                 let raw = take(&mut pos, n_rows * 8)?;
-                col.extend(SerializerModel::unpack_i64s(raw).into_iter().map(Value::Int));
+                col.extend(
+                    SerializerModel::unpack_i64s(raw)
+                        .into_iter()
+                        .map(Value::Int),
+                );
             }
             DataType::Timestamp => {
                 let raw = take(&mut pos, n_rows * 8)?;
@@ -448,10 +451,20 @@ mod tests {
         let b = pipegen_batch(10_000);
         let m = Migrator::new();
         let (_, csv) = m
-            .migrate(&b, MigrationPath::CsvFile, DataModel::Relational, DataModel::Relational)
+            .migrate(
+                &b,
+                MigrationPath::CsvFile,
+                DataModel::Relational,
+                DataModel::Relational,
+            )
             .unwrap();
         let (_, bin) = m
-            .migrate(&b, MigrationPath::BinaryPipe, DataModel::Relational, DataModel::Relational)
+            .migrate(
+                &b,
+                MigrationPath::BinaryPipe,
+                DataModel::Relational,
+                DataModel::Relational,
+            )
             .unwrap();
         let speedup = csv.total.as_secs() / bin.total.as_secs();
         assert!(speedup > 2.0, "binary should beat csv, got {speedup:.2}x");
@@ -464,7 +477,12 @@ mod tests {
         let b = pipegen_batch(10_000);
         let m = Migrator::new();
         let (_, csv) = m
-            .migrate(&b, MigrationPath::CsvFile, DataModel::Relational, DataModel::Relational)
+            .migrate(
+                &b,
+                MigrationPath::CsvFile,
+                DataModel::Relational,
+                DataModel::Relational,
+            )
             .unwrap();
         assert!(
             csv.transform_fraction() > 0.4,
@@ -478,10 +496,20 @@ mod tests {
         let b = pipegen_batch(10_000);
         let m = Migrator::new().with_network(Interconnect::network_10g());
         let (_, tcp) = m
-            .migrate(&b, MigrationPath::BinaryPipe, DataModel::Relational, DataModel::Relational)
+            .migrate(
+                &b,
+                MigrationPath::BinaryPipe,
+                DataModel::Relational,
+                DataModel::Relational,
+            )
             .unwrap();
         let (_, rdma) = m
-            .migrate(&b, MigrationPath::Rdma, DataModel::Relational, DataModel::Relational)
+            .migrate(
+                &b,
+                MigrationPath::Rdma,
+                DataModel::Relational,
+                DataModel::Relational,
+            )
             .unwrap();
         assert!(rdma.transfer < tcp.transfer);
     }
@@ -492,10 +520,20 @@ mod tests {
         let host = Migrator::new();
         let accel = Migrator::new().with_accelerator(DeviceProfile::fpga());
         let (_, h) = host
-            .migrate(&b, MigrationPath::CsvFile, DataModel::Relational, DataModel::Relational)
+            .migrate(
+                &b,
+                MigrationPath::CsvFile,
+                DataModel::Relational,
+                DataModel::Relational,
+            )
             .unwrap();
         let (_, a) = accel
-            .migrate(&b, MigrationPath::CsvFile, DataModel::Relational, DataModel::Relational)
+            .migrate(
+                &b,
+                MigrationPath::CsvFile,
+                DataModel::Relational,
+                DataModel::Relational,
+            )
             .unwrap();
         assert!(a.encode < h.encode);
     }
@@ -506,10 +544,20 @@ mod tests {
         let seq = Migrator::new();
         let piped = Migrator::new().pipelined(true);
         let (_, s) = seq
-            .migrate(&b, MigrationPath::BinaryPipe, DataModel::Relational, DataModel::Relational)
+            .migrate(
+                &b,
+                MigrationPath::BinaryPipe,
+                DataModel::Relational,
+                DataModel::Relational,
+            )
             .unwrap();
         let (_, p) = piped
-            .migrate(&b, MigrationPath::BinaryPipe, DataModel::Relational, DataModel::Relational)
+            .migrate(
+                &b,
+                MigrationPath::BinaryPipe,
+                DataModel::Relational,
+                DataModel::Relational,
+            )
             .unwrap();
         assert!(p.total < s.total);
         let bottleneck = s.encode.max(s.transfer).max(s.decode);
@@ -521,10 +569,20 @@ mod tests {
         let b = pipegen_batch(1_000);
         let m = Migrator::new();
         let (_, same) = m
-            .migrate(&b, MigrationPath::BinaryPipe, DataModel::Relational, DataModel::Relational)
+            .migrate(
+                &b,
+                MigrationPath::BinaryPipe,
+                DataModel::Relational,
+                DataModel::Relational,
+            )
             .unwrap();
         let (_, cross) = m
-            .migrate(&b, MigrationPath::BinaryPipe, DataModel::Relational, DataModel::Tensor)
+            .migrate(
+                &b,
+                MigrationPath::BinaryPipe,
+                DataModel::Relational,
+                DataModel::Tensor,
+            )
             .unwrap();
         assert!(cross.encode > same.encode);
         assert_eq!(cross.remodel_factor, 2.0);
@@ -535,8 +593,13 @@ mod tests {
         let b = pipegen_batch(100);
         let ledger = CostLedger::new();
         let m = Migrator::new().with_ledger(ledger.clone());
-        m.migrate(&b, MigrationPath::BinaryPipe, DataModel::Relational, DataModel::Relational)
-            .unwrap();
+        m.migrate(
+            &b,
+            MigrationPath::BinaryPipe,
+            DataModel::Relational,
+            DataModel::Relational,
+        )
+        .unwrap();
         assert_eq!(ledger.len(), 3);
     }
 }

@@ -167,8 +167,8 @@ impl Dataset {
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let c = i % k;
-            for d in 0..dim {
-                data.push(centers[c][d] + rng.next_gaussian() * 0.4);
+            for center_d in &centers[c] {
+                data.push(center_d + rng.next_gaussian() * 0.4);
             }
             labels.push(c as f64);
         }

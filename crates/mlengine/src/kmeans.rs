@@ -113,6 +113,7 @@ impl KMeans {
                 }
             }
             let mut movement = 0.0;
+            #[allow(clippy::needless_range_loop)] // c indexes counts, sums and centroids alike
             for c in 0..k {
                 if counts[c] == 0 {
                     continue; // empty cluster keeps its centroid

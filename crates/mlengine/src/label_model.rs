@@ -96,7 +96,9 @@ impl LabelModel {
                 let mut agree = 0.0;
                 let mut total = 0.0;
                 for (row, &p) in votes.iter().zip(&probs) {
-                    let Some(sign) = row[j].as_sign() else { continue };
+                    let Some(sign) = row[j].as_sign() else {
+                        continue;
+                    };
                     // Probability this vote matches the soft label.
                     let match_p = if sign > 0.0 { p } else { 1.0 - p };
                     agree += match_p;
@@ -165,7 +167,11 @@ mod tests {
                 if rng.next_f64() < 0.2 {
                     Vote::Abstain
                 } else if rng.next_f64() < acc {
-                    if y > 0.5 { Vote::Positive } else { Vote::Negative }
+                    if y > 0.5 {
+                        Vote::Positive
+                    } else {
+                        Vote::Negative
+                    }
                 } else if y > 0.5 {
                     Vote::Negative
                 } else {

@@ -52,10 +52,14 @@ impl Mlp {
     /// output layer.
     pub fn new(sizes: &[usize], seed: u64) -> Result<Self> {
         if sizes.len() < 2 {
-            return Err(Error::Invalid("need at least input and output sizes".into()));
+            return Err(Error::Invalid(
+                "need at least input and output sizes".into(),
+            ));
         }
         if *sizes.last().expect("nonempty") != 1 {
-            return Err(Error::Invalid("binary classifier needs output size 1".into()));
+            return Err(Error::Invalid(
+                "binary classifier needs output size 1".into(),
+            ));
         }
         let mut rng = SplitMix64::new(seed);
         let mut weights = Vec::new();
@@ -125,8 +129,14 @@ impl Mlp {
         let mut activations = vec![x.clone()];
         let mut zs = Vec::new();
         for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
-            let (mut z, _) = Gemm::run(device, activations.last().expect("seeded"), w, ledger, "mlengine.forward")
-                .map_err(|e| Error::Execution(format!("forward gemm: {e}")))?;
+            let (mut z, _) = Gemm::run(
+                device,
+                activations.last().expect("seeded"),
+                w,
+                ledger,
+                "mlengine.forward",
+            )
+            .map_err(|e| Error::Execution(format!("forward gemm: {e}")))?;
             for r in 0..z.rows() {
                 let row = z.row_mut(r);
                 for (c, bias) in b.iter().enumerate() {
@@ -426,7 +436,7 @@ mod tests {
             Some(&ledger),
         )
         .unwrap();
-        assert!(ledger.len() > 0);
+        assert!(!ledger.is_empty());
         assert!(ledger
             .events()
             .iter()

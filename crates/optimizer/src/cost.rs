@@ -85,9 +85,9 @@ impl CostModel {
             Operator::Sort { .. } => KernelClass::Sort,
             Operator::HashJoin { .. } => KernelClass::HashPartition,
             Operator::SortMergeJoin { .. } => KernelClass::Sort,
-            Operator::GroupBy { .. } | Operator::TsWindow { .. } | Operator::StreamWindow { .. } => {
-                KernelClass::Aggregate
-            }
+            Operator::GroupBy { .. }
+            | Operator::TsWindow { .. }
+            | Operator::StreamWindow { .. } => KernelClass::Aggregate,
             Operator::TsRange { .. } => KernelClass::FilterProject,
             Operator::GraphMatch { .. } => KernelClass::GraphTraverse,
             Operator::TextSearch { .. } => KernelClass::FilterProject,
@@ -213,7 +213,13 @@ impl CostModel {
 
     /// Estimated execution seconds of `op` on `device`, including the
     /// coprocessor transfer where applicable.
-    pub fn node_cost(&self, op: &Operator, device: DeviceKind, est_rows: f64, est_bytes: f64) -> Option<SimDuration> {
+    pub fn node_cost(
+        &self,
+        op: &Operator,
+        device: DeviceKind,
+        est_rows: f64,
+        est_bytes: f64,
+    ) -> Option<SimDuration> {
         let kernel = Self::kernel_of(op)?;
         let profile = self.fleet.profile(device)?;
         if !profile.supports(kernel) || profile.efficiency(kernel) <= 0.0 {
@@ -246,8 +252,7 @@ impl CostModel {
             Operator::Predict => Gemm::cycles(profile, n, 32, 1),
             Operator::KMeansCluster { k, max_iters } => {
                 let dim = (est_bytes / est_rows.max(1.0) / 8.0).max(2.0);
-                let flops =
-                    *max_iters as f64 * est_rows * *k as f64 * dim * 3.0;
+                let flops = *max_iters as f64 * est_rows * *k as f64 * dim * 3.0;
                 let eff = profile.efficiency(KernelClass::KMeans).max(1e-3);
                 (flops / (profile.lanes as f64 * 2.0 * eff)).ceil() as u64
             }
@@ -256,9 +261,8 @@ impl CostModel {
             }
             _ => StreamFilter::cycles(profile, n, est_bytes.max(1.0) as u64),
         };
-        let mut t = SimDuration::from_secs(
-            profile.cycles_to_s(cycles + profile.launch_overhead_cycles),
-        );
+        let mut t =
+            SimDuration::from_secs(profile.cycles_to_s(cycles + profile.launch_overhead_cycles));
         if let Some(attached) = self.fleet.device(device) {
             // Sorting offload ships keys + row ids (16 B/row), not whole
             // payloads; the host applies the returned permutation.

@@ -143,7 +143,8 @@ impl ParetoFront {
         {
             return false;
         }
-        self.entries.retain(|(_, o)| !Self::dominates(&objectives, o));
+        self.entries
+            .retain(|(_, o)| !Self::dominates(&objectives, o));
         self.entries.push((point, objectives));
         true
     }
@@ -391,8 +392,7 @@ mod tests {
 
         let mut hv_al_wins = 0;
         for seed in 0..5 {
-            let (f_rand, log_r) =
-                RandomSearch::new(seed).run(&s, budget, |p| eval(&s, p));
+            let (f_rand, log_r) = RandomSearch::new(seed).run(&s, budget, |p| eval(&s, p));
             let (f_al, log_a) = ActiveLearner::new(seed).run(&s, budget, |p| eval(&s, p));
             assert_eq!(log_r.len(), budget);
             assert!(log_a.len() <= budget);

@@ -137,7 +137,13 @@ impl RelationalStore {
         }
         // ~20 cycles/row insert bookkeeping + 1 cycle per 8 bytes copied.
         let cycles = n as u64 * 20 + bytes / 8;
-        self.charge("relstore.insert", KernelClass::FilterProject, n as u64, bytes, cycles);
+        self.charge(
+            "relstore.insert",
+            KernelClass::FilterProject,
+            n as u64,
+            bytes,
+            cycles,
+        );
         Ok(n)
     }
 
@@ -152,7 +158,13 @@ impl RelationalStore {
         let rows = t.len() as u64;
         // Index build is a sort: n log n * ~6 cycles.
         let cycles = (rows as f64 * (rows.max(2) as f64).log2() * 6.0).ceil() as u64;
-        self.charge("relstore.create_index", KernelClass::Sort, rows, rows * 8, cycles);
+        self.charge(
+            "relstore.create_index",
+            KernelClass::Sort,
+            rows,
+            rows * 8,
+            cycles,
+        );
         Ok(())
     }
 
@@ -203,7 +215,13 @@ impl RelationalStore {
         } else {
             "relstore.seq_scan"
         };
-        self.charge(component, KernelClass::FilterProject, scanned, scanned_bytes, cycles);
+        self.charge(
+            component,
+            KernelClass::FilterProject,
+            scanned,
+            scanned_bytes,
+            cycles,
+        );
         Ok(out)
     }
 
@@ -247,7 +265,13 @@ impl RelationalStore {
         let n = (lt.len() + rt.len()) as u64;
         // Build + probe ≈ 24 cycles/row over 16 cores.
         let cycles = n * 24 / 16;
-        self.charge("relstore.hash_join", KernelClass::HashPartition, n, n * 16, cycles);
+        self.charge(
+            "relstore.hash_join",
+            KernelClass::HashPartition,
+            n,
+            n * 16,
+            cycles,
+        );
         Ok(out)
     }
 
@@ -280,7 +304,13 @@ impl RelationalStore {
         let t = self.table(table)?;
         let out = ops::group_by(t.schema(), t.rows(), keys, aggs)?;
         let n = t.len() as u64;
-        self.charge("relstore.group_by", KernelClass::Aggregate, n, n * 16, n * 12 / 16);
+        self.charge(
+            "relstore.group_by",
+            KernelClass::Aggregate,
+            n,
+            n * 16,
+            n * 12 / 16,
+        );
         Ok(out)
     }
 
@@ -377,7 +407,9 @@ mod tests {
             Schema::new(vec![("k", DataType::Int), ("v", DataType::Int)]),
         )
         .unwrap();
-        let rows: Vec<Row> = (0..10_000).map(|i| row![i as i64, (i * 2) as i64]).collect();
+        let rows: Vec<Row> = (0..10_000)
+            .map(|i| row![i as i64, (i * 2) as i64])
+            .collect();
         db.insert("t", rows).unwrap();
         db.create_index("t", "k").unwrap();
         db.ledger().reset();
@@ -415,9 +447,7 @@ mod tests {
     #[test]
     fn sort_by_key() {
         let db = store_with_data();
-        let rows = db
-            .sort("patients", &[SortKey::desc("age")])
-            .unwrap();
+        let rows = db.sort("patients", &[SortKey::desc("age")]).unwrap();
         assert_eq!(rows[0][1], Value::Int(81));
         assert_eq!(rows[2][1], Value::Int(45));
     }
@@ -436,7 +466,11 @@ mod tests {
         )
         .unwrap();
         let (schema, rows) = db
-            .group_by("t", &["g"], &[AggregateSpec::new(Aggregate::Sum, "v", "total")])
+            .group_by(
+                "t",
+                &["g"],
+                &[AggregateSpec::new(Aggregate::Sum, "v", "total")],
+            )
             .unwrap();
         assert_eq!(schema.names(), vec!["g", "total"]);
         let mut sums: Vec<(String, f64)> = rows

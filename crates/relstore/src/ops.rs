@@ -318,7 +318,7 @@ pub fn group_by(
             }
         });
         acc.count += 1;
-        for (a, (spec, idx)) in aggs.iter().zip(&agg_idx).enumerate().map(|(i, s)| (i, s)) {
+        for (a, (spec, idx)) in aggs.iter().zip(&agg_idx).enumerate() {
             let Some(idx) = idx else { continue };
             let v = &row[*idx];
             if v.is_null() {
@@ -387,7 +387,12 @@ mod tests {
         let ls = Schema::new(vec![("id", DataType::Int), ("x", DataType::Str)]);
         let rs = Schema::new(vec![("id", DataType::Int), ("y", DataType::Float)]);
         let left = vec![row![1i64, "a"], row![2i64, "b"], row![3i64, "c"]];
-        let right = vec![row![2i64, 0.2], row![3i64, 0.3], row![3i64, 0.33], row![4i64, 0.4]];
+        let right = vec![
+            row![2i64, 0.2],
+            row![3i64, 0.3],
+            row![3i64, 0.33],
+            row![4i64, 0.4],
+        ];
         (ls, left, rs, right)
     }
 
@@ -405,8 +410,7 @@ mod tests {
     #[test]
     fn left_outer_pads_nulls() {
         let (ls, l, rs, r) = lr();
-        let (schema, rows) =
-            hash_join(&ls, &l, &rs, &r, "id", "id", JoinKind::LeftOuter).unwrap();
+        let (schema, rows) = hash_join(&ls, &l, &rs, &r, "id", "id", JoinKind::LeftOuter).unwrap();
         assert_eq!(rows.len(), 4); // id=1 survives with NULLs
         let unmatched = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
         assert!(unmatched[2].is_null() && unmatched[3].is_null());
@@ -427,9 +431,11 @@ mod tests {
     fn multi_key_sort_with_direction() {
         let s = Schema::new(vec![("a", DataType::Int), ("b", DataType::Int)]);
         let rows = vec![row![1i64, 2i64], row![1i64, 1i64], row![0i64, 9i64]];
-        let sorted =
-            sort_rows(&s, rows, &[SortKey::asc("a"), SortKey::desc("b")]).unwrap();
-        assert_eq!(sorted, vec![row![0i64, 9i64], row![1i64, 2i64], row![1i64, 1i64]]);
+        let sorted = sort_rows(&s, rows, &[SortKey::asc("a"), SortKey::desc("b")]).unwrap();
+        assert_eq!(
+            sorted,
+            vec![row![0i64, 9i64], row![1i64, 2i64], row![1i64, 1i64]]
+        );
     }
 
     #[test]

@@ -1,21 +1,30 @@
-//! The executor: schedules the optimized IR across engines and
-//! accelerators and accounts the simulated makespan (§IV-D).
+//! The executor: an orchestration loop over the physical execution
+//! layer (§IV-D).
+//!
+//! All operator execution flows through the
+//! [`EngineAdapter`](crate::physical::EngineAdapter) implementations
+//! installed in the [`AdapterRegistry`]; the [`Placer`] resolves where
+//! each node runs and migrates foreign inputs there; the
+//! [`Charger`](crate::physical::Charger) posts simulated costs. The
+//! loop walks the program's topological stages and runs each stage's
+//! independent nodes concurrently (one `std::thread::scope` worker per
+//! node), so the pipelined makespan model is backed by real wall-clock
+//! parallelism.
+//!
+//! Parallel and sequential modes are bit-identical: every node executes
+//! against a private scoped ledger, and the loop merges node results
+//! and cost events back in node-id order after each stage joins.
 
 use std::collections::HashMap;
 
-use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
-use pspp_accel::{AcceleratorFleet, CostLedger, KernelClass, SimDuration};
-use pspp_common::{
-    Batch, DataModel, DataType, DeviceKind, EngineId, Error, Result, Row, Schema, Value,
-};
-use pspp_ir::{AggFn, NodeId, Operator, Program, TextSearchMode, TsAgg};
+use pspp_accel::{AcceleratorFleet, CostLedger};
+use pspp_common::{DeviceKind, Error, Result};
+use pspp_ir::{NodeId, Program, Stage};
 use pspp_migrate::{MigrationPath, Migrator};
-use pspp_mlengine::{Dataset as MlDataset, KMeans, KMeansConfig, Mlp, TrainConfig};
-use pspp_relstore::ops;
-use pspp_relstore::{Aggregate, AggregateSpec, JoinKind, SortKey};
 
-use crate::dataset::{Dataset, Payload};
-use crate::registry::{EngineInstance, EngineRegistry};
+use crate::dataset::Dataset;
+use crate::physical::{AdapterRegistry, Charger, ExecCtx, Placer};
+use crate::registry::EngineRegistry;
 
 /// Chunks used by the pipelined-stages model (§IV-D).
 const PIPELINE_CHUNKS: f64 = 8.0;
@@ -50,30 +59,48 @@ impl ExecutionReport {
     }
 }
 
+/// Everything one node's execution produced, staged for deterministic
+/// merging after its stage joins.
+#[derive(Debug)]
+struct NodeRun {
+    id: NodeId,
+    output: Dataset,
+    /// Simulated execution seconds (excluding migration).
+    exec_seconds: f64,
+    /// Simulated seconds migrating this node's foreign inputs.
+    migration_seconds: f64,
+    /// Whether the node ran on an attached accelerator.
+    offloaded: bool,
+    /// Cost events from the node's scoped ledger, in posting order.
+    events: Vec<pspp_accel::CostEvent>,
+}
+
 /// The middleware executor.
 #[derive(Debug, Clone)]
 pub struct Executor {
     fleet: AcceleratorFleet,
     ledger: CostLedger,
-    migrator: Migrator,
-    migration_path: MigrationPath,
+    placer: Placer,
+    adapters: AdapterRegistry,
     /// Honor device annotations (L2+); otherwise everything runs on CPU.
     offload: bool,
     /// Pipeline stages (L3).
     pipelined: bool,
+    /// Run each stage's independent nodes on separate threads.
+    parallel: bool,
 }
 
 impl Executor {
     /// An executor over a fleet, posting to `ledger`.
     pub fn new(fleet: AcceleratorFleet, ledger: CostLedger) -> Self {
-        let migrator = Migrator::new().with_ledger(ledger.clone());
         Executor {
             fleet,
             ledger,
-            migrator,
-            migration_path: MigrationPath::BinaryPipe,
+            placer: Placer::default(),
+            adapters: AdapterRegistry::standard(),
             offload: true,
             pipelined: false,
+            parallel: true,
         }
     }
 
@@ -89,16 +116,41 @@ impl Executor {
         self
     }
 
-    /// Uses a specific migration path for cross-engine edges.
-    pub fn migration_path(mut self, path: MigrationPath) -> Self {
-        self.migration_path = path;
+    /// Enables/disables parallel stage execution (default: on).
+    /// Sequential mode produces bit-identical outputs and ledger
+    /// totals; it exists for debugging and determinism checks.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
         self
     }
 
-    /// Replaces the migrator (e.g. accelerated or pipelined).
-    pub fn with_migrator(mut self, migrator: Migrator) -> Self {
-        self.migrator = migrator.with_ledger(self.ledger.clone());
+    /// Uses a specific migration path for cross-engine edges.
+    pub fn migration_path(mut self, path: MigrationPath) -> Self {
+        self.placer = self.placer.with_path(path);
         self
+    }
+
+    /// Replaces the migrator (e.g. accelerated or pipelined). The
+    /// executor scopes a ledger onto it per node, so any ledger already
+    /// attached is superseded.
+    pub fn with_migrator(mut self, migrator: Migrator) -> Self {
+        self.placer = Placer::new(migrator, self.placer.path());
+        self
+    }
+
+    /// Installs an extra engine adapter with precedence over the
+    /// standard set — the extension point for new backends.
+    pub fn with_adapter(
+        mut self,
+        adapter: std::sync::Arc<dyn crate::physical::EngineAdapter>,
+    ) -> Self {
+        self.adapters.install(adapter);
+        self
+    }
+
+    /// The installed adapter registry.
+    pub fn adapters(&self) -> &AdapterRegistry {
+        &self.adapters
     }
 
     /// The shared ledger.
@@ -114,112 +166,41 @@ impl Executor {
     /// operator cannot run.
     pub fn execute(&self, program: &Program, registry: &EngineRegistry) -> Result<ExecutionReport> {
         program.validate()?;
-        let order = program.topo_order()?;
+        let stages = program.execution_stages()?;
         let mut results: HashMap<NodeId, Dataset> = HashMap::new();
         let mut node_seconds: HashMap<NodeId, f64> = HashMap::new();
         let mut node_total: HashMap<NodeId, f64> = HashMap::new();
         let mut migration_seconds = 0.0f64;
         let mut offloaded = 0usize;
 
-        for id in order {
-            let node = program.node(id);
-            if node.annotations.fused_into_consumer {
-                // Fused nodes forward their input.
-                let input = results
-                    .get(&node.inputs[0])
+        for stage in &stages {
+            // Fused nodes alias their input; resolve before compute.
+            for &id in &stage.forwards {
+                let node = program.node(id);
+                let input = node
+                    .inputs
+                    .first()
+                    .and_then(|i| results.get(i))
                     .ok_or_else(|| Error::Execution(format!("missing input for {id}")))?
                     .clone();
                 results.insert(id, input);
-                continue;
             }
-            // Gather inputs, migrating those located on other engines.
-            // Placement fallback: run where the first input already is
-            // ("data gravity"), so cross-engine joins pay migration at
-            // every optimization level.
-            let target_engine = self.target_engine(program, id, registry).or_else(|| {
-                node.inputs
-                    .first()
-                    .and_then(|i| results.get(i))
-                    .map(|d| d.location.clone())
-            });
-            let mut inputs = Vec::with_capacity(node.inputs.len());
-            let mut migration_here = 0.0;
-            for &i in &node.inputs {
-                let mut d = results
-                    .get(&i)
-                    .ok_or_else(|| Error::Execution(format!("missing input for {id}")))?
-                    .clone();
-                if let (Some(target), Payload::Rows { schema, rows }) =
-                    (target_engine.as_ref(), &d.payload)
-                {
-                    if d.location != *target && !rows.is_empty() {
-                        let to_model = registry
-                            .get(target)
-                            .map(|e| e.kind().native_model())
-                            .unwrap_or(d.model);
-                        let batch = Batch::from_rows(schema, rows.clone()).map_err(|e| {
-                            Error::Migration(format!("cannot batch rows for migration: {e}"))
-                        })?;
-                        let (rows2, report) =
-                            self.migrator
-                                .migrate(&batch, self.migration_path, d.model, to_model)?;
-                        migration_here += report.total.as_secs();
-                        d = Dataset::rows(schema.clone(), rows2, to_model, target.clone());
-                    }
+            // Run the stage's independent nodes (possibly on separate
+            // threads), then merge in node-id order so parallel and
+            // sequential schedules are indistinguishable downstream.
+            for run in self.run_stage(program, &stage.compute, &results, registry)? {
+                for event in run.events {
+                    self.ledger.post_event(event);
                 }
-                inputs.push(d);
+                node_seconds.insert(run.id, run.exec_seconds);
+                node_total.insert(run.id, run.exec_seconds + run.migration_seconds);
+                migration_seconds += run.migration_seconds;
+                offloaded += usize::from(run.offloaded);
+                results.insert(run.id, run.output);
             }
-            migration_seconds += migration_here;
-
-            // Execute the operator for real.
-            let device = if self.offload {
-                node.annotations.device.unwrap_or(DeviceKind::Cpu)
-            } else {
-                DeviceKind::Cpu
-            };
-            let ml_before = self.ledger.busy_for("mlengine");
-            let out = self.run_op(&node.op, &inputs, device, registry, target_engine.clone())?;
-            let ml_delta = self.ledger.busy_for("mlengine") - ml_before;
-
-            // Charge the simulated clock with actual sizes.
-            let work_rows = inputs.iter().map(Dataset::len).max().unwrap_or(out.len()).max(out.len());
-            let work_bytes = inputs
-                .iter()
-                .map(Dataset::byte_size)
-                .max()
-                .unwrap_or_else(|| out.byte_size())
-                .max(out.byte_size());
-            let seconds = if matches!(
-                node.op,
-                Operator::TrainMlp { .. } | Operator::Predict | Operator::KMeansCluster { .. }
-            ) {
-                ml_delta.as_secs()
-            } else {
-                self.charge_op(&node.op, device, work_rows as u64, work_bytes, id)
-            };
-            if device != DeviceKind::Cpu && self.fleet.device(device).is_some() {
-                offloaded += 1;
-            }
-            node_seconds.insert(id, seconds);
-            node_total.insert(id, seconds + migration_here);
-            results.insert(id, out);
         }
 
-        // Makespans over live-node stages.
-        let stages = program.stages()?;
-        let mut stage_times = Vec::new();
-        for stage in &stages {
-            let t = stage
-                .iter()
-                .filter_map(|id| node_total.get(id))
-                .fold(0.0f64, |a, &b| a.max(b));
-            stage_times.push(t);
-        }
-        let makespan_sequential: f64 = node_total.values().sum();
-        let bottleneck = stage_times.iter().fold(0.0f64, |a, &b| a.max(b));
-        let stage_sum: f64 = stage_times.iter().sum();
-        let makespan_pipelined = bottleneck + (stage_sum - bottleneck) / PIPELINE_CHUNKS;
-
+        let (makespan_sequential, makespan_pipelined) = makespans(&stages, &node_total);
         let outputs = program
             .outputs()
             .iter()
@@ -241,530 +222,133 @@ impl Executor {
         })
     }
 
-    /// The engine a node executes on: its annotation, or its source
-    /// table's engine, or the first input's location.
-    fn target_engine(
+    /// Runs one stage's compute nodes, in parallel when enabled and the
+    /// stage has at least two of them. Returns runs in node-id order
+    /// with the first (by node order) error propagated, independent of
+    /// thread scheduling.
+    fn run_stage(
+        &self,
+        program: &Program,
+        compute: &[NodeId],
+        results: &HashMap<NodeId, Dataset>,
+        registry: &EngineRegistry,
+    ) -> Result<Vec<NodeRun>> {
+        if self.parallel && compute.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = compute
+                    .iter()
+                    .map(|&id| scope.spawn(move || self.run_node(program, id, results, registry)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                    })
+                    .collect()
+            })
+        } else {
+            compute
+                .iter()
+                .map(|&id| self.run_node(program, id, results, registry))
+                .collect()
+        }
+    }
+
+    /// Executes one node against a private scoped ledger: placement,
+    /// input migration, adapter dispatch, and cost attribution.
+    fn run_node(
         &self,
         program: &Program,
         id: NodeId,
+        results: &HashMap<NodeId, Dataset>,
         registry: &EngineRegistry,
-    ) -> Option<EngineId> {
+    ) -> Result<NodeRun> {
         let node = program.node(id);
-        if let Some(e) = &node.annotations.engine {
-            return Some(e.clone());
-        }
-        if let Some(t) = node.op.source_table() {
-            return Some(t.engine.clone());
-        }
-        // Join at the engine of the (statically) first input when known.
-        let _ = registry;
-        None
-    }
+        let scoped_ledger = CostLedger::new();
+        let placer = self.placer.scoped(scoped_ledger.clone());
+        let target = placer.target_engine(node, results);
+        let (inputs, bill) = placer.stage_inputs(node, target.as_ref(), results, registry)?;
 
-    #[allow(clippy::too_many_lines)]
-    fn run_op(
-        &self,
-        op: &Operator,
-        inputs: &[Dataset],
-        _device: DeviceKind,
-        registry: &EngineRegistry,
-        target_engine: Option<EngineId>,
-    ) -> Result<Dataset> {
-        let loc = |d: &Dataset| d.location.clone();
-        match op {
-            Operator::Scan {
-                table,
-                predicate,
-                projection,
-            } => {
-                let store = registry.relational(&table.engine)?;
-                let cols: Option<Vec<&str>> =
-                    projection.as_ref().map(|p| p.iter().map(String::as_str).collect());
-                let rows = store.scan(&table.name, predicate, cols.as_deref())?;
-                let schema = store.scan_schema(&table.name, cols.as_deref())?;
-                Ok(Dataset::rows(
-                    schema,
-                    rows,
-                    DataModel::Relational,
-                    table.engine.clone(),
-                ))
-            }
-            Operator::KvPrefixScan { table, prefix } => {
-                let EngineInstance::KeyValue(kv) = registry.get(&table.engine)? else {
-                    return Err(Error::Invalid(format!("{} is not a kv store", table.engine)));
-                };
-                let pairs = kv.scan_prefix(prefix);
-                let value_type = pairs
-                    .iter()
-                    .find_map(|(_, v)| v.data_type())
-                    .unwrap_or(DataType::Str);
-                let schema =
-                    Schema::new(vec![("key", DataType::Str), ("value", value_type)]);
-                let rows = pairs
-                    .into_iter()
-                    .map(|(k, v)| Row::from(vec![Value::from(k.to_owned()), v.clone()]))
-                    .collect();
-                Ok(Dataset::rows(schema, rows, DataModel::KeyValue, table.engine.clone()))
-            }
-            Operator::TsRange { table, lo, hi } => {
-                let EngineInstance::Timeseries(ts) = registry.get(&table.engine)? else {
-                    return Err(Error::Invalid(format!("{} is not a ts store", table.engine)));
-                };
-                let pts = ts.range(&table.name, *lo, *hi)?;
-                let schema = Schema::new(vec![("ts", DataType::Timestamp), ("value", DataType::Float)]);
-                let rows = pts
-                    .iter()
-                    .map(|&(t, v)| Row::from(vec![Value::Timestamp(t), Value::Float(v)]))
-                    .collect();
-                Ok(Dataset::rows(schema, rows, DataModel::Timeseries, table.engine.clone()))
-            }
-            Operator::TsWindow {
-                table,
-                lo,
-                hi,
-                width,
-                agg,
-            } => {
-                let EngineInstance::Timeseries(ts) = registry.get(&table.engine)? else {
-                    return Err(Error::Invalid(format!("{} is not a ts store", table.engine)));
-                };
-                let windows = ts.window_aggregate(&table.name, *lo, *hi, *width, ts_agg(*agg))?;
-                // `window_idx` (ordinal window number) is the join-friendly
-                // key: deployments that lay series out as
-                // `entity_id × width + offset` can join entities to their
-                // window aggregates directly.
-                let schema = Schema::new(vec![
-                    ("window_idx", DataType::Int),
-                    ("window_start", DataType::Int),
-                    ("value", DataType::Float),
-                ]);
-                let rows = windows
-                    .into_iter()
-                    .map(|(t, v)| {
-                        Row::from(vec![
-                            Value::Int(t / width.max(&1)),
-                            Value::Int(t),
-                            Value::Float(v),
-                        ])
-                    })
-                    .collect();
-                Ok(Dataset::rows(schema, rows, DataModel::Timeseries, table.engine.clone()))
-            }
-            Operator::StreamWindow {
-                table,
-                lo,
-                hi,
-                width,
-                column,
-                agg,
-            } => {
-                let EngineInstance::Stream(s) = registry.get(&table.engine)? else {
-                    return Err(Error::Invalid(format!("{} is not a stream store", table.engine)));
-                };
-                let windows = s.window_aggregate(
-                    &table.name,
-                    *lo,
-                    *hi,
-                    pspp_streamstore::WindowSpec::Tumbling { width: *width },
-                    *column,
-                    stream_agg(*agg),
-                )?;
-                let schema = Schema::new(vec![
-                    ("window_start", DataType::Int),
-                    ("value", DataType::Float),
-                ]);
-                let rows = windows
-                    .into_iter()
-                    .map(|(t, v)| Row::from(vec![Value::Int(t), Value::Float(v)]))
-                    .collect();
-                Ok(Dataset::rows(schema, rows, DataModel::Stream, table.engine.clone()))
-            }
-            Operator::GraphMatch {
-                table,
-                start_label,
-                steps,
-            } => {
-                let EngineInstance::Graph(g) = registry.get(&table.engine)? else {
-                    return Err(Error::Invalid(format!("{} is not a graph store", table.engine)));
-                };
-                let pattern: Vec<pspp_graphstore::PatternStep> = steps
-                    .iter()
-                    .map(|(rel, label)| pspp_graphstore::PatternStep {
-                        rel: rel.clone(),
-                        node_label: label.clone(),
-                    })
-                    .collect();
-                let paths = g.match_pattern(start_label, &pattern);
-                let arity = steps.len() + 1;
-                let schema = Schema::new(
-                    (0..arity)
-                        .map(|i| (format!("node_{i}"), DataType::Int))
-                        .collect::<Vec<_>>(),
-                );
-                let rows = paths
-                    .into_iter()
-                    .map(|p| p.into_iter().map(|n| Value::Int(n as i64)).collect())
-                    .collect();
-                Ok(Dataset::rows(schema, rows, DataModel::Graph, table.engine.clone()))
-            }
-            Operator::TextSearch { table, terms, mode } => {
-                let EngineInstance::Text(t) = registry.get(&table.engine)? else {
-                    return Err(Error::Invalid(format!("{} is not a text store", table.engine)));
-                };
-                let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
-                let (schema, rows) = match mode {
-                    TextSearchMode::All => {
-                        let ids = t.search_all(&term_refs);
-                        (
-                            Schema::new(vec![("doc_id", DataType::Int)]),
-                            ids.into_iter()
-                                .map(|d| Row::from(vec![Value::Int(d as i64)]))
-                                .collect::<Vec<Row>>(),
-                        )
-                    }
-                    TextSearchMode::Any => {
-                        let ids = t.search_any(&term_refs);
-                        (
-                            Schema::new(vec![("doc_id", DataType::Int)]),
-                            ids.into_iter()
-                                .map(|d| Row::from(vec![Value::Int(d as i64)]))
-                                .collect::<Vec<Row>>(),
-                        )
-                    }
-                    TextSearchMode::Ranked(k) => {
-                        let hits = t.search_ranked(&terms.join(" "), *k);
-                        (
-                            Schema::new(vec![
-                                ("doc_id", DataType::Int),
-                                ("score", DataType::Float),
-                            ]),
-                            hits.into_iter()
-                                .map(|(d, s)| {
-                                    Row::from(vec![Value::Int(d as i64), Value::Float(s)])
-                                })
-                                .collect::<Vec<Row>>(),
-                        )
-                    }
-                };
-                Ok(Dataset::rows(schema, rows, DataModel::Text, table.engine.clone()))
-            }
-            Operator::Filter { predicate } => {
-                let d = &inputs[0];
-                let rows = ops::filter_rows(d.schema()?, d.try_rows()?.to_vec(), predicate)?;
-                Ok(Dataset::rows(d.schema()?.clone(), rows, d.model, loc(d)))
-            }
-            Operator::Project { columns } => {
-                let d = &inputs[0];
-                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
-                let (schema, rows) = ops::project(d.schema()?, d.try_rows()?, &cols)?;
-                Ok(Dataset::rows(schema, rows, d.model, loc(d)))
-            }
-            Operator::Sort { keys } => {
-                let d = &inputs[0];
-                let sort_keys: Vec<SortKey> = keys
-                    .iter()
-                    .map(|k| SortKey {
-                        column: k.column.clone(),
-                        ascending: k.ascending,
-                    })
-                    .collect();
-                let rows = ops::sort_rows(d.schema()?, d.try_rows()?.to_vec(), &sort_keys)?;
-                Ok(Dataset::rows(d.schema()?.clone(), rows, d.model, loc(d)))
-            }
-            Operator::HashJoin { left_on, right_on } => {
-                let (l, r) = (&inputs[0], &inputs[1]);
-                let (schema, rows) = ops::hash_join(
-                    l.schema()?,
-                    l.try_rows()?,
-                    r.schema()?,
-                    r.try_rows()?,
-                    left_on,
-                    right_on,
-                    JoinKind::Inner,
-                )?;
-                let location = target_engine.unwrap_or_else(|| loc(l));
-                Ok(Dataset::rows(schema, rows, l.model, location))
-            }
-            Operator::SortMergeJoin { left_on, right_on } => {
-                let (l, r) = (&inputs[0], &inputs[1]);
-                let (schema, rows) = ops::sort_merge_join(
-                    l.schema()?,
-                    l.try_rows()?.to_vec(),
-                    r.schema()?,
-                    r.try_rows()?.to_vec(),
-                    left_on,
-                    right_on,
-                )?;
-                let location = target_engine.unwrap_or_else(|| loc(l));
-                Ok(Dataset::rows(schema, rows, l.model, location))
-            }
-            Operator::GroupBy { keys, aggs } => {
-                let d = &inputs[0];
-                let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
-                let specs: Vec<AggregateSpec> = aggs
-                    .iter()
-                    .map(|a| AggregateSpec::new(agg_fn(a.func), a.column.clone(), a.output.clone()))
-                    .collect();
-                let (schema, rows) = ops::group_by(d.schema()?, d.try_rows()?, &key_refs, &specs)?;
-                Ok(Dataset::rows(schema, rows, d.model, loc(d)))
-            }
-            Operator::Limit { n } => {
-                let d = &inputs[0];
-                let rows = ops::limit(d.try_rows()?.to_vec(), *n);
-                Ok(Dataset::rows(d.schema()?.clone(), rows, d.model, loc(d)))
-            }
-            Operator::TrainMlp {
-                label_column,
-                hidden,
-                epochs,
-                batch_size,
-                learning_rate,
-            } => {
-                let d = &inputs[0];
-                let (data, _) = to_ml_dataset(d, Some(label_column))?;
-                let mut sizes = vec![data.dim()];
-                sizes.extend(hidden.iter().copied());
-                sizes.push(1);
-                let mut mlp = Mlp::new(&sizes, 42)?;
-                let profile = self.training_profile();
-                mlp.train(
-                    profile,
-                    &data,
-                    &TrainConfig {
-                        epochs: *epochs,
-                        batch_size: (*batch_size).max(1),
-                        learning_rate: *learning_rate,
-                    },
-                    Some(&self.ledger),
-                )?;
-                Ok(Dataset {
-                    payload: Payload::Model(Box::new(mlp)),
-                    model: DataModel::Tensor,
-                    location: EngineId::new("middleware"),
-                })
-            }
-            Operator::Predict => {
-                let d = &inputs[0];
-                let mlp = inputs[1].try_model()?;
-                // Score with the first `input_dim` numeric columns — the
-                // convention `TrainMlp` used (features in schema order).
-                let (data, schema) = to_ml_dataset_with_dim(d, None, Some(mlp.input_dim()))?;
-                let probs =
-                    mlp.predict_proba(self.training_profile(), data.features(), Some(&self.ledger))?;
-                let mut fields: Vec<pspp_common::Field> = schema.fields().to_vec();
-                fields.push(pspp_common::Field::new("prediction", DataType::Float));
-                let out_schema = Schema::from_fields(fields);
-                let rows: Vec<Row> = d
-                    .try_rows()?
-                    .iter()
-                    .zip(&probs)
-                    .map(|(r, p)| {
-                        let mut vals = r.values().to_vec();
-                        vals.push(Value::Float(*p));
-                        Row::from(vals)
-                    })
-                    .collect();
-                Ok(Dataset::rows(out_schema, rows, d.model, loc(d)))
-            }
-            Operator::KMeansCluster { k, max_iters } => {
-                let d = &inputs[0];
-                let (data, schema) = to_ml_dataset(d, None)?;
-                let result = KMeans::run(
-                    self.training_profile(),
-                    data.features(),
-                    &KMeansConfig {
-                        k: *k,
-                        max_iters: *max_iters,
-                        ..KMeansConfig::default()
-                    },
-                    Some(&self.ledger),
-                )?;
-                let mut fields: Vec<pspp_common::Field> = schema.fields().to_vec();
-                fields.push(pspp_common::Field::new("cluster", DataType::Int));
-                let out_schema = Schema::from_fields(fields);
-                let rows: Vec<Row> = d
-                    .try_rows()?
-                    .iter()
-                    .zip(&result.assignments)
-                    .map(|(r, &c)| {
-                        let mut vals = r.values().to_vec();
-                        vals.push(Value::Int(c as i64));
-                        Row::from(vals)
-                    })
-                    .collect();
-                Ok(Dataset::rows(out_schema, rows, d.model, loc(d)))
-            }
-            Operator::Custom { name } => {
-                Err(Error::Execution(format!("no adapter for custom op {name}")))
-            }
-        }
-    }
-
-    /// The device profile used for ML kernels: the fleet's best matrix
-    /// engine under offload, otherwise the host.
-    fn training_profile(&self) -> &pspp_accel::DeviceProfile {
-        if self.offload {
-            self.fleet
-                .best_device(KernelClass::Gemm)
-                .unwrap_or_else(|| self.fleet.host())
+        let device = if self.offload {
+            node.annotations.device.unwrap_or(DeviceKind::Cpu)
         } else {
-            self.fleet.host()
-        }
-    }
+            DeviceKind::Cpu
+        };
+        let ctx = ExecCtx::new(&self.fleet, &scoped_ledger, self.offload);
+        let output = self
+            .adapters
+            .dispatch(&node.op, &inputs, target.as_ref(), registry, &ctx)?;
 
-    /// Posts the simulated execution cost of an operator and returns its
-    /// seconds.
-    fn charge_op(
-        &self,
-        op: &Operator,
-        device: DeviceKind,
-        rows: u64,
-        bytes: u64,
-        node: NodeId,
-    ) -> f64 {
-        let kernel = kernel_for(op);
-        let profile = match self.fleet.profile(device) {
-            Some(p) if p.supports(kernel) && p.efficiency(kernel) > 0.0 => p,
-            _ => self.fleet.host(),
+        // Charge the simulated clock with actual sizes.
+        let work_rows = inputs
+            .iter()
+            .map(Dataset::len)
+            .max()
+            .unwrap_or(output.len())
+            .max(output.len());
+        let work_bytes = inputs
+            .iter()
+            .map(Dataset::byte_size)
+            .max()
+            .unwrap_or_else(|| output.byte_size())
+            .max(output.byte_size());
+        let exec_seconds = if Charger::is_ml_op(&node.op) {
+            Charger::ml_seconds(&scoped_ledger)
+        } else {
+            Charger::new(&self.fleet).charge(
+                &scoped_ledger,
+                &node.op,
+                device,
+                work_rows as u64,
+                work_bytes,
+                id,
+            )
         };
-        let cycles = match op {
-            Operator::Sort { .. } | Operator::SortMergeJoin { .. } => {
-                BitonicSorter::cycles(profile, rows)
-            }
-            Operator::HashJoin { .. } | Operator::GroupBy { .. } => {
-                HashPartitioner::cycles(profile, rows)
-            }
-            Operator::Predict => Gemm::cycles(profile, rows, 32, 1),
-            _ => StreamFilter::cycles(profile, rows, bytes),
-        };
-        let mut t = SimDuration::from_secs(
-            profile.cycles_to_s(cycles + profile.launch_overhead_cycles),
-        );
-        if let Some(attached) = self.fleet.device(profile.kind()) {
-            let transfer_bytes = match op {
-                Operator::Sort { .. } | Operator::SortMergeJoin { .. } => rows * 16,
-                _ => bytes,
-            };
-            t += attached.transfer_cost(transfer_bytes);
-        }
-        self.ledger.post(
-            format!("executor.{}@{node}", op.name()),
-            profile.kind(),
-            pspp_accel::EventKind::Compute,
-            bytes,
-            t,
-            profile.energy_j(t.as_secs()),
-        );
-        t.as_secs()
+        Ok(NodeRun {
+            id,
+            output,
+            exec_seconds,
+            migration_seconds: bill.seconds,
+            offloaded: device != DeviceKind::Cpu && self.fleet.device(device).is_some(),
+            events: scoped_ledger.events(),
+        })
     }
 }
 
-/// Converts a tabular dataset into an ML dataset; numeric columns become
-/// features (the label column, when given, becomes the target).
-fn to_ml_dataset(d: &Dataset, label: Option<&str>) -> Result<(MlDataset, Schema)> {
-    to_ml_dataset_with_dim(d, label, None)
-}
-
-/// As [`to_ml_dataset`], optionally truncating to the first `dim`
-/// numeric columns (for scoring with an already-trained model).
-fn to_ml_dataset_with_dim(
-    d: &Dataset,
-    label: Option<&str>,
-    dim: Option<usize>,
-) -> Result<(MlDataset, Schema)> {
-    let schema = d.schema()?;
-    let rows = d.try_rows()?;
-    let label_idx = match label {
-        Some(l) => Some(schema.require(l)?),
-        None => None,
-    };
-    let mut feature_cols: Vec<usize> = schema
-        .fields()
+/// Sequential and pipelined makespans over live-node stage times.
+fn makespans(stages: &[Stage], node_total: &HashMap<NodeId, f64>) -> (f64, f64) {
+    let stage_times: Vec<f64> = stages
         .iter()
-        .enumerate()
-        .filter(|(i, f)| Some(*i) != label_idx && f.data_type.is_numeric())
-        .map(|(i, _)| i)
-        .collect();
-    if let Some(dim) = dim {
-        if feature_cols.len() < dim {
-            return Err(Error::Execution(format!(
-                "model expects {dim} features, dataset has {}",
-                feature_cols.len()
-            )));
-        }
-        feature_cols.truncate(dim);
-    }
-    if feature_cols.is_empty() {
-        return Err(Error::Execution("no numeric feature columns".into()));
-    }
-    let examples: Vec<(Vec<f64>, f64)> = rows
-        .iter()
-        .map(|r| {
-            let feats: Vec<f64> = feature_cols
+        .map(|stage| {
+            stage
+                .compute
                 .iter()
-                .map(|&c| r[c].as_f64().unwrap_or(0.0))
-                .collect();
-            let y = label_idx
-                .map(|i| r[i].as_f64().unwrap_or(0.0))
-                .unwrap_or(0.0);
-            (feats, y)
+                .filter_map(|id| node_total.get(id))
+                .fold(0.0f64, |a, &b| a.max(b))
         })
         .collect();
-    Ok((MlDataset::from_examples(&examples)?, schema.clone()))
-}
-
-fn kernel_for(op: &Operator) -> KernelClass {
-    match op {
-        Operator::Sort { .. } | Operator::SortMergeJoin { .. } => KernelClass::Sort,
-        Operator::HashJoin { .. } => KernelClass::HashPartition,
-        Operator::GroupBy { .. } | Operator::TsWindow { .. } | Operator::StreamWindow { .. } => {
-            KernelClass::Aggregate
-        }
-        Operator::GraphMatch { .. } => KernelClass::GraphTraverse,
-        Operator::TrainMlp { .. } => KernelClass::Gemm,
-        Operator::Predict => KernelClass::Gemv,
-        Operator::KMeansCluster { .. } => KernelClass::KMeans,
-        _ => KernelClass::FilterProject,
-    }
-}
-
-fn ts_agg(a: TsAgg) -> pspp_tsstore::WindowAgg {
-    match a {
-        TsAgg::Mean => pspp_tsstore::WindowAgg::Mean,
-        TsAgg::Min => pspp_tsstore::WindowAgg::Min,
-        TsAgg::Max => pspp_tsstore::WindowAgg::Max,
-        TsAgg::Sum => pspp_tsstore::WindowAgg::Sum,
-        TsAgg::Count => pspp_tsstore::WindowAgg::Count,
-        TsAgg::Last => pspp_tsstore::WindowAgg::Last,
-    }
-}
-
-fn stream_agg(a: TsAgg) -> fn(&[f64]) -> f64 {
-    match a {
-        TsAgg::Mean => |v| v.iter().sum::<f64>() / v.len() as f64,
-        TsAgg::Min => |v| v.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
-        TsAgg::Max => |v| v.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
-        TsAgg::Sum => |v| v.iter().sum(),
-        TsAgg::Count => |v| v.len() as f64,
-        TsAgg::Last => |v| *v.last().expect("nonempty window"),
-    }
-}
-
-fn agg_fn(f: AggFn) -> Aggregate {
-    match f {
-        AggFn::Count => Aggregate::Count,
-        AggFn::Sum => Aggregate::Sum,
-        AggFn::Avg => Aggregate::Avg,
-        AggFn::Min => Aggregate::Min,
-        AggFn::Max => Aggregate::Max,
-    }
+    // Sum in stage/node order: f64 addition is order-sensitive, and the
+    // makespan must be bit-identical across runs and execution modes.
+    let sequential: f64 = stages
+        .iter()
+        .flat_map(|stage| &stage.compute)
+        .filter_map(|id| node_total.get(id))
+        .sum();
+    let bottleneck = stage_times.iter().fold(0.0f64, |a, &b| a.max(b));
+    let stage_sum: f64 = stage_times.iter().sum();
+    let pipelined = bottleneck + (stage_sum - bottleneck) / PIPELINE_CHUNKS;
+    (sequential, pipelined)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pspp_common::{row, Predicate, TableRef};
+    use pspp_common::{row, DataType, EngineId, Predicate, Schema, TableRef, Value};
+    use pspp_ir::{AggFn, Operator};
     use pspp_relstore::RelationalStore;
+
+    use crate::registry::EngineInstance;
 
     fn registry() -> EngineRegistry {
         let mut r = EngineRegistry::new();
@@ -796,16 +380,10 @@ mod tests {
             (0..200).map(|i| row![i as i64, format!("p{i}")]).collect(),
         )
         .unwrap();
-        r.register(
-            EngineId::new("db1"),
-            EngineInstance::Relational(db1),
-        )
-        .unwrap();
-        r.register(
-            EngineId::new("db2"),
-            EngineInstance::Relational(db2),
-        )
-        .unwrap();
+        r.register(EngineId::new("db1"), EngineInstance::Relational(db1))
+            .unwrap();
+        r.register(EngineId::new("db2"), EngineInstance::Relational(db2))
+            .unwrap();
         r
     }
 
@@ -827,7 +405,7 @@ mod tests {
         p.mark_output(s);
         let report = exec().execute(&p, &registry()).unwrap();
         let out = &report.outputs[0];
-        assert!(out.len() > 0 && out.len() < 200);
+        assert!(!out.is_empty() && out.len() < 200);
         assert_eq!(out.schema().unwrap().arity(), 2);
         assert!(report.makespan_sequential > 0.0);
     }
@@ -852,7 +430,11 @@ mod tests {
         let report = e.execute(&p, &registry()).unwrap();
         assert_eq!(report.outputs[0].len(), 200);
         assert!(report.migration_seconds > 0.0);
-        assert!(e.ledger().events().iter().any(|ev| ev.component == "migrate.transfer"));
+        assert!(e
+            .ledger()
+            .events()
+            .iter()
+            .any(|ev| ev.component == "migrate.transfer"));
     }
 
     #[test]
@@ -976,11 +558,138 @@ mod tests {
     fn custom_op_fails_cleanly() {
         let mut p = Program::new();
         let a = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
-        let c = p.add_node(Operator::Custom { name: "mystery".into() }, vec![a], "x");
+        let c = p.add_node(
+            Operator::Custom {
+                name: "mystery".into(),
+            },
+            vec![a],
+            "x",
+        );
         p.mark_output(c);
         assert!(matches!(
             exec().execute(&p, &registry()),
             Err(Error::Execution(_))
         ));
+    }
+
+    /// Records which thread ran each `Custom { name: "probe" }` node —
+    /// the witness that parallel stages really fan out.
+    #[derive(Debug, Default)]
+    struct ThreadProbeAdapter {
+        seen: std::sync::Mutex<Vec<std::thread::ThreadId>>,
+    }
+
+    impl crate::physical::EngineAdapter for ThreadProbeAdapter {
+        fn name(&self) -> &'static str {
+            "thread-probe"
+        }
+
+        fn supports(&self, op: &Operator) -> bool {
+            matches!(op, Operator::Custom { name } if name == "probe")
+        }
+
+        fn run(
+            &self,
+            _op: &Operator,
+            inputs: &[Dataset],
+            _target: Option<&EngineId>,
+            _registry: &EngineRegistry,
+            _ctx: &ExecCtx<'_>,
+        ) -> Result<Dataset> {
+            self.seen.lock().unwrap().push(std::thread::current().id());
+            Ok(inputs[0].clone())
+        }
+    }
+
+    /// One scan feeding two independent probe nodes: a single stage with
+    /// two compute nodes.
+    fn probe_program() -> Program {
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let c1 = p.add_node(
+            Operator::Custom {
+                name: "probe".into(),
+            },
+            vec![s],
+            "x",
+        );
+        let c2 = p.add_node(
+            Operator::Custom {
+                name: "probe".into(),
+            },
+            vec![s],
+            "x",
+        );
+        p.mark_output(c1);
+        p.mark_output(c2);
+        p
+    }
+
+    #[test]
+    fn parallel_stage_uses_separate_threads_with_identical_results() {
+        let p = probe_program();
+        let r = registry();
+
+        let probe = std::sync::Arc::new(ThreadProbeAdapter::default());
+        let parallel = exec().with_adapter(probe.clone());
+        let par_report = parallel.execute(&p, &r).unwrap();
+        {
+            let seen = probe.seen.lock().unwrap();
+            assert_eq!(seen.len(), 2);
+            assert_ne!(seen[0], seen[1], "stage nodes shared one thread");
+            assert!(
+                seen.iter().all(|&t| t != std::thread::current().id()),
+                "stage nodes ran on the orchestrator thread"
+            );
+        }
+
+        let probe_seq = std::sync::Arc::new(ThreadProbeAdapter::default());
+        let sequential = exec().with_adapter(probe_seq.clone()).parallel(false);
+        let seq_report = sequential.execute(&p, &r).unwrap();
+        {
+            let seen = probe_seq.seen.lock().unwrap();
+            assert_eq!(seen.len(), 2);
+            assert_eq!(seen[0], seen[1]);
+        }
+
+        for (a, b) in par_report.outputs.iter().zip(&seq_report.outputs) {
+            assert_eq!(a.try_rows().unwrap(), b.try_rows().unwrap());
+        }
+        assert_eq!(
+            parallel.ledger().total(),
+            sequential.ledger().total(),
+            "parallel and sequential runs must charge identical totals"
+        );
+        assert_eq!(parallel.ledger().events(), sequential.ledger().events());
+    }
+
+    #[test]
+    fn parallel_stage_error_is_deterministic() {
+        // Two failing customs in one stage: the lower node id's error
+        // must win regardless of which thread finishes first.
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let c1 = p.add_node(
+            Operator::Custom {
+                name: "boom1".into(),
+            },
+            vec![s],
+            "x",
+        );
+        let c2 = p.add_node(
+            Operator::Custom {
+                name: "boom2".into(),
+            },
+            vec![s],
+            "x",
+        );
+        p.mark_output(c1);
+        p.mark_output(c2);
+        for _ in 0..8 {
+            match exec().execute(&p, &registry()) {
+                Err(Error::Execution(msg)) => assert!(msg.contains("boom1"), "got {msg}"),
+                other => panic!("expected execution error, got {other:?}"),
+            }
+        }
     }
 }

@@ -4,18 +4,25 @@
 //!   model and current engine location.
 //! * [`EngineRegistry`] — the deployed engine instances (Fig. 4's server
 //!   pools).
-//! * [`Executor`] — walks an annotated IR program in topological stages,
-//!   dispatches each node to its engine via the adapters, offloads
-//!   annotated kernels to the accelerator fleet, invokes the data
-//!   migrator on cross-engine edges, and accounts the simulated
-//!   makespan both sequentially and pipelined (§IV-D: "the whole
-//!   workload execution can be perceived as a pipeline of the stages'
+//! * [`physical`] — the physical execution layer: the
+//!   [`EngineAdapter`] boundary (one adapter per engine kind plus the
+//!   ML adapter), the [`Placer`] (target-engine resolution and
+//!   cross-engine migration accounting) and the
+//!   [`physical::Charger`] (simulated cost attribution).
+//! * [`Executor`] — the orchestration loop: walks an annotated IR
+//!   program in topological stages, runs each stage's independent
+//!   nodes concurrently via scoped threads, dispatches every operator
+//!   through the adapter registry, and accounts the simulated makespan
+//!   both sequentially and pipelined (§IV-D: "the whole workload
+//!   execution can be perceived as a pipeline of the stages'
 //!   execution").
 
 pub mod dataset;
 pub mod executor;
+pub mod physical;
 pub mod registry;
 
 pub use dataset::{Dataset, Payload};
 pub use executor::{ExecutionReport, Executor};
+pub use physical::{AdapterRegistry, Charger, EngineAdapter, ExecCtx, Placer};
 pub use registry::{EngineInstance, EngineRegistry};

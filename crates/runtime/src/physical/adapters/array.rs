@@ -1,0 +1,40 @@
+//! Adapter slot for array/tensor stores.
+
+use pspp_common::{EngineId, Result};
+use pspp_ir::Operator;
+
+use crate::dataset::Dataset;
+use crate::physical::adapters::relational::unsupported;
+use crate::physical::{EngineAdapter, ExecCtx};
+use crate::registry::EngineRegistry;
+
+/// The array-engine extension point.
+///
+/// The IR's current operator vocabulary has no array-native operator —
+/// array data reaches programs through the ML adapter's tensor path —
+/// so this adapter claims nothing yet. It exists so the dispatch table
+/// covers every engine kind in the registry and array operators land in
+/// one obvious place when the IR grows them (slice, reshape, matmul).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArrayAdapter;
+
+impl EngineAdapter for ArrayAdapter {
+    fn name(&self) -> &'static str {
+        "array"
+    }
+
+    fn supports(&self, _op: &Operator) -> bool {
+        false
+    }
+
+    fn run(
+        &self,
+        op: &Operator,
+        _inputs: &[Dataset],
+        _target: Option<&EngineId>,
+        _registry: &EngineRegistry,
+        _ctx: &ExecCtx<'_>,
+    ) -> Result<Dataset> {
+        unsupported(self, op)
+    }
+}

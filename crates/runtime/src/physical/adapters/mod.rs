@@ -1,0 +1,20 @@
+//! The standard adapter set: one [`super::EngineAdapter`] per engine
+//! kind, plus the ML adapter.
+
+pub mod array;
+pub mod graph;
+pub mod kv;
+pub mod ml;
+pub mod relational;
+pub mod stream;
+pub mod text;
+pub mod timeseries;
+
+pub use array::ArrayAdapter;
+pub use graph::GraphAdapter;
+pub use kv::KvAdapter;
+pub use ml::MlAdapter;
+pub use relational::RelationalAdapter;
+pub use stream::StreamAdapter;
+pub use text::TextAdapter;
+pub use timeseries::TimeseriesAdapter;

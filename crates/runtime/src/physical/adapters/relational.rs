@@ -1,0 +1,154 @@
+//! Adapter for relational stores and engine-agnostic row transforms.
+
+use pspp_common::{DataModel, EngineId, Result};
+use pspp_ir::{AggFn, Operator};
+use pspp_relstore::{ops, Aggregate, AggregateSpec, JoinKind, SortKey};
+
+use crate::dataset::Dataset;
+use crate::physical::{EngineAdapter, ExecCtx};
+use crate::registry::EngineRegistry;
+
+/// Executes relational scans against their store, and the generic row
+/// transforms (filter, project, sort, joins, group-by, limit) wherever
+/// the data currently lives — transforms run at the middleware over any
+/// data model's row form, matching the paper's "operators migrate to
+/// data" default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RelationalAdapter;
+
+impl EngineAdapter for RelationalAdapter {
+    fn name(&self) -> &'static str {
+        "relational"
+    }
+
+    fn supports(&self, op: &Operator) -> bool {
+        matches!(
+            op,
+            Operator::Scan { .. }
+                | Operator::Filter { .. }
+                | Operator::Project { .. }
+                | Operator::Sort { .. }
+                | Operator::HashJoin { .. }
+                | Operator::SortMergeJoin { .. }
+                | Operator::GroupBy { .. }
+                | Operator::Limit { .. }
+        )
+    }
+
+    fn run(
+        &self,
+        op: &Operator,
+        inputs: &[Dataset],
+        target: Option<&EngineId>,
+        registry: &EngineRegistry,
+        _ctx: &ExecCtx<'_>,
+    ) -> Result<Dataset> {
+        let loc = |d: &Dataset| d.location.clone();
+        match op {
+            Operator::Scan {
+                table,
+                predicate,
+                projection,
+            } => {
+                let store = registry.relational(&table.engine)?;
+                let cols: Option<Vec<&str>> = projection
+                    .as_ref()
+                    .map(|p| p.iter().map(String::as_str).collect());
+                let rows = store.scan(&table.name, predicate, cols.as_deref())?;
+                let schema = store.scan_schema(&table.name, cols.as_deref())?;
+                Ok(Dataset::rows(
+                    schema,
+                    rows,
+                    DataModel::Relational,
+                    table.engine.clone(),
+                ))
+            }
+            Operator::Filter { predicate } => {
+                let d = &inputs[0];
+                let rows = ops::filter_rows(d.schema()?, d.try_rows()?.to_vec(), predicate)?;
+                Ok(Dataset::rows(d.schema()?.clone(), rows, d.model, loc(d)))
+            }
+            Operator::Project { columns } => {
+                let d = &inputs[0];
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                let (schema, rows) = ops::project(d.schema()?, d.try_rows()?, &cols)?;
+                Ok(Dataset::rows(schema, rows, d.model, loc(d)))
+            }
+            Operator::Sort { keys } => {
+                let d = &inputs[0];
+                let sort_keys: Vec<SortKey> = keys
+                    .iter()
+                    .map(|k| SortKey {
+                        column: k.column.clone(),
+                        ascending: k.ascending,
+                    })
+                    .collect();
+                let rows = ops::sort_rows(d.schema()?, d.try_rows()?.to_vec(), &sort_keys)?;
+                Ok(Dataset::rows(d.schema()?.clone(), rows, d.model, loc(d)))
+            }
+            Operator::HashJoin { left_on, right_on } => {
+                let (l, r) = (&inputs[0], &inputs[1]);
+                let (schema, rows) = ops::hash_join(
+                    l.schema()?,
+                    l.try_rows()?,
+                    r.schema()?,
+                    r.try_rows()?,
+                    left_on,
+                    right_on,
+                    JoinKind::Inner,
+                )?;
+                let location = target.cloned().unwrap_or_else(|| loc(l));
+                Ok(Dataset::rows(schema, rows, l.model, location))
+            }
+            Operator::SortMergeJoin { left_on, right_on } => {
+                let (l, r) = (&inputs[0], &inputs[1]);
+                let (schema, rows) = ops::sort_merge_join(
+                    l.schema()?,
+                    l.try_rows()?.to_vec(),
+                    r.schema()?,
+                    r.try_rows()?.to_vec(),
+                    left_on,
+                    right_on,
+                )?;
+                let location = target.cloned().unwrap_or_else(|| loc(l));
+                Ok(Dataset::rows(schema, rows, l.model, location))
+            }
+            Operator::GroupBy { keys, aggs } => {
+                let d = &inputs[0];
+                let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                let specs: Vec<AggregateSpec> = aggs
+                    .iter()
+                    .map(|a| AggregateSpec::new(agg_fn(a.func), a.column.clone(), a.output.clone()))
+                    .collect();
+                let (schema, rows) = ops::group_by(d.schema()?, d.try_rows()?, &key_refs, &specs)?;
+                Ok(Dataset::rows(schema, rows, d.model, loc(d)))
+            }
+            Operator::Limit { n } => {
+                let d = &inputs[0];
+                let rows = ops::limit(d.try_rows()?.to_vec(), *n);
+                Ok(Dataset::rows(d.schema()?.clone(), rows, d.model, loc(d)))
+            }
+            other => unsupported(self, other),
+        }
+    }
+}
+
+/// Maps IR aggregate functions to the relational store's natives.
+fn agg_fn(f: AggFn) -> Aggregate {
+    match f {
+        AggFn::Count => Aggregate::Count,
+        AggFn::Sum => Aggregate::Sum,
+        AggFn::Avg => Aggregate::Avg,
+        AggFn::Min => Aggregate::Min,
+        AggFn::Max => Aggregate::Max,
+    }
+}
+
+/// Shared "wrong adapter" error used by every adapter's fallthrough arm.
+pub(crate) fn unsupported(adapter: &dyn EngineAdapter, op: &Operator) -> Result<Dataset> {
+    Err(pspp_common::Error::Execution(format!(
+        "{} adapter cannot execute {}",
+        adapter.name(),
+        op.name()
+    )))
+}

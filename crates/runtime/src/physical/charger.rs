@@ -1,0 +1,103 @@
+//! The charger: simulated cost attribution for operator execution.
+
+use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
+use pspp_accel::{AcceleratorFleet, CostLedger, KernelClass, SimDuration};
+use pspp_common::DeviceKind;
+use pspp_ir::{NodeId, Operator};
+
+/// Owns ledger/kernel cost attribution: which kernel class an operator
+/// maps to, which device profile actually serves it, and the posted
+/// compute + transfer + energy charges.
+#[derive(Debug, Clone, Copy)]
+pub struct Charger<'a> {
+    fleet: &'a AcceleratorFleet,
+}
+
+impl<'a> Charger<'a> {
+    /// A charger over `fleet`.
+    pub fn new(fleet: &'a AcceleratorFleet) -> Self {
+        Charger { fleet }
+    }
+
+    /// The accelerator kernel class executing `op`.
+    pub fn kernel_for(op: &Operator) -> KernelClass {
+        match op {
+            Operator::Sort { .. } | Operator::SortMergeJoin { .. } => KernelClass::Sort,
+            Operator::HashJoin { .. } => KernelClass::HashPartition,
+            Operator::GroupBy { .. }
+            | Operator::TsWindow { .. }
+            | Operator::StreamWindow { .. } => KernelClass::Aggregate,
+            Operator::GraphMatch { .. } => KernelClass::GraphTraverse,
+            Operator::TrainMlp { .. } => KernelClass::Gemm,
+            Operator::Predict => KernelClass::Gemv,
+            Operator::KMeansCluster { .. } => KernelClass::KMeans,
+            _ => KernelClass::FilterProject,
+        }
+    }
+
+    /// Whether `op`'s cost is accounted by the ML engine itself (its
+    /// kernels post their own `mlengine.*` events while running).
+    pub fn is_ml_op(op: &Operator) -> bool {
+        matches!(
+            op,
+            Operator::TrainMlp { .. } | Operator::Predict | Operator::KMeansCluster { .. }
+        )
+    }
+
+    /// The ML engine's busy seconds already posted to `ledger` (the
+    /// execution cost of an ML operator run against a node-scoped
+    /// ledger).
+    pub fn ml_seconds(ledger: &CostLedger) -> f64 {
+        ledger.busy_for("mlengine").as_secs()
+    }
+
+    /// Posts the simulated execution cost of `op` to `ledger` and
+    /// returns its seconds.
+    ///
+    /// Falls back to the host profile when the annotated device does not
+    /// support (or has zero efficiency for) the operator's kernel class;
+    /// attached accelerators additionally pay their transfer cost.
+    pub fn charge(
+        &self,
+        ledger: &CostLedger,
+        op: &Operator,
+        device: DeviceKind,
+        rows: u64,
+        bytes: u64,
+        node: NodeId,
+    ) -> f64 {
+        let kernel = Self::kernel_for(op);
+        let profile = match self.fleet.profile(device) {
+            Some(p) if p.supports(kernel) && p.efficiency(kernel) > 0.0 => p,
+            _ => self.fleet.host(),
+        };
+        let cycles = match op {
+            Operator::Sort { .. } | Operator::SortMergeJoin { .. } => {
+                BitonicSorter::cycles(profile, rows)
+            }
+            Operator::HashJoin { .. } | Operator::GroupBy { .. } => {
+                HashPartitioner::cycles(profile, rows)
+            }
+            Operator::Predict => Gemm::cycles(profile, rows, 32, 1),
+            _ => StreamFilter::cycles(profile, rows, bytes),
+        };
+        let mut t =
+            SimDuration::from_secs(profile.cycles_to_s(cycles + profile.launch_overhead_cycles));
+        if let Some(attached) = self.fleet.device(profile.kind()) {
+            let transfer_bytes = match op {
+                Operator::Sort { .. } | Operator::SortMergeJoin { .. } => rows * 16,
+                _ => bytes,
+            };
+            t += attached.transfer_cost(transfer_bytes);
+        }
+        ledger.post(
+            format!("executor.{}@{node}", op.name()),
+            profile.kind(),
+            pspp_accel::EventKind::Compute,
+            bytes,
+            t,
+            profile.energy_j(t.as_secs()),
+        );
+        t.as_secs()
+    }
+}

@@ -1,0 +1,88 @@
+//! The physical execution layer: engines and accelerators as
+//! interchangeable execution substrates behind one interface (§IV).
+//!
+//! The layer splits operator execution into three orthogonal concerns,
+//! each owned by one component:
+//!
+//! * [`EngineAdapter`] — *how* an operator runs. One adapter per engine
+//!   kind (relational, key/value, timeseries, graph, array, text,
+//!   stream) plus [`adapters::MlAdapter`] for the ML patterns; the
+//!   [`AdapterRegistry`] dispatches each IR operator to the first
+//!   adapter claiming it. Adding a backend is "implement one trait" —
+//!   the executor never names a concrete engine.
+//! * [`Placer`] — *where* an operator runs. Resolves the target engine
+//!   (optimizer annotation → source table → data gravity) and stages
+//!   the node's inputs there, invoking the data migrator once per
+//!   foreign input and accounting the migration cost.
+//! * [`Charger`] — *what* an operator costs. Posts simulated kernel
+//!   cycles, transfer charges and energy to the run's [`CostLedger`].
+//!
+//! All three are `Sync`-clean: the executor runs every independent node
+//! of a topological stage on its own thread (`std::thread::scope`),
+//! giving each node a private scoped ledger and merging events back in
+//! node order so parallel runs are bit-identical to sequential ones —
+//! outputs, makespans, and the executor's ledger all match exactly.
+//! The one deliberate exception: engine stores also post scan/operator
+//! events to their *own* private ledgers (attached at store
+//! construction, not managed by the executor); those logs stay
+//! thread-safe but their event order reflects actual interleaving when
+//! two nodes hit one store concurrently.
+
+pub mod adapter;
+pub mod adapters;
+pub mod charger;
+pub mod placer;
+
+pub use adapter::{AdapterRegistry, EngineAdapter};
+pub use charger::Charger;
+pub use placer::Placer;
+
+use pspp_accel::{AcceleratorFleet, CostLedger, DeviceProfile, KernelClass};
+
+/// Everything an adapter may consult while running one operator: the
+/// accelerator fleet, the (node-scoped) cost ledger, and whether device
+/// offload is enabled for this run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecCtx<'a> {
+    fleet: &'a AcceleratorFleet,
+    ledger: &'a CostLedger,
+    offload: bool,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// A context over `fleet`, posting to `ledger`.
+    pub fn new(fleet: &'a AcceleratorFleet, ledger: &'a CostLedger, offload: bool) -> Self {
+        ExecCtx {
+            fleet,
+            ledger,
+            offload,
+        }
+    }
+
+    /// The accelerator fleet.
+    pub fn fleet(&self) -> &'a AcceleratorFleet {
+        self.fleet
+    }
+
+    /// The ledger this node's costs post to.
+    pub fn ledger(&self) -> &'a CostLedger {
+        self.ledger
+    }
+
+    /// Whether device annotations are honored (L2+).
+    pub fn offload(&self) -> bool {
+        self.offload
+    }
+
+    /// The device profile ML kernels train/score on: the fleet's best
+    /// matrix engine under offload, otherwise the host.
+    pub fn training_profile(&self) -> &'a DeviceProfile {
+        if self.offload {
+            self.fleet
+                .best_device(KernelClass::Gemm)
+                .unwrap_or_else(|| self.fleet.host())
+        } else {
+            self.fleet.host()
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The placer: *where* each node executes, and what it costs to stage
+//! the node's inputs there.
+
+use std::collections::HashMap;
+
+use pspp_accel::CostLedger;
+use pspp_common::{Batch, EngineId, Error, Result};
+use pspp_ir::{NodeId, ProgramNode};
+use pspp_migrate::{MigrationPath, Migrator};
+
+use crate::dataset::{Dataset, Payload};
+use crate::registry::EngineRegistry;
+
+/// What staging one node's inputs cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MigrationBill {
+    /// Simulated seconds spent migrating foreign inputs.
+    pub seconds: f64,
+    /// Number of inputs that crossed an engine boundary.
+    pub migrated_inputs: usize,
+}
+
+/// Owns target-engine resolution and cross-engine migration accounting.
+///
+/// Placement policy, in priority order:
+///
+/// 1. the optimizer's engine annotation ([`pspp_ir::Annotations`]),
+/// 2. the engine owning a source operator's table,
+/// 3. data gravity — the engine already holding the first input.
+///
+/// When a node's input lives on a different engine than the resolved
+/// target, the placer invokes the migrator exactly once for that input,
+/// charging the transfer to its ledger and rehoming the dataset.
+#[derive(Debug, Clone)]
+pub struct Placer {
+    migrator: Migrator,
+    path: MigrationPath,
+}
+
+impl Placer {
+    /// A placer migrating over `path` with `migrator`.
+    pub fn new(migrator: Migrator, path: MigrationPath) -> Self {
+        Placer { migrator, path }
+    }
+
+    /// The migration path cross-engine edges use.
+    pub fn path(&self) -> MigrationPath {
+        self.path
+    }
+
+    /// This placer with a different migration path.
+    pub fn with_path(mut self, path: MigrationPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// A copy of this placer posting migration costs to `ledger` —
+    /// executor workers scope one per node so parallel stages stay
+    /// deterministic.
+    pub fn scoped(&self, ledger: CostLedger) -> Placer {
+        Placer {
+            migrator: self.migrator.clone().with_ledger(ledger),
+            path: self.path,
+        }
+    }
+
+    /// The engine `node` executes on: its annotation, its source table's
+    /// engine, or the engine already holding its first input.
+    pub fn target_engine(
+        &self,
+        node: &ProgramNode,
+        results: &HashMap<NodeId, Dataset>,
+    ) -> Option<EngineId> {
+        if let Some(e) = &node.annotations.engine {
+            return Some(e.clone());
+        }
+        if let Some(t) = node.op.source_table() {
+            return Some(t.engine.clone());
+        }
+        // Data gravity: run where the first input already lives, so
+        // cross-engine joins pay migration at every optimization level.
+        node.inputs
+            .first()
+            .and_then(|i| results.get(i))
+            .map(|d| d.location.clone())
+    }
+
+    /// Gathers `node`'s inputs from `results`, migrating every input
+    /// located on a different engine than `target` (exactly one
+    /// migrator invocation per foreign input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Execution`] when an input is missing and
+    /// [`Error::Migration`] when the migrator fails.
+    pub fn stage_inputs(
+        &self,
+        node: &ProgramNode,
+        target: Option<&EngineId>,
+        results: &HashMap<NodeId, Dataset>,
+        registry: &EngineRegistry,
+    ) -> Result<(Vec<Dataset>, MigrationBill)> {
+        let mut inputs = Vec::with_capacity(node.inputs.len());
+        let mut bill = MigrationBill::default();
+        for &i in &node.inputs {
+            let mut d = results
+                .get(&i)
+                .ok_or_else(|| Error::Execution(format!("missing input for {}", node.id)))?
+                .clone();
+            if let (Some(target), Payload::Rows { schema, rows }) = (target, &d.payload) {
+                if d.location != *target && !rows.is_empty() {
+                    let to_model = registry
+                        .get(target)
+                        .map(|e| e.kind().native_model())
+                        .unwrap_or(d.model);
+                    let batch = Batch::from_rows(schema, rows.clone()).map_err(|e| {
+                        Error::Migration(format!("cannot batch rows for migration: {e}"))
+                    })?;
+                    let (rows2, report) = self
+                        .migrator
+                        .migrate(&batch, self.path, d.model, to_model)?;
+                    bill.seconds += report.total.as_secs();
+                    bill.migrated_inputs += 1;
+                    d = Dataset::rows(schema.clone(), rows2, to_model, target.clone());
+                }
+            }
+            inputs.push(d);
+        }
+        Ok((inputs, bill))
+    }
+}
+
+impl Default for Placer {
+    fn default() -> Self {
+        Placer::new(Migrator::new(), MigrationPath::BinaryPipe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::TableRef;
+    use pspp_common::{row, DataModel, DataType, Schema};
+    use pspp_ir::{Operator, Program};
+    use pspp_relstore::RelationalStore;
+
+    use crate::registry::EngineInstance;
+
+    fn two_engine_registry() -> EngineRegistry {
+        let mut r = EngineRegistry::new();
+        for name in ["db1", "db2"] {
+            let mut db = RelationalStore::new(name);
+            db.create_table("t", Schema::new(vec![("k", DataType::Int)]))
+                .unwrap();
+            db.insert("t", (0..50).map(|i| row![i as i64]).collect())
+                .unwrap();
+            r.register(EngineId::new(name), EngineInstance::Relational(db))
+                .unwrap();
+        }
+        r
+    }
+
+    /// A join program over two engines; returns (program, join node id).
+    fn join_program() -> (Program, pspp_ir::NodeId) {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "t")), "sql");
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "t")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: "k".into(),
+                right_on: "k".into(),
+            },
+            vec![a, b],
+            "sql",
+        );
+        (p, j)
+    }
+
+    fn dataset_at(engine: &str, n: i64) -> Dataset {
+        Dataset::rows(
+            Schema::new(vec![("k", DataType::Int)]),
+            (0..n).map(|i| row![i]).collect(),
+            DataModel::Relational,
+            EngineId::new(engine),
+        )
+    }
+
+    #[test]
+    fn two_engine_join_migrates_exactly_the_foreign_input() {
+        let (p, j) = join_program();
+        let registry = two_engine_registry();
+        let ledger = CostLedger::new();
+        let placer = Placer::default().scoped(ledger.clone());
+
+        let mut results = HashMap::new();
+        results.insert(p.node(j).inputs[0], dataset_at("db1", 50));
+        results.insert(p.node(j).inputs[1], dataset_at("db2", 50));
+
+        // Annotated target db1: only the db2 input is foreign.
+        let mut node = p.node(j).clone();
+        node.annotations.engine = Some(EngineId::new("db1"));
+        let target = placer.target_engine(&node, &results);
+        assert_eq!(target, Some(EngineId::new("db1")));
+        let (inputs, bill) = placer
+            .stage_inputs(&node, target.as_ref(), &results, &registry)
+            .unwrap();
+        assert_eq!(bill.migrated_inputs, 1, "exactly one foreign input");
+        assert!(bill.seconds > 0.0);
+        assert!(inputs.iter().all(|d| d.location == EngineId::new("db1")));
+        let transfers = ledger
+            .events()
+            .iter()
+            .filter(|e| e.component == "migrate.transfer")
+            .count();
+        assert_eq!(transfers, 1, "one migrator invocation per foreign input");
+    }
+
+    #[test]
+    fn data_gravity_migrates_only_the_second_input() {
+        let (p, j) = join_program();
+        let registry = two_engine_registry();
+        let placer = Placer::default().scoped(CostLedger::new());
+
+        let mut results = HashMap::new();
+        results.insert(p.node(j).inputs[0], dataset_at("db1", 50));
+        results.insert(p.node(j).inputs[1], dataset_at("db2", 50));
+
+        // No annotation: data gravity pulls the join to the first
+        // input's engine, so the second input pays exactly one trip.
+        let node = p.node(j);
+        let target = placer.target_engine(node, &results);
+        assert_eq!(target, Some(EngineId::new("db1")));
+        let (_, bill) = placer
+            .stage_inputs(node, target.as_ref(), &results, &registry)
+            .unwrap();
+        assert_eq!(bill.migrated_inputs, 1);
+    }
+
+    #[test]
+    fn local_inputs_pay_no_migration() {
+        let (p, j) = join_program();
+        let registry = two_engine_registry();
+        let ledger = CostLedger::new();
+        let placer = Placer::default().scoped(ledger.clone());
+
+        let mut results = HashMap::new();
+        results.insert(p.node(j).inputs[0], dataset_at("db1", 50));
+        results.insert(p.node(j).inputs[1], dataset_at("db1", 50));
+
+        let node = p.node(j);
+        let target = placer.target_engine(node, &results);
+        let (_, bill) = placer
+            .stage_inputs(node, target.as_ref(), &results, &registry)
+            .unwrap();
+        assert_eq!(bill, MigrationBill::default());
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn annotation_beats_source_table_and_gravity() {
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "t")), "sql");
+        let mut node = p.node(s).clone();
+        assert_eq!(
+            Placer::default().target_engine(&node, &HashMap::new()),
+            Some(EngineId::new("db1")),
+            "source table engine wins without an annotation"
+        );
+        node.annotations.engine = Some(EngineId::new("db2"));
+        assert_eq!(
+            Placer::default().target_engine(&node, &HashMap::new()),
+            Some(EngineId::new("db2")),
+            "optimizer annotation wins"
+        );
+    }
+}

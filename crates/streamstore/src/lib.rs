@@ -164,7 +164,12 @@ impl StreamStore {
         let mut out: Vec<&Event> = log.iter().filter(|e| e.ts >= lo && e.ts < hi).collect();
         out.sort_by_key(|e| e.ts);
         let bytes: u64 = out.iter().map(|e| e.payload.byte_size() as u64).sum();
-        self.charge("streamstore.read", out.len() as u64, bytes, 50 + out.len() as u64 * 2);
+        self.charge(
+            "streamstore.read",
+            out.len() as u64,
+            bytes,
+            50 + out.len() as u64 * 2,
+        );
         Ok(out)
     }
 
@@ -310,7 +315,10 @@ mod tests {
                 "hr",
                 0,
                 100,
-                WindowSpec::Sliding { width: 40, slide: 20 },
+                WindowSpec::Sliding {
+                    width: 40,
+                    slide: 20,
+                },
                 0,
                 mean,
             )
@@ -350,7 +358,10 @@ mod tests {
     #[test]
     fn stream_join_within_bound() {
         let mut s = store();
-        s.publish_many("bp", (0..5).map(|i| Event::new(i * 25, row![(110 + i) as f64])));
+        s.publish_many(
+            "bp",
+            (0..5).map(|i| Event::new(i * 25, row![(110 + i) as f64])),
+        );
         let joined = s.join_streams("hr", "bp", 0, 100, 5).unwrap();
         // hr ts: 0,10,..,90; bp ts: 0,25,50,75. Pairs within 5: (0,0),
         // (30,25? diff 5 yes), (50,50), (70,75 diff 5), (80,75? diff 5)...

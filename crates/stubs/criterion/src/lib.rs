@@ -1,0 +1,153 @@
+//! A hermetic mini `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the benchmark-harness subset the `pspp-bench` benches use: groups,
+//! `sample_size` / `warm_up_time` / `measurement_time` knobs,
+//! `bench_function` with a [`Bencher`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a plain median-of-samples over
+//! `std::time::Instant` — no statistics engine, no plots — printed in a
+//! `name ... median time` line per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The harness entry point handed to every benchmark target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is bounded by
+    /// `sample_size` alone here.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its median sample time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Warm-up: run until the budget is spent at least once.
+        let start = Instant::now();
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        while start.elapsed() < self.warm_up {
+            f(&mut b);
+            if b.samples.is_empty() {
+                break; // routine never called iter; nothing to time
+            }
+        }
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.samples.sort_unstable();
+        let median = b
+            .samples
+            .get(b.samples.len() / 2)
+            .copied()
+            .unwrap_or_default();
+        println!(
+            "{}/{id}: median {median:?} over {} samples",
+            self.name,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures inside a benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once, recording its wall-clock time as one sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t = Instant::now();
+        black_box(routine());
+        self.samples.push(t.elapsed());
+    }
+}
+
+/// Declares a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_samples_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).warm_up_time(Duration::from_millis(1));
+        let mut runs = 0;
+        g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs >= 3);
+    }
+}

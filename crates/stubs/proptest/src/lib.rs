@@ -1,0 +1,126 @@
+//! A hermetic mini `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the slice of proptest's API the workspace tests use:
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_oneof!`] macros, [`strategy::Strategy`] with `prop_map`,
+//! [`any`], numeric range strategies, tuple strategies, vector
+//! collections, and `[chars]{lo,hi}` string patterns.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its case number and the
+//!   deterministic per-test seed instead of a minimized input.
+//! * **Deterministic generation** — each test derives its RNG seed from
+//!   the test name (override with `PROPTEST_SEED`), so failures are
+//!   reproducible bit-for-bit across runs and machines.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::prelude` — one-stop imports, mirroring the real crate.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Re-export of the [`crate::prop`] module under the prelude, as
+    /// `use proptest::prelude::*` is expected to bring `prop::` in.
+    pub mod prop {
+        pub use crate::prop::*;
+    }
+}
+
+/// The `prop` namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Declares property tests.
+///
+/// Supports the two forms the workspace uses: an optional leading
+/// `#![proptest_config(...)]`, then `fn name(pat in strategy, ...) { body }`
+/// items carrying arbitrary attributes (including doc comments and
+/// `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            for case in 0..config.cases {
+                let ($($pat,)+) =
+                    ($($crate::strategy::Strategy::new_value(&$strat, runner.rng()),)+);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed (seed {:#x}): {}",
+                        case + 1,
+                        config.cases,
+                        runner.seed(),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (not panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

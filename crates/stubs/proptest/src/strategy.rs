@@ -1,0 +1,328 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::Rng;
+
+/// Generates values of an associated type from a random source.
+///
+/// Object-safe core (`new_value`) plus sized combinators, mirroring the
+/// proptest surface the workspace tests rely on.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut Rng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut Rng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut Rng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Uniform choice between same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut Rng) -> T {
+        let i = rng.next_below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    /// All bit patterns — finite, infinite, and NaN — like proptest's
+    /// default `f64` domain.
+    fn arbitrary(rng: &mut Rng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn new_value(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// `&'static str` patterns of the form `[chars]{lo,hi}` generate
+/// matching strings (the only regex shape the workspace tests use).
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut Rng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self);
+        let len = lo + rng.next_below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.next_below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[a-z ,"]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    macro_rules! bad {
+        () => {
+            panic!("unsupported string pattern {pattern:?}: expected `[chars]{{lo,hi}}`")
+        };
+    }
+    let Some(rest) = pattern.strip_prefix('[') else {
+        bad!()
+    };
+    let Some((class, rest)) = rest.split_once(']') else {
+        bad!()
+    };
+    let Some(counts) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+        bad!()
+    };
+    let Some((lo, hi)) = counts.split_once(',') else {
+        bad!()
+    };
+    let Ok(lo) = lo.trim().parse::<usize>() else {
+        bad!()
+    };
+    let Ok(hi) = hi.trim().parse::<usize>() else {
+        bad!()
+    };
+    assert!(lo <= hi, "empty repetition in pattern {pattern:?}");
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '\\' && i + 1 < chars.len() {
+            alphabet.push(chars[i + 1]);
+            i += 2;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            assert!(a <= b, "reversed range in pattern {pattern:?}");
+            for c in a..=b {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+/// The strategy behind `prop::collection::vec`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Vectors of `size.start..size.end` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.next_below(span) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(3);
+        for _ in 0..512 {
+            let v = (-5i64..7).new_value(&mut rng);
+            assert!((-5..7).contains(&v));
+            let f = (0.25f64..0.75).new_value(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let u = (1usize..16).new_value(&mut rng);
+            assert!((1..16).contains(&u));
+        }
+    }
+
+    #[test]
+    fn class_patterns_generate_matching_strings() {
+        let mut rng = Rng::new(9);
+        for _ in 0..256 {
+            let s = "[a-c ,]{0,5}".new_value(&mut rng);
+            assert!(s.len() <= 5);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ' | ',')));
+        }
+    }
+
+    #[test]
+    fn oneof_draws_every_arm() {
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut rng = Rng::new(4);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[u.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn map_and_vec_compose() {
+        let mut rng = Rng::new(5);
+        let s = vec((0i64..10).prop_map(|x| x * 2), 1..4);
+        for _ in 0..64 {
+            let v = s.new_value(&mut rng);
+            assert!(!v.is_empty() && v.len() < 4);
+            assert!(v.iter().all(|x| x % 2 == 0 && (0..20).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The container this workspace builds in has no crates.io access, and
+//! no code path serializes data yet — `#[derive(Serialize, Deserialize)]`
+//! annotations exist as forward-compatibility markers on IR and plan
+//! types. This stub keeps those annotations compiling: the traits are
+//! blanket-implemented markers and the derives (re-exported from the
+//! sibling `serde_derive` stub) expand to nothing. Swapping in real
+//! serde later is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Mirrors `serde::ser` far enough for qualified imports.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirrors `serde::de` far enough for qualified imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

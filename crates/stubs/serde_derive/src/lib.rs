@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace builds in a hermetic environment with no crates.io
+//! access, and nothing in it actually serializes values — the derives
+//! only mark plan/IR types as wire-ready for future transports. These
+//! stubs accept the derive syntax (including `#[serde(...)]` helper
+//! attributes) and expand to nothing, so the annotations stay in place
+//! until the real dependency can be vendored.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -84,7 +84,12 @@ impl TextStore {
         }
         let tokens = Self::tokenize(&text);
         for t in &tokens {
-            *self.index.entry(t.clone()).or_default().entry(id).or_insert(0) += 1;
+            *self
+                .index
+                .entry(t.clone())
+                .or_default()
+                .entry(id)
+                .or_insert(0) += 1;
         }
         self.doc_len.insert(id, tokens.len() as u32);
         let bytes = text.len() as u64;
@@ -141,7 +146,12 @@ impl TextStore {
                 Some(acc) => acc.intersection(&docs).copied().collect(),
             });
         }
-        self.charge("textstore.search", postings, postings * 8, 80 + postings * 4);
+        self.charge(
+            "textstore.search",
+            postings,
+            postings * 8,
+            80 + postings * 4,
+        );
         result.unwrap_or_default().into_iter().collect()
     }
 
@@ -155,7 +165,12 @@ impl TextStore {
                 out.extend(p.keys().copied());
             }
         }
-        self.charge("textstore.search", postings, postings * 8, 80 + postings * 4);
+        self.charge(
+            "textstore.search",
+            postings,
+            postings * 8,
+            80 + postings * 4,
+        );
         out.into_iter().collect()
     }
 
@@ -165,7 +180,9 @@ impl TextStore {
         let mut scores: HashMap<DocId, f64> = HashMap::new();
         let mut postings = 0u64;
         for term in Self::tokenize(query) {
-            let Some(p) = self.index.get(&term) else { continue };
+            let Some(p) = self.index.get(&term) else {
+                continue;
+            };
             postings += p.len() as u64;
             let idf = (n_docs / p.len() as f64).ln().max(0.0) + 1.0;
             for (&doc, &tf) in p {

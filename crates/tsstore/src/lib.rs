@@ -148,7 +148,12 @@ impl TimeseriesStore {
         let start = s.partition_point(|&(t, _)| t < lo);
         let end = s.partition_point(|&(t, _)| t < hi);
         let out = &s[start..end];
-        self.charge("tsstore.range", out.len() as u64, out.len() as u64 * 16, 60 + out.len() as u64);
+        self.charge(
+            "tsstore.range",
+            out.len() as u64,
+            out.len() as u64 * 16,
+            60 + out.len() as u64,
+        );
         Ok(out)
     }
 
@@ -318,13 +323,21 @@ mod tests {
     #[test]
     fn window_aggregates() {
         let ts = store();
-        let means = ts.window_aggregate("s", 0, 100, 50, WindowAgg::Mean).unwrap();
+        let means = ts
+            .window_aggregate("s", 0, 100, 50, WindowAgg::Mean)
+            .unwrap();
         assert_eq!(means, vec![(0, 2.0), (50, 7.0)]);
-        let counts = ts.window_aggregate("s", 0, 100, 30, WindowAgg::Count).unwrap();
+        let counts = ts
+            .window_aggregate("s", 0, 100, 30, WindowAgg::Count)
+            .unwrap();
         assert_eq!(counts.iter().map(|w| w.1 as i64).sum::<i64>(), 10);
-        let max = ts.window_aggregate("s", 0, 100, 100, WindowAgg::Max).unwrap();
+        let max = ts
+            .window_aggregate("s", 0, 100, 100, WindowAgg::Max)
+            .unwrap();
         assert_eq!(max, vec![(0, 9.0)]);
-        assert!(ts.window_aggregate("s", 0, 100, 0, WindowAgg::Mean).is_err());
+        assert!(ts
+            .window_aggregate("s", 0, 100, 0, WindowAgg::Mean)
+            .is_err());
     }
 
     #[test]
@@ -332,7 +345,9 @@ mod tests {
         let mut ts = TimeseriesStore::new("ts");
         ts.append("s", 0, 1.0);
         ts.append("s", 95, 2.0);
-        let w = ts.window_aggregate("s", 0, 100, 10, WindowAgg::Sum).unwrap();
+        let w = ts
+            .window_aggregate("s", 0, 100, 10, WindowAgg::Sum)
+            .unwrap();
         assert_eq!(w.len(), 2);
         assert_eq!(w[1].0, 90);
     }

@@ -27,9 +27,12 @@ fn main() -> Result<()> {
         let sort = DeviceProfile::preset(sort_dev);
         let gemm = DeviceProfile::preset(gemm_dev);
         let t_sort = sort.cycles_to_s(BitonicSorter::cycles(&sort, n));
-        let t_gemm = gemm.cycles_to_s(
-            polystorepp::accel::kernels::Gemm::cycles(&gemm, n / 64, 64, 64),
-        );
+        let t_gemm = gemm.cycles_to_s(polystorepp::accel::kernels::Gemm::cycles(
+            &gemm,
+            n / 64,
+            64,
+            64,
+        ));
         let latency = t_sort + t_gemm;
         let energy = sort.energy_j(t_sort) + gemm.energy_j(t_gemm);
         vec![latency, energy]
@@ -53,7 +56,12 @@ fn main() -> Result<()> {
     );
     println!("\nactive-learning Pareto front (latency s, energy J):");
     for (point, obj) in al_front.entries() {
-        println!("  [{:9.3e} s, {:9.3e} J]  {}", obj[0], obj[1], space.describe(point));
+        println!(
+            "  [{:9.3e} s, {:9.3e} J]  {}",
+            obj[0],
+            obj[1],
+            space.describe(point)
+        );
     }
     Ok(())
 }

@@ -30,11 +30,7 @@ fn main() -> Result<()> {
         let speedup = *baseline.get_or_insert(t) / t.max(f64::MIN_POSITIVE);
         println!(
             "{kind:>4}: {:>10} (simulated), {:>8.3} J, {:>6.2}x vs cpu, {} iters, inertia {:.1}",
-            total.busy,
-            total.energy_j,
-            speedup,
-            result.iterations,
-            result.inertia
+            total.busy, total.energy_j, speedup, result.iterations, result.inertia
         );
     }
     println!("\nidentical clusters on every device: the model changes cost, never results.");

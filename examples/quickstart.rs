@@ -34,10 +34,7 @@ fn main() -> Result<()> {
     }
     println!();
     println!("L1 rewrites applied : {}", report.rewrites.total());
-    println!(
-        "operators offloaded : {}",
-        report.execution.offloaded
-    );
+    println!("operators offloaded : {}", report.execution.offloaded);
     println!(
         "migration time      : {:.3} ms (simulated)",
         report.execution.migration_seconds * 1e3

@@ -27,25 +27,19 @@ fn main() -> Result<()> {
 
     // 2. Labeling functions vote on "long stay" without ground truth.
     let lfs = vec![
-        LabelingFunction::new("old_age", |r: &Row| {
-            match r[1].as_i64() {
-                Some(a) if a >= 75 => Vote::Positive,
-                Some(a) if a < 30 => Vote::Negative,
-                _ => Vote::Abstain,
-            }
+        LabelingFunction::new("old_age", |r: &Row| match r[1].as_i64() {
+            Some(a) if a >= 75 => Vote::Positive,
+            Some(a) if a < 30 => Vote::Negative,
+            _ => Vote::Abstain,
         }),
-        LabelingFunction::new("recent_admission", |r: &Row| {
-            match r[2].as_i64() {
-                Some(d) if d > 3000 => Vote::Positive,
-                _ => Vote::Abstain,
-            }
+        LabelingFunction::new("recent_admission", |r: &Row| match r[2].as_i64() {
+            Some(d) if d > 3000 => Vote::Positive,
+            _ => Vote::Abstain,
         }),
-        LabelingFunction::new("short_los_hint", |r: &Row| {
-            match r[3].as_f64() {
-                Some(l) if l < 3.0 => Vote::Negative,
-                Some(l) if l > 7.0 => Vote::Positive,
-                _ => Vote::Abstain,
-            }
+        LabelingFunction::new("short_los_hint", |r: &Row| match r[3].as_f64() {
+            Some(l) if l < 3.0 => Vote::Negative,
+            Some(l) if l > 7.0 => Vote::Positive,
+            _ => Vote::Abstain,
         }),
     ];
     let votes = LabelModel::apply_functions(&lfs, &rows);

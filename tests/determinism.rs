@@ -1,0 +1,85 @@
+//! Parallel stage execution must be indistinguishable from sequential
+//! execution: byte-identical outputs and identical ledger totals on the
+//! clinical example program.
+
+use polystorepp::prelude::*;
+
+fn clinical_system(parallel: bool) -> Polystore {
+    Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+        patients: 150,
+        vitals_per_patient: 8,
+        seed: 99,
+    }))
+    .accelerators(AcceleratorFleet::workstation())
+    .opt_level(OptLevel::L3)
+    .parallel(parallel)
+    .build()
+    .expect("valid config")
+}
+
+/// The clinical NLQ pipeline (Fig. 2): scans, a cross-engine join, and
+/// an MLP train — a program with genuinely concurrent stages.
+const CLINICAL_NLQ: &str = "Will patients have a long stay at the hospital?";
+
+#[test]
+fn parallel_clinical_nlq_matches_sequential_bit_for_bit() {
+    let mut par = clinical_system(true);
+    let mut seq = clinical_system(false);
+    let a = par.run_nlq(CLINICAL_NLQ).expect("parallel run");
+    let b = seq.run_nlq(CLINICAL_NLQ).expect("sequential run");
+
+    // Byte-identical outputs (covers model payloads too).
+    assert_eq!(
+        format!("{:?}", a.execution.outputs),
+        format!("{:?}", b.execution.outputs),
+    );
+    // Identical simulated accounting.
+    assert_eq!(a.execution.node_seconds, b.execution.node_seconds);
+    assert_eq!(a.execution.migration_seconds, b.execution.migration_seconds);
+    assert_eq!(
+        a.execution.makespan_sequential,
+        b.execution.makespan_sequential
+    );
+    assert_eq!(
+        a.execution.makespan_pipelined,
+        b.execution.makespan_pipelined
+    );
+    // Identical ledger totals — and in fact identical event streams.
+    assert_eq!(a.costs, b.costs);
+    assert_eq!(par.ledger().events(), seq.ledger().events());
+}
+
+#[test]
+fn parallel_federated_join_matches_sequential_bit_for_bit() {
+    let query = "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
+                 WHERE age >= 70";
+    let mut par = clinical_system(true);
+    let mut seq = clinical_system(false);
+    let a = par.run_sql(query).expect("parallel run");
+    let b = seq.run_sql(query).expect("sequential run");
+    assert!(!a.execution.outputs[0].is_empty());
+    assert_eq!(
+        a.execution.outputs[0].try_rows().expect("rows"),
+        b.execution.outputs[0].try_rows().expect("rows"),
+    );
+    assert_eq!(a.costs, b.costs);
+    assert_eq!(par.ledger().events(), seq.ledger().events());
+}
+
+#[test]
+fn repeated_parallel_runs_are_self_consistent() {
+    // Thread scheduling varies between runs; results must not.
+    let mut reference: Option<(String, CostLedger)> = None;
+    for _ in 0..3 {
+        let mut s = clinical_system(true);
+        let r = s.run_nlq(CLINICAL_NLQ).expect("runs");
+        let outputs = format!("{:?}", r.execution.outputs);
+        match &reference {
+            None => reference = Some((outputs, s.ledger().clone())),
+            Some((expect_out, expect_ledger)) => {
+                assert_eq!(&outputs, expect_out);
+                assert_eq!(s.ledger().events(), expect_ledger.events());
+            }
+        }
+    }
+}

@@ -28,7 +28,10 @@ fn federated_sql_matches_manual_join() {
         )
         .expect("query runs");
     // Manual: count admissions with age >= 90 directly.
-    let db1 = s.registry().relational(&EngineId::new("db1")).expect("exists");
+    let db1 = s
+        .registry()
+        .relational(&EngineId::new("db1"))
+        .expect("exists");
     let expected = db1
         .scan("admissions", &Predicate::ge("age", 90i64), None)
         .expect("scan runs")
@@ -57,7 +60,9 @@ fn clinical_nlq_end_to_end_model_quality() {
     let report = s
         .run_nlq("Will patients have a long stay at the hospital?")
         .expect("nlq compiles and runs");
-    let model = report.execution.outputs[0].try_model().expect("model output");
+    let model = report.execution.outputs[0]
+        .try_model()
+        .expect("model output");
     assert!(model.parameter_count() > 0);
     assert!(report.execution.offloaded > 0, "accelerators unused");
 }
@@ -95,7 +100,7 @@ fn graph_and_text_engines_reachable_through_programs() {
         .build(s.catalog())
         .expect("compiles");
     let report = s.run_program(program).expect("executes");
-    assert!(report.execution.outputs[0].len() > 0);
+    assert!(!report.execution.outputs[0].is_empty());
 
     let program = HeterogeneousProgram::builder()
         .subprogram(
@@ -109,7 +114,7 @@ fn graph_and_text_engines_reachable_through_programs() {
         .build(s.catalog())
         .expect("compiles");
     let report = s.run_program(program).expect("executes");
-    assert!(report.execution.outputs[0].len() > 0);
+    assert!(!report.execution.outputs[0].is_empty());
 }
 
 proptest! {

@@ -2,12 +2,12 @@
 
 use polystorepp::accel::kernels::{Gemm, HashPartitioner, Matrix};
 use polystorepp::accel::{DeviceProfile, LogCa};
+use polystorepp::common::SplitMix64;
 use polystorepp::migrate::csv;
 use polystorepp::optimizer::dse::ParetoFront;
 use polystorepp::prelude::*;
 use polystorepp::relstore::ops;
 use polystorepp::relstore::{JoinKind, SortKey};
-use polystorepp::common::SplitMix64;
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {

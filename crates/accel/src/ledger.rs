@@ -245,6 +245,13 @@ impl CostLedger {
         self.events_guard().clear();
     }
 
+    /// Atomically replaces the event log with `events` (one lock
+    /// acquisition, so concurrent observers never see a half-written
+    /// log). Used to publish a per-run scoped ledger into a shared one.
+    pub fn replace_events(&self, events: Vec<CostEvent>) {
+        *self.events_guard() = events;
+    }
+
     /// Snapshot of all events.
     pub fn events(&self) -> Vec<CostEvent> {
         self.events_guard().clone()

@@ -1,29 +1,102 @@
-//! Reproduces every experiment table (E1–E15) from DESIGN.md.
+//! Reproduces every experiment table (E1–E16) from DESIGN.md.
 //!
 //! ```text
 //! cargo run -p pspp-bench --bin repro --release            # all
 //! cargo run -p pspp-bench --bin repro --release -- e8 e10  # subset
+//! cargo run -p pspp-bench --bin repro --release -- e16 --json bench.json
 //! ```
+//!
+//! `--json <path>` additionally writes machine-readable per-experiment
+//! results (name, pass/fail, wall milliseconds), the record CI keeps as
+//! the benchmark trajectory.
+
+use std::time::Instant;
+
+struct Outcome {
+    name: String,
+    pass: bool,
+    wall_ms: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn write_json(path: &str, outcomes: &[Outcome]) -> std::io::Result<()> {
+    let mut body = String::from("{\n  \"suite\": \"pspp-bench repro\",\n  \"experiments\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"pass\": {}, \"wall_ms\": {:.3}}}{}\n",
+            json_escape(&o.name),
+            o.pass,
+            o.wall_ms,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    let failures = outcomes.iter().filter(|o| !o.pass).count();
+    body.push_str(&format!("  ],\n  \"failures\": {failures}\n}}\n"));
+    std::fs::write(path, body)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        pspp_bench::ALL.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
-    let mut failures = 0;
-    for name in which {
-        println!("==================================================================");
-        match pspp_bench::run(name) {
-            Ok(table) => println!("{table}"),
-            Err(e) => {
-                failures += 1;
-                eprintln!("{name} failed: {e}");
+    let mut json_path: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            match it.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
             }
+        } else {
+            names.push(arg);
         }
     }
-    if failures > 0 {
+    let which: Vec<&str> = if names.is_empty() || names.iter().any(|a| a == "all") {
+        pspp_bench::ALL.to_vec()
+    } else {
+        names.iter().map(String::as_str).collect()
+    };
+    let mut outcomes = Vec::new();
+    for name in which {
+        println!("==================================================================");
+        let start = Instant::now();
+        let pass = match pspp_bench::run(name) {
+            Ok(table) => {
+                println!("{table}");
+                true
+            }
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                false
+            }
+        };
+        outcomes.push(Outcome {
+            name: name.to_owned(),
+            pass,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = write_json(&path, &outcomes) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if outcomes.iter().any(|o| !o.pass) {
         std::process::exit(1);
     }
 }

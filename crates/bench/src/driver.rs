@@ -1,0 +1,335 @@
+//! Closed-loop workload driver for the query service (E16).
+//!
+//! The driver replays a deterministic mixed SQL/NLQ/heterogeneous
+//! workload through [`pspp_service::QueryService`] at a configurable
+//! concurrency. Per the repo-wide methodology (real data plane,
+//! simulated clock), every query really executes — on the service's
+//! worker threads, against the shared engines — and the *reported*
+//! throughput and latency come from a deterministic closed-loop
+//! queueing simulation over the recorded per-query simulated service
+//! times. That keeps the numbers bit-reproducible on any machine and
+//! at any worker count, while the digest column proves the results
+//! themselves are byte-identical across concurrency levels.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use pspp_common::{Error, Result, SplitMix64};
+use pspp_core::prelude::*;
+use pspp_frontend::Language;
+use pspp_service::{AdmissionConfig, AdmissionPolicy, Query, QueryService, ServiceConfig};
+
+/// Workload + service shape for one driver run.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Total queries in the batch.
+    pub queries: usize,
+    /// Closed-loop client sessions (each issues its next query when
+    /// the previous one completes).
+    pub clients: usize,
+    /// Service worker threads.
+    pub workers: usize,
+    /// Admission queue depth.
+    pub queue_depth: usize,
+    /// Workload-mix seed.
+    pub seed: u64,
+    /// Pre-plan every distinct query before the timed batch.
+    pub warm: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            queries: 64,
+            clients: 8,
+            workers: 8,
+            queue_depth: 64,
+            seed: 2019,
+            warm: true,
+        }
+    }
+}
+
+/// What one driver run produced.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Queries completed (always the full batch — the driver fails on
+    /// the first error).
+    pub completed: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Service workers.
+    pub workers: usize,
+    /// Plan-cache hit rate over the timed batch.
+    pub cache_hit_rate: f64,
+    /// Simulated batch makespan under the closed-loop schedule.
+    pub sim_makespan_seconds: f64,
+    /// Queries per simulated second.
+    pub throughput_qps: f64,
+    /// Exact p50 of per-query simulated service time.
+    pub p50_seconds: f64,
+    /// Exact p99 of per-query simulated service time.
+    pub p99_seconds: f64,
+    /// Mean simulated seconds a query waited for a free worker.
+    pub mean_queue_seconds: f64,
+    /// Wall-clock milliseconds the real execution of the batch took
+    /// (informational; machine-dependent).
+    pub wall_millis: f64,
+    /// Order-sensitive FNV digest over every query's output bytes —
+    /// identical across runs and concurrency levels.
+    pub digest: u64,
+    /// Ledger events summed over per-query private ledgers, in batch
+    /// order.
+    pub cost_events: usize,
+    /// Ledger busy seconds summed in batch order (bit-identical across
+    /// concurrency levels).
+    pub cost_busy_seconds: f64,
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// The deterministic mixed workload: repeated SQL templates (so the
+/// plan cache has something to hit), one NLQ ML pipeline, and one
+/// heterogeneous SQL→MLP program, shuffled by `seed`.
+pub fn mixed_workload(n: usize, seed: u64) -> Vec<Query> {
+    let sql_templates = [
+        "SELECT pid, age FROM admissions WHERE age >= 65 ORDER BY age DESC LIMIT 10",
+        "SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date",
+        "SELECT count(*) AS n FROM admissions",
+        "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
+         WHERE age >= 80",
+        "SELECT pid, los FROM admissions WHERE los >= 5.0 ORDER BY los DESC LIMIT 20",
+        "SELECT pid FROM admissions WHERE age >= 30 AND age < 50",
+    ];
+    let hetero = HeterogeneousProgram::builder()
+        .subprogram(
+            "base",
+            Language::Sql,
+            "SELECT pid, los, long_stay FROM admissions",
+            &[],
+        )
+        .subprogram(
+            "model",
+            Language::MlDsl,
+            "TRAIN MLP HIDDEN 8 EPOCHS 2 BATCH 32 LR 0.3 LABEL long_stay",
+            &["base"],
+        );
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            // Weight plain SQL heavily; ML pipelines are the heavy tail.
+            match rng.next_i64(0, 16) {
+                14 => Query::nlq("Will patients have a long stay at the hospital?"),
+                15 => Query::Hetero(hetero.clone()),
+                k => Query::sql(sql_templates[(k as usize) % sql_templates.len()]),
+            }
+        })
+        .collect()
+}
+
+/// Deterministic closed-loop schedule: `clients` issue the batch in
+/// order against `workers` servers, each client re-issuing as soon as
+/// its previous query completes. Returns (makespan, mean queue wait).
+fn closed_loop_schedule(service_seconds: &[f64], clients: usize, workers: usize) -> (f64, f64) {
+    let mut client_ready = vec![0.0f64; clients.max(1)];
+    let mut worker_free = vec![0.0f64; workers.max(1)];
+    let mut makespan = 0.0f64;
+    let mut total_wait = 0.0f64;
+    for &service in service_seconds {
+        // Lowest-id tie-breaks keep the schedule deterministic.
+        let c = min_index(&client_ready);
+        let w = min_index(&worker_free);
+        let start = client_ready[c].max(worker_free[w]);
+        total_wait += start - client_ready[c];
+        let finish = start + service;
+        client_ready[c] = finish;
+        worker_free[w] = finish;
+        makespan = makespan.max(finish);
+    }
+    let n = service_seconds.len().max(1) as f64;
+    (makespan, total_wait / n)
+}
+
+fn min_index(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Exact empirical quantile (sorted-copy nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Runs the workload against a service built over `system`.
+///
+/// # Errors
+///
+/// Propagates the first query failure, in batch order.
+pub fn run_driver(system: &Arc<Polystore>, cfg: &WorkloadConfig) -> Result<DriverReport> {
+    let service = QueryService::new(
+        Arc::clone(system),
+        ServiceConfig {
+            admission: AdmissionConfig {
+                workers: cfg.workers,
+                queue_depth: cfg.queue_depth,
+                policy: AdmissionPolicy::Block,
+            },
+            ..Default::default()
+        },
+    )?;
+    let queries = mixed_workload(cfg.queries, cfg.seed);
+    if cfg.warm {
+        for q in &queries {
+            service.warm(q)?;
+        }
+    }
+
+    struct PerQuery {
+        service_seconds: f64,
+        digest: u64,
+        cost_events: usize,
+        cost_busy_seconds: f64,
+    }
+    let slots: Mutex<Vec<Option<PerQuery>>> =
+        Mutex::new((0..queries.len()).map(|_| None).collect());
+    let errors: Mutex<Vec<(usize, Error)>> = Mutex::new(Vec::new());
+    let next = AtomicUsize::new(0);
+
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.clients.max(1) {
+            let session = service.open_session();
+            let queries = &queries;
+            let slots = &slots;
+            let errors = &errors;
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    return;
+                }
+                match session.execute(&queries[i]) {
+                    Ok(resp) => {
+                        let digest = fnv1a(
+                            format!("{:?}", resp.report.execution.outputs).as_bytes(),
+                            FNV_OFFSET,
+                        );
+                        slots.lock().unwrap()[i] = Some(PerQuery {
+                            service_seconds: resp.service_seconds,
+                            digest,
+                            cost_events: resp.report.costs.events,
+                            cost_busy_seconds: resp.report.costs.busy.as_secs(),
+                        });
+                    }
+                    Err(e) => errors.lock().unwrap().push((i, e)),
+                }
+            });
+        }
+    });
+    let wall_millis = wall_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut errors = errors.into_inner().unwrap();
+    if !errors.is_empty() {
+        errors.sort_by_key(|(i, _)| *i);
+        let (i, e) = errors.remove(0);
+        return Err(Error::Execution(format!("driver query {i} failed: {e}")));
+    }
+    let per_query: Vec<PerQuery> = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|s| s.expect("no error recorded, so every slot is filled"))
+        .collect();
+
+    // Fold per-query numbers in batch order: the digest and cost sums
+    // must not depend on completion order.
+    let mut digest = FNV_OFFSET;
+    let mut cost_events = 0usize;
+    let mut cost_busy_seconds = 0.0f64;
+    let mut service_seconds = Vec::with_capacity(per_query.len());
+    for pq in &per_query {
+        digest = fnv1a(&pq.digest.to_le_bytes(), digest);
+        cost_events += pq.cost_events;
+        cost_busy_seconds += pq.cost_busy_seconds;
+        service_seconds.push(pq.service_seconds);
+    }
+
+    let (sim_makespan_seconds, mean_queue_seconds) =
+        closed_loop_schedule(&service_seconds, cfg.clients, cfg.workers);
+    let mut sorted = service_seconds.clone();
+    sorted.sort_by(f64::total_cmp);
+    let report = service.report();
+    Ok(DriverReport {
+        completed: per_query.len(),
+        clients: cfg.clients,
+        workers: cfg.workers,
+        cache_hit_rate: report.merged.cache_hit_rate(),
+        sim_makespan_seconds,
+        throughput_qps: per_query.len() as f64 / sim_makespan_seconds.max(f64::MIN_POSITIVE),
+        p50_seconds: quantile(&sorted, 0.50),
+        p99_seconds: quantile(&sorted, 0.99),
+        mean_queue_seconds,
+        wall_millis,
+        digest,
+        cost_events,
+        cost_busy_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let a = mixed_workload(64, 7);
+        let b = mixed_workload(64, 7);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        let sql = a.iter().filter(|q| matches!(q, Query::Sql(_))).count();
+        assert!(sql > 32, "SQL should dominate the mix, got {sql}");
+        assert!(sql < 64, "mix should include ML pipelines");
+    }
+
+    #[test]
+    fn closed_loop_schedule_scales_with_workers() {
+        let times = vec![1.0; 16];
+        let (m1, _) = closed_loop_schedule(&times, 1, 1);
+        let (m8, _) = closed_loop_schedule(&times, 8, 8);
+        assert!((m1 - 16.0).abs() < 1e-12);
+        assert!((m8 - 2.0).abs() < 1e-12);
+        // More clients than workers: queueing appears.
+        let (m, wait) = closed_loop_schedule(&times, 8, 4);
+        assert!((m - 4.0).abs() < 1e-12);
+        assert!(wait > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_exact() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((quantile(&xs, 0.50) - 50.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.99) - 99.0).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0) - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,11 +1,14 @@
 //! The experiment harness: one function per experiment in DESIGN.md's
-//! index (E1–E15), each returning the table it prints. The `repro`
+//! index (E1–E16), each returning the table it prints. The `repro`
 //! binary runs them; the Criterion benches wrap their hot paths.
 //!
 //! Every number is simulated and deterministic; see DESIGN.md §5 for
 //! the methodology (real data plane, simulated clock).
 
+pub mod driver;
+
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use pspp_accel::kernels::serialize::{SerializerModel, WireFormat};
 use pspp_accel::kernels::{BitonicSorter, Gemm, StreamFilter};
@@ -19,8 +22,9 @@ use pspp_optimizer::dse::{ActiveLearner, DesignSpace, Param, RandomSearch};
 use pspp_optimizer::forest::RandomForest;
 
 /// Names of all experiments, in order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Runs one experiment by name.
@@ -45,6 +49,7 @@ pub fn run(name: &str) -> Result<String> {
         "e13" => e13_roofline(),
         "e14" => e14_operators(),
         "e15" => e15_cost_model(),
+        "e16" => e16_service(),
         other => Err(pspp_common::Error::Config(format!(
             "unknown experiment {other}; known: {ALL:?}"
         ))),
@@ -83,7 +88,7 @@ pub fn e01_recommendation() -> Result<String> {
     });
 
     // Polystore: queries run where the data lives.
-    let mut system = Polystore::from_deployment(deployment.clone())
+    let system = Polystore::from_deployment(deployment.clone())
         .accelerators(AcceleratorFleet::workstation())
         .opt_level(OptLevel::L3)
         .build()?;
@@ -146,7 +151,7 @@ pub fn e02_clinical() -> Result<String> {
     );
     let question =
         "Will patients have a long stay at the hospital or short when they exit the ICU?";
-    let mut cpu = clinical_system(OptLevel::L1, AcceleratorFleet::cpu_only(), 2_000)?;
+    let cpu = clinical_system(OptLevel::L1, AcceleratorFleet::cpu_only(), 2_000)?;
     let r_cpu = cpu.run_nlq(question)?;
     writeln!(
         out,
@@ -155,7 +160,7 @@ pub fn e02_clinical() -> Result<String> {
         r_cpu.execution.offloaded
     )
     .ok();
-    let mut acc = clinical_system(OptLevel::L3, AcceleratorFleet::workstation(), 2_000)?;
+    let acc = clinical_system(OptLevel::L3, AcceleratorFleet::workstation(), 2_000)?;
     let r_acc = acc.run_nlq(question)?;
     writeln!(
         out,
@@ -278,7 +283,7 @@ pub fn e05_opt_levels() -> Result<String> {
          WHERE age >= 65",
     ];
     for level in OptLevel::all() {
-        let mut system = clinical_system(level, AcceleratorFleet::workstation(), 600)?;
+        let system = clinical_system(level, AcceleratorFleet::workstation(), 600)?;
         let mut ms = 0.0;
         let mut rewrites = 0;
         let mut offloaded = 0;
@@ -552,7 +557,7 @@ pub fn e09_sort_merge() -> Result<String> {
     .ok();
 
     // Correctness anchor: the same plan end-to-end at small scale.
-    let mut system = clinical_system(OptLevel::L2, AcceleratorFleet::workstation(), 300)?;
+    let system = clinical_system(OptLevel::L2, AcceleratorFleet::workstation(), 300)?;
     let program = HeterogeneousProgram::builder()
         .subprogram(
             "adm",
@@ -844,5 +849,88 @@ pub fn e15_cost_model() -> Result<String> {
         mape / f64::from(tests) * 100.0
     )
     .ok();
+    Ok(out)
+}
+
+/// E16: query-service throughput scaling — the closed-loop workload
+/// driver over one shared system at increasing worker counts.
+///
+/// Every concurrency level really executes the whole batch on the
+/// service's worker threads; the digest and summed ledger columns prove
+/// the results are byte-identical, and throughput/latency come from
+/// the deterministic closed-loop schedule over simulated service
+/// times (see [`driver`]).
+pub fn e16_service() -> Result<String> {
+    let mut out = String::from(
+        "E16 query service: closed-loop mixed workload, cache-warm, shared engines\n\
+         workers  sim_makespan_ms  qps  p50_ms  p99_ms  hit%  queue_ms  digest\n",
+    );
+    let system = Arc::new(clinical_system(
+        OptLevel::L2,
+        AcceleratorFleet::workstation(),
+        300,
+    )?);
+    let base = driver::WorkloadConfig {
+        queries: 64,
+        seed: 2019,
+        warm: true,
+        ..Default::default()
+    };
+    let mut baseline_qps = 0.0;
+    let mut reference: Option<(u64, usize, f64)> = None;
+    let mut speedup8 = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let report = driver::run_driver(
+            &system,
+            &driver::WorkloadConfig {
+                clients: workers,
+                workers,
+                ..base.clone()
+            },
+        )?;
+        writeln!(
+            out,
+            "{workers:<8} {:>15.3} {:>5.0} {:>6.3} {:>7.3} {:>5.0} {:>8.3}  {:016x}",
+            report.sim_makespan_seconds * 1e3,
+            report.throughput_qps,
+            report.p50_seconds * 1e3,
+            report.p99_seconds * 1e3,
+            report.cache_hit_rate * 100.0,
+            report.mean_queue_seconds * 1e3,
+            report.digest
+        )
+        .ok();
+        match &reference {
+            None => {
+                baseline_qps = report.throughput_qps;
+                reference = Some((report.digest, report.cost_events, report.cost_busy_seconds));
+            }
+            Some((digest, events, busy)) => {
+                if report.digest != *digest
+                    || report.cost_events != *events
+                    || report.cost_busy_seconds != *busy
+                {
+                    return Err(pspp_common::Error::Execution(format!(
+                        "results diverged at {workers} workers: digest {:016x} vs {digest:016x}",
+                        report.digest
+                    )));
+                }
+                if workers == 8 {
+                    speedup8 = report.throughput_qps / baseline_qps;
+                }
+            }
+        }
+    }
+    writeln!(
+        out,
+        "shape check: byte-identical outputs and ledger sums at every concurrency; \
+         8-worker throughput {speedup8:.2}x the 1-worker baseline (target >= 2x)"
+    )
+    .ok();
+    if speedup8 < 2.0 {
+        return Err(pspp_common::Error::Execution(format!(
+            "8-worker speedup {speedup8:.2}x below the 2x acceptance floor"
+        )));
+    }
     Ok(out)
 }

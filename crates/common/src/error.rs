@@ -36,6 +36,8 @@ pub enum Error {
     AlreadyExists(String),
     /// Arbitrary invariant violation with context.
     Invalid(String),
+    /// The query service shed load: admission queue full or shut down.
+    Overloaded(String),
 }
 
 impl fmt::Display for Error {
@@ -54,6 +56,7 @@ impl fmt::Display for Error {
             Error::Config(m) => write!(f, "invalid configuration: {m}"),
             Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
             Error::Invalid(m) => write!(f, "invalid operation: {m}"),
+            Error::Overloaded(m) => write!(f, "service overloaded: {m}"),
         }
     }
 }

@@ -19,7 +19,7 @@
 //!
 //! # fn main() -> pspp_common::Result<()> {
 //! let deployment = datagen::clinical(&ClinicalConfig { patients: 50, ..Default::default() });
-//! let mut system = Polystore::from_deployment(deployment)
+//! let system = Polystore::from_deployment(deployment)
 //!     .accelerators(AcceleratorFleet::workstation())
 //!     .opt_level(OptLevel::L3)
 //!     .build()?;

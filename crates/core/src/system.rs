@@ -200,12 +200,27 @@ impl Polystore {
         &self,
         program: &mut Program,
     ) -> Result<(RewriteReport, Option<PlacementPlan>)> {
-        let rewrites = if self.opt_level.rewrites() {
+        self.optimize_at(program, self.opt_level)
+    }
+
+    /// Optimizes a program in place at an explicit level, independent of
+    /// the configured one. The service layer uses this to honor
+    /// per-session optimization settings against a shared system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost-model errors.
+    pub fn optimize_at(
+        &self,
+        program: &mut Program,
+        level: OptLevel,
+    ) -> Result<(RewriteReport, Option<PlacementPlan>)> {
+        let rewrites = if level.rewrites() {
             optimize_l1(program)
         } else {
             RewriteReport::default()
         };
-        let placement = if self.opt_level.placement() {
+        let placement = if level.placement() {
             Some(self.cost_model.place(program)?)
         } else {
             None
@@ -213,15 +228,33 @@ impl Polystore {
         Ok((rewrites, placement))
     }
 
-    /// Executes an already-optimized program.
+    /// Executes an already-optimized program, posting costs to the
+    /// system-wide ledger.
     ///
     /// # Errors
     ///
     /// Propagates executor errors.
     pub fn execute(&self, program: &Program) -> Result<ExecutionReport> {
-        let executor = Executor::new(self.fleet.clone(), self.ledger.clone())
-            .offload(self.opt_level.placement())
-            .pipelined(self.opt_level.pipelined())
+        self.execute_at(program, self.opt_level, self.ledger.clone())
+    }
+
+    /// Executes an already-optimized program with an explicit level and
+    /// cost ledger. Concurrent callers (the `pspp-service` query
+    /// service) pass a private per-run ledger so simultaneous queries
+    /// never interleave cost accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors.
+    pub fn execute_at(
+        &self,
+        program: &Program,
+        level: OptLevel,
+        ledger: CostLedger,
+    ) -> Result<ExecutionReport> {
+        let executor = Executor::new(self.fleet.clone(), ledger)
+            .offload(level.placement())
+            .pipelined(level.pipelined())
             .parallel(self.parallel)
             .migration_path(self.migration_path);
         executor.execute(program, &self.registry)
@@ -232,7 +265,7 @@ impl Polystore {
     /// # Errors
     ///
     /// Propagates compilation, optimization and execution errors.
-    pub fn run_sql(&mut self, query: &str) -> Result<RunReport> {
+    pub fn run_sql(&self, query: &str) -> Result<RunReport> {
         let program = self.compile_sql(query)?;
         self.run_program(program)
     }
@@ -242,7 +275,7 @@ impl Polystore {
     /// # Errors
     ///
     /// Propagates compilation, optimization and execution errors.
-    pub fn run(&mut self, program: &HeterogeneousProgram) -> Result<RunReport> {
+    pub fn run(&self, program: &HeterogeneousProgram) -> Result<RunReport> {
         let program = self.compile(program)?;
         self.run_program(program)
     }
@@ -252,25 +285,32 @@ impl Polystore {
     /// # Errors
     ///
     /// Propagates compilation, optimization and execution errors.
-    pub fn run_nlq(&mut self, question: &str) -> Result<RunReport> {
+    pub fn run_nlq(&self, question: &str) -> Result<RunReport> {
         let program = self.compile_nlq(question)?;
         self.run_program(program)
     }
 
     /// Optimizes and executes an IR program, collecting the cost report.
     ///
+    /// The run executes against a private ledger, so concurrent
+    /// `run_*` calls through a shared reference account independently;
+    /// the events are then published to [`Polystore::ledger`], which
+    /// thus reflects the most recently completed run.
+    ///
     /// # Errors
     ///
     /// Propagates optimization and execution errors.
-    pub fn run_program(&mut self, mut program: Program) -> Result<RunReport> {
-        self.ledger.reset();
+    pub fn run_program(&self, mut program: Program) -> Result<RunReport> {
         let (rewrites, placement) = self.optimize(&mut program)?;
-        let execution = self.execute(&program)?;
+        let run_ledger = CostLedger::new();
+        let execution = self.execute_at(&program, self.opt_level, run_ledger.clone())?;
+        let costs = run_ledger.total();
+        self.ledger.replace_events(run_ledger.events());
         Ok(RunReport {
             execution,
             rewrites,
             placement,
-            costs: self.ledger.total(),
+            costs,
         })
     }
 }
@@ -295,7 +335,7 @@ mod tests {
 
     #[test]
     fn sql_round_trip() {
-        let mut s = system(OptLevel::L2);
+        let s = system(OptLevel::L2);
         let report = s
             .run_sql("SELECT pid, age FROM admissions WHERE age >= 65 ORDER BY age DESC LIMIT 10")
             .unwrap();
@@ -307,7 +347,7 @@ mod tests {
 
     #[test]
     fn federated_join_runs() {
-        let mut s = system(OptLevel::L2);
+        let s = system(OptLevel::L2);
         let report = s
             .run_sql(
                 "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
@@ -323,7 +363,7 @@ mod tests {
         let query = "SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date";
         let mut makespans = Vec::new();
         for level in OptLevel::all() {
-            let mut s = system(level);
+            let s = system(level);
             let report = s.run_sql(query).unwrap();
             makespans.push(report.makespan());
         }
@@ -335,7 +375,7 @@ mod tests {
 
     #[test]
     fn nlq_clinical_pipeline_trains_a_model() {
-        let mut s = system(OptLevel::L2);
+        let s = system(OptLevel::L2);
         let report = s
             .run_nlq(
                 "Will patients have a long stay at the hospital or short when they exit the ICU?",
@@ -348,7 +388,7 @@ mod tests {
 
     #[test]
     fn hetero_program_via_builder() {
-        let mut s = system(OptLevel::L2);
+        let s = system(OptLevel::L2);
         let program = HeterogeneousProgram::builder()
             .subprogram(
                 "base",

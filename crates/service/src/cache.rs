@@ -1,0 +1,269 @@
+//! The plan cache: compiled + optimized programs memoized by query
+//! text, so repeat queries skip the frontend and the optimizer.
+//!
+//! The key includes the optimization level: changing the level (the
+//! Fig. 6 ablation knob, exposed per-service by
+//! [`QueryService::set_opt_level`](crate::QueryService::set_opt_level))
+//! invalidates every plan cached at the old level simply by never
+//! matching it again. Eviction is least-recently-used under a fixed
+//! capacity.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use pspp_ir::Program;
+use pspp_optimizer::{OptLevel, PlacementPlan, RewriteReport};
+
+/// Which frontend produced the cached program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dialect {
+    /// Mini-SQL text.
+    Sql,
+    /// Natural-language question.
+    Nlq,
+    /// Heterogeneous multi-language program (keyed by its spec).
+    Hetero,
+}
+
+impl std::fmt::Display for Dialect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Dialect::Sql => "sql",
+            Dialect::Nlq => "nlq",
+            Dialect::Hetero => "hetero",
+        })
+    }
+}
+
+/// Cache key: (dialect, normalized query text, optimization level).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The frontend dialect.
+    pub dialect: Dialect,
+    /// The query text (hetero programs use their spec rendering).
+    pub text: String,
+    /// The optimization level the plan was produced at.
+    pub opt_level: OptLevel,
+}
+
+/// A compiled + optimized program with its planning artifacts.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The optimized IR program, ready to execute.
+    pub program: Program,
+    /// L1 rewrites applied while optimizing.
+    pub rewrites: RewriteReport,
+    /// L2+ placement summary, when produced.
+    pub placement: Option<PlacementPlan>,
+    /// Simulated seconds the frontend + optimizer cost (charged to a
+    /// query only on a cache miss).
+    pub plan_seconds: f64,
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a usable plan.
+    pub hits: u64,
+    /// Lookups that required planning.
+    pub misses: u64,
+    /// Plans inserted.
+    pub insertions: u64,
+    /// Plans evicted by the LRU policy.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<PlanKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+/// A thread-safe LRU plan cache.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn guard(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up a plan, bumping its recency on a hit.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<CachedPlan>> {
+        let mut inner = self.guard();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let plan = entry.plan.clone();
+                inner.hits += 1;
+                Some(plan)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a plan, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&self, key: PlanKey, plan: Arc<CachedPlan>) {
+        let mut inner = self.guard();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.insertions += 1;
+        inner.map.insert(
+            key,
+            Entry {
+                plan,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every cached plan (counters are preserved).
+    pub fn clear(&self) {
+        self.guard().map.clear();
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.guard().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.guard();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            len: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(text: &str, level: OptLevel) -> PlanKey {
+        PlanKey {
+            dialect: Dialect::Sql,
+            text: text.into(),
+            opt_level: level,
+        }
+    }
+
+    fn plan() -> Arc<CachedPlan> {
+        Arc::new(CachedPlan {
+            program: Program::new(),
+            rewrites: RewriteReport::default(),
+            placement: None,
+            plan_seconds: 1e-3,
+        })
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = PlanCache::new(8);
+        assert!(cache.get(&key("q1", OptLevel::L2)).is_none());
+        cache.insert(key("q1", OptLevel::L2), plan());
+        assert!(cache.get(&key("q1", OptLevel::L2)).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opt_level_partitions_the_key_space() {
+        let cache = PlanCache::new(8);
+        cache.insert(key("q", OptLevel::L2), plan());
+        assert!(cache.get(&key("q", OptLevel::L3)).is_none());
+        assert!(cache.get(&key("q", OptLevel::L2)).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let cache = PlanCache::new(2);
+        cache.insert(key("a", OptLevel::L2), plan());
+        cache.insert(key("b", OptLevel::L2), plan());
+        // Touch `a`, making `b` the LRU victim.
+        assert!(cache.get(&key("a", OptLevel::L2)).is_some());
+        cache.insert(key("c", OptLevel::L2), plan());
+        assert!(cache.get(&key("b", OptLevel::L2)).is_none());
+        assert!(cache.get(&key("a", OptLevel::L2)).is_some());
+        assert!(cache.get(&key("c", OptLevel::L2)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache = PlanCache::new(4);
+        cache.insert(key("a", OptLevel::L2), plan());
+        cache.get(&key("a", OptLevel::L2));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

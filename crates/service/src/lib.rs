@@ -1,0 +1,62 @@
+//! The Polystore++ query service: the serving layer that mediates many
+//! concurrent clients over one shared polystore deployment.
+//!
+//! The library crates below this one ([`pspp_core`] and friends) are a
+//! single-request stack: compile, optimize, execute, return. Real
+//! polystore deployments (BigDAWG, and the business-analytics setting
+//! of the Polystore++ paper) are *services*: many sessions issue
+//! queries against shared engine state, repeat queries should not pay
+//! the frontend and optimizer again, and an overloaded system must
+//! queue or shed work instead of collapsing. This crate adds that
+//! layer:
+//!
+//! - [`QueryService`] owns an `Arc`-shared [`pspp_core::Polystore`]
+//!   and a bounded worker pool; [`Session`]s submit [`Query`]s through
+//!   the admission controller and wait for [`QueryResponse`]s.
+//! - [`PlanCache`] memoizes compiled + optimized plans keyed by
+//!   (dialect, query text, optimization level); cache hits skip the
+//!   frontend and optimizer entirely.
+//! - [`AdmissionConfig`] bounds concurrency and queue depth, with a
+//!   [`AdmissionPolicy`] of blocking backpressure or load shedding.
+//! - Per-session statistics (latency histogram, cache hit rate,
+//!   rejection counts) merge into a [`ServiceReport`].
+//!
+//! Following the repo-wide methodology (real data plane, simulated
+//! clock), per-query *latency* is simulated time — planning cost plus
+//! execution makespan — so every reported number is deterministic and
+//! bit-reproducible at any concurrency level, while execution itself
+//! runs on real worker threads against the real engines.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pspp_core::prelude::*;
+//! use pspp_service::{Query, QueryService, ServiceConfig};
+//!
+//! # fn main() -> pspp_common::Result<()> {
+//! let system = Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+//!     patients: 40,
+//!     ..Default::default()
+//! }))
+//! .build()?;
+//! let service = QueryService::new(Arc::new(system), ServiceConfig::default())?;
+//! let session = service.open_session();
+//! let sql = "SELECT pid FROM admissions WHERE age >= 65";
+//! let cold = session.execute(&Query::sql(sql))?;
+//! let warm = session.execute(&Query::sql(sql))?;
+//! assert!(!cold.cache_hit && warm.cache_hit);
+//! assert!(warm.service_seconds < cold.service_seconds);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod admission;
+pub mod cache;
+pub mod service;
+pub mod stats;
+
+pub use admission::{AdmissionConfig, AdmissionPolicy, AdmissionStats, Ticket, WorkerPool};
+pub use cache::{CacheStats, CachedPlan, Dialect, PlanCache, PlanKey};
+pub use service::{Query, QueryResponse, QueryService, ServiceConfig, Session};
+pub use stats::{LatencyHistogram, ServiceReport, SessionReport};

@@ -1,0 +1,493 @@
+//! [`QueryService`] and [`Session`]: admission-controlled concurrent
+//! query execution over one shared [`Polystore`].
+//!
+//! Every query runs against a private per-run cost ledger
+//! ([`Polystore::execute_at`]), so simultaneous queries never
+//! interleave their simulated accounting — per-query results and cost
+//! totals are bit-identical at any worker count. Planning cost is
+//! charged in simulated time on cache misses only, which is what makes
+//! the plan cache visible in the latency numbers while keeping the
+//! execution ledger deterministic even when concurrent sessions race
+//! to plan the same query.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use pspp_accel::CostLedger;
+use pspp_common::{Error, Result};
+use pspp_core::{Polystore, RunReport};
+use pspp_frontend::HeterogeneousProgram;
+use pspp_optimizer::OptLevel;
+
+use crate::admission::{AdmissionConfig, PoolHandle, Ticket, WorkerPool};
+use crate::cache::{CacheStats, CachedPlan, Dialect, PlanCache, PlanKey};
+use crate::stats::{ServiceReport, SessionReport};
+
+/// Simulated planning-cost model (§IV-A/§IV-B: the frontend and
+/// optimizer are middleware work the plan cache exists to avoid).
+/// Charged once per cache miss: a fixed parse/setup cost, a per-byte
+/// lexing cost and a per-IR-node rewrite/placement cost.
+const PLAN_BASE_SECONDS: f64 = 200e-6;
+const PLAN_PER_BYTE_SECONDS: f64 = 1.5e-6;
+const PLAN_PER_NODE_SECONDS: f64 = 80e-6;
+/// Simulated cost of a cache hit: one hash lookup.
+const CACHE_HIT_SECONDS: f64 = 2e-6;
+
+/// A query a session can submit.
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// Mini-SQL text.
+    Sql(String),
+    /// Natural-language question.
+    Nlq(String),
+    /// Heterogeneous multi-language program.
+    Hetero(HeterogeneousProgram),
+}
+
+impl Query {
+    /// A SQL query.
+    pub fn sql(text: impl Into<String>) -> Self {
+        Query::Sql(text.into())
+    }
+
+    /// A natural-language question.
+    pub fn nlq(text: impl Into<String>) -> Self {
+        Query::Nlq(text.into())
+    }
+
+    /// The frontend dialect, for cache keying.
+    pub fn dialect(&self) -> Dialect {
+        match self {
+            Query::Sql(_) => Dialect::Sql,
+            Query::Nlq(_) => Dialect::Nlq,
+            Query::Hetero(_) => Dialect::Hetero,
+        }
+    }
+
+    /// Canonical cache-key text. Heterogeneous programs key on their
+    /// full spec (names, languages, code, wiring), so two structurally
+    /// identical programs share a plan.
+    pub fn key_text(&self) -> String {
+        match self {
+            Query::Sql(text) | Query::Nlq(text) => text.clone(),
+            Query::Hetero(program) => format!("{:?}", program.specs()),
+        }
+    }
+}
+
+/// Everything the service returns for one query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The underlying run report (outputs, rewrites, placement, costs).
+    pub report: RunReport,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Simulated seconds spent planning (cache-hit lookups are ~free).
+    pub plan_seconds: f64,
+    /// Simulated end-to-end service latency: planning + execution
+    /// makespan. Deterministic at any concurrency level.
+    pub service_seconds: f64,
+    /// Wall-clock microseconds from admission to completion
+    /// (informational; varies with machine load).
+    pub wall_micros: u64,
+}
+
+/// Query-service configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker pool + queueing policy.
+    pub admission: AdmissionConfig,
+    /// Plan-cache capacity, in plans.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            admission: AdmissionConfig::default(),
+            plan_cache_capacity: 256,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SessionCounters {
+    issued: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    sim_seconds: f64,
+    wall_micros: u64,
+    latency: crate::stats::LatencyHistogram,
+}
+
+#[derive(Debug)]
+struct SessionShared {
+    id: u64,
+    counters: Mutex<SessionCounters>,
+}
+
+impl SessionShared {
+    fn guard(&self) -> MutexGuard<'_, SessionCounters> {
+        self.counters.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn report(&self) -> SessionReport {
+        let c = self.guard();
+        SessionReport {
+            session: self.id,
+            issued: c.issued,
+            completed: c.completed,
+            failed: c.failed,
+            rejected: c.rejected,
+            cache_hits: c.cache_hits,
+            cache_misses: c.cache_misses,
+            sim_seconds: c.sim_seconds,
+            wall_micros: c.wall_micros,
+            latency: c.latency.clone(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ServiceInner {
+    system: Arc<Polystore>,
+    cache: PlanCache,
+    opt_level: Mutex<OptLevel>,
+    sessions: Mutex<Vec<Arc<SessionShared>>>,
+    /// Folded statistics of closed sessions, so the session list does
+    /// not grow forever on a long-lived service and closed sessions
+    /// still count in the merged report.
+    closed: Mutex<SessionReport>,
+    next_session: AtomicU64,
+}
+
+impl ServiceInner {
+    fn effective_opt_level(&self) -> OptLevel {
+        *self
+            .opt_level
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Resolves a query to a cached plan, planning and inserting on a
+    /// miss. Returns the plan and whether it was a cache hit.
+    fn plan(&self, query: &Query, level: OptLevel) -> Result<(Arc<CachedPlan>, bool)> {
+        let key = PlanKey {
+            dialect: query.dialect(),
+            text: query.key_text(),
+            opt_level: level,
+        };
+        match self.cache.get(&key) {
+            Some(plan) => Ok((plan, true)),
+            None => {
+                let mut program = match query {
+                    Query::Sql(text) => self.system.compile_sql(text)?,
+                    Query::Nlq(text) => self.system.compile_nlq(text)?,
+                    Query::Hetero(hetero) => self.system.compile(hetero)?,
+                };
+                let (rewrites, placement) = self.system.optimize_at(&mut program, level)?;
+                let plan_seconds = PLAN_BASE_SECONDS
+                    + PLAN_PER_BYTE_SECONDS * key.text.len() as f64
+                    + PLAN_PER_NODE_SECONDS * program.nodes().len() as f64;
+                let plan = Arc::new(CachedPlan {
+                    program,
+                    rewrites,
+                    placement,
+                    plan_seconds,
+                });
+                self.cache.insert(key, Arc::clone(&plan));
+                Ok((plan, false))
+            }
+        }
+    }
+
+    /// Plan (through the cache) and execute one query on a private
+    /// per-run ledger.
+    fn run_query(&self, query: &Query) -> Result<QueryResponse> {
+        let level = self.effective_opt_level();
+        let (plan, cache_hit) = self.plan(query, level)?;
+
+        let run_ledger = CostLedger::new();
+        let execution = self
+            .system
+            .execute_at(&plan.program, level, run_ledger.clone())?;
+        let costs = run_ledger.total();
+        let report = RunReport {
+            execution,
+            rewrites: plan.rewrites.clone(),
+            placement: plan.placement.clone(),
+            costs,
+        };
+        let plan_seconds = if cache_hit {
+            CACHE_HIT_SECONDS
+        } else {
+            plan.plan_seconds
+        };
+        let service_seconds = plan_seconds + report.makespan();
+        Ok(QueryResponse {
+            report,
+            cache_hit,
+            plan_seconds,
+            service_seconds,
+            wall_micros: 0, // stamped by the session wrapper
+        })
+    }
+}
+
+/// The concurrent query service (see the crate docs).
+#[derive(Debug)]
+pub struct QueryService {
+    inner: Arc<ServiceInner>,
+    pool: WorkerPool,
+}
+
+impl QueryService {
+    /// Builds a service over a shared system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for an invalid admission config.
+    pub fn new(system: Arc<Polystore>, config: ServiceConfig) -> Result<Self> {
+        let opt_level = system.opt_level();
+        Ok(QueryService {
+            inner: Arc::new(ServiceInner {
+                system,
+                cache: PlanCache::new(config.plan_cache_capacity),
+                opt_level: Mutex::new(opt_level),
+                sessions: Mutex::new(Vec::new()),
+                closed: Mutex::new(SessionReport {
+                    session: u64::MAX,
+                    ..Default::default()
+                }),
+                next_session: AtomicU64::new(0),
+            }),
+            pool: WorkerPool::new(config.admission)?,
+        })
+    }
+
+    /// Opens a new client session.
+    pub fn open_session(&self) -> Session {
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(SessionShared {
+            id,
+            counters: Mutex::new(SessionCounters::default()),
+        });
+        self.inner
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&shared));
+        Session {
+            close: Arc::new(SessionCloseGuard {
+                shared,
+                service: Arc::clone(&self.inner),
+            }),
+            pool: self.pool.handle(),
+        }
+    }
+
+    /// Changes the optimization level for subsequent queries. Plans
+    /// cached at other levels stop matching (the level is part of the
+    /// cache key), so this doubles as cache invalidation.
+    pub fn set_opt_level(&self, level: OptLevel) {
+        *self
+            .inner
+            .opt_level
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = level;
+    }
+
+    /// The level applied to queries submitted now.
+    pub fn opt_level(&self) -> OptLevel {
+        self.inner.effective_opt_level()
+    }
+
+    /// The shared underlying system.
+    pub fn system(&self) -> &Arc<Polystore> {
+        &self.inner.system
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Drops every cached plan.
+    pub fn clear_plan_cache(&self) {
+        self.inner.cache.clear();
+    }
+
+    /// Plans a query into the cache without executing it (cache
+    /// warming). Returns `true` when the query was newly planned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and optimize errors.
+    pub fn warm(&self, query: &Query) -> Result<bool> {
+        let level = self.inner.effective_opt_level();
+        let (_, hit) = self.inner.plan(query, level)?;
+        Ok(!hit)
+    }
+
+    /// Number of worker threads executing queries.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The merged service-wide report. `sessions` lists the rows of
+    /// currently open sessions; `merged` additionally folds in every
+    /// session closed since startup.
+    pub fn report(&self) -> ServiceReport {
+        // Hold the sessions lock while reading the closed aggregate
+        // (the same sessions → closed order SessionCloseGuard uses), so
+        // a session closing mid-report cannot appear in both.
+        let live = self
+            .inner
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut sessions: Vec<SessionReport> = live.iter().map(|s| s.report()).collect();
+        let mut merged = self
+            .inner
+            .closed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        drop(live);
+        sessions.sort_by_key(|s| s.session);
+        for s in &sessions {
+            merged.absorb(s);
+        }
+        ServiceReport {
+            sessions,
+            merged,
+            cache: self.inner.cache.stats(),
+            admission: self.pool.handle().stats(),
+        }
+    }
+}
+
+/// Retires a session when its last [`Session`] clone drops: the row
+/// leaves the live list and its counters fold into the service's
+/// closed-session aggregate, so a long-lived service does not
+/// accumulate dead session state. Queries still in flight via
+/// [`Session::submit`] when the last clone drops may record their
+/// completion after the fold and thus miss the report.
+#[derive(Debug)]
+struct SessionCloseGuard {
+    shared: Arc<SessionShared>,
+    service: Arc<ServiceInner>,
+}
+
+impl Drop for SessionCloseGuard {
+    fn drop(&mut self) {
+        let report = self.shared.report();
+        // Hold the sessions lock across the fold (sessions → closed,
+        // mirroring report()), so the row atomically moves from the
+        // live list to the closed aggregate — a concurrent report()
+        // sees it in exactly one of the two.
+        let mut sessions = self
+            .service
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        sessions.retain(|s| s.id != self.shared.id);
+        self.service
+            .closed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .absorb(&report);
+        drop(sessions);
+    }
+}
+
+/// One client's handle onto the service. Cheap to clone; sessions can
+/// be driven from any thread. The session closes (retiring its stats
+/// row into the service's closed aggregate) when the last clone drops.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Owns the session state and the service handle; dropping the
+    /// last clone runs the close guard.
+    close: Arc<SessionCloseGuard>,
+    pool: PoolHandle,
+}
+
+impl Session {
+    fn shared(&self) -> &Arc<SessionShared> {
+        &self.close.shared
+    }
+
+    /// This session's id.
+    pub fn id(&self) -> u64 {
+        self.shared().id
+    }
+
+    /// Submits a query through admission control without waiting:
+    /// returns a ticket the caller later blocks on. Statistics are
+    /// recorded when the worker completes the query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overloaded`] when admission sheds the query.
+    pub fn submit(&self, query: &Query) -> Result<Ticket<Result<QueryResponse>>> {
+        self.shared().guard().issued += 1;
+        let ticket: Ticket<Result<QueryResponse>> = Ticket::new();
+        let t = ticket.clone();
+        let service = Arc::clone(&self.close.service);
+        let session = Arc::clone(self.shared());
+        let query = query.clone();
+        let admitted_at = Instant::now();
+        let submitted = self.pool.submit(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| service.run_query(&query)))
+                .unwrap_or_else(|_| Err(Error::Execution("query worker panicked".into())));
+            let wall_micros = u64::try_from(admitted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let mut counters = session.guard();
+            match &outcome {
+                Ok(resp) => {
+                    counters.completed += 1;
+                    if resp.cache_hit {
+                        counters.cache_hits += 1;
+                    } else {
+                        counters.cache_misses += 1;
+                    }
+                    counters.sim_seconds += resp.service_seconds;
+                    counters.latency.record(resp.service_seconds);
+                }
+                Err(_) => counters.failed += 1,
+            }
+            counters.wall_micros += wall_micros;
+            drop(counters);
+            t.fill(outcome.map(|mut resp| {
+                resp.wall_micros = wall_micros;
+                resp
+            }));
+        });
+        match submitted {
+            Ok(()) => Ok(ticket),
+            Err(err) => {
+                self.shared().guard().rejected += 1;
+                Err(err)
+            }
+        }
+    }
+
+    /// Submits a query and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates admission rejection and compile/optimize/execute
+    /// errors.
+    pub fn execute(&self, query: &Query) -> Result<QueryResponse> {
+        self.submit(query)?.wait()
+    }
+
+    /// This session's statistics snapshot.
+    pub fn stats(&self) -> SessionReport {
+        self.shared().report()
+    }
+}

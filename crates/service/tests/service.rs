@@ -1,0 +1,343 @@
+//! Service-level integration tests: plan-cache semantics, admission
+//! behavior, and the headline guarantee — a query batch produces
+//! byte-identical results and identical ledger totals at 1 worker and
+//! at 8 workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pspp_accel::AcceleratorFleet;
+use pspp_core::prelude::*;
+use pspp_optimizer::OptLevel;
+use pspp_service::{AdmissionConfig, AdmissionPolicy, Query, QueryService, ServiceConfig, Session};
+
+fn shared_system(level: OptLevel) -> Arc<Polystore> {
+    Arc::new(
+        Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients: 150,
+            vitals_per_patient: 8,
+            seed: 99,
+        }))
+        .accelerators(AcceleratorFleet::workstation())
+        .opt_level(level)
+        .build()
+        .expect("valid config"),
+    )
+}
+
+fn service_with_workers(system: &Arc<Polystore>, workers: usize) -> QueryService {
+    QueryService::new(
+        Arc::clone(system),
+        ServiceConfig {
+            admission: AdmissionConfig {
+                workers,
+                queue_depth: 64,
+                policy: AdmissionPolicy::Block,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("valid service config")
+}
+
+const SQL: &str = "SELECT pid, age FROM admissions WHERE age >= 65 ORDER BY age DESC LIMIT 10";
+
+#[test]
+fn repeat_queries_hit_the_plan_cache() {
+    let service = service_with_workers(&shared_system(OptLevel::L2), 2);
+    let session = service.open_session();
+    let cold = session.execute(&Query::sql(SQL)).expect("cold run");
+    let warm = session.execute(&Query::sql(SQL)).expect("warm run");
+    assert!(!cold.cache_hit);
+    assert!(warm.cache_hit);
+    // Identical results and execution costs; cheaper service latency.
+    assert_eq!(
+        format!("{:?}", cold.report.execution.outputs),
+        format!("{:?}", warm.report.execution.outputs),
+    );
+    assert_eq!(cold.report.costs, warm.report.costs);
+    assert!(warm.plan_seconds < cold.plan_seconds);
+    assert!(warm.service_seconds < cold.service_seconds);
+
+    let stats = session.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    let cache = service.cache_stats();
+    assert_eq!(cache.hits, 1);
+    assert_eq!(cache.misses, 1);
+    assert_eq!(cache.len, 1);
+}
+
+#[test]
+fn opt_level_change_invalidates_cached_plans() {
+    let service = service_with_workers(&shared_system(OptLevel::L2), 2);
+    let session = service.open_session();
+    assert!(
+        !session
+            .execute(&Query::sql(SQL))
+            .expect("L2 cold")
+            .cache_hit
+    );
+    assert!(
+        session
+            .execute(&Query::sql(SQL))
+            .expect("L2 warm")
+            .cache_hit
+    );
+
+    service.set_opt_level(OptLevel::L3);
+    let l3 = session.execute(&Query::sql(SQL)).expect("L3 cold");
+    assert!(!l3.cache_hit, "L2 plan must not serve an L3 query");
+    assert!(
+        session
+            .execute(&Query::sql(SQL))
+            .expect("L3 warm")
+            .cache_hit
+    );
+
+    // The L2 plan is still resident and usable after switching back.
+    service.set_opt_level(OptLevel::L2);
+    assert!(
+        session
+            .execute(&Query::sql(SQL))
+            .expect("L2 again")
+            .cache_hit
+    );
+    assert_eq!(service.cache_stats().len, 2);
+}
+
+#[test]
+fn dialects_do_not_share_cache_entries() {
+    let service = service_with_workers(&shared_system(OptLevel::L2), 2);
+    let session = service.open_session();
+    let text = "Will patients have a long stay at the hospital?";
+    session.execute(&Query::nlq(text)).expect("nlq runs");
+    // Same text through the SQL frontend must not hit the NLQ plan
+    // (it fails to parse instead of silently reusing it).
+    assert!(session.execute(&Query::sql(text)).is_err());
+    assert_eq!(service.cache_stats().hits, 0);
+}
+
+#[test]
+fn service_matches_direct_library_execution() {
+    let system = shared_system(OptLevel::L2);
+    let direct = system.run_sql(SQL).expect("direct run");
+    let service = service_with_workers(&system, 4);
+    let served = service
+        .open_session()
+        .execute(&Query::sql(SQL))
+        .expect("served run");
+    assert_eq!(
+        format!("{:?}", direct.execution.outputs),
+        format!("{:?}", served.report.execution.outputs),
+    );
+    assert_eq!(direct.costs, served.report.costs);
+}
+
+/// The headline guarantee: the same batch at 1 worker and at 8 workers
+/// produces byte-identical per-query results and identical ledger
+/// totals, summed in batch order.
+#[test]
+fn worker_count_never_changes_results_or_ledger_totals() {
+    let system = shared_system(OptLevel::L2);
+    let batch: Vec<Query> = vec![
+        Query::sql(SQL),
+        Query::sql("SELECT count(*) AS n FROM admissions"),
+        Query::nlq("Will patients have a long stay at the hospital?"),
+        Query::sql(
+            "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
+             WHERE age >= 80",
+        ),
+        Query::sql(SQL),
+        Query::sql("SELECT pid FROM admissions WHERE age >= 30 AND age < 50"),
+        Query::sql("SELECT count(*) AS n FROM admissions"),
+        Query::nlq("Will patients have a long stay at the hospital?"),
+    ];
+
+    // (outputs debug rendering, ledger events, busy seconds, bytes)
+    type PerQuery = (String, usize, f64, u64);
+    let run_batch = |workers: usize, clients: usize| -> Vec<PerQuery> {
+        let service = service_with_workers(&system, workers);
+        for q in &batch {
+            service.warm(q).expect("warms");
+        }
+        let slots: Mutex<Vec<Option<PerQuery>>> = Mutex::new(vec![None; batch.len()]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                let session: Session = service.open_session();
+                let slots = &slots;
+                let next = &next;
+                let batch = &batch;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= batch.len() {
+                        return;
+                    }
+                    let resp = session.execute(&batch[i]).expect("query runs");
+                    slots.lock().unwrap()[i] = Some((
+                        format!("{:?}", resp.report.execution.outputs),
+                        resp.report.costs.events,
+                        resp.report.costs.busy.as_secs(),
+                        resp.report.costs.bytes,
+                    ));
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|s| s.expect("filled"))
+            .collect()
+    };
+
+    let sequential = run_batch(1, 1);
+    let concurrent = run_batch(8, 8);
+    for (i, (a, b)) in sequential.iter().zip(&concurrent).enumerate() {
+        assert_eq!(a.0, b.0, "query {i} outputs diverged");
+        assert_eq!(a.1, b.1, "query {i} ledger event counts diverged");
+        assert_eq!(
+            a.2.to_bits(),
+            b.2.to_bits(),
+            "query {i} busy seconds diverged"
+        );
+        assert_eq!(a.3, b.3, "query {i} ledger bytes diverged");
+    }
+    // And the batch-order sums (what a service-wide report aggregates).
+    let sum = |rs: &[(String, usize, f64, u64)]| {
+        rs.iter()
+            .fold((0usize, 0.0f64), |(e, b), r| (e + r.1, b + r.2))
+    };
+    let (ev_a, busy_a) = sum(&sequential);
+    let (ev_b, busy_b) = sum(&concurrent);
+    assert_eq!(ev_a, ev_b);
+    assert_eq!(busy_a.to_bits(), busy_b.to_bits());
+}
+
+#[test]
+fn reject_policy_sheds_excess_load() {
+    let system = shared_system(OptLevel::L2);
+    let service = QueryService::new(
+        Arc::clone(&system),
+        ServiceConfig {
+            admission: AdmissionConfig {
+                workers: 1,
+                queue_depth: 1,
+                policy: AdmissionPolicy::Reject,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let session = service.open_session();
+    // ML training keeps the single worker busy while the submission
+    // loop floods the depth-1 queue.
+    let heavy = Query::nlq("Will patients have a long stay at the hospital?");
+    let tickets: Vec<_> = (0..20).map(|_| session.submit(&heavy)).collect();
+    let mut completed = 0;
+    let mut rejected = 0;
+    for t in tickets {
+        match t {
+            Ok(ticket) => {
+                ticket.wait().expect("admitted queries succeed");
+                completed += 1;
+            }
+            Err(e) => {
+                assert!(matches!(e, pspp_common::Error::Overloaded(_)), "got {e:?}");
+                rejected += 1;
+            }
+        }
+    }
+    assert_eq!(completed + rejected, 20);
+    assert!(rejected > 0, "queue of depth 1 never overflowed");
+    let stats = session.stats();
+    assert_eq!(stats.issued, 20);
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.completed, completed);
+    assert_eq!(service.report().admission.rejected, rejected);
+}
+
+#[test]
+fn per_session_stats_merge_into_service_report() {
+    let service = service_with_workers(&shared_system(OptLevel::L2), 2);
+    let alice = service.open_session();
+    let bob = service.open_session();
+    alice.execute(&Query::sql(SQL)).expect("runs");
+    alice.execute(&Query::sql(SQL)).expect("runs");
+    bob.execute(&Query::sql("SELECT count(*) AS n FROM admissions"))
+        .expect("runs");
+
+    let report = service.report();
+    assert_eq!(report.sessions.len(), 2);
+    assert_eq!(report.merged.completed, 3);
+    assert_eq!(report.merged.cache_hits, 1);
+    assert_eq!(report.merged.cache_misses, 2);
+    assert_eq!(report.merged.latency.count(), 3);
+    assert!(report.merged.sim_seconds > 0.0);
+    let text = report.to_string();
+    assert!(text.contains("plan cache"), "report display: {text}");
+
+    let a = report.sessions.iter().find(|s| s.session == alice.id());
+    assert_eq!(a.expect("alice row").completed, 2);
+    assert_eq!(bob.stats().completed, 1);
+}
+
+#[test]
+fn closed_sessions_leave_the_list_but_stay_in_the_merge() {
+    let service = service_with_workers(&shared_system(OptLevel::L2), 2);
+    {
+        let ephemeral = service.open_session();
+        ephemeral.execute(&Query::sql(SQL)).expect("runs");
+    } // last clone dropped: the session closes
+    let survivor = service.open_session();
+    survivor.execute(&Query::sql(SQL)).expect("runs");
+
+    let report = service.report();
+    assert_eq!(report.sessions.len(), 1, "closed session still listed");
+    assert_eq!(report.sessions[0].session, survivor.id());
+    assert_eq!(report.merged.completed, 2, "closed session lost from merge");
+    assert_eq!(report.merged.cache_hits, 1);
+    assert_eq!(report.merged.latency.count(), 2);
+}
+
+#[test]
+fn cloned_tickets_can_all_wait() {
+    let service = service_with_workers(&shared_system(OptLevel::L2), 2);
+    let session = service.open_session();
+    let ticket = session.submit(&Query::sql(SQL)).expect("admitted");
+    let clone = ticket.clone();
+    let a = ticket.wait().expect("first waiter");
+    let b = clone.wait().expect("second waiter must not hang");
+    assert_eq!(
+        format!("{:?}", a.report.execution.outputs),
+        format!("{:?}", b.report.execution.outputs),
+    );
+}
+
+#[test]
+fn sessions_survive_heavy_interleaving() {
+    // Smoke test for the shared engine state: 4 sessions x 8 mixed
+    // queries with 4 workers, all through one Arc'd system.
+    let system = shared_system(OptLevel::L3);
+    let service = service_with_workers(&system, 4);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let session = service.open_session();
+            scope.spawn(move || {
+                for i in 0..8 {
+                    let q = if i % 3 == 0 {
+                        Query::sql("SELECT count(*) AS n FROM admissions")
+                    } else {
+                        Query::sql(SQL)
+                    };
+                    session.execute(&q).expect("query runs");
+                }
+            });
+        }
+    });
+    let report = service.report();
+    assert_eq!(report.merged.completed, 32);
+    assert_eq!(report.merged.failed, 0);
+    assert!(report.cache.hit_rate() > 0.5);
+}

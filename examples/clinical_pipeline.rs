@@ -15,7 +15,7 @@ fn run(level: OptLevel, fleet: AcceleratorFleet) -> Result<(f64, usize)> {
         vitals_per_patient: 24,
         seed: 2019,
     });
-    let mut system = Polystore::from_deployment(deployment)
+    let system = Polystore::from_deployment(deployment)
         .accelerators(fleet)
         .opt_level(level)
         .build()?;

@@ -14,7 +14,7 @@ fn main() -> Result<()> {
         vitals_per_patient: 24,
         seed: 42,
     });
-    let mut system = Polystore::from_deployment(deployment)
+    let system = Polystore::from_deployment(deployment)
         .accelerators(AcceleratorFleet::workstation())
         .opt_level(OptLevel::L3)
         .build()?;

@@ -14,7 +14,7 @@ fn main() -> Result<()> {
         clicks_per_customer: 16,
         seed: 7,
     });
-    let mut system = Polystore::from_deployment(deployment)
+    let system = Polystore::from_deployment(deployment)
         .accelerators(AcceleratorFleet::workstation())
         .opt_level(OptLevel::L2)
         .build()?;

@@ -13,7 +13,7 @@
 //!
 //! # fn main() -> pspp_common::Result<()> {
 //! let deployment = datagen::clinical(&ClinicalConfig { patients: 30, ..Default::default() });
-//! let mut system = Polystore::from_deployment(deployment)
+//! let system = Polystore::from_deployment(deployment)
 //!     .accelerators(AcceleratorFleet::workstation())
 //!     .opt_level(OptLevel::L3)
 //!     .build()?;
@@ -37,6 +37,7 @@ pub use pspp_mlengine as mlengine;
 pub use pspp_optimizer as optimizer;
 pub use pspp_relstore as relstore;
 pub use pspp_runtime as runtime;
+pub use pspp_service as service;
 pub use pspp_streamstore as streamstore;
 pub use pspp_textstore as textstore;
 pub use pspp_tsstore as tsstore;
@@ -48,4 +49,7 @@ pub mod prelude {
         Result, Row, Schema, TableRef, Value,
     };
     pub use pspp_core::prelude::*;
+    pub use pspp_service::{
+        AdmissionConfig, AdmissionPolicy, Query, QueryService, ServiceConfig, Session,
+    };
 }

@@ -23,8 +23,8 @@ const CLINICAL_NLQ: &str = "Will patients have a long stay at the hospital?";
 
 #[test]
 fn parallel_clinical_nlq_matches_sequential_bit_for_bit() {
-    let mut par = clinical_system(true);
-    let mut seq = clinical_system(false);
+    let par = clinical_system(true);
+    let seq = clinical_system(false);
     let a = par.run_nlq(CLINICAL_NLQ).expect("parallel run");
     let b = seq.run_nlq(CLINICAL_NLQ).expect("sequential run");
 
@@ -53,8 +53,8 @@ fn parallel_clinical_nlq_matches_sequential_bit_for_bit() {
 fn parallel_federated_join_matches_sequential_bit_for_bit() {
     let query = "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
                  WHERE age >= 70";
-    let mut par = clinical_system(true);
-    let mut seq = clinical_system(false);
+    let par = clinical_system(true);
+    let seq = clinical_system(false);
     let a = par.run_sql(query).expect("parallel run");
     let b = seq.run_sql(query).expect("sequential run");
     assert!(!a.execution.outputs[0].is_empty());
@@ -71,7 +71,7 @@ fn repeated_parallel_runs_are_self_consistent() {
     // Thread scheduling varies between runs; results must not.
     let mut reference: Option<(String, CostLedger)> = None;
     for _ in 0..3 {
-        let mut s = clinical_system(true);
+        let s = clinical_system(true);
         let r = s.run_nlq(CLINICAL_NLQ).expect("runs");
         let outputs = format!("{:?}", r.execution.outputs);
         match &reference {

@@ -20,7 +20,7 @@ fn clinical_system(level: OptLevel) -> Polystore {
 
 #[test]
 fn federated_sql_matches_manual_join() {
-    let mut s = clinical_system(OptLevel::L2);
+    let s = clinical_system(OptLevel::L2);
     let report = s
         .run_sql(
             "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
@@ -42,8 +42,8 @@ fn federated_sql_matches_manual_join() {
 #[test]
 fn optimization_preserves_results() {
     let query = "SELECT pid, age FROM admissions WHERE age >= 40 AND age < 70 ORDER BY age, pid";
-    let mut none = clinical_system(OptLevel::None);
-    let mut l3 = clinical_system(OptLevel::L3);
+    let none = clinical_system(OptLevel::None);
+    let l3 = clinical_system(OptLevel::L3);
     let a = none.run_sql(query).expect("runs unoptimized");
     let b = l3.run_sql(query).expect("runs optimized");
     assert_eq!(
@@ -56,7 +56,7 @@ fn optimization_preserves_results() {
 
 #[test]
 fn clinical_nlq_end_to_end_model_quality() {
-    let mut s = clinical_system(OptLevel::L3);
+    let s = clinical_system(OptLevel::L3);
     let report = s
         .run_nlq("Will patients have a long stay at the hospital?")
         .expect("nlq compiles and runs");
@@ -87,7 +87,7 @@ fn migration_paths_agree_on_content() {
 
 #[test]
 fn graph_and_text_engines_reachable_through_programs() {
-    let mut s = clinical_system(OptLevel::L2);
+    let s = clinical_system(OptLevel::L2);
     let program = HeterogeneousProgram::builder()
         .subprogram(
             "paths",

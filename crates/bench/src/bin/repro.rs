@@ -4,11 +4,15 @@
 //! cargo run -p pspp-bench --bin repro --release            # all
 //! cargo run -p pspp-bench --bin repro --release -- e8 e10  # subset
 //! cargo run -p pspp-bench --bin repro --release -- e16 --json bench.json
+//! cargo run -p pspp-bench --bin repro --release -- --open-loop
 //! ```
 //!
 //! `--json <path>` additionally writes machine-readable per-experiment
 //! results (name, pass/fail, wall milliseconds), the record CI keeps as
-//! the benchmark trajectory.
+//! the benchmark trajectory. `--open-loop` runs the arrival-rate
+//! (open-loop) workload driver sweep, exercising `Reject` admission
+//! shedding under overload; it rides along any experiment selection
+//! (and suppresses the default run-everything when passed alone).
 
 use std::time::Instant;
 
@@ -49,6 +53,7 @@ fn write_json(path: &str, outcomes: &[Outcome]) -> std::io::Result<()> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut open_loop = false;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -60,11 +65,13 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--open-loop" {
+            open_loop = true;
         } else {
             names.push(arg);
         }
     }
-    let which: Vec<&str> = if names.is_empty() || names.iter().any(|a| a == "all") {
+    let which: Vec<&str> = if names.iter().any(|a| a == "all") || (names.is_empty() && !open_loop) {
         pspp_bench::ALL.to_vec()
     } else {
         names.iter().map(String::as_str).collect()
@@ -85,6 +92,25 @@ fn main() {
         };
         outcomes.push(Outcome {
             name: name.to_owned(),
+            pass,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    if open_loop {
+        println!("==================================================================");
+        let start = Instant::now();
+        let pass = match pspp_bench::open_loop_table() {
+            Ok(table) => {
+                println!("{table}");
+                true
+            }
+            Err(e) => {
+                eprintln!("open-loop failed: {e}");
+                false
+            }
+        };
+        outcomes.push(Outcome {
+            name: "open-loop".to_owned(),
             pass,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
         });

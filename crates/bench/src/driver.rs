@@ -1,15 +1,26 @@
-//! Closed-loop workload driver for the query service (E16).
+//! Workload drivers for the query service: closed-loop (E16) and
+//! open-loop (arrival-rate, `repro --open-loop`).
 //!
-//! The driver replays a deterministic mixed SQL/NLQ/heterogeneous
-//! workload through [`pspp_service::QueryService`] at a configurable
-//! concurrency. Per the repo-wide methodology (real data plane,
-//! simulated clock), every query really executes — on the service's
-//! worker threads, against the shared engines — and the *reported*
-//! throughput and latency come from a deterministic closed-loop
-//! queueing simulation over the recorded per-query simulated service
-//! times. That keeps the numbers bit-reproducible on any machine and
-//! at any worker count, while the digest column proves the results
-//! themselves are byte-identical across concurrency levels.
+//! The closed-loop driver replays a deterministic mixed
+//! SQL/NLQ/heterogeneous workload through
+//! [`pspp_service::QueryService`] at a configurable concurrency. Per
+//! the repo-wide methodology (real data plane, simulated clock), every
+//! query really executes — on the service's worker threads, against
+//! the shared engines — and the *reported* throughput and latency come
+//! from a deterministic closed-loop queueing simulation over the
+//! recorded per-query simulated service times. That keeps the numbers
+//! bit-reproducible on any machine and at any worker count, while the
+//! digest column proves the results themselves are byte-identical
+//! across concurrency levels.
+//!
+//! The open-loop driver ([`run_open_loop`]) models an arrival *rate*
+//! instead of a fixed client population: queries arrive every
+//! `1 / arrival_qps` simulated seconds whether or not earlier ones
+//! finished, so overload does not self-throttle. It really exercises
+//! the [`AdmissionPolicy::Reject`] path (a burst submission phase
+//! counts genuine `Error::Overloaded` rejections) and *reports* a
+//! deterministic shed rate from an arrival-time replay against the
+//! recorded simulated service times with a bounded queue.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -87,16 +98,7 @@ pub struct DriverReport {
     pub cost_busy_seconds: f64,
 }
 
-/// 64-bit FNV-1a.
-fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
-
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+pub(crate) use pspp_common::partition::{fnv1a, FNV_OFFSET};
 
 /// The deterministic mixed workload: repeated SQL templates (so the
 /// plan cache has something to hit), one NLQ ML pipeline, and one
@@ -295,6 +297,201 @@ pub fn run_driver(system: &Arc<Polystore>, cfg: &WorkloadConfig) -> Result<Drive
     })
 }
 
+/// Open-loop (arrival-rate) driver configuration.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Total queries offered.
+    pub queries: usize,
+    /// Arrival rate in queries per simulated second.
+    pub arrival_qps: f64,
+    /// Service worker threads.
+    pub workers: usize,
+    /// Admission queue depth (jobs waiting beyond the ones executing).
+    pub queue_depth: usize,
+    /// Workload-mix seed.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            queries: 64,
+            arrival_qps: 50.0,
+            workers: 2,
+            queue_depth: 4,
+            seed: 2019,
+        }
+    }
+}
+
+/// What one open-loop run produced.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Queries offered at the arrival rate.
+    pub offered: usize,
+    /// Queries admitted by the deterministic open-loop replay.
+    pub admitted: usize,
+    /// Queries shed by the replay's bounded queue (`Reject` policy).
+    pub shed: usize,
+    /// `shed / offered`.
+    pub shed_rate: f64,
+    /// Simulated completion time of the last admitted query.
+    pub sim_makespan_seconds: f64,
+    /// Mean simulated seconds an admitted query waited for a worker.
+    pub mean_wait_seconds: f64,
+    /// Admitted queries per simulated second.
+    pub goodput_qps: f64,
+    /// `Error::Overloaded` rejections observed while really bursting
+    /// the batch through a `Reject`-policy service (informational —
+    /// depends on machine speed, unlike the replay's shed count).
+    pub real_rejections: usize,
+    /// Wall-clock milliseconds for the real execution phases.
+    pub wall_millis: f64,
+    /// Order-sensitive FNV digest over every query's output bytes
+    /// (every offered query executes exactly once for the digest,
+    /// whether or not the replay sheds it).
+    pub digest: u64,
+}
+
+/// Deterministic open-loop replay: arrivals at `i / arrival_qps`, `workers`
+/// FIFO servers, at most `workers + queue_depth` queries in the system —
+/// later arrivals are shed, exactly like [`AdmissionPolicy::Reject`].
+/// Returns (admitted flags, makespan, mean wait of admitted).
+fn open_loop_schedule(
+    service_seconds: &[f64],
+    arrival_qps: f64,
+    workers: usize,
+    queue_depth: usize,
+) -> (Vec<bool>, f64, f64) {
+    let spacing = 1.0 / arrival_qps.max(f64::MIN_POSITIVE);
+    let capacity = workers.max(1) + queue_depth;
+    let mut worker_free = vec![0.0f64; workers.max(1)];
+    let mut in_system: Vec<f64> = Vec::new(); // finish times of admitted jobs
+    let mut admitted = vec![false; service_seconds.len()];
+    let mut makespan = 0.0f64;
+    let mut total_wait = 0.0f64;
+    for (i, &service) in service_seconds.iter().enumerate() {
+        let t = i as f64 * spacing;
+        in_system.retain(|&finish| finish > t);
+        if in_system.len() >= capacity {
+            continue; // shed: queue full at arrival, Reject semantics
+        }
+        let w = min_index(&worker_free);
+        let start = worker_free[w].max(t);
+        let finish = start + service;
+        total_wait += start - t;
+        worker_free[w] = finish;
+        in_system.push(finish);
+        admitted[i] = true;
+        makespan = makespan.max(finish);
+    }
+    let n_admitted = admitted.iter().filter(|&&a| a).count().max(1) as f64;
+    (admitted, makespan, total_wait / n_admitted)
+}
+
+/// Runs the mixed workload open-loop against a `Reject`-policy service
+/// built over `system`. See the module docs for the two-phase design:
+/// a real burst phase exercises admission shedding, then every query
+/// (including really-shed ones) executes once to record deterministic
+/// service times and the output digest, and the reported shed rate
+/// comes from the arrival-time replay.
+///
+/// # Errors
+///
+/// Propagates the first non-`Overloaded` query failure, in batch order.
+pub fn run_open_loop(system: &Arc<Polystore>, cfg: &OpenLoopConfig) -> Result<OpenLoopReport> {
+    let service = QueryService::new(
+        Arc::clone(system),
+        ServiceConfig {
+            admission: AdmissionConfig {
+                workers: cfg.workers,
+                queue_depth: cfg.queue_depth,
+                policy: AdmissionPolicy::Reject,
+            },
+            ..Default::default()
+        },
+    )?;
+    let queries = mixed_workload(cfg.queries, cfg.seed);
+    // Warm every plan so service times never depend on which query
+    // races to plan first.
+    for q in &queries {
+        service.warm(q)?;
+    }
+
+    let wall_start = Instant::now();
+    let session = service.open_session();
+    let mut slots: Vec<Option<(f64, u64)>> = vec![None; queries.len()];
+    let mut real_rejections = 0usize;
+    let mut shed_indexes = Vec::new();
+    // Burst phase: submit the whole batch without pacing. The bounded
+    // Reject queue genuinely sheds most of it on any real machine.
+    let mut tickets = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        match session.submit(q) {
+            Ok(ticket) => tickets.push((i, ticket)),
+            Err(Error::Overloaded(_)) => {
+                real_rejections += 1;
+                shed_indexes.push(i);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for (i, ticket) in tickets {
+        let resp = ticket
+            .wait()
+            .map_err(|e| Error::Execution(format!("open-loop query {i} failed: {e}")))?;
+        slots[i] = Some(per_query_record(&resp));
+    }
+    // Backfill phase: execute the really-shed queries one at a time
+    // (the queue is idle now), so every offered query has a
+    // deterministic service time and contributes to the digest.
+    for i in shed_indexes {
+        let resp = session
+            .execute(&queries[i])
+            .map_err(|e| Error::Execution(format!("open-loop backfill {i} failed: {e}")))?;
+        slots[i] = Some(per_query_record(&resp));
+    }
+    let wall_millis = wall_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut digest = FNV_OFFSET;
+    let mut service_seconds = Vec::with_capacity(slots.len());
+    for slot in &slots {
+        let (seconds, d) = slot.expect("all queries executed in burst or backfill");
+        digest = fnv1a(&d.to_le_bytes(), digest);
+        service_seconds.push(seconds);
+    }
+
+    let (admitted_flags, sim_makespan_seconds, mean_wait_seconds) = open_loop_schedule(
+        &service_seconds,
+        cfg.arrival_qps,
+        cfg.workers,
+        cfg.queue_depth,
+    );
+    let admitted = admitted_flags.iter().filter(|&&a| a).count();
+    let shed = service_seconds.len() - admitted;
+    Ok(OpenLoopReport {
+        offered: service_seconds.len(),
+        admitted,
+        shed,
+        shed_rate: shed as f64 / service_seconds.len().max(1) as f64,
+        sim_makespan_seconds,
+        mean_wait_seconds,
+        goodput_qps: admitted as f64 / sim_makespan_seconds.max(f64::MIN_POSITIVE),
+        real_rejections,
+        wall_millis,
+        digest,
+    })
+}
+
+/// (simulated service seconds, output digest) for one response.
+fn per_query_record(resp: &pspp_service::QueryResponse) -> (f64, u64) {
+    let digest = fnv1a(
+        format!("{:?}", resp.report.execution.outputs).as_bytes(),
+        FNV_OFFSET,
+    );
+    (resp.service_seconds, digest)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,5 +528,71 @@ mod tests {
         assert!((quantile(&xs, 0.50) - 50.0).abs() < 1e-12);
         assert!((quantile(&xs, 0.99) - 99.0).abs() < 1e-12);
         assert!((quantile(&xs, 1.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_loop_schedule_sheds_only_under_overload() {
+        // Service 1s, arrivals every 0.1s, one worker, queue depth 1:
+        // capacity 2, so most arrivals find the system full.
+        let times = vec![1.0; 20];
+        let (admitted, makespan, wait) = open_loop_schedule(&times, 10.0, 1, 1);
+        let n = admitted.iter().filter(|&&a| a).count();
+        assert!(n < 20, "overload must shed ({n} admitted)");
+        assert!(admitted[0], "an idle system admits the first arrival");
+        assert!(makespan > 0.0 && wait >= 0.0);
+
+        // Arrivals every 2s against 1s service: nothing sheds.
+        let (admitted, _, wait) = open_loop_schedule(&times, 0.5, 1, 1);
+        assert!(admitted.iter().all(|&a| a));
+        assert!(wait.abs() < 1e-12, "no queueing at light load");
+    }
+
+    #[test]
+    fn open_loop_driver_sheds_and_stays_deterministic() {
+        let system = Arc::new(
+            Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+                patients: 60,
+                vitals_per_patient: 4,
+                seed: 9,
+            }))
+            .opt_level(OptLevel::L2)
+            .build()
+            .unwrap(),
+        );
+        let cfg = OpenLoopConfig {
+            queries: 24,
+            arrival_qps: 1e6, // pathological overload
+            workers: 1,
+            queue_depth: 1,
+            seed: 7,
+        };
+        let a = run_open_loop(&system, &cfg).unwrap();
+        assert_eq!(a.offered, 24);
+        assert_eq!(a.admitted + a.shed, 24);
+        assert!(
+            a.shed_rate > 0.5,
+            "pathological overload must shed most arrivals, got {}",
+            a.shed_rate
+        );
+        assert!(
+            a.real_rejections > 0,
+            "the real Reject admission path never fired"
+        );
+        let b = run_open_loop(&system, &cfg).unwrap();
+        assert_eq!(a.digest, b.digest, "digest is schedule-independent");
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.sim_makespan_seconds, b.sim_makespan_seconds);
+
+        // Light load against the same system: the replay sheds nothing.
+        let light = run_open_loop(
+            &system,
+            &OpenLoopConfig {
+                arrival_qps: 0.5,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(light.shed, 0);
+        assert_eq!(light.digest, a.digest);
     }
 }

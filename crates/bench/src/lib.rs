@@ -22,9 +22,9 @@ use pspp_optimizer::dse::{ActiveLearner, DesignSpace, Param, RandomSearch};
 use pspp_optimizer::forest::RandomForest;
 
 /// Names of all experiments, in order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Runs one experiment by name.
@@ -50,6 +50,7 @@ pub fn run(name: &str) -> Result<String> {
         "e14" => e14_operators(),
         "e15" => e15_cost_model(),
         "e16" => e16_service(),
+        "e17" => e17_sharding(),
         other => Err(pspp_common::Error::Config(format!(
             "unknown experiment {other}; known: {ALL:?}"
         ))),
@@ -930,6 +931,173 @@ pub fn e16_service() -> Result<String> {
     if speedup8 < 2.0 {
         return Err(pspp_common::Error::Execution(format!(
             "8-worker speedup {speedup8:.2}x below the 2x acceptance floor"
+        )));
+    }
+    Ok(out)
+}
+
+/// The `repro --open-loop` table: the open-loop (arrival-rate) driver
+/// over one shared system, sweeping offered load through saturation so
+/// the `Reject` admission policy sheds — the deterministic counterpart
+/// of E16's closed-loop scaling.
+pub fn open_loop_table() -> Result<String> {
+    let mut out = String::from(
+        "open-loop driver: arrival-rate sweep, Reject admission (workers=2, depth=4)\n\
+         arrival_qps  offered  admitted  shed  shed%  goodput_qps  mean_wait_ms\n",
+    );
+    let system = Arc::new(clinical_system(
+        OptLevel::L2,
+        AcceleratorFleet::workstation(),
+        300,
+    )?);
+    let mut previous_shed = 0usize;
+    let mut top_shed = 0usize;
+    let mut reject_fired = false;
+    for arrival_qps in [100.0, 1_000.0, 10_000.0, 100_000.0] {
+        let r = driver::run_open_loop(
+            &system,
+            &driver::OpenLoopConfig {
+                queries: 64,
+                arrival_qps,
+                workers: 2,
+                queue_depth: 4,
+                seed: 2019,
+            },
+        )?;
+        // The raw rejection count is machine-dependent (burst-phase
+        // timing), so the table only reports whether the path fired —
+        // keeping `repro --open-loop` output diffable across runs.
+        reject_fired |= r.real_rejections > 0;
+        writeln!(
+            out,
+            "{arrival_qps:<12} {:>7} {:>9} {:>5} {:>5.0} {:>12.0} {:>13.3}",
+            r.offered,
+            r.admitted,
+            r.shed,
+            r.shed_rate * 100.0,
+            r.goodput_qps,
+            r.mean_wait_seconds * 1e3,
+        )
+        .ok();
+        if r.shed < previous_shed {
+            return Err(pspp_common::Error::Execution(format!(
+                "shed count fell from {previous_shed} to {} as offered load rose",
+                r.shed
+            )));
+        }
+        previous_shed = r.shed;
+        top_shed = r.shed;
+    }
+    writeln!(
+        out,
+        "shape check: shed rate is non-decreasing in offered load, the top rate \
+         sheds ({top_shed}/64), and the burst phase observed genuine \
+         Error::Overloaded rejections: {}",
+        if reject_fired { "yes" } else { "no" }
+    )
+    .ok();
+    if top_shed == 0 {
+        return Err(pspp_common::Error::Execution(
+            "saturating arrival rate shed nothing; Reject policy untested".into(),
+        ));
+    }
+    Ok(out)
+}
+
+/// E17: sharded engine registry — the partitioned-scan workload at
+/// 1/2/4 shard replicas must produce byte-identical digests (range
+/// scatter-gather reproduces the unsharded row order exactly) while
+/// the simulated scan throughput scales with the replica count
+/// (acceptance floor: >= 1.8x at 4 shards).
+pub fn e17_sharding() -> Result<String> {
+    use pspp_common::TableRef;
+
+    let mut out = String::from(
+        "E17 sharded registry: scatter-gather scans over engine replicas\n\
+         shards  scan_us  scan_Mrows/s  workload_ms  digest\n",
+    );
+    // The scan-throughput probe: one near-full-table scan node.
+    let scan_query = "SELECT pid, age, los FROM admissions WHERE age >= 21";
+    // The partitioned-scan workload the digest covers: scans, a
+    // cross-engine join over two partitioned tables, sort and
+    // aggregation downstream of sharded scans.
+    let workload = [
+        scan_query,
+        "SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date",
+        "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
+         WHERE age >= 80",
+        "SELECT count(*) AS n FROM admissions",
+        "SELECT pid, los FROM admissions WHERE los >= 5.0 ORDER BY los DESC LIMIT 20",
+    ];
+    let patients = 2_000usize;
+    let mut reference: Option<u64> = None;
+    let mut scan_seconds_by_shards = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let system = Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients,
+            vitals_per_patient: 4,
+            seed: 2019,
+        }))
+        .accelerators(AcceleratorFleet::workstation())
+        .opt_level(OptLevel::L2)
+        .shards(shards)
+        .build()?;
+
+        // Scan time: the simulated seconds of the probe's scan nodes.
+        let mut program = system.compile_sql(scan_query)?;
+        system.optimize(&mut program)?;
+        let probe = system.execute(&program)?;
+        let scan_seconds: f64 = program
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Operator::Scan { .. }))
+            .filter_map(|n| probe.node_seconds.get(&n.id))
+            .sum();
+        scan_seconds_by_shards.push(scan_seconds);
+
+        let mut digest = driver::FNV_OFFSET;
+        let mut workload_ms = 0.0;
+        for q in workload {
+            let r = system.run_sql(q)?;
+            digest = driver::fnv1a(format!("{:?}", r.execution.outputs).as_bytes(), digest);
+            workload_ms += r.makespan() * 1e3;
+        }
+        let spec = system
+            .registry()
+            .partition(&TableRef::new("db1", "admissions"));
+        if shards > 1 && spec.map(pspp_common::PartitionSpec::shard_count) != Some(shards) {
+            return Err(pspp_common::Error::Execution(format!(
+                "admissions not partitioned {shards} ways: {spec:?}"
+            )));
+        }
+        writeln!(
+            out,
+            "{shards:<7} {:>8.3} {:>12.2} {:>12.3}  {digest:016x}",
+            scan_seconds * 1e6,
+            patients as f64 / scan_seconds.max(f64::MIN_POSITIVE) / 1e6,
+            workload_ms
+        )
+        .ok();
+        match reference {
+            None => reference = Some(digest),
+            Some(expected) if digest != expected => {
+                return Err(pspp_common::Error::Execution(format!(
+                    "digests diverged at {shards} shards: {digest:016x} vs {expected:016x}"
+                )));
+            }
+            Some(_) => {}
+        }
+    }
+    let speedup4 = scan_seconds_by_shards[0] / scan_seconds_by_shards[2].max(f64::MIN_POSITIVE);
+    writeln!(
+        out,
+        "shape check: byte-identical digests at 1/2/4 shards; 4-shard simulated scan \
+         throughput {speedup4:.2}x the single-shard baseline (target >= 1.8x)"
+    )
+    .ok();
+    if speedup4 < 1.8 {
+        return Err(pspp_common::Error::Execution(format!(
+            "4-shard scan speedup {speedup4:.2}x below the 1.8x acceptance floor"
         )));
     }
     Ok(out)

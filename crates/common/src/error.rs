@@ -38,6 +38,8 @@ pub enum Error {
     Invalid(String),
     /// The query service shed load: admission queue full or shut down.
     Overloaded(String),
+    /// A partition spec or shard route resolved to zero shards.
+    EmptyShardSet(String),
 }
 
 impl fmt::Display for Error {
@@ -57,6 +59,7 @@ impl fmt::Display for Error {
             Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
             Error::Invalid(m) => write!(f, "invalid operation: {m}"),
             Error::Overloaded(m) => write!(f, "service overloaded: {m}"),
+            Error::EmptyShardSet(m) => write!(f, "empty shard set: {m}"),
         }
     }
 }

@@ -45,7 +45,7 @@ impl From<String> for EngineId {
 
 /// A fully qualified reference to a dataset: which engine holds it and its
 /// name inside that engine.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TableRef {
     /// Hosting engine.
     pub engine: EngineId,

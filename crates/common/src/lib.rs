@@ -30,6 +30,7 @@ pub mod device;
 pub mod error;
 pub mod ids;
 pub mod model;
+pub mod partition;
 pub mod predicate;
 pub mod rng;
 pub mod row;
@@ -41,6 +42,7 @@ pub use device::DeviceKind;
 pub use error::{Error, Result};
 pub use ids::{EngineId, TableRef};
 pub use model::{DataModel, EngineKind};
+pub use partition::{PartitionSpec, ShardId};
 pub use predicate::Predicate;
 pub use rng::SplitMix64;
 pub use row::Row;

@@ -8,7 +8,9 @@
 
 use std::collections::HashMap;
 
-use pspp_common::{row, DataType, EngineId, Result, Row, Schema, SplitMix64, TableRef, Value};
+use pspp_common::{
+    row, DataType, EngineId, PartitionSpec, Result, Row, Schema, SplitMix64, TableRef, Value,
+};
 use pspp_frontend::nlq::ClinicalNames;
 use pspp_frontend::Catalog;
 use pspp_graphstore::GraphStore;
@@ -226,6 +228,24 @@ pub fn clinical(config: &ClinicalConfig) -> Deployment {
         },
     );
 
+    // Partition declarations: both relational tables key on `pid`.
+    // Rows are generated in ascending pid order, so a range partition's
+    // shard-ordered gather reproduces the unsharded row order exactly —
+    // the spec stays a single shard until `PolystoreBuilder::shards(n)`
+    // scales it out and redistributes the rows.
+    catalog
+        .set_partition(
+            TableRef::new("db1", "admissions"),
+            PartitionSpec::range("pid", Vec::new()),
+        )
+        .expect("valid spec");
+    catalog
+        .set_partition(
+            TableRef::new("db2", "patients"),
+            PartitionSpec::range("pid", Vec::new()),
+        )
+        .expect("valid spec");
+
     // ---- registry ----
     let mut registry = EngineRegistry::new();
     registry
@@ -372,6 +392,21 @@ pub fn recommendation(config: &RecommendationConfig) -> Deployment {
         },
     );
 
+    // Partition declarations: customers range on cid (generated in
+    // ascending cid order), transactions colocated by hash on cid.
+    catalog
+        .set_partition(
+            TableRef::new("rdbms", "customers"),
+            PartitionSpec::range("cid", Vec::new()),
+        )
+        .expect("valid spec");
+    catalog
+        .set_partition(
+            TableRef::new("rdbms", "transactions"),
+            PartitionSpec::hash("cid", 1),
+        )
+        .expect("valid spec");
+
     let mut registry = EngineRegistry::new();
     registry
         .register(EngineId::new("rdbms"), EngineInstance::Relational(rdbms))
@@ -389,6 +424,20 @@ pub fn recommendation(config: &RecommendationConfig) -> Deployment {
         stats,
         clinical_names: ClinicalNames::default(),
     }
+}
+
+/// Balanced range-partition split points for `shards` shards over a
+/// *sorted* value list: the values at even ranks, so each shard holds
+/// roughly `len / shards` rows. Fewer than `shards - 1` distinct split
+/// points (duplicates, tiny tables) leave some shards empty but never
+/// lose rows.
+pub fn range_split_points(sorted: &[Value], shards: usize) -> Vec<Value> {
+    if shards <= 1 || sorted.is_empty() {
+        return Vec::new();
+    }
+    (1..shards)
+        .map(|i| sorted[i * sorted.len() / shards].clone())
+        .collect()
 }
 
 /// Generates the PipeGen row shape — 4 ints + 3 doubles per row

@@ -40,9 +40,10 @@ pub mod prelude {
     pub use crate::datagen::{self, ClinicalConfig, Deployment, RecommendationConfig};
     pub use crate::system::{Polystore, PolystoreBuilder, RunReport};
     pub use pspp_accel::{AcceleratorFleet, CostLedger, DeviceKind, DeviceProfile, KernelClass};
+    pub use pspp_common::{PartitionSpec, ShardId, TableRef};
     pub use pspp_frontend::{Catalog, HeterogeneousProgram, Language};
     pub use pspp_ir::{Operator, Program};
     pub use pspp_migrate::{MigrationPath, Migrator};
     pub use pspp_optimizer::{OptLevel, TableStats};
-    pub use pspp_runtime::{Dataset, EngineInstance, EngineRegistry, Executor};
+    pub use pspp_runtime::{Dataset, EngineInstance, EngineRegistry, Executor, ShardedRegistry};
 }

@@ -2,7 +2,7 @@
 //! optimization and execution in one object (Fig. 4).
 
 use pspp_accel::{AcceleratorFleet, CostLedger, CostSummary};
-use pspp_common::Result;
+use pspp_common::{PartitionSpec, Result, TableRef, Value};
 use pspp_frontend::nlq::{self, ClinicalNames};
 use pspp_frontend::{sql, Catalog, HeterogeneousProgram};
 use pspp_ir::Program;
@@ -10,7 +10,7 @@ use pspp_migrate::MigrationPath;
 use pspp_optimizer::{optimize_l1, CostModel, OptLevel, PlacementPlan, RewriteReport};
 use pspp_runtime::{EngineRegistry, ExecutionReport, Executor};
 
-use crate::datagen::Deployment;
+use crate::datagen::{self, Deployment};
 
 /// Everything a run produces: results, plan info, and simulated costs.
 #[derive(Debug, Clone)]
@@ -40,12 +40,30 @@ pub struct PolystoreBuilder {
     opt_level: OptLevel,
     migration_path: MigrationPath,
     parallel: bool,
+    shards: usize,
+    partitions: Vec<(TableRef, PartitionSpec)>,
 }
 
 impl PolystoreBuilder {
     /// Attaches an accelerator fleet (default: CPU only).
     pub fn accelerators(mut self, fleet: AcceleratorFleet) -> Self {
         self.fleet = fleet;
+        self
+    }
+
+    /// Deploys every partition-declared table across `n` shard
+    /// replicas (default: 1, unsharded). Hash and replicated specs
+    /// rescale their shard count; range specs re-derive balanced split
+    /// points from the deployment's actual data.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Declares (or overrides) one table's partition spec, in addition
+    /// to the specs the deployment's catalog already carries.
+    pub fn partition(mut self, table: TableRef, spec: PartitionSpec) -> Self {
+        self.partitions.push((table, spec));
         self
     }
 
@@ -69,12 +87,40 @@ impl PolystoreBuilder {
         self
     }
 
-    /// Finalizes the system.
+    /// Finalizes the system, materializing partition specs: every
+    /// declared partition with more than one shard redistributes its
+    /// table's rows across engine replicas by partition key.
     ///
     /// # Errors
     ///
-    /// Reserved for configuration validation; currently infallible.
-    pub fn build(self) -> Result<Polystore> {
+    /// Returns typed errors for invalid partition specs (unknown
+    /// table/engine, kind mismatch, empty shard set, conflicting
+    /// replica counts).
+    pub fn build(mut self) -> Result<Polystore> {
+        // Catalog-declared specs first (BTreeMap order), then explicit
+        // builder overrides.
+        let mut specs: Vec<(TableRef, PartitionSpec)> = self
+            .deployment
+            .catalog
+            .partitions()
+            .map(|(t, s)| (t.clone(), s.clone()))
+            .collect();
+        for (table, spec) in std::mem::take(&mut self.partitions) {
+            match specs.iter_mut().find(|(t, _)| *t == table) {
+                Some(existing) => existing.1 = spec,
+                None => specs.push((table, spec)),
+            }
+        }
+        for (table, mut spec) in specs {
+            if self.shards > 1 {
+                spec = scale_spec(spec, self.shards, &self.deployment.registry, &table)?;
+            }
+            if spec.shard_count() > 1 {
+                self.deployment.registry.reshard(&table, spec.clone())?;
+                self.deployment.catalog.set_partition(table, spec)?;
+            }
+        }
+
         let ledger = CostLedger::new();
         let cost_model = CostModel::new(self.fleet.clone(), self.deployment.stats.clone());
         Ok(Polystore {
@@ -89,6 +135,31 @@ impl PolystoreBuilder {
             ledger,
         })
     }
+}
+
+/// Rescales a partition spec to `n` shards: hash/replicated specs
+/// change their count, range specs re-derive balanced split points
+/// from the partition column's current values (sorted, then split at
+/// even ranks — `datagen` distributing rows by partition key).
+fn scale_spec(
+    spec: PartitionSpec,
+    n: usize,
+    registry: &EngineRegistry,
+    table: &TableRef,
+) -> Result<PartitionSpec> {
+    Ok(match spec {
+        PartitionSpec::Hash { column, .. } => PartitionSpec::hash(column, n as u32),
+        PartitionSpec::Replicated { .. } => PartitionSpec::replicated(n as u32),
+        range @ PartitionSpec::Range { .. } if range.shard_count() == n => range,
+        PartitionSpec::Range { column, .. } => {
+            let store = registry.relational(&table.engine)?;
+            let t = store.table(&table.name)?;
+            let idx = t.schema().require(&column)?;
+            let mut values: Vec<Value> = t.rows().iter().map(|r| r[idx].clone()).collect();
+            values.sort();
+            PartitionSpec::range(column, datagen::range_split_points(&values, n))
+        }
+    })
 }
 
 /// A configured Polystore++ system.
@@ -114,24 +185,20 @@ impl Polystore {
             opt_level: OptLevel::L2,
             migration_path: MigrationPath::BinaryPipe,
             parallel: true,
+            shards: 1,
+            partitions: Vec::new(),
         }
     }
 
     /// Alias for [`Polystore::from_deployment`], reading as a builder
     /// entry point.
     pub fn builder() -> PolystoreBuilder {
-        PolystoreBuilder {
-            deployment: Deployment {
-                registry: EngineRegistry::new(),
-                catalog: Catalog::new(),
-                stats: std::collections::HashMap::new(),
-                clinical_names: ClinicalNames::default(),
-            },
-            fleet: AcceleratorFleet::cpu_only(),
-            opt_level: OptLevel::L2,
-            migration_path: MigrationPath::BinaryPipe,
-            parallel: true,
-        }
+        Polystore::from_deployment(Deployment {
+            registry: EngineRegistry::new(),
+            catalog: Catalog::new(),
+            stats: std::collections::HashMap::new(),
+            clinical_names: ClinicalNames::default(),
+        })
     }
 
     /// The shared simulated-cost ledger.
@@ -318,7 +385,7 @@ impl Polystore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::datagen::{self, ClinicalConfig};
+    use crate::datagen::{self, ClinicalConfig, RecommendationConfig};
     use pspp_frontend::Language;
 
     fn system(level: OptLevel) -> Polystore {
@@ -384,6 +451,143 @@ mod tests {
         // The program output is the trained model dataset.
         assert!(report.execution.outputs[0].try_model().is_ok());
         assert!(report.execution.offloaded > 0);
+    }
+
+    fn sharded_system(shards: usize) -> Polystore {
+        Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients: 120,
+            vitals_per_patient: 8,
+            seed: 11,
+        }))
+        .accelerators(AcceleratorFleet::workstation())
+        .opt_level(OptLevel::L2)
+        .shards(shards)
+        .build()
+        .expect("valid config")
+    }
+
+    #[test]
+    fn sharded_build_distributes_rows_and_routes_scans() {
+        let s = sharded_system(4);
+        assert_eq!(
+            s.registry().shard_count(&pspp_common::EngineId::new("db1")),
+            4
+        );
+        let spec = s
+            .registry()
+            .partition(&TableRef::new("db1", "admissions"))
+            .expect("partitioned");
+        assert_eq!(spec.shard_count(), 4);
+        // The catalog reflects the materialized spec too.
+        assert_eq!(
+            s.catalog().partition(&TableRef::new("db1", "admissions")),
+            Some(spec)
+        );
+        let mut total = 0;
+        for shard in 0..4u32 {
+            total += s
+                .registry()
+                .relational_shard(
+                    &pspp_common::EngineId::new("db1"),
+                    pspp_common::ShardId(shard),
+                )
+                .unwrap()
+                .table("admissions")
+                .unwrap()
+                .len();
+        }
+        assert_eq!(total, 120, "no rows lost or duplicated");
+    }
+
+    #[test]
+    fn sharded_queries_are_bit_identical_and_faster() {
+        let queries = [
+            "SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date",
+            "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
+             WHERE age >= 65",
+            "SELECT count(*) AS n FROM admissions",
+        ];
+        let flat = sharded_system(1);
+        let sharded = sharded_system(4);
+        let mut flat_scan_ms = 0.0;
+        let mut sharded_scan_ms = 0.0;
+        for q in queries {
+            let a = flat.run_sql(q).unwrap();
+            let b = sharded.run_sql(q).unwrap();
+            assert_eq!(a.execution.outputs.len(), b.execution.outputs.len());
+            assert!(!a.execution.outputs.is_empty());
+            for (x, y) in a.execution.outputs.iter().zip(&b.execution.outputs) {
+                assert_eq!(
+                    x.try_rows().unwrap(),
+                    y.try_rows().unwrap(),
+                    "sharded results must be bit-identical for {q}"
+                );
+            }
+            flat_scan_ms += a.makespan();
+            sharded_scan_ms += b.makespan();
+        }
+        assert!(
+            sharded_scan_ms < flat_scan_ms,
+            "scatter-gather should cut simulated makespan \
+             ({sharded_scan_ms} vs {flat_scan_ms})"
+        );
+    }
+
+    #[test]
+    fn resharding_two_tables_on_one_engine_duplicates_nothing() {
+        // Regression: the recommendation deployment partitions both
+        // rdbms tables; the second reshard must not concatenate the
+        // whole-table clones the first reshard's expansion created.
+        let flat =
+            Polystore::from_deployment(datagen::recommendation(&RecommendationConfig::default()))
+                .build()
+                .unwrap();
+        let sharded =
+            Polystore::from_deployment(datagen::recommendation(&RecommendationConfig::default()))
+                .shards(2)
+                .build()
+                .unwrap();
+        for q in [
+            "SELECT count(*) AS n FROM customers",
+            "SELECT count(*) AS n FROM transactions",
+        ] {
+            assert_eq!(
+                flat.run_sql(q).unwrap().execution.outputs[0]
+                    .try_rows()
+                    .unwrap(),
+                sharded.run_sql(q).unwrap().execution.outputs[0]
+                    .try_rows()
+                    .unwrap(),
+                "{q} diverged between flat and 2-shard deployments"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_partition_override_wins() {
+        let s = Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients: 60,
+            vitals_per_patient: 4,
+            seed: 5,
+        }))
+        .partition(
+            TableRef::new("db1", "admissions"),
+            PartitionSpec::hash("pid", 3),
+        )
+        .build()
+        .unwrap();
+        assert_eq!(
+            s.registry()
+                .partition(&TableRef::new("db1", "admissions"))
+                .map(PartitionSpec::shard_count),
+            Some(3)
+        );
+        // Aggregates stay correct over hash shards.
+        let r = s.run_sql("SELECT count(*) AS n FROM admissions").unwrap();
+        assert_eq!(
+            r.execution.outputs[0].try_rows().unwrap()[0][0],
+            pspp_common::Value::Int(60)
+        );
     }
 
     #[test]

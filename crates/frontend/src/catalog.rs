@@ -1,15 +1,17 @@
 //! The deployment catalog: which engine holds which dataset, with what
 //! schema (the EIDE "configuration parameters ... location, type, and
-//! schema" of §III).
+//! schema" of §III) — and, for partitioned tables, the
+//! [`PartitionSpec`] describing how rows spread across shard replicas.
 
 use std::collections::BTreeMap;
 
-use pspp_common::{Error, Result, Schema, TableRef};
+use pspp_common::{Error, PartitionSpec, Result, Schema, TableRef};
 
 /// Name resolution and schema lookup for frontends and the optimizer.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, (TableRef, Schema)>,
+    partitions: BTreeMap<TableRef, PartitionSpec>,
 }
 
 impl Catalog {
@@ -47,6 +49,33 @@ impl Catalog {
         Ok(&self.resolve(name)?.1)
     }
 
+    /// Declares how `table` is partitioned across shard replicas. The
+    /// system builder materializes the spec at deployment time
+    /// (redistributing rows by partition key) and copies it into the
+    /// sharded registry, which is the runtime source of truth for
+    /// scatter-gather routing — a registry-level `reshard` after build
+    /// supersedes (and may diverge from) this declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyShardSet`]/[`Error::Config`] for invalid
+    /// specs.
+    pub fn set_partition(&mut self, table: TableRef, spec: PartitionSpec) -> Result<()> {
+        spec.validate()?;
+        self.partitions.insert(table, spec);
+        Ok(())
+    }
+
+    /// The partition spec of `table`, when declared.
+    pub fn partition(&self, table: &TableRef) -> Option<&PartitionSpec> {
+        self.partitions.get(table)
+    }
+
+    /// All declared partitions, in table order.
+    pub fn partitions(&self) -> impl Iterator<Item = (&TableRef, &PartitionSpec)> {
+        self.partitions.iter()
+    }
+
     /// All registered unqualified names.
     pub fn names(&self) -> Vec<&str> {
         self.tables
@@ -73,5 +102,18 @@ mod tests {
         assert_eq!(c.resolve("db1.t").unwrap().0.name, "t");
         assert!(c.resolve("zzz").is_err());
         assert_eq!(c.names(), vec!["t"]);
+    }
+
+    #[test]
+    fn partition_specs_round_trip() {
+        let mut c = Catalog::new();
+        let t = TableRef::new("db1", "t");
+        c.register(t.clone(), Schema::new(vec![("a", DataType::Int)]));
+        assert!(c.partition(&t).is_none());
+        c.set_partition(t.clone(), PartitionSpec::hash("a", 4))
+            .unwrap();
+        assert_eq!(c.partition(&t), Some(&PartitionSpec::hash("a", 4)));
+        assert_eq!(c.partitions().count(), 1);
+        assert!(c.set_partition(t, PartitionSpec::hash("a", 0)).is_err());
     }
 }

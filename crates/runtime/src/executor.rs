@@ -7,22 +7,26 @@
 //! each node runs and migrates foreign inputs there; the
 //! [`Charger`](crate::physical::Charger) posts simulated costs. The
 //! loop walks the program's topological stages and runs each stage's
-//! independent nodes concurrently (one `std::thread::scope` worker per
-//! node), so the pipelined makespan model is backed by real wall-clock
-//! parallelism.
+//! independent tasks concurrently (one `std::thread::scope` worker per
+//! task), so the pipelined makespan model is backed by real wall-clock
+//! parallelism. A task is one (node, shard) pair: a scan over a table
+//! partitioned across N shard replicas scatters into N tasks whose
+//! partial results gather back in shard order (deterministic
+//! scatter-gather), while unsharded nodes stay single tasks on shard 0.
 //!
-//! Parallel and sequential modes are bit-identical: every node executes
-//! against a private scoped ledger, and the loop merges node results
-//! and cost events back in node-id order after each stage joins.
+//! Parallel and sequential modes are bit-identical: every task executes
+//! against a private scoped ledger, and the loop merges shard partials
+//! in shard order and node results in node-id order after each stage
+//! joins.
 
 use std::collections::HashMap;
 
 use pspp_accel::{AcceleratorFleet, CostLedger};
-use pspp_common::{DeviceKind, Error, Result};
+use pspp_common::{DeviceKind, Error, Result, ShardId};
 use pspp_ir::{NodeId, Program, Stage};
 use pspp_migrate::{MigrationPath, Migrator};
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, Payload};
 use crate::physical::{AdapterRegistry, Charger, ExecCtx, Placer};
 use crate::registry::EngineRegistry;
 
@@ -59,7 +63,7 @@ impl ExecutionReport {
     }
 }
 
-/// Everything one node's execution produced, staged for deterministic
+/// Everything one (node, shard) task produced, staged for deterministic
 /// merging after its stage joins.
 #[derive(Debug)]
 struct NodeRun {
@@ -71,8 +75,31 @@ struct NodeRun {
     migration_seconds: f64,
     /// Whether the node ran on an attached accelerator.
     offloaded: bool,
-    /// Cost events from the node's scoped ledger, in posting order.
+    /// Cost events from the task's scoped ledger, in posting order.
     events: Vec<pspp_accel::CostEvent>,
+}
+
+impl NodeRun {
+    /// Folds the next shard's partial into this run (shard-ordered
+    /// gather): rows concatenate in shard order, simulated execution
+    /// time is the slowest replica (shards run on distinct engine
+    /// replicas in parallel), migration and cost events accumulate.
+    fn absorb(&mut self, next: NodeRun) -> Result<()> {
+        let (Payload::Rows { rows, .. }, Payload::Rows { rows: more, .. }) =
+            (&mut self.output.payload, next.output.payload)
+        else {
+            return Err(Error::Execution(format!(
+                "sharded node {} produced a non-row partial",
+                self.id
+            )));
+        };
+        rows.extend(more);
+        self.exec_seconds = self.exec_seconds.max(next.exec_seconds);
+        self.migration_seconds += next.migration_seconds;
+        self.offloaded |= next.offloaded;
+        self.events.extend(next.events);
+        Ok(())
+    }
 }
 
 /// The middleware executor.
@@ -222,10 +249,11 @@ impl Executor {
         })
     }
 
-    /// Runs one stage's compute nodes, in parallel when enabled and the
-    /// stage has at least two of them. Returns runs in node-id order
-    /// with the first (by node order) error propagated, independent of
-    /// thread scheduling.
+    /// Runs one stage's compute nodes as a scatter-gather task set: one
+    /// task per (node, shard replica), in parallel when enabled and the
+    /// stage has at least two tasks. Per-shard partials merge back in
+    /// shard order and nodes return in node-id order with the first (by
+    /// task order) error propagated, independent of thread scheduling.
     fn run_stage(
         &self,
         program: &Program,
@@ -233,11 +261,21 @@ impl Executor {
         results: &HashMap<NodeId, Dataset>,
         registry: &EngineRegistry,
     ) -> Result<Vec<NodeRun>> {
-        if self.parallel && compute.len() > 1 {
+        // The scatter plan: a partitioned source node contributes one
+        // task per shard replica; everything else a single shard-0 task.
+        let mut tasks: Vec<(NodeId, ShardId)> = Vec::new();
+        for &id in compute {
+            for shard in self.placer.scatter_shards(program.node(id), registry)? {
+                tasks.push((id, shard));
+            }
+        }
+        let runs: Vec<Result<NodeRun>> = if self.parallel && tasks.len() > 1 {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = compute
+                let handles: Vec<_> = tasks
                     .iter()
-                    .map(|&id| scope.spawn(move || self.run_node(program, id, results, registry)))
+                    .map(|&(id, shard)| {
+                        scope.spawn(move || self.run_node(program, id, shard, results, registry))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -248,19 +286,32 @@ impl Executor {
                     .collect()
             })
         } else {
-            compute
+            tasks
                 .iter()
-                .map(|&id| self.run_node(program, id, results, registry))
+                .map(|&(id, shard)| self.run_node(program, id, shard, results, registry))
                 .collect()
+        };
+        // Gather: merge each node's shard partials in shard order (task
+        // order is node-major, shard-minor), surfacing the first error.
+        let mut merged: Vec<NodeRun> = Vec::with_capacity(compute.len());
+        for (&(id, _), run) in tasks.iter().zip(runs) {
+            let run = run?;
+            match merged.last_mut() {
+                Some(prev) if prev.id == id => prev.absorb(run)?,
+                _ => merged.push(run),
+            }
         }
+        Ok(merged)
     }
 
-    /// Executes one node against a private scoped ledger: placement,
-    /// input migration, adapter dispatch, and cost attribution.
+    /// Executes one (node, shard) task against a private scoped ledger:
+    /// placement, input migration, adapter dispatch, and cost
+    /// attribution — migration and kernel charges post per shard.
     fn run_node(
         &self,
         program: &Program,
         id: NodeId,
+        shard: ShardId,
         results: &HashMap<NodeId, Dataset>,
         registry: &EngineRegistry,
     ) -> Result<NodeRun> {
@@ -275,7 +326,7 @@ impl Executor {
         } else {
             DeviceKind::Cpu
         };
-        let ctx = ExecCtx::new(&self.fleet, &scoped_ledger, self.offload);
+        let ctx = ExecCtx::new(&self.fleet, &scoped_ledger, self.offload).at_shard(shard);
         let output = self
             .adapters
             .dispatch(&node.op, &inputs, target.as_ref(), registry, &ctx)?;
@@ -661,6 +712,114 @@ mod tests {
             "parallel and sequential runs must charge identical totals"
         );
         assert_eq!(parallel.ledger().events(), sequential.ledger().events());
+    }
+
+    #[test]
+    fn sharded_scan_gathers_identical_rows_and_cuts_scan_time() {
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        p.mark_output(s);
+        let flat = registry();
+        let base = exec().execute(&p, &flat).unwrap();
+
+        let mut sharded = registry();
+        sharded
+            .reshard(
+                &TableRef::new("db1", "admissions"),
+                pspp_common::PartitionSpec::range(
+                    "pid",
+                    vec![50i64.into(), 100i64.into(), 150i64.into()],
+                ),
+            )
+            .unwrap();
+        let report = exec().execute(&p, &sharded).unwrap();
+        assert_eq!(
+            report.outputs[0].try_rows().unwrap(),
+            base.outputs[0].try_rows().unwrap(),
+            "range scatter-gather reproduces the unsharded scan bit-for-bit"
+        );
+        assert!(
+            report.node_seconds[&s] < base.node_seconds[&s],
+            "4 parallel shard replicas must beat one ({} vs {})",
+            report.node_seconds[&s],
+            base.node_seconds[&s]
+        );
+
+        let seq = exec().parallel(false).execute(&p, &sharded).unwrap();
+        assert_eq!(
+            report.outputs[0].try_rows().unwrap(),
+            seq.outputs[0].try_rows().unwrap()
+        );
+        assert_eq!(report.node_seconds, seq.node_seconds);
+    }
+
+    #[test]
+    fn hash_sharded_join_preserves_results() {
+        let mut sharded = registry();
+        sharded
+            .reshard(
+                &TableRef::new("db1", "admissions"),
+                pspp_common::PartitionSpec::hash("pid", 2),
+            )
+            .unwrap();
+        sharded
+            .reshard(
+                &TableRef::new("db2", "patients"),
+                pspp_common::PartitionSpec::hash("pid", 2),
+            )
+            .unwrap();
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "patients")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: "pid".into(),
+                right_on: "pid".into(),
+            },
+            vec![a, b],
+            "sql",
+        );
+        p.node_mut(j).annotations.engine = Some(EngineId::new("db1"));
+        p.mark_output(j);
+        let report = exec().execute(&p, &sharded).unwrap();
+        assert_eq!(report.outputs[0].len(), 200, "every pid still joins");
+        assert!(report.migration_seconds > 0.0);
+    }
+
+    #[test]
+    fn annotated_scan_of_partitioned_table_still_reads_every_shard() {
+        // Regression: an optimizer annotation diverting a scan node to
+        // another engine must not narrow the read to shard 0 of the
+        // table's home (which holds only a fraction of the rows).
+        let mut sharded = registry();
+        sharded
+            .reshard(
+                &TableRef::new("db1", "admissions"),
+                pspp_common::PartitionSpec::hash("pid", 4),
+            )
+            .unwrap();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        p.node_mut(s).annotations.engine = Some(EngineId::new("db2"));
+        p.mark_output(s);
+        let report = exec().execute(&p, &sharded).unwrap();
+        assert_eq!(report.outputs[0].len(), 200, "rows silently dropped");
+    }
+
+    #[test]
+    fn replicated_table_reads_one_replica() {
+        let mut sharded = registry();
+        sharded
+            .reshard(
+                &TableRef::new("db1", "admissions"),
+                pspp_common::PartitionSpec::replicated(3),
+            )
+            .unwrap();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        p.mark_output(s);
+        let report = exec().execute(&p, &sharded).unwrap();
+        assert_eq!(report.outputs[0].len(), 200, "no duplicate rows gathered");
     }
 
     #[test]

@@ -2,20 +2,22 @@
 //!
 //! * [`Dataset`] — data flowing between operators: rows plus their data
 //!   model and current engine location.
-//! * [`EngineRegistry`] — the deployed engine instances (Fig. 4's server
-//!   pools).
+//! * [`ShardedRegistry`] — the deployed engine instances (Fig. 4's
+//!   server pools), each an ordered list of shard replicas; partitioned
+//!   tables carry a [`pspp_common::PartitionSpec`] routing scans to
+//!   their shards ([`EngineRegistry`] remains the single-shard alias).
 //! * [`physical`] — the physical execution layer: the
 //!   [`EngineAdapter`] boundary (one adapter per engine kind plus the
 //!   ML adapter), the [`Placer`] (target-engine resolution and
 //!   cross-engine migration accounting) and the
 //!   [`physical::Charger`] (simulated cost attribution).
 //! * [`Executor`] — the orchestration loop: walks an annotated IR
-//!   program in topological stages, runs each stage's independent
-//!   nodes concurrently via scoped threads, dispatches every operator
-//!   through the adapter registry, and accounts the simulated makespan
-//!   both sequentially and pipelined (§IV-D: "the whole workload
-//!   execution can be perceived as a pipeline of the stages'
-//!   execution").
+//!   program in topological stages, scatters each stage into (node,
+//!   shard) tasks run concurrently via scoped threads, gathers shard
+//!   partials in shard order, dispatches every operator through the
+//!   adapter registry, and accounts the simulated makespan both
+//!   sequentially and pipelined (§IV-D: "the whole workload execution
+//!   can be perceived as a pipeline of the stages' execution").
 
 pub mod dataset;
 pub mod executor;
@@ -25,4 +27,4 @@ pub mod registry;
 pub use dataset::{Dataset, Payload};
 pub use executor::{ExecutionReport, Executor};
 pub use physical::{AdapterRegistry, Charger, EngineAdapter, ExecCtx, Placer};
-pub use registry::{EngineInstance, EngineRegistry};
+pub use registry::{EngineInstance, EngineRegistry, ShardedRegistry};

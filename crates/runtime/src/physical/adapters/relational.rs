@@ -41,7 +41,7 @@ impl EngineAdapter for RelationalAdapter {
         inputs: &[Dataset],
         target: Option<&EngineId>,
         registry: &EngineRegistry,
-        _ctx: &ExecCtx<'_>,
+        ctx: &ExecCtx<'_>,
     ) -> Result<Dataset> {
         let loc = |d: &Dataset| d.location.clone();
         match op {
@@ -50,7 +50,9 @@ impl EngineAdapter for RelationalAdapter {
                 predicate,
                 projection,
             } => {
-                let store = registry.relational(&table.engine)?;
+                // Scatter-gather scans read the shard replica the
+                // executor routed this task to (shard 0 when unsharded).
+                let store = registry.relational_shard(&table.engine, ctx.shard())?;
                 let cols: Option<Vec<&str>> = projection
                     .as_ref()
                     .map(|p| p.iter().map(String::as_str).collect());

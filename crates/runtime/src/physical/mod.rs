@@ -38,25 +38,41 @@ pub use charger::Charger;
 pub use placer::Placer;
 
 use pspp_accel::{AcceleratorFleet, CostLedger, DeviceProfile, KernelClass};
+use pspp_common::ShardId;
 
 /// Everything an adapter may consult while running one operator: the
-/// accelerator fleet, the (node-scoped) cost ledger, and whether device
-/// offload is enabled for this run.
+/// accelerator fleet, the (task-scoped) cost ledger, whether device
+/// offload is enabled for this run, and which shard replica the task
+/// addresses.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecCtx<'a> {
     fleet: &'a AcceleratorFleet,
     ledger: &'a CostLedger,
     offload: bool,
+    shard: ShardId,
 }
 
 impl<'a> ExecCtx<'a> {
-    /// A context over `fleet`, posting to `ledger`.
+    /// A context over `fleet`, posting to `ledger`, addressing shard 0.
     pub fn new(fleet: &'a AcceleratorFleet, ledger: &'a CostLedger, offload: bool) -> Self {
         ExecCtx {
             fleet,
             ledger,
             offload,
+            shard: ShardId::ZERO,
         }
+    }
+
+    /// This context redirected at one shard replica — the executor
+    /// builds one per scatter-gather task.
+    pub fn at_shard(mut self, shard: ShardId) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// The shard replica source operators should read from.
+    pub fn shard(&self) -> ShardId {
+        self.shard
     }
 
     /// The accelerator fleet.

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use pspp_accel::CostLedger;
-use pspp_common::{Batch, EngineId, Error, Result};
+use pspp_common::{Batch, EngineId, Error, PartitionSpec, Result, ShardId};
 use pspp_ir::{NodeId, ProgramNode};
 use pspp_migrate::{MigrationPath, Migrator};
 
@@ -83,6 +83,64 @@ impl Placer {
             .first()
             .and_then(|i| results.get(i))
             .map(|d| d.location.clone())
+    }
+
+    /// The shard replicas `node` must visit: the partition spec's
+    /// scatter set for a partitioned source table, otherwise
+    /// `[ShardId::ZERO]` (unsharded work). The scatter decision follows
+    /// the table's *physical* home — source reads always hit
+    /// `table.engine`'s replicas, so an optimizer annotation diverting
+    /// the node elsewhere changes cost attribution and output routing,
+    /// never the scatter width (reading one replica of a distributed
+    /// table would silently drop rows). Filters fan out with their
+    /// scan via L1 predicate pushdown — a pushed-down predicate rides
+    /// inside the sharded `Scan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableNotFound`] when the partitioned table no
+    /// longer exists on its engine, [`Error::Invalid`] when the table's
+    /// engine is not relational (kind mismatch) or under-replicated,
+    /// and [`Error::EmptyShardSet`] when the spec yields zero shards.
+    pub fn scatter_shards(
+        &self,
+        node: &ProgramNode,
+        registry: &EngineRegistry,
+    ) -> Result<Vec<ShardId>> {
+        let Some(table) = node.op.source_table() else {
+            return Ok(vec![ShardId::ZERO]);
+        };
+        let Some(spec) = registry.partition(table) else {
+            return Ok(vec![ShardId::ZERO]);
+        };
+        // Partitioned tables must resolve on a relational engine and
+        // still exist there (typed kind-mismatch / unknown-table paths).
+        registry.relational(&table.engine)?.table(&table.name)?;
+        Self::scatter_for(spec, registry.shard_count(&table.engine))
+    }
+
+    /// The scatter set of `spec` against an engine deployed with
+    /// `replicas` shard replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyShardSet`] for zero-shard specs and
+    /// [`Error::Invalid`] when the spec needs more replicas than are
+    /// deployed.
+    pub fn scatter_for(spec: &PartitionSpec, replicas: usize) -> Result<Vec<ShardId>> {
+        let shards = spec.scatter_shards();
+        if shards.is_empty() {
+            return Err(Error::EmptyShardSet(format!(
+                "partition spec {spec} routes to no shards"
+            )));
+        }
+        if spec.shard_count() > replicas {
+            return Err(Error::Invalid(format!(
+                "partition spec {spec} needs {} replicas, engine has {replicas}",
+                spec.shard_count()
+            )));
+        }
+        Ok(shards)
     }
 
     /// Gathers `node`'s inputs from `results`, migrating every input
@@ -254,6 +312,103 @@ mod tests {
             .unwrap();
         assert_eq!(bill, MigrationBill::default());
         assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn stage_inputs_missing_input_is_typed_not_a_panic() {
+        let (p, j) = join_program();
+        let registry = two_engine_registry();
+        let placer = Placer::default();
+        // No results at all: the join's inputs are unknown.
+        let err = placer
+            .stage_inputs(p.node(j), None, &HashMap::new(), &registry)
+            .unwrap_err();
+        assert!(matches!(err, Error::Execution(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn scatter_routes_partitioned_scans_and_defaults_to_shard_zero() {
+        let mut registry = two_engine_registry();
+        registry
+            .reshard(
+                &TableRef::new("db1", "t"),
+                pspp_common::PartitionSpec::hash("k", 2),
+            )
+            .unwrap();
+        let placer = Placer::default();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "t")), "sql");
+        assert_eq!(
+            placer.scatter_shards(p.node(s), &registry).unwrap(),
+            vec![pspp_common::ShardId(0), pspp_common::ShardId(1)]
+        );
+        // Unpartitioned table: single-shard plan.
+        let s2 = p.add_source(Operator::scan(TableRef::new("db2", "t")), "sql");
+        assert_eq!(
+            placer.scatter_shards(p.node(s2), &registry).unwrap(),
+            vec![pspp_common::ShardId::ZERO]
+        );
+        // An annotation diverting the node elsewhere must NOT narrow
+        // the scatter: the read still hits every replica of the
+        // table's physical home (one replica holds a fraction of the
+        // rows).
+        let mut diverted = p.node(s).clone();
+        diverted.annotations.engine = Some(EngineId::new("db2"));
+        assert_eq!(
+            placer.scatter_shards(&diverted, &registry).unwrap(),
+            vec![pspp_common::ShardId(0), pspp_common::ShardId(1)]
+        );
+    }
+
+    #[test]
+    fn scatter_unknown_table_is_typed() {
+        let mut registry = two_engine_registry();
+        registry
+            .set_partition(
+                TableRef::new("db1", "ghost"),
+                pspp_common::PartitionSpec::hash("k", 2),
+            )
+            .unwrap();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "ghost")), "sql");
+        let err = Placer::default()
+            .scatter_shards(p.node(s), &registry)
+            .unwrap_err();
+        assert!(matches!(err, Error::TableNotFound(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn scatter_kind_mismatch_is_typed() {
+        let mut registry = two_engine_registry();
+        registry
+            .register(
+                EngineId::new("kv"),
+                crate::registry::EngineInstance::KeyValue(pspp_kvstore::KvStore::new("kv")),
+            )
+            .unwrap();
+        registry
+            .set_partition(
+                TableRef::new("kv", "t"),
+                pspp_common::PartitionSpec::hash("k", 2),
+            )
+            .unwrap();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("kv", "t")), "sql");
+        let err = Placer::default()
+            .scatter_shards(p.node(s), &registry)
+            .unwrap_err();
+        assert!(matches!(err, Error::Invalid(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn scatter_empty_shard_set_is_typed() {
+        let err = Placer::scatter_for(&pspp_common::PartitionSpec::hash("k", 0), 4).unwrap_err();
+        assert!(matches!(err, Error::EmptyShardSet(_)), "got {err:?}");
+        let err = Placer::scatter_for(&pspp_common::PartitionSpec::replicated(0), 4).unwrap_err();
+        assert!(matches!(err, Error::EmptyShardSet(_)), "got {err:?}");
+        // Under-replicated engine: typed, not a panic.
+        let err = Placer::scatter_for(&pspp_common::PartitionSpec::hash("k", 8), 2).unwrap_err();
+        assert!(matches!(err, Error::Invalid(_)), "got {err:?}");
     }
 
     #[test]

@@ -1,9 +1,18 @@
-//! The engine registry: deployed data-processing engines (Fig. 4).
+//! The engine registry: deployed data-processing engines (Fig. 4),
+//! sharded for scale-out.
+//!
+//! Every logical engine id maps to an ordered list of shard replicas
+//! of the same [`EngineKind`]. Unsharded deployments are the
+//! single-replica special case ([`ShardedRegistry::register`]), which
+//! keeps the PR-1 API intact; partitioned tables carry a
+//! [`PartitionSpec`] routing scans to their shard replicas, and
+//! [`ShardedRegistry::reshard`] redistributes a relational table's
+//! rows across N replicas by partition key.
 
 use std::collections::BTreeMap;
 
 use pspp_arraystore::ArrayStore;
-use pspp_common::{EngineId, EngineKind, Error, Result};
+use pspp_common::{EngineId, EngineKind, Error, PartitionSpec, Result, ShardId, TableRef};
 use pspp_graphstore::GraphStore;
 use pspp_kvstore::KvStore;
 use pspp_relstore::RelationalStore;
@@ -11,7 +20,7 @@ use pspp_streamstore::StreamStore;
 use pspp_textstore::TextStore;
 use pspp_tsstore::TimeseriesStore;
 
-/// One deployed engine.
+/// One deployed engine replica.
 #[derive(Debug, Clone)]
 pub enum EngineInstance {
     /// Relational store.
@@ -45,61 +54,135 @@ impl EngineInstance {
     }
 }
 
-/// All engines of a deployment, keyed by id.
+/// Backward-compatible name for the single-shard view of
+/// [`ShardedRegistry`]: PR-1 call sites (and the unsharded default)
+/// keep compiling unchanged, with every lookup served by shard 0.
+pub type EngineRegistry = ShardedRegistry;
+
+/// All engines of a deployment: shard replicas keyed by engine id,
+/// plus the partition specs routing tables to shards.
 #[derive(Debug, Clone, Default)]
-pub struct EngineRegistry {
-    engines: BTreeMap<EngineId, EngineInstance>,
+pub struct ShardedRegistry {
+    engines: BTreeMap<EngineId, Vec<EngineInstance>>,
+    partitions: BTreeMap<TableRef, PartitionSpec>,
 }
 
-impl EngineRegistry {
+impl ShardedRegistry {
     /// An empty registry.
     pub fn new() -> Self {
-        EngineRegistry::default()
+        ShardedRegistry::default()
     }
 
-    /// Registers an engine under its id.
+    /// Registers a single-replica engine under its id — the
+    /// backward-compatible unsharded constructor.
     ///
     /// # Errors
     ///
     /// Returns [`Error::AlreadyExists`] on id collisions.
     pub fn register(&mut self, id: EngineId, engine: EngineInstance) -> Result<()> {
+        self.register_sharded(id, vec![engine])
+    }
+
+    /// Registers an engine as an ordered list of shard replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AlreadyExists`] on id collisions,
+    /// [`Error::EmptyShardSet`] for zero replicas and
+    /// [`Error::Invalid`] when the replicas mix engine kinds.
+    pub fn register_sharded(&mut self, id: EngineId, shards: Vec<EngineInstance>) -> Result<()> {
         if self.engines.contains_key(&id) {
             return Err(Error::AlreadyExists(format!("engine {id}")));
         }
-        self.engines.insert(id, engine);
+        let first = shards
+            .first()
+            .ok_or_else(|| Error::EmptyShardSet(format!("engine {id} registered with 0 shards")))?;
+        let kind = first.kind();
+        if shards.iter().any(|s| s.kind() != kind) {
+            return Err(Error::Invalid(format!(
+                "engine {id} shard replicas mix engine kinds"
+            )));
+        }
+        self.engines.insert(id, shards);
         Ok(())
     }
 
-    /// Looks up an engine.
+    /// Looks up an engine's primary replica (shard 0).
     ///
     /// # Errors
     ///
     /// Returns [`Error::EngineNotFound`] for unknown ids.
     pub fn get(&self, id: &EngineId) -> Result<&EngineInstance> {
-        self.engines
-            .get(id)
-            .ok_or_else(|| Error::EngineNotFound(id.to_string()))
+        self.shard(id, ShardId::ZERO)
     }
 
-    /// Mutable lookup.
+    /// Mutable primary-replica lookup.
     ///
     /// # Errors
     ///
     /// Returns [`Error::EngineNotFound`] for unknown ids.
     pub fn get_mut(&mut self, id: &EngineId) -> Result<&mut EngineInstance> {
-        self.engines
-            .get_mut(id)
-            .ok_or_else(|| Error::EngineNotFound(id.to_string()))
+        self.shard_mut(id, ShardId::ZERO)
     }
 
-    /// The relational store with this id.
+    /// Looks up one shard replica of an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EngineNotFound`] for unknown ids and
+    /// [`Error::Invalid`] for out-of-range shards.
+    pub fn shard(&self, id: &EngineId, shard: ShardId) -> Result<&EngineInstance> {
+        let shards = self
+            .engines
+            .get(id)
+            .ok_or_else(|| Error::EngineNotFound(id.to_string()))?;
+        shards.get(shard.index()).ok_or_else(|| {
+            Error::Invalid(format!(
+                "engine {id} has {} shard(s), {shard} requested",
+                shards.len()
+            ))
+        })
+    }
+
+    /// Mutable shard-replica lookup.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedRegistry::shard`].
+    pub fn shard_mut(&mut self, id: &EngineId, shard: ShardId) -> Result<&mut EngineInstance> {
+        let shards = self
+            .engines
+            .get_mut(id)
+            .ok_or_else(|| Error::EngineNotFound(id.to_string()))?;
+        let n = shards.len();
+        shards.get_mut(shard.index()).ok_or_else(|| {
+            Error::Invalid(format!("engine {id} has {n} shard(s), {shard} requested"))
+        })
+    }
+
+    /// Number of shard replicas deployed for `id` (0 when unknown).
+    pub fn shard_count(&self, id: &EngineId) -> usize {
+        self.engines.get(id).map_or(0, Vec::len)
+    }
+
+    /// The primary relational replica with this id.
     ///
     /// # Errors
     ///
     /// Returns [`Error::EngineNotFound`] or [`Error::Invalid`] on kind
     /// mismatch.
     pub fn relational(&self, id: &EngineId) -> Result<&RelationalStore> {
-        match self.get(id)? {
+        self.relational_shard(id, ShardId::ZERO)
+    }
+
+    /// The relational store serving one shard of engine `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EngineNotFound`], [`Error::Invalid`] on kind
+    /// mismatch or out-of-range shards.
+    pub fn relational_shard(&self, id: &EngineId, shard: ShardId) -> Result<&RelationalStore> {
+        match self.shard(id, shard)? {
             EngineInstance::Relational(s) => Ok(s),
             other => Err(Error::Invalid(format!(
                 "engine {id} is {}, not relational",
@@ -108,11 +191,11 @@ impl EngineRegistry {
         }
     }
 
-    /// Mutable relational store accessor.
+    /// Mutable primary relational accessor.
     ///
     /// # Errors
     ///
-    /// See [`EngineRegistry::relational`].
+    /// See [`ShardedRegistry::relational`].
     pub fn relational_mut(&mut self, id: &EngineId) -> Result<&mut RelationalStore> {
         match self.get_mut(id)? {
             EngineInstance::Relational(s) => Ok(s),
@@ -123,12 +206,15 @@ impl EngineRegistry {
         }
     }
 
-    /// Engine ids with kinds, in id order.
+    /// Engine ids with kinds and shard counts, in id order.
     pub fn list(&self) -> Vec<(&EngineId, EngineKind)> {
-        self.engines.iter().map(|(id, e)| (id, e.kind())).collect()
+        self.engines
+            .iter()
+            .map(|(id, shards)| (id, shards[0].kind()))
+            .collect()
     }
 
-    /// Number of engines.
+    /// Number of logical engines (not replicas).
     pub fn len(&self) -> usize {
         self.engines.len()
     }
@@ -137,15 +223,140 @@ impl EngineRegistry {
     pub fn is_empty(&self) -> bool {
         self.engines.is_empty()
     }
+
+    /// The partition spec routing `table`, when it is partitioned.
+    pub fn partition(&self, table: &TableRef) -> Option<&PartitionSpec> {
+        self.partitions.get(table)
+    }
+
+    /// All partitioned tables with their specs, in table order.
+    pub fn partitions(&self) -> impl Iterator<Item = (&TableRef, &PartitionSpec)> {
+        self.partitions.iter()
+    }
+
+    /// Records a partition spec without moving rows (used when shards
+    /// were populated pre-distributed, e.g. by `datagen`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyShardSet`]/[`Error::Config`] for invalid
+    /// specs and [`Error::EngineNotFound`] for unknown engines.
+    pub fn set_partition(&mut self, table: TableRef, spec: PartitionSpec) -> Result<()> {
+        spec.validate()?;
+        if !self.engines.contains_key(&table.engine) {
+            return Err(Error::EngineNotFound(table.engine.to_string()));
+        }
+        self.partitions.insert(table, spec);
+        Ok(())
+    }
+
+    /// Re-partitions a relational table across shard replicas: expands
+    /// the engine to `spec.shard_count()` replicas (cloning replica 0)
+    /// if needed, redistributes the table's rows by partition key, and
+    /// records the spec for shard-aware routing. Unpartitioned tables
+    /// on the same engine stay whole on every replica but are only ever
+    /// read from shard 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EngineNotFound`] for unknown engines,
+    /// [`Error::TableNotFound`] for unknown tables, [`Error::Invalid`]
+    /// for non-relational engines, [`Error::EmptyShardSet`] for
+    /// zero-shard specs, and [`Error::Config`] when the engine is
+    /// already sharded to a different replica count.
+    pub fn reshard(&mut self, table: &TableRef, spec: PartitionSpec) -> Result<()> {
+        spec.validate()?;
+        let n = spec.shard_count();
+        // Gather concatenates all replicas only when the table's rows
+        // were genuinely distributed by a prior non-replicated spec.
+        // Replicated and never-partitioned tables hold full copies per
+        // replica (a prior reshard of a *different* table on this
+        // engine clones whole stores when expanding), so those read
+        // shard 0 only — concatenating their copies would duplicate
+        // every row.
+        let previously_distributed = matches!(
+            self.partitions.get(table),
+            Some(spec) if !matches!(spec, PartitionSpec::Replicated { .. })
+        );
+        let shards = self
+            .engines
+            .get_mut(&table.engine)
+            .ok_or_else(|| Error::EngineNotFound(table.engine.to_string()))?;
+        if shards.iter().any(|s| s.kind() != EngineKind::Relational) {
+            return Err(Error::Invalid(format!(
+                "engine {} is {}, not relational: only relational tables reshard",
+                table.engine,
+                shards[0].kind()
+            )));
+        }
+        if shards.len() != 1 && shards.len() != n {
+            return Err(Error::Config(format!(
+                "engine {} is already deployed with {} shard(s); all partitioned \
+                 tables on one engine must agree on the replica count {n}",
+                table.engine,
+                shards.len()
+            )));
+        }
+
+        // Gather the table's full row set in shard order.
+        let (schema, indexed, all_rows) = {
+            let stores: Vec<&RelationalStore> = shards
+                .iter()
+                .map(|s| match s {
+                    EngineInstance::Relational(store) => store,
+                    _ => unreachable!("kind checked above"),
+                })
+                .collect();
+            let t0 = stores[0].table(&table.name)?;
+            let schema = t0.schema().clone();
+            let indexed: Vec<String> = schema
+                .names()
+                .iter()
+                .filter(|c| t0.has_index(c))
+                .map(|c| (*c).to_owned())
+                .collect();
+            let mut rows = Vec::new();
+            for store in if previously_distributed {
+                &stores[..]
+            } else {
+                &stores[..1]
+            } {
+                rows.extend_from_slice(store.table(&table.name)?.rows());
+            }
+            (schema, indexed, rows)
+        };
+        let buckets = spec.distribute(&schema, &all_rows)?;
+
+        // Expand to n replicas by cloning the primary, then rebuild the
+        // table on each replica with its bucket.
+        if shards.len() < n {
+            let template = shards[0].clone();
+            shards.resize(n, template);
+        }
+        for (shard, bucket) in shards.iter_mut().zip(buckets) {
+            let EngineInstance::Relational(store) = shard else {
+                unreachable!("kind checked above");
+            };
+            store.drop_table(&table.name)?;
+            store.create_table(table.name.clone(), schema.clone())?;
+            store.insert(&table.name, bucket)?;
+            for column in &indexed {
+                store.create_index(&table.name, column)?;
+            }
+        }
+        self.partitions.insert(table.clone(), spec);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pspp_common::{row, DataType, Schema};
 
     #[test]
     fn register_and_lookup() {
-        let mut r = EngineRegistry::new();
+        let mut r = ShardedRegistry::new();
         r.register(
             EngineId::new("db1"),
             EngineInstance::Relational(RelationalStore::new("db1")),
@@ -169,12 +380,185 @@ mod tests {
 
     #[test]
     fn kinds_reported() {
-        let mut r = EngineRegistry::new();
+        let mut r = ShardedRegistry::new();
         r.register(
             EngineId::new("g"),
             EngineInstance::Graph(GraphStore::new("g")),
         )
         .unwrap();
         assert_eq!(r.list()[0].1, EngineKind::Graph);
+    }
+
+    #[test]
+    fn sharded_registration_and_bounds() {
+        let mut r = ShardedRegistry::new();
+        r.register_sharded(
+            EngineId::new("db"),
+            vec![
+                EngineInstance::Relational(RelationalStore::new("db")),
+                EngineInstance::Relational(RelationalStore::new("db")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.shard_count(&EngineId::new("db")), 2);
+        assert!(r.shard(&EngineId::new("db"), ShardId(1)).is_ok());
+        assert!(matches!(
+            r.shard(&EngineId::new("db"), ShardId(2)),
+            Err(Error::Invalid(_))
+        ));
+        assert!(matches!(
+            r.register_sharded(EngineId::new("empty"), vec![]),
+            Err(Error::EmptyShardSet(_))
+        ));
+        assert!(matches!(
+            r.register_sharded(
+                EngineId::new("mixed"),
+                vec![
+                    EngineInstance::Relational(RelationalStore::new("m")),
+                    EngineInstance::KeyValue(KvStore::new("m")),
+                ],
+            ),
+            Err(Error::Invalid(_))
+        ));
+    }
+
+    fn table_registry(rows: i64) -> (ShardedRegistry, TableRef) {
+        let mut db = RelationalStore::new("db1");
+        db.create_table(
+            "t",
+            Schema::new(vec![("k", DataType::Int), ("v", DataType::Int)]),
+        )
+        .unwrap();
+        db.insert("t", (0..rows).map(|i| row![i, i * 2]).collect())
+            .unwrap();
+        db.create_index("t", "k").unwrap();
+        let mut r = ShardedRegistry::new();
+        r.register(EngineId::new("db1"), EngineInstance::Relational(db))
+            .unwrap();
+        (r, TableRef::new("db1", "t"))
+    }
+
+    #[test]
+    fn reshard_distributes_rows_and_keeps_indexes() {
+        let (mut r, t) = table_registry(100);
+        r.reshard(&t, PartitionSpec::hash("k", 4)).unwrap();
+        assert_eq!(r.shard_count(&t.engine), 4);
+        let mut total = 0;
+        for s in 0..4 {
+            let store = r.relational_shard(&t.engine, ShardId(s)).unwrap();
+            let tab = store.table("t").unwrap();
+            assert!(tab.has_index("k"), "index survives resharding");
+            total += tab.len();
+        }
+        assert_eq!(total, 100);
+        assert_eq!(
+            r.partition(&t),
+            Some(&PartitionSpec::hash("k", 4)),
+            "spec recorded for routing"
+        );
+    }
+
+    #[test]
+    fn range_reshard_gathers_back_in_order() {
+        let (mut r, t) = table_registry(90);
+        let spec = PartitionSpec::range("k", vec![30i64.into(), 60i64.into()]);
+        r.reshard(&t, spec).unwrap();
+        let mut gathered = Vec::new();
+        for s in 0..3 {
+            gathered.extend_from_slice(
+                r.relational_shard(&t.engine, ShardId(s))
+                    .unwrap()
+                    .table("t")
+                    .unwrap()
+                    .rows(),
+            );
+        }
+        let expected: Vec<_> = (0..90i64).map(|i| row![i, i * 2]).collect();
+        assert_eq!(gathered, expected);
+    }
+
+    #[test]
+    fn resharding_a_second_table_on_an_expanded_engine_keeps_every_row_once() {
+        // Regression: after table `a` expands the engine to 2 replicas
+        // (cloning table `b` whole onto both), resharding `b` must
+        // gather one copy, not concatenate the clones.
+        let mut db = RelationalStore::new("db1");
+        for name in ["a", "b"] {
+            db.create_table(
+                name,
+                Schema::new(vec![("k", DataType::Int), ("v", DataType::Int)]),
+            )
+            .unwrap();
+            db.insert(name, (0..40i64).map(|i| row![i, i]).collect())
+                .unwrap();
+        }
+        let mut r = ShardedRegistry::new();
+        r.register(EngineId::new("db1"), EngineInstance::Relational(db))
+            .unwrap();
+        r.reshard(&TableRef::new("db1", "a"), PartitionSpec::hash("k", 2))
+            .unwrap();
+        r.reshard(&TableRef::new("db1", "b"), PartitionSpec::hash("k", 2))
+            .unwrap();
+        for name in ["a", "b"] {
+            let total: usize = (0..2)
+                .map(|s| {
+                    r.relational_shard(&EngineId::new("db1"), ShardId(s))
+                        .unwrap()
+                        .table(name)
+                        .unwrap()
+                        .len()
+                })
+                .sum();
+            assert_eq!(total, 40, "table {name} lost or duplicated rows");
+        }
+        // Re-resharding an already-distributed table still gathers all
+        // of it (2 -> 2 with new buckets).
+        r.reshard(&TableRef::new("db1", "a"), PartitionSpec::hash("v", 2))
+            .unwrap();
+        let total: usize = (0..2)
+            .map(|s| {
+                r.relational_shard(&EngineId::new("db1"), ShardId(s))
+                    .unwrap()
+                    .table("a")
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn reshard_error_paths_are_typed() {
+        let (mut r, t) = table_registry(10);
+        assert!(matches!(
+            r.reshard(&TableRef::new("nope", "t"), PartitionSpec::hash("k", 2)),
+            Err(Error::EngineNotFound(_))
+        ));
+        assert!(matches!(
+            r.reshard(
+                &TableRef::new("db1", "missing"),
+                PartitionSpec::hash("k", 2)
+            ),
+            Err(Error::TableNotFound(_))
+        ));
+        assert!(matches!(
+            r.reshard(&t, PartitionSpec::hash("k", 0)),
+            Err(Error::EmptyShardSet(_))
+        ));
+        r.reshard(&t, PartitionSpec::hash("k", 2)).unwrap();
+        assert!(matches!(
+            r.reshard(&t, PartitionSpec::hash("k", 3)),
+            Err(Error::Config(_)),
+        ));
+        let mut kv = ShardedRegistry::new();
+        kv.register(
+            EngineId::new("kv"),
+            EngineInstance::KeyValue(KvStore::new("kv")),
+        )
+        .unwrap();
+        assert!(matches!(
+            kv.reshard(&TableRef::new("kv", "t"), PartitionSpec::hash("k", 2)),
+            Err(Error::Invalid(_))
+        ));
     }
 }

@@ -169,9 +169,16 @@ impl PlanCache {
         );
     }
 
-    /// Drops every cached plan (counters are preserved).
+    /// Drops every cached plan and resets the LRU bookkeeping (the
+    /// recency tick restarts from zero so post-clear eviction order
+    /// matches a fresh cache; the effectiveness counters are
+    /// preserved). Leaving the tick running was a latent bug: entries
+    /// inserted after a clear inherited a recency epoch that dwarfed
+    /// any later tick comparison against restored state.
     pub fn clear(&self) {
-        self.guard().map.clear();
+        let mut inner = self.guard();
+        inner.map.clear();
+        inner.tick = 0;
     }
 
     /// Number of resident plans.
@@ -265,5 +272,38 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_resets_lru_bookkeeping() {
+        // Regression: eviction order after clear() must match a fresh
+        // cache — same inserts/gets, same victim.
+        let run = |cache: &PlanCache| {
+            cache.insert(key("a", OptLevel::L2), plan());
+            cache.insert(key("b", OptLevel::L2), plan());
+            assert!(cache.get(&key("a", OptLevel::L2)).is_some());
+            cache.insert(key("c", OptLevel::L2), plan());
+            let mut resident: Vec<&str> = ["a", "b", "c"]
+                .into_iter()
+                .filter(|q| cache.get(&key(q, OptLevel::L2)).is_some())
+                .collect();
+            resident.sort_unstable();
+            resident
+        };
+        let fresh = PlanCache::new(2);
+        let expected = run(&fresh);
+        assert_eq!(expected, vec!["a", "c"], "b is the LRU victim");
+
+        let cleared = PlanCache::new(2);
+        // Age the tick far past anything the post-clear inserts reach.
+        for i in 0..64 {
+            cleared.insert(key(&format!("warm{i}"), OptLevel::L2), plan());
+            cleared.get(&key(&format!("warm{i}"), OptLevel::L2));
+        }
+        cleared.clear();
+        let inner = cleared.guard();
+        assert_eq!(inner.tick, 0, "clear() must reset the recency tick");
+        drop(inner);
+        assert_eq!(run(&cleared), expected, "post-clear LRU = fresh LRU");
     }
 }

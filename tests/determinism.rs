@@ -5,6 +5,10 @@
 use polystorepp::prelude::*;
 
 fn clinical_system(parallel: bool) -> Polystore {
+    sharded_clinical_system(parallel, 1)
+}
+
+fn sharded_clinical_system(parallel: bool, shards: usize) -> Polystore {
     Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
         patients: 150,
         vitals_per_patient: 8,
@@ -13,6 +17,7 @@ fn clinical_system(parallel: bool) -> Polystore {
     .accelerators(AcceleratorFleet::workstation())
     .opt_level(OptLevel::L3)
     .parallel(parallel)
+    .shards(shards)
     .build()
     .expect("valid config")
 }
@@ -64,6 +69,37 @@ fn parallel_federated_join_matches_sequential_bit_for_bit() {
     );
     assert_eq!(a.costs, b.costs);
     assert_eq!(par.ledger().events(), seq.ledger().events());
+}
+
+#[test]
+fn sharded_scatter_gather_matches_flat_and_sequential_bit_for_bit() {
+    let query = "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
+                 WHERE age >= 70";
+    let flat = clinical_system(true);
+    let sharded_par = sharded_clinical_system(true, 4);
+    let sharded_seq = sharded_clinical_system(false, 4);
+
+    let a = flat.run_sql(query).expect("flat run");
+    let b = sharded_par.run_sql(query).expect("sharded parallel run");
+    let c = sharded_seq.run_sql(query).expect("sharded sequential run");
+
+    // A 4-shard deployment returns the same bytes as the flat one…
+    assert_eq!(
+        a.execution.outputs[0].try_rows().expect("rows"),
+        b.execution.outputs[0].try_rows().expect("rows"),
+    );
+    // …and its parallel scatter-gather is bit-identical to sequential,
+    // down to the accounting.
+    assert_eq!(
+        format!("{:?}", b.execution.outputs),
+        format!("{:?}", c.execution.outputs),
+    );
+    assert_eq!(b.execution.node_seconds, c.execution.node_seconds);
+    assert_eq!(b.costs, c.costs);
+    assert_eq!(sharded_par.ledger().events(), sharded_seq.ledger().events());
+    // Scatter-gather over 4 replicas must not cost more simulated time
+    // than the flat scan path.
+    assert!(b.makespan() <= a.makespan() + 1e-12);
 }
 
 #[test]

@@ -10,7 +10,7 @@ pub use pspp_common::DeviceKind;
 /// (§III-A.1–§III-A.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum KernelClass {
-    /// Sorting (bitonic network on FPGA [45]).
+    /// Sorting (bitonic network on FPGA \[45\]).
     Sort,
     /// Streaming selection + projection in the data-access path (§III-A.2).
     FilterProject,

@@ -1,5 +1,5 @@
 //! Bitonic sort: the paper's canonical FPGA-friendly operator (§III-A.1,
-//! reference [45]).
+//! reference \[45\]).
 //!
 //! The host implementation really runs the bitonic network (so tests can
 //! check it against `slice::sort`), and the cycle models encode each
@@ -18,7 +18,7 @@ use crate::kernels::{cpu_cores, KernelReport};
 use crate::ledger::CostLedger;
 
 /// On-chip block capacity of the streaming sorter (elements). The hybrid
-/// design of reference [45] buffers large runs in on-board URAM/DRAM, so a
+/// design of reference \[45\] buffers large runs in on-board URAM/DRAM, so a
 /// full merge pass handles ~1M elements.
 pub const FPGA_SORT_BLOCK: u64 = 1 << 20;
 

@@ -17,7 +17,7 @@
 //! * [`CostLedger`] — the simulated clock: every operation posts a
 //!   [`CostEvent`]; reports aggregate by component and device.
 //! * [`Interconnect`] — PCIe / network / RDMA transfer models (§III-A.3).
-//! * [`logca`] — the LogCA analytical model for offload profitability [43].
+//! * [`logca`] — the LogCA analytical model for offload profitability \[43\].
 //! * [`roofline`] — the Roofline model (§IV-B.4).
 //! * [`kernels`] — accelerator kernel library: bitonic sort network,
 //!   streaming filter/project, systolic GEMM/GEMV, hash partition,

@@ -1,6 +1,6 @@
 //! The LogCA performance model for hardware accelerators.
 //!
-//! LogCA (Altaf & Wood, ISCA 2017 — reference [43] of the paper) predicts
+//! LogCA (Altaf & Wood, ISCA 2017 — reference \[43\] of the paper) predicts
 //! offload profitability from five parameters:
 //!
 //! * `L` — per-byte interface latency of moving data to the accelerator,

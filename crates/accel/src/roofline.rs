@@ -1,11 +1,11 @@
-//! The Roofline performance model (§IV-B.4, reference [53]).
+//! The Roofline performance model (§IV-B.4, reference \[53\]).
 //!
 //! Attainable throughput of a kernel on a device is bounded by
 //! `min(peak_compute, operational_intensity × memory_bandwidth)`.
 //! The paper notes the Roofline model extends naturally to fixed hardware
 //! but is harder for reconfigurable fabrics; we expose an empirical
 //! correction hook ([`Roofline::with_efficiency`]) in the spirit of
-//! Koeplinger et al. [54]'s sampled models.
+//! Koeplinger et al. \[54\]'s sampled models.
 
 use serde::{Deserialize, Serialize};
 
@@ -33,7 +33,7 @@ impl Roofline {
     }
 
     /// Applies a sustained-efficiency correction for a kernel class
-    /// (empirical roofline, per [54]).
+    /// (empirical roofline, per \[54\]).
     pub fn with_efficiency(mut self, efficiency: f64) -> Self {
         self.efficiency = efficiency.clamp(f64::MIN_POSITIVE, 1.0);
         self

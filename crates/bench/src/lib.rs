@@ -1,5 +1,5 @@
 //! The experiment harness: one function per experiment in DESIGN.md's
-//! index (E1–E16), each returning the table it prints. The `repro`
+//! index (E1–E18), each returning the table it prints. The `repro`
 //! binary runs them; the Criterion benches wrap their hot paths.
 //!
 //! Every number is simulated and deterministic; see DESIGN.md §5 for
@@ -22,9 +22,9 @@ use pspp_optimizer::dse::{ActiveLearner, DesignSpace, Param, RandomSearch};
 use pspp_optimizer::forest::RandomForest;
 
 /// Names of all experiments, in order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Runs one experiment by name.
@@ -51,6 +51,7 @@ pub fn run(name: &str) -> Result<String> {
         "e15" => e15_cost_model(),
         "e16" => e16_service(),
         "e17" => e17_sharding(),
+        "e18" => e18_join(),
         other => Err(pspp_common::Error::Config(format!(
             "unknown experiment {other}; known: {ALL:?}"
         ))),
@@ -802,16 +803,22 @@ pub fn e15_cost_model() -> Result<String> {
         let system = clinical_system(OptLevel::L2, AcceleratorFleet::workstation(), 400)?;
         let mut program = system.compile_sql(q)?;
         let (_, placement) = system.optimize(&mut program)?;
-        let predicted = placement.expect("L2 places").total_seconds;
+        let placement = placement.expect("L2 places");
+        let predicted = placement.total_seconds;
+        // Distribution attribution: a query whose error persists at
+        // max_scatter 1 mispredicts cardinality; one that degrades
+        // only when nodes scatter mispredicts distribution.
+        let max_scatter = placement.scatter_width.values().copied().max().unwrap_or(1);
         let executed = system.execute(&program)?.makespan_sequential;
         let rel = (predicted - executed).abs() / executed.max(f64::MIN_POSITIVE);
         rel_errs.push(rel);
         writeln!(
             out,
-            "  query: predicted {:.3} ms vs executed {:.3} ms (rel err {:.0}%)",
+            "  query: predicted {:.3} ms vs executed {:.3} ms (rel err {:.0}%, max_scatter {})",
             predicted * 1e3,
             executed * 1e3,
-            rel * 100.0
+            rel * 100.0,
+            max_scatter
         )
         .ok();
     }
@@ -1098,6 +1105,111 @@ pub fn e17_sharding() -> Result<String> {
     if speedup4 < 1.8 {
         return Err(pspp_common::Error::Execution(format!(
             "4-shard scan speedup {speedup4:.2}x below the 1.8x acceptance floor"
+        )));
+    }
+    Ok(out)
+}
+
+/// E18: colocated cross-shard joins — a pid-partitioned clinical join
+/// at 1/2/4 shards, executed twice per shard count: colocated (one
+/// build+probe task per shard, the distribution-aware default) and
+/// gathered (the PR-3 baseline that merges both sides first). The
+/// digests must be byte-identical at every shard count — the colocated
+/// plan is a pure performance transformation — while the simulated
+/// join-stage time drops with the shard count (acceptance floor: at
+/// least 1.5x at 4 shards). The colocated placement must also price
+/// the join at the full scatter width (satellite: `PlacementPlan`
+/// exposes per-node `scatter_width`).
+pub fn e18_join() -> Result<String> {
+    use pspp_common::TableRef;
+
+    let mut out = String::from(
+        "E18 colocated cross-shard join: per-shard build+probe vs gathered\n\
+         shards  colo_join_us  gath_join_us  speedup  scatter_w  digest\n",
+    );
+    let query = "SELECT name, age FROM admissions JOIN db2.patients \
+                 ON admissions.pid = patients.pid WHERE age >= 40";
+    let patients = 2_000usize;
+    let build = |shards: usize, colocate: bool| {
+        Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients,
+            vitals_per_patient: 4,
+            seed: 2019,
+        }))
+        .accelerators(AcceleratorFleet::workstation())
+        .opt_level(OptLevel::L2)
+        // Hash-partition both join sides on the join key so the
+        // colocation rule (compatibly hashed, equal counts) applies.
+        .partition(
+            TableRef::new("db1", "admissions"),
+            pspp_common::PartitionSpec::hash("pid", 1),
+        )
+        .partition(
+            TableRef::new("db2", "patients"),
+            pspp_common::PartitionSpec::hash("pid", 1),
+        )
+        .shards(shards)
+        .colocated_joins(colocate)
+        .build()
+    };
+    let mut speedup4 = 0.0;
+    for shards in [1usize, 2, 4] {
+        let mut join_us = [0.0f64; 2];
+        let mut digests = [0u64; 2];
+        let mut width = 0usize;
+        for (slot, colocate) in [(0usize, true), (1, false)] {
+            let system = build(shards, colocate)?;
+            let mut program = system.compile_sql(query)?;
+            let (_, placement) = system.optimize(&mut program)?;
+            let placement = placement.expect("L2 places");
+            let join = program
+                .nodes()
+                .iter()
+                .find(|n| matches!(n.op, Operator::HashJoin { .. }))
+                .expect("query contains a hash join")
+                .id;
+            if colocate {
+                width = placement.scatter_width[&join];
+                if width != shards {
+                    return Err(pspp_common::Error::Execution(format!(
+                        "join priced at scatter width {width}, expected {shards}"
+                    )));
+                }
+            }
+            let report = system.execute(&program)?;
+            join_us[slot] = report.node_seconds[&join] * 1e6;
+            digests[slot] = driver::fnv1a(
+                format!("{:?}", report.outputs).as_bytes(),
+                driver::FNV_OFFSET,
+            );
+        }
+        if digests[0] != digests[1] {
+            return Err(pspp_common::Error::Execution(format!(
+                "colocated and gathered joins diverged at {shards} shards: \
+                 {:016x} vs {:016x}",
+                digests[0], digests[1]
+            )));
+        }
+        let speedup = join_us[1] / join_us[0].max(f64::MIN_POSITIVE);
+        if shards == 4 {
+            speedup4 = speedup;
+        }
+        writeln!(
+            out,
+            "{shards:<7} {:>12.3} {:>13.3} {:>6.2}x {:>9} {:016x}",
+            join_us[0], join_us[1], speedup, width, digests[0]
+        )
+        .ok();
+    }
+    writeln!(
+        out,
+        "shape check: colocated == gathered byte-for-byte at every shard count; \
+         4-shard colocated join {speedup4:.2}x the gathered baseline (target >= 1.5x)"
+    )
+    .ok();
+    if speedup4 < 1.5 {
+        return Err(pspp_common::Error::Execution(format!(
+            "4-shard colocated join speedup {speedup4:.2}x below the 1.5x acceptance floor"
         )));
     }
     Ok(out)

@@ -27,6 +27,7 @@
 
 pub mod batch;
 pub mod device;
+pub mod distribution;
 pub mod error;
 pub mod ids;
 pub mod model;
@@ -39,10 +40,11 @@ pub mod value;
 
 pub use batch::{Batch, Column};
 pub use device::DeviceKind;
+pub use distribution::{Distribution, JoinDistribution};
 pub use error::{Error, Result};
 pub use ids::{EngineId, TableRef};
 pub use model::{DataModel, EngineKind};
-pub use partition::{PartitionSpec, ShardId};
+pub use partition::{PartitionLookup, PartitionSpec, ShardId};
 pub use predicate::Predicate;
 pub use rng::SplitMix64;
 pub use row::Row;

@@ -96,13 +96,18 @@ impl PartitionSpec {
         }
     }
 
-    /// The shard ids a scatter-gather scan must visit, in merge order.
-    /// Replicated tables are served by a single replica.
+    /// The shard ids a scatter-gather *scan* must visit, in merge
+    /// order. Replicated tables are served by a single replica — but
+    /// note this is a read-path decision only: as a **join input** a
+    /// replicated table is colocatable with any hashed or ranged
+    /// partner (broadcast join), because every shard task can build
+    /// against a full copy. Join planning therefore goes through
+    /// [`crate::Distribution::join`], never through this scatter set.
+    ///
+    /// Delegates to [`crate::Distribution::scatter`], the single
+    /// source of truth for shard fan-out.
     pub fn scatter_shards(&self) -> Vec<ShardId> {
-        match self {
-            PartitionSpec::Replicated { shards } if *shards > 0 => vec![ShardId::ZERO],
-            _ => (0..self.shard_count() as u32).map(ShardId).collect(),
-        }
+        crate::Distribution::from_spec(self).scatter()
     }
 
     /// The partition key column, when the spec has one.
@@ -194,6 +199,15 @@ impl PartitionSpec {
         }
         Ok(buckets)
     }
+}
+
+/// Anything that can answer "how is this table partitioned?" — the
+/// frontend catalog (planning-time declarations) and the runtime's
+/// sharded registry (deployment truth) both implement it, so the
+/// distribution-planning pass accepts either.
+pub trait PartitionLookup {
+    /// The partition spec routing `table`, when it is partitioned.
+    fn partition_spec(&self, table: &crate::TableRef) -> Option<&PartitionSpec>;
 }
 
 impl fmt::Display for PartitionSpec {

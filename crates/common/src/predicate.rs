@@ -108,7 +108,7 @@ impl Predicate {
     ///
     /// # Errors
     ///
-    /// Returns [`pspp_common::Error::ColumnNotFound`] for unknown columns.
+    /// Returns [`crate::Error::ColumnNotFound`] for unknown columns.
     pub fn eval(&self, schema: &Schema, row: &Row) -> Result<bool> {
         Ok(match self {
             Predicate::True => true,

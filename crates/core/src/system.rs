@@ -40,6 +40,7 @@ pub struct PolystoreBuilder {
     opt_level: OptLevel,
     migration_path: MigrationPath,
     parallel: bool,
+    colocated_joins: bool,
     shards: usize,
     partitions: Vec<(TableRef, PartitionSpec)>,
 }
@@ -87,6 +88,14 @@ impl PolystoreBuilder {
         self
     }
 
+    /// Enables/disables colocated execution of compatibly-partitioned
+    /// joins (default: on). Off reverts to gather-before-join — the
+    /// bit-identical baseline E18 compares against.
+    pub fn colocated_joins(mut self, on: bool) -> Self {
+        self.colocated_joins = on;
+        self
+    }
+
     /// Finalizes the system, materializing partition specs: every
     /// declared partition with more than one shard redistributes its
     /// table's rows across engine replicas by partition key.
@@ -122,7 +131,18 @@ impl PolystoreBuilder {
         }
 
         let ledger = CostLedger::new();
-        let cost_model = CostModel::new(self.fleet.clone(), self.deployment.stats.clone());
+        // The cost model sees the materialized partition layout, so
+        // L2 placement prices sharded scans and colocated joins at
+        // their real scatter width.
+        let cost_model = CostModel::new(self.fleet.clone(), self.deployment.stats.clone())
+            .with_partitions(
+                self.deployment
+                    .catalog
+                    .partitions()
+                    .map(|(t, s)| (t.clone(), s.clone()))
+                    .collect(),
+            )
+            .with_colocation(self.colocated_joins);
         Ok(Polystore {
             registry: self.deployment.registry,
             catalog: self.deployment.catalog,
@@ -132,6 +152,7 @@ impl PolystoreBuilder {
             opt_level: self.opt_level,
             migration_path: self.migration_path,
             parallel: self.parallel,
+            colocated_joins: self.colocated_joins,
             ledger,
         })
     }
@@ -173,6 +194,7 @@ pub struct Polystore {
     opt_level: OptLevel,
     migration_path: MigrationPath,
     parallel: bool,
+    colocated_joins: bool,
     ledger: CostLedger,
 }
 
@@ -185,6 +207,7 @@ impl Polystore {
             opt_level: OptLevel::L2,
             migration_path: MigrationPath::BinaryPipe,
             parallel: true,
+            colocated_joins: true,
             shards: 1,
             partitions: Vec::new(),
         }
@@ -323,6 +346,7 @@ impl Polystore {
             .offload(level.placement())
             .pipelined(level.pipelined())
             .parallel(self.parallel)
+            .colocated_joins(self.colocated_joins)
             .migration_path(self.migration_path);
         executor.execute(program, &self.registry)
     }

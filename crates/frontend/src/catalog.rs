@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 
-use pspp_common::{Error, PartitionSpec, Result, Schema, TableRef};
+use pspp_common::{Error, PartitionLookup, PartitionSpec, Result, Schema, TableRef};
 
 /// Name resolution and schema lookup for frontends and the optimizer.
 #[derive(Debug, Clone, Default)]
@@ -83,6 +83,12 @@ impl Catalog {
             .filter(|k| !k.contains('.'))
             .map(String::as_str)
             .collect()
+    }
+}
+
+impl PartitionLookup for Catalog {
+    fn partition_spec(&self, table: &TableRef) -> Option<&PartitionSpec> {
+        self.partition(table)
     }
 }
 

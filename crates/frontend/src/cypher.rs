@@ -19,7 +19,7 @@ use crate::lexer::{lex, Cursor};
 ///
 /// # Errors
 ///
-/// Returns [`Error::Parse`] on syntax errors or catalog misses.
+/// Returns [`pspp_common::Error::Parse`] on syntax errors or catalog misses.
 pub fn parse_to_program(query: &str, graph: &str, catalog: &Catalog) -> Result<Program> {
     let mut program = Program::new();
     let out = lower_into(query, graph, catalog, &mut program, "cypher")?;

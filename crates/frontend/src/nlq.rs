@@ -1,5 +1,5 @@
 //! Natural-language queries compiled to heterogeneous programs
-//! (§IV-A.e, in the spirit of SQLizer [49] and Almond [51]).
+//! (§IV-A.e, in the spirit of SQLizer \[49\] and Almond \[51\]).
 //!
 //! A small template matcher: each template recognizes keyword patterns
 //! and expands to a parameterized [`HeterogeneousProgram`]. The flagship

@@ -26,9 +26,11 @@
 
 pub mod graph;
 pub mod op;
+pub mod shard;
 
 pub use graph::{NodeId, Program, ProgramNode, Stage};
 pub use op::{AggFn, AggSpec, Operator, SortSpec, TextSearchMode, TsAgg};
+pub use shard::{NodeShard, ShardPlan};
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,522 @@
+//! The physical shard plan: every IR node annotated with its output
+//! [`Distribution`] and scatter set, computed once at planning time.
+//!
+//! PR 3 made sharding an *execution-time* detail: the executor widened
+//! partitioned scans into per-shard tasks but gathered everything
+//! before any multi-input operator, and the optimizer priced every
+//! node as unsharded. [`ShardPlan::plan`] lifts distribution into a
+//! first-class plan property instead (§IV-B.3: the core decides where
+//! each task runs with a model that sees the real layout):
+//!
+//! * a `Scan` of a partitioned table inherits its
+//!   [`PartitionSpec`]'s distribution and fans out over its scatter
+//!   set;
+//! * `Filter` preserves its input's distribution (a per-shard filter
+//!   followed by a shard-ordered gather is bit-identical to filtering
+//!   the gathered rows);
+//! * `Project` preserves it only while the partition key survives the
+//!   column list — a re-keying projection degrades to
+//!   [`Distribution::Single`];
+//! * a `HashJoin` whose inputs are compatibly partitioned on the join
+//!   keys (see [`Distribution::join`]) stays partitioned and executes
+//!   *colocated* — one task per shard, build + probe on that shard's
+//!   rows; incompatible layouts get an explicit gather, recorded in
+//!   [`NodeShard::gathered_inputs`] — never a silent wrong answer;
+//! * every other operator gathers its inputs and produces
+//!   [`Distribution::Single`] output. (`SortMergeJoin` deliberately
+//!   gathers: its output is globally key-sorted, which a shard-ordered
+//!   concatenation of per-shard merges would not reproduce.)
+//!
+//! The runtime's `Placer::plan_distribution` wraps this pass with
+//! deployment validation; the optimizer's `CostModel` runs the same
+//! pass to price sharded scans and colocated joins at
+//! `rows / shard_count` plus a gather term.
+
+use serde::{Deserialize, Serialize};
+
+use pspp_common::{Distribution, JoinDistribution, PartitionSpec, Result, ShardId, TableRef};
+
+use crate::graph::{NodeId, Program};
+use crate::op::Operator;
+
+/// One node's slice of the shard plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeShard {
+    /// How the node's output rows are distributed across shards.
+    pub distribution: Distribution,
+    /// The shard tasks the node fans out into, in gather order.
+    pub scatter: Vec<ShardId>,
+    /// Whether the node executes colocated: one task per scatter
+    /// entry, each consuming its inputs' per-shard partials (joins)
+    /// or partial (filter/project) instead of the gathered result.
+    pub colocated: bool,
+    /// Whether a colocated consumer reads this node's per-shard
+    /// partials, so the executor must retain them past the gather.
+    pub partials_needed: bool,
+    /// Inputs whose partitioned output this node consumes through an
+    /// explicit gather (the planner found no colocation).
+    pub gathered_inputs: Vec<NodeId>,
+}
+
+impl NodeShard {
+    /// The plan entry of unsharded work: single-site output, one
+    /// shard-0 task.
+    pub fn single() -> Self {
+        NodeShard {
+            distribution: Distribution::Single,
+            scatter: vec![ShardId::ZERO],
+            colocated: false,
+            partials_needed: false,
+            gathered_inputs: Vec::new(),
+        }
+    }
+
+    /// Number of tasks the node fans out into.
+    pub fn scatter_width(&self) -> usize {
+        self.scatter.len()
+    }
+}
+
+impl Default for NodeShard {
+    fn default() -> Self {
+        NodeShard::single()
+    }
+}
+
+/// The physical distribution plan for one program: a [`NodeShard`] per
+/// IR node.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShardPlan {
+    nodes: Vec<NodeShard>,
+}
+
+impl ShardPlan {
+    /// Plans distribution for `program`: propagates each source
+    /// table's partition spec (`spec_of`) through the operator
+    /// lattice. With `colocate` false, every non-source node gathers —
+    /// the PR-3 baseline plan used for colocated-vs-gathered
+    /// comparisons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pspp_common::Error::Semantic`] on cyclic programs and
+    /// [`pspp_common::Error::EmptyShardSet`]/[`pspp_common::Error::Config`]
+    /// for invalid partition specs.
+    pub fn plan<F>(program: &Program, spec_of: F, colocate: bool) -> Result<ShardPlan>
+    where
+        F: Fn(&TableRef) -> Option<PartitionSpec>,
+    {
+        let order = program.topo_order()?;
+        let mut nodes: Vec<NodeShard> = vec![NodeShard::single(); program.len()];
+        for id in order {
+            let node = program.node(id);
+            let entry = if node.annotations.fused_into_consumer {
+                // A fused pass-through aliases its input: consumers see
+                // through it to the producer's distribution.
+                let src = node.inputs.first().map_or_else(NodeShard::single, |i| {
+                    let mut e = nodes[i.0].clone();
+                    e.colocated = false;
+                    e.partials_needed = false;
+                    e.gathered_inputs.clear();
+                    e
+                });
+                src
+            } else if let Some(table) = node.op.source_table() {
+                match spec_of(table) {
+                    Some(spec) => {
+                        spec.validate()?;
+                        let distribution = Distribution::from_spec(&spec);
+                        NodeShard {
+                            scatter: distribution.scatter(),
+                            distribution,
+                            colocated: false,
+                            partials_needed: false,
+                            gathered_inputs: Vec::new(),
+                        }
+                    }
+                    None => NodeShard::single(),
+                }
+            } else {
+                match &node.op {
+                    Operator::Filter { .. } if colocate => {
+                        Self::preserve(&nodes, node.inputs[0], None)
+                    }
+                    Operator::Project { columns } if colocate => {
+                        Self::preserve(&nodes, node.inputs[0], Some(columns))
+                    }
+                    Operator::HashJoin { left_on, right_on } if colocate => {
+                        let (l, r) = (&nodes[node.inputs[0].0], &nodes[node.inputs[1].0]);
+                        match Distribution::join(
+                            &l.distribution,
+                            left_on,
+                            &r.distribution,
+                            right_on,
+                        ) {
+                            JoinDistribution::Colocated { output } => NodeShard {
+                                // A colocated outcome always has a
+                                // partitioned probe (left) side; its
+                                // scatter drives the join's tasks. At
+                                // width 1 the "colocated" and gathered
+                                // plans are the same single task, so
+                                // execute gathered and skip the
+                                // partial-retention machinery.
+                                scatter: l.scatter.clone(),
+                                distribution: output,
+                                colocated: l.scatter.len() > 1,
+                                partials_needed: false,
+                                gathered_inputs: Vec::new(),
+                            },
+                            JoinDistribution::Gather => {
+                                Self::gather_all(&nodes, node.inputs.iter())
+                            }
+                        }
+                    }
+                    _ => Self::gather_all(&nodes, node.inputs.iter()),
+                }
+            };
+            nodes[id.0] = entry;
+        }
+        // Mark the executing producer (resolving through fused
+        // aliases) of every partitioned input a colocated node reads,
+        // so the executor retains its per-shard partials.
+        for n in program.nodes() {
+            if !nodes[n.id.0].colocated || n.annotations.fused_into_consumer {
+                continue;
+            }
+            for &input in &n.inputs {
+                if !nodes[input.0].distribution.is_partitioned() {
+                    continue;
+                }
+                let mut p = input;
+                loop {
+                    nodes[p.0].partials_needed = true;
+                    if program.node(p).annotations.fused_into_consumer {
+                        p = program.node(p).inputs[0];
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(ShardPlan { nodes })
+    }
+
+    /// A single-input node preserving its input's distribution: when
+    /// the input is partitioned the node executes colocated (one task
+    /// per shard partial); `columns` applies the projection rule.
+    fn preserve(nodes: &[NodeShard], input: NodeId, columns: Option<&Vec<String>>) -> NodeShard {
+        let src = &nodes[input.0];
+        let distribution = match columns {
+            Some(cols) => src.distribution.after_projection(cols),
+            None => src.distribution.clone(),
+        };
+        if distribution.is_partitioned() && src.distribution.is_partitioned() {
+            NodeShard {
+                scatter: src.scatter.clone(),
+                distribution,
+                // Width-1 layouts execute gathered (same single task).
+                colocated: src.scatter.len() > 1,
+                partials_needed: false,
+                gathered_inputs: Vec::new(),
+            }
+        } else if src.distribution.is_partitioned() {
+            // Re-keyed projection: explicit gather of the input.
+            NodeShard {
+                gathered_inputs: vec![input],
+                ..NodeShard::single()
+            }
+        } else {
+            NodeShard {
+                distribution,
+                ..NodeShard::single()
+            }
+        }
+    }
+
+    /// A node that gathers every partitioned input and runs at one
+    /// site.
+    fn gather_all<'a>(nodes: &[NodeShard], inputs: impl Iterator<Item = &'a NodeId>) -> NodeShard {
+        NodeShard {
+            gathered_inputs: inputs
+                .filter(|i| nodes[i.0].distribution.is_partitioned())
+                .copied()
+                .collect(),
+            ..NodeShard::single()
+        }
+    }
+
+    /// One node's plan entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ids from a different program.
+    pub fn node(&self, id: NodeId) -> &NodeShard {
+        &self.nodes[id.0]
+    }
+
+    /// Number of shard tasks `id` fans out into.
+    pub fn scatter_width(&self, id: NodeId) -> usize {
+        self.nodes[id.0].scatter_width()
+    }
+
+    /// Number of planned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The colocated nodes, in id order.
+    pub fn colocated_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.colocated)
+            .map(|(i, _)| NodeId(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspp_common::{Predicate, Value};
+
+    fn spec_map(
+        specs: Vec<(TableRef, PartitionSpec)>,
+    ) -> impl Fn(&TableRef) -> Option<PartitionSpec> {
+        move |t: &TableRef| {
+            specs
+                .iter()
+                .find(|(table, _)| table == t)
+                .map(|(_, s)| s.clone())
+        }
+    }
+
+    fn join_program(left: TableRef, right: TableRef, on: &str) -> (Program, NodeId) {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(left), "sql");
+        let b = p.add_source(Operator::scan(right), "sql");
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: on.into(),
+                right_on: on.into(),
+            },
+            vec![a, b],
+            "sql",
+        );
+        p.mark_output(j);
+        (p, j)
+    }
+
+    #[test]
+    fn unpartitioned_program_is_all_single() {
+        let (p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "k");
+        let plan = ShardPlan::plan(&p, |_| None, true).unwrap();
+        assert_eq!(plan.len(), 3);
+        for n in p.nodes() {
+            assert_eq!(plan.node(n.id), &NodeShard::single());
+        }
+        assert_eq!(plan.scatter_width(j), 1);
+    }
+
+    #[test]
+    fn compatible_hash_join_colocates_and_keeps_distribution() {
+        let (p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
+            (TableRef::new("db2", "b"), PartitionSpec::hash("pid", 4)),
+        ]);
+        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        let join = plan.node(j);
+        assert!(join.colocated);
+        assert_eq!(join.scatter_width(), 4);
+        assert_eq!(join.distribution.key(), Some("pid"));
+        assert!(join.gathered_inputs.is_empty());
+        // Both scan producers must retain their per-shard partials.
+        assert!(plan.node(NodeId(0)).partials_needed);
+        assert!(plan.node(NodeId(1)).partials_needed);
+        assert_eq!(plan.colocated_nodes().collect::<Vec<_>>(), vec![j]);
+    }
+
+    #[test]
+    fn mismatched_keys_force_an_explicit_gather() {
+        let (p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
+            // Partitioned on the wrong column: cannot colocate.
+            (TableRef::new("db2", "b"), PartitionSpec::hash("age", 4)),
+        ]);
+        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        let join = plan.node(j);
+        assert!(!join.colocated, "mismatched keys must not colocate");
+        assert_eq!(join.distribution, Distribution::Single);
+        assert_eq!(
+            join.gathered_inputs,
+            vec![NodeId(0), NodeId(1)],
+            "the gather is explicit in the plan"
+        );
+        assert!(!plan.node(NodeId(0)).partials_needed);
+    }
+
+    #[test]
+    fn filter_preserves_and_join_colocates_through_it() {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "a")), "sql");
+        let f = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::ge("age", 10i64),
+            },
+            vec![a],
+            "sql",
+        );
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "b")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: "pid".into(),
+                right_on: "pid".into(),
+            },
+            vec![f, b],
+            "sql",
+        );
+        p.mark_output(j);
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 2)),
+            (TableRef::new("db2", "b"), PartitionSpec::hash("pid", 2)),
+        ]);
+        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        let filter = plan.node(f);
+        assert!(filter.colocated, "filter executes per shard");
+        assert_eq!(filter.distribution.key(), Some("pid"));
+        assert_eq!(filter.scatter_width(), 2);
+        assert!(filter.partials_needed, "join reads the filter's partials");
+        assert!(plan.node(j).colocated);
+    }
+
+    #[test]
+    fn projection_keeping_key_preserves_dropping_key_degrades() {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "a")), "sql");
+        let keep = p.add_node(
+            Operator::Project {
+                columns: vec!["pid".into(), "age".into()],
+            },
+            vec![a],
+            "sql",
+        );
+        let drop = p.add_node(
+            Operator::Project {
+                columns: vec!["age".into()],
+            },
+            vec![keep],
+            "sql",
+        );
+        p.mark_output(drop);
+        let specs = spec_map(vec![(
+            TableRef::new("db1", "a"),
+            PartitionSpec::hash("pid", 3),
+        )]);
+        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        assert!(plan.node(keep).colocated);
+        assert_eq!(plan.node(keep).distribution.key(), Some("pid"));
+        // Re-keying projection degrades to single with an explicit
+        // gather of its (still partitioned) input.
+        let rekeyed = plan.node(drop);
+        assert!(!rekeyed.colocated);
+        assert_eq!(rekeyed.distribution, Distribution::Single);
+        assert_eq!(rekeyed.gathered_inputs, vec![keep]);
+    }
+
+    #[test]
+    fn fused_aliases_are_transparent_to_colocation() {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "a")), "sql");
+        let f = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::True,
+            },
+            vec![a],
+            "sql",
+        );
+        p.node_mut(f).annotations.fused_into_consumer = true;
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "b")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: "pid".into(),
+                right_on: "pid".into(),
+            },
+            vec![f, b],
+            "sql",
+        );
+        p.mark_output(j);
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 2)),
+            (TableRef::new("db2", "b"), PartitionSpec::hash("pid", 2)),
+        ]);
+        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        assert!(plan.node(j).colocated, "colocation sees through fusion");
+        assert_eq!(plan.node(f).distribution.key(), Some("pid"));
+        assert!(
+            plan.node(a).partials_needed,
+            "the executing producer behind the alias retains partials"
+        );
+        assert!(
+            plan.node(f).partials_needed,
+            "the alias forwards partials too"
+        );
+    }
+
+    #[test]
+    fn sort_and_group_by_gather_partitioned_inputs() {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "a")), "sql");
+        let s = p.add_node(
+            Operator::Sort {
+                keys: vec![crate::op::SortSpec {
+                    column: "pid".into(),
+                    ascending: true,
+                }],
+            },
+            vec![a],
+            "sql",
+        );
+        p.mark_output(s);
+        let specs = spec_map(vec![(
+            TableRef::new("db1", "a"),
+            PartitionSpec::range("pid", vec![Value::Int(10)]),
+        )]);
+        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        assert_eq!(plan.node(a).scatter_width(), 2);
+        assert_eq!(plan.node(s).distribution, Distribution::Single);
+        assert_eq!(plan.node(s).gathered_inputs, vec![a]);
+    }
+
+    #[test]
+    fn colocate_off_reverts_to_gathered_joins() {
+        let (p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
+            (TableRef::new("db2", "b"), PartitionSpec::hash("pid", 4)),
+        ]);
+        let plan = ShardPlan::plan(&p, &specs, false).unwrap();
+        assert!(!plan.node(j).colocated);
+        assert_eq!(plan.node(j).gathered_inputs.len(), 2);
+        // Scans still scatter: the PR-3 baseline keeps scan speedup.
+        assert_eq!(plan.node(NodeId(0)).scatter_width(), 4);
+    }
+
+    #[test]
+    fn invalid_specs_are_typed_errors() {
+        let (p, _) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        let specs = spec_map(vec![(
+            TableRef::new("db1", "a"),
+            PartitionSpec::hash("pid", 0),
+        )]);
+        assert!(matches!(
+            ShardPlan::plan(&p, specs, true),
+            Err(pspp_common::Error::EmptyShardSet(_))
+        ));
+    }
+}

@@ -1,4 +1,4 @@
-//! Snorkel-style weak supervision (Fig. 3, reference [14]).
+//! Snorkel-style weak supervision (Fig. 3, reference \[14\]).
 //!
 //! The paper's Fig. 3 shows Snorkel's pipeline: unlabeled data in an
 //! RDBMS, labeling functions producing noisy votes, and a label model

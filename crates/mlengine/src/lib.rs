@@ -4,7 +4,7 @@
 //! workloads lower to GEMM/GEMV (§III-A.1), so the engine routes all
 //! dense algebra through the accelerator GEMM kernel — training and
 //! inference can therefore run on the CPU model or the TPU model, with
-//! costs posted to the shared [`CostLedger`].
+//! costs posted to the shared [`pspp_accel::CostLedger`].
 //!
 //! Components:
 //!

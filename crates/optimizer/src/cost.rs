@@ -10,10 +10,14 @@ use std::collections::HashMap;
 
 use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
 use pspp_accel::{AcceleratorFleet, Interconnect, KernelClass, SimDuration};
-use pspp_common::{DataModel, DeviceKind, Result, TableRef};
-use pspp_ir::{NodeId, Operator, Program};
+use pspp_common::{DataModel, DeviceKind, PartitionSpec, Result, TableRef};
+use pspp_ir::{NodeId, Operator, Program, ShardPlan};
 
 use crate::rewrite::resolve_fused;
+
+/// Simulated per-shard bookkeeping cost of a shard-ordered gather
+/// (task join + result splice), charged once per gathered partial.
+const GATHER_OVERHEAD_S: f64 = 2e-6;
 
 /// Base statistics for one stored dataset.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +48,10 @@ pub struct PlacementPlan {
     pub total_seconds: f64,
     /// Nodes offloaded to accelerators.
     pub offloaded: usize,
+    /// Per-node scatter width from the distribution plan (1 =
+    /// unsharded), so prediction-error analysis (E15) can attribute
+    /// error to cardinality estimation vs distribution modeling.
+    pub scatter_width: HashMap<NodeId, usize>,
 }
 
 /// The optimizer cost model.
@@ -51,6 +59,14 @@ pub struct PlacementPlan {
 pub struct CostModel {
     fleet: AcceleratorFleet,
     stats: HashMap<TableRef, TableStats>,
+    /// Partition specs of stored tables, mirroring the deployment
+    /// catalog: the distribution plan prices sharded scans and
+    /// colocated joins at `rows / shard_count` plus a gather term.
+    partitions: HashMap<TableRef, PartitionSpec>,
+    /// Whether the executor will run compatibly-partitioned joins
+    /// colocated — must mirror the deployment's setting so the model
+    /// prices the plan that actually runs.
+    colocate: bool,
     /// Cross-engine migration link.
     pub migration_link: Interconnect,
 }
@@ -61,8 +77,24 @@ impl CostModel {
         CostModel {
             fleet,
             stats,
+            partitions: HashMap::new(),
+            colocate: true,
             migration_link: Interconnect::network_10g(),
         }
+    }
+
+    /// This model with the deployment's partition specs, enabling
+    /// shard-aware placement costing.
+    pub fn with_partitions(mut self, partitions: HashMap<TableRef, PartitionSpec>) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// This model pricing colocated joins (default) or the gathered
+    /// baseline — must match the executor's `colocated_joins` setting.
+    pub fn with_colocation(mut self, on: bool) -> Self {
+        self.colocate = on;
+        self
     }
 
     /// The fleet used for estimates.
@@ -73,6 +105,36 @@ impl CostModel {
     /// Registers statistics for a dataset.
     pub fn set_stats(&mut self, table: TableRef, stats: TableStats) {
         self.stats.insert(table, stats);
+    }
+
+    /// Registers (or overrides) a table's partition spec.
+    pub fn set_partition(&mut self, table: TableRef, spec: PartitionSpec) {
+        self.partitions.insert(table, spec);
+    }
+
+    /// The distribution plan placement prices against — the same
+    /// propagation pass the executor consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pspp_common::Error::Semantic`] on cyclic programs and
+    /// spec-validation errors for invalid partition declarations.
+    pub fn shard_plan(&self, program: &Program) -> Result<ShardPlan> {
+        ShardPlan::plan(program, |t| self.partitions.get(t).cloned(), self.colocate)
+    }
+
+    /// Estimated cost of the shard-ordered gather concatenating
+    /// `width` partials totaling `rows` output rows: the merge splices
+    /// row handles on the host (about a cycle per row across its
+    /// lanes — the payloads themselves never move), plus per-shard
+    /// task-join bookkeeping. Zero when nothing scatters.
+    pub fn gather_cost(&self, width: usize, rows: f64) -> SimDuration {
+        if width <= 1 {
+            return SimDuration::from_secs(0.0);
+        }
+        let host = self.fleet.host();
+        let splice = rows.max(0.0) / (host.clock_hz * host.lanes as f64);
+        SimDuration::from_secs(splice + width as f64 * GATHER_OVERHEAD_S)
     }
 
     /// Kernel class an operator maps to, when offloadable.
@@ -289,13 +351,24 @@ impl CostModel {
     /// the plan summary. Cardinalities must be estimated first (done
     /// internally).
     ///
+    /// Pricing is distribution-aware: a node the [`ShardPlan`] fans
+    /// out over `w` shards (a partitioned scan, a colocated join, a
+    /// distribution-preserving filter/projection) is priced at
+    /// `1/w` of its input volume — the per-shard tasks run on distinct
+    /// replicas in parallel, matching the executor's max-over-shards
+    /// accounting — plus a [`CostModel::gather_cost`] term for the
+    /// shard-ordered merge of its output, so L2 placement trades shard
+    /// parallelism against migration.
+    ///
     /// # Errors
     ///
     /// Returns [`pspp_common::Error::Semantic`] on cyclic programs.
     pub fn place(&self, program: &mut Program) -> Result<PlacementPlan> {
         self.estimate_cardinalities(program)?;
+        let plan = self.shard_plan(program)?;
         let order = program.topo_order()?;
         let mut node_seconds = HashMap::new();
+        let mut scatter_width = HashMap::new();
         let mut offloaded = 0usize;
         let mut total = 0.0f64;
         for id in order {
@@ -303,40 +376,71 @@ impl CostModel {
             if node.annotations.fused_into_consumer {
                 continue;
             }
-            // Compute cost is driven by the *input* volume (sources use
-            // their own output estimate).
-            let (est_rows, est_bytes) = if node.inputs.is_empty() {
+            // Compute cost is driven by the *input* volume (sources
+            // use their own output estimate), at per-task scale: a
+            // node the plan fans out over w shards sees 1/w of each
+            // partitioned input, while a broadcast (replicated or
+            // gathered) join side arrives whole at every task. Joins
+            // pay for build + probe (the sum of their sides);
+            // everything else pays for its largest pass.
+            let width = plan.scatter_width(id);
+            let is_join = matches!(
+                node.op,
+                Operator::HashJoin { .. } | Operator::SortMergeJoin { .. }
+            );
+            let (task_rows, task_bytes) = if node.inputs.is_empty() {
                 (
-                    node.annotations.est_rows.unwrap_or(1_000.0),
-                    node.annotations.est_bytes.unwrap_or(64_000.0),
+                    node.annotations.est_rows.unwrap_or(1_000.0) / width as f64,
+                    node.annotations.est_bytes.unwrap_or(64_000.0) / width as f64,
                 )
             } else {
-                node.inputs
+                let per_input: Vec<(f64, f64)> = node
+                    .inputs
                     .iter()
                     .map(|&i| {
                         let n = program.node(resolve_fused(program, i));
+                        let divisor = if plan.node(id).colocated
+                            && plan.node(i).distribution.is_partitioned()
+                        {
+                            width as f64
+                        } else {
+                            1.0
+                        };
                         (
-                            n.annotations.est_rows.unwrap_or(1_000.0),
-                            n.annotations.est_bytes.unwrap_or(64_000.0),
+                            n.annotations.est_rows.unwrap_or(1_000.0) / divisor,
+                            n.annotations.est_bytes.unwrap_or(64_000.0) / divisor,
                         )
                     })
-                    .fold((0.0f64, 0.0f64), |(ar, ab), (r, b)| (ar.max(r), ab.max(b)))
+                    .collect();
+                if is_join {
+                    per_input
+                        .iter()
+                        .fold((0.0f64, 0.0f64), |(ar, ab), (r, b)| (ar + r, ab + b))
+                } else {
+                    per_input.iter().fold((0.0f64, 0.0f64), |(ar, ab), (r, b)| {
+                        (ar.max(*r), ab.max(*b))
+                    })
+                }
             };
+            let gather = self
+                .gather_cost(width, node.annotations.est_rows.unwrap_or(1_000.0))
+                .as_secs();
             let mut best: Option<(DeviceKind, SimDuration)> = None;
             for device in DeviceKind::all() {
-                if let Some(t) = self.node_cost(&node.op, device, est_rows, est_bytes) {
+                if let Some(t) = self.node_cost(&node.op, device, task_rows, task_bytes) {
                     if best.is_none_or(|(_, bt)| t < bt) {
                         best = Some((device, t));
                     }
                 }
             }
             let (device, seconds) = match best {
-                Some((d, t)) => (d, t.as_secs()),
+                Some((d, t)) => (d, t.as_secs() + gather),
                 None => (DeviceKind::Cpu, 0.0),
             };
             if device != DeviceKind::Cpu {
                 offloaded += 1;
             }
+            scatter_width.insert(id, width);
             let ann = &mut program.node_mut(id).annotations;
             ann.device = Some(device);
             ann.est_seconds = Some(seconds);
@@ -377,6 +481,7 @@ impl CostModel {
             migration_seconds: migration,
             total_seconds: total,
             offloaded,
+            scatter_width,
         })
     }
 }
@@ -542,5 +647,126 @@ mod tests {
         p.node_mut(f).annotations.fused_into_consumer = true;
         let plan = m.place(&mut p).unwrap();
         assert!(!plan.node_seconds.contains_key(&f));
+    }
+
+    fn scan_program() -> (Program, NodeId) {
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "big")), "sql");
+        p.mark_output(s);
+        (p, s)
+    }
+
+    #[test]
+    fn four_shard_scan_is_priced_at_a_quarter_plus_gather() {
+        // The acceptance identity: sharded estimate = unsharded
+        // estimate over rows/4 + the gather term. Same device, same
+        // kernel model — only the scatter width differs.
+        let unsharded = model();
+        let mut sharded = model();
+        sharded.set_partition(
+            TableRef::new("db1", "big"),
+            pspp_common::PartitionSpec::hash("k", 4),
+        );
+
+        let (mut p_flat, s_flat) = scan_program();
+        let flat = unsharded.place(&mut p_flat).unwrap();
+        let (mut p_shard, s_shard) = scan_program();
+        let plan = sharded.place(&mut p_shard).unwrap();
+
+        assert_eq!(plan.scatter_width[&s_shard], 4);
+        assert_eq!(flat.scatter_width[&s_flat], 1);
+
+        let est_rows = p_shard.node(s_shard).annotations.est_rows.unwrap();
+        let est_bytes = p_shard.node(s_shard).annotations.est_bytes.unwrap();
+        let device = p_shard.node(s_shard).annotations.device.unwrap();
+        let gather = sharded.gather_cost(4, est_rows).as_secs();
+        let quarter = sharded
+            .node_cost(
+                &p_shard.node(s_shard).op,
+                device,
+                est_rows / 4.0,
+                est_bytes / 4.0,
+            )
+            .unwrap()
+            .as_secs();
+        let predicted = plan.node_seconds[&s_shard];
+        assert!(
+            (predicted - (quarter + gather)).abs() < 1e-12,
+            "sharded scan estimate {predicted} != per-shard cost {quarter} + gather {gather}"
+        );
+        assert!(gather > 0.0, "gathering 4 partials is not free");
+        assert!(
+            predicted < flat.node_seconds[&s_flat],
+            "shard parallelism must cut the estimate ({predicted} vs {})",
+            flat.node_seconds[&s_flat]
+        );
+        // The speedup is roughly the scatter width (gather term and
+        // launch overhead eat a little of it).
+        let ratio = flat.node_seconds[&s_flat] / predicted;
+        assert!(
+            ratio > 2.0 && ratio <= 4.5,
+            "4-shard scan speedup {ratio:.2}x out of the plausible band"
+        );
+    }
+
+    #[test]
+    fn colocated_join_is_priced_at_per_shard_volume() {
+        let make = |sharded: bool| {
+            let mut m = model();
+            m.set_stats(
+                TableRef::new("db2", "big2"),
+                TableStats {
+                    rows: 2_000_000.0,
+                    row_bytes: 64.0,
+                },
+            );
+            if sharded {
+                m.set_partition(
+                    TableRef::new("db1", "big"),
+                    pspp_common::PartitionSpec::hash("k", 4),
+                );
+                m.set_partition(
+                    TableRef::new("db2", "big2"),
+                    pspp_common::PartitionSpec::hash("k", 4),
+                );
+            }
+            m
+        };
+        let join_program = || {
+            let mut p = Program::new();
+            let a = p.add_source(Operator::scan(TableRef::new("db1", "big")), "sql");
+            let b = p.add_source(Operator::scan(TableRef::new("db2", "big2")), "sql");
+            let j = p.add_node(
+                Operator::HashJoin {
+                    left_on: "k".into(),
+                    right_on: "k".into(),
+                },
+                vec![a, b],
+                "sql",
+            );
+            p.mark_output(j);
+            (p, j)
+        };
+        let (mut p_flat, j_flat) = join_program();
+        let flat = make(false).place(&mut p_flat).unwrap();
+        let (mut p_shard, j_shard) = join_program();
+        let m = make(true);
+        let plan = m.place(&mut p_shard).unwrap();
+        assert_eq!(plan.scatter_width[&j_shard], 4, "join priced colocated");
+        assert!(
+            plan.node_seconds[&j_shard] < flat.node_seconds[&j_flat],
+            "colocated join estimate must beat the gathered one ({} vs {})",
+            plan.node_seconds[&j_shard],
+            flat.node_seconds[&j_flat]
+        );
+        // Mismatched keys fall back to width-1 (gathered) pricing.
+        let mut mismatched = make(true);
+        mismatched.set_partition(
+            TableRef::new("db2", "big2"),
+            pspp_common::PartitionSpec::hash("other", 4),
+        );
+        let (mut p_mis, j_mis) = join_program();
+        let plan_mis = mismatched.place(&mut p_mis).unwrap();
+        assert_eq!(plan_mis.scatter_width[&j_mis], 1);
     }
 }

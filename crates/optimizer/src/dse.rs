@@ -11,7 +11,7 @@
 //!   predicted-Pareto points, evaluate those for real, retrain
 //!   ("interleaving exploration and exploitation", §IV-C.1).
 //!
-//! Quality is compared via the dominated [`hypervolume`] indicator.
+//! Quality is compared via the dominated [`ParetoFront::hypervolume`] indicator.
 
 use pspp_common::{Error, Result, SplitMix64};
 

@@ -1,5 +1,5 @@
 //! Random-forest regression: the surrogate model of the active-learning
-//! loop (§IV-C: "one can use randomized decision forests [69] as the
+//! loop (§IV-C: "one can use randomized decision forests \[69\] as the
 //! base predictors").
 
 use pspp_common::SplitMix64;

@@ -8,7 +8,7 @@
 //! 2. **Projection pushdown** — a `Project` directly above a `Scan`
 //!    becomes the scan's projection list.
 //! 3. **Filter fusion** — `Filter∘Filter` chains fuse into one
-//!    conjunction (operator fusion à la Weld [19]).
+//!    conjunction (operator fusion à la Weld \[19\]).
 //! 4. **Join-algorithm selection** — `SortMergeJoin` is rewritten to
 //!    `HashJoin` unless an input is already sorted on the join key;
 //!    a `HashJoin` over two sorted inputs becomes a `SortMergeJoin`.

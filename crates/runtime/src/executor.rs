@@ -5,25 +5,40 @@
 //! [`EngineAdapter`](crate::physical::EngineAdapter) implementations
 //! installed in the [`AdapterRegistry`]; the [`Placer`] resolves where
 //! each node runs and migrates foreign inputs there; the
-//! [`Charger`](crate::physical::Charger) posts simulated costs. The
+//! [`Charger`] posts simulated costs. The
 //! loop walks the program's topological stages and runs each stage's
 //! independent tasks concurrently (one `std::thread::scope` worker per
 //! task), so the pipelined makespan model is backed by real wall-clock
-//! parallelism. A task is one (node, shard) pair: a scan over a table
-//! partitioned across N shard replicas scatters into N tasks whose
-//! partial results gather back in shard order (deterministic
-//! scatter-gather), while unsharded nodes stay single tasks on shard 0.
+//! parallelism.
 //!
-//! Parallel and sequential modes are bit-identical: every task executes
-//! against a private scoped ledger, and the loop merges shard partials
-//! in shard order and node results in node-id order after each stage
-//! joins.
+//! Distribution is a *plan* property, not an execution-time discovery:
+//! [`Placer::plan_distribution`] annotates every node with its
+//! [`pspp_ir::ShardPlan`] entry once, and the stage loop consumes it. A
+//! task is one (node, shard) pair:
+//!
+//! * a `Scan` over a partitioned table scatters into one task per shard
+//!   replica;
+//! * a *colocated* node (a `HashJoin` whose inputs are compatibly
+//!   partitioned on the join keys, or a filter/projection preserving a
+//!   partitioned input) fans out one task per shard, each consuming its
+//!   inputs' per-shard partials — build + probe on that shard's rows —
+//!   with a replicated broadcast partner served from its full copy;
+//! * everything else runs as a single shard-0 task over gathered
+//!   inputs.
+//!
+//! Per-shard partials merge back in shard order, so colocated and
+//! gathered execution are bit-identical (E18 proves byte-equal digests);
+//! migration and ledger charges post per shard task exactly as PR 3's
+//! scatter-gather scans did. Parallel and sequential modes are likewise
+//! bit-identical: every task executes against a private scoped ledger,
+//! and the loop merges shard partials in shard order and node results
+//! in node-id order after each stage joins.
 
 use std::collections::HashMap;
 
 use pspp_accel::{AcceleratorFleet, CostLedger};
 use pspp_common::{DeviceKind, Error, Result, ShardId};
-use pspp_ir::{NodeId, Program, Stage};
+use pspp_ir::{NodeId, Program, ShardPlan, Stage};
 use pspp_migrate::{MigrationPath, Migrator};
 
 use crate::dataset::{Dataset, Payload};
@@ -71,8 +86,13 @@ struct NodeRun {
     output: Dataset,
     /// Simulated execution seconds (excluding migration).
     exec_seconds: f64,
-    /// Simulated seconds migrating this node's foreign inputs.
+    /// Simulated seconds migrating this node's foreign inputs, summed
+    /// across shard tasks (total data-movement work).
     migration_seconds: f64,
+    /// Simulated critical-path seconds: the slowest shard task's
+    /// execution *plus its own* migration (per-shard migrations run
+    /// concurrently with the other shards' tasks, so they overlap).
+    critical_seconds: f64,
     /// Whether the node ran on an attached accelerator.
     offloaded: bool,
     /// Cost events from the task's scoped ledger, in posting order.
@@ -82,8 +102,9 @@ struct NodeRun {
 impl NodeRun {
     /// Folds the next shard's partial into this run (shard-ordered
     /// gather): rows concatenate in shard order, simulated execution
-    /// time is the slowest replica (shards run on distinct engine
-    /// replicas in parallel), migration and cost events accumulate.
+    /// and critical-path time are the slowest replica's (shards run on
+    /// distinct engine replicas in parallel, each migrating its own
+    /// partial), total migration work and cost events accumulate.
     fn absorb(&mut self, next: NodeRun) -> Result<()> {
         let (Payload::Rows { rows, .. }, Payload::Rows { rows: more, .. }) =
             (&mut self.output.payload, next.output.payload)
@@ -96,6 +117,7 @@ impl NodeRun {
         rows.extend(more);
         self.exec_seconds = self.exec_seconds.max(next.exec_seconds);
         self.migration_seconds += next.migration_seconds;
+        self.critical_seconds = self.critical_seconds.max(next.critical_seconds);
         self.offloaded |= next.offloaded;
         self.events.extend(next.events);
         Ok(())
@@ -115,6 +137,9 @@ pub struct Executor {
     pipelined: bool,
     /// Run each stage's independent nodes on separate threads.
     parallel: bool,
+    /// Execute compatibly-partitioned joins (and distribution-preserving
+    /// filters/projections) per shard instead of gathering first.
+    colocate: bool,
 }
 
 impl Executor {
@@ -128,6 +153,7 @@ impl Executor {
             offload: true,
             pipelined: false,
             parallel: true,
+            colocate: true,
         }
     }
 
@@ -148,6 +174,15 @@ impl Executor {
     /// totals; it exists for debugging and determinism checks.
     pub fn parallel(mut self, on: bool) -> Self {
         self.parallel = on;
+        self
+    }
+
+    /// Enables/disables colocated execution of compatibly-partitioned
+    /// joins (default: on). Off reverts to the gather-before-join plan,
+    /// which is bit-identical and exists for comparison (E18) and
+    /// debugging.
+    pub fn colocated_joins(mut self, on: bool) -> Self {
+        self.colocate = on;
         self
     }
 
@@ -193,8 +228,14 @@ impl Executor {
     /// operator cannot run.
     pub fn execute(&self, program: &Program, registry: &EngineRegistry) -> Result<ExecutionReport> {
         program.validate()?;
+        // Distribution is planned once, up front: the stage loop never
+        // re-derives scatter sets from the registry.
+        let plan = Placer::plan_distribution_opts(program, registry, registry, self.colocate)?;
         let stages = program.execution_stages()?;
         let mut results: HashMap<NodeId, Dataset> = HashMap::new();
+        // Per-shard partials of nodes feeding colocated consumers, in
+        // scatter (gather) order.
+        let mut partials: HashMap<NodeId, Vec<Dataset>> = HashMap::new();
         let mut node_seconds: HashMap<NodeId, f64> = HashMap::new();
         let mut node_total: HashMap<NodeId, f64> = HashMap::new();
         let mut migration_seconds = 0.0f64;
@@ -204,27 +245,41 @@ impl Executor {
             // Fused nodes alias their input; resolve before compute.
             for &id in &stage.forwards {
                 let node = program.node(id);
-                let input = node
+                let source = *node
                     .inputs
                     .first()
-                    .and_then(|i| results.get(i))
+                    .ok_or_else(|| Error::Execution(format!("missing input for {id}")))?;
+                let input = results
+                    .get(&source)
                     .ok_or_else(|| Error::Execution(format!("missing input for {id}")))?
                     .clone();
                 results.insert(id, input);
+                if let Some(p) = partials.get(&source) {
+                    partials.insert(id, p.clone());
+                }
             }
             // Run the stage's independent nodes (possibly on separate
             // threads), then merge in node-id order so parallel and
             // sequential schedules are indistinguishable downstream.
-            for run in self.run_stage(program, &stage.compute, &results, registry)? {
+            let (runs, shard_outputs) = self.run_stage(
+                program,
+                &stage.compute,
+                &results,
+                &partials,
+                &plan,
+                registry,
+            )?;
+            for run in runs {
                 for event in run.events {
                     self.ledger.post_event(event);
                 }
                 node_seconds.insert(run.id, run.exec_seconds);
-                node_total.insert(run.id, run.exec_seconds + run.migration_seconds);
+                node_total.insert(run.id, run.critical_seconds);
                 migration_seconds += run.migration_seconds;
                 offloaded += usize::from(run.offloaded);
                 results.insert(run.id, run.output);
             }
+            partials.extend(shard_outputs);
         }
 
         let (makespan_sequential, makespan_pipelined) = makespans(&stages, &node_total);
@@ -249,32 +304,83 @@ impl Executor {
         })
     }
 
+    /// Resolves one task's input datasets. A colocated task at scatter
+    /// slot `slot` reads per-shard partials of its partitioned inputs
+    /// (and the gathered full copy of replicated/single inputs — the
+    /// broadcast side of a join); every other task reads gathered
+    /// results.
+    fn task_inputs(
+        program: &Program,
+        id: NodeId,
+        slot: Option<usize>,
+        results: &HashMap<NodeId, Dataset>,
+        partials: &HashMap<NodeId, Vec<Dataset>>,
+        plan: &ShardPlan,
+    ) -> Result<Vec<Dataset>> {
+        program
+            .node(id)
+            .inputs
+            .iter()
+            .map(|i| match slot {
+                Some(k) if plan.node(*i).distribution.is_partitioned() => partials
+                    .get(i)
+                    .and_then(|p| p.get(k))
+                    .cloned()
+                    .ok_or_else(|| {
+                        Error::Execution(format!("missing shard partial {k} of {i} for {id}"))
+                    }),
+                _ => results
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| Error::Execution(format!("missing input for {id}"))),
+            })
+            .collect()
+    }
+
     /// Runs one stage's compute nodes as a scatter-gather task set: one
-    /// task per (node, shard replica), in parallel when enabled and the
-    /// stage has at least two tasks. Per-shard partials merge back in
-    /// shard order and nodes return in node-id order with the first (by
-    /// task order) error propagated, independent of thread scheduling.
+    /// task per (node, shard replica) for partitioned scans and
+    /// colocated nodes, in parallel when enabled and the stage has at
+    /// least two tasks. Per-shard partials merge back in shard order
+    /// and nodes return in node-id order with the first (by task order)
+    /// error propagated, independent of thread scheduling. The second
+    /// return value holds the per-shard outputs of nodes whose plan
+    /// marks them `partials_needed` (a colocated consumer reads them).
+    #[allow(clippy::type_complexity)]
     fn run_stage(
         &self,
         program: &Program,
         compute: &[NodeId],
         results: &HashMap<NodeId, Dataset>,
+        partials: &HashMap<NodeId, Vec<Dataset>>,
+        plan: &ShardPlan,
         registry: &EngineRegistry,
-    ) -> Result<Vec<NodeRun>> {
-        // The scatter plan: a partitioned source node contributes one
-        // task per shard replica; everything else a single shard-0 task.
-        let mut tasks: Vec<(NodeId, ShardId)> = Vec::new();
+    ) -> Result<(Vec<NodeRun>, HashMap<NodeId, Vec<Dataset>>)> {
+        // The scatter plan: partitioned sources and colocated nodes
+        // contribute one task per shard; everything else a single
+        // shard-0 task over gathered inputs.
+        let mut tasks: Vec<(NodeId, ShardId, Vec<Dataset>)> = Vec::new();
         for &id in compute {
-            for shard in self.placer.scatter_shards(program.node(id), registry)? {
-                tasks.push((id, shard));
+            let info = plan.node(id);
+            if program.node(id).inputs.is_empty() {
+                for &shard in &info.scatter {
+                    tasks.push((id, shard, Vec::new()));
+                }
+            } else if info.colocated {
+                for (k, &shard) in info.scatter.iter().enumerate() {
+                    let inputs = Self::task_inputs(program, id, Some(k), results, partials, plan)?;
+                    tasks.push((id, shard, inputs));
+                }
+            } else {
+                let inputs = Self::task_inputs(program, id, None, results, partials, plan)?;
+                tasks.push((id, ShardId::ZERO, inputs));
             }
         }
         let runs: Vec<Result<NodeRun>> = if self.parallel && tasks.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = tasks
-                    .iter()
-                    .map(|&(id, shard)| {
-                        scope.spawn(move || self.run_node(program, id, shard, results, registry))
+                    .drain(..)
+                    .map(|(id, shard, inputs)| {
+                        scope.spawn(move || self.run_node(program, id, shard, inputs, registry))
                     })
                     .collect();
                 handles
@@ -287,39 +393,46 @@ impl Executor {
             })
         } else {
             tasks
-                .iter()
-                .map(|&(id, shard)| self.run_node(program, id, shard, results, registry))
+                .drain(..)
+                .map(|(id, shard, inputs)| self.run_node(program, id, shard, inputs, registry))
                 .collect()
         };
         // Gather: merge each node's shard partials in shard order (task
         // order is node-major, shard-minor), surfacing the first error.
         let mut merged: Vec<NodeRun> = Vec::with_capacity(compute.len());
-        for (&(id, _), run) in tasks.iter().zip(runs) {
+        let mut shard_outputs: HashMap<NodeId, Vec<Dataset>> = HashMap::new();
+        for run in runs {
             let run = run?;
+            if plan.node(run.id).partials_needed {
+                shard_outputs
+                    .entry(run.id)
+                    .or_default()
+                    .push(run.output.clone());
+            }
             match merged.last_mut() {
-                Some(prev) if prev.id == id => prev.absorb(run)?,
+                Some(prev) if prev.id == run.id => prev.absorb(run)?,
                 _ => merged.push(run),
             }
         }
-        Ok(merged)
+        Ok((merged, shard_outputs))
     }
 
     /// Executes one (node, shard) task against a private scoped ledger:
     /// placement, input migration, adapter dispatch, and cost
-    /// attribution — migration and kernel charges post per shard.
+    /// attribution — migration and kernel charges post per shard task.
     fn run_node(
         &self,
         program: &Program,
         id: NodeId,
         shard: ShardId,
-        results: &HashMap<NodeId, Dataset>,
+        inputs: Vec<Dataset>,
         registry: &EngineRegistry,
     ) -> Result<NodeRun> {
         let node = program.node(id);
         let scoped_ledger = CostLedger::new();
         let placer = self.placer.scoped(scoped_ledger.clone());
-        let target = placer.target_engine(node, results);
-        let (inputs, bill) = placer.stage_inputs(node, target.as_ref(), results, registry)?;
+        let target = Placer::target_engine_of(node, &inputs);
+        let (inputs, bill) = placer.stage_datasets(inputs, target.as_ref(), registry)?;
 
         let device = if self.offload {
             node.annotations.device.unwrap_or(DeviceKind::Cpu)
@@ -331,19 +444,35 @@ impl Executor {
             .adapters
             .dispatch(&node.op, &inputs, target.as_ref(), registry, &ctx)?;
 
-        // Charge the simulated clock with actual sizes.
-        let work_rows = inputs
-            .iter()
-            .map(Dataset::len)
-            .max()
-            .unwrap_or(output.len())
-            .max(output.len());
-        let work_bytes = inputs
-            .iter()
-            .map(Dataset::byte_size)
-            .max()
-            .unwrap_or_else(|| output.byte_size())
-            .max(output.byte_size());
+        // Charge the simulated clock with actual sizes. Joins pay for
+        // build + probe (the sum of their input sides — which is how a
+        // colocated task with a per-shard probe and a broadcast build
+        // side charges less than the gathered join); everything else
+        // pays for its largest pass.
+        let is_join = matches!(
+            node.op,
+            pspp_ir::Operator::HashJoin { .. } | pspp_ir::Operator::SortMergeJoin { .. }
+        );
+        let work_rows = if is_join {
+            inputs.iter().map(Dataset::len).sum::<usize>()
+        } else {
+            inputs
+                .iter()
+                .map(Dataset::len)
+                .max()
+                .unwrap_or(output.len())
+        }
+        .max(output.len());
+        let work_bytes = if is_join {
+            inputs.iter().map(Dataset::byte_size).sum::<u64>()
+        } else {
+            inputs
+                .iter()
+                .map(Dataset::byte_size)
+                .max()
+                .unwrap_or_else(|| output.byte_size())
+        }
+        .max(output.byte_size());
         let exec_seconds = if Charger::is_ml_op(&node.op) {
             Charger::ml_seconds(&scoped_ledger)
         } else {
@@ -361,6 +490,7 @@ impl Executor {
             output,
             exec_seconds,
             migration_seconds: bill.seconds,
+            critical_seconds: exec_seconds + bill.seconds,
             offloaded: device != DeviceKind::Cpu && self.fleet.device(device).is_some(),
             events: scoped_ledger.events(),
         })
@@ -784,6 +914,198 @@ mod tests {
         let report = exec().execute(&p, &sharded).unwrap();
         assert_eq!(report.outputs[0].len(), 200, "every pid still joins");
         assert!(report.migration_seconds > 0.0);
+    }
+
+    /// Rows in a canonical order, for set-equality checks against
+    /// deployments whose gather order legitimately differs (hash
+    /// partitions interleave the insert order even when gathered).
+    fn sorted_rows(d: &Dataset) -> Vec<pspp_common::Row> {
+        let mut rows = d.try_rows().unwrap().to_vec();
+        rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        rows
+    }
+
+    /// The pid-joined program both colocation tests execute.
+    fn pid_join_program() -> (Program, pspp_ir::NodeId) {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "patients")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: "pid".into(),
+                right_on: "pid".into(),
+            },
+            vec![a, b],
+            "sql",
+        );
+        p.mark_output(j);
+        (p, j)
+    }
+
+    #[test]
+    fn colocated_join_is_bit_identical_to_gathered_and_faster() {
+        let mut sharded = registry();
+        for (engine, table) in [("db1", "admissions"), ("db2", "patients")] {
+            sharded
+                .reshard(
+                    &TableRef::new(engine, table),
+                    pspp_common::PartitionSpec::hash("pid", 4),
+                )
+                .unwrap();
+        }
+        let (p, j) = pid_join_program();
+
+        let flat = exec().execute(&p, &registry()).unwrap();
+        let colocated = exec().execute(&p, &sharded).unwrap();
+        let gathered = exec().colocated_joins(false).execute(&p, &sharded).unwrap();
+
+        assert_eq!(
+            colocated.outputs[0].try_rows().unwrap(),
+            gathered.outputs[0].try_rows().unwrap(),
+            "colocated and gathered plans must agree bit-for-bit"
+        );
+        assert_eq!(
+            sorted_rows(&colocated.outputs[0]),
+            sorted_rows(&flat.outputs[0]),
+            "colocated join must reproduce the unsharded row set"
+        );
+        assert!(
+            colocated.node_seconds[&j] < gathered.node_seconds[&j],
+            "4 per-shard build+probe tasks must beat one gathered join ({} vs {})",
+            colocated.node_seconds[&j],
+            gathered.node_seconds[&j]
+        );
+        // Per-shard migration accounting: every shard task staged its
+        // foreign patients partial.
+        assert!(colocated.migration_seconds > 0.0);
+
+        // Sequential colocated execution is bit-identical too.
+        let seq = exec().parallel(false).execute(&p, &sharded).unwrap();
+        assert_eq!(
+            colocated.outputs[0].try_rows().unwrap(),
+            seq.outputs[0].try_rows().unwrap()
+        );
+        assert_eq!(colocated.node_seconds, seq.node_seconds);
+    }
+
+    #[test]
+    fn mismatched_partition_keys_gather_and_stay_correct() {
+        // admissions hashed on pid, patients hashed on *name*: no
+        // colocation — the plan inserts an explicit gather and the
+        // join still answers correctly.
+        let mut sharded = registry();
+        sharded
+            .reshard(
+                &TableRef::new("db1", "admissions"),
+                pspp_common::PartitionSpec::hash("pid", 2),
+            )
+            .unwrap();
+        sharded
+            .reshard(
+                &TableRef::new("db2", "patients"),
+                pspp_common::PartitionSpec::hash("name", 2),
+            )
+            .unwrap();
+        let (p, j) = pid_join_program();
+        let plan = Placer::plan_distribution(&p, &sharded, &sharded).unwrap();
+        assert!(!plan.node(j).colocated);
+        assert_eq!(plan.node(j).gathered_inputs.len(), 2);
+        let report = exec().execute(&p, &sharded).unwrap();
+        let flat = exec().execute(&p, &registry()).unwrap();
+        assert_eq!(
+            sorted_rows(&report.outputs[0]),
+            sorted_rows(&flat.outputs[0]),
+            "gathered join over mismatched layouts stays correct"
+        );
+    }
+
+    #[test]
+    fn replicated_build_side_broadcasts_into_a_colocated_join() {
+        // Satellite regression: a replicated table is colocatable with
+        // any hashed partner — the broadcast join builds each shard
+        // task against the full copy.
+        let mut sharded = registry();
+        sharded
+            .reshard(
+                &TableRef::new("db1", "admissions"),
+                pspp_common::PartitionSpec::hash("pid", 4),
+            )
+            .unwrap();
+        sharded
+            .reshard(
+                &TableRef::new("db2", "patients"),
+                pspp_common::PartitionSpec::replicated(2),
+            )
+            .unwrap();
+        let (p, j) = pid_join_program();
+        let plan = Placer::plan_distribution(&p, &sharded, &sharded).unwrap();
+        assert!(plan.node(j).colocated, "broadcast join must colocate");
+        assert_eq!(plan.node(j).scatter.len(), 4);
+
+        let flat = exec().execute(&p, &registry()).unwrap();
+        let broadcast = exec().execute(&p, &sharded).unwrap();
+        let gathered = exec().colocated_joins(false).execute(&p, &sharded).unwrap();
+        assert_eq!(
+            broadcast.outputs[0].try_rows().unwrap(),
+            gathered.outputs[0].try_rows().unwrap(),
+            "broadcast and gathered plans must agree bit-for-bit"
+        );
+        assert_eq!(
+            sorted_rows(&broadcast.outputs[0]),
+            sorted_rows(&flat.outputs[0]),
+            "broadcast join must reproduce the unsharded row set"
+        );
+        assert!(broadcast.node_seconds[&j] < gathered.node_seconds[&j]);
+    }
+
+    #[test]
+    fn filter_between_scan_and_join_executes_per_shard() {
+        // An explicit (unfused) filter preserves its input's
+        // distribution, so the join downstream still colocates and the
+        // filter itself fans out per shard.
+        let mut sharded = registry();
+        for (engine, table) in [("db1", "admissions"), ("db2", "patients")] {
+            sharded
+                .reshard(
+                    &TableRef::new(engine, table),
+                    pspp_common::PartitionSpec::hash("pid", 2),
+                )
+                .unwrap();
+        }
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let f = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::ge("age", 30i64),
+            },
+            vec![a],
+            "sql",
+        );
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "patients")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: "pid".into(),
+                right_on: "pid".into(),
+            },
+            vec![f, b],
+            "sql",
+        );
+        p.mark_output(j);
+        let plan = Placer::plan_distribution(&p, &sharded, &sharded).unwrap();
+        assert!(plan.node(f).colocated, "filter rides the shard layout");
+        assert!(plan.node(j).colocated);
+        let report = exec().execute(&p, &sharded).unwrap();
+        let gathered = exec().colocated_joins(false).execute(&p, &sharded).unwrap();
+        let flat = exec().execute(&p, &registry()).unwrap();
+        assert_eq!(
+            report.outputs[0].try_rows().unwrap(),
+            gathered.outputs[0].try_rows().unwrap(),
+            "per-shard filter + colocated join == gathered plan bit-for-bit"
+        );
+        assert_eq!(
+            sorted_rows(&report.outputs[0]),
+            sorted_rows(&flat.outputs[0])
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use std::collections::HashMap;
 
 use pspp_accel::CostLedger;
-use pspp_common::{Batch, EngineId, Error, PartitionSpec, Result, ShardId};
-use pspp_ir::{NodeId, ProgramNode};
+use pspp_common::{Batch, EngineId, Error, PartitionLookup, PartitionSpec, Result, ShardId};
+use pspp_ir::{NodeId, Program, ProgramNode, ShardPlan};
 use pspp_migrate::{MigrationPath, Migrator};
 
 use crate::dataset::{Dataset, Payload};
@@ -71,18 +71,84 @@ impl Placer {
         node: &ProgramNode,
         results: &HashMap<NodeId, Dataset>,
     ) -> Option<EngineId> {
+        match node.inputs.first().and_then(|i| results.get(i)) {
+            Some(d) => Self::target_engine_of(node, std::slice::from_ref(d)),
+            None => Self::target_engine_of(node, &[]),
+        }
+    }
+
+    /// [`Placer::target_engine`] over already-resolved input datasets —
+    /// the form the executor uses, where a colocated task's inputs are
+    /// per-shard partials rather than entries in the results map.
+    /// Priority: optimizer annotation, then the source table's engine,
+    /// then data gravity (the engine already holding the first input,
+    /// so cross-engine joins pay migration at every optimization
+    /// level).
+    pub fn target_engine_of(node: &ProgramNode, inputs: &[Dataset]) -> Option<EngineId> {
         if let Some(e) = &node.annotations.engine {
             return Some(e.clone());
         }
         if let Some(t) = node.op.source_table() {
             return Some(t.engine.clone());
         }
-        // Data gravity: run where the first input already lives, so
-        // cross-engine joins pay migration at every optimization level.
-        node.inputs
-            .first()
-            .and_then(|i| results.get(i))
-            .map(|d| d.location.clone())
+        inputs.first().map(|d| d.location.clone())
+    }
+
+    /// The planning-time distribution pass: annotates every node of
+    /// `program` with its output distribution and scatter set (see
+    /// [`ShardPlan::plan`] for the propagation lattice), validating
+    /// partitioned source tables against the deployed `registry`.
+    /// `catalog` supplies planning-time partition declarations (the
+    /// frontend `Catalog` implements [`PartitionLookup`]); the
+    /// registry's own specs — the runtime truth after any `reshard` —
+    /// take precedence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TableNotFound`] when a partitioned table no
+    /// longer exists on its engine, [`Error::Invalid`] when its engine
+    /// is not relational or under-replicated, and
+    /// [`Error::EmptyShardSet`] for zero-shard specs.
+    pub fn plan_distribution(
+        program: &Program,
+        catalog: &dyn PartitionLookup,
+        registry: &EngineRegistry,
+    ) -> Result<ShardPlan> {
+        Self::plan_distribution_opts(program, catalog, registry, true)
+    }
+
+    /// [`Placer::plan_distribution`] with colocation switchable: with
+    /// `colocate` false every non-source node gathers (the PR-3
+    /// baseline), which E18 uses as the comparison plan.
+    ///
+    /// # Errors
+    ///
+    /// See [`Placer::plan_distribution`].
+    pub fn plan_distribution_opts(
+        program: &Program,
+        catalog: &dyn PartitionLookup,
+        registry: &EngineRegistry,
+        colocate: bool,
+    ) -> Result<ShardPlan> {
+        let spec_of = |t: &pspp_common::TableRef| {
+            registry
+                .partition(t)
+                .or_else(|| catalog.partition_spec(t))
+                .cloned()
+        };
+        // Deployment validation per partitioned source: the table must
+        // still exist on a relational engine with enough replicas.
+        for node in program.nodes() {
+            let Some(table) = node.op.source_table() else {
+                continue;
+            };
+            let Some(spec) = spec_of(table) else {
+                continue;
+            };
+            registry.relational(&table.engine)?.table(&table.name)?;
+            Self::scatter_for(&spec, registry.shard_count(&table.engine))?;
+        }
+        ShardPlan::plan(program, spec_of, colocate)
     }
 
     /// The shard replicas `node` must visit: the partition spec's
@@ -122,11 +188,17 @@ impl Placer {
     /// The scatter set of `spec` against an engine deployed with
     /// `replicas` shard replicas.
     ///
+    /// Replicated specs only ever *read* one replica (and broadcast
+    /// joins read the gathered copy), so any deployment with at least
+    /// one replica serves them — a `replicated x 8` table on a 2-replica
+    /// engine is fine, where a hash/range spec needs every shard
+    /// deployed.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::EmptyShardSet`] for zero-shard specs and
-    /// [`Error::Invalid`] when the spec needs more replicas than are
-    /// deployed.
+    /// [`Error::Invalid`] when a hash/range spec needs more replicas
+    /// than are deployed.
     pub fn scatter_for(spec: &PartitionSpec, replicas: usize) -> Result<Vec<ShardId>> {
         let shards = spec.scatter_shards();
         if shards.is_empty() {
@@ -134,10 +206,13 @@ impl Placer {
                 "partition spec {spec} routes to no shards"
             )));
         }
-        if spec.shard_count() > replicas {
+        let needed = match spec {
+            PartitionSpec::Replicated { .. } => 1,
+            _ => spec.shard_count(),
+        };
+        if needed > replicas {
             return Err(Error::Invalid(format!(
-                "partition spec {spec} needs {} replicas, engine has {replicas}",
-                spec.shard_count()
+                "partition spec {spec} needs {needed} replicas, engine has {replicas}"
             )));
         }
         Ok(shards)
@@ -158,13 +233,35 @@ impl Placer {
         results: &HashMap<NodeId, Dataset>,
         registry: &EngineRegistry,
     ) -> Result<(Vec<Dataset>, MigrationBill)> {
-        let mut inputs = Vec::with_capacity(node.inputs.len());
+        let inputs = node
+            .inputs
+            .iter()
+            .map(|i| {
+                results
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| Error::Execution(format!("missing input for {}", node.id)))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        self.stage_datasets(inputs, target, registry)
+    }
+
+    /// [`Placer::stage_inputs`] over already-resolved datasets: the
+    /// executor passes per-shard partials here for colocated tasks, so
+    /// each shard's foreign partial pays exactly one migrator trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Migration`] when the migrator fails.
+    pub fn stage_datasets(
+        &self,
+        inputs: Vec<Dataset>,
+        target: Option<&EngineId>,
+        registry: &EngineRegistry,
+    ) -> Result<(Vec<Dataset>, MigrationBill)> {
+        let mut staged = Vec::with_capacity(inputs.len());
         let mut bill = MigrationBill::default();
-        for &i in &node.inputs {
-            let mut d = results
-                .get(&i)
-                .ok_or_else(|| Error::Execution(format!("missing input for {}", node.id)))?
-                .clone();
+        for mut d in inputs {
             if let (Some(target), Payload::Rows { schema, rows }) = (target, &d.payload) {
                 if d.location != *target && !rows.is_empty() {
                     let to_model = registry
@@ -182,9 +279,9 @@ impl Placer {
                     d = Dataset::rows(schema.clone(), rows2, to_model, target.clone());
                 }
             }
-            inputs.push(d);
+            staged.push(d);
         }
-        Ok((inputs, bill))
+        Ok((staged, bill))
     }
 }
 
@@ -409,6 +506,48 @@ mod tests {
         // Under-replicated engine: typed, not a panic.
         let err = Placer::scatter_for(&pspp_common::PartitionSpec::hash("k", 8), 2).unwrap_err();
         assert!(matches!(err, Error::Invalid(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn replicated_specs_scatter_from_any_deployed_replica() {
+        // Regression: a replicated table only ever reads one replica
+        // (and serves broadcast joins from its full copy), so a spec
+        // declaring more copies than the engine deploys must not fail
+        // the scatter the way an under-replicated hash spec does.
+        let shards = Placer::scatter_for(&pspp_common::PartitionSpec::replicated(8), 2).unwrap();
+        assert_eq!(shards, vec![ShardId::ZERO]);
+        let shards = Placer::scatter_for(&pspp_common::PartitionSpec::replicated(2), 2).unwrap();
+        assert_eq!(shards, vec![ShardId::ZERO]);
+    }
+
+    #[test]
+    fn plan_distribution_validates_the_deployment() {
+        let mut registry = two_engine_registry();
+        registry
+            .reshard(
+                &TableRef::new("db1", "t"),
+                pspp_common::PartitionSpec::hash("k", 2),
+            )
+            .unwrap();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "t")), "sql");
+        p.mark_output(s);
+        let plan = Placer::plan_distribution(&p, &registry, &registry).unwrap();
+        assert_eq!(plan.node(s).scatter_width(), 2);
+        assert!(plan.node(s).distribution.is_partitioned());
+
+        // Unknown partitioned table: typed, not a panic.
+        registry
+            .set_partition(
+                TableRef::new("db1", "ghost"),
+                pspp_common::PartitionSpec::hash("k", 2),
+            )
+            .unwrap();
+        let mut p2 = Program::new();
+        let g = p2.add_source(Operator::scan(TableRef::new("db1", "ghost")), "sql");
+        p2.mark_output(g);
+        let err = Placer::plan_distribution(&p2, &registry, &registry).unwrap_err();
+        assert!(matches!(err, Error::TableNotFound(_)), "got {err:?}");
     }
 
     #[test]

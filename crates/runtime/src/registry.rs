@@ -12,7 +12,9 @@
 use std::collections::BTreeMap;
 
 use pspp_arraystore::ArrayStore;
-use pspp_common::{EngineId, EngineKind, Error, PartitionSpec, Result, ShardId, TableRef};
+use pspp_common::{
+    EngineId, EngineKind, Error, PartitionLookup, PartitionSpec, Result, ShardId, TableRef,
+};
 use pspp_graphstore::GraphStore;
 use pspp_kvstore::KvStore;
 use pspp_relstore::RelationalStore;
@@ -346,6 +348,12 @@ impl ShardedRegistry {
         }
         self.partitions.insert(table.clone(), spec);
         Ok(())
+    }
+}
+
+impl PartitionLookup for ShardedRegistry {
+    fn partition_spec(&self, table: &TableRef) -> Option<&PartitionSpec> {
+        self.partition(table)
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Append-only topics of timestamped events (the paper's ICU device feeds
 //! and CPT event streams, Fig. 2), with windowed operators in the style
-//! the paper attributes to Saber [36]: tumbling and sliding window
+//! the paper attributes to Saber \[36\]: tumbling and sliding window
 //! aggregation and time-bounded stream-stream joins. Costs are posted to
 //! the shared [`CostLedger`].
 //!

@@ -4,7 +4,7 @@
 //! re-implements the slice of proptest's API the workspace tests use:
 //! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
 //! [`prop_oneof!`] macros, [`strategy::Strategy`] with `prop_map`,
-//! [`any`], numeric range strategies, tuple strategies, vector
+//! `any`, numeric range strategies, tuple strategies, vector
 //! collections, and `[chars]{lo,hi}` string patterns.
 //!
 //! Differences from real proptest, deliberately accepted:

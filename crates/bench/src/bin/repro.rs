@@ -1,18 +1,21 @@
-//! Reproduces every experiment table (E1–E18) from DESIGN.md.
+//! Reproduces every experiment table (E1–E19) from DESIGN.md.
 //!
 //! ```text
 //! cargo run -p pspp-bench --bin repro --release            # all
+//! cargo run -p pspp-bench --bin repro --release -- --list  # index
 //! cargo run -p pspp-bench --bin repro --release -- e8 e10  # subset
 //! cargo run -p pspp-bench --bin repro --release -- e16 --json bench.json
 //! cargo run -p pspp-bench --bin repro --release -- --open-loop
 //! ```
 //!
-//! `--json <path>` additionally writes machine-readable per-experiment
-//! results (name, pass/fail, wall milliseconds), the record CI keeps as
-//! the benchmark trajectory. `--open-loop` runs the arrival-rate
-//! (open-loop) workload driver sweep, exercising `Reject` admission
-//! shedding under overload; it rides along any experiment selection
-//! (and suppresses the default run-everything when passed alone).
+//! `--list` prints every experiment name with a one-line description
+//! and exits. `--json <path>` additionally writes machine-readable
+//! per-experiment results (name, pass/fail, wall milliseconds), the
+//! record CI keeps as the benchmark trajectory. `--open-loop` runs the
+//! arrival-rate (open-loop) workload driver sweep, exercising `Reject`
+//! admission shedding under overload; it rides along any experiment
+//! selection (and suppresses the default run-everything when passed
+//! alone).
 
 use std::time::Instant;
 
@@ -67,6 +70,9 @@ fn main() {
             }
         } else if arg == "--open-loop" {
             open_loop = true;
+        } else if arg == "--list" {
+            print!("{}", pspp_bench::list_table());
+            return;
         } else {
             names.push(arg);
         }

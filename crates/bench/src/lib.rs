@@ -1,6 +1,7 @@
 //! The experiment harness: one function per experiment in DESIGN.md's
-//! index (E1–E18), each returning the table it prints. The `repro`
-//! binary runs them; the Criterion benches wrap their hot paths.
+//! index (E1–E19), each returning the table it prints. The `repro`
+//! binary runs them (`repro --list` prints the index); the Criterion
+//! benches wrap their hot paths.
 //!
 //! Every number is simulated and deterministic; see DESIGN.md §5 for
 //! the methodology (real data plane, simulated clock).
@@ -22,10 +23,99 @@ use pspp_optimizer::dse::{ActiveLearner, DesignSpace, Param, RandomSearch};
 use pspp_optimizer::forest::RandomForest;
 
 /// Names of all experiments, in order.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
+
+/// One-line description per experiment, in [`ALL`] order — what
+/// `repro --list` prints so nobody has to read the source to find an
+/// experiment.
+pub const DESCRIPTIONS: [(&str, &str); 19] = [
+    (
+        "e1",
+        "recommendation app: polystore federation vs one-size-fits-all (Fig. 1)",
+    ),
+    (
+        "e2",
+        "clinical pipeline end-to-end, CPU-only vs accelerated polystore (Fig. 2)",
+    ),
+    (
+        "e3",
+        "Snorkel loop: accelerated load_data + TPU SGD per epoch (Fig. 3)",
+    ),
+    (
+        "e4",
+        "heterogeneous program lowered to the annotated data-flow IR (Fig. 5)",
+    ),
+    (
+        "e5",
+        "optimization-level ablation None/L1/L2/L3 on a fixed query suite (Fig. 6)",
+    ),
+    (
+        "e6",
+        "k-means via parallel patterns on CPU/GPU/FPGA (Fig. 7)",
+    ),
+    (
+        "e7",
+        "design-space exploration: active learning vs random sampling (Fig. 8)",
+    ),
+    (
+        "e8",
+        "cross-engine migration paths vs the PipeGen claim (csv/binary/rdma)",
+    ),
+    (
+        "e9",
+        "admissions JOIN patients with FPGA sort offload and pipelined migration",
+    ),
+    (
+        "e10",
+        "LogCA offload-profitability curves and break-even granularities",
+    ),
+    ("e11", "bump-in-the-wire scan filtering in the data path"),
+    (
+        "e12",
+        "adapter IR->native rule-transform throughput, CPU vs FPGA",
+    ),
+    (
+        "e13",
+        "roofline model: attainable ops/s vs operational intensity per device",
+    ),
+    (
+        "e14",
+        "operator microbenchmarks: sort/GEMM sweeps with energy-delay gains",
+    ),
+    (
+        "e15",
+        "cost-model placement error and DSE surrogate accuracy",
+    ),
+    (
+        "e16",
+        "query-service throughput scaling under the closed-loop driver",
+    ),
+    (
+        "e17",
+        "sharded registry: scatter-gather scans at 1/2/4 replicas",
+    ),
+    (
+        "e18",
+        "colocated cross-shard joins vs the gathered baseline",
+    ),
+    (
+        "e19",
+        "exchange operator: shuffled mismatched-key joins + partition-wise aggregation",
+    ),
+];
+
+/// The `repro --list` table: every experiment name with its one-line
+/// description.
+pub fn list_table() -> String {
+    let mut out = String::from("experiments (run with `repro <name> ...` or `repro all`):\n");
+    for (name, description) in DESCRIPTIONS {
+        writeln!(out, "  {name:<5} {description}").ok();
+    }
+    out
+}
 
 /// Runs one experiment by name.
 ///
@@ -52,6 +142,7 @@ pub fn run(name: &str) -> Result<String> {
         "e16" => e16_service(),
         "e17" => e17_sharding(),
         "e18" => e18_join(),
+        "e19" => e19_exchange(),
         other => Err(pspp_common::Error::Config(format!(
             "unknown experiment {other}; known: {ALL:?}"
         ))),
@@ -1213,4 +1304,167 @@ pub fn e18_join() -> Result<String> {
         )));
     }
     Ok(out)
+}
+
+/// E19: the exchange operator — a join on *mismatched* partition keys
+/// (admissions ranged on pid, patients hashed on name, joined on pid)
+/// executed through cost-chosen `ShuffleHash` exchanges, and `GroupBy`
+/// split into per-shard stages (partition-wise on the partition key,
+/// partial + merge off it). Each shard count runs twice — exchange on
+/// and the gathered baseline (`exchange(false)`) — and every digest
+/// must be byte-identical across both modes *and* all shard counts:
+/// the shuffle barrier splices outputs back into gathered probe order,
+/// so the exchange is a pure performance transformation. Acceptance
+/// floors at 4 shards: the shuffled join and the partition-wise
+/// aggregation each >= 1.5x their gathered baselines.
+pub fn e19_exchange() -> Result<String> {
+    use pspp_common::TableRef;
+
+    let mut out = String::from(
+        "E19 exchange operator: shuffled mismatched-key join + partition-wise aggregation\n\
+         shards  shuf_join_us  gath_join_us  join_x  pw_agg_us  gath_agg_us  agg_x  shuffles  digest\n",
+    );
+    // Join on pid while patients are partitioned on *name*: never
+    // colocatable, so PR-4 gathered it; the exchange re-hashes both
+    // sides to pid's layout. The aggregations group by the partition
+    // key (partition-wise) and off it (partial + merge); integer
+    // aggregate columns keep the partial sums exact.
+    let join_query = "SELECT name, age FROM admissions \
+                      JOIN db2.patients ON admissions.pid = patients.pid";
+    let pw_agg_query =
+        "SELECT pid, count(*) AS n, avg(age) AS mean_age FROM admissions GROUP BY pid";
+    let merge_agg_query = "SELECT age, count(*) AS n FROM admissions GROUP BY age";
+    let patients = 2_000usize;
+    let build = |shards: usize, exchange: bool| {
+        Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients,
+            vitals_per_patient: 4,
+            seed: 2019,
+        }))
+        .accelerators(AcceleratorFleet::workstation())
+        .opt_level(OptLevel::L2)
+        // Re-partition patients on a non-join key so the pid join is
+        // mismatched at every shard count.
+        .partition(
+            TableRef::new("db2", "patients"),
+            pspp_common::PartitionSpec::hash("name", 1),
+        )
+        .shards(shards)
+        // The baseline is the fully gathered plan: partition-wise
+        // grouping rides the colocation toggle, the shuffle/merge
+        // exchanges ride the exchange toggle.
+        .colocated_joins(exchange)
+        .exchange(exchange)
+        .build()
+    };
+    // Simulated seconds of the first node matching `pick`.
+    let probe_node = |system: &Polystore, query: &str, pick: &dyn Fn(&Operator) -> bool| {
+        let mut program = system.compile_sql(query)?;
+        let (_, placement) = system.optimize(&mut program)?;
+        let node = program
+            .nodes()
+            .iter()
+            .find(|n| pick(&n.op))
+            .expect("query contains the probed operator")
+            .id;
+        let report = system.execute(&program)?;
+        Ok::<(f64, pspp_optimizer::PlacementPlan), pspp_common::Error>((
+            report.node_seconds[&node],
+            placement.expect("L2 places"),
+        ))
+    };
+    let is_join = |op: &Operator| matches!(op, Operator::HashJoin { .. });
+    let is_group = |op: &Operator| matches!(op, Operator::GroupBy { .. });
+
+    let mut reference: Option<u64> = None;
+    let mut join_speedup4 = 0.0;
+    let mut agg_speedup4 = 0.0;
+    for shards in [1usize, 2, 4] {
+        // [exchange on, gathered baseline]
+        let mut join_us = [0.0f64; 2];
+        let mut agg_us = [0.0f64; 2];
+        let mut digests = [0u64; 2];
+        let mut shuffles = 0usize;
+        for (slot, exchange) in [(0usize, true), (1, false)] {
+            let system = build(shards, exchange)?;
+            let (join_s, placement) = probe_node(&system, join_query, &is_join)?;
+            join_us[slot] = join_s * 1e6;
+            if exchange {
+                shuffles = placement.exchanges.shuffles;
+            }
+            let (agg_s, _) = probe_node(&system, pw_agg_query, &is_group)?;
+            agg_us[slot] = agg_s * 1e6;
+            let mut digest = driver::FNV_OFFSET;
+            for q in [join_query, pw_agg_query, merge_agg_query] {
+                let r = system.run_sql(q)?;
+                digest = driver::fnv1a(format!("{:?}", r.execution.outputs).as_bytes(), digest);
+            }
+            digests[slot] = digest;
+        }
+        if digests[0] != digests[1] {
+            return Err(pspp_common::Error::Execution(format!(
+                "exchange and gathered plans diverged at {shards} shards: \
+                 {:016x} vs {:016x}",
+                digests[0], digests[1]
+            )));
+        }
+        match reference {
+            None => reference = Some(digests[0]),
+            Some(expected) if digests[0] != expected => {
+                return Err(pspp_common::Error::Execution(format!(
+                    "digests diverged at {shards} shards: {:016x} vs {expected:016x}",
+                    digests[0]
+                )));
+            }
+            Some(_) => {}
+        }
+        if shards > 1 && shuffles == 0 {
+            return Err(pspp_common::Error::Execution(format!(
+                "mismatched-key join planned no shuffle at {shards} shards"
+            )));
+        }
+        let join_x = join_us[1] / join_us[0].max(f64::MIN_POSITIVE);
+        let agg_x = agg_us[1] / agg_us[0].max(f64::MIN_POSITIVE);
+        if shards == 4 {
+            join_speedup4 = join_x;
+            agg_speedup4 = agg_x;
+        }
+        writeln!(
+            out,
+            "{shards:<7} {:>12.3} {:>13.3} {join_x:>6.2}x {:>10.3} {:>12.3} {agg_x:>5.2}x {shuffles:>8}  {:016x}",
+            join_us[0], join_us[1], agg_us[0], agg_us[1], digests[0]
+        )
+        .ok();
+    }
+    writeln!(
+        out,
+        "shape check: exchange == gathered byte-for-byte at every shard count; at 4 shards \
+         the shuffled join is {join_speedup4:.2}x and the partition-wise aggregation \
+         {agg_speedup4:.2}x their gathered baselines (targets >= 1.5x)"
+    )
+    .ok();
+    if join_speedup4 < 1.5 || agg_speedup4 < 1.5 {
+        return Err(pspp_common::Error::Execution(format!(
+            "4-shard exchange speedups below the 1.5x floor: join {join_speedup4:.2}x, \
+             aggregation {agg_speedup4:.2}x"
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_index_and_descriptions_stay_in_sync() {
+        // `repro --list` derives from DESCRIPTIONS, the runner from
+        // ALL: adding an experiment to one but not the other would
+        // re-create the exact discoverability gap --list fixes.
+        assert_eq!(ALL.len(), DESCRIPTIONS.len());
+        for (name, (described, text)) in ALL.iter().zip(DESCRIPTIONS.iter()) {
+            assert_eq!(name, described, "ALL and DESCRIPTIONS diverge");
+            assert!(!text.is_empty(), "{name} needs a description");
+        }
+    }
 }

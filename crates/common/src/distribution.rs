@@ -22,14 +22,22 @@
 //!
 //! Filters preserve the property, projections preserve it only while
 //! the partition key survives, and every other operator degrades its
-//! output to [`Distribution::Single`] via an explicit gather.
+//! output to [`Distribution::Single`] via an explicit exchange — a
+//! gather, or a [`Distribution::repartition`] shuffle that re-hashes
+//! rows to a new key's layout so the consumer can stay per-shard.
+//!
+//! Width-1 layouts carry no useful placement knowledge (all rows on one
+//! shard), so [`Distribution::normalize`] folds them into
+//! [`Distribution::Single`]; every planning entry point applies it,
+//! which is the single rule deciding when "partitioned" means
+//! "multi-shard".
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::partition::{PartitionSpec, ShardId};
-use crate::Value;
+use crate::{Result, Row, Schema, Value};
 
 /// How one plan node's output rows are distributed across shard
 /// replicas.
@@ -97,6 +105,74 @@ impl Distribution {
             },
             PartitionSpec::Replicated { shards } => Distribution::Replicated { shards: *shards },
         }
+    }
+
+    /// The target layout of an exchange that re-hashes rows on `key`
+    /// across `width` shards — the shuffle destination a repartitioning
+    /// exchange routes into. Normalized: a width-1 target is
+    /// [`Distribution::Single`] (shuffling everything to one shard is a
+    /// gather).
+    pub fn repartition(key: impl Into<String>, width: u32) -> Distribution {
+        Distribution::Hashed {
+            column: key.into(),
+            shards: width,
+        }
+        .normalize()
+    }
+
+    /// The unified width-1 rule: a hashed or ranged layout spanning a
+    /// single shard plans exactly like unsharded data — one task, no
+    /// partial retention, no colocation bookkeeping — so it folds to
+    /// [`Distribution::Single`]. Multi-shard layouts (and replicated
+    /// copies, whose replica count still matters for broadcasts) pass
+    /// through unchanged.
+    pub fn normalize(self) -> Distribution {
+        match &self {
+            Distribution::Hashed { shards, .. } if *shards <= 1 => Distribution::Single,
+            Distribution::Ranged { boundaries, .. } if boundaries.is_empty() => {
+                Distribution::Single
+            }
+            _ => self,
+        }
+    }
+
+    /// The deterministic row-routing rule of a repartitioning exchange:
+    /// the destination-shard bucket each of `rows` lands in under this
+    /// layout, as per-shard index lists (stable FNV-1a hash for
+    /// [`Distribution::Hashed`], boundary search for
+    /// [`Distribution::Ranged`] — the same routing stored tables use).
+    /// Within each bucket, indices stay in input order, so splicing
+    /// buckets in (source order, destination shard) order is
+    /// reproducible bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Invalid`] for layouts without a routing
+    /// rule ([`Single`] and [`Replicated`] rows are not routed) and
+    /// [`crate::Error::ColumnNotFound`] when the key column is missing.
+    ///
+    /// [`Single`]: Distribution::Single
+    /// [`Replicated`]: Distribution::Replicated
+    pub fn route_indices(&self, schema: &Schema, rows: &[Row]) -> Result<Vec<Vec<usize>>> {
+        let spec = match self {
+            Distribution::Hashed { column, shards } => PartitionSpec::hash(column.clone(), *shards),
+            Distribution::Ranged { column, boundaries } => {
+                PartitionSpec::range(column.clone(), boundaries.clone())
+            }
+            other => {
+                return Err(crate::Error::Invalid(format!(
+                    "distribution {other} has no row-routing rule"
+                )))
+            }
+        };
+        spec.validate()?;
+        let idx = schema.require(spec.partition_column().expect("hash/range specs are keyed"))?;
+        let mut buckets: Vec<Vec<usize>> = (0..self.shard_count()).map(|_| Vec::new()).collect();
+        for (i, row) in rows.iter().enumerate() {
+            let shard = spec.shard_for_value(&row[idx])?;
+            buckets[shard.index()].push(i);
+        }
+        Ok(buckets)
     }
 
     /// Number of shard replicas the rows span (1 for [`Single`]).
@@ -433,6 +509,66 @@ mod tests {
             Distribution::Single.after_projection(&["age".into()]),
             Distribution::Single
         );
+    }
+
+    #[test]
+    fn repartition_targets_normalize_width_one_to_single() {
+        assert_eq!(Distribution::repartition("pid", 4), hashed("pid", 4));
+        assert_eq!(Distribution::repartition("pid", 1), Distribution::Single);
+        assert_eq!(Distribution::repartition("pid", 0), Distribution::Single);
+        // The same rule folds width-1 stored layouts.
+        assert_eq!(hashed("pid", 1).normalize(), Distribution::Single);
+        assert_eq!(ranged("pid", vec![]).normalize(), Distribution::Single);
+        assert_eq!(hashed("pid", 2).normalize(), hashed("pid", 2));
+        assert_eq!(
+            Distribution::Replicated { shards: 1 }.normalize(),
+            Distribution::Replicated { shards: 1 },
+            "replica counts still matter for broadcasts"
+        );
+    }
+
+    #[test]
+    fn route_indices_is_a_stable_partition_of_the_input() {
+        use crate::{row, DataType, Schema};
+        let schema = Schema::new(vec![("k", DataType::Int), ("v", DataType::Str)]);
+        let rows: Vec<crate::Row> = (0..50).map(|i| row![i as i64, format!("r{i}")]).collect();
+        let dist = Distribution::repartition("k", 4);
+        let a = dist.route_indices(&schema, &rows).unwrap();
+        let b = dist.route_indices(&schema, &rows).unwrap();
+        assert_eq!(a, b, "routing must be deterministic");
+        assert_eq!(a.len(), 4);
+        let mut flat: Vec<usize> = a.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, (0..50).collect::<Vec<_>>(), "a true partition");
+        for bucket in &a {
+            assert!(bucket.windows(2).all(|w| w[0] < w[1]), "input order kept");
+        }
+        // The routing agrees with the stored-table rule: the same rows
+        // distributed by the equivalent PartitionSpec land identically.
+        let spec = PartitionSpec::hash("k", 4);
+        let stored = spec.distribute(&schema, &rows).unwrap();
+        for (bucket, rows_in_shard) in a.iter().zip(&stored) {
+            let routed: Vec<_> = bucket.iter().map(|&i| rows[i].clone()).collect();
+            assert_eq!(&routed, rows_in_shard);
+        }
+    }
+
+    #[test]
+    fn route_indices_rejects_unrouteable_layouts() {
+        use crate::{DataType, Schema};
+        let schema = Schema::new(vec![("k", DataType::Int)]);
+        assert!(matches!(
+            Distribution::Single.route_indices(&schema, &[]),
+            Err(crate::Error::Invalid(_))
+        ));
+        assert!(matches!(
+            Distribution::Replicated { shards: 2 }.route_indices(&schema, &[]),
+            Err(crate::Error::Invalid(_))
+        ));
+        assert!(matches!(
+            hashed("nope", 2).route_indices(&schema, &[]),
+            Err(crate::Error::ColumnNotFound(_))
+        ));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub struct PolystoreBuilder {
     migration_path: MigrationPath,
     parallel: bool,
     colocated_joins: bool,
+    exchange: bool,
     shards: usize,
     partitions: Vec<(TableRef, PartitionSpec)>,
 }
@@ -96,6 +97,16 @@ impl PolystoreBuilder {
         self
     }
 
+    /// Enables/disables the repartitioning exchanges (default: on):
+    /// shuffled joins on mismatched partition keys, partition-wise and
+    /// partial-aggregate + merge `GroupBy`s. Off reverts those nodes
+    /// to the gathered plan — the bit-identical baseline E19 compares
+    /// against.
+    pub fn exchange(mut self, on: bool) -> Self {
+        self.exchange = on;
+        self
+    }
+
     /// Finalizes the system, materializing partition specs: every
     /// declared partition with more than one shard redistributes its
     /// table's rows across engine replicas by partition key.
@@ -142,7 +153,8 @@ impl PolystoreBuilder {
                     .map(|(t, s)| (t.clone(), s.clone()))
                     .collect(),
             )
-            .with_colocation(self.colocated_joins);
+            .with_colocation(self.colocated_joins)
+            .with_exchange(self.exchange);
         Ok(Polystore {
             registry: self.deployment.registry,
             catalog: self.deployment.catalog,
@@ -153,6 +165,7 @@ impl PolystoreBuilder {
             migration_path: self.migration_path,
             parallel: self.parallel,
             colocated_joins: self.colocated_joins,
+            exchange: self.exchange,
             ledger,
         })
     }
@@ -195,6 +208,7 @@ pub struct Polystore {
     migration_path: MigrationPath,
     parallel: bool,
     colocated_joins: bool,
+    exchange: bool,
     ledger: CostLedger,
 }
 
@@ -208,6 +222,7 @@ impl Polystore {
             migration_path: MigrationPath::BinaryPipe,
             parallel: true,
             colocated_joins: true,
+            exchange: true,
             shards: 1,
             partitions: Vec::new(),
         }
@@ -347,6 +362,7 @@ impl Polystore {
             .pipelined(level.pipelined())
             .parallel(self.parallel)
             .colocated_joins(self.colocated_joins)
+            .exchange(self.exchange)
             .migration_path(self.migration_path);
         executor.execute(program, &self.registry)
     }

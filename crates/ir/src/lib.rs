@@ -29,8 +29,11 @@ pub mod op;
 pub mod shard;
 
 pub use graph::{NodeId, Program, ProgramNode, Stage};
-pub use op::{AggFn, AggSpec, Operator, SortSpec, TextSearchMode, TsAgg};
-pub use shard::{NodeShard, ShardPlan};
+pub use op::{partial_agg_specs, AggFn, AggSpec, Operator, SortSpec, TextSearchMode, TsAgg};
+pub use shard::{
+    exchange_pays, ExchangeCounts, ExchangeKind, NodeShard, PlanOptions, ShardPlan,
+    EXCHANGE_OVERHEAD_ROWS,
+};
 
 use serde::{Deserialize, Serialize};
 

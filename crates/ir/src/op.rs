@@ -19,6 +19,10 @@ pub enum AggFn {
     Min,
     /// Maximum.
     Max,
+    /// Count of non-null values in the column (the partial state a
+    /// distributed `Avg` ships to its merge stage; no frontend surfaces
+    /// it directly).
+    CountNonNull,
 }
 
 /// One aggregate column specification.
@@ -30,6 +34,60 @@ pub struct AggSpec {
     pub column: String,
     /// Output column name.
     pub output: String,
+}
+
+/// The per-shard *partial* aggregate list a distributed `GroupBy`
+/// executes before its merge stage: each original aggregate maps to the
+/// partial state that merges losslessly in shard order — `Count` and
+/// `Sum` ship themselves, `Min`/`Max` ship their extremum, and `Avg`
+/// splits into a sum plus a non-null count so the merge can divide
+/// once at the end. Partial columns are named `__p{index}_{state}`;
+/// the merge side walks the same layout (one column per aggregate, two
+/// for `Avg`), so the mapping lives in exactly one place.
+pub fn partial_agg_specs(aggs: &[AggSpec]) -> Vec<AggSpec> {
+    let mut out = Vec::new();
+    for (j, a) in aggs.iter().enumerate() {
+        match a.func {
+            AggFn::Count => out.push(AggSpec {
+                func: AggFn::Count,
+                column: "*".into(),
+                output: format!("__p{j}_count"),
+            }),
+            AggFn::Sum => out.push(AggSpec {
+                func: AggFn::Sum,
+                column: a.column.clone(),
+                output: format!("__p{j}_sum"),
+            }),
+            AggFn::Avg => {
+                out.push(AggSpec {
+                    func: AggFn::Sum,
+                    column: a.column.clone(),
+                    output: format!("__p{j}_sum"),
+                });
+                out.push(AggSpec {
+                    func: AggFn::CountNonNull,
+                    column: a.column.clone(),
+                    output: format!("__p{j}_n"),
+                });
+            }
+            AggFn::Min => out.push(AggSpec {
+                func: AggFn::Min,
+                column: a.column.clone(),
+                output: format!("__p{j}_min"),
+            }),
+            AggFn::Max => out.push(AggSpec {
+                func: AggFn::Max,
+                column: a.column.clone(),
+                output: format!("__p{j}_max"),
+            }),
+            AggFn::CountNonNull => out.push(AggSpec {
+                func: AggFn::CountNonNull,
+                column: a.column.clone(),
+                output: format!("__p{j}_n"),
+            }),
+        }
+    }
+    out
 }
 
 /// A sort key at the IR level.

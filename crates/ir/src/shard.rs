@@ -1,36 +1,47 @@
 //! The physical shard plan: every IR node annotated with its output
-//! [`Distribution`] and scatter set, computed once at planning time.
+//! [`Distribution`], scatter set, and one typed [`ExchangeKind`] per
+//! input edge, computed once at planning time.
 //!
-//! PR 3 made sharding an *execution-time* detail: the executor widened
-//! partitioned scans into per-shard tasks but gathered everything
-//! before any multi-input operator, and the optimizer priced every
-//! node as unsharded. [`ShardPlan::plan`] lifts distribution into a
-//! first-class plan property instead (§IV-B.3: the core decides where
-//! each task runs with a model that sees the real layout):
+//! Polystore++ argues cross-engine data movement is the dominant cost
+//! and must be optimizer-visible rather than an executor side effect
+//! (§IV-A.b); BigDAWG routes cross-island queries through explicit
+//! CAST/migration steps the same way. [`ShardPlan::plan`] therefore
+//! makes *every* re-layout an explicit exchange edge the cost model can
+//! price:
 //!
 //! * a `Scan` of a partitioned table inherits its
-//!   [`PartitionSpec`]'s distribution and fans out over its scatter
-//!   set;
-//! * `Filter` preserves its input's distribution (a per-shard filter
-//!   followed by a shard-ordered gather is bit-identical to filtering
-//!   the gathered rows);
-//! * `Project` preserves it only while the partition key survives the
-//!   column list — a re-keying projection degrades to
-//!   [`Distribution::Single`];
+//!   [`PartitionSpec`]'s distribution (normalized: width-1 layouts plan
+//!   as [`Distribution::Single`] — see [`Distribution::normalize`], the
+//!   one rule deciding when "partitioned" means "multi-shard") and fans
+//!   out over its scatter set;
+//! * `Filter` preserves its input's distribution and `Project`
+//!   preserves it only while the partition key survives — both consume
+//!   the input through [`ExchangeKind::Local`] edges (aligned per-shard
+//!   partials, no data movement);
 //! * a `HashJoin` whose inputs are compatibly partitioned on the join
 //!   keys (see [`Distribution::join`]) stays partitioned and executes
-//!   *colocated* — one task per shard, build + probe on that shard's
-//!   rows; incompatible layouts get an explicit gather, recorded in
-//!   [`NodeShard::gathered_inputs`] — never a silent wrong answer;
-//! * every other operator gathers its inputs and produces
+//!   *colocated*; a replicated build side rides an
+//!   [`ExchangeKind::Broadcast`] edge. A `HashJoin` on *mismatched*
+//!   layouts no longer collapses to a single gathered task: when the
+//!   exchange pays (see [`exchange_pays`]) the planner emits
+//!   [`ExchangeKind::ShuffleHash`] edges that re-hash each side's rows
+//!   to the join key's layout, keeping the join one build+probe task
+//!   per destination shard;
+//! * `GroupBy` over a partitioned input splits into per-shard stages:
+//!   *partition-wise* (a plain colocated fan-out) when the group keys
+//!   contain the partition key, or per-shard partial aggregation
+//!   spliced by an [`ExchangeKind::MergePartials`] edge otherwise;
+//! * every other operator gathers its partitioned inputs through
+//!   explicit [`ExchangeKind::Gather`] edges and produces
 //!   [`Distribution::Single`] output. (`SortMergeJoin` deliberately
 //!   gathers: its output is globally key-sorted, which a shard-ordered
 //!   concatenation of per-shard merges would not reproduce.)
 //!
-//! The runtime's `Placer::plan_distribution` wraps this pass with
-//! deployment validation; the optimizer's `CostModel` runs the same
-//! pass to price sharded scans and colocated joins at
-//! `rows / shard_count` plus a gather term.
+//! The gather-vs-shuffle choice is a pure function of the program's
+//! cardinality annotations ([`exchange_pays`]), so the optimizer's
+//! pricing pass and the executor's planning pass — which both call
+//! [`ShardPlan::plan`] on the same annotated program — always agree on
+//! the plan that runs.
 
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +49,132 @@ use pspp_common::{Distribution, JoinDistribution, PartitionSpec, Result, ShardId
 
 use crate::graph::{NodeId, Program};
 use crate::op::Operator;
+
+/// Simulated per-destination-shard overhead of an exchange, in row
+/// units: the fixed cost of opening a shard bucket, the barrier join,
+/// and the ordered splice, expressed as "rows' worth of routing work".
+/// An exchange over `w` destinations pays `w * EXCHANGE_OVERHEAD_ROWS`
+/// up front; re-laying-out `r` rows saves `r * (1 - 1/w)` rows of
+/// single-site work, which is the crossover [`exchange_pays`] tests.
+pub const EXCHANGE_OVERHEAD_ROWS: f64 = 256.0;
+
+/// The cost rule choosing shuffle/merge-partials over a gather: an
+/// exchange over `width` destination shards pays when the per-shard
+/// parallelism it buys (`rows * (1 - 1/width)` rows of work saved)
+/// exceeds its per-shard overhead (`width * `[`EXCHANGE_OVERHEAD_ROWS`]
+/// rows of routing work). With no cardinality estimate (`None` — the
+/// program was never costed) the planner defaults to the exchange,
+/// matching the executor's exchange-on default.
+pub fn exchange_pays(est_rows: Option<f64>, width: usize) -> bool {
+    let w = width as f64;
+    match est_rows {
+        None => true,
+        Some(rows) => rows * (1.0 - 1.0 / w) > w * EXCHANGE_OVERHEAD_ROWS,
+    }
+}
+
+/// How one input edge's rows reach the consuming node's tasks — the
+/// typed exchange vocabulary every re-layout goes through.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExchangeKind {
+    /// No data movement: a single-site consumer reads the input's
+    /// gathered result in place, or an aligned colocated task reads its
+    /// own shard's partial.
+    Local,
+    /// The input's per-shard partials are spliced to one site in shard
+    /// order before the (single-task) consumer runs.
+    Gather,
+    /// Every destination task reads the input's full copy (a replicated
+    /// build side, or an unsharded input feeding a fanned-out join).
+    Broadcast,
+    /// The input's rows are re-hashed on `key` into `width` destination
+    /// buckets by the stable FNV routing rule
+    /// ([`Distribution::route_indices`]); destination task `k` consumes
+    /// bucket `k`.
+    ShuffleHash {
+        /// Column whose hash routes each row.
+        key: String,
+        /// Number of destination shards.
+        width: u32,
+    },
+    /// The consumer runs a per-shard *partial* aggregation over the
+    /// input's partials, and a merge stage combines the partial states
+    /// in shard order (partial-aggregate + merge `GroupBy`).
+    MergePartials,
+}
+
+impl ExchangeKind {
+    /// Whether the edge physically moves rows between shards (priced
+    /// like migration by the cost model).
+    pub fn moves_rows(&self) -> bool {
+        !matches!(self, ExchangeKind::Local)
+    }
+}
+
+impl std::fmt::Display for ExchangeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeKind::Local => write!(f, "local"),
+            ExchangeKind::Gather => write!(f, "gather"),
+            ExchangeKind::Broadcast => write!(f, "broadcast"),
+            ExchangeKind::ShuffleHash { key, width } => write!(f, "shuffle({key}) x {width}"),
+            ExchangeKind::MergePartials => write!(f, "merge-partials"),
+        }
+    }
+}
+
+/// Exchange-edge totals over a plan, reported by the optimizer's
+/// placement summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExchangeCounts {
+    /// [`ExchangeKind::Gather`] edges.
+    pub gathers: usize,
+    /// [`ExchangeKind::Broadcast`] edges.
+    pub broadcasts: usize,
+    /// [`ExchangeKind::ShuffleHash`] edges.
+    pub shuffles: usize,
+    /// [`ExchangeKind::MergePartials`] edges.
+    pub merge_partials: usize,
+}
+
+impl ExchangeCounts {
+    /// Total number of row-moving exchange edges.
+    pub fn total(&self) -> usize {
+        self.gathers + self.broadcasts + self.shuffles + self.merge_partials
+    }
+}
+
+/// Switches for the distribution-planning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Execute compatibly-partitioned joins (and distribution-preserving
+    /// filters/projections/aggregations) per shard. Off reverts every
+    /// non-source node to a gather — the PR-3 baseline plan.
+    pub colocate: bool,
+    /// Emit shuffle/merge-partials exchanges for mismatched-key joins
+    /// and non-partition-wise `GroupBy`s. Off reverts those nodes to
+    /// gathers — the gathered baseline E19 compares against.
+    pub exchange: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            colocate: true,
+            exchange: true,
+        }
+    }
+}
+
+impl PlanOptions {
+    /// The PR-3 gather-everything baseline.
+    pub fn gathered() -> Self {
+        PlanOptions {
+            colocate: false,
+            exchange: false,
+        }
+    }
+}
 
 /// One node's slice of the shard plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,15 +184,15 @@ pub struct NodeShard {
     /// The shard tasks the node fans out into, in gather order.
     pub scatter: Vec<ShardId>,
     /// Whether the node executes colocated: one task per scatter
-    /// entry, each consuming its inputs' per-shard partials (joins)
-    /// or partial (filter/project) instead of the gathered result.
+    /// entry, each consuming its aligned inputs' per-shard partials
+    /// through [`ExchangeKind::Local`] edges.
     pub colocated: bool,
-    /// Whether a colocated consumer reads this node's per-shard
+    /// Whether a fanned-out consumer reads this node's per-shard
     /// partials, so the executor must retain them past the gather.
     pub partials_needed: bool,
-    /// Inputs whose partitioned output this node consumes through an
-    /// explicit gather (the planner found no colocation).
-    pub gathered_inputs: Vec<NodeId>,
+    /// How each input edge's rows reach this node's tasks, parallel to
+    /// the node's input list (empty for sources).
+    pub exchanges: Vec<ExchangeKind>,
 }
 
 impl NodeShard {
@@ -67,13 +204,41 @@ impl NodeShard {
             scatter: vec![ShardId::ZERO],
             colocated: false,
             partials_needed: false,
-            gathered_inputs: Vec::new(),
+            exchanges: Vec::new(),
         }
     }
 
     /// Number of tasks the node fans out into.
     pub fn scatter_width(&self) -> usize {
         self.scatter.len()
+    }
+
+    /// The exchange on input edge `idx` ([`ExchangeKind::Local`] when
+    /// the plan recorded none — sources and default entries).
+    pub fn exchange(&self, idx: usize) -> &ExchangeKind {
+        self.exchanges.get(idx).unwrap_or(&ExchangeKind::Local)
+    }
+
+    /// Whether any input edge is a [`ExchangeKind::ShuffleHash`].
+    pub fn shuffles(&self) -> bool {
+        self.exchanges
+            .iter()
+            .any(|e| matches!(e, ExchangeKind::ShuffleHash { .. }))
+    }
+
+    /// Whether any input edge is a [`ExchangeKind::MergePartials`].
+    pub fn merges_partials(&self) -> bool {
+        self.exchanges
+            .iter()
+            .any(|e| matches!(e, ExchangeKind::MergePartials))
+    }
+
+    /// The inputs this node consumes through an explicit gather.
+    pub fn gathered_input_count(&self) -> usize {
+        self.exchanges
+            .iter()
+            .filter(|e| matches!(e, ExchangeKind::Gather))
+            .count()
     }
 }
 
@@ -93,16 +258,17 @@ pub struct ShardPlan {
 impl ShardPlan {
     /// Plans distribution for `program`: propagates each source
     /// table's partition spec (`spec_of`) through the operator
-    /// lattice. With `colocate` false, every non-source node gathers —
-    /// the PR-3 baseline plan used for colocated-vs-gathered
-    /// comparisons.
+    /// lattice, emitting one typed [`ExchangeKind`] per input edge.
+    /// The gather-vs-shuffle choice reads the program's `est_rows`
+    /// annotations through [`exchange_pays`], so a costed program plans
+    /// identically under the optimizer and the executor.
     ///
     /// # Errors
     ///
     /// Returns [`pspp_common::Error::Semantic`] on cyclic programs and
     /// [`pspp_common::Error::EmptyShardSet`]/[`pspp_common::Error::Config`]
     /// for invalid partition specs.
-    pub fn plan<F>(program: &Program, spec_of: F, colocate: bool) -> Result<ShardPlan>
+    pub fn plan<F>(program: &Program, spec_of: F, options: PlanOptions) -> Result<ShardPlan>
     where
         F: Fn(&TableRef) -> Option<PartitionSpec>,
     {
@@ -113,63 +279,43 @@ impl ShardPlan {
             let entry = if node.annotations.fused_into_consumer {
                 // A fused pass-through aliases its input: consumers see
                 // through it to the producer's distribution.
-                let src = node.inputs.first().map_or_else(NodeShard::single, |i| {
+                node.inputs.first().map_or_else(NodeShard::single, |i| {
                     let mut e = nodes[i.0].clone();
                     e.colocated = false;
                     e.partials_needed = false;
-                    e.gathered_inputs.clear();
+                    e.exchanges.clear();
                     e
-                });
-                src
+                })
             } else if let Some(table) = node.op.source_table() {
                 match spec_of(table) {
                     Some(spec) => {
                         spec.validate()?;
-                        let distribution = Distribution::from_spec(&spec);
+                        // The one width rule: width-1 layouts plan as
+                        // unsharded work.
+                        let distribution = Distribution::from_spec(&spec).normalize();
                         NodeShard {
                             scatter: distribution.scatter(),
                             distribution,
                             colocated: false,
                             partials_needed: false,
-                            gathered_inputs: Vec::new(),
+                            exchanges: Vec::new(),
                         }
                     }
                     None => NodeShard::single(),
                 }
             } else {
                 match &node.op {
-                    Operator::Filter { .. } if colocate => {
+                    Operator::Filter { .. } if options.colocate => {
                         Self::preserve(&nodes, node.inputs[0], None)
                     }
-                    Operator::Project { columns } if colocate => {
+                    Operator::Project { columns } if options.colocate => {
                         Self::preserve(&nodes, node.inputs[0], Some(columns))
                     }
-                    Operator::HashJoin { left_on, right_on } if colocate => {
-                        let (l, r) = (&nodes[node.inputs[0].0], &nodes[node.inputs[1].0]);
-                        match Distribution::join(
-                            &l.distribution,
-                            left_on,
-                            &r.distribution,
-                            right_on,
-                        ) {
-                            JoinDistribution::Colocated { output } => NodeShard {
-                                // A colocated outcome always has a
-                                // partitioned probe (left) side; its
-                                // scatter drives the join's tasks. At
-                                // width 1 the "colocated" and gathered
-                                // plans are the same single task, so
-                                // execute gathered and skip the
-                                // partial-retention machinery.
-                                scatter: l.scatter.clone(),
-                                distribution: output,
-                                colocated: l.scatter.len() > 1,
-                                partials_needed: false,
-                                gathered_inputs: Vec::new(),
-                            },
-                            JoinDistribution::Gather => {
-                                Self::gather_all(&nodes, node.inputs.iter())
-                            }
-                        }
+                    Operator::HashJoin { left_on, right_on } if options.colocate => {
+                        Self::plan_hash_join(program, &nodes, id, left_on, right_on, options)
+                    }
+                    Operator::GroupBy { keys, .. } if options.colocate => {
+                        Self::plan_group_by(program, &nodes, id, keys, options)
                     }
                     _ => Self::gather_all(&nodes, node.inputs.iter()),
                 }
@@ -177,14 +323,24 @@ impl ShardPlan {
             nodes[id.0] = entry;
         }
         // Mark the executing producer (resolving through fused
-        // aliases) of every partitioned input a colocated node reads,
-        // so the executor retains its per-shard partials.
+        // aliases) of every input whose per-shard partials a
+        // fanned-out consumer reads — Local edges of colocated nodes
+        // and every MergePartials edge — so the executor retains them
+        // past the gather.
         for n in program.nodes() {
-            if !nodes[n.id.0].colocated || n.annotations.fused_into_consumer {
+            if n.annotations.fused_into_consumer {
                 continue;
             }
-            for &input in &n.inputs {
-                if !nodes[input.0].distribution.is_partitioned() {
+            let entry = nodes[n.id.0].clone();
+            for (idx, &input) in n.inputs.iter().enumerate() {
+                let reads_partials = match entry.exchange(idx) {
+                    ExchangeKind::Local => {
+                        entry.colocated && nodes[input.0].distribution.is_partitioned()
+                    }
+                    ExchangeKind::MergePartials => true,
+                    _ => false,
+                };
+                if !reads_partials {
                     continue;
                 }
                 let mut p = input;
@@ -201,6 +357,139 @@ impl ShardPlan {
         Ok(ShardPlan { nodes })
     }
 
+    /// Plans a hash join: colocated when the layouts align, otherwise a
+    /// cost-chosen shuffle (re-hash both sides to the join keys'
+    /// layout) or an explicit gather.
+    fn plan_hash_join(
+        program: &Program,
+        nodes: &[NodeShard],
+        id: NodeId,
+        left_on: &str,
+        right_on: &str,
+        options: PlanOptions,
+    ) -> NodeShard {
+        let inputs = &program.node(id).inputs;
+        let (l, r) = (&nodes[inputs[0].0], &nodes[inputs[1].0]);
+        match Distribution::join(&l.distribution, left_on, &r.distribution, right_on) {
+            JoinDistribution::Colocated { output } => NodeShard {
+                // A colocated outcome always has a multi-shard
+                // partitioned probe (left) side — width-1 layouts were
+                // normalized to Single at the source — and its scatter
+                // drives the join's tasks. The build side is either
+                // aligned (Local) or a replicated broadcast.
+                scatter: l.scatter.clone(),
+                distribution: output,
+                colocated: true,
+                partials_needed: false,
+                exchanges: vec![
+                    ExchangeKind::Local,
+                    if r.distribution.is_partitioned() {
+                        ExchangeKind::Local
+                    } else {
+                        ExchangeKind::Broadcast
+                    },
+                ],
+            },
+            JoinDistribution::Gather => {
+                // Mismatched layouts: shuffle both sides to the join
+                // keys' layout when the exchange pays, else gather.
+                let width = [l, r]
+                    .iter()
+                    .filter(|n| n.distribution.is_partitioned())
+                    .map(|n| n.distribution.shard_count())
+                    .max()
+                    .unwrap_or(1);
+                let est = Self::edge_rows(program, inputs.iter());
+                if options.exchange && width > 1 && exchange_pays(est, width) {
+                    NodeShard {
+                        // The splice restores the gathered probe order,
+                        // so the shuffled join's output is Single — a
+                        // downstream consumer sees exactly the gathered
+                        // plan's bytes.
+                        distribution: Distribution::Single,
+                        scatter: (0..width as u32).map(ShardId).collect(),
+                        colocated: false,
+                        partials_needed: false,
+                        exchanges: vec![
+                            ExchangeKind::ShuffleHash {
+                                key: left_on.to_owned(),
+                                width: width as u32,
+                            },
+                            if r.distribution.is_partitioned() {
+                                ExchangeKind::ShuffleHash {
+                                    key: right_on.to_owned(),
+                                    width: width as u32,
+                                }
+                            } else {
+                                ExchangeKind::Broadcast
+                            },
+                        ],
+                    }
+                } else {
+                    Self::gather_all(nodes, inputs.iter())
+                }
+            }
+        }
+    }
+
+    /// Plans a group-by over a partitioned input: partition-wise when
+    /// the group keys contain the partition key (each group lives
+    /// wholly on one shard, so per-shard aggregation concatenated in
+    /// shard order is the gathered answer), partial-aggregate + merge
+    /// when the exchange pays, an explicit gather otherwise.
+    fn plan_group_by(
+        program: &Program,
+        nodes: &[NodeShard],
+        id: NodeId,
+        keys: &[String],
+        options: PlanOptions,
+    ) -> NodeShard {
+        let inputs = &program.node(id).inputs;
+        let src = &nodes[inputs[0].0];
+        if !src.distribution.is_partitioned() {
+            return Self::gather_all(nodes, inputs.iter());
+        }
+        let partition_key = src
+            .distribution
+            .key()
+            .expect("partitioned layouts are keyed");
+        if keys.iter().any(|k| k == partition_key) {
+            // Partition-wise: the group keys pin every group to one
+            // shard, and the key column survives into the output.
+            return NodeShard {
+                distribution: src.distribution.clone(),
+                scatter: src.scatter.clone(),
+                colocated: true,
+                partials_needed: false,
+                exchanges: vec![ExchangeKind::Local],
+            };
+        }
+        let width = src.scatter.len();
+        let est = Self::edge_rows(program, inputs.iter());
+        if options.exchange && exchange_pays(est, width) {
+            NodeShard {
+                distribution: Distribution::Single,
+                scatter: src.scatter.clone(),
+                colocated: false,
+                partials_needed: false,
+                exchanges: vec![ExchangeKind::MergePartials],
+            }
+        } else {
+            Self::gather_all(nodes, inputs.iter())
+        }
+    }
+
+    /// Total estimated rows crossing the given input edges, from the
+    /// program's cardinality annotations; `None` when any edge is
+    /// un-estimated (an uncosted program).
+    fn edge_rows<'a>(program: &Program, inputs: impl Iterator<Item = &'a NodeId>) -> Option<f64> {
+        let mut total = 0.0;
+        for &i in inputs {
+            total += program.node(i).annotations.est_rows?;
+        }
+        Some(total)
+    }
+
     /// A single-input node preserving its input's distribution: when
     /// the input is partitioned the node executes colocated (one task
     /// per shard partial); `columns` applies the projection rule.
@@ -214,20 +503,20 @@ impl ShardPlan {
             NodeShard {
                 scatter: src.scatter.clone(),
                 distribution,
-                // Width-1 layouts execute gathered (same single task).
-                colocated: src.scatter.len() > 1,
+                colocated: true,
                 partials_needed: false,
-                gathered_inputs: Vec::new(),
+                exchanges: vec![ExchangeKind::Local],
             }
         } else if src.distribution.is_partitioned() {
             // Re-keyed projection: explicit gather of the input.
             NodeShard {
-                gathered_inputs: vec![input],
+                exchanges: vec![ExchangeKind::Gather],
                 ..NodeShard::single()
             }
         } else {
             NodeShard {
                 distribution,
+                exchanges: vec![ExchangeKind::Local],
                 ..NodeShard::single()
             }
         }
@@ -237,9 +526,14 @@ impl ShardPlan {
     /// site.
     fn gather_all<'a>(nodes: &[NodeShard], inputs: impl Iterator<Item = &'a NodeId>) -> NodeShard {
         NodeShard {
-            gathered_inputs: inputs
-                .filter(|i| nodes[i.0].distribution.is_partitioned())
-                .copied()
+            exchanges: inputs
+                .map(|i| {
+                    if nodes[i.0].distribution.is_partitioned() {
+                        ExchangeKind::Gather
+                    } else {
+                        ExchangeKind::Local
+                    }
+                })
                 .collect(),
             ..NodeShard::single()
         }
@@ -277,11 +571,29 @@ impl ShardPlan {
             .filter(|(_, n)| n.colocated)
             .map(|(i, _)| NodeId(i))
     }
+
+    /// Exchange-edge totals across the plan, by kind.
+    pub fn exchange_counts(&self) -> ExchangeCounts {
+        let mut counts = ExchangeCounts::default();
+        for node in &self.nodes {
+            for e in &node.exchanges {
+                match e {
+                    ExchangeKind::Local => {}
+                    ExchangeKind::Gather => counts.gathers += 1,
+                    ExchangeKind::Broadcast => counts.broadcasts += 1,
+                    ExchangeKind::ShuffleHash { .. } => counts.shuffles += 1,
+                    ExchangeKind::MergePartials => counts.merge_partials += 1,
+                }
+            }
+        }
+        counts
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::op::{AggFn, AggSpec};
     use pspp_common::{Predicate, Value};
 
     fn spec_map(
@@ -311,15 +623,37 @@ mod tests {
         (p, j)
     }
 
+    fn group_program(table: TableRef, keys: &[&str]) -> (Program, NodeId) {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(table), "sql");
+        let g = p.add_node(
+            Operator::GroupBy {
+                keys: keys.iter().map(|k| (*k).into()).collect(),
+                aggs: vec![AggSpec {
+                    func: AggFn::Count,
+                    column: "*".into(),
+                    output: "n".into(),
+                }],
+            },
+            vec![a],
+            "sql",
+        );
+        p.mark_output(g);
+        (p, g)
+    }
+
     #[test]
     fn unpartitioned_program_is_all_single() {
         let (p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "k");
-        let plan = ShardPlan::plan(&p, |_| None, true).unwrap();
+        let plan = ShardPlan::plan(&p, |_| None, PlanOptions::default()).unwrap();
         assert_eq!(plan.len(), 3);
         for n in p.nodes() {
-            assert_eq!(plan.node(n.id), &NodeShard::single());
+            assert_eq!(plan.node(n.id).distribution, Distribution::Single);
+            assert!(!plan.node(n.id).colocated);
+            assert!(!plan.node(n.id).shuffles());
         }
         assert_eq!(plan.scatter_width(j), 1);
+        assert_eq!(plan.exchange_counts(), ExchangeCounts::default());
     }
 
     #[test]
@@ -329,12 +663,15 @@ mod tests {
             (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
             (TableRef::new("db2", "b"), PartitionSpec::hash("pid", 4)),
         ]);
-        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        let plan = ShardPlan::plan(&p, specs, PlanOptions::default()).unwrap();
         let join = plan.node(j);
         assert!(join.colocated);
         assert_eq!(join.scatter_width(), 4);
         assert_eq!(join.distribution.key(), Some("pid"));
-        assert!(join.gathered_inputs.is_empty());
+        assert_eq!(
+            join.exchanges,
+            vec![ExchangeKind::Local, ExchangeKind::Local]
+        );
         // Both scan producers must retain their per-shard partials.
         assert!(plan.node(NodeId(0)).partials_needed);
         assert!(plan.node(NodeId(1)).partials_needed);
@@ -342,23 +679,218 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_keys_force_an_explicit_gather() {
+    fn mismatched_keys_shuffle_both_sides_by_default() {
         let (p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
         let specs = spec_map(vec![
             (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
-            // Partitioned on the wrong column: cannot colocate.
+            // Partitioned on the wrong column: cannot colocate, but the
+            // shuffle keeps the join per-shard.
             (TableRef::new("db2", "b"), PartitionSpec::hash("age", 4)),
         ]);
-        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        let plan = ShardPlan::plan(&p, specs, PlanOptions::default()).unwrap();
         let join = plan.node(j);
-        assert!(!join.colocated, "mismatched keys must not colocate");
-        assert_eq!(join.distribution, Distribution::Single);
+        assert!(!join.colocated);
+        assert!(join.shuffles());
+        assert_eq!(join.scatter_width(), 4, "one build+probe task per shard");
         assert_eq!(
-            join.gathered_inputs,
-            vec![NodeId(0), NodeId(1)],
-            "the gather is explicit in the plan"
+            join.exchanges,
+            vec![
+                ExchangeKind::ShuffleHash {
+                    key: "pid".into(),
+                    width: 4
+                },
+                ExchangeKind::ShuffleHash {
+                    key: "pid".into(),
+                    width: 4
+                },
+            ]
         );
+        // The spliced output is the gathered plan's bytes.
+        assert_eq!(join.distribution, Distribution::Single);
+        // Shuffle reads gathered inputs, not partials.
         assert!(!plan.node(NodeId(0)).partials_needed);
+        assert_eq!(plan.exchange_counts().shuffles, 2);
+    }
+
+    #[test]
+    fn small_estimated_joins_gather_instead_of_shuffling() {
+        let (mut p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        // Tiny estimated inputs: the per-shard exchange overhead beats
+        // the parallelism, so the planner gathers.
+        for id in [NodeId(0), NodeId(1)] {
+            p.node_mut(id).annotations.est_rows = Some(100.0);
+        }
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
+            (TableRef::new("db2", "b"), PartitionSpec::hash("age", 4)),
+        ]);
+        let plan = ShardPlan::plan(&p, &specs, PlanOptions::default()).unwrap();
+        let join = plan.node(j);
+        assert!(!join.shuffles());
+        assert_eq!(join.gathered_input_count(), 2);
+        assert_eq!(join.scatter_width(), 1);
+
+        // Large estimates flip the same plan to a shuffle.
+        for id in [NodeId(0), NodeId(1)] {
+            p.node_mut(id).annotations.est_rows = Some(100_000.0);
+        }
+        let plan = ShardPlan::plan(&p, &specs, PlanOptions::default()).unwrap();
+        assert!(plan.node(j).shuffles());
+        assert_eq!(plan.node(j).scatter_width(), 4);
+    }
+
+    #[test]
+    fn exchange_off_reverts_mismatched_joins_to_gather() {
+        let (p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
+            (TableRef::new("db2", "b"), PartitionSpec::hash("age", 4)),
+        ]);
+        let plan = ShardPlan::plan(
+            &p,
+            &specs,
+            PlanOptions {
+                colocate: true,
+                exchange: false,
+            },
+        )
+        .unwrap();
+        let join = plan.node(j);
+        assert!(!join.shuffles(), "exchange(false) is the gathered baseline");
+        assert_eq!(join.gathered_input_count(), 2);
+        assert_eq!(join.distribution, Distribution::Single);
+        // Compatible joins still colocate under exchange(false).
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
+            (TableRef::new("db2", "b"), PartitionSpec::hash("pid", 4)),
+        ]);
+        let plan = ShardPlan::plan(
+            &p,
+            &specs,
+            PlanOptions {
+                colocate: true,
+                exchange: false,
+            },
+        )
+        .unwrap();
+        assert!(plan.node(j).colocated);
+    }
+
+    #[test]
+    fn shuffle_against_an_unsharded_side_broadcasts_it() {
+        let (p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        let specs = spec_map(vec![(
+            TableRef::new("db1", "a"),
+            PartitionSpec::hash("age", 4),
+        )]);
+        let plan = ShardPlan::plan(&p, specs, PlanOptions::default()).unwrap();
+        let join = plan.node(j);
+        assert!(join.shuffles());
+        assert_eq!(
+            join.exchanges[1],
+            ExchangeKind::Broadcast,
+            "the unsharded build side is broadcast to every task"
+        );
+        assert_eq!(plan.exchange_counts().broadcasts, 1);
+    }
+
+    #[test]
+    fn group_by_on_partition_key_is_partition_wise() {
+        let (p, g) = group_program(TableRef::new("db1", "a"), &["pid", "age"]);
+        let specs = spec_map(vec![(
+            TableRef::new("db1", "a"),
+            PartitionSpec::hash("pid", 4),
+        )]);
+        let plan = ShardPlan::plan(&p, &specs, PlanOptions::default()).unwrap();
+        let group = plan.node(g);
+        assert!(group.colocated, "each group lives wholly on one shard");
+        assert_eq!(group.scatter_width(), 4);
+        assert_eq!(group.distribution.key(), Some("pid"));
+        assert_eq!(group.exchanges, vec![ExchangeKind::Local]);
+        assert!(plan.node(NodeId(0)).partials_needed);
+        // Partition-wise grouping is a colocation feature, not an
+        // exchange: it survives exchange(false) like colocated joins
+        // do, and reverts only with colocate(false).
+        let plan = ShardPlan::plan(
+            &p,
+            &specs,
+            PlanOptions {
+                colocate: true,
+                exchange: false,
+            },
+        )
+        .unwrap();
+        assert!(plan.node(g).colocated);
+        let plan = ShardPlan::plan(&p, &specs, PlanOptions::gathered()).unwrap();
+        assert!(!plan.node(g).colocated);
+        assert_eq!(plan.node(g).gathered_input_count(), 1);
+    }
+
+    #[test]
+    fn group_by_off_partition_key_splits_into_partial_plus_merge() {
+        let (p, g) = group_program(TableRef::new("db1", "a"), &["age"]);
+        let specs = spec_map(vec![(
+            TableRef::new("db1", "a"),
+            PartitionSpec::hash("pid", 4),
+        )]);
+        let plan = ShardPlan::plan(&p, &specs, PlanOptions::default()).unwrap();
+        let group = plan.node(g);
+        assert!(!group.colocated);
+        assert!(group.merges_partials());
+        assert_eq!(group.scatter_width(), 4, "one partial task per shard");
+        assert_eq!(group.distribution, Distribution::Single);
+        assert!(
+            plan.node(NodeId(0)).partials_needed,
+            "partial aggregation reads the scan's per-shard partials"
+        );
+        assert_eq!(plan.exchange_counts().merge_partials, 1);
+
+        // The exchange toggle reverts it to a gather.
+        let plan = ShardPlan::plan(
+            &p,
+            &specs,
+            PlanOptions {
+                colocate: true,
+                exchange: false,
+            },
+        )
+        .unwrap();
+        assert!(!plan.node(g).merges_partials());
+        assert_eq!(plan.node(g).gathered_input_count(), 1);
+    }
+
+    #[test]
+    fn tiny_group_by_gathers_by_cost() {
+        let (mut p, g) = group_program(TableRef::new("db1", "a"), &["age"]);
+        p.node_mut(NodeId(0)).annotations.est_rows = Some(50.0);
+        let specs = spec_map(vec![(
+            TableRef::new("db1", "a"),
+            PartitionSpec::hash("pid", 4),
+        )]);
+        let plan = ShardPlan::plan(&p, &specs, PlanOptions::default()).unwrap();
+        assert!(!plan.node(g).merges_partials());
+        assert_eq!(plan.node(g).gathered_input_count(), 1);
+    }
+
+    #[test]
+    fn width_one_layouts_plan_as_single_everywhere() {
+        // The unified width-1 rule: a hashed x1 layout must not take
+        // any colocated/partial code path — it plans exactly like
+        // unsharded data.
+        let (p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 1)),
+            (TableRef::new("db2", "b"), PartitionSpec::hash("pid", 1)),
+        ]);
+        let plan = ShardPlan::plan(&p, specs, PlanOptions::default()).unwrap();
+        for n in p.nodes() {
+            let e = plan.node(n.id);
+            assert_eq!(e.distribution, Distribution::Single, "node {}", n.id);
+            assert!(!e.colocated && !e.partials_needed && !e.shuffles());
+            assert_eq!(e.scatter_width(), 1);
+        }
+        assert_eq!(plan.exchange_counts(), ExchangeCounts::default());
+        assert_eq!(plan.scatter_width(j), 1);
     }
 
     #[test]
@@ -386,7 +918,7 @@ mod tests {
             (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 2)),
             (TableRef::new("db2", "b"), PartitionSpec::hash("pid", 2)),
         ]);
-        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        let plan = ShardPlan::plan(&p, specs, PlanOptions::default()).unwrap();
         let filter = plan.node(f);
         assert!(filter.colocated, "filter executes per shard");
         assert_eq!(filter.distribution.key(), Some("pid"));
@@ -418,7 +950,7 @@ mod tests {
             TableRef::new("db1", "a"),
             PartitionSpec::hash("pid", 3),
         )]);
-        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        let plan = ShardPlan::plan(&p, specs, PlanOptions::default()).unwrap();
         assert!(plan.node(keep).colocated);
         assert_eq!(plan.node(keep).distribution.key(), Some("pid"));
         // Re-keying projection degrades to single with an explicit
@@ -426,7 +958,7 @@ mod tests {
         let rekeyed = plan.node(drop);
         assert!(!rekeyed.colocated);
         assert_eq!(rekeyed.distribution, Distribution::Single);
-        assert_eq!(rekeyed.gathered_inputs, vec![keep]);
+        assert_eq!(rekeyed.exchanges, vec![ExchangeKind::Gather]);
     }
 
     #[test]
@@ -455,7 +987,7 @@ mod tests {
             (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 2)),
             (TableRef::new("db2", "b"), PartitionSpec::hash("pid", 2)),
         ]);
-        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        let plan = ShardPlan::plan(&p, specs, PlanOptions::default()).unwrap();
         assert!(plan.node(j).colocated, "colocation sees through fusion");
         assert_eq!(plan.node(f).distribution.key(), Some("pid"));
         assert!(
@@ -469,7 +1001,7 @@ mod tests {
     }
 
     #[test]
-    fn sort_and_group_by_gather_partitioned_inputs() {
+    fn sort_gathers_partitioned_inputs() {
         let mut p = Program::new();
         let a = p.add_source(Operator::scan(TableRef::new("db1", "a")), "sql");
         let s = p.add_node(
@@ -487,10 +1019,10 @@ mod tests {
             TableRef::new("db1", "a"),
             PartitionSpec::range("pid", vec![Value::Int(10)]),
         )]);
-        let plan = ShardPlan::plan(&p, specs, true).unwrap();
+        let plan = ShardPlan::plan(&p, specs, PlanOptions::default()).unwrap();
         assert_eq!(plan.node(a).scatter_width(), 2);
         assert_eq!(plan.node(s).distribution, Distribution::Single);
-        assert_eq!(plan.node(s).gathered_inputs, vec![a]);
+        assert_eq!(plan.node(s).exchanges, vec![ExchangeKind::Gather]);
     }
 
     #[test]
@@ -500,9 +1032,9 @@ mod tests {
             (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
             (TableRef::new("db2", "b"), PartitionSpec::hash("pid", 4)),
         ]);
-        let plan = ShardPlan::plan(&p, &specs, false).unwrap();
+        let plan = ShardPlan::plan(&p, &specs, PlanOptions::gathered()).unwrap();
         assert!(!plan.node(j).colocated);
-        assert_eq!(plan.node(j).gathered_inputs.len(), 2);
+        assert_eq!(plan.node(j).gathered_input_count(), 2);
         // Scans still scatter: the PR-3 baseline keeps scan speedup.
         assert_eq!(plan.node(NodeId(0)).scatter_width(), 4);
     }
@@ -515,7 +1047,7 @@ mod tests {
             PartitionSpec::hash("pid", 0),
         )]);
         assert!(matches!(
-            ShardPlan::plan(&p, specs, true),
+            ShardPlan::plan(&p, specs, PlanOptions::default()),
             Err(pspp_common::Error::EmptyShardSet(_))
         ));
     }

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
 use pspp_accel::{AcceleratorFleet, Interconnect, KernelClass, SimDuration};
 use pspp_common::{DataModel, DeviceKind, PartitionSpec, Result, TableRef};
-use pspp_ir::{NodeId, Operator, Program, ShardPlan};
+use pspp_ir::{ExchangeCounts, ExchangeKind, NodeId, Operator, PlanOptions, Program, ShardPlan};
 
 use crate::rewrite::resolve_fused;
 
@@ -52,6 +52,13 @@ pub struct PlacementPlan {
     /// unsharded), so prediction-error analysis (E15) can attribute
     /// error to cardinality estimation vs distribution modeling.
     pub scatter_width: HashMap<NodeId, usize>,
+    /// Exchange-edge totals of the priced plan, by kind — how many
+    /// gathers, broadcasts, shuffles and partial merges the optimizer
+    /// chose.
+    pub exchanges: ExchangeCounts,
+    /// Estimated seconds spent in repartitioning exchanges (shuffle
+    /// routing and partial-state merges), included in `total_seconds`.
+    pub exchange_seconds: f64,
 }
 
 /// The optimizer cost model.
@@ -67,6 +74,9 @@ pub struct CostModel {
     /// colocated — must mirror the deployment's setting so the model
     /// prices the plan that actually runs.
     colocate: bool,
+    /// Whether the executor will emit repartitioning exchanges
+    /// (shuffled joins, partial-aggregate merges) — likewise mirrored.
+    exchange: bool,
     /// Cross-engine migration link.
     pub migration_link: Interconnect,
 }
@@ -79,6 +89,7 @@ impl CostModel {
             stats,
             partitions: HashMap::new(),
             colocate: true,
+            exchange: true,
             migration_link: Interconnect::network_10g(),
         }
     }
@@ -94,6 +105,14 @@ impl CostModel {
     /// baseline — must match the executor's `colocated_joins` setting.
     pub fn with_colocation(mut self, on: bool) -> Self {
         self.colocate = on;
+        self
+    }
+
+    /// This model pricing repartitioning exchanges (default) or the
+    /// gathered baseline — must match the executor's `exchange`
+    /// setting.
+    pub fn with_exchange(mut self, on: bool) -> Self {
+        self.exchange = on;
         self
     }
 
@@ -120,7 +139,14 @@ impl CostModel {
     /// Returns [`pspp_common::Error::Semantic`] on cyclic programs and
     /// spec-validation errors for invalid partition declarations.
     pub fn shard_plan(&self, program: &Program) -> Result<ShardPlan> {
-        ShardPlan::plan(program, |t| self.partitions.get(t).cloned(), self.colocate)
+        ShardPlan::plan(
+            program,
+            |t| self.partitions.get(t).cloned(),
+            PlanOptions {
+                colocate: self.colocate,
+                exchange: self.colocate && self.exchange,
+            },
+        )
     }
 
     /// Estimated cost of the shard-ordered gather concatenating
@@ -353,12 +379,18 @@ impl CostModel {
     ///
     /// Pricing is distribution-aware: a node the [`ShardPlan`] fans
     /// out over `w` shards (a partitioned scan, a colocated join, a
-    /// distribution-preserving filter/projection) is priced at
-    /// `1/w` of its input volume — the per-shard tasks run on distinct
-    /// replicas in parallel, matching the executor's max-over-shards
-    /// accounting — plus a [`CostModel::gather_cost`] term for the
-    /// shard-ordered merge of its output, so L2 placement trades shard
-    /// parallelism against migration.
+    /// shuffled join, a partial aggregation, a distribution-preserving
+    /// filter/projection) is priced at `1/w` of each fanned-out input's
+    /// volume — the per-shard tasks run on distinct replicas in
+    /// parallel, matching the executor's max-over-shards accounting —
+    /// plus a [`CostModel::gather_cost`] term for the shard-ordered
+    /// merge of its output and a migration-class charge for every
+    /// row-moving exchange edge (shuffle routing, partial-state
+    /// splices), so L2 placement trades shard parallelism against data
+    /// movement. The gather-vs-shuffle choice itself is
+    /// [`pspp_ir::exchange_pays`] over the estimated rows crossing the
+    /// edge, evaluated inside the shared planning pass — which is why
+    /// the crossover flips with the table statistics.
     ///
     /// # Errors
     ///
@@ -371,6 +403,7 @@ impl CostModel {
         let mut scatter_width = HashMap::new();
         let mut offloaded = 0usize;
         let mut total = 0.0f64;
+        let mut exchange_seconds = 0.0f64;
         for id in order {
             let node = program.node(id).clone();
             if node.annotations.fused_into_consumer {
@@ -397,14 +430,23 @@ impl CostModel {
                 let per_input: Vec<(f64, f64)> = node
                     .inputs
                     .iter()
-                    .map(|&i| {
+                    .enumerate()
+                    .map(|(idx, &i)| {
                         let n = program.node(resolve_fused(program, i));
-                        let divisor = if plan.node(id).colocated
-                            && plan.node(i).distribution.is_partitioned()
-                        {
-                            width as f64
-                        } else {
-                            1.0
+                        // Per-task volume by edge type: an aligned
+                        // partial, a shuffled bucket, or a partial-
+                        // aggregation shard sees 1/width of the input;
+                        // a broadcast or gathered side arrives whole.
+                        let divisor = match plan.node(id).exchange(idx) {
+                            ExchangeKind::ShuffleHash { width: w, .. } => f64::from(*w),
+                            ExchangeKind::MergePartials => width as f64,
+                            ExchangeKind::Local
+                                if plan.node(id).colocated
+                                    && plan.node(i).distribution.is_partitioned() =>
+                            {
+                                width as f64
+                            }
+                            _ => 1.0,
                         };
                         (
                             n.annotations.est_rows.unwrap_or(1_000.0) / divisor,
@@ -422,6 +464,34 @@ impl CostModel {
                     })
                 }
             };
+            // Exchange edges are priced like migration: the rows moved
+            // cross the migration link, plus per-destination-shard
+            // overhead — the same model the executor's barrier charges.
+            let mut exchange = 0.0f64;
+            for (idx, &i) in node.inputs.iter().enumerate() {
+                let src = program.node(resolve_fused(program, i));
+                let bytes = src.annotations.est_bytes.unwrap_or(64_000.0);
+                match plan.node(id).exchange(idx) {
+                    ExchangeKind::ShuffleHash { width: w, .. } => {
+                        exchange += self
+                            .migration_cost(bytes, DataModel::Relational, DataModel::Relational)
+                            .as_secs()
+                            + f64::from(*w) * GATHER_OVERHEAD_S;
+                    }
+                    ExchangeKind::MergePartials => {
+                        // Partial states (one row per group per shard)
+                        // cross shards and splice on the host.
+                        let groups = node.annotations.est_rows.unwrap_or(1_000.0);
+                        exchange += self
+                            .gather_cost(width.max(2), groups * width as f64)
+                            .as_secs();
+                    }
+                    _ => {}
+                }
+            }
+            // Like the executor's barrier, the exchange bill rides the
+            // plan's data-movement account, not the node's kernel time.
+            exchange_seconds += exchange;
             let gather = self
                 .gather_cost(width, node.annotations.est_rows.unwrap_or(1_000.0))
                 .as_secs();
@@ -475,13 +545,15 @@ impl CostModel {
                 }
             }
         }
-        total += migration;
+        total += migration + exchange_seconds;
         Ok(PlacementPlan {
             node_seconds,
             migration_seconds: migration,
             total_seconds: total,
             offloaded,
             scatter_width,
+            exchanges: plan.exchange_counts(),
+            exchange_seconds,
         })
     }
 }
@@ -759,7 +831,8 @@ mod tests {
             plan.node_seconds[&j_shard],
             flat.node_seconds[&j_flat]
         );
-        // Mismatched keys fall back to width-1 (gathered) pricing.
+        // Mismatched keys at these (large) stats shuffle: the join is
+        // still priced at the full scatter width.
         let mut mismatched = make(true);
         mismatched.set_partition(
             TableRef::new("db2", "big2"),
@@ -767,6 +840,122 @@ mod tests {
         );
         let (mut p_mis, j_mis) = join_program();
         let plan_mis = mismatched.place(&mut p_mis).unwrap();
-        assert_eq!(plan_mis.scatter_width[&j_mis], 1);
+        assert_eq!(plan_mis.scatter_width[&j_mis], 4);
+        assert_eq!(plan_mis.exchanges.shuffles, 2);
+        assert!(plan_mis.exchange_seconds > 0.0);
+    }
+
+    /// The acceptance crossover: the same mismatched-key join plan must
+    /// flip between gather and shuffle purely on estimated row counts.
+    #[test]
+    fn placement_flips_between_gather_and_shuffle_at_the_crossover() {
+        let join_program = || {
+            let mut p = Program::new();
+            let a = p.add_source(Operator::scan(TableRef::new("db1", "t1")), "sql");
+            let b = p.add_source(Operator::scan(TableRef::new("db2", "t2")), "sql");
+            let j = p.add_node(
+                Operator::HashJoin {
+                    left_on: "k".into(),
+                    right_on: "k".into(),
+                },
+                vec![a, b],
+                "sql",
+            );
+            p.mark_output(j);
+            (p, j)
+        };
+        let model_with_rows = |rows: f64| {
+            let mut stats = HashMap::new();
+            for t in [TableRef::new("db1", "t1"), TableRef::new("db2", "t2")] {
+                stats.insert(
+                    t.clone(),
+                    TableStats {
+                        rows,
+                        row_bytes: 64.0,
+                    },
+                );
+            }
+            let mut m = CostModel::new(AcceleratorFleet::workstation(), stats);
+            // Mismatched partition keys: never colocated, so the plan
+            // is gather or shuffle by cost alone.
+            m.set_partition(
+                TableRef::new("db1", "t1"),
+                pspp_common::PartitionSpec::hash("k", 4),
+            );
+            m.set_partition(
+                TableRef::new("db2", "t2"),
+                pspp_common::PartitionSpec::hash("other", 4),
+            );
+            m
+        };
+        // Below the crossover (see pspp_ir::exchange_pays at width 4:
+        // total rows must exceed ~1365): gather.
+        let (mut p_small, j_small) = join_program();
+        let small = model_with_rows(400.0).place(&mut p_small).unwrap();
+        assert_eq!(small.scatter_width[&j_small], 1, "small joins gather");
+        assert_eq!(small.exchanges.shuffles, 0);
+        assert_eq!(small.exchanges.gathers, 2);
+
+        // Above the crossover: shuffle, priced per shard.
+        let (mut p_big, j_big) = join_program();
+        let big = model_with_rows(100_000.0).place(&mut p_big).unwrap();
+        assert_eq!(big.scatter_width[&j_big], 4, "big joins shuffle");
+        assert_eq!(big.exchanges.shuffles, 2);
+        assert_eq!(big.exchanges.gathers, 0);
+        assert!(big.exchange_seconds > 0.0);
+    }
+
+    #[test]
+    fn exchange_off_prices_the_gathered_baseline() {
+        let mut stats = HashMap::new();
+        for t in [TableRef::new("db1", "t1"), TableRef::new("db2", "t2")] {
+            stats.insert(
+                t.clone(),
+                TableStats {
+                    rows: 100_000.0,
+                    row_bytes: 64.0,
+                },
+            );
+        }
+        let model = |exchange: bool| {
+            let mut m = CostModel::new(AcceleratorFleet::workstation(), stats.clone())
+                .with_exchange(exchange);
+            m.set_partition(
+                TableRef::new("db1", "t1"),
+                pspp_common::PartitionSpec::hash("k", 4),
+            );
+            m.set_partition(
+                TableRef::new("db2", "t2"),
+                pspp_common::PartitionSpec::hash("other", 4),
+            );
+            m
+        };
+        let program = || {
+            let mut p = Program::new();
+            let a = p.add_source(Operator::scan(TableRef::new("db1", "t1")), "sql");
+            let b = p.add_source(Operator::scan(TableRef::new("db2", "t2")), "sql");
+            let j = p.add_node(
+                Operator::HashJoin {
+                    left_on: "k".into(),
+                    right_on: "k".into(),
+                },
+                vec![a, b],
+                "sql",
+            );
+            p.mark_output(j);
+            (p, j)
+        };
+        let (mut p_ex, j_ex) = program();
+        let with = model(true).place(&mut p_ex).unwrap();
+        let (mut p_base, j_base) = program();
+        let without = model(false).place(&mut p_base).unwrap();
+        assert_eq!(without.scatter_width[&j_base], 1);
+        assert_eq!(without.exchanges.shuffles, 0);
+        assert!(
+            with.node_seconds[&j_ex] < without.node_seconds[&j_base],
+            "the shuffled join estimate must beat the gathered one ({} vs {})",
+            with.node_seconds[&j_ex],
+            without.node_seconds[&j_base]
+        );
     }
 }

@@ -64,6 +64,9 @@ pub enum Aggregate {
     Min,
     /// Maximum value.
     Max,
+    /// Count of non-null values in the column — the partial state a
+    /// distributed `Avg` ships to its merge stage.
+    CountNonNull,
 }
 
 /// An aggregate over one column with an output name.
@@ -191,6 +194,165 @@ pub fn hash_join(
     Ok((out_schema, out))
 }
 
+/// Number of inner-join matches each `left` (probe) row produces
+/// against `right`, in probe order — the bookkeeping a shuffled hash
+/// join's barrier uses to splice per-destination-shard outputs back
+/// into the gathered probe order (output rows of probe row `i` form a
+/// contiguous chunk of length `counts[i]`). Mirrors [`hash_join`]'s
+/// inner semantics exactly, including null keys matching nothing.
+///
+/// # Errors
+///
+/// Returns [`Error::ColumnNotFound`] for unknown join columns.
+pub fn hash_join_match_counts(
+    left_schema: &Schema,
+    left: &[Row],
+    right_schema: &Schema,
+    right: &[Row],
+    left_on: &str,
+    right_on: &str,
+) -> Result<Vec<usize>> {
+    let li = left_schema.require(left_on)?;
+    let ri = right_schema.require(right_on)?;
+    let mut table: HashMap<&Value, usize> = HashMap::new();
+    for r in right {
+        if !r[ri].is_null() {
+            *table.entry(&r[ri]).or_default() += 1;
+        }
+    }
+    Ok(left
+        .iter()
+        .map(|l| {
+            if l[li].is_null() {
+                0
+            } else {
+                table.get(&l[li]).copied().unwrap_or(0)
+            }
+        })
+        .collect())
+}
+
+/// Merges per-shard partial-aggregation states back into the final
+/// group-by result: `partial_rows` are the per-shard outputs of a
+/// [`group_by`] over the *partial* aggregate list (see
+/// `pspp_ir::partial_agg_specs` — one column per original aggregate,
+/// two for `Avg`), concatenated in shard order; `aggs` are the
+/// original aggregates. Groups finalize in first-seen order over the
+/// concatenated partials, which equals the first-seen order over the
+/// gathered input rows — so for exactly-representable sums (integer
+/// columns) the merge is byte-identical to a single-site [`group_by`].
+///
+/// # Errors
+///
+/// Returns [`Error::SchemaMismatch`] when the partial schema's arity
+/// does not match the aggregate layout or a partial state has the
+/// wrong type.
+pub fn merge_group_partials(
+    partial_schema: &Schema,
+    partial_rows: &[Row],
+    key_count: usize,
+    aggs: &[AggregateSpec],
+) -> Result<(Schema, Vec<Row>)> {
+    use pspp_common::{DataType, Field};
+
+    let state_width = |a: &AggregateSpec| if a.agg == Aggregate::Avg { 2 } else { 1 };
+    let expected = key_count + aggs.iter().map(state_width).sum::<usize>();
+    if partial_schema.arity() != expected {
+        return Err(Error::SchemaMismatch(format!(
+            "partial schema has {} columns, aggregate layout needs {expected}",
+            partial_schema.arity()
+        )));
+    }
+    let mut out_fields: Vec<Field> = partial_schema.fields()[..key_count].to_vec();
+    for a in aggs {
+        let dt = match a.agg {
+            Aggregate::Count | Aggregate::CountNonNull => DataType::Int,
+            _ => DataType::Float,
+        };
+        out_fields.push(Field::new(a.output.clone(), dt));
+    }
+    let out_schema = Schema::from_fields(out_fields);
+
+    /// One aggregate's merge state.
+    #[derive(Clone)]
+    enum MergeAcc {
+        /// Count / CountNonNull: running integer total.
+        Ints(i64),
+        /// Sum: running float total.
+        Floats(f64),
+        /// Avg: (sum of partial sums, total non-null count).
+        Ratio(f64, i64),
+        /// Min/Max: current extremum (None until a non-null partial).
+        Extremum(Option<Value>),
+    }
+    let fresh = |a: &AggregateSpec| match a.agg {
+        Aggregate::Count | Aggregate::CountNonNull => MergeAcc::Ints(0),
+        Aggregate::Sum => MergeAcc::Floats(0.0),
+        Aggregate::Avg => MergeAcc::Ratio(0.0, 0),
+        Aggregate::Min | Aggregate::Max => MergeAcc::Extremum(None),
+    };
+    let int_state = |v: &Value| {
+        v.as_i64()
+            .ok_or_else(|| Error::SchemaMismatch(format!("expected integer partial, got {v:?}")))
+    };
+    let float_state = |v: &Value| {
+        v.as_f64()
+            .ok_or_else(|| Error::SchemaMismatch(format!("expected numeric partial, got {v:?}")))
+    };
+
+    let mut groups: HashMap<Vec<Value>, Vec<MergeAcc>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in partial_rows {
+        let key: Vec<Value> = (0..key_count).map(|i| row[i].clone()).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            aggs.iter().map(fresh).collect()
+        });
+        let mut col = key_count;
+        for (a, spec) in aggs.iter().enumerate() {
+            match &mut accs[a] {
+                MergeAcc::Ints(n) => *n += int_state(&row[col])?,
+                MergeAcc::Floats(s) => *s += float_state(&row[col])?,
+                MergeAcc::Ratio(s, n) => {
+                    *s += float_state(&row[col])?;
+                    *n += int_state(&row[col + 1])?;
+                }
+                MergeAcc::Extremum(m) => {
+                    let v = &row[col];
+                    if !v.is_null() {
+                        let better = match (m.as_ref(), spec.agg) {
+                            (None, _) => true,
+                            (Some(cur), Aggregate::Min) => v < cur,
+                            (Some(cur), _) => v > cur,
+                        };
+                        if better {
+                            *m = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            col += state_width(spec);
+        }
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = &groups[&key];
+        let mut row: Vec<Value> = key;
+        for acc in accs {
+            row.push(match acc {
+                MergeAcc::Ints(n) => Value::Int(*n),
+                MergeAcc::Floats(s) => Value::Float(*s),
+                MergeAcc::Ratio(_, 0) => Value::Null,
+                MergeAcc::Ratio(s, n) => Value::Float(s / *n as f64),
+                MergeAcc::Extremum(m) => m.clone().unwrap_or(Value::Null),
+            });
+        }
+        out.push(Row::from(row));
+    }
+    Ok((out_schema, out))
+}
+
 /// Sort-merge join on single-column equality: sorts both inputs by the
 /// join key, then merges. This is the §III worked example's operator
 /// ("DB1 performs a sort-merge on 'Date'").
@@ -287,7 +449,7 @@ pub fn group_by(
         .collect();
     for a in aggs {
         let dt = match a.agg {
-            Aggregate::Count => DataType::Int,
+            Aggregate::Count | Aggregate::CountNonNull => DataType::Int,
             _ => DataType::Float,
         };
         out_fields.push(Field::new(a.output.clone(), dt));
@@ -342,6 +504,7 @@ pub fn group_by(
                         acc.maxs[a] = Some(v.clone());
                     }
                 }
+                Aggregate::CountNonNull => acc.counts[a] += 1,
                 Aggregate::Count => {}
             }
         }
@@ -364,6 +527,7 @@ pub fn group_by(
                 }
                 Aggregate::Min => acc.mins[a].clone().unwrap_or(Value::Null),
                 Aggregate::Max => acc.maxs[a].clone().unwrap_or(Value::Null),
+                Aggregate::CountNonNull => Value::Int(acc.counts[a]),
             });
         }
         out.push(Row::from(row));
@@ -462,6 +626,92 @@ mod tests {
         assert_eq!(a[3], Value::Float(3.0));
         assert_eq!(a[4], Value::Int(1));
         assert_eq!(a[5], Value::Int(5));
+    }
+
+    #[test]
+    fn match_counts_mirror_the_join_exactly() {
+        let ls = Schema::new(vec![("k", DataType::Int)]);
+        let rs = Schema::new(vec![("k", DataType::Int), ("v", DataType::Str)]);
+        let left = vec![row![1i64], row![Value::Null], row![2i64], row![3i64]];
+        let right = vec![row![2i64, "a"], row![2i64, "b"], row![1i64, "c"]];
+        let counts = hash_join_match_counts(&ls, &left, &rs, &right, "k", "k").unwrap();
+        assert_eq!(counts, vec![1, 0, 2, 0]);
+        // The counts partition the join output into per-probe chunks.
+        let (_, out) = hash_join(&ls, &left, &rs, &right, "k", "k", JoinKind::Inner).unwrap();
+        assert_eq!(out.len(), counts.iter().sum::<usize>());
+        assert!(matches!(
+            hash_join_match_counts(&ls, &left, &rs, &right, "nope", "k"),
+            Err(Error::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn merged_partials_equal_single_site_group_by() {
+        // Integer columns: float sums are exact, so the merge must be
+        // byte-identical to aggregating the gathered rows directly.
+        let s = Schema::new(vec![("g", DataType::Str), ("v", DataType::Int)]);
+        let rows = vec![
+            row!["b", 4i64],
+            row!["a", 1i64],
+            row!["a", 5i64],
+            row!["b", 2i64],
+            row!["c", Value::Null],
+        ];
+        let aggs = [
+            AggregateSpec::count("n"),
+            AggregateSpec::new(Aggregate::Sum, "v", "sum"),
+            AggregateSpec::new(Aggregate::Avg, "v", "avg"),
+            AggregateSpec::new(Aggregate::Min, "v", "min"),
+            AggregateSpec::new(Aggregate::Max, "v", "max"),
+        ];
+        // The partial layout `pspp_ir::partial_agg_specs` produces:
+        // count, sum, (sum, non-null count), min, max.
+        let partial = [
+            AggregateSpec::count("__p0_count"),
+            AggregateSpec::new(Aggregate::Sum, "v", "__p1_sum"),
+            AggregateSpec::new(Aggregate::Sum, "v", "__p2_sum"),
+            AggregateSpec::new(Aggregate::CountNonNull, "v", "__p2_n"),
+            AggregateSpec::new(Aggregate::Min, "v", "__p3_min"),
+            AggregateSpec::new(Aggregate::Max, "v", "__p4_max"),
+        ];
+        let (expect_schema, expect) = group_by(&s, &rows, &["g"], &aggs).unwrap();
+        // Split rows across two "shards" and aggregate each partially.
+        let (shard0, shard1) = rows.split_at(2);
+        let (ps, mut partial_rows) = group_by(&s, shard0, &["g"], &partial).unwrap();
+        let (_, more) = group_by(&s, shard1, &["g"], &partial).unwrap();
+        partial_rows.extend(more);
+        let (schema, merged) = merge_group_partials(&ps, &partial_rows, 1, &aggs).unwrap();
+        assert_eq!(schema, expect_schema);
+        assert_eq!(merged, expect, "merge must reproduce the gathered answer");
+    }
+
+    #[test]
+    fn merge_partials_arity_mismatch_is_typed() {
+        let s = Schema::new(vec![("g", DataType::Str), ("x", DataType::Int)]);
+        let err = merge_group_partials(&s, &[], 1, &[AggregateSpec::count("n")]);
+        assert!(err.is_ok(), "count layout is one column");
+        let err = merge_group_partials(&s, &[], 1, &[AggregateSpec::new(Aggregate::Avg, "x", "a")])
+            .unwrap_err();
+        assert!(matches!(err, Error::SchemaMismatch(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn count_non_null_counts_only_values() {
+        let s = Schema::new(vec![("g", DataType::Str), ("v", DataType::Int)]);
+        let rows = vec![row!["a", 1i64], row!["a", Value::Null], row!["a", 3i64]];
+        let (schema, out) = group_by(
+            &s,
+            &rows,
+            &["g"],
+            &[
+                AggregateSpec::count("rows"),
+                AggregateSpec::new(Aggregate::CountNonNull, "v", "vals"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(schema.names(), vec!["g", "rows", "vals"]);
+        assert_eq!(out[0][1], Value::Int(3));
+        assert_eq!(out[0][2], Value::Int(2));
     }
 
     #[test]

@@ -13,33 +13,41 @@
 //!
 //! Distribution is a *plan* property, not an execution-time discovery:
 //! [`Placer::plan_distribution`] annotates every node with its
-//! [`pspp_ir::ShardPlan`] entry once, and the stage loop consumes it. A
+//! [`pspp_ir::ShardPlan`] entry once — including one typed
+//! [`ExchangeKind`] per input edge — and the stage loop consumes it. A
 //! task is one (node, shard) pair:
 //!
 //! * a `Scan` over a partitioned table scatters into one task per shard
 //!   replica;
-//! * a *colocated* node (a `HashJoin` whose inputs are compatibly
-//!   partitioned on the join keys, or a filter/projection preserving a
-//!   partitioned input) fans out one task per shard, each consuming its
-//!   inputs' per-shard partials — build + probe on that shard's rows —
-//!   with a replicated broadcast partner served from its full copy;
-//! * everything else runs as a single shard-0 task over gathered
-//!   inputs.
+//! * a *colocated* node (aligned [`ExchangeKind::Local`] edges) fans
+//!   out one task per shard, each consuming its inputs' per-shard
+//!   partials — build + probe on that shard's rows — with a
+//!   [`ExchangeKind::Broadcast`] partner served from its full copy;
+//! * a *shuffled* `HashJoin` ([`ExchangeKind::ShuffleHash`] edges)
+//!   routes each side's rows into destination-shard buckets by the
+//!   stable FNV rule, runs one build+probe task per destination, and
+//!   its barrier splices the outputs back into the gathered probe
+//!   order (per-probe-row match counts), so shuffled and gathered
+//!   plans are byte-identical;
+//! * a partial-aggregate `GroupBy` ([`ExchangeKind::MergePartials`])
+//!   runs one partial-aggregation task per input shard and merges the
+//!   partial states in shard order;
+//! * everything else runs as a single shard-0 task over inputs
+//!   gathered through explicit [`ExchangeKind::Gather`] edges.
 //!
-//! Per-shard partials merge back in shard order, so colocated and
-//! gathered execution are bit-identical (E18 proves byte-equal digests);
-//! migration and ledger charges post per shard task exactly as PR 3's
-//! scatter-gather scans did. Parallel and sequential modes are likewise
-//! bit-identical: every task executes against a private scoped ledger,
-//! and the loop merges shard partials in shard order and node results
-//! in node-id order after each stage joins.
+//! Exchange rows are charged to the ledger as migration-class transfer
+//! events on the node's critical path. Parallel and sequential modes
+//! are bit-identical: every task executes against a private scoped
+//! ledger, and the loop merges shard partials in shard order and node
+//! results in node-id order after each stage joins.
 
 use std::collections::HashMap;
 
-use pspp_accel::{AcceleratorFleet, CostLedger};
-use pspp_common::{DeviceKind, Error, Result, ShardId};
-use pspp_ir::{NodeId, Program, ShardPlan, Stage};
+use pspp_accel::{AcceleratorFleet, CostEvent, CostLedger, EventKind, Interconnect, SimDuration};
+use pspp_common::{DeviceKind, Distribution, Error, Result, Row, ShardId};
+use pspp_ir::{ExchangeKind, NodeId, Operator, PlanOptions, Program, ShardPlan, Stage};
 use pspp_migrate::{MigrationPath, Migrator};
+use pspp_relstore::ops as relops;
 
 use crate::dataset::{Dataset, Payload};
 use crate::physical::{AdapterRegistry, Charger, ExecCtx, Placer};
@@ -47,6 +55,11 @@ use crate::registry::EngineRegistry;
 
 /// Chunks used by the pipelined-stages model (§IV-D).
 const PIPELINE_CHUNKS: f64 = 8.0;
+
+/// Simulated per-destination-shard bookkeeping of an exchange barrier
+/// (bucket open + ordered splice), mirroring the optimizer's gather
+/// overhead so predictions and charges share one constant scale.
+const EXCHANGE_TASK_OVERHEAD_S: f64 = 2e-6;
 
 /// Execution accounting for one program run.
 #[derive(Debug, Clone)]
@@ -78,6 +91,46 @@ impl ExecutionReport {
     }
 }
 
+/// The orchestrator-side state of one shuffled node's exchange: where
+/// each probe row went, the routed inputs (for the barrier's match
+/// counts), and the exchange's simulated transfer bill.
+#[derive(Debug)]
+struct ShuffleBarrier {
+    /// Global probe-row indices per destination bucket, in source
+    /// order.
+    probe_origins: Vec<Vec<usize>>,
+    /// Bytes routed across shards.
+    bytes: u64,
+    /// Simulated seconds of the exchange (wire + per-shard overhead).
+    seconds: f64,
+}
+
+/// One (node, shard) unit of stage work, resolved and ready to run.
+#[derive(Debug)]
+struct Task {
+    id: NodeId,
+    shard: ShardId,
+    inputs: Vec<Dataset>,
+    /// Operator override (the per-shard partial of a merged
+    /// aggregation); `None` runs the node's own.
+    op: Option<Operator>,
+    /// Whether this is a shuffled-join bucket whose per-probe-row
+    /// match counts the barrier needs for its splice.
+    count_matches: bool,
+}
+
+impl Task {
+    fn new(id: NodeId, shard: ShardId, inputs: Vec<Dataset>) -> Self {
+        Task {
+            id,
+            shard,
+            inputs,
+            op: None,
+            count_matches: false,
+        }
+    }
+}
+
 /// Everything one (node, shard) task produced, staged for deterministic
 /// merging after its stage joins.
 #[derive(Debug)]
@@ -97,6 +150,11 @@ struct NodeRun {
     offloaded: bool,
     /// Cost events from the task's scoped ledger, in posting order.
     events: Vec<pspp_accel::CostEvent>,
+    /// For shuffled join tasks: matches each probe-bucket row produced,
+    /// in bucket order — computed in the task so the work parallelizes
+    /// with the join itself; the barrier uses them as splice chunk
+    /// sizes.
+    probe_counts: Option<Vec<usize>>,
 }
 
 impl NodeRun {
@@ -140,6 +198,9 @@ pub struct Executor {
     /// Execute compatibly-partitioned joins (and distribution-preserving
     /// filters/projections) per shard instead of gathering first.
     colocate: bool,
+    /// Emit shuffle/merge-partials exchanges for mismatched-key joins
+    /// and non-partition-wise aggregations instead of gathering.
+    exchange: bool,
 }
 
 impl Executor {
@@ -154,6 +215,7 @@ impl Executor {
             pipelined: false,
             parallel: true,
             colocate: true,
+            exchange: true,
         }
     }
 
@@ -183,6 +245,16 @@ impl Executor {
     /// debugging.
     pub fn colocated_joins(mut self, on: bool) -> Self {
         self.colocate = on;
+        self
+    }
+
+    /// Enables/disables the repartitioning exchanges (default: on):
+    /// shuffled joins on mismatched partition keys and
+    /// partial-aggregate + merge `GroupBy`s. Off reverts those nodes to
+    /// the gathered plan, which is bit-identical and exists for
+    /// comparison (E19) and debugging.
+    pub fn exchange(mut self, on: bool) -> Self {
+        self.exchange = on;
         self
     }
 
@@ -230,7 +302,15 @@ impl Executor {
         program.validate()?;
         // Distribution is planned once, up front: the stage loop never
         // re-derives scatter sets from the registry.
-        let plan = Placer::plan_distribution_opts(program, registry, registry, self.colocate)?;
+        let plan = Placer::plan_distribution_opts(
+            program,
+            registry,
+            registry,
+            PlanOptions {
+                colocate: self.colocate,
+                exchange: self.colocate && self.exchange,
+            },
+        )?;
         let stages = program.execution_stages()?;
         let mut results: HashMap<NodeId, Dataset> = HashMap::new();
         // Per-shard partials of nodes feeding colocated consumers, in
@@ -304,11 +384,13 @@ impl Executor {
         })
     }
 
-    /// Resolves one task's input datasets. A colocated task at scatter
-    /// slot `slot` reads per-shard partials of its partitioned inputs
-    /// (and the gathered full copy of replicated/single inputs — the
-    /// broadcast side of a join); every other task reads gathered
-    /// results.
+    /// Resolves one task's input datasets from its plan's typed
+    /// exchange edges: a task at scatter slot `slot` reads per-shard
+    /// partials through aligned [`ExchangeKind::Local`] edges and
+    /// [`ExchangeKind::MergePartials`] edges (partial aggregation), and
+    /// the gathered full copy through everything else
+    /// ([`ExchangeKind::Broadcast`] build sides,
+    /// [`ExchangeKind::Gather`]ed and unsharded inputs).
     fn task_inputs(
         program: &Program,
         id: NodeId,
@@ -317,34 +399,121 @@ impl Executor {
         partials: &HashMap<NodeId, Vec<Dataset>>,
         plan: &ShardPlan,
     ) -> Result<Vec<Dataset>> {
+        let info = plan.node(id);
         program
             .node(id)
             .inputs
             .iter()
-            .map(|i| match slot {
-                Some(k) if plan.node(*i).distribution.is_partitioned() => partials
-                    .get(i)
-                    .and_then(|p| p.get(k))
-                    .cloned()
-                    .ok_or_else(|| {
-                        Error::Execution(format!("missing shard partial {k} of {i} for {id}"))
-                    }),
-                _ => results
-                    .get(i)
-                    .cloned()
-                    .ok_or_else(|| Error::Execution(format!("missing input for {id}"))),
+            .enumerate()
+            .map(|(idx, i)| {
+                let reads_partial = match info.exchange(idx) {
+                    ExchangeKind::Local => {
+                        info.colocated && plan.node(*i).distribution.is_partitioned()
+                    }
+                    ExchangeKind::MergePartials => true,
+                    _ => false,
+                };
+                match slot {
+                    Some(k) if reads_partial => partials
+                        .get(i)
+                        .and_then(|p| p.get(k))
+                        .cloned()
+                        .ok_or_else(|| {
+                            Error::Execution(format!("missing shard partial {k} of {i} for {id}"))
+                        }),
+                    _ => results
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| Error::Execution(format!("missing input for {id}"))),
+                }
             })
             .collect()
     }
 
+    /// Routes a shuffled node's inputs into destination-shard buckets:
+    /// [`ExchangeKind::ShuffleHash`] edges re-hash the input's gathered
+    /// rows by the stable FNV rule (bucket order = source order, so the
+    /// barrier's splice is deterministic); every other edge broadcasts
+    /// the full copy to each destination task. Returns the per-
+    /// destination input sets plus the barrier state (probe-row origins
+    /// and the exchange's simulated transfer bill).
+    fn shuffle_inputs(
+        program: &Program,
+        id: NodeId,
+        plan: &ShardPlan,
+        results: &HashMap<NodeId, Dataset>,
+    ) -> Result<(Vec<Vec<Dataset>>, ShuffleBarrier)> {
+        let node = program.node(id);
+        let info = plan.node(id);
+        let width = info.scatter_width();
+        let mut dest_inputs: Vec<Vec<Dataset>> = vec![Vec::new(); width];
+        let mut probe_origins: Vec<Vec<usize>> = Vec::new();
+        let mut bytes = 0u64;
+        for (idx, input) in node.inputs.iter().enumerate() {
+            let d = results
+                .get(input)
+                .ok_or_else(|| Error::Execution(format!("missing input for {id}")))?;
+            match info.exchange(idx) {
+                ExchangeKind::ShuffleHash { key, width: w } => {
+                    let schema = d.schema()?;
+                    let rows = d.try_rows()?;
+                    let target = Distribution::repartition(key.clone(), *w);
+                    let buckets = target.route_indices(schema, rows)?;
+                    bytes += d.byte_size();
+                    for (k, bucket) in buckets.iter().enumerate() {
+                        let routed: Vec<Row> = bucket.iter().map(|&i| rows[i].clone()).collect();
+                        dest_inputs[k].push(Dataset::rows(
+                            schema.clone(),
+                            routed,
+                            d.model,
+                            d.location.clone(),
+                        ));
+                    }
+                    if idx == 0 {
+                        probe_origins = buckets;
+                    }
+                }
+                _ => {
+                    for inputs in &mut dest_inputs {
+                        inputs.push(d.clone());
+                    }
+                }
+            }
+        }
+        if probe_origins.is_empty() {
+            return Err(Error::Execution(format!(
+                "shuffled node {id} has no shuffled probe side"
+            )));
+        }
+        // The exchange's rows cross shard replicas: charge the wire
+        // like migration, once for everything routed. The 10GbE wire is
+        // a fixed modeling assumption shared with the cost model's
+        // *default* `migration_link` — a deployment that reconfigures
+        // the model's link (or the executor's migration path) changes
+        // only how staged inputs are billed, not this barrier charge.
+        let seconds = Interconnect::network_10g().transfer_time(bytes).as_secs()
+            + width as f64 * EXCHANGE_TASK_OVERHEAD_S;
+        Ok((
+            dest_inputs,
+            ShuffleBarrier {
+                probe_origins,
+                bytes,
+                seconds,
+            },
+        ))
+    }
+
     /// Runs one stage's compute nodes as a scatter-gather task set: one
-    /// task per (node, shard replica) for partitioned scans and
-    /// colocated nodes, in parallel when enabled and the stage has at
-    /// least two tasks. Per-shard partials merge back in shard order
-    /// and nodes return in node-id order with the first (by task order)
-    /// error propagated, independent of thread scheduling. The second
-    /// return value holds the per-shard outputs of nodes whose plan
-    /// marks them `partials_needed` (a colocated consumer reads them).
+    /// task per (node, shard replica) for partitioned scans, colocated
+    /// nodes, shuffled joins and partial aggregations, in parallel when
+    /// enabled and the stage has at least two tasks. Per-shard results
+    /// merge back deterministically — shard-ordered splice for plain
+    /// gathers, probe-order splice for shuffle barriers, state merge
+    /// for partial aggregations — and nodes return in node-id order
+    /// with the first (by task order) error propagated, independent of
+    /// thread scheduling. The second return value holds the per-shard
+    /// outputs of nodes whose plan marks them `partials_needed` (a
+    /// fanned-out consumer reads them).
     #[allow(clippy::type_complexity)]
     fn run_stage(
         &self,
@@ -355,33 +524,60 @@ impl Executor {
         plan: &ShardPlan,
         registry: &EngineRegistry,
     ) -> Result<(Vec<NodeRun>, HashMap<NodeId, Vec<Dataset>>)> {
-        // The scatter plan: partitioned sources and colocated nodes
-        // contribute one task per shard; everything else a single
-        // shard-0 task over gathered inputs.
-        let mut tasks: Vec<(NodeId, ShardId, Vec<Dataset>)> = Vec::new();
+        // The scatter plan, derived from each node's exchange edges.
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut barriers: HashMap<NodeId, ShuffleBarrier> = HashMap::new();
+        // Merge-partials nodes demoted to a gathered task (float sums).
+        let mut demoted: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
         for &id in compute {
             let info = plan.node(id);
             if program.node(id).inputs.is_empty() {
                 for &shard in &info.scatter {
-                    tasks.push((id, shard, Vec::new()));
+                    tasks.push(Task::new(id, shard, Vec::new()));
+                }
+            } else if info.shuffles() {
+                let (dest_inputs, barrier) = Self::shuffle_inputs(program, id, plan, results)?;
+                barriers.insert(id, barrier);
+                for (k, inputs) in dest_inputs.into_iter().enumerate() {
+                    let mut task = Task::new(id, info.scatter[k], inputs);
+                    // The barrier needs this bucket's per-probe-row
+                    // match counts; computing them in the task keeps
+                    // the work parallel with the join itself.
+                    task.count_matches = true;
+                    tasks.push(task);
+                }
+            } else if info.merges_partials() {
+                if Self::merge_would_reassociate_floats(program, id, partials, plan)? {
+                    // Bit-identity over parallelism: float sums demote
+                    // to the gathered single-site aggregation.
+                    demoted.insert(id);
+                    let inputs = Self::task_inputs(program, id, None, results, partials, plan)?;
+                    tasks.push(Task::new(id, ShardId::ZERO, inputs));
+                } else {
+                    let partial_op = Self::partial_op(program, id)?;
+                    for (k, &shard) in info.scatter.iter().enumerate() {
+                        let inputs =
+                            Self::task_inputs(program, id, Some(k), results, partials, plan)?;
+                        let mut task = Task::new(id, shard, inputs);
+                        task.op = Some(partial_op.clone());
+                        tasks.push(task);
+                    }
                 }
             } else if info.colocated {
                 for (k, &shard) in info.scatter.iter().enumerate() {
                     let inputs = Self::task_inputs(program, id, Some(k), results, partials, plan)?;
-                    tasks.push((id, shard, inputs));
+                    tasks.push(Task::new(id, shard, inputs));
                 }
             } else {
                 let inputs = Self::task_inputs(program, id, None, results, partials, plan)?;
-                tasks.push((id, ShardId::ZERO, inputs));
+                tasks.push(Task::new(id, ShardId::ZERO, inputs));
             }
         }
         let runs: Vec<Result<NodeRun>> = if self.parallel && tasks.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = tasks
                     .drain(..)
-                    .map(|(id, shard, inputs)| {
-                        scope.spawn(move || self.run_node(program, id, shard, inputs, registry))
-                    })
+                    .map(|task| scope.spawn(move || self.run_node(program, task, registry)))
                     .collect();
                 handles
                     .into_iter()
@@ -394,41 +590,269 @@ impl Executor {
         } else {
             tasks
                 .drain(..)
-                .map(|(id, shard, inputs)| self.run_node(program, id, shard, inputs, registry))
+                .map(|task| self.run_node(program, task, registry))
                 .collect()
         };
-        // Gather: merge each node's shard partials in shard order (task
-        // order is node-major, shard-minor), surfacing the first error.
-        let mut merged: Vec<NodeRun> = Vec::with_capacity(compute.len());
-        let mut shard_outputs: HashMap<NodeId, Vec<Dataset>> = HashMap::new();
+        // Barrier: group each node's task runs (task order is
+        // node-major, shard-minor), surface the first error, then merge
+        // by the node's exchange kind.
+        let mut groups: Vec<(NodeId, Vec<NodeRun>)> = Vec::new();
         for run in runs {
             let run = run?;
-            if plan.node(run.id).partials_needed {
-                shard_outputs
-                    .entry(run.id)
-                    .or_default()
-                    .push(run.output.clone());
-            }
-            match merged.last_mut() {
-                Some(prev) if prev.id == run.id => prev.absorb(run)?,
-                _ => merged.push(run),
+            match groups.last_mut() {
+                Some((gid, g)) if *gid == run.id => g.push(run),
+                _ => groups.push((run.id, vec![run])),
             }
         }
+        let mut merged: Vec<NodeRun> = Vec::with_capacity(groups.len());
+        let mut shard_outputs: HashMap<NodeId, Vec<Dataset>> = HashMap::new();
+        for (id, group) in groups {
+            let info = plan.node(id);
+            if info.partials_needed {
+                shard_outputs.insert(id, group.iter().map(|r| r.output.clone()).collect());
+            }
+            let run = if info.shuffles() {
+                let barrier = barriers
+                    .remove(&id)
+                    .ok_or_else(|| Error::Execution(format!("missing shuffle barrier for {id}")))?;
+                Self::splice_shuffle(id, group, &barrier)?
+            } else if info.merges_partials() && !demoted.contains(&id) {
+                self.merge_partial_runs(program, id, group)?
+            } else {
+                let mut it = group.into_iter();
+                let mut acc = it.next().expect("every group has a task");
+                for next in it {
+                    acc.absorb(next)?;
+                }
+                acc
+            };
+            merged.push(run);
+        }
         Ok((merged, shard_outputs))
+    }
+
+    /// The per-shard partial operator of a partial-aggregate + merge
+    /// `GroupBy` (see [`pspp_ir::partial_agg_specs`]).
+    fn partial_op(program: &Program, id: NodeId) -> Result<Operator> {
+        match &program.node(id).op {
+            Operator::GroupBy { keys, aggs } => Ok(Operator::GroupBy {
+                keys: keys.clone(),
+                aggs: pspp_ir::partial_agg_specs(aggs),
+            }),
+            other => Err(Error::Execution(format!(
+                "merge-partials planned for non-aggregate {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Whether a partial-aggregate + merge `GroupBy` must fall back to
+    /// the gathered plan to stay bit-identical: float addition is not
+    /// associative, so a `Sum`/`Avg` over a `Float` column would merge
+    /// to different low bits than the single-site left-to-right fold.
+    /// Integer columns (and `Count`/`Min`/`Max` over anything) are
+    /// exact, so they keep the per-shard split. The check reads the
+    /// input's schema from its first shard partial.
+    fn merge_would_reassociate_floats(
+        program: &Program,
+        id: NodeId,
+        partials: &HashMap<NodeId, Vec<Dataset>>,
+        plan: &ShardPlan,
+    ) -> Result<bool> {
+        let Operator::GroupBy { aggs, .. } = &program.node(id).op else {
+            return Ok(false);
+        };
+        let node = program.node(id);
+        for (idx, input) in node.inputs.iter().enumerate() {
+            if !matches!(plan.node(id).exchange(idx), ExchangeKind::MergePartials) {
+                continue;
+            }
+            let Some(partial) = partials.get(input).and_then(|p| p.first()) else {
+                continue;
+            };
+            let schema = partial.schema()?;
+            for a in aggs {
+                if !matches!(a.func, pspp_ir::AggFn::Sum | pspp_ir::AggFn::Avg) {
+                    continue;
+                }
+                if schema
+                    .field(&a.column)
+                    .is_some_and(|f| f.data_type == pspp_common::DataType::Float)
+                {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// The shuffle barrier: splices per-destination join outputs back
+    /// into the gathered probe order. Each destination's output rows
+    /// group into contiguous per-probe-row chunks (the hash join emits
+    /// matches in probe order), whose sizes the barrier re-derives from
+    /// the routed buckets; re-ordering the chunks by global probe index
+    /// reproduces the gathered plan's bytes exactly.
+    fn splice_shuffle(
+        id: NodeId,
+        group: Vec<NodeRun>,
+        barrier: &ShuffleBarrier,
+    ) -> Result<NodeRun> {
+        let mut tagged: Vec<(usize, Vec<Row>)> = Vec::new();
+        let mut acc: Option<NodeRun> = None;
+        for (d, mut run) in group.into_iter().enumerate() {
+            let counts = run.probe_counts.take().ok_or_else(|| {
+                Error::Execution(format!("shuffled task of {id} reported no match counts"))
+            })?;
+            let out_rows = run.output.try_rows()?;
+            let mut offset = 0usize;
+            for (row_in_bucket, &origin) in barrier.probe_origins[d].iter().enumerate() {
+                let n = counts[row_in_bucket];
+                if n > 0 {
+                    tagged.push((origin, out_rows[offset..offset + n].to_vec()));
+                    offset += n;
+                }
+            }
+            if offset != out_rows.len() {
+                return Err(Error::Execution(format!(
+                    "shuffle barrier for {id} mis-spliced: {offset} of {} rows",
+                    out_rows.len()
+                )));
+            }
+            match &mut acc {
+                None => acc = Some(run),
+                Some(first) => {
+                    first.exec_seconds = first.exec_seconds.max(run.exec_seconds);
+                    first.migration_seconds += run.migration_seconds;
+                    first.critical_seconds = first.critical_seconds.max(run.critical_seconds);
+                    first.offloaded |= run.offloaded;
+                    first.events.extend(run.events);
+                }
+            }
+        }
+        let mut run = acc.expect("every shuffled node has at least one task");
+        // Splice in probe order: each origin index is unique, and a
+        // stable sort keeps its chunk contiguous.
+        tagged.sort_by_key(|(origin, _)| *origin);
+        let Payload::Rows { rows, .. } = &mut run.output.payload else {
+            return Err(Error::Execution(format!(
+                "shuffled node {id} produced a non-row output"
+            )));
+        };
+        *rows = tagged.into_iter().flat_map(|(_, chunk)| chunk).collect();
+        // The exchange rides the node's critical path and charges its
+        // rows as migration-class transfer work.
+        run.migration_seconds += barrier.seconds;
+        run.critical_seconds += barrier.seconds;
+        run.events.push(CostEvent {
+            component: "exchange.shuffle".into(),
+            device: DeviceKind::Cpu,
+            kind: EventKind::Transfer,
+            bytes: barrier.bytes,
+            duration: SimDuration::from_secs(barrier.seconds),
+            energy_j: 0.0,
+        });
+        Ok(run)
+    }
+
+    /// The merge stage of a partial-aggregate `GroupBy`: concatenates
+    /// the per-shard partial states in shard order and combines them
+    /// into the final aggregate rows (see
+    /// [`pspp_relstore::ops::merge_group_partials`]).
+    fn merge_partial_runs(
+        &self,
+        program: &Program,
+        id: NodeId,
+        group: Vec<NodeRun>,
+    ) -> Result<NodeRun> {
+        let Operator::GroupBy { keys, aggs } = &program.node(id).op else {
+            return Err(Error::Execution(format!(
+                "merge-partials planned for non-aggregate {id}"
+            )));
+        };
+        let width = group.len();
+        let mut it = group.into_iter();
+        let mut run = it.next().expect("every merged node has at least one task");
+        for next in it {
+            run.absorb(next)?;
+        }
+        let specs: Vec<pspp_relstore::AggregateSpec> = aggs
+            .iter()
+            .map(|a| {
+                pspp_relstore::AggregateSpec::new(
+                    crate::physical::adapters::relational::agg_fn(a.func),
+                    a.column.clone(),
+                    a.output.clone(),
+                )
+            })
+            .collect();
+        let partial_bytes = run.output.byte_size();
+        let (schema, rows) = {
+            let Payload::Rows { schema, rows } = &run.output.payload else {
+                return Err(Error::Execution(format!(
+                    "partial aggregation of {id} produced a non-row output"
+                )));
+            };
+            relops::merge_group_partials(schema, rows, keys.len(), &specs)?
+        };
+        run.output = Dataset::rows(schema, rows, run.output.model, run.output.location.clone());
+        // The merge splices partial states on the host: charge it like
+        // an exchange barrier on the critical path.
+        let host = self.fleet.host();
+        let seconds = run.output.len() as f64 / (host.clock_hz * host.lanes as f64)
+            + width as f64 * EXCHANGE_TASK_OVERHEAD_S;
+        run.migration_seconds += seconds;
+        run.critical_seconds += seconds;
+        run.events.push(CostEvent {
+            component: "exchange.merge".into(),
+            device: DeviceKind::Cpu,
+            kind: EventKind::Transfer,
+            bytes: partial_bytes,
+            duration: SimDuration::from_secs(seconds),
+            energy_j: 0.0,
+        });
+        Ok(run)
     }
 
     /// Executes one (node, shard) task against a private scoped ledger:
     /// placement, input migration, adapter dispatch, and cost
     /// attribution — migration and kernel charges post per shard task.
+    /// `op` overrides the node's operator (the per-shard partial of a
+    /// merged aggregation); `None` runs the node's own.
     fn run_node(
         &self,
         program: &Program,
-        id: NodeId,
-        shard: ShardId,
-        inputs: Vec<Dataset>,
+        task: Task,
         registry: &EngineRegistry,
     ) -> Result<NodeRun> {
+        let Task {
+            id,
+            shard,
+            inputs,
+            op,
+            count_matches,
+        } = task;
         let node = program.node(id);
+        let op = op.as_ref().unwrap_or(&node.op);
+        // A shuffled-join bucket also reports its per-probe-row match
+        // counts — the barrier's splice chunk sizes — computed here so
+        // the counting runs in parallel with the other buckets' joins.
+        let probe_counts = if count_matches {
+            let Operator::HashJoin { left_on, right_on } = op else {
+                return Err(Error::Execution(format!(
+                    "shuffle planned for non-hash-join {id}"
+                )));
+            };
+            Some(relops::hash_join_match_counts(
+                inputs[0].schema()?,
+                inputs[0].try_rows()?,
+                inputs[1].schema()?,
+                inputs[1].try_rows()?,
+                left_on,
+                right_on,
+            )?)
+        } else {
+            None
+        };
         let scoped_ledger = CostLedger::new();
         let placer = self.placer.scoped(scoped_ledger.clone());
         let target = Placer::target_engine_of(node, &inputs);
@@ -442,7 +866,7 @@ impl Executor {
         let ctx = ExecCtx::new(&self.fleet, &scoped_ledger, self.offload).at_shard(shard);
         let output = self
             .adapters
-            .dispatch(&node.op, &inputs, target.as_ref(), registry, &ctx)?;
+            .dispatch(op, &inputs, target.as_ref(), registry, &ctx)?;
 
         // Charge the simulated clock with actual sizes. Joins pay for
         // build + probe (the sum of their input sides — which is how a
@@ -450,7 +874,7 @@ impl Executor {
         // side charges less than the gathered join); everything else
         // pays for its largest pass.
         let is_join = matches!(
-            node.op,
+            op,
             pspp_ir::Operator::HashJoin { .. } | pspp_ir::Operator::SortMergeJoin { .. }
         );
         let work_rows = if is_join {
@@ -473,12 +897,12 @@ impl Executor {
                 .unwrap_or_else(|| output.byte_size())
         }
         .max(output.byte_size());
-        let exec_seconds = if Charger::is_ml_op(&node.op) {
+        let exec_seconds = if Charger::is_ml_op(op) {
             Charger::ml_seconds(&scoped_ledger)
         } else {
             Charger::new(&self.fleet).charge(
                 &scoped_ledger,
-                &node.op,
+                op,
                 device,
                 work_rows as u64,
                 work_bytes,
@@ -493,6 +917,7 @@ impl Executor {
             critical_seconds: exec_seconds + bill.seconds,
             offloaded: device != DeviceKind::Cpu && self.fleet.device(device).is_some(),
             events: scoped_ledger.events(),
+            probe_counts,
         })
     }
 }
@@ -988,35 +1413,275 @@ mod tests {
         assert_eq!(colocated.node_seconds, seq.node_seconds);
     }
 
-    #[test]
-    fn mismatched_partition_keys_gather_and_stay_correct() {
-        // admissions hashed on pid, patients hashed on *name*: no
-        // colocation — the plan inserts an explicit gather and the
-        // join still answers correctly.
+    /// The mismatched-layout registry both shuffle tests use:
+    /// admissions hashed on pid, patients hashed on *name*.
+    fn mismatched_registry(shards: u32) -> EngineRegistry {
         let mut sharded = registry();
         sharded
             .reshard(
                 &TableRef::new("db1", "admissions"),
-                pspp_common::PartitionSpec::hash("pid", 2),
+                pspp_common::PartitionSpec::hash("pid", shards),
             )
             .unwrap();
         sharded
             .reshard(
                 &TableRef::new("db2", "patients"),
-                pspp_common::PartitionSpec::hash("name", 2),
+                pspp_common::PartitionSpec::hash("name", shards),
             )
             .unwrap();
+        sharded
+    }
+
+    #[test]
+    fn mismatched_partition_keys_shuffle_and_match_the_gathered_bytes() {
+        // admissions hashed on pid, patients hashed on *name*: no
+        // colocation — the plan re-hashes both sides to the join key's
+        // layout and the per-shard join must reproduce the gathered
+        // plan byte-for-byte.
         let (p, j) = pid_join_program();
-        let plan = Placer::plan_distribution(&p, &sharded, &sharded).unwrap();
-        assert!(!plan.node(j).colocated);
-        assert_eq!(plan.node(j).gathered_inputs.len(), 2);
-        let report = exec().execute(&p, &sharded).unwrap();
-        let flat = exec().execute(&p, &registry()).unwrap();
-        assert_eq!(
-            sorted_rows(&report.outputs[0]),
-            sorted_rows(&flat.outputs[0]),
-            "gathered join over mismatched layouts stays correct"
+        for shards in [2u32, 4] {
+            let sharded = mismatched_registry(shards);
+            let plan = Placer::plan_distribution(&p, &sharded, &sharded).unwrap();
+            assert!(!plan.node(j).colocated);
+            assert!(plan.node(j).shuffles(), "mismatched keys must shuffle");
+            assert_eq!(plan.node(j).scatter_width(), shards as usize);
+            let shuffled = exec().execute(&p, &sharded).unwrap();
+            let gathered = exec().exchange(false).execute(&p, &sharded).unwrap();
+            let flat = exec().execute(&p, &registry()).unwrap();
+            assert_eq!(
+                shuffled.outputs[0].try_rows().unwrap(),
+                gathered.outputs[0].try_rows().unwrap(),
+                "shuffled and gathered joins must agree bit-for-bit at {shards} shards"
+            );
+            assert_eq!(
+                sorted_rows(&shuffled.outputs[0]),
+                sorted_rows(&flat.outputs[0]),
+                "shuffled join must reproduce the unsharded row set"
+            );
+            assert!(
+                shuffled.node_seconds[&j] < gathered.node_seconds[&j],
+                "{shards} per-shard build+probe tasks must beat one gathered join ({} vs {})",
+                shuffled.node_seconds[&j],
+                gathered.node_seconds[&j]
+            );
+            // The gathered-baseline plan really gathers.
+            let base_plan = Placer::plan_distribution_opts(
+                &p,
+                &sharded,
+                &sharded,
+                pspp_ir::PlanOptions {
+                    colocate: true,
+                    exchange: false,
+                },
+            )
+            .unwrap();
+            assert!(!base_plan.node(j).shuffles());
+            assert_eq!(base_plan.node(j).gathered_input_count(), 2);
+
+            // Sequential shuffle execution is bit-identical too.
+            let seq = exec().parallel(false).execute(&p, &sharded).unwrap();
+            assert_eq!(
+                shuffled.outputs[0].try_rows().unwrap(),
+                seq.outputs[0].try_rows().unwrap()
+            );
+            assert_eq!(shuffled.node_seconds, seq.node_seconds);
+        }
+    }
+
+    #[test]
+    fn shuffle_charges_exchange_rows_as_migration() {
+        let (p, _) = pid_join_program();
+        let sharded = mismatched_registry(2);
+        let e = exec();
+        let report = e.execute(&p, &sharded).unwrap();
+        let events = e.ledger().events();
+        let shuffle_events: Vec<_> = events
+            .iter()
+            .filter(|ev| ev.component == "exchange.shuffle")
+            .collect();
+        assert_eq!(shuffle_events.len(), 1, "one barrier per shuffled node");
+        assert!(shuffle_events[0].bytes > 0);
+        assert!(shuffle_events[0].duration.as_secs() > 0.0);
+        assert!(report.migration_seconds >= shuffle_events[0].duration.as_secs());
+    }
+
+    #[test]
+    fn partition_wise_group_by_matches_the_gathered_plan() {
+        use pspp_ir::AggSpec;
+        let mut sharded = registry();
+        sharded
+            .reshard(
+                &TableRef::new("db1", "admissions"),
+                pspp_common::PartitionSpec::hash("pid", 4),
+            )
+            .unwrap();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let g = p.add_node(
+            Operator::GroupBy {
+                // pid is the partition key: partition-wise execution.
+                keys: vec!["pid".into()],
+                aggs: vec![
+                    AggSpec {
+                        func: AggFn::Count,
+                        column: "*".into(),
+                        output: "n".into(),
+                    },
+                    AggSpec {
+                        func: AggFn::Avg,
+                        column: "los".into(),
+                        output: "mean_los".into(),
+                    },
+                ],
+            },
+            vec![s],
+            "sql",
         );
+        p.mark_output(g);
+        let plan = Placer::plan_distribution(&p, &sharded, &sharded).unwrap();
+        assert!(
+            plan.node(g).colocated,
+            "group keys contain the partition key"
+        );
+        assert_eq!(plan.node(g).scatter_width(), 4);
+        let partitioned = exec().execute(&p, &sharded).unwrap();
+        // Partition-wise grouping is a colocation feature: the gathered
+        // baseline needs colocation off, exchange(false) alone keeps it.
+        let still_partitioned = exec().exchange(false).execute(&p, &sharded).unwrap();
+        let gathered = exec().colocated_joins(false).execute(&p, &sharded).unwrap();
+        assert_eq!(
+            partitioned.outputs[0].try_rows().unwrap(),
+            still_partitioned.outputs[0].try_rows().unwrap()
+        );
+        assert_eq!(
+            partitioned.outputs[0].try_rows().unwrap(),
+            gathered.outputs[0].try_rows().unwrap(),
+            "partition-wise aggregation must match the gathered plan bit-for-bit"
+        );
+        assert!(partitioned.node_seconds[&g] < gathered.node_seconds[&g]);
+    }
+
+    #[test]
+    fn partial_aggregate_merge_matches_the_gathered_plan() {
+        use pspp_ir::AggSpec;
+        let mut sharded = registry();
+        sharded
+            .reshard(
+                &TableRef::new("db1", "admissions"),
+                pspp_common::PartitionSpec::hash("pid", 4),
+            )
+            .unwrap();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let g = p.add_node(
+            Operator::GroupBy {
+                // age is NOT the partition key: partial + merge. All
+                // aggregated columns are integers, so partial sums are
+                // exact and the merge is byte-identical.
+                keys: vec!["age".into()],
+                aggs: vec![
+                    AggSpec {
+                        func: AggFn::Count,
+                        column: "*".into(),
+                        output: "n".into(),
+                    },
+                    AggSpec {
+                        func: AggFn::Sum,
+                        column: "pid".into(),
+                        output: "pid_sum".into(),
+                    },
+                    AggSpec {
+                        func: AggFn::Avg,
+                        column: "pid".into(),
+                        output: "pid_avg".into(),
+                    },
+                    AggSpec {
+                        func: AggFn::Min,
+                        column: "pid".into(),
+                        output: "pid_min".into(),
+                    },
+                    AggSpec {
+                        func: AggFn::Max,
+                        column: "pid".into(),
+                        output: "pid_max".into(),
+                    },
+                ],
+            },
+            vec![s],
+            "sql",
+        );
+        p.mark_output(g);
+        let plan = Placer::plan_distribution(&p, &sharded, &sharded).unwrap();
+        assert!(plan.node(g).merges_partials());
+        assert_eq!(plan.node(g).scatter_width(), 4);
+        let merged = exec().execute(&p, &sharded).unwrap();
+        let gathered = exec().exchange(false).execute(&p, &sharded).unwrap();
+        assert_eq!(
+            merged.outputs[0].try_rows().unwrap(),
+            gathered.outputs[0].try_rows().unwrap(),
+            "partial+merge aggregation must match the gathered plan bit-for-bit"
+        );
+        assert!(
+            merged.node_seconds[&g] < gathered.node_seconds[&g],
+            "4 partial tasks must beat one gathered aggregation ({} vs {})",
+            merged.node_seconds[&g],
+            gathered.node_seconds[&g]
+        );
+        // Sequential execution is bit-identical.
+        let seq = exec().parallel(false).execute(&p, &sharded).unwrap();
+        assert_eq!(
+            merged.outputs[0].try_rows().unwrap(),
+            seq.outputs[0].try_rows().unwrap()
+        );
+    }
+
+    #[test]
+    fn float_sums_demote_the_merge_to_stay_bit_identical() {
+        use pspp_ir::AggSpec;
+        // Summing a Float column per shard and merging would
+        // re-associate the addition; the executor must fall back to
+        // the gathered aggregation so exchange == gathered holds even
+        // for floats.
+        let mut sharded = registry();
+        sharded
+            .reshard(
+                &TableRef::new("db1", "admissions"),
+                pspp_common::PartitionSpec::hash("pid", 4),
+            )
+            .unwrap();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "admissions")), "sql");
+        let g = p.add_node(
+            Operator::GroupBy {
+                keys: vec!["age".into()],
+                aggs: vec![AggSpec {
+                    func: AggFn::Avg,
+                    column: "los".into(), // Float column
+                    output: "mean_los".into(),
+                }],
+            },
+            vec![s],
+            "sql",
+        );
+        p.mark_output(g);
+        // The plan still chooses merge-partials (no type info at plan
+        // time)…
+        let plan = Placer::plan_distribution(&p, &sharded, &sharded).unwrap();
+        assert!(plan.node(g).merges_partials());
+        // …but execution demotes, and bytes match the gathered plan
+        // and the flat deployment exactly.
+        let merged = exec().execute(&p, &sharded).unwrap();
+        let gathered = exec().exchange(false).execute(&p, &sharded).unwrap();
+        assert_eq!(
+            merged.outputs[0].try_rows().unwrap(),
+            gathered.outputs[0].try_rows().unwrap(),
+            "float aggregation must stay bit-identical to the gathered plan"
+        );
+        assert!(merged.outputs[0]
+            .try_rows()
+            .unwrap()
+            .iter()
+            .any(|r| matches!(r[1], Value::Float(_))));
     }
 
     #[test]

@@ -136,13 +136,14 @@ impl EngineAdapter for RelationalAdapter {
 }
 
 /// Maps IR aggregate functions to the relational store's natives.
-fn agg_fn(f: AggFn) -> Aggregate {
+pub(crate) fn agg_fn(f: AggFn) -> Aggregate {
     match f {
         AggFn::Count => Aggregate::Count,
         AggFn::Sum => Aggregate::Sum,
         AggFn::Avg => Aggregate::Avg,
         AggFn::Min => Aggregate::Min,
         AggFn::Max => Aggregate::Max,
+        AggFn::CountNonNull => Aggregate::CountNonNull,
     }
 }
 

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use pspp_accel::CostLedger;
 use pspp_common::{Batch, EngineId, Error, PartitionLookup, PartitionSpec, Result, ShardId};
-use pspp_ir::{NodeId, Program, ProgramNode, ShardPlan};
+use pspp_ir::{NodeId, PlanOptions, Program, ProgramNode, ShardPlan};
 use pspp_migrate::{MigrationPath, Migrator};
 
 use crate::dataset::{Dataset, Payload};
@@ -114,12 +114,14 @@ impl Placer {
         catalog: &dyn PartitionLookup,
         registry: &EngineRegistry,
     ) -> Result<ShardPlan> {
-        Self::plan_distribution_opts(program, catalog, registry, true)
+        Self::plan_distribution_opts(program, catalog, registry, PlanOptions::default())
     }
 
-    /// [`Placer::plan_distribution`] with colocation switchable: with
-    /// `colocate` false every non-source node gathers (the PR-3
-    /// baseline), which E18 uses as the comparison plan.
+    /// [`Placer::plan_distribution`] with the planning switches
+    /// explicit: `PlanOptions::gathered()` reverts every non-source
+    /// node to a gather (the PR-3 baseline E18 compares against), and
+    /// `exchange: false` alone reverts only the shuffle/merge-partials
+    /// exchanges (the gathered baseline E19 compares against).
     ///
     /// # Errors
     ///
@@ -128,7 +130,7 @@ impl Placer {
         program: &Program,
         catalog: &dyn PartitionLookup,
         registry: &EngineRegistry,
-        colocate: bool,
+        options: PlanOptions,
     ) -> Result<ShardPlan> {
         let spec_of = |t: &pspp_common::TableRef| {
             registry
@@ -148,7 +150,7 @@ impl Placer {
             registry.relational(&table.engine)?.table(&table.name)?;
             Self::scatter_for(&spec, registry.shard_count(&table.engine))?;
         }
-        ShardPlan::plan(program, spec_of, colocate)
+        ShardPlan::plan(program, spec_of, options)
     }
 
     /// The shard replicas `node` must visit: the partition spec's

@@ -1,14 +1,66 @@
 //! Workspace-wide property-based tests on core invariants.
 
 use polystorepp::accel::kernels::{Gemm, HashPartitioner, Matrix};
-use polystorepp::accel::{DeviceProfile, LogCa};
-use polystorepp::common::SplitMix64;
+use polystorepp::accel::{AcceleratorFleet, CostLedger, DeviceProfile, LogCa};
+use polystorepp::common::{PartitionSpec, SplitMix64};
+use polystorepp::ir::{AggFn, AggSpec, Operator, Program};
 use polystorepp::migrate::csv;
 use polystorepp::optimizer::dse::ParetoFront;
 use polystorepp::prelude::*;
 use polystorepp::relstore::ops;
-use polystorepp::relstore::{JoinKind, SortKey};
+use polystorepp::relstore::{JoinKind, RelationalStore, SortKey};
+use polystorepp::runtime::{EngineInstance, EngineRegistry, Executor};
 use proptest::prelude::*;
+
+/// A two-engine registry over integer-keyed tables `db1.left` /
+/// `db2.right` (columns `k`, `v`), partitioned per the given specs —
+/// the fixture of the exchange properties below.
+fn exchange_registry(
+    left: &[(i64, i64)],
+    right: &[(i64, i64)],
+    left_spec: Option<PartitionSpec>,
+    right_spec: Option<PartitionSpec>,
+) -> EngineRegistry {
+    let schema = || Schema::new(vec![("k", DataType::Int), ("v", DataType::Int)]);
+    let mut r = EngineRegistry::new();
+    for (engine, table, rows) in [("db1", "left", left), ("db2", "right", right)] {
+        let mut db = RelationalStore::new(engine);
+        db.create_table(table, schema()).expect("valid schema");
+        db.insert(table, rows.iter().map(|&(k, v)| row![k, v]).collect())
+            .expect("rows match schema");
+        r.register(EngineId::new(engine), EngineInstance::Relational(db))
+            .expect("fresh engine id");
+    }
+    if let Some(spec) = left_spec {
+        r.reshard(&TableRef::new("db1", "left"), spec)
+            .expect("reshards");
+    }
+    if let Some(spec) = right_spec {
+        r.reshard(&TableRef::new("db2", "right"), spec)
+            .expect("reshards");
+    }
+    r
+}
+
+fn executor() -> Executor {
+    Executor::new(AcceleratorFleet::workstation(), CostLedger::new())
+}
+
+/// One of the mismatched layouts the shuffle property sweeps: hash or
+/// range on the join key or the other column, at 1/2/4 shards.
+fn arb_layout() -> impl Strategy<Value = Option<PartitionSpec>> {
+    prop_oneof![
+        Just(None),
+        (0usize..2, 1u32..5)
+            .prop_map(|(col, shards)| { Some(PartitionSpec::hash(["k", "v"][col], shards)) }),
+        (0usize..2, -20i64..20, 0i64..20).prop_map(|(col, lo, span)| {
+            Some(PartitionSpec::range(
+                ["k", "v"][col],
+                vec![Value::Int(lo), Value::Int(lo + span)],
+            ))
+        }),
+    ]
+}
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -148,6 +200,100 @@ proptest! {
         let text = original.cast(DataType::Str).expect("casts to str");
         let back = text.cast(DataType::Int).expect("casts back");
         prop_assert_eq!(back, original);
+    }
+
+    /// A join on `k` over arbitrary (possibly mismatched) hash/range
+    /// layouts: the shuffle-exchange plan must reproduce the gathered
+    /// plan's bytes exactly — the barrier splices per-destination
+    /// outputs back into the gathered probe order.
+    #[test]
+    fn shuffled_joins_match_gathered_byte_for_byte(
+        lk in prop::collection::vec((0i64..16, -50i64..50), 0..60),
+        rk in prop::collection::vec((0i64..16, -50i64..50), 0..60),
+        left_spec in arb_layout(),
+        right_spec in arb_layout(),
+    ) {
+        let registry = exchange_registry(&lk, &rk, left_spec, right_spec);
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "left")), "sql");
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "right")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin { left_on: "k".into(), right_on: "k".into() },
+            vec![a, b],
+            "sql",
+        );
+        p.mark_output(j);
+        let exchanged = executor().execute(&p, &registry).expect("exchange run");
+        let gathered = executor()
+            .exchange(false)
+            .execute(&p, &registry)
+            .expect("gathered run");
+        prop_assert_eq!(
+            format!("{:?}", exchanged.outputs),
+            format!("{:?}", gathered.outputs)
+        );
+        // Sequential execution of the same plan is bit-identical too.
+        let sequential = executor()
+            .parallel(false)
+            .execute(&p, &registry)
+            .expect("sequential run");
+        prop_assert_eq!(
+            format!("{:?}", exchanged.outputs),
+            format!("{:?}", sequential.outputs)
+        );
+    }
+
+    /// `GroupBy` over arbitrary layouts — partition-wise when grouped
+    /// on the partition key, partial + merge otherwise — must match the
+    /// single-shard (gathered) aggregation byte-for-byte on integer
+    /// columns, where partial sums are exact.
+    #[test]
+    fn split_group_by_matches_single_shard(
+        rows in prop::collection::vec((0i64..8, -100i64..100), 0..80),
+        spec in arb_layout(),
+    ) {
+        let registry = exchange_registry(&rows, &[], spec, None);
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "left")), "sql");
+        let agg = |func, output: &str| AggSpec { func, column: "k".into(), output: output.into() };
+        let g = p.add_node(
+            Operator::GroupBy {
+                keys: vec!["v".into()],
+                aggs: vec![
+                    AggSpec { func: AggFn::Count, column: "*".into(), output: "n".into() },
+                    agg(AggFn::Sum, "sum"),
+                    agg(AggFn::Avg, "avg"),
+                    agg(AggFn::Min, "min"),
+                    agg(AggFn::Max, "max"),
+                ],
+            },
+            vec![s],
+            "sql",
+        );
+        p.mark_output(g);
+        let split = executor().execute(&p, &registry).expect("exchange run");
+        // colocated_joins(false) is the fully gathered plan — a true
+        // single-site aggregation (exchange(false) alone would keep a
+        // partition-wise grouping when the layout matches the key).
+        let single = executor()
+            .colocated_joins(false)
+            .execute(&p, &registry)
+            .expect("gathered run");
+        prop_assert_eq!(
+            format!("{:?}", split.outputs),
+            format!("{:?}", single.outputs)
+        );
+        // And the group multiset matches a fully unsharded deployment
+        // (gather order may differ between layouts; values must not).
+        let flat_registry = exchange_registry(&rows, &[], None, None);
+        let flat = executor().execute(&p, &flat_registry).expect("flat run");
+        let canon = |r: &polystorepp::runtime::Dataset| {
+            let mut rows: Vec<String> =
+                r.try_rows().expect("rows").iter().map(|x| format!("{x:?}")).collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(canon(&split.outputs[0]), canon(&flat.outputs[0]));
     }
 
     /// Predicate evaluation never errors on schema-valid rows.

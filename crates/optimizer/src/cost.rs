@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
-use pspp_accel::{AcceleratorFleet, Interconnect, KernelClass, SimDuration};
+use pspp_accel::{AcceleratorFleet, Interconnect, KernelClass, LogCa, SimDuration};
 use pspp_common::{DataModel, DeviceKind, PartitionSpec, Result, TableRef};
 use pspp_ir::{ExchangeCounts, ExchangeKind, NodeId, Operator, PlanOptions, Program, ShardPlan};
 
@@ -363,6 +363,63 @@ impl CostModel {
         Some(t)
     }
 
+    /// The LogCA profitability model \[43\] for offloading `op` to
+    /// `device` at the given **per-task** cardinality, paired with the
+    /// granularity `g` (bytes crossing the offload boundary) it should
+    /// be evaluated at.
+    ///
+    /// The model's parameters are derived from the same kernel cycle
+    /// models [`CostModel::node_cost`] prices with — `o` is the
+    /// device's launch overhead, `l` the attachment link's per-byte
+    /// time (zero for standalone / bump-in-the-wire devices), `c` the
+    /// host's per-byte compute time at this granularity (β = 1), and
+    /// `a` the kernel-only acceleration — so `speedup(g) ≥ 1` is
+    /// exactly the "does offload pay at this granularity" question.
+    ///
+    /// Placement evaluates it on **per-shard** volumes: a node the
+    /// shard plan fans out over `w` replicas offloads `rows / w` per
+    /// task, and a granularity profitable whole-table can fall under
+    /// the device's break-even once split `w` ways.
+    ///
+    /// Returns `None` for the host itself and whenever either side
+    /// cannot run the kernel (no host alternative means no gate).
+    pub fn offload_model(
+        &self,
+        op: &Operator,
+        device: DeviceKind,
+        est_rows: f64,
+        est_bytes: f64,
+    ) -> Option<(LogCa, u64)> {
+        if device == DeviceKind::Cpu {
+            return None;
+        }
+        let host_t = self
+            .node_cost(op, DeviceKind::Cpu, est_rows, est_bytes)?
+            .as_secs();
+        let accel_t = self.node_cost(op, device, est_rows, est_bytes)?.as_secs();
+        if host_t <= 0.0 || accel_t <= 0.0 {
+            return None;
+        }
+        // Offload granularity = bytes crossing the boundary: sorts ship
+        // keys + row ids (16 B/row), everything else its payload.
+        let g = match op {
+            Operator::Sort { .. } | Operator::SortMergeJoin { .. } => est_rows.max(1.0) as u64 * 16,
+            _ => est_bytes.max(1.0) as u64,
+        }
+        .max(1);
+        let profile = self.fleet.profile(device)?;
+        let o = profile.cycles_to_s(profile.launch_overhead_cycles);
+        let link_t = self
+            .fleet
+            .device(device)
+            .map_or(0.0, |d| d.transfer_cost(g).as_secs());
+        let l = link_t / g as f64;
+        let kernel_t = (accel_t - o - link_t).max(1e-15);
+        let a = (host_t / kernel_t).max(1e-6);
+        let c = host_t / g as f64;
+        Some((LogCa::new(l, o, c, 1.0, a), g))
+    }
+
     /// Estimated migration seconds for moving `bytes` between data
     /// models over the migration link (remodeling factor included,
     /// §IV-A.b).
@@ -497,6 +554,19 @@ impl CostModel {
                 .as_secs();
             let mut best: Option<(DeviceKind, SimDuration)> = None;
             for device in DeviceKind::all() {
+                // LogCA profitability gate, evaluated at *per-shard*
+                // granularity: an accelerator whose speedup at this
+                // task's volume is under 1 never enters the running,
+                // however the raw cycle estimates round.
+                if device != DeviceKind::Cpu {
+                    if let Some((logca, g)) =
+                        self.offload_model(&node.op, device, task_rows, task_bytes)
+                    {
+                        if logca.speedup(g) < 1.0 {
+                            continue;
+                        }
+                    }
+                }
                 if let Some(t) = self.node_cost(&node.op, device, task_rows, task_bytes) {
                     if best.is_none_or(|(_, bt)| t < bt) {
                         best = Some((device, t));
@@ -561,6 +631,8 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pspp_accel::fleet::AttachedDevice;
+    use pspp_accel::{DeploymentMode, DeviceProfile};
     use pspp_common::Predicate;
     use pspp_ir::SortSpec;
 
@@ -903,6 +975,107 @@ mod tests {
         assert_eq!(big.exchanges.shuffles, 2);
         assert_eq!(big.exchanges.gathers, 0);
         assert!(big.exchange_seconds > 0.0);
+    }
+
+    /// The per-shard cardinality regression: offload profitability is
+    /// a function of **per-task** granularity. A bump-in-the-wire FPGA
+    /// wins the hash-partition kernel at the gathered join's 200k-row
+    /// granularity, but once the shard plan colocates the same join 4
+    /// ways each 50k-row task falls under the LogCA break-even —
+    /// whole-table rows would overstate `g` by the scatter width and
+    /// offload every replica at a loss.
+    #[test]
+    fn offload_profitability_is_judged_at_per_shard_granularity() {
+        let t1 = TableRef::new("db1", "t1");
+        let t2 = TableRef::new("db2", "t2");
+        let fleet = || {
+            AcceleratorFleet::new(
+                DeviceProfile::cpu(),
+                vec![AttachedDevice {
+                    profile: DeviceProfile::fpga(),
+                    mode: DeploymentMode::BumpInTheWire,
+                    link: Interconnect::pcie(),
+                }],
+            )
+            .expect("cpu host")
+        };
+        let make = |sharded: bool| {
+            let mut stats = HashMap::new();
+            for t in [t1.clone(), t2.clone()] {
+                stats.insert(
+                    t,
+                    TableStats {
+                        rows: 100_000.0,
+                        row_bytes: 64.0,
+                    },
+                );
+            }
+            let mut m = CostModel::new(fleet(), stats);
+            if sharded {
+                // Matching keys: the join plans colocated at width 4.
+                m.set_partition(t1.clone(), pspp_common::PartitionSpec::hash("k", 4));
+                m.set_partition(t2.clone(), pspp_common::PartitionSpec::hash("k", 4));
+            }
+            m
+        };
+        let join_program = || {
+            let mut p = Program::new();
+            let a = p.add_source(Operator::scan(t1.clone()), "sql");
+            let b = p.add_source(Operator::scan(t2.clone()), "sql");
+            let j = p.add_node(
+                Operator::HashJoin {
+                    left_on: "k".into(),
+                    right_on: "k".into(),
+                },
+                vec![a, b],
+                "sql",
+            );
+            p.mark_output(j);
+            (p, j)
+        };
+
+        // Gathered: build + probe = 200k rows per task — offload pays.
+        let (mut p_flat, j_flat) = join_program();
+        let flat = make(false).place(&mut p_flat).unwrap();
+        assert_eq!(flat.scatter_width[&j_flat], 1);
+        assert_eq!(
+            p_flat.node(j_flat).annotations.device,
+            Some(DeviceKind::Fpga),
+            "gathered 200k-row hash join offloads"
+        );
+
+        // Colocated 4 ways: 50k rows per task — under the break-even,
+        // every replica stays on its host.
+        let (mut p_shard, j_shard) = join_program();
+        let plan = make(true).place(&mut p_shard).unwrap();
+        assert_eq!(plan.scatter_width[&j_shard], 4, "join planned colocated");
+        assert_eq!(
+            p_shard.node(j_shard).annotations.device,
+            Some(DeviceKind::Cpu),
+            "per-shard 50k-row tasks stay on the CPU"
+        );
+
+        // The LogCA model itself brackets the crossover: profitable at
+        // the gathered granularity, unprofitable per shard, with the
+        // break-even granularity strictly between the two.
+        let m = make(false);
+        let op = Operator::HashJoin {
+            left_on: "k".into(),
+            right_on: "k".into(),
+        };
+        let (whole, g_whole) = m
+            .offload_model(&op, DeviceKind::Fpga, 200_000.0, 200_000.0 * 64.0)
+            .unwrap();
+        assert!(whole.speedup(g_whole) > 1.0);
+        let (shard, g_shard) = m
+            .offload_model(&op, DeviceKind::Fpga, 50_000.0, 50_000.0 * 64.0)
+            .unwrap();
+        assert!(shard.speedup(g_shard) < 1.0);
+        let crossover = whole.break_even(g_whole).expect("profitable at 200k rows");
+        assert!(
+            g_shard < crossover && crossover <= g_whole,
+            "break-even {crossover} B outside ({g_shard}, {g_whole}] B"
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod area;
 pub mod device;
+pub mod exchange;
 pub mod fleet;
 pub mod kernels;
 pub mod ledger;

@@ -1,5 +1,5 @@
 //! The experiment harness: one function per experiment in DESIGN.md's
-//! index (E1–E19), each returning the table it prints. The `repro`
+//! index (E1–E20), each returning the table it prints. The `repro`
 //! binary runs them (`repro --list` prints the index); the Criterion
 //! benches wrap their hot paths.
 //!
@@ -23,15 +23,15 @@ use pspp_optimizer::dse::{ActiveLearner, DesignSpace, Param, RandomSearch};
 use pspp_optimizer::forest::RandomForest;
 
 /// Names of all experiments, in order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// One-line description per experiment, in [`ALL`] order — what
 /// `repro --list` prints so nobody has to read the source to find an
 /// experiment.
-pub const DESCRIPTIONS: [(&str, &str); 19] = [
+pub const DESCRIPTIONS: [(&str, &str); 20] = [
     (
         "e1",
         "recommendation app: polystore federation vs one-size-fits-all (Fig. 1)",
@@ -105,6 +105,10 @@ pub const DESCRIPTIONS: [(&str, &str); 19] = [
         "e19",
         "exchange operator: shuffled mismatched-key joins + partition-wise aggregation",
     ),
+    (
+        "e20",
+        "accelerator-aware distributed planning: offload x sharding vs each alone",
+    ),
 ];
 
 /// The `repro --list` table: every experiment name with its one-line
@@ -143,6 +147,7 @@ pub fn run(name: &str) -> Result<String> {
         "e17" => e17_sharding(),
         "e18" => e18_join(),
         "e19" => e19_exchange(),
+        "e20" => e20_accel(),
         other => Err(pspp_common::Error::Config(format!(
             "unknown experiment {other}; known: {ALL:?}"
         ))),
@@ -1447,6 +1452,139 @@ pub fn e19_exchange() -> Result<String> {
         return Err(pspp_common::Error::Execution(format!(
             "4-shard exchange speedups below the 1.5x floor: join {join_speedup4:.2}x, \
              aggregation {agg_speedup4:.2}x"
+        )));
+    }
+    Ok(out)
+}
+
+/// E20: accelerator-aware distributed planning — the tentpole
+/// three-way comparison on a mixed sort/join/GEMM clinical workload
+/// (the Fig. 2 NLQ pipeline with its MLP training GEMMs, an ORDER BY
+/// scan, a mismatched-key join routed through the accelerated
+/// `ShuffleHash` exchange, and a partition-wise aggregation).
+///
+/// Four configurations: host baseline (1 shard, CPU-only fleet),
+/// offload-only (1 shard, workstation fleet), sharding-only (N shards,
+/// CPU-only) and combined (N shards, workstation) at 2 and 4 shards.
+/// Offload is a pure *cost* decision — kernels compute on the host —
+/// so every digest must be byte-identical whether offload is on or
+/// off, at every shard count. Acceptance floor: at 4 shards the
+/// combined configuration must beat offload-only AND sharding-only
+/// (the speedups compose, they don't cannibalize).
+pub fn e20_accel() -> Result<String> {
+    use pspp_common::TableRef;
+
+    let mut out = String::from(
+        "E20 accelerator-aware distributed planning: offload x sharding\n\
+         config         shards  offloaded  sim_ms   speedup  digest\n",
+    );
+    let question =
+        "Will patients have a long stay at the hospital or short when they exit the ICU?";
+    // Sort, mismatched-key join (patients hashed on *name*, joined on
+    // pid -> ShuffleHash exchange), and partition-wise aggregation.
+    let queries = [
+        "SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date",
+        "SELECT name, age FROM admissions JOIN db2.patients ON admissions.pid = patients.pid",
+        "SELECT pid, count(*) AS n, avg(age) AS mean_age FROM admissions GROUP BY pid",
+    ];
+    let patients = 2_000usize;
+    let build = |shards: usize, fleet: AcceleratorFleet| {
+        Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients,
+            vitals_per_patient: 4,
+            seed: 2019,
+        }))
+        .accelerators(fleet)
+        .opt_level(OptLevel::L2)
+        .partition(
+            TableRef::new("db2", "patients"),
+            pspp_common::PartitionSpec::hash("name", 1),
+        )
+        .shards(shards)
+        .build()
+    };
+    // Total simulated workload time, offloaded-task count, and the
+    // byte digest of every output.
+    let run = |system: &Polystore| -> Result<(f64, usize, u64)> {
+        let mut ms = 0.0;
+        let mut offloaded = 0usize;
+        let mut digest = driver::FNV_OFFSET;
+        let r = system.run_nlq(question)?;
+        ms += r.makespan() * 1e3;
+        offloaded += r.execution.offloaded;
+        digest = driver::fnv1a(format!("{:?}", r.execution.outputs).as_bytes(), digest);
+        for q in queries {
+            let r = system.run_sql(q)?;
+            ms += r.makespan() * 1e3;
+            offloaded += r.execution.offloaded;
+            digest = driver::fnv1a(format!("{:?}", r.execution.outputs).as_bytes(), digest);
+        }
+        Ok((ms, offloaded, digest))
+    };
+    let row = |out: &mut String,
+               config: &str,
+               shards: usize,
+               measured: (f64, usize, u64),
+               base_ms: f64| {
+        writeln!(
+            out,
+            "{config:<14} {shards:<7} {:>9} {:>8.3} {:>7.2}x  {:016x}",
+            measured.1,
+            measured.0,
+            base_ms / measured.0.max(f64::MIN_POSITIVE),
+            measured.2
+        )
+        .ok();
+    };
+
+    let base = run(&build(1, AcceleratorFleet::cpu_only())?)?;
+    let offload = run(&build(1, AcceleratorFleet::workstation())?)?;
+    row(&mut out, "host baseline", 1, base, base.0);
+    row(&mut out, "offload-only", 1, offload, base.0);
+    if offload.2 != base.2 {
+        return Err(pspp_common::Error::Execution(format!(
+            "offload changed bytes at 1 shard: {:016x} vs {:016x}",
+            offload.2, base.2
+        )));
+    }
+    if offload.1 == 0 {
+        return Err(pspp_common::Error::Execution(
+            "offload-only configuration offloaded nothing".into(),
+        ));
+    }
+    let offload_x = base.0 / offload.0.max(f64::MIN_POSITIVE);
+    let mut sharding_x = 0.0;
+    let mut combined_x = 0.0;
+    for shards in [2usize, 4] {
+        let sharded = run(&build(shards, AcceleratorFleet::cpu_only())?)?;
+        let combined = run(&build(shards, AcceleratorFleet::workstation())?)?;
+        row(&mut out, "sharding-only", shards, sharded, base.0);
+        row(&mut out, "combined", shards, combined, base.0);
+        // Offload on vs off at the same shard count, and every shard
+        // count vs the single-shard reference: all byte-identical.
+        for (label, digest) in [("sharding-only", sharded.2), ("combined", combined.2)] {
+            if digest != base.2 {
+                return Err(pspp_common::Error::Execution(format!(
+                    "{label} diverged at {shards} shards: {digest:016x} vs {:016x}",
+                    base.2
+                )));
+            }
+        }
+        if shards == 4 {
+            sharding_x = base.0 / sharded.0.max(f64::MIN_POSITIVE);
+            combined_x = base.0 / combined.0.max(f64::MIN_POSITIVE);
+        }
+    }
+    writeln!(
+        out,
+        "shape check: byte-identical digests across all configurations; at 4 shards \
+         offload_only={offload_x:.2}x sharding_only={sharding_x:.2}x combined={combined_x:.2}x"
+    )
+    .ok();
+    if combined_x <= offload_x || combined_x <= sharding_x {
+        return Err(pspp_common::Error::Execution(format!(
+            "offload x sharding does not compose: combined {combined_x:.2}x vs \
+             offload-only {offload_x:.2}x, sharding-only {sharding_x:.2}x"
         )));
     }
     Ok(out)

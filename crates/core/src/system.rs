@@ -2,7 +2,7 @@
 //! optimization and execution in one object (Fig. 4).
 
 use pspp_accel::{AcceleratorFleet, CostLedger, CostSummary};
-use pspp_common::{PartitionSpec, Result, TableRef, Value};
+use pspp_common::{PartitionSpec, Result, ShardId, TableRef, Value};
 use pspp_frontend::nlq::{self, ClinicalNames};
 use pspp_frontend::{sql, Catalog, HeterogeneousProgram};
 use pspp_ir::Program;
@@ -44,12 +44,26 @@ pub struct PolystoreBuilder {
     exchange: bool,
     shards: usize,
     partitions: Vec<(TableRef, PartitionSpec)>,
+    shard_fleets: Vec<(ShardId, AcceleratorFleet)>,
 }
 
 impl PolystoreBuilder {
     /// Attaches an accelerator fleet (default: CPU only).
     pub fn accelerators(mut self, fleet: AcceleratorFleet) -> Self {
         self.fleet = fleet;
+        self
+    }
+
+    /// Attaches a shard-specific device fleet for heterogeneous
+    /// clusters — shards without an override keep the
+    /// [`PolystoreBuilder::accelerators`] fleet. The override reaches
+    /// both sides of the plan/execute contract: `CostModel::place`
+    /// prices (and picks devices for) each shard replica against that
+    /// shard's fleet, and the executor resolves every task's device
+    /// against the fleet of the shard it runs at, falling back to the
+    /// host when the planned device is not attached there.
+    pub fn fleet_at(mut self, shard: ShardId, fleet: AcceleratorFleet) -> Self {
+        self.shard_fleets.push((shard, fleet));
         self
     }
 
@@ -141,6 +155,19 @@ impl PolystoreBuilder {
             }
         }
 
+        // Device fleets ride the registry — the deployment-wide
+        // default plus any per-shard overrides — and are mirrored into
+        // the cost model, so planned and executed device picks come
+        // from the same fleets.
+        self.deployment
+            .registry
+            .set_default_fleet(self.fleet.clone());
+        let mut shard_fleets = std::collections::BTreeMap::new();
+        for (shard, fleet) in std::mem::take(&mut self.shard_fleets) {
+            self.deployment.registry.set_fleet_at(shard, fleet.clone());
+            shard_fleets.insert(shard, fleet);
+        }
+
         let ledger = CostLedger::new();
         // The cost model sees the materialized partition layout, so
         // L2 placement prices sharded scans and colocated joins at
@@ -154,7 +181,8 @@ impl PolystoreBuilder {
                     .collect(),
             )
             .with_colocation(self.colocated_joins)
-            .with_exchange(self.exchange);
+            .with_exchange(self.exchange)
+            .with_shard_fleets(shard_fleets);
         Ok(Polystore {
             registry: self.deployment.registry,
             catalog: self.deployment.catalog,
@@ -225,6 +253,7 @@ impl Polystore {
             exchange: true,
             shards: 1,
             partitions: Vec::new(),
+            shard_fleets: Vec::new(),
         }
     }
 
@@ -628,6 +657,77 @@ mod tests {
             r.execution.outputs[0].try_rows().unwrap()[0][0],
             pspp_common::Value::Int(60)
         );
+    }
+
+    /// The acceptance contract of accelerator-aware planning: the
+    /// executor *consumes* the plan's per-(node, shard) device picks —
+    /// every executed assignment must equal the planned one, and the
+    /// pipeline must actually offload somewhere for the comparison to
+    /// mean anything.
+    #[test]
+    fn executed_device_assignments_match_the_placement_plan() {
+        let s = system(OptLevel::L2);
+        let report = s
+            .run_nlq(
+                "Will patients have a long stay at the hospital or short when they exit the ICU?",
+            )
+            .unwrap();
+        let placement = report.placement.expect("L2 ran placement");
+        let executed = &report.execution.device_assignments;
+        assert!(!executed.is_empty());
+        for ((node, shard), device) in executed {
+            assert_eq!(
+                placement.device_picks.get(&(*node, *shard)),
+                Some(device),
+                "node {node} at {shard} ran on {device:?}, diverging from the plan"
+            );
+        }
+        assert!(
+            executed
+                .values()
+                .any(|d| *d != pspp_common::DeviceKind::Cpu),
+            "the clinical pipeline offloads at least its training node"
+        );
+    }
+
+    /// Heterogeneous fleets (satellite: accelerator at some shards
+    /// only) compose with the sharded baselines: no panic when a shard
+    /// has no attached device, byte-identical results against the
+    /// homogeneous deployment, and planned picks still consumed as-is.
+    #[test]
+    fn heterogeneous_fleets_compose_with_sharded_baselines() {
+        let hetero = Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients: 120,
+            vitals_per_patient: 8,
+            seed: 11,
+        }))
+        .accelerators(AcceleratorFleet::workstation())
+        .opt_level(OptLevel::L2)
+        .shards(2)
+        .fleet_at(pspp_common::ShardId(1), AcceleratorFleet::cpu_only())
+        .build()
+        .expect("heterogeneous build");
+        let homo = sharded_system(2);
+        for q in [
+            "SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date",
+            "SELECT name FROM admissions JOIN db2.patients ON admissions.pid = patients.pid \
+             WHERE age >= 65",
+            "SELECT count(*) AS n FROM admissions",
+        ] {
+            let a = homo.run_sql(q).unwrap();
+            let b = hetero.run_sql(q).unwrap();
+            for (x, y) in a.execution.outputs.iter().zip(&b.execution.outputs) {
+                assert_eq!(
+                    x.try_rows().unwrap(),
+                    y.try_rows().unwrap(),
+                    "device heterogeneity changed the bytes of {q}"
+                );
+            }
+            let placement = b.placement.expect("L2 placed");
+            for (key, device) in &b.execution.device_assignments {
+                assert_eq!(placement.device_picks.get(key), Some(device));
+            }
+        }
     }
 
     #[test]

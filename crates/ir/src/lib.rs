@@ -45,8 +45,16 @@ use pspp_common::{DeviceKind, EngineId};
 pub struct Annotations {
     /// The engine instance that executes the node (None = middleware).
     pub engine: Option<EngineId>,
-    /// The computing unit the node's kernel runs on.
+    /// The computing unit the node's kernel runs on (the pick at the
+    /// critical — slowest — scatter slot when the node fans out).
     pub device: Option<DeviceKind>,
+    /// Per scatter-slot device picks for a fanned-out node, aligned
+    /// with its [`NodeShard::scatter`] order — on heterogeneous
+    /// deployments each shard replica may resolve to a different
+    /// device (or fall back to its host). `None` means "use `device`
+    /// everywhere".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_devices: Option<Vec<DeviceKind>>,
     /// Estimated output rows.
     pub est_rows: Option<f64>,
     /// Estimated output bytes.

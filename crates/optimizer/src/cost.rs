@@ -6,11 +6,12 @@
 //! source of truth; prediction error then comes only from cardinality
 //! estimation (measured by experiment E15).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
+use pspp_accel::exchange::shuffle_bill;
 use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
 use pspp_accel::{AcceleratorFleet, Interconnect, KernelClass, LogCa, SimDuration};
-use pspp_common::{DataModel, DeviceKind, PartitionSpec, Result, TableRef};
+use pspp_common::{DataModel, DeviceKind, PartitionSpec, Result, ShardId, TableRef};
 use pspp_ir::{ExchangeCounts, ExchangeKind, NodeId, Operator, PlanOptions, Program, ShardPlan};
 
 use crate::rewrite::resolve_fused;
@@ -59,12 +60,27 @@ pub struct PlacementPlan {
     /// Estimated seconds spent in repartitioning exchanges (shuffle
     /// routing and partial-state merges), included in `total_seconds`.
     pub exchange_seconds: f64,
+    /// Per-(node, shard) device pick: which computing unit each shard
+    /// replica of a fanned-out node runs on. The executor consumes
+    /// these — it never re-derives a device — so on heterogeneous
+    /// deployments the same node may run on a GPU at one shard and the
+    /// host at another, and planned and executed assignments agree by
+    /// construction.
+    pub device_picks: HashMap<(NodeId, ShardId), DeviceKind>,
+    /// Shard tasks that fell back to their host because the shard's
+    /// fleet lacks the device the default fleet would have picked —
+    /// the price of heterogeneity, surfaced rather than panicked over.
+    pub host_fallbacks: usize,
 }
 
 /// The optimizer cost model.
 #[derive(Debug, Clone)]
 pub struct CostModel {
     fleet: AcceleratorFleet,
+    /// Per-shard fleet overrides for heterogeneous clusters: a shard
+    /// replica is priced against its own devices, falling back to the
+    /// default `fleet` for shards without an override.
+    shard_fleets: BTreeMap<ShardId, AcceleratorFleet>,
     stats: HashMap<TableRef, TableStats>,
     /// Partition specs of stored tables, mirroring the deployment
     /// catalog: the distribution plan prices sharded scans and
@@ -86,6 +102,7 @@ impl CostModel {
     pub fn new(fleet: AcceleratorFleet, stats: HashMap<TableRef, TableStats>) -> Self {
         CostModel {
             fleet,
+            shard_fleets: BTreeMap::new(),
             stats,
             partitions: HashMap::new(),
             colocate: true,
@@ -116,9 +133,23 @@ impl CostModel {
         self
     }
 
+    /// This model with per-shard fleet overrides — placement prices
+    /// each shard replica against that shard's own devices, mirroring
+    /// `PolystoreBuilder::fleet_at`.
+    pub fn with_shard_fleets(mut self, fleets: BTreeMap<ShardId, AcceleratorFleet>) -> Self {
+        self.shard_fleets = fleets;
+        self
+    }
+
     /// The fleet used for estimates.
     pub fn fleet(&self) -> &AcceleratorFleet {
         &self.fleet
+    }
+
+    /// The fleet pricing work placed at `shard`: its override when one
+    /// is registered, the default fleet otherwise.
+    pub fn shard_fleet(&self, shard: ShardId) -> &AcceleratorFleet {
+        self.shard_fleets.get(&shard).unwrap_or(&self.fleet)
     }
 
     /// Registers statistics for a dataset.
@@ -300,7 +331,7 @@ impl CostModel {
     }
 
     /// Estimated execution seconds of `op` on `device`, including the
-    /// coprocessor transfer where applicable.
+    /// coprocessor transfer where applicable, on the default fleet.
     pub fn node_cost(
         &self,
         op: &Operator,
@@ -308,8 +339,21 @@ impl CostModel {
         est_rows: f64,
         est_bytes: f64,
     ) -> Option<SimDuration> {
+        Self::node_cost_on(&self.fleet, op, device, est_rows, est_bytes)
+    }
+
+    /// [`CostModel::node_cost`] against an explicit fleet — the form
+    /// per-shard placement uses, since each shard replica is priced on
+    /// its own devices.
+    pub fn node_cost_on(
+        fleet: &AcceleratorFleet,
+        op: &Operator,
+        device: DeviceKind,
+        est_rows: f64,
+        est_bytes: f64,
+    ) -> Option<SimDuration> {
         let kernel = Self::kernel_of(op)?;
-        let profile = self.fleet.profile(device)?;
+        let profile = fleet.profile(device)?;
         if !profile.supports(kernel) || profile.efficiency(kernel) <= 0.0 {
             return None;
         }
@@ -351,7 +395,7 @@ impl CostModel {
         };
         let mut t =
             SimDuration::from_secs(profile.cycles_to_s(cycles + profile.launch_overhead_cycles));
-        if let Some(attached) = self.fleet.device(device) {
+        if let Some(attached) = fleet.device(device) {
             // Sorting offload ships keys + row ids (16 B/row), not whole
             // payloads; the host applies the returned permutation.
             let transfer_bytes = match op {
@@ -390,13 +434,23 @@ impl CostModel {
         est_rows: f64,
         est_bytes: f64,
     ) -> Option<(LogCa, u64)> {
+        Self::offload_model_on(&self.fleet, op, device, est_rows, est_bytes)
+    }
+
+    /// [`CostModel::offload_model`] against an explicit fleet — the
+    /// form per-shard placement uses.
+    pub fn offload_model_on(
+        fleet: &AcceleratorFleet,
+        op: &Operator,
+        device: DeviceKind,
+        est_rows: f64,
+        est_bytes: f64,
+    ) -> Option<(LogCa, u64)> {
         if device == DeviceKind::Cpu {
             return None;
         }
-        let host_t = self
-            .node_cost(op, DeviceKind::Cpu, est_rows, est_bytes)?
-            .as_secs();
-        let accel_t = self.node_cost(op, device, est_rows, est_bytes)?.as_secs();
+        let host_t = Self::node_cost_on(fleet, op, DeviceKind::Cpu, est_rows, est_bytes)?.as_secs();
+        let accel_t = Self::node_cost_on(fleet, op, device, est_rows, est_bytes)?.as_secs();
         if host_t <= 0.0 || accel_t <= 0.0 {
             return None;
         }
@@ -407,10 +461,9 @@ impl CostModel {
             _ => est_bytes.max(1.0) as u64,
         }
         .max(1);
-        let profile = self.fleet.profile(device)?;
+        let profile = fleet.profile(device)?;
         let o = profile.cycles_to_s(profile.launch_overhead_cycles);
-        let link_t = self
-            .fleet
+        let link_t = fleet
             .device(device)
             .map_or(0.0, |d| d.transfer_cost(g).as_secs());
         let l = link_t / g as f64;
@@ -458,6 +511,8 @@ impl CostModel {
         let order = program.topo_order()?;
         let mut node_seconds = HashMap::new();
         let mut scatter_width = HashMap::new();
+        let mut device_picks = HashMap::new();
+        let mut host_fallbacks = 0usize;
         let mut offloaded = 0usize;
         let mut total = 0.0f64;
         let mut exchange_seconds = 0.0f64;
@@ -530,9 +585,22 @@ impl CostModel {
                 let bytes = src.annotations.est_bytes.unwrap_or(64_000.0);
                 match plan.node(id).exchange(idx) {
                     ExchangeKind::ShuffleHash { width: w, .. } => {
-                        exchange += self
-                            .migration_cost(bytes, DataModel::Relational, DataModel::Relational)
-                            .as_secs()
+                        // The shuffle's data plane is priced by the
+                        // shared accel exchange model — partition +
+                        // per-connection serialize streams + wire +
+                        // decode — the same bill the executor's
+                        // barrier charges, accelerated when the fleet
+                        // has a device that wins a stage.
+                        let rows = src.annotations.est_rows.unwrap_or(1_000.0);
+                        exchange += shuffle_bill(
+                            &self.fleet,
+                            true,
+                            rows.max(0.0) as u64,
+                            bytes.max(0.0) as u64,
+                            *w as usize,
+                            &self.migration_link,
+                        )
+                        .seconds
                             + f64::from(*w) * GATHER_OVERHEAD_S;
                     }
                     ExchangeKind::MergePartials => {
@@ -552,37 +620,68 @@ impl CostModel {
             let gather = self
                 .gather_cost(width, node.annotations.est_rows.unwrap_or(1_000.0))
                 .as_secs();
-            let mut best: Option<(DeviceKind, SimDuration)> = None;
-            for device in DeviceKind::all() {
-                // LogCA profitability gate, evaluated at *per-shard*
-                // granularity: an accelerator whose speedup at this
-                // task's volume is under 1 never enters the running,
-                // however the raw cycle estimates round.
-                if device != DeviceKind::Cpu {
-                    if let Some((logca, g)) =
-                        self.offload_model(&node.op, device, task_rows, task_bytes)
+            let best_on = |fleet: &AcceleratorFleet| -> Option<(DeviceKind, SimDuration)> {
+                let mut best: Option<(DeviceKind, SimDuration)> = None;
+                for device in DeviceKind::all() {
+                    // LogCA profitability gate, evaluated at *per-shard*
+                    // granularity: an accelerator whose speedup at this
+                    // task's volume is under 1 never enters the running,
+                    // however the raw cycle estimates round.
+                    if device != DeviceKind::Cpu {
+                        if let Some((logca, g)) =
+                            Self::offload_model_on(fleet, &node.op, device, task_rows, task_bytes)
+                        {
+                            if logca.speedup(g) < 1.0 {
+                                continue;
+                            }
+                        }
+                    }
+                    if let Some(t) =
+                        Self::node_cost_on(fleet, &node.op, device, task_rows, task_bytes)
                     {
-                        if logca.speedup(g) < 1.0 {
-                            continue;
+                        if best.is_none_or(|(_, bt)| t < bt) {
+                            best = Some((device, t));
                         }
                     }
                 }
-                if let Some(t) = self.node_cost(&node.op, device, task_rows, task_bytes) {
-                    if best.is_none_or(|(_, bt)| t < bt) {
-                        best = Some((device, t));
-                    }
+                best
+            };
+            // Each scatter slot is priced on its own shard's fleet: a
+            // heterogeneous deployment may offload the replica at one
+            // shard while another falls back to its host. The node's
+            // estimate is the critical (slowest) slot, matching the
+            // executor's max-over-shards accounting.
+            let base_pick = best_on(&self.fleet)
+                .map(|(d, _)| d)
+                .unwrap_or(DeviceKind::Cpu);
+            let scatter = plan.node(id).scatter.clone();
+            let mut picks = Vec::with_capacity(scatter.len());
+            let mut critical = (DeviceKind::Cpu, 0.0f64);
+            for &shard in &scatter {
+                let (device, secs) = match best_on(self.shard_fleet(shard)) {
+                    Some((d, t)) => (d, t.as_secs()),
+                    None => (DeviceKind::Cpu, 0.0),
+                };
+                if device == DeviceKind::Cpu && base_pick != DeviceKind::Cpu {
+                    host_fallbacks += 1;
+                }
+                device_picks.insert((id, shard), device);
+                picks.push(device);
+                if secs > critical.1 || picks.len() == 1 {
+                    critical = (device, secs);
                 }
             }
-            let (device, seconds) = match best {
-                Some((d, t)) => (d, t.as_secs() + gather),
-                None => (DeviceKind::Cpu, 0.0),
-            };
-            if device != DeviceKind::Cpu {
+            let seconds = critical.1 + gather;
+            if picks.iter().any(|&d| d != DeviceKind::Cpu) {
                 offloaded += 1;
             }
             scatter_width.insert(id, width);
             let ann = &mut program.node_mut(id).annotations;
-            ann.device = Some(device);
+            // `device` carries the critical slot's pick (the single
+            // global answer pre-heterogeneity callers read);
+            // `shard_devices` the per-slot map the executor consumes.
+            ann.device = Some(critical.0);
+            ann.shard_devices = if width > 1 { Some(picks) } else { None };
             ann.est_seconds = Some(seconds);
             // Engine: sources stay with their table; transforms inherit
             // the first input's engine (data gravity).
@@ -624,6 +723,8 @@ impl CostModel {
             scatter_width,
             exchanges: plan.exchange_counts(),
             exchange_seconds,
+            device_picks,
+            host_fallbacks,
         })
     }
 }
@@ -1076,6 +1177,86 @@ mod tests {
             g_shard < crossover && crossover <= g_whole,
             "break-even {crossover} B outside ({g_shard}, {g_whole}] B"
         );
+    }
+
+    /// A heterogeneous deployment (accelerator at shard 0 only) must
+    /// produce a *mixed* device-pick map: the replica at shard 0
+    /// offloads while the accelerator-less shards fall back to their
+    /// hosts — counted, not panicked over — and the executor-facing
+    /// annotations carry the per-slot picks.
+    #[test]
+    fn heterogeneous_fleet_produces_mixed_device_picks() {
+        let t1 = TableRef::new("db1", "t1");
+        let t2 = TableRef::new("db2", "t2");
+        let accel_fleet = AcceleratorFleet::new(
+            DeviceProfile::cpu(),
+            vec![AttachedDevice {
+                profile: DeviceProfile::fpga(),
+                mode: DeploymentMode::BumpInTheWire,
+                link: Interconnect::pcie(),
+            }],
+        )
+        .expect("cpu host");
+        let mut stats = HashMap::new();
+        for t in [t1.clone(), t2.clone()] {
+            stats.insert(
+                t,
+                TableStats {
+                    rows: 400_000.0,
+                    row_bytes: 64.0,
+                },
+            );
+        }
+        // Shards 1..3 have no attached devices; shard 0 keeps the
+        // default (accelerated) fleet.
+        let overrides: BTreeMap<ShardId, AcceleratorFleet> = (1..4)
+            .map(|s| (ShardId(s), AcceleratorFleet::cpu_only()))
+            .collect();
+        let mut m = CostModel::new(accel_fleet, stats).with_shard_fleets(overrides);
+        m.set_partition(t1.clone(), pspp_common::PartitionSpec::hash("k", 4));
+        m.set_partition(t2.clone(), pspp_common::PartitionSpec::hash("k", 4));
+
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(t1), "sql");
+        let b = p.add_source(Operator::scan(t2), "sql");
+        let j = p.add_node(
+            Operator::HashJoin {
+                left_on: "k".into(),
+                right_on: "k".into(),
+            },
+            vec![a, b],
+            "sql",
+        );
+        p.mark_output(j);
+        let plan = m.place(&mut p).unwrap();
+
+        assert_eq!(plan.scatter_width[&j], 4, "join planned colocated");
+        // 200k rows per task is over the BITW FPGA's break-even, so
+        // the shard-0 replica offloads; the bare shards cannot.
+        assert_eq!(plan.device_picks[&(j, ShardId(0))], DeviceKind::Fpga);
+        for s in 1..4 {
+            assert_eq!(plan.device_picks[&(j, ShardId(s))], DeviceKind::Cpu);
+        }
+        assert!(
+            plan.host_fallbacks >= 3,
+            "three bare shards fell back to their hosts, got {}",
+            plan.host_fallbacks
+        );
+        assert_eq!(
+            p.node(j).annotations.shard_devices,
+            Some(vec![
+                DeviceKind::Fpga,
+                DeviceKind::Cpu,
+                DeviceKind::Cpu,
+                DeviceKind::Cpu
+            ]),
+            "per-slot picks ride the annotations to the executor"
+        );
+        // The critical (slowest) slot is a host replica, so the scalar
+        // device annotation reports Cpu even though the node offloads
+        // at shard 0.
+        assert_eq!(p.node(j).annotations.device, Some(DeviceKind::Cpu));
+        assert!(plan.offloaded >= 1, "the node counts as offloaded");
     }
 
     #[test]

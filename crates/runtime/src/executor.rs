@@ -43,6 +43,7 @@
 
 use std::collections::HashMap;
 
+use pspp_accel::exchange::shuffle_bill;
 use pspp_accel::{AcceleratorFleet, CostEvent, CostLedger, EventKind, Interconnect, SimDuration};
 use pspp_common::{DeviceKind, Distribution, Error, Result, Row, ShardId};
 use pspp_ir::{ExchangeKind, NodeId, Operator, PlanOptions, Program, ShardPlan, Stage};
@@ -78,6 +79,12 @@ pub struct ExecutionReport {
     pub pipelined: bool,
     /// Number of operators that ran on an accelerator.
     pub offloaded: usize,
+    /// The device each (node, shard) task actually ran on — consumed
+    /// from the plan's per-slot picks (never re-derived), with host
+    /// fallback where a shard's fleet lacks the planned device. The
+    /// acceptance check compares this map against
+    /// `PlacementPlan::device_picks`.
+    pub device_assignments: HashMap<(NodeId, ShardId), DeviceKind>,
 }
 
 impl ExecutionReport {
@@ -101,8 +108,12 @@ struct ShuffleBarrier {
     probe_origins: Vec<Vec<usize>>,
     /// Bytes routed across shards.
     bytes: u64,
-    /// Simulated seconds of the exchange (wire + per-shard overhead).
+    /// Simulated seconds of the exchange (partition + serialize +
+    /// wire + decode, plus per-shard overhead).
     seconds: f64,
+    /// Device the accelerated leg of the exchange ran on (`Cpu` when
+    /// every stage stayed on the host).
+    device: DeviceKind,
 }
 
 /// One (node, shard) unit of stage work, resolved and ready to run.
@@ -110,6 +121,9 @@ struct ShuffleBarrier {
 struct Task {
     id: NodeId,
     shard: ShardId,
+    /// Scatter-slot index of this task in the node's gather order —
+    /// the key into the plan's per-slot device picks.
+    slot: usize,
     inputs: Vec<Dataset>,
     /// Operator override (the per-shard partial of a merged
     /// aggregation); `None` runs the node's own.
@@ -120,10 +134,11 @@ struct Task {
 }
 
 impl Task {
-    fn new(id: NodeId, shard: ShardId, inputs: Vec<Dataset>) -> Self {
+    fn new(id: NodeId, shard: ShardId, slot: usize, inputs: Vec<Dataset>) -> Self {
         Task {
             id,
             shard,
+            slot,
             inputs,
             op: None,
             count_matches: false,
@@ -148,6 +163,9 @@ struct NodeRun {
     critical_seconds: f64,
     /// Whether the node ran on an attached accelerator.
     offloaded: bool,
+    /// The (shard, device) assignment of each task folded into this
+    /// run, in task (gather) order.
+    assignments: Vec<(ShardId, DeviceKind)>,
     /// Cost events from the task's scoped ledger, in posting order.
     events: Vec<pspp_accel::CostEvent>,
     /// For shuffled join tasks: matches each probe-bucket row produced,
@@ -177,6 +195,7 @@ impl NodeRun {
         self.migration_seconds += next.migration_seconds;
         self.critical_seconds = self.critical_seconds.max(next.critical_seconds);
         self.offloaded |= next.offloaded;
+        self.assignments.extend(next.assignments);
         self.events.extend(next.events);
         Ok(())
     }
@@ -320,6 +339,7 @@ impl Executor {
         let mut node_total: HashMap<NodeId, f64> = HashMap::new();
         let mut migration_seconds = 0.0f64;
         let mut offloaded = 0usize;
+        let mut device_assignments: HashMap<(NodeId, ShardId), DeviceKind> = HashMap::new();
 
         for stage in &stages {
             // Fused nodes alias their input; resolve before compute.
@@ -353,6 +373,9 @@ impl Executor {
                 for event in run.events {
                     self.ledger.post_event(event);
                 }
+                for (shard, device) in run.assignments {
+                    device_assignments.insert((run.id, shard), device);
+                }
                 node_seconds.insert(run.id, run.exec_seconds);
                 node_total.insert(run.id, run.critical_seconds);
                 migration_seconds += run.migration_seconds;
@@ -381,6 +404,7 @@ impl Executor {
             makespan_pipelined,
             pipelined: self.pipelined,
             offloaded,
+            device_assignments,
         })
     }
 
@@ -438,6 +462,7 @@ impl Executor {
     /// destination input sets plus the barrier state (probe-row origins
     /// and the exchange's simulated transfer bill).
     fn shuffle_inputs(
+        &self,
         program: &Program,
         id: NodeId,
         plan: &ShardPlan,
@@ -449,6 +474,7 @@ impl Executor {
         let mut dest_inputs: Vec<Vec<Dataset>> = vec![Vec::new(); width];
         let mut probe_origins: Vec<Vec<usize>> = Vec::new();
         let mut bytes = 0u64;
+        let mut routed_rows = 0u64;
         for (idx, input) in node.inputs.iter().enumerate() {
             let d = results
                 .get(input)
@@ -460,6 +486,7 @@ impl Executor {
                     let target = Distribution::repartition(key.clone(), *w);
                     let buckets = target.route_indices(schema, rows)?;
                     bytes += d.byte_size();
+                    routed_rows += rows.len() as u64;
                     for (k, bucket) in buckets.iter().enumerate() {
                         let routed: Vec<Row> = bucket.iter().map(|&i| rows[i].clone()).collect();
                         dest_inputs[k].push(Dataset::rows(
@@ -485,20 +512,38 @@ impl Executor {
                 "shuffled node {id} has no shuffled probe side"
             )));
         }
-        // The exchange's rows cross shard replicas: charge the wire
-        // like migration, once for everything routed. The 10GbE wire is
-        // a fixed modeling assumption shared with the cost model's
+        // The exchange's data plane is billed by the shared accel
+        // exchange model: hash-partition the routed rows, serialize one
+        // stream per destination shard, cross the 10GbE wire, decode on
+        // the receivers — each kernel stage on the fleet's best device
+        // when offload is enabled, the host otherwise. The 10GbE wire
+        // is a fixed modeling assumption shared with the cost model's
         // *default* `migration_link` — a deployment that reconfigures
         // the model's link (or the executor's migration path) changes
         // only how staged inputs are billed, not this barrier charge.
-        let seconds = Interconnect::network_10g().transfer_time(bytes).as_secs()
-            + width as f64 * EXCHANGE_TASK_OVERHEAD_S;
+        // Row placement itself always uses the stable FNV rule above,
+        // so the device choice never moves a byte.
+        let bill = shuffle_bill(
+            &self.fleet,
+            self.offload,
+            routed_rows,
+            bytes,
+            width,
+            &Interconnect::network_10g(),
+        );
+        let seconds = bill.seconds + width as f64 * EXCHANGE_TASK_OVERHEAD_S;
+        let device = if bill.serialize_device != DeviceKind::Cpu {
+            bill.serialize_device
+        } else {
+            bill.partition_device
+        };
         Ok((
             dest_inputs,
             ShuffleBarrier {
                 probe_origins,
                 bytes,
                 seconds,
+                device,
             },
         ))
     }
@@ -532,14 +577,14 @@ impl Executor {
         for &id in compute {
             let info = plan.node(id);
             if program.node(id).inputs.is_empty() {
-                for &shard in &info.scatter {
-                    tasks.push(Task::new(id, shard, Vec::new()));
+                for (k, &shard) in info.scatter.iter().enumerate() {
+                    tasks.push(Task::new(id, shard, k, Vec::new()));
                 }
             } else if info.shuffles() {
-                let (dest_inputs, barrier) = Self::shuffle_inputs(program, id, plan, results)?;
+                let (dest_inputs, barrier) = self.shuffle_inputs(program, id, plan, results)?;
                 barriers.insert(id, barrier);
                 for (k, inputs) in dest_inputs.into_iter().enumerate() {
-                    let mut task = Task::new(id, info.scatter[k], inputs);
+                    let mut task = Task::new(id, info.scatter[k], k, inputs);
                     // The barrier needs this bucket's per-probe-row
                     // match counts; computing them in the task keeps
                     // the work parallel with the join itself.
@@ -552,13 +597,13 @@ impl Executor {
                     // to the gathered single-site aggregation.
                     demoted.insert(id);
                     let inputs = Self::task_inputs(program, id, None, results, partials, plan)?;
-                    tasks.push(Task::new(id, ShardId::ZERO, inputs));
+                    tasks.push(Task::new(id, ShardId::ZERO, 0, inputs));
                 } else {
                     let partial_op = Self::partial_op(program, id)?;
                     for (k, &shard) in info.scatter.iter().enumerate() {
                         let inputs =
                             Self::task_inputs(program, id, Some(k), results, partials, plan)?;
-                        let mut task = Task::new(id, shard, inputs);
+                        let mut task = Task::new(id, shard, k, inputs);
                         task.op = Some(partial_op.clone());
                         tasks.push(task);
                     }
@@ -566,11 +611,11 @@ impl Executor {
             } else if info.colocated {
                 for (k, &shard) in info.scatter.iter().enumerate() {
                     let inputs = Self::task_inputs(program, id, Some(k), results, partials, plan)?;
-                    tasks.push(Task::new(id, shard, inputs));
+                    tasks.push(Task::new(id, shard, k, inputs));
                 }
             } else {
                 let inputs = Self::task_inputs(program, id, None, results, partials, plan)?;
-                tasks.push(Task::new(id, ShardId::ZERO, inputs));
+                tasks.push(Task::new(id, ShardId::ZERO, 0, inputs));
             }
         }
         let runs: Vec<Result<NodeRun>> = if self.parallel && tasks.len() > 1 {
@@ -725,6 +770,7 @@ impl Executor {
                     first.migration_seconds += run.migration_seconds;
                     first.critical_seconds = first.critical_seconds.max(run.critical_seconds);
                     first.offloaded |= run.offloaded;
+                    first.assignments.extend(run.assignments);
                     first.events.extend(run.events);
                 }
             }
@@ -745,7 +791,7 @@ impl Executor {
         run.critical_seconds += barrier.seconds;
         run.events.push(CostEvent {
             component: "exchange.shuffle".into(),
-            device: DeviceKind::Cpu,
+            device: barrier.device,
             kind: EventKind::Transfer,
             bytes: barrier.bytes,
             duration: SimDuration::from_secs(barrier.seconds),
@@ -827,6 +873,7 @@ impl Executor {
         let Task {
             id,
             shard,
+            slot,
             inputs,
             op,
             count_matches,
@@ -858,12 +905,27 @@ impl Executor {
         let target = Placer::target_engine_of(node, &inputs);
         let (inputs, bill) = placer.stage_datasets(inputs, target.as_ref(), registry)?;
 
-        let device = if self.offload {
-            node.annotations.device.unwrap_or(DeviceKind::Cpu)
-        } else {
-            DeviceKind::Cpu
-        };
-        let ctx = ExecCtx::new(&self.fleet, &scoped_ledger, self.offload).at_shard(shard);
+        // The task runs against the fleet of the shard it executes at
+        // (heterogeneous deployments attach different devices per
+        // shard); the device is *consumed* from the plan's per-slot
+        // pick — never re-derived here — falling back to the node-wide
+        // annotation for unsharded plans, and to the host when this
+        // shard's fleet has no such device attached.
+        let fleet = registry.fleet_at(shard).unwrap_or(&self.fleet);
+        let planned = node
+            .annotations
+            .shard_devices
+            .as_ref()
+            .and_then(|picks| picks.get(slot).copied())
+            .or(node.annotations.device)
+            .unwrap_or(DeviceKind::Cpu);
+        let device =
+            if self.offload && (planned == DeviceKind::Cpu || fleet.device(planned).is_some()) {
+                planned
+            } else {
+                DeviceKind::Cpu
+            };
+        let ctx = ExecCtx::new(fleet, &scoped_ledger, self.offload).at_shard(shard);
         let output = self
             .adapters
             .dispatch(op, &inputs, target.as_ref(), registry, &ctx)?;
@@ -900,14 +962,7 @@ impl Executor {
         let exec_seconds = if Charger::is_ml_op(op) {
             Charger::ml_seconds(&scoped_ledger)
         } else {
-            Charger::new(&self.fleet).charge(
-                &scoped_ledger,
-                op,
-                device,
-                work_rows as u64,
-                work_bytes,
-                id,
-            )
+            Charger::new(fleet).charge(&scoped_ledger, op, device, work_rows as u64, work_bytes, id)
         };
         Ok(NodeRun {
             id,
@@ -915,7 +970,8 @@ impl Executor {
             exec_seconds,
             migration_seconds: bill.seconds,
             critical_seconds: exec_seconds + bill.seconds,
-            offloaded: device != DeviceKind::Cpu && self.fleet.device(device).is_some(),
+            offloaded: device != DeviceKind::Cpu && fleet.device(device).is_some(),
+            assignments: vec![(shard, device)],
             events: scoped_ledger.events(),
             probe_counts,
         })

@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use pspp_accel::AcceleratorFleet;
 use pspp_arraystore::ArrayStore;
 use pspp_common::{
     EngineId, EngineKind, Error, PartitionLookup, PartitionSpec, Result, ShardId, TableRef,
@@ -67,6 +68,13 @@ pub type EngineRegistry = ShardedRegistry;
 pub struct ShardedRegistry {
     engines: BTreeMap<EngineId, Vec<EngineInstance>>,
     partitions: BTreeMap<TableRef, PartitionSpec>,
+    /// The device fleet every shard gets unless overridden — `None`
+    /// for pre-accelerator deployments, where the executor falls back
+    /// to its own global fleet.
+    default_fleet: Option<AcceleratorFleet>,
+    /// Per-shard fleet overrides for heterogeneous clusters (a GPU at
+    /// shard 0 only, a bare host at shard 3, ...).
+    shard_fleets: BTreeMap<ShardId, AcceleratorFleet>,
 }
 
 impl ShardedRegistry {
@@ -224,6 +232,36 @@ impl ShardedRegistry {
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
         self.engines.is_empty()
+    }
+
+    /// Sets the fleet every shard runs unless overridden by
+    /// [`ShardedRegistry::set_fleet_at`].
+    pub fn set_default_fleet(&mut self, fleet: AcceleratorFleet) {
+        self.default_fleet = Some(fleet);
+    }
+
+    /// Attaches a shard-specific device fleet — heterogeneous
+    /// deployments give each shard replica its own accelerators, and
+    /// the executor resolves every task's device against the fleet of
+    /// the shard it runs at.
+    pub fn set_fleet_at(&mut self, shard: ShardId, fleet: AcceleratorFleet) {
+        self.shard_fleets.insert(shard, fleet);
+    }
+
+    /// The device fleet serving `shard`: its override when one was
+    /// attached, the deployment default otherwise, `None` when neither
+    /// was configured (the executor then uses its own global fleet).
+    pub fn fleet_at(&self, shard: ShardId) -> Option<&AcceleratorFleet> {
+        self.shard_fleets
+            .get(&shard)
+            .or(self.default_fleet.as_ref())
+    }
+
+    /// The per-shard fleet overrides, in shard order — the map
+    /// `PolystoreBuilder` mirrors into the cost model so planned and
+    /// executed device picks come from the same fleets.
+    pub fn shard_fleet_overrides(&self) -> impl Iterator<Item = (&ShardId, &AcceleratorFleet)> {
+        self.shard_fleets.iter()
     }
 
     /// The partition spec routing `table`, when it is partitioned.
@@ -533,6 +571,23 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn fleet_resolution_prefers_shard_override_then_default() {
+        let mut r = ShardedRegistry::new();
+        assert!(r.fleet_at(ShardId(0)).is_none(), "unconfigured registry");
+        r.set_default_fleet(AcceleratorFleet::workstation());
+        r.set_fleet_at(ShardId(1), AcceleratorFleet::cpu_only());
+        assert!(
+            !r.fleet_at(ShardId(0)).unwrap().devices().is_empty(),
+            "shard 0 inherits the accelerated default"
+        );
+        assert!(
+            r.fleet_at(ShardId(1)).unwrap().devices().is_empty(),
+            "shard 1 runs its bare override"
+        );
+        assert_eq!(r.shard_fleet_overrides().count(), 1);
     }
 
     #[test]

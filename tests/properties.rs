@@ -2,10 +2,11 @@
 
 use polystorepp::accel::kernels::{Gemm, HashPartitioner, Matrix};
 use polystorepp::accel::{AcceleratorFleet, CostLedger, DeviceProfile, LogCa};
-use polystorepp::common::{PartitionSpec, SplitMix64};
-use polystorepp::ir::{AggFn, AggSpec, Operator, Program};
+use polystorepp::common::{DeviceKind, PartitionSpec, SplitMix64};
+use polystorepp::ir::{AggFn, AggSpec, Operator, Program, SortSpec};
 use polystorepp::migrate::csv;
 use polystorepp::optimizer::dse::ParetoFront;
+use polystorepp::optimizer::{CostModel, TableStats};
 use polystorepp::prelude::*;
 use polystorepp::relstore::ops;
 use polystorepp::relstore::{JoinKind, RelationalStore, SortKey};
@@ -294,6 +295,58 @@ proptest! {
             rows
         };
         prop_assert_eq!(canon(&split.outputs[0]), canon(&flat.outputs[0]));
+    }
+
+    /// Accelerator offload is a *cost* decision, not a data-plane one:
+    /// kernels compute on the host regardless of the planned device,
+    /// so toggling `offload` must never change a byte of output —
+    /// across arbitrary hash/range layouts at 1–4 shards, with the
+    /// placement pass forcing real (non-CPU) device picks into the
+    /// annotations the executor consumes.
+    #[test]
+    fn offload_toggle_never_changes_bytes(
+        lk in prop::collection::vec((0i64..16, -50i64..50), 0..60),
+        rk in prop::collection::vec((0i64..16, -50i64..50), 0..60),
+        left_spec in arb_layout(),
+        right_spec in arb_layout(),
+    ) {
+        let registry = exchange_registry(&lk, &rk, left_spec.clone(), right_spec.clone());
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "left")), "sql");
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "right")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin { left_on: "k".into(), right_on: "k".into() },
+            vec![a, b],
+            "sql",
+        );
+        let s = p.add_node(
+            Operator::Sort { keys: vec![SortSpec { column: "v".into(), ascending: true }] },
+            vec![j],
+            "sql",
+        );
+        p.mark_output(s);
+        // Placement over inflated statistics (the executor itself only
+        // consumes annotations, never row counts) so the sort lands on
+        // an accelerator and the per-slot picks are exercised.
+        let mut stats = std::collections::HashMap::new();
+        for t in [TableRef::new("db1", "left"), TableRef::new("db2", "right")] {
+            stats.insert(t, TableStats { rows: 500_000.0, row_bytes: 64.0 });
+        }
+        let mut model = CostModel::new(AcceleratorFleet::workstation(), stats);
+        if let Some(spec) = left_spec {
+            model.set_partition(TableRef::new("db1", "left"), spec);
+        }
+        if let Some(spec) = right_spec {
+            model.set_partition(TableRef::new("db2", "right"), spec);
+        }
+        model.place(&mut p).expect("placement");
+        prop_assert!(
+            p.nodes().iter().any(|n| n.annotations.device.is_some_and(|d| d != DeviceKind::Cpu)),
+            "inflated stats must offload something for the property to bite"
+        );
+        let on = executor().execute(&p, &registry).expect("offload run");
+        let off = executor().offload(false).execute(&p, &registry).expect("host run");
+        prop_assert_eq!(format!("{:?}", on.outputs), format!("{:?}", off.outputs));
     }
 
     /// Predicate evaluation never errors on schema-valid rows.

@@ -172,10 +172,43 @@ impl fmt::Display for CostSummary {
     }
 }
 
+/// The ledger's shared interior: the event log plus the per-kind totals
+/// maintained incrementally alongside it. Keeping both behind one mutex
+/// is what makes the cache trustworthy — every mutation path updates the
+/// log and the totals under the same lock, so observers can never see
+/// them drift apart.
+#[derive(Debug, Default)]
+struct LedgerState {
+    events: Vec<CostEvent>,
+    kind_totals: BTreeMap<EventKind, CostSummary>,
+}
+
+impl LedgerState {
+    fn push(&mut self, event: CostEvent) {
+        self.kind_totals
+            .entry(event.kind)
+            .or_default()
+            .absorb(&event);
+        self.events.push(event);
+    }
+
+    fn rebuild_totals(&mut self) {
+        self.kind_totals.clear();
+        for e in &self.events {
+            self.kind_totals.entry(e.kind).or_default().absorb(e);
+        }
+    }
+}
+
 /// Thread-safe simulated-cost ledger.
 ///
 /// Cloning is cheap: clones share the same underlying event log, which is
 /// how engines, the migrator and the executor all post into one account.
+///
+/// Per-kind totals ([`CostLedger::by_kind`]) are cached incrementally so
+/// hot observers (the telemetry exporters poll them per query) don't
+/// re-scan the log; `reset` and `replace_events` keep the cache consistent
+/// with what [`CostLedger::post_event`] accounted.
 ///
 /// # Examples
 ///
@@ -190,7 +223,7 @@ impl fmt::Display for CostSummary {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CostLedger {
-    events: Arc<Mutex<Vec<CostEvent>>>,
+    state: Arc<Mutex<LedgerState>>,
 }
 
 impl CostLedger {
@@ -199,10 +232,10 @@ impl CostLedger {
         CostLedger::default()
     }
 
-    /// The event log, recovering from poisoning: a panicking executor
+    /// The shared state, recovering from poisoning: a panicking executor
     /// worker must not wedge cost accounting for everyone else.
-    fn events_guard(&self) -> MutexGuard<'_, Vec<CostEvent>> {
-        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    fn state_guard(&self) -> MutexGuard<'_, LedgerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Posts an event.
@@ -215,7 +248,7 @@ impl CostLedger {
         duration: SimDuration,
         energy_j: f64,
     ) {
-        self.events_guard().push(CostEvent {
+        self.state_guard().push(CostEvent {
             component: component.into(),
             device,
             kind,
@@ -227,40 +260,46 @@ impl CostLedger {
 
     /// Posts a prebuilt event.
     pub fn post_event(&self, event: CostEvent) {
-        self.events_guard().push(event);
+        self.state_guard().push(event);
     }
 
     /// Number of events recorded.
     pub fn len(&self) -> usize {
-        self.events_guard().len()
+        self.state_guard().events.len()
     }
 
     /// Whether the ledger is empty.
     pub fn is_empty(&self) -> bool {
-        self.events_guard().is_empty()
+        self.state_guard().events.is_empty()
     }
 
-    /// Clears all events (used between experiment trials).
+    /// Clears all events and the per-kind totals (used between
+    /// experiment trials).
     pub fn reset(&self) {
-        self.events_guard().clear();
+        let mut state = self.state_guard();
+        state.events.clear();
+        state.kind_totals.clear();
     }
 
     /// Atomically replaces the event log with `events` (one lock
     /// acquisition, so concurrent observers never see a half-written
-    /// log). Used to publish a per-run scoped ledger into a shared one.
+    /// log) and rebuilds the per-kind totals to match. Used to publish a
+    /// per-run scoped ledger into a shared one.
     pub fn replace_events(&self, events: Vec<CostEvent>) {
-        *self.events_guard() = events;
+        let mut state = self.state_guard();
+        state.events = events;
+        state.rebuild_totals();
     }
 
     /// Snapshot of all events.
     pub fn events(&self) -> Vec<CostEvent> {
-        self.events_guard().clone()
+        self.state_guard().events.clone()
     }
 
     /// Aggregate over all events.
     pub fn total(&self) -> CostSummary {
         let mut s = CostSummary::default();
-        for e in self.events_guard().iter() {
+        for e in self.state_guard().events.iter() {
             s.absorb(e);
         }
         s
@@ -269,7 +308,7 @@ impl CostLedger {
     /// Aggregates grouped by device.
     pub fn by_device(&self) -> BTreeMap<DeviceKind, CostSummary> {
         let mut m: BTreeMap<DeviceKind, CostSummary> = BTreeMap::new();
-        for e in self.events_guard().iter() {
+        for e in self.state_guard().events.iter() {
             m.entry(e.device).or_default().absorb(e);
         }
         m
@@ -278,25 +317,23 @@ impl CostLedger {
     /// Aggregates grouped by component prefix (text before the first `.`).
     pub fn by_component(&self) -> BTreeMap<String, CostSummary> {
         let mut m: BTreeMap<String, CostSummary> = BTreeMap::new();
-        for e in self.events_guard().iter() {
+        for e in self.state_guard().events.iter() {
             let prefix = e.component.split('.').next().unwrap_or("").to_owned();
             m.entry(prefix).or_default().absorb(e);
         }
         m
     }
 
-    /// Aggregates grouped by event kind.
+    /// Aggregates grouped by event kind — served from the incrementally
+    /// maintained cache, not a log scan.
     pub fn by_kind(&self) -> BTreeMap<EventKind, CostSummary> {
-        let mut m: BTreeMap<EventKind, CostSummary> = BTreeMap::new();
-        for e in self.events_guard().iter() {
-            m.entry(e.kind).or_default().absorb(e);
-        }
-        m
+        self.state_guard().kind_totals.clone()
     }
 
     /// Sum of busy time for events whose component starts with `prefix`.
     pub fn busy_for(&self, prefix: &str) -> SimDuration {
-        self.events_guard()
+        self.state_guard()
+            .events
             .iter()
             .filter(|e| e.component.starts_with(prefix))
             .map(|e| e.duration)
@@ -355,6 +392,54 @@ mod tests {
         assert_eq!(ledger.len(), 2);
         ledger.reset();
         assert!(clone.is_empty());
+    }
+
+    /// Per-kind totals recomputed from scratch, for comparison against
+    /// the incrementally maintained cache.
+    fn recomputed_by_kind(ledger: &CostLedger) -> BTreeMap<EventKind, CostSummary> {
+        let mut m: BTreeMap<EventKind, CostSummary> = BTreeMap::new();
+        for e in ledger.events() {
+            m.entry(e.kind).or_default().absorb(&e);
+        }
+        m
+    }
+
+    #[test]
+    fn kind_totals_stay_consistent_across_reset_and_replace() {
+        let ledger = CostLedger::new();
+        post_some(&ledger);
+        assert_eq!(ledger.by_kind(), recomputed_by_kind(&ledger));
+
+        // reset must clear the totals, not just the log.
+        ledger.reset();
+        assert!(ledger.by_kind().is_empty());
+
+        // post after reset accounts from zero.
+        post_some(&ledger);
+        assert_eq!(ledger.by_kind(), recomputed_by_kind(&ledger));
+        assert_eq!(ledger.by_kind()[&EventKind::Compute].events, 1);
+
+        // replace_events must rebuild the totals to match the new log
+        // exactly — stale totals from the replaced log must not leak.
+        let replacement = vec![CostEvent {
+            component: "exchange.shuffle".into(),
+            device: DeviceKind::Gpu,
+            kind: EventKind::Transfer,
+            bytes: 4096,
+            duration: SimDuration::from_secs(0.25),
+            energy_j: 0.5,
+        }];
+        ledger.replace_events(replacement);
+        assert_eq!(ledger.by_kind(), recomputed_by_kind(&ledger));
+        assert_eq!(ledger.by_kind().len(), 1);
+        let transfer = ledger.by_kind()[&EventKind::Transfer];
+        assert_eq!(transfer.events, 1);
+        assert_eq!(transfer.bytes, 4096);
+
+        // and posting on top of a replaced log extends those totals.
+        post_some(&ledger);
+        assert_eq!(ledger.by_kind(), recomputed_by_kind(&ledger));
+        assert_eq!(ledger.by_kind()[&EventKind::Transfer].events, 2);
     }
 
     #[test]

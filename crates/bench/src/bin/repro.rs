@@ -6,16 +6,20 @@
 //! cargo run -p pspp-bench --bin repro --release -- e8 e10  # subset
 //! cargo run -p pspp-bench --bin repro --release -- e16 --json bench.json
 //! cargo run -p pspp-bench --bin repro --release -- --open-loop
+//! cargo run -p pspp-bench --bin repro --release -- --trace trace.json
 //! ```
 //!
 //! `--list` prints every experiment name with a one-line description
 //! and exits. `--json <path>` additionally writes machine-readable
-//! per-experiment results (name, pass/fail, wall milliseconds), the
-//! record CI keeps as the benchmark trajectory. `--open-loop` runs the
-//! arrival-rate (open-loop) workload driver sweep, exercising `Reject`
-//! admission shedding under overload; it rides along any experiment
-//! selection (and suppresses the default run-everything when passed
-//! alone).
+//! per-experiment results (name, pass/fail, wall milliseconds, and the
+//! experiment's recorded `metrics` bag), the record CI keeps as the
+//! benchmark trajectory. `--open-loop` runs the arrival-rate
+//! (open-loop) workload driver sweep, exercising `Reject` admission
+//! shedding under overload. `--trace <path>` runs one traced query
+//! through the query service, writes its span-tree JSON to `path` and
+//! prints the span tree, `EXPLAIN ANALYZE` and Prometheus export. Both
+//! ride along any experiment selection (and suppress the default
+//! run-everything when passed alone).
 
 use std::time::Instant;
 
@@ -23,6 +27,7 @@ struct Outcome {
     name: String,
     pass: bool,
     wall_ms: f64,
+    metrics: Vec<(String, f64)>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -37,14 +42,33 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+fn json_metrics(metrics: &[(String, f64)]) -> String {
+    let pairs: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "\"{}\": {}",
+                json_escape(k),
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".into()
+                }
+            )
+        })
+        .collect();
+    format!("{{{}}}", pairs.join(", "))
+}
+
 fn write_json(path: &str, outcomes: &[Outcome]) -> std::io::Result<()> {
     let mut body = String::from("{\n  \"suite\": \"pspp-bench repro\",\n  \"experiments\": [\n");
     for (i, o) in outcomes.iter().enumerate() {
         body.push_str(&format!(
-            "    {{\"name\": \"{}\", \"pass\": {}, \"wall_ms\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"pass\": {}, \"wall_ms\": {:.3}, \"metrics\": {}}}{}\n",
             json_escape(&o.name),
             o.pass,
             o.wall_ms,
+            json_metrics(&o.metrics),
             if i + 1 < outcomes.len() { "," } else { "" }
         ));
     }
@@ -56,6 +80,7 @@ fn write_json(path: &str, outcomes: &[Outcome]) -> std::io::Result<()> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut open_loop = false;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -68,6 +93,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--trace" {
+            match it.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("--trace requires a path argument");
+                    std::process::exit(2);
+                }
+            }
         } else if arg == "--open-loop" {
             open_loop = true;
         } else if arg == "--list" {
@@ -77,7 +110,9 @@ fn main() {
             names.push(arg);
         }
     }
-    let which: Vec<&str> = if names.iter().any(|a| a == "all") || (names.is_empty() && !open_loop) {
+    let run_all = names.iter().any(|a| a == "all")
+        || (names.is_empty() && !open_loop && trace_path.is_none());
+    let which: Vec<&str> = if run_all {
         pspp_bench::ALL.to_vec()
     } else {
         names.iter().map(String::as_str).collect()
@@ -86,20 +121,21 @@ fn main() {
     for name in which {
         println!("==================================================================");
         let start = Instant::now();
-        let pass = match pspp_bench::run(name) {
-            Ok(table) => {
+        let (pass, metrics) = match pspp_bench::run_with_metrics(name) {
+            Ok((table, metrics)) => {
                 println!("{table}");
-                true
+                (true, metrics)
             }
             Err(e) => {
                 eprintln!("{name} failed: {e}");
-                false
+                (false, Vec::new())
             }
         };
         outcomes.push(Outcome {
             name: name.to_owned(),
             pass,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            metrics,
         });
     }
     if open_loop {
@@ -119,6 +155,37 @@ fn main() {
             name: "open-loop".to_owned(),
             pass,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            metrics: Vec::new(),
+        });
+    }
+    if let Some(path) = trace_path {
+        println!("==================================================================");
+        let start = Instant::now();
+        let pass = match pspp_bench::traced_query() {
+            Ok(traced) => match std::fs::write(&path, &traced.trace_json) {
+                Ok(()) => {
+                    println!("traced query: {}", traced.query);
+                    println!("{}", traced.span_text);
+                    println!("{}", traced.explain);
+                    println!("{}", traced.prometheus);
+                    println!("wrote span-tree trace to {path}");
+                    true
+                }
+                Err(e) => {
+                    eprintln!("writing {path}: {e}");
+                    false
+                }
+            },
+            Err(e) => {
+                eprintln!("traced query failed: {e}");
+                false
+            }
+        };
+        outcomes.push(Outcome {
+            name: "traced-query".to_owned(),
+            pass,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            metrics: Vec::new(),
         });
     }
     if let Some(path) = json_path {

@@ -8,6 +8,7 @@
 
 pub mod driver;
 
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -21,6 +22,8 @@ use pspp_migrate::{MigrationPath, Migrator};
 use pspp_mlengine::{Dataset as MlDataset, KMeans, KMeansConfig};
 use pspp_optimizer::dse::{ActiveLearner, DesignSpace, Param, RandomSearch};
 use pspp_optimizer::forest::RandomForest;
+use pspp_service::{Query, QueryService, ServiceConfig};
+use pspp_telemetry::NodeTrace;
 
 /// Names of all experiments, in order.
 pub const ALL: [&str; 20] = [
@@ -119,6 +122,40 @@ pub fn list_table() -> String {
         writeln!(out, "  {name:<5} {description}").ok();
     }
     out
+}
+
+thread_local! {
+    /// The per-experiment metrics bag [`run_with_metrics`] drains.
+    static METRICS: RefCell<Vec<(String, f64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records one named scalar for the experiment currently running on
+/// this thread. `repro --json` emits the bag as the experiment's
+/// `metrics` object; recording the same name twice keeps the latest
+/// value.
+pub fn bench_metric(name: &str, value: f64) {
+    METRICS.with(|bag| {
+        let mut bag = bag.borrow_mut();
+        match bag.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = value,
+            None => bag.push((name.to_owned(), value)),
+        }
+    });
+}
+
+/// Runs one experiment and returns its table together with the metrics
+/// it recorded via [`bench_metric`], in recording order.
+///
+/// # Errors
+///
+/// Propagates experiment failures; unknown names yield a config error.
+pub fn run_with_metrics(name: &str) -> Result<(String, Vec<(String, f64)>)> {
+    METRICS.with(|bag| bag.borrow_mut().clear());
+    let table = run(name)?;
+    Ok((
+        table,
+        METRICS.with(|bag| bag.borrow_mut().drain(..).collect()),
+    ))
 }
 
 /// Runs one experiment by name.
@@ -1025,6 +1062,8 @@ pub fn e16_service() -> Result<String> {
             }
         }
     }
+    bench_metric("qps_1w", baseline_qps);
+    bench_metric("speedup_8w", speedup8);
     writeln!(
         out,
         "shape check: byte-identical outputs and ledger sums at every concurrency; \
@@ -1105,6 +1144,68 @@ pub fn open_loop_table() -> Result<String> {
         ));
     }
     Ok(out)
+}
+
+/// The artifacts of one traced query: the span-tree JSON dump and text
+/// rendering, the `EXPLAIN ANALYZE` table, and the service's Prometheus
+/// export. Backs `repro --trace <path>` and the CI service smoke.
+#[derive(Debug, Clone)]
+pub struct TracedQuery {
+    /// The query that was traced.
+    pub query: String,
+    /// Span tree as pretty-printed JSON (byte-reproducible).
+    pub trace_json: String,
+    /// Span tree as an indented text tree, critical path marked `*`.
+    pub span_text: String,
+    /// `EXPLAIN ANALYZE`: planned vs executed cost per node.
+    pub explain: String,
+    /// Prometheus text-format export of the service registry.
+    pub prometheus: String,
+    /// The run's simulated makespan (== the root span's duration).
+    pub makespan_seconds: f64,
+}
+
+/// Runs the E19 mismatched-key exchange join on a 4-shard accelerated
+/// system through the query service and returns every observability
+/// artifact: span tree (JSON + text), `EXPLAIN ANALYZE`, Prometheus
+/// export. Deterministic — two calls yield byte-identical artifacts
+/// (the wall-clock column never enters them).
+///
+/// # Errors
+///
+/// Propagates build, compile and execution failures.
+pub fn traced_query() -> Result<TracedQuery> {
+    use pspp_common::TableRef;
+
+    let system = Arc::new(
+        Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients: 2_000,
+            vitals_per_patient: 4,
+            seed: 2019,
+        }))
+        .accelerators(AcceleratorFleet::workstation())
+        .opt_level(OptLevel::L2)
+        .partition(
+            TableRef::new("db2", "patients"),
+            pspp_common::PartitionSpec::hash("name", 1),
+        )
+        .shards(4)
+        .build()?,
+    );
+    let service = QueryService::new(Arc::clone(&system), ServiceConfig::default())?;
+    let session = service.open_session();
+    let query =
+        "SELECT name, age FROM admissions JOIN db2.patients ON admissions.pid = patients.pid";
+    let resp = session.execute(&Query::sql(query))?;
+    let tree = resp.report.span_tree(query);
+    Ok(TracedQuery {
+        query: query.to_owned(),
+        trace_json: tree.to_json().render(),
+        span_text: tree.render_text(),
+        explain: resp.report.explain_analyze(),
+        prometheus: service.report().prometheus(),
+        makespan_seconds: resp.report.makespan(),
+    })
 }
 
 /// E17: sharded engine registry — the partitioned-scan workload at
@@ -1384,6 +1485,8 @@ pub fn e19_exchange() -> Result<String> {
     let mut reference: Option<u64> = None;
     let mut join_speedup4 = 0.0;
     let mut agg_speedup4 = 0.0;
+    let mut exchange_rows = 0usize;
+    let mut host_fallbacks = 0usize;
     for shards in [1usize, 2, 4] {
         // [exchange on, gathered baseline]
         let mut join_us = [0.0f64; 2];
@@ -1403,6 +1506,20 @@ pub fn e19_exchange() -> Result<String> {
             for q in [join_query, pw_agg_query, merge_agg_query] {
                 let r = system.run_sql(q)?;
                 digest = driver::fnv1a(format!("{:?}", r.execution.outputs).as_bytes(), digest);
+                if exchange {
+                    exchange_rows += r
+                        .execution
+                        .traces
+                        .iter()
+                        .map(NodeTrace::exchange_rows)
+                        .sum::<usize>();
+                    host_fallbacks += r
+                        .execution
+                        .traces
+                        .iter()
+                        .map(NodeTrace::fallbacks)
+                        .sum::<usize>();
+                }
             }
             digests[slot] = digest;
         }
@@ -1441,6 +1558,10 @@ pub fn e19_exchange() -> Result<String> {
         )
         .ok();
     }
+    bench_metric("exchange_rows", exchange_rows as f64);
+    bench_metric("host_fallbacks", host_fallbacks as f64);
+    bench_metric("join_speedup_4s", join_speedup4);
+    bench_metric("agg_speedup_4s", agg_speedup4);
     writeln!(
         out,
         "shape check: exchange == gathered byte-for-byte at every shard count; at 4 shards \
@@ -1503,28 +1624,41 @@ pub fn e20_accel() -> Result<String> {
         .shards(shards)
         .build()
     };
-    // Total simulated workload time, offloaded-task count, and the
-    // byte digest of every output.
-    let run = |system: &Polystore| -> Result<(f64, usize, u64)> {
+    // Total simulated workload time, offloaded-task count, the byte
+    // digest of every output, and the host-fallback count.
+    let run = |system: &Polystore| -> Result<(f64, usize, u64, usize)> {
         let mut ms = 0.0;
         let mut offloaded = 0usize;
+        let mut fallbacks = 0usize;
         let mut digest = driver::FNV_OFFSET;
         let r = system.run_nlq(question)?;
         ms += r.makespan() * 1e3;
         offloaded += r.execution.offloaded;
+        fallbacks += r
+            .execution
+            .traces
+            .iter()
+            .map(NodeTrace::fallbacks)
+            .sum::<usize>();
         digest = driver::fnv1a(format!("{:?}", r.execution.outputs).as_bytes(), digest);
         for q in queries {
             let r = system.run_sql(q)?;
             ms += r.makespan() * 1e3;
             offloaded += r.execution.offloaded;
+            fallbacks += r
+                .execution
+                .traces
+                .iter()
+                .map(NodeTrace::fallbacks)
+                .sum::<usize>();
             digest = driver::fnv1a(format!("{:?}", r.execution.outputs).as_bytes(), digest);
         }
-        Ok((ms, offloaded, digest))
+        Ok((ms, offloaded, digest, fallbacks))
     };
     let row = |out: &mut String,
                config: &str,
                shards: usize,
-               measured: (f64, usize, u64),
+               measured: (f64, usize, u64, usize),
                base_ms: f64| {
         writeln!(
             out,
@@ -1555,6 +1689,7 @@ pub fn e20_accel() -> Result<String> {
     let offload_x = base.0 / offload.0.max(f64::MIN_POSITIVE);
     let mut sharding_x = 0.0;
     let mut combined_x = 0.0;
+    let mut combined_fallbacks = 0usize;
     for shards in [2usize, 4] {
         let sharded = run(&build(shards, AcceleratorFleet::cpu_only())?)?;
         let combined = run(&build(shards, AcceleratorFleet::workstation())?)?;
@@ -1573,8 +1708,14 @@ pub fn e20_accel() -> Result<String> {
         if shards == 4 {
             sharding_x = base.0 / sharded.0.max(f64::MIN_POSITIVE);
             combined_x = base.0 / combined.0.max(f64::MIN_POSITIVE);
+            combined_fallbacks = combined.3;
         }
     }
+    bench_metric("offloaded_tasks", offload.1 as f64);
+    bench_metric("host_fallbacks_combined_4s", combined_fallbacks as f64);
+    bench_metric("offload_x", offload_x);
+    bench_metric("sharding_x_4s", sharding_x);
+    bench_metric("combined_x_4s", combined_x);
     writeln!(
         out,
         "shape check: byte-identical digests across all configurations; at 4 shards \

@@ -9,6 +9,7 @@ use pspp_ir::Program;
 use pspp_migrate::MigrationPath;
 use pspp_optimizer::{optimize_l1, CostModel, OptLevel, PlacementPlan, RewriteReport};
 use pspp_runtime::{EngineRegistry, ExecutionReport, Executor};
+use pspp_telemetry::{explain_analyze, MetricsRegistry, SpanTree};
 
 use crate::datagen::{self, Deployment};
 
@@ -29,6 +30,21 @@ impl RunReport {
     /// The effective simulated makespan.
     pub fn makespan(&self) -> f64 {
         self.execution.makespan()
+    }
+
+    /// Builds this run's span tree from the executor's traces: one span
+    /// per node, task and exchange edge on the simulated clock, with
+    /// the critical path marked. `query` names the root span.
+    pub fn span_tree(&self, query: &str) -> SpanTree {
+        SpanTree::build(query, &self.execution.traces, self.makespan())
+    }
+
+    /// Renders this run as an `EXPLAIN ANALYZE` text tree: planned cost
+    /// (when L2+ placement ran) side by side with executed cost, per
+    /// node, with device picks, host fallbacks and exchange rows.
+    pub fn explain_analyze(&self) -> String {
+        let planned = self.placement.as_ref().map(PlacementPlan::planned_costs);
+        explain_analyze(&self.execution.traces, planned.as_ref(), self.makespan())
     }
 }
 
@@ -131,6 +147,10 @@ impl PolystoreBuilder {
     /// table/engine, kind mismatch, empty shard set, conflicting
     /// replica counts).
     pub fn build(mut self) -> Result<Polystore> {
+        // The metrics registry exists before the first reshard so
+        // build-time redistribution is counted too.
+        let metrics = MetricsRegistry::new();
+        self.deployment.registry.set_metrics(metrics.clone());
         // Catalog-declared specs first (BTreeMap order), then explicit
         // builder overrides.
         let mut specs: Vec<(TableRef, PartitionSpec)> = self
@@ -195,6 +215,7 @@ impl PolystoreBuilder {
             colocated_joins: self.colocated_joins,
             exchange: self.exchange,
             ledger,
+            metrics,
         })
     }
 }
@@ -238,6 +259,7 @@ pub struct Polystore {
     colocated_joins: bool,
     exchange: bool,
     ledger: CostLedger,
+    metrics: MetricsRegistry,
 }
 
 impl Polystore {
@@ -271,6 +293,13 @@ impl Polystore {
     /// The shared simulated-cost ledger.
     pub fn ledger(&self) -> &CostLedger {
         &self.ledger
+    }
+
+    /// The system-wide metrics registry: executor, placer, charger and
+    /// reshard instrumentation accumulates here (the service layer adds
+    /// its own admission/cache/query series). Clones share storage.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The catalog.
@@ -392,7 +421,8 @@ impl Polystore {
             .parallel(self.parallel)
             .colocated_joins(self.colocated_joins)
             .exchange(self.exchange)
-            .migration_path(self.migration_path);
+            .migration_path(self.migration_path)
+            .with_metrics(self.metrics.clone());
         executor.execute(program, &self.registry)
     }
 

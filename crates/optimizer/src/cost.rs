@@ -73,6 +73,20 @@ pub struct PlacementPlan {
     pub host_fallbacks: usize,
 }
 
+impl PlacementPlan {
+    /// This plan's estimates in the shape `EXPLAIN ANALYZE` joins
+    /// against executed traces (see
+    /// [`pspp_telemetry::explain_analyze`]).
+    pub fn planned_costs(&self) -> pspp_telemetry::PlannedCosts {
+        pspp_telemetry::PlannedCosts {
+            node_seconds: self.node_seconds.clone(),
+            total_seconds: self.total_seconds,
+            exchange_seconds: self.exchange_seconds,
+            host_fallbacks: self.host_fallbacks,
+        }
+    }
+}
+
 /// The optimizer cost model.
 #[derive(Debug, Clone)]
 pub struct CostModel {

@@ -49,6 +49,7 @@ use pspp_common::{DeviceKind, Distribution, Error, Result, Row, ShardId};
 use pspp_ir::{ExchangeKind, NodeId, Operator, PlanOptions, Program, ShardPlan, Stage};
 use pspp_migrate::{MigrationPath, Migrator};
 use pspp_relstore::ops as relops;
+use pspp_telemetry::{ExchangeTrace, MetricsRegistry, NodeTrace, TaskTrace};
 
 use crate::dataset::{Dataset, Payload};
 use crate::physical::{AdapterRegistry, Charger, ExecCtx, Placer};
@@ -85,6 +86,11 @@ pub struct ExecutionReport {
     /// acceptance check compares this map against
     /// `PlacementPlan::device_picks`.
     pub device_assignments: HashMap<(NodeId, ShardId), DeviceKind>,
+    /// Per-node execution traces in the stage loop's merge order — the
+    /// order whose `critical_seconds` sum reproduces
+    /// `makespan_sequential` bit-for-bit. Always collected (they are
+    /// cheap and pure); renderers consume them on demand.
+    pub traces: Vec<NodeTrace>,
 }
 
 impl ExecutionReport {
@@ -106,6 +112,8 @@ struct ShuffleBarrier {
     /// Global probe-row indices per destination bucket, in source
     /// order.
     probe_origins: Vec<Vec<usize>>,
+    /// Rows routed across shards.
+    routed_rows: u64,
     /// Bytes routed across shards.
     bytes: u64,
     /// Simulated seconds of the exchange (partition + serialize +
@@ -173,6 +181,10 @@ struct NodeRun {
     /// with the join itself; the barrier uses them as splice chunk
     /// sizes.
     probe_counts: Option<Vec<usize>>,
+    /// Per-task traces folded into this run, in task (gather) order.
+    tasks: Vec<TaskTrace>,
+    /// Exchange edges charged while merging this run.
+    exchanges: Vec<ExchangeTrace>,
 }
 
 impl NodeRun {
@@ -197,6 +209,8 @@ impl NodeRun {
         self.offloaded |= next.offloaded;
         self.assignments.extend(next.assignments);
         self.events.extend(next.events);
+        self.tasks.extend(next.tasks);
+        self.exchanges.extend(next.exchanges);
         Ok(())
     }
 }
@@ -220,6 +234,9 @@ pub struct Executor {
     /// Emit shuffle/merge-partials exchanges for mismatched-key joins
     /// and non-partition-wise aggregations instead of gathering.
     exchange: bool,
+    /// Metrics sink for executor/placer/charger instrumentation
+    /// (`None` runs unobserved).
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Executor {
@@ -235,7 +252,17 @@ impl Executor {
             parallel: true,
             colocate: true,
             exchange: true,
+            metrics: None,
         }
+    }
+
+    /// Records executor, placer and charger instrumentation into
+    /// `metrics`. All recorded values are integer counts or bucketed
+    /// simulated durations, so observation never perturbs execution and
+    /// snapshots are deterministic at any parallelism.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Enables/disables accelerator offload (L2).
@@ -340,8 +367,9 @@ impl Executor {
         let mut migration_seconds = 0.0f64;
         let mut offloaded = 0usize;
         let mut device_assignments: HashMap<(NodeId, ShardId), DeviceKind> = HashMap::new();
+        let mut traces: Vec<NodeTrace> = Vec::new();
 
-        for stage in &stages {
+        for (stage_idx, stage) in stages.iter().enumerate() {
             // Fused nodes alias their input; resolve before compute.
             for &id in &stage.forwards {
                 let node = program.node(id);
@@ -373,13 +401,30 @@ impl Executor {
                 for event in run.events {
                     self.ledger.post_event(event);
                 }
-                for (shard, device) in run.assignments {
+                for &(shard, device) in &run.assignments {
                     device_assignments.insert((run.id, shard), device);
                 }
                 node_seconds.insert(run.id, run.exec_seconds);
                 node_total.insert(run.id, run.critical_seconds);
                 migration_seconds += run.migration_seconds;
                 offloaded += usize::from(run.offloaded);
+                // Trace appended in merge order — the same order
+                // `makespans` sums node times, so a span tree built
+                // over these traces reproduces the sequential makespan
+                // exactly.
+                let trace = NodeTrace {
+                    id: run.id,
+                    op: program.node(run.id).op.name().to_string(),
+                    stage: stage_idx,
+                    rows: run.output.len(),
+                    exec_seconds: run.exec_seconds,
+                    migration_seconds: run.migration_seconds,
+                    critical_seconds: run.critical_seconds,
+                    tasks: run.tasks,
+                    exchanges: run.exchanges,
+                };
+                self.observe_run(&trace, run.offloaded);
+                traces.push(trace);
                 results.insert(run.id, run.output);
             }
             partials.extend(shard_outputs);
@@ -405,7 +450,76 @@ impl Executor {
             pipelined: self.pipelined,
             offloaded,
             device_assignments,
+            traces,
         })
+    }
+
+    /// Records one merged node run into the metrics registry (no-op when
+    /// unobserved). Runs on the orchestrator thread in merge order; every
+    /// recorded value is an integer count or a bucketed simulated
+    /// duration, so snapshots are deterministic.
+    fn observe_run(&self, trace: &NodeTrace, offloaded: bool) {
+        let Some(metrics) = &self.metrics else {
+            return;
+        };
+        metrics
+            .counter(
+                "pspp_executor_nodes_total",
+                "Plan nodes executed",
+                &[("op", &trace.op)],
+            )
+            .inc();
+        if offloaded {
+            metrics
+                .counter(
+                    "pspp_executor_offloaded_nodes_total",
+                    "Plan nodes that ran on an accelerator",
+                    &[],
+                )
+                .inc();
+        }
+        metrics
+            .histogram(
+                "pspp_node_critical_seconds",
+                "Simulated critical-path seconds per plan node",
+                &[],
+            )
+            .observe_seconds(trace.critical_seconds);
+        for task in &trace.tasks {
+            let device = format!("{:?}", task.device);
+            metrics
+                .counter(
+                    "pspp_executor_tasks_total",
+                    "Per-shard tasks executed",
+                    &[("device", &device)],
+                )
+                .inc();
+            if task.fallback() {
+                metrics
+                    .counter(
+                        "pspp_host_fallbacks_total",
+                        "Tasks whose planned accelerator was unavailable",
+                        &[],
+                    )
+                    .inc();
+            }
+        }
+        for exchange in &trace.exchanges {
+            metrics
+                .counter(
+                    "pspp_exchange_rows_total",
+                    "Rows routed through exchange edges",
+                    &[("kind", exchange.kind)],
+                )
+                .add(exchange.rows as u64);
+            metrics
+                .counter(
+                    "pspp_exchange_bytes_total",
+                    "Bytes moved through exchange edges",
+                    &[("kind", exchange.kind)],
+                )
+                .add(exchange.bytes as u64);
+        }
     }
 
     /// Resolves one task's input datasets from its plan's typed
@@ -541,6 +655,7 @@ impl Executor {
             dest_inputs,
             ShuffleBarrier {
                 probe_origins,
+                routed_rows,
                 bytes,
                 seconds,
                 device,
@@ -772,6 +887,8 @@ impl Executor {
                     first.offloaded |= run.offloaded;
                     first.assignments.extend(run.assignments);
                     first.events.extend(run.events);
+                    first.tasks.extend(run.tasks);
+                    first.exchanges.extend(run.exchanges);
                 }
             }
         }
@@ -796,6 +913,13 @@ impl Executor {
             bytes: barrier.bytes,
             duration: SimDuration::from_secs(barrier.seconds),
             energy_j: 0.0,
+        });
+        run.exchanges.push(ExchangeTrace {
+            kind: "shuffle",
+            rows: barrier.routed_rows as usize,
+            bytes: barrier.bytes as usize,
+            seconds: barrier.seconds,
+            device: barrier.device,
         });
         Ok(run)
     }
@@ -856,6 +980,13 @@ impl Executor {
             duration: SimDuration::from_secs(seconds),
             energy_j: 0.0,
         });
+        run.exchanges.push(ExchangeTrace {
+            kind: "merge",
+            rows: run.output.len(),
+            bytes: partial_bytes as usize,
+            seconds,
+            device: DeviceKind::Cpu,
+        });
         Ok(run)
     }
 
@@ -901,7 +1032,10 @@ impl Executor {
             None
         };
         let scoped_ledger = CostLedger::new();
-        let placer = self.placer.scoped(scoped_ledger.clone());
+        let mut placer = self.placer.scoped(scoped_ledger.clone());
+        if let Some(metrics) = &self.metrics {
+            placer = placer.with_metrics(metrics.clone());
+        }
         let target = Placer::target_engine_of(node, &inputs);
         let (inputs, bill) = placer.stage_datasets(inputs, target.as_ref(), registry)?;
 
@@ -962,7 +1096,19 @@ impl Executor {
         let exec_seconds = if Charger::is_ml_op(op) {
             Charger::ml_seconds(&scoped_ledger)
         } else {
-            Charger::new(fleet).charge(&scoped_ledger, op, device, work_rows as u64, work_bytes, id)
+            Charger::new(fleet)
+                .with_metrics(self.metrics.as_ref())
+                .charge(&scoped_ledger, op, device, work_rows as u64, work_bytes, id)
+        };
+        let task_trace = TaskTrace {
+            shard,
+            slot,
+            planned,
+            device,
+            rows: output.len(),
+            exec_seconds,
+            migration_seconds: bill.seconds,
+            critical_seconds: exec_seconds + bill.seconds,
         };
         Ok(NodeRun {
             id,
@@ -974,6 +1120,8 @@ impl Executor {
             assignments: vec![(shard, device)],
             events: scoped_ledger.events(),
             probe_counts,
+            tasks: vec![task_trace],
+            exchanges: Vec::new(),
         })
     }
 }

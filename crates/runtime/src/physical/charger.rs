@@ -4,6 +4,7 @@ use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
 use pspp_accel::{AcceleratorFleet, CostLedger, KernelClass, SimDuration};
 use pspp_common::DeviceKind;
 use pspp_ir::{NodeId, Operator};
+use pspp_telemetry::MetricsRegistry;
 
 /// Owns ledger/kernel cost attribution: which kernel class an operator
 /// maps to, which device profile actually serves it, and the posted
@@ -11,12 +12,24 @@ use pspp_ir::{NodeId, Operator};
 #[derive(Debug, Clone, Copy)]
 pub struct Charger<'a> {
     fleet: &'a AcceleratorFleet,
+    /// Metrics sink for kernel-charge counters; borrowed so the charger
+    /// stays `Copy`.
+    metrics: Option<&'a MetricsRegistry>,
 }
 
 impl<'a> Charger<'a> {
     /// A charger over `fleet`.
     pub fn new(fleet: &'a AcceleratorFleet) -> Self {
-        Charger { fleet }
+        Charger {
+            fleet,
+            metrics: None,
+        }
+    }
+
+    /// Counts kernel charges per serving device into `metrics`.
+    pub fn with_metrics(mut self, metrics: Option<&'a MetricsRegistry>) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// The accelerator kernel class executing `op`.
@@ -98,6 +111,16 @@ impl<'a> Charger<'a> {
             t,
             profile.energy_j(t.as_secs()),
         );
+        if let Some(metrics) = self.metrics {
+            let device = format!("{:?}", profile.kind());
+            metrics
+                .counter(
+                    "pspp_kernel_charges_total",
+                    "Operator kernel charges by serving device",
+                    &[("device", &device)],
+                )
+                .inc();
+        }
         t.as_secs()
     }
 }

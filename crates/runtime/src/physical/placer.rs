@@ -7,6 +7,7 @@ use pspp_accel::CostLedger;
 use pspp_common::{Batch, EngineId, Error, PartitionLookup, PartitionSpec, Result, ShardId};
 use pspp_ir::{NodeId, PlanOptions, Program, ProgramNode, ShardPlan};
 use pspp_migrate::{MigrationPath, Migrator};
+use pspp_telemetry::MetricsRegistry;
 
 use crate::dataset::{Dataset, Payload};
 use crate::registry::EngineRegistry;
@@ -35,12 +36,25 @@ pub struct MigrationBill {
 pub struct Placer {
     migrator: Migrator,
     path: MigrationPath,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Placer {
     /// A placer migrating over `path` with `migrator`.
     pub fn new(migrator: Migrator, path: MigrationPath) -> Self {
-        Placer { migrator, path }
+        Placer {
+            migrator,
+            path,
+            metrics: None,
+        }
+    }
+
+    /// Records per-input migration counts and simulated durations into
+    /// `metrics`. Histogram observations are commutative, so recording
+    /// from parallel executor workers stays deterministic.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The migration path cross-engine edges use.
@@ -61,6 +75,7 @@ impl Placer {
         Placer {
             migrator: self.migrator.clone().with_ledger(ledger),
             path: self.path,
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -278,6 +293,22 @@ impl Placer {
                         .migrate(&batch, self.path, d.model, to_model)?;
                     bill.seconds += report.total.as_secs();
                     bill.migrated_inputs += 1;
+                    if let Some(metrics) = &self.metrics {
+                        metrics
+                            .counter(
+                                "pspp_migrations_total",
+                                "Inputs migrated across engine boundaries",
+                                &[],
+                            )
+                            .inc();
+                        metrics
+                            .histogram(
+                                "pspp_migration_seconds",
+                                "Simulated seconds per cross-engine input migration",
+                                &[],
+                            )
+                            .observe_seconds(report.total.as_secs());
+                    }
                     d = Dataset::rows(schema.clone(), rows2, to_model, target.clone());
                 }
             }

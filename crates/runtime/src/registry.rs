@@ -75,6 +75,9 @@ pub struct ShardedRegistry {
     /// Per-shard fleet overrides for heterogeneous clusters (a GPU at
     /// shard 0 only, a bare host at shard 3, ...).
     shard_fleets: BTreeMap<ShardId, AcceleratorFleet>,
+    /// Metrics sink for reshard instrumentation (`None` runs
+    /// unobserved).
+    metrics: Option<pspp_telemetry::MetricsRegistry>,
 }
 
 impl ShardedRegistry {
@@ -384,8 +387,30 @@ impl ShardedRegistry {
                 store.create_index(&table.name, column)?;
             }
         }
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .counter(
+                    "pspp_reshard_total",
+                    "Tables redistributed across shard replicas",
+                    &[("table", &table.name)],
+                )
+                .inc();
+            metrics
+                .counter(
+                    "pspp_reshard_rows_total",
+                    "Rows redistributed by reshard operations",
+                    &[("table", &table.name)],
+                )
+                .add(all_rows.len() as u64);
+        }
         self.partitions.insert(table.clone(), spec);
         Ok(())
+    }
+
+    /// Counts reshard operations (and redistributed rows) into
+    /// `metrics`.
+    pub fn set_metrics(&mut self, metrics: pspp_telemetry::MetricsRegistry) {
+        self.metrics = Some(metrics);
     }
 }
 

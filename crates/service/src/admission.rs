@@ -14,6 +14,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use pspp_common::{Error, Result};
+use pspp_telemetry::{Counter, Gauge, MetricsRegistry};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -63,6 +64,41 @@ pub struct AdmissionStats {
     pub peak_queue: usize,
 }
 
+/// Registry mirrors of the admission counters, updated under the same
+/// state lock as the plain fields so scrapes and [`AdmissionStats`]
+/// never disagree.
+#[derive(Clone)]
+struct PoolMetrics {
+    admitted: Counter,
+    rejected: Counter,
+    blocked: Counter,
+    executed: Counter,
+    peak_queue: Gauge,
+}
+
+impl PoolMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let counter = |outcome: &str| {
+            registry.counter(
+                "pspp_admission_jobs_total",
+                "Admission-controller decisions by outcome.",
+                &[("outcome", outcome)],
+            )
+        };
+        PoolMetrics {
+            admitted: counter("admitted"),
+            rejected: counter("rejected"),
+            blocked: counter("blocked"),
+            executed: counter("executed"),
+            peak_queue: registry.gauge(
+                "pspp_admission_peak_queue",
+                "Largest admission-queue length observed.",
+                &[],
+            ),
+        }
+    }
+}
+
 #[derive(Default)]
 struct State {
     queue: VecDeque<Job>,
@@ -72,6 +108,7 @@ struct State {
     blocked: u64,
     executed: u64,
     peak_queue: usize,
+    metrics: Option<PoolMetrics>,
 }
 
 struct Shared {
@@ -113,12 +150,19 @@ impl PoolHandle {
         loop {
             if state.shutdown {
                 state.rejected += 1;
+                if let Some(m) = &state.metrics {
+                    m.rejected.inc();
+                }
                 return Err(Error::Overloaded("worker pool is shut down".into()));
             }
             if state.queue.len() < self.shared.queue_depth {
                 state.queue.push_back(Box::new(job));
                 state.peak_queue = state.peak_queue.max(state.queue.len());
                 state.admitted += 1;
+                if let Some(m) = &state.metrics {
+                    m.admitted.inc();
+                    m.peak_queue.record_max(state.peak_queue as i64);
+                }
                 drop(state);
                 self.shared.not_empty.notify_one();
                 return Ok(());
@@ -126,6 +170,9 @@ impl PoolHandle {
             match self.shared.policy {
                 AdmissionPolicy::Reject => {
                     state.rejected += 1;
+                    if let Some(m) = &state.metrics {
+                        m.rejected.inc();
+                    }
                     return Err(Error::Overloaded(format!(
                         "admission queue full ({} waiting)",
                         self.shared.queue_depth
@@ -135,6 +182,9 @@ impl PoolHandle {
                     // Count the job once, not once per condvar wakeup.
                     if !counted_blocked {
                         state.blocked += 1;
+                        if let Some(m) = &state.metrics {
+                            m.blocked.inc();
+                        }
                         counted_blocked = true;
                     }
                     state = self
@@ -231,6 +281,13 @@ impl WorkerPool {
         }
     }
 
+    /// Mirrors the admission counters into `registry` (series
+    /// `pspp_admission_*`). Only decisions made after this call are
+    /// counted there.
+    pub fn set_metrics(&self, registry: &MetricsRegistry) {
+        self.shared.guard().metrics = Some(PoolMetrics::new(registry));
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
@@ -255,6 +312,9 @@ fn worker_loop(shared: &Shared) {
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     state.executed += 1;
+                    if let Some(m) = &state.metrics {
+                        m.executed.inc();
+                    }
                     break job;
                 }
                 if state.shutdown {

@@ -13,6 +13,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use pspp_ir::Program;
 use pspp_optimizer::{OptLevel, PlacementPlan, RewriteReport};
+use pspp_telemetry::{Counter, MetricsRegistry};
 
 /// Which frontend produced the cached program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -87,6 +88,42 @@ impl CacheStats {
     }
 }
 
+/// Registry mirrors of the cache counters, updated alongside
+/// [`Inner`]'s own fields so scrapes and [`CacheStats`] agree.
+#[derive(Debug, Clone)]
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+}
+
+impl CacheMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let counter = |outcome: &str| {
+            registry.counter(
+                "pspp_plan_cache_lookups_total",
+                "Plan-cache lookups by outcome.",
+                &[("outcome", outcome)],
+            )
+        };
+        CacheMetrics {
+            hits: counter("hit"),
+            misses: counter("miss"),
+            insertions: registry.counter(
+                "pspp_plan_cache_insertions_total",
+                "Plans inserted into the cache.",
+                &[],
+            ),
+            evictions: registry.counter(
+                "pspp_plan_cache_evictions_total",
+                "Plans evicted by the LRU policy.",
+                &[],
+            ),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Entry {
     plan: Arc<CachedPlan>,
@@ -108,6 +145,7 @@ struct Inner {
 pub struct PlanCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    metrics: Option<CacheMetrics>,
 }
 
 impl PlanCache {
@@ -116,7 +154,16 @@ impl PlanCache {
         PlanCache {
             inner: Mutex::new(Inner::default()),
             capacity: capacity.max(1),
+            metrics: None,
         }
+    }
+
+    /// Mirrors hit/miss/insertion/eviction counters into `registry`
+    /// (series `pspp_plan_cache_*`).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(CacheMetrics::new(registry));
+        self
     }
 
     fn guard(&self) -> MutexGuard<'_, Inner> {
@@ -133,10 +180,16 @@ impl PlanCache {
                 entry.last_used = tick;
                 let plan = entry.plan.clone();
                 inner.hits += 1;
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
                 Some(plan)
             }
             None => {
                 inner.misses += 1;
+                if let Some(m) = &self.metrics {
+                    m.misses.inc();
+                }
                 None
             }
         }
@@ -157,9 +210,15 @@ impl PlanCache {
             {
                 inner.map.remove(&victim);
                 inner.evictions += 1;
+                if let Some(m) = &self.metrics {
+                    m.evictions.inc();
+                }
             }
         }
         inner.insertions += 1;
+        if let Some(m) = &self.metrics {
+            m.insertions.inc();
+        }
         inner.map.insert(
             key,
             Entry {

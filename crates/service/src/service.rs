@@ -20,6 +20,7 @@ use pspp_common::{Error, Result};
 use pspp_core::{Polystore, RunReport};
 use pspp_frontend::HeterogeneousProgram;
 use pspp_optimizer::OptLevel;
+use pspp_telemetry::MetricsRegistry;
 
 use crate::admission::{AdmissionConfig, PoolHandle, Ticket, WorkerPool};
 use crate::cache::{CacheStats, CachedPlan, Dialect, PlanCache, PlanKey};
@@ -156,6 +157,9 @@ impl SessionShared {
 #[derive(Debug)]
 struct ServiceInner {
     system: Arc<Polystore>,
+    /// The system's registry (shared storage): service-side series
+    /// land next to the executor/placer/charger ones.
+    metrics: MetricsRegistry,
     cache: PlanCache,
     opt_level: Mutex<OptLevel>,
     sessions: Mutex<Vec<Arc<SessionShared>>>,
@@ -229,6 +233,23 @@ impl ServiceInner {
             plan.plan_seconds
         };
         let service_seconds = plan_seconds + report.makespan();
+        self.metrics
+            .counter(
+                "pspp_service_queries_total",
+                "Queries served, by dialect and plan-cache outcome.",
+                &[
+                    ("dialect", &query.dialect().to_string()),
+                    ("cache", if cache_hit { "hit" } else { "miss" }),
+                ],
+            )
+            .inc();
+        self.metrics
+            .histogram(
+                "pspp_service_sim_seconds",
+                "Simulated end-to-end service latency (plan + makespan).",
+                &[],
+            )
+            .observe_seconds(service_seconds);
         Ok(QueryResponse {
             report,
             cache_hit,
@@ -254,10 +275,14 @@ impl QueryService {
     /// Returns [`Error::Config`] for an invalid admission config.
     pub fn new(system: Arc<Polystore>, config: ServiceConfig) -> Result<Self> {
         let opt_level = system.opt_level();
+        let metrics = system.metrics().clone();
+        let pool = WorkerPool::new(config.admission)?;
+        pool.set_metrics(&metrics);
         Ok(QueryService {
             inner: Arc::new(ServiceInner {
                 system,
-                cache: PlanCache::new(config.plan_cache_capacity),
+                cache: PlanCache::new(config.plan_cache_capacity).with_metrics(&metrics),
+                metrics,
                 opt_level: Mutex::new(opt_level),
                 sessions: Mutex::new(Vec::new()),
                 closed: Mutex::new(SessionReport {
@@ -266,7 +291,7 @@ impl QueryService {
                 }),
                 next_session: AtomicU64::new(0),
             }),
-            pool: WorkerPool::new(config.admission)?,
+            pool,
         })
     }
 
@@ -368,7 +393,15 @@ impl QueryService {
             merged,
             cache: self.inner.cache.stats(),
             admission: self.pool.handle().stats(),
+            metrics: self.inner.metrics.snapshot(),
         }
+    }
+
+    /// The shared metrics registry (system + service series). Snapshot
+    /// or scrape it directly, or take the copy embedded in
+    /// [`QueryService::report`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 }
 

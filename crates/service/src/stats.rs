@@ -9,6 +9,7 @@ use std::fmt;
 
 use crate::admission::AdmissionStats;
 use crate::cache::CacheStats;
+use pspp_telemetry::MetricsSnapshot;
 
 /// Log₂-bucketed latency histogram over microseconds.
 ///
@@ -60,9 +61,23 @@ impl LatencyHistogram {
         self.buckets.iter().sum()
     }
 
+    /// The standard reporting quantiles `(p50, p95, p99)`, in seconds
+    /// (zeros when empty). Estimates follow the upper-bound-of-bucket
+    /// rule of [`LatencyHistogram::quantile`], so each is biased high
+    /// by at most one power of two.
+    pub fn quantiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50).unwrap_or(0.0),
+            self.quantile(0.95).unwrap_or(0.0),
+            self.quantile(0.99).unwrap_or(0.0),
+        )
+    }
+
     /// Approximate quantile (`q` in `[0, 1]`), reported as the upper
-    /// bound in seconds of the bucket containing that rank; `None` when
-    /// empty.
+    /// bound in seconds of the bucket containing that rank — a
+    /// deliberate conservative bias: the true quantile lies somewhere
+    /// in the bucket, so the estimate overshoots by at most 2x (the
+    /// bucket's width). `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let count = self.count();
         if count == 0 {
@@ -143,6 +158,17 @@ pub struct ServiceReport {
     pub cache: CacheStats,
     /// Admission-controller counters.
     pub admission: AdmissionStats,
+    /// Snapshot of the system-wide metrics registry at report time
+    /// (executor/placer/charger/reshard series plus the service's own).
+    pub metrics: MetricsSnapshot,
+}
+
+impl ServiceReport {
+    /// Renders the metrics snapshot in Prometheus text exposition
+    /// format — the service's scrape endpoint payload.
+    pub fn prometheus(&self) -> String {
+        self.metrics.to_prometheus()
+    }
 }
 
 impl fmt::Display for ServiceReport {
@@ -172,12 +198,12 @@ impl fmt::Display for ServiceReport {
             self.admission.rejected,
             self.admission.peak_queue
         )?;
-        let p50 = self.merged.latency.quantile(0.50).unwrap_or(0.0);
-        let p99 = self.merged.latency.quantile(0.99).unwrap_or(0.0);
+        let (p50, p95, p99) = self.merged.latency.quantiles();
         write!(
             f,
-            "sim latency: p50 <= {:.3} ms, p99 <= {:.3} ms over {} queries",
+            "sim latency: p50 <= {:.3} ms, p95 <= {:.3} ms, p99 <= {:.3} ms over {} queries",
             p50 * 1e3,
+            p95 * 1e3,
             p99 * 1e3,
             self.merged.latency.count()
         )
@@ -202,6 +228,23 @@ mod tests {
         assert!(p99 <= 2.1e-3, "p99 {p99}");
         let p100 = h.quantile(1.0).unwrap();
         assert!(p100 >= 1.0, "max {p100}");
+    }
+
+    #[test]
+    fn quantiles_report_p50_p95_p99_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..94 {
+            h.record(1e-3);
+        }
+        for _ in 0..6 {
+            h.record(0.5);
+        }
+        let (p50, p95, p99) = h.quantiles();
+        assert!(p50 <= 2.1e-3, "p50 {p50}");
+        // Rank 95 lands in the 0.5 s block: upper bound of its bucket.
+        assert!(p95 >= 0.5, "p95 {p95}");
+        assert!(p99 >= p95, "quantiles are monotone");
+        assert_eq!(LatencyHistogram::new().quantiles(), (0.0, 0.0, 0.0));
     }
 
     #[test]

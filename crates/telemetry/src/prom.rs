@@ -1,0 +1,308 @@
+//! Prometheus text exposition format: renderer and a minimal parser.
+//!
+//! The renderer emits `# HELP` / `# TYPE` headers followed by one sample line
+//! per series; histograms expand into cumulative `_bucket{le=...}` lines plus
+//! `_sum` and `_count`, matching the classic text format. The parser handles
+//! exactly what the renderer emits (plus ignorable comments/blank lines) and
+//! exists so tests can assert the export round-trips: `parse(render(snap))`
+//! yields the same samples as [`samples`]`(snap)`.
+
+use crate::metrics::{HistogramData, MetricValue, MetricsSnapshot};
+use pspp_common::{Error, Result};
+use std::fmt::Write as _;
+
+/// One flat sample: a metric name, label pairs, and a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sample name (family name, possibly with `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in emission order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Flattens a snapshot into the samples its text rendering would contain.
+pub fn samples(snapshot: &MetricsSnapshot) -> Vec<PromSample> {
+    let mut out = Vec::new();
+    for entry in &snapshot.entries {
+        match &entry.value {
+            MetricValue::Counter(v) => out.push(PromSample {
+                name: entry.name.clone(),
+                labels: entry.labels.clone(),
+                value: *v as f64,
+            }),
+            MetricValue::Gauge(v) => out.push(PromSample {
+                name: entry.name.clone(),
+                labels: entry.labels.clone(),
+                value: *v as f64,
+            }),
+            MetricValue::Histogram(data) => {
+                let mut cumulative = 0u64;
+                for (i, &n) in data.buckets.iter().enumerate() {
+                    cumulative += n;
+                    if n == 0 && cumulative != data.count {
+                        continue; // keep the export compact: skip empty interior buckets
+                    }
+                    let mut labels = entry.labels.clone();
+                    labels.push((
+                        "le".to_string(),
+                        format_f64(HistogramData::bucket_upper_seconds(i)),
+                    ));
+                    out.push(PromSample {
+                        name: format!("{}_bucket", entry.name),
+                        labels,
+                        value: cumulative as f64,
+                    });
+                    if cumulative == data.count {
+                        break;
+                    }
+                }
+                let mut labels = entry.labels.clone();
+                labels.push(("le".to_string(), "+Inf".to_string()));
+                out.push(PromSample {
+                    name: format!("{}_bucket", entry.name),
+                    labels,
+                    value: data.count as f64,
+                });
+                out.push(PromSample {
+                    name: format!("{}_sum", entry.name),
+                    labels: entry.labels.clone(),
+                    value: data.sum_seconds(),
+                });
+                out.push(PromSample {
+                    name: format!("{}_count", entry.name),
+                    labels: entry.labels.clone(),
+                    value: data.count as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders a snapshot in Prometheus text exposition format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for entry in &snapshot.entries {
+        if last_family != Some(entry.name.as_str()) {
+            let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help);
+            let _ = writeln!(out, "# TYPE {} {}", entry.name, entry.kind.prom_type());
+            last_family = Some(entry.name.as_str());
+        }
+        let single = MetricsSnapshot {
+            entries: vec![entry.clone()],
+        };
+        for sample in samples(&single) {
+            write_sample(&mut out, &sample);
+        }
+    }
+    out
+}
+
+fn write_sample(out: &mut String, sample: &PromSample) {
+    out.push_str(&sample.name);
+    if !sample.labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in sample.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&format_f64(sample.value));
+    out.push('\n');
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn format_f64(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".to_string()
+        } else {
+            "-Inf".to_string()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+fn parse_f64(s: &str) -> Result<f64> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        _ => s
+            .parse::<f64>()
+            .map_err(|_| Error::Invalid(format!("bad prometheus value: {s}"))),
+    }
+}
+
+/// Parses text in the subset of the exposition format emitted by [`render`].
+/// Comment and blank lines are skipped; malformed sample lines are errors.
+pub fn parse(text: &str) -> Result<Vec<PromSample>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample(line)?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<PromSample> {
+    let bad = || Error::Invalid(format!("bad prometheus sample: {line}"));
+    let (head, value) = match line.find('}') {
+        Some(close) => {
+            let value = line[close + 1..].trim();
+            (&line[..close + 1], value)
+        }
+        None => {
+            let sp = line.find(' ').ok_or_else(bad)?;
+            (&line[..sp], line[sp + 1..].trim())
+        }
+    };
+    let (name, labels) = match head.find('{') {
+        Some(open) => {
+            if !head.ends_with('}') {
+                return Err(bad());
+            }
+            (
+                &head[..open],
+                parse_labels(&head[open + 1..head.len() - 1])?,
+            )
+        }
+        None => (head, Vec::new()),
+    };
+    if name.is_empty() {
+        return Err(bad());
+    }
+    Ok(PromSample {
+        name: name.to_string(),
+        labels,
+        value: parse_f64(value)?,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>> {
+    let bad = || Error::Invalid(format!("bad prometheus labels: {body}"));
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err(bad());
+        }
+        if chars.next() != Some('"') {
+            return Err(bad());
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next().ok_or_else(bad)? {
+                '\\' => match chars.next().ok_or_else(bad)? {
+                    'n' => value.push('\n'),
+                    c => value.push(c),
+                },
+                '"' => break,
+                c => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(_) => return Err(bad()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter(
+            "pspp_queries_total",
+            "Queries served",
+            &[("dialect", "sql")],
+        )
+        .add(5);
+        reg.counter(
+            "pspp_queries_total",
+            "Queries served",
+            &[("dialect", "nlq")],
+        )
+        .add(2);
+        reg.gauge("pspp_pool_peak_queue", "Peak admission queue depth", &[])
+            .record_max(3);
+        let h = reg.histogram("pspp_query_sim_seconds", "Simulated query latency", &[]);
+        h.observe_seconds(3e-6);
+        h.observe_seconds(250e-6);
+        h.observe_seconds(250e-6);
+        reg
+    }
+
+    #[test]
+    fn export_round_trips_through_parser() {
+        let snapshot = sample_registry().snapshot();
+        let text = render(&snapshot);
+        let parsed = parse(&text).expect("render output parses");
+        assert_eq!(parsed, samples(&snapshot));
+    }
+
+    #[test]
+    fn render_emits_headers_once_per_family() {
+        let text = render(&sample_registry().snapshot());
+        assert_eq!(text.matches("# TYPE pspp_queries_total counter").count(), 1);
+        assert!(text.contains("pspp_queries_total{dialect=\"nlq\"} 2"));
+        assert!(text.contains("pspp_query_sim_seconds_count 3"));
+        assert!(text.contains("le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let snapshot = sample_registry().snapshot();
+        let buckets: Vec<_> = samples(&snapshot)
+            .into_iter()
+            .filter(|s| s.name == "pspp_query_sim_seconds_bucket")
+            .collect();
+        let infinity = buckets.last().expect("+Inf bucket present");
+        assert_eq!(infinity.value, 3.0);
+        let mut last = 0.0;
+        for b in &buckets {
+            assert!(b.value >= last, "buckets must be cumulative");
+            last = b.value;
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("pspp_x{dialect=\"sql\" 1").is_err());
+        assert!(parse("pspp_x notanumber").is_err());
+        assert!(parse("{a=\"b\"} 1").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escaped_labels() {
+        let parsed = parse("m{k=\"a\\\"b\\\\c\\nd\"} 1").expect("escapes parse");
+        assert_eq!(parsed[0].labels[0].1, "a\"b\\c\nd");
+    }
+}

@@ -1,0 +1,367 @@
+//! Span trees: per-query traces on the simulated clock.
+//!
+//! [`SpanTree::build`] folds the executor's [`NodeTrace`] stream into a tree
+//! mirroring the plan: a query root, one node span per plan node, one task
+//! span per (node, shard) unit, and one span per exchange edge. All times are
+//! simulated, so trees are byte-reproducible across machines and worker
+//! counts.
+//!
+//! Timeline semantics follow the *sequential* makespan model: node spans lay
+//! end-to-end in the executor's stage/compute merge order, and because `f64`
+//! addition is order-sensitive the builder replays traces in exactly that
+//! order — the sum of node-span durations reproduces
+//! `makespan_sequential` bit-for-bit. Task spans start with their node
+//! (shards run in parallel); exchange spans start after the slowest task
+//! (the barrier joins first).
+//!
+//! Critical-path marking: the root, every node span (each contributes its
+//! critical seconds to the sequential makespan), the slowest task per node
+//! (ties break to the first, i.e. lowest shard), and every exchange span
+//! (barriers always ride the critical path) are marked.
+
+use crate::json::Json;
+use crate::trace::NodeTrace;
+use pspp_accel::SimDuration;
+use std::fmt::Write as _;
+
+/// What a span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The query root.
+    Query,
+    /// One plan node.
+    Node,
+    /// One (node, shard) task.
+    Task,
+    /// One exchange edge (shuffle barrier or partial-state merge).
+    Exchange,
+}
+
+impl SpanKind {
+    /// Lower-case label used in renders.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Query => "query",
+            SpanKind::Node => "node",
+            SpanKind::Task => "task",
+            SpanKind::Exchange => "exchange",
+        }
+    }
+}
+
+/// One span: a named interval on the simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Display name, e.g. `hash_join@n2` or `shard1`.
+    pub name: String,
+    /// What the span represents.
+    pub kind: SpanKind,
+    /// Simulated start, seconds from query start.
+    pub start: f64,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+    /// Whether the span lies on the critical path.
+    pub critical: bool,
+    /// Ordered key/value annotations (device, rows, stage, ...).
+    pub detail: Vec<(String, String)>,
+    /// Child spans.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Serializes the span (and its subtree) as JSON.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::str(&self.name)),
+            ("kind", Json::str(self.kind.label())),
+            ("start_seconds", Json::Num(self.start)),
+            ("duration_seconds", Json::Num(self.duration)),
+            ("critical", Json::Bool(self.critical)),
+        ];
+        if !self.detail.is_empty() {
+            pairs.push((
+                "detail",
+                Json::Obj(
+                    self.detail
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.children.is_empty() {
+            pairs.push((
+                "spans",
+                Json::Arr(self.children.iter().map(Span::to_json).collect()),
+            ));
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// A per-query span tree on the simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTree {
+    /// The query root span.
+    pub root: Span,
+}
+
+impl SpanTree {
+    /// Builds the tree from the executor's traces. `traces` must be in
+    /// the executor's merge order (the order [`NodeTrace`]s were
+    /// appended); `makespan` is the report's effective makespan and
+    /// becomes the root span's duration.
+    pub fn build(query: &str, traces: &[NodeTrace], makespan: f64) -> SpanTree {
+        let mut cursor = 0.0f64;
+        let mut children = Vec::with_capacity(traces.len());
+        for trace in traces {
+            children.push(Self::node_span(trace, cursor));
+            // Replay the sequential-makespan sum exactly: same order,
+            // same additions.
+            cursor += trace.critical_seconds;
+        }
+        SpanTree {
+            root: Span {
+                name: query.to_string(),
+                kind: SpanKind::Query,
+                start: 0.0,
+                duration: makespan,
+                critical: true,
+                detail: Vec::new(),
+                children,
+            },
+        }
+    }
+
+    fn node_span(trace: &NodeTrace, start: f64) -> Span {
+        let mut detail = vec![
+            ("stage".to_string(), trace.stage.to_string()),
+            ("rows".to_string(), trace.rows.to_string()),
+        ];
+        let fallbacks = trace.fallbacks();
+        if fallbacks > 0 {
+            detail.push(("host_fallbacks".to_string(), fallbacks.to_string()));
+        }
+        let mut children = Vec::with_capacity(trace.tasks.len() + trace.exchanges.len());
+        // The slowest task set the node's pre-exchange critical time;
+        // ties break to the first (lowest shard) for determinism.
+        let critical_task = trace
+            .tasks
+            .iter()
+            .enumerate()
+            .max_by(|(ai, a), (bi, b)| {
+                a.critical_seconds
+                    .partial_cmp(&b.critical_seconds)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(bi.cmp(ai))
+            })
+            .map(|(i, _)| i);
+        let mut slowest = 0.0f64;
+        for (i, task) in trace.tasks.iter().enumerate() {
+            let mut task_detail = vec![
+                ("device".to_string(), format!("{:?}", task.device)),
+                ("rows".to_string(), task.rows.to_string()),
+            ];
+            if task.fallback() {
+                task_detail.push(("planned".to_string(), format!("{:?}", task.planned)));
+                task_detail.push(("host_fallback".to_string(), "true".to_string()));
+            }
+            children.push(Span {
+                name: format!("{}[{}]", task.shard, task.slot),
+                kind: SpanKind::Task,
+                start,
+                duration: task.critical_seconds,
+                critical: critical_task == Some(i),
+                detail: task_detail,
+                children: Vec::new(),
+            });
+            slowest = slowest.max(task.critical_seconds);
+        }
+        let mut exchange_start = start + slowest;
+        for exchange in &trace.exchanges {
+            children.push(Span {
+                name: format!("exchange.{}", exchange.kind),
+                kind: SpanKind::Exchange,
+                start: exchange_start,
+                duration: exchange.seconds,
+                critical: true,
+                detail: vec![
+                    ("rows".to_string(), exchange.rows.to_string()),
+                    ("bytes".to_string(), exchange.bytes.to_string()),
+                    ("device".to_string(), format!("{:?}", exchange.device)),
+                ],
+                children: Vec::new(),
+            });
+            exchange_start += exchange.seconds;
+        }
+        Span {
+            name: format!("{}@{}", trace.op, trace.id),
+            kind: SpanKind::Node,
+            start,
+            duration: trace.critical_seconds,
+            critical: true,
+            detail,
+            children,
+        }
+    }
+
+    /// Depth-first list of critical spans, root first — the highlighted
+    /// path through the tree.
+    pub fn critical_path(&self) -> Vec<&Span> {
+        let mut out = Vec::new();
+        fn walk<'a>(span: &'a Span, out: &mut Vec<&'a Span>) {
+            if span.critical {
+                out.push(span);
+            }
+            for child in &span.children {
+                walk(child, out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Renders the tree as indented text; critical spans carry a `*`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        fn walk(span: &Span, depth: usize, out: &mut String) {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            let mark = if span.critical { "*" } else { " " };
+            let _ = write!(
+                out,
+                "{mark} {} {} [+{} .. {}]",
+                span.kind.label(),
+                span.name,
+                SimDuration::from_secs(span.start),
+                SimDuration::from_secs(span.duration),
+            );
+            for (k, v) in &span.detail {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push('\n');
+            for child in &span.children {
+                walk(child, depth + 1, out);
+            }
+        }
+        walk(&self.root, 0, &mut out);
+        out
+    }
+
+    /// Serializes the whole tree as JSON.
+    pub fn to_json(&self) -> Json {
+        self.root.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{ExchangeTrace, TaskTrace};
+    use pspp_common::{DeviceKind, ShardId};
+    use pspp_ir::NodeId;
+
+    fn sample_traces() -> Vec<NodeTrace> {
+        vec![
+            NodeTrace {
+                id: NodeId(0),
+                op: "scan".to_string(),
+                stage: 0,
+                rows: 200,
+                exec_seconds: 3e-4,
+                migration_seconds: 0.0,
+                critical_seconds: 3e-4,
+                tasks: vec![
+                    TaskTrace {
+                        shard: ShardId(0),
+                        slot: 0,
+                        planned: DeviceKind::Cpu,
+                        device: DeviceKind::Cpu,
+                        rows: 100,
+                        exec_seconds: 2e-4,
+                        migration_seconds: 0.0,
+                        critical_seconds: 2e-4,
+                    },
+                    TaskTrace {
+                        shard: ShardId(1),
+                        slot: 1,
+                        planned: DeviceKind::Gpu,
+                        device: DeviceKind::Cpu,
+                        rows: 100,
+                        exec_seconds: 3e-4,
+                        migration_seconds: 0.0,
+                        critical_seconds: 3e-4,
+                    },
+                ],
+                exchanges: Vec::new(),
+            },
+            NodeTrace {
+                id: NodeId(2),
+                op: "hash_join".to_string(),
+                stage: 1,
+                rows: 150,
+                exec_seconds: 5e-4,
+                migration_seconds: 1e-4,
+                critical_seconds: 6e-4,
+                tasks: Vec::new(),
+                exchanges: vec![ExchangeTrace {
+                    kind: "shuffle",
+                    rows: 400,
+                    bytes: 12_800,
+                    seconds: 1e-4,
+                    device: DeviceKind::Fpga,
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn node_durations_sum_to_sequential_makespan() {
+        let traces = sample_traces();
+        let makespan: f64 = traces.iter().map(|t| t.critical_seconds).sum();
+        let tree = SpanTree::build("q", &traces, makespan);
+        assert_eq!(tree.root.duration, makespan);
+        let summed: f64 = tree.root.children.iter().map(|s| s.duration).sum();
+        assert_eq!(summed.to_bits(), makespan.to_bits());
+        // Spans lay end-to-end.
+        assert_eq!(tree.root.children[1].start, traces[0].critical_seconds);
+    }
+
+    #[test]
+    fn critical_task_is_the_slowest_with_ties_to_first() {
+        let traces = sample_traces();
+        let tree = SpanTree::build("q", &traces, 1.0);
+        let scan = &tree.root.children[0];
+        assert!(!scan.children[0].critical, "faster shard is off-path");
+        assert!(scan.children[1].critical, "slowest task is highlighted");
+        let path = tree.critical_path();
+        assert!(path.iter().any(|s| s.name == "shard1[1]"));
+        assert!(path.iter().any(|s| s.name == "exchange.shuffle"));
+    }
+
+    #[test]
+    fn exchange_span_starts_after_tasks_and_marks_fallback() {
+        let traces = sample_traces();
+        let tree = SpanTree::build("q", &traces, 1.0);
+        let join = &tree.root.children[1];
+        let exchange = &join.children[0];
+        assert_eq!(exchange.kind, SpanKind::Exchange);
+        assert_eq!(exchange.start, join.start);
+        let scan = &tree.root.children[0];
+        assert!(scan.children[1]
+            .detail
+            .iter()
+            .any(|(k, v)| k == "host_fallback" && v == "true"));
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let traces = sample_traces();
+        let a = SpanTree::build("q", &traces, 1.0);
+        let b = SpanTree::build("q", &traces, 1.0);
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.to_json().render(), b.to_json().render());
+        assert!(a.render_text().contains("hash_join@n2"));
+    }
+}

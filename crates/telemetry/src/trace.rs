@@ -1,0 +1,88 @@
+//! Raw per-node execution traces collected by the runtime executor.
+//!
+//! The executor appends one [`NodeTrace`] per plan node, in the exact order
+//! its stage loop merges node runs. That order matters: simulated makespans
+//! are order-sensitive `f64` sums, so the span-tree builder replays traces in
+//! insertion order to reproduce the reported makespan bit-for-bit.
+
+use pspp_common::{DeviceKind, ShardId};
+use pspp_ir::NodeId;
+
+/// One per-shard task inside a node's scatter/colocated/shuffle fan-out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskTrace {
+    /// Shard the task ran on.
+    pub shard: ShardId,
+    /// Scatter slot index (position in the node's shard list).
+    pub slot: usize,
+    /// Device the optimizer planned for this slot.
+    pub planned: DeviceKind,
+    /// Device the task actually ran on.
+    pub device: DeviceKind,
+    /// Rows produced by the task.
+    pub rows: usize,
+    /// Simulated kernel/execution seconds.
+    pub exec_seconds: f64,
+    /// Simulated migration seconds billed to the task.
+    pub migration_seconds: f64,
+    /// The task's contribution considered for the node's critical path.
+    pub critical_seconds: f64,
+}
+
+impl TaskTrace {
+    /// True when the planned accelerator was unavailable and the task fell
+    /// back to the host CPU.
+    pub fn fallback(&self) -> bool {
+        self.planned != self.device
+    }
+}
+
+/// One exchange edge (shuffle or partial-aggregate merge) charged to a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeTrace {
+    /// Exchange kind label, e.g. `shuffle` or `merge`.
+    pub kind: &'static str,
+    /// Rows routed through the exchange.
+    pub rows: usize,
+    /// Bytes moved.
+    pub bytes: usize,
+    /// Simulated seconds on the critical path.
+    pub seconds: f64,
+    /// Device that ran the partition/serialize kernels.
+    pub device: DeviceKind,
+}
+
+/// Execution trace for one plan node, in stage-loop merge order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTrace {
+    /// The plan node.
+    pub id: NodeId,
+    /// Operator name (e.g. `hash_join`).
+    pub op: String,
+    /// Index of the execution stage the node ran in.
+    pub stage: usize,
+    /// Rows in the node's merged output.
+    pub rows: usize,
+    /// Simulated execution seconds (max across parallel tasks).
+    pub exec_seconds: f64,
+    /// Simulated migration + exchange seconds on the critical path.
+    pub migration_seconds: f64,
+    /// Total critical-path seconds the node contributed to the makespan.
+    pub critical_seconds: f64,
+    /// Per-shard tasks, shard order.
+    pub tasks: Vec<TaskTrace>,
+    /// Exchange edges charged while assembling this node's inputs/outputs.
+    pub exchanges: Vec<ExchangeTrace>,
+}
+
+impl NodeTrace {
+    /// Number of host fallbacks among this node's tasks.
+    pub fn fallbacks(&self) -> usize {
+        self.tasks.iter().filter(|t| t.fallback()).count()
+    }
+
+    /// Total rows routed through this node's exchange edges.
+    pub fn exchange_rows(&self) -> usize {
+        self.exchanges.iter().map(|e| e.rows).sum()
+    }
+}

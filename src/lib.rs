@@ -39,6 +39,7 @@ pub use pspp_relstore as relstore;
 pub use pspp_runtime as runtime;
 pub use pspp_service as service;
 pub use pspp_streamstore as streamstore;
+pub use pspp_telemetry as telemetry;
 pub use pspp_textstore as textstore;
 pub use pspp_tsstore as tsstore;
 

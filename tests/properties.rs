@@ -349,6 +349,64 @@ proptest! {
         prop_assert_eq!(format!("{:?}", on.outputs), format!("{:?}", off.outputs));
     }
 
+    /// Observability is read-only: attaching a metrics registry and
+    /// consuming every tracing artifact (span tree, text render, JSON
+    /// dump, Prometheus export) must not change a byte of output or a
+    /// bit of the simulated clock — across random shard widths (1–4)
+    /// with the exchange and offload passes toggled independently. The
+    /// root span's duration must equal the reported makespan exactly
+    /// and the critical path must be marked.
+    #[test]
+    fn tracing_never_changes_execution(
+        lk in prop::collection::vec((0i64..16, -50i64..50), 0..60),
+        rk in prop::collection::vec((0i64..16, -50i64..50), 0..60),
+        shards in 1u32..5,
+        exchange in any::<bool>(),
+        offload in any::<bool>(),
+    ) {
+        // Mismatched layouts (left on the join key, right off it) so
+        // the exchange toggle actually changes the plan at width > 1.
+        let registry = exchange_registry(
+            &lk,
+            &rk,
+            Some(PartitionSpec::hash("k", shards)),
+            Some(PartitionSpec::hash("v", shards)),
+        );
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "left")), "sql");
+        let b = p.add_source(Operator::scan(TableRef::new("db2", "right")), "sql");
+        let j = p.add_node(
+            Operator::HashJoin { left_on: "k".into(), right_on: "k".into() },
+            vec![a, b],
+            "sql",
+        );
+        p.mark_output(j);
+        let plain = executor()
+            .exchange(exchange)
+            .offload(offload)
+            .execute(&p, &registry)
+            .expect("plain run");
+        let metrics = polystorepp::telemetry::MetricsRegistry::new();
+        let traced = executor()
+            .exchange(exchange)
+            .offload(offload)
+            .with_metrics(metrics.clone())
+            .execute(&p, &registry)
+            .expect("traced run");
+        let tree = polystorepp::telemetry::SpanTree::build("prop", &traced.traces, traced.makespan());
+        let _ = tree.render_text();
+        let _ = tree.to_json().render();
+        let _ = metrics.snapshot().to_prometheus();
+        prop_assert_eq!(
+            format!("{:?}", traced.outputs),
+            format!("{:?}", plain.outputs)
+        );
+        prop_assert_eq!(traced.makespan().to_bits(), plain.makespan().to_bits());
+        prop_assert_eq!(tree.root.duration.to_bits(), traced.makespan().to_bits());
+        prop_assert!(tree.root.critical);
+        prop_assert!(!tree.critical_path().is_empty());
+    }
+
     /// Predicate evaluation never errors on schema-valid rows.
     #[test]
     fn predicate_total_on_valid_rows(v in arb_value(), threshold in any::<i64>()) {

@@ -429,7 +429,7 @@ pub fn run_open_loop(system: &Arc<Polystore>, cfg: &OpenLoopConfig) -> Result<Op
     for (i, q) in queries.iter().enumerate() {
         match session.submit(q) {
             Ok(ticket) => tickets.push((i, ticket)),
-            Err(Error::Overloaded(_)) => {
+            Err(Error::Overloaded { .. }) => {
                 real_rejections += 1;
                 shed_indexes.push(i);
             }

@@ -22,19 +22,21 @@ use pspp_migrate::{MigrationPath, Migrator};
 use pspp_mlengine::{Dataset as MlDataset, KMeans, KMeansConfig};
 use pspp_optimizer::dse::{ActiveLearner, DesignSpace, Param, RandomSearch};
 use pspp_optimizer::forest::RandomForest;
-use pspp_service::{Query, QueryService, ServiceConfig};
+use pspp_service::{
+    Query, QueryService, ServiceConfig, SessionCore, SessionCoreConfig, SessionScript, SessionStep,
+};
 use pspp_telemetry::NodeTrace;
 
 /// Names of all experiments, in order.
-pub const ALL: [&str; 20] = [
+pub const ALL: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// One-line description per experiment, in [`ALL`] order — what
 /// `repro --list` prints so nobody has to read the source to find an
 /// experiment.
-pub const DESCRIPTIONS: [(&str, &str); 20] = [
+pub const DESCRIPTIONS: [(&str, &str); 21] = [
     (
         "e1",
         "recommendation app: polystore federation vs one-size-fits-all (Fig. 1)",
@@ -112,6 +114,10 @@ pub const DESCRIPTIONS: [(&str, &str); 20] = [
         "e20",
         "accelerator-aware distributed planning: offload x sharding vs each alone",
     ),
+    (
+        "e21",
+        "session core: 10k/100k/1M sessions on 8 workers, result cache on/off",
+    ),
 ];
 
 /// The `repro --list` table: every experiment name with its one-line
@@ -185,6 +191,7 @@ pub fn run(name: &str) -> Result<String> {
         "e18" => e18_join(),
         "e19" => e19_exchange(),
         "e20" => e20_accel(),
+        "e21" => e21_sessions(),
         other => Err(pspp_common::Error::Config(format!(
             "unknown experiment {other}; known: {ALL:?}"
         ))),
@@ -1726,6 +1733,192 @@ pub fn e20_accel() -> Result<String> {
         return Err(pspp_common::Error::Execution(format!(
             "offload x sharding does not compose: combined {combined_x:.2}x vs \
              offload-only {offload_x:.2}x, sharding-only {sharding_x:.2}x"
+        )));
+    }
+    Ok(out)
+}
+
+/// The shared query pool for the session-core sweep: the same mixed
+/// SQL + NLQ workload shape as the service experiments, heavy enough
+/// that execution (not planning) dominates steady-state service time.
+fn session_pool() -> Vec<Query> {
+    vec![
+        Query::sql("SELECT pid, age FROM admissions WHERE age >= 65 ORDER BY age DESC LIMIT 10"),
+        Query::sql("SELECT count(*) AS n FROM admissions"),
+        Query::sql("SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date"),
+        Query::sql("SELECT pid, los FROM admissions WHERE los >= 5.0 ORDER BY los DESC LIMIT 20"),
+        Query::sql("SELECT pid FROM admissions WHERE age >= 30 AND age < 50"),
+        Query::sql(
+            "SELECT name, age FROM admissions JOIN db2.patients ON admissions.pid = patients.pid",
+        ),
+        Query::nlq("Will patients have a long stay at the hospital?"),
+        Query::sql("SELECT pid, count(*) AS n, avg(age) AS mean_age FROM admissions GROUP BY pid"),
+    ]
+}
+
+/// `n` single-step sessions arriving open-loop at `qps`, alternating
+/// between two tenants, query picked per session by a seeded RNG —
+/// the same scripts whatever the cache configuration.
+fn session_scripts(n: usize, qps: f64, pool: usize, seed: u64) -> Vec<SessionScript> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| SessionScript {
+            tenant: (i % 2) as u32,
+            steps: vec![SessionStep {
+                at: i as f64 / qps,
+                query: rng.next_index(pool) as u32,
+            }],
+        })
+        .collect()
+}
+
+/// E21: the session-core scale sweep — 10k/100k/1M open-loop sessions
+/// on a fixed 8-worker pool, result cache off vs on.
+///
+/// Claims proven per sweep point: byte-identical output digests with
+/// the result cache on and off (the cache is invisible in bytes), shed
+/// rate a function of offered load rather than session count (the
+/// cache-off shed rate stays flat from 10k to 1M sessions at fixed
+/// arrival rate), and a result-cache mean-service speedup > 1x.
+/// Arrival rate is calibrated deterministically to ~1.25x the
+/// cache-off drain capacity, so the admission queue genuinely sheds.
+pub fn e21_sessions() -> Result<String> {
+    const WORKERS: usize = 8;
+    const SEED: u64 = 2019;
+    let pool = session_pool();
+
+    // Calibrate the steady-state mean service time on a small cold
+    // fleet (big queue, nothing sheds), then offer 1.25x capacity.
+    let calibration = {
+        let mut core = SessionCore::new(
+            clinical_system(OptLevel::L2, AcceleratorFleet::workstation(), 300)?,
+            SessionCoreConfig {
+                workers: WORKERS,
+                queue_depth: 4096,
+                result_cache: Some(false),
+                memoize_execution: true,
+                tenant_weights: vec![1, 3],
+                ..Default::default()
+            },
+        )?;
+        let scripts = session_scripts(4096, 1e4, pool.len(), SEED);
+        core.run(&pool, &scripts)?
+    };
+    let mean_service = calibration.mean_latency_seconds().max(1e-9);
+    let qps = 1.25 * WORKERS as f64 / mean_service;
+
+    let mut out = format!(
+        "E21 session core: open-loop sweep at {WORKERS} workers, offered {:.0} qps \
+         (1.25x cache-off capacity, mean service {:.1} us)\n\
+         sessions  cache  shed%   p50_ms  p99_ms  mean_us  hit%  real_exec  peak_parked  digest\n",
+        qps,
+        mean_service * 1e6
+    );
+    let mut shed_off: Vec<(usize, f64)> = Vec::new();
+    let mut speedup = 0.0;
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let mut digests = Vec::new();
+        let mut mean_by_cache = [0.0f64; 2];
+        for cache in [false, true] {
+            let mut core = SessionCore::new(
+                clinical_system(OptLevel::L2, AcceleratorFleet::workstation(), 300)?,
+                SessionCoreConfig {
+                    workers: WORKERS,
+                    queue_depth: 64,
+                    result_cache: Some(cache),
+                    memoize_execution: true,
+                    tenant_weights: vec![1, 3],
+                    ..Default::default()
+                },
+            )?;
+            let scripts = session_scripts(n, qps, pool.len(), SEED);
+            let report = core.run(&pool, &scripts)?;
+            let (p50, _, p99) = report.latency.quantiles();
+            let mean = report.mean_latency_seconds();
+            let rc = &report.result_cache;
+            let hit_rate = if rc.hits + rc.misses > 0 {
+                rc.hit_rate()
+            } else {
+                0.0
+            };
+            writeln!(
+                out,
+                "{n:<9} {:<6} {:>5.2} {:>8.3} {:>7.3} {:>8.2} {:>5.0} {:>9} {:>11}  {:016x}",
+                if cache { "on" } else { "off" },
+                report.shed_rate() * 100.0,
+                p50 * 1e3,
+                p99 * 1e3,
+                mean * 1e6,
+                hit_rate * 100.0,
+                report.real_executions,
+                report.peak_parked,
+                report.digest
+            )
+            .ok();
+            digests.push(report.digest);
+            mean_by_cache[usize::from(cache)] = mean;
+            if !cache {
+                shed_off.push((n, report.shed_rate()));
+            }
+            if n == 100_000 && cache {
+                for t in &report.tenants {
+                    writeln!(
+                        out,
+                        "  tenant {} (weight {}): offered {}, shed {:.2}%, hits {}",
+                        t.tenant,
+                        t.weight,
+                        t.offered,
+                        t.shed_rate() * 100.0,
+                        t.result_hits
+                    )
+                    .ok();
+                }
+            }
+        }
+        if digests[0] != digests[1] {
+            return Err(pspp_common::Error::Execution(format!(
+                "result cache changed bytes at {n} sessions: \
+                 off {:016x} vs on {:016x}",
+                digests[0], digests[1]
+            )));
+        }
+        if n == 100_000 {
+            speedup = mean_by_cache[0] / mean_by_cache[1].max(1e-12);
+        }
+    }
+
+    let shed10k = shed_off[0].1;
+    let shed100k = shed_off[1].1;
+    let shed1m = shed_off[2].1;
+    bench_metric("shed_rate_10k", shed10k);
+    bench_metric("shed_rate_100k", shed100k);
+    bench_metric("shed_rate_1m", shed1m);
+    bench_metric("result_cache_speedup_100k", speedup);
+    bench_metric("sessions_per_worker_1m", 1_000_000.0 / WORKERS as f64);
+    writeln!(
+        out,
+        "session_guard: shed10k={shed10k:.4} shed100k={shed100k:.4} shed1m={shed1m:.4} \
+         speedup={speedup:.2}"
+    )
+    .ok();
+    writeln!(
+        out,
+        "shape check: byte-identical digests cache on/off at every scale; shed rate does \
+         not grow with session count (the small decrease from 10k is the cold-plan \
+         startup transient amortizing away); result cache {speedup:.1}x on mean service"
+    )
+    .ok();
+    // One-sided, like the CI guard: more sessions must never mean more
+    // shedding at fixed offered load.
+    if shed100k > shed10k + 0.01 || shed1m > shed10k + 0.01 {
+        return Err(pspp_common::Error::Execution(format!(
+            "shed rate grows with session count: 10k {shed10k:.4}, \
+             100k {shed100k:.4}, 1M {shed1m:.4}"
+        )));
+    }
+    if speedup <= 1.0 {
+        return Err(pspp_common::Error::Execution(format!(
+            "result cache does not pay for itself: {speedup:.2}x"
         )));
     }
     Ok(out)

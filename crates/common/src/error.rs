@@ -37,7 +37,14 @@ pub enum Error {
     /// Arbitrary invariant violation with context.
     Invalid(String),
     /// The query service shed load: admission queue full or shut down.
-    Overloaded(String),
+    Overloaded {
+        /// Why admission shed the work.
+        reason: String,
+        /// Suggested client back-off before resubmitting, in simulated
+        /// microseconds, derived from the admission queue depth and the
+        /// recent mean service time (`0` = no estimate, e.g. shutdown).
+        retry_after_micros: u64,
+    },
     /// A partition spec or shard route resolved to zero shards.
     EmptyShardSet(String),
 }
@@ -58,8 +65,35 @@ impl fmt::Display for Error {
             Error::Config(m) => write!(f, "invalid configuration: {m}"),
             Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
             Error::Invalid(m) => write!(f, "invalid operation: {m}"),
-            Error::Overloaded(m) => write!(f, "service overloaded: {m}"),
+            Error::Overloaded {
+                reason,
+                retry_after_micros,
+            } => {
+                if *retry_after_micros > 0 {
+                    write!(
+                        f,
+                        "service overloaded: {reason} (retry after {retry_after_micros}us)"
+                    )
+                } else {
+                    write!(f, "service overloaded: {reason}")
+                }
+            }
             Error::EmptyShardSet(m) => write!(f, "empty shard set: {m}"),
+        }
+    }
+}
+
+impl Error {
+    /// Build an [`Error::Overloaded`] with a back-off hint.
+    ///
+    /// `retry_after_micros` is the admission controller's estimate of how
+    /// long (in simulated microseconds) the caller should wait before the
+    /// queue has drained enough to admit a resubmission; pass `0` when no
+    /// estimate exists (e.g. the service is shutting down).
+    pub fn overloaded(reason: impl Into<String>, retry_after_micros: u64) -> Self {
+        Error::Overloaded {
+            reason: reason.into(),
+            retry_after_micros,
         }
     }
 }

@@ -61,6 +61,7 @@ pub struct PolystoreBuilder {
     shards: usize,
     partitions: Vec<(TableRef, PartitionSpec)>,
     shard_fleets: Vec<(ShardId, AcceleratorFleet)>,
+    result_cache: bool,
 }
 
 impl PolystoreBuilder {
@@ -134,6 +135,17 @@ impl PolystoreBuilder {
     /// against.
     pub fn exchange(mut self, on: bool) -> Self {
         self.exchange = on;
+        self
+    }
+
+    /// Enables/disables the service tier's result cache by default
+    /// (default: off). The query service and session core inherit this
+    /// toggle unless their own config overrides it; when on, repeated
+    /// read-only queries whose `(plan digest, engine-state epoch)` key
+    /// matches a prior run skip the executor entirely and are billed at
+    /// lookup cost.
+    pub fn result_cache(mut self, on: bool) -> Self {
+        self.result_cache = on;
         self
     }
 
@@ -214,6 +226,7 @@ impl PolystoreBuilder {
             parallel: self.parallel,
             colocated_joins: self.colocated_joins,
             exchange: self.exchange,
+            result_cache: self.result_cache,
             ledger,
             metrics,
         })
@@ -258,6 +271,7 @@ pub struct Polystore {
     parallel: bool,
     colocated_joins: bool,
     exchange: bool,
+    result_cache: bool,
     ledger: CostLedger,
     metrics: MetricsRegistry,
 }
@@ -276,6 +290,7 @@ impl Polystore {
             shards: 1,
             partitions: Vec::new(),
             shard_fleets: Vec::new(),
+            result_cache: false,
         }
     }
 
@@ -315,6 +330,42 @@ impl Polystore {
     /// The accelerator fleet.
     pub fn fleet(&self) -> &AcceleratorFleet {
         &self.fleet
+    }
+
+    /// The engine-state invalidation epoch (see
+    /// [`ShardedRegistry::epoch`](pspp_runtime::ShardedRegistry::epoch)).
+    /// Result and plan caches key entries by this value; any engine
+    /// mutation bumps it and orphans every older entry.
+    pub fn epoch(&self) -> u64 {
+        self.registry.epoch()
+    }
+
+    /// Whether the service tier should default its result cache on
+    /// (set via [`PolystoreBuilder::result_cache`]).
+    pub fn result_cache(&self) -> bool {
+        self.result_cache
+    }
+
+    /// Re-partitions a table mid-run, keeping the registry, catalog and
+    /// cost model in agreement: rows move to their new shard replicas,
+    /// subsequent plans price and scatter against the new layout, and
+    /// the engine-state epoch bump orphans every cached plan and result
+    /// derived under the old layout.
+    ///
+    /// Requires `&mut self`, so a shared service (`Arc<Polystore>`)
+    /// cannot race this — only an exclusive owner (e.g. the session
+    /// core's deterministic event loop) reshards mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the registry's reshard errors (unknown table/engine,
+    /// non-relational engine, empty shard set, conflicting replica
+    /// counts) and catalog spec validation.
+    pub fn reshard(&mut self, table: &TableRef, spec: PartitionSpec) -> Result<()> {
+        self.registry.reshard(table, spec.clone())?;
+        self.catalog.set_partition(table.clone(), spec.clone())?;
+        self.cost_model.set_partition(table.clone(), spec);
+        Ok(())
     }
 
     /// The active optimization level.

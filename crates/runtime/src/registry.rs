@@ -78,12 +78,29 @@ pub struct ShardedRegistry {
     /// Metrics sink for reshard instrumentation (`None` runs
     /// unobserved).
     metrics: Option<pspp_telemetry::MetricsRegistry>,
+    /// Engine-state invalidation epoch: bumped by every mutation API
+    /// (registration, `reshard`, partition/fleet changes). Result and
+    /// plan caches key entries by this value, so a stale hit after any
+    /// mutation is structurally impossible — the old epoch simply never
+    /// matches again.
+    epoch: u64,
 }
 
 impl ShardedRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         ShardedRegistry::default()
+    }
+
+    /// The current engine-state epoch.
+    ///
+    /// Every mutation API (`register`, `register_sharded`, `reshard`,
+    /// `set_partition`, fleet changes) increments this counter. Caches
+    /// that key entries by `(digest, epoch)` — the service's plan and
+    /// result caches — therefore self-invalidate on any engine-state
+    /// change without scanning their contents.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Registers a single-replica engine under its id — the
@@ -117,6 +134,7 @@ impl ShardedRegistry {
             )));
         }
         self.engines.insert(id, shards);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -241,6 +259,7 @@ impl ShardedRegistry {
     /// [`ShardedRegistry::set_fleet_at`].
     pub fn set_default_fleet(&mut self, fleet: AcceleratorFleet) {
         self.default_fleet = Some(fleet);
+        self.epoch += 1;
     }
 
     /// Attaches a shard-specific device fleet — heterogeneous
@@ -249,6 +268,7 @@ impl ShardedRegistry {
     /// the shard it runs at.
     pub fn set_fleet_at(&mut self, shard: ShardId, fleet: AcceleratorFleet) {
         self.shard_fleets.insert(shard, fleet);
+        self.epoch += 1;
     }
 
     /// The device fleet serving `shard`: its override when one was
@@ -290,6 +310,7 @@ impl ShardedRegistry {
             return Err(Error::EngineNotFound(table.engine.to_string()));
         }
         self.partitions.insert(table, spec);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -404,6 +425,7 @@ impl ShardedRegistry {
                 .add(all_rows.len() as u64);
         }
         self.partitions.insert(table.clone(), spec);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -507,6 +529,29 @@ mod tests {
         r.register(EngineId::new("db1"), EngineInstance::Relational(db))
             .unwrap();
         (r, TableRef::new("db1", "t"))
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let (mut r, t) = table_registry(10);
+        let e0 = r.epoch();
+        assert!(e0 > 0, "registration already bumped the epoch");
+        r.reshard(&t, PartitionSpec::hash("k", 2)).unwrap();
+        let e1 = r.epoch();
+        assert!(e1 > e0, "reshard bumps the epoch");
+        r.set_partition(t.clone(), PartitionSpec::hash("k", 2))
+            .unwrap();
+        assert!(r.epoch() > e1, "set_partition bumps the epoch");
+        let before = r.epoch();
+        r.set_default_fleet(AcceleratorFleet::cpu_only());
+        r.set_fleet_at(ShardId(0), AcceleratorFleet::cpu_only());
+        assert_eq!(r.epoch(), before + 2, "fleet changes bump the epoch");
+        // Failed mutations leave the epoch untouched.
+        let before = r.epoch();
+        assert!(r
+            .reshard(&TableRef::new("nope", "t"), PartitionSpec::hash("k", 2))
+            .is_err());
+        assert_eq!(r.epoch(), before);
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct AdmissionStats {
     pub executed: u64,
     /// Largest queue length observed.
     pub peak_queue: usize,
+    /// The back-off hint a rejected submission would receive right now
+    /// (simulated microseconds): current queue length divided by the
+    /// worker count, scaled by the recent mean job service time. `0`
+    /// until the first completed job reports its service time.
+    pub retry_after_micros: u64,
 }
 
 /// Registry mirrors of the admission counters, updated under the same
@@ -108,6 +113,10 @@ struct State {
     blocked: u64,
     executed: u64,
     peak_queue: usize,
+    /// EWMA of reported job service times in simulated microseconds
+    /// (`0` until the first report) — the basis of the retry-after
+    /// hint handed to shed clients.
+    mean_service_micros: u64,
     metrics: Option<PoolMetrics>,
 }
 
@@ -116,12 +125,22 @@ struct Shared {
     not_empty: Condvar,
     not_full: Condvar,
     queue_depth: usize,
+    workers: usize,
     policy: AdmissionPolicy,
 }
 
 impl Shared {
     fn guard(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The deterministic back-off hint for a queue currently holding
+    /// `queued` jobs: the time the pool needs to drain one slot,
+    /// `ceil((queued + 1) / workers)` service rounds at the recent mean
+    /// service time. `0` (no estimate) until a service time is known.
+    fn retry_after_micros(&self, state: &State, queued: usize) -> u64 {
+        let rounds = (queued as u64 + 1).div_ceil(self.workers.max(1) as u64);
+        state.mean_service_micros.saturating_mul(rounds)
     }
 }
 
@@ -153,7 +172,7 @@ impl PoolHandle {
                 if let Some(m) = &state.metrics {
                     m.rejected.inc();
                 }
-                return Err(Error::Overloaded("worker pool is shut down".into()));
+                return Err(Error::overloaded("worker pool is shut down", 0));
             }
             if state.queue.len() < self.shared.queue_depth {
                 state.queue.push_back(Box::new(job));
@@ -173,10 +192,13 @@ impl PoolHandle {
                     if let Some(m) = &state.metrics {
                         m.rejected.inc();
                     }
-                    return Err(Error::Overloaded(format!(
-                        "admission queue full ({} waiting)",
-                        self.shared.queue_depth
-                    )));
+                    let retry = self
+                        .shared
+                        .retry_after_micros(&state, self.shared.queue_depth);
+                    return Err(Error::overloaded(
+                        format!("admission queue full ({} waiting)", self.shared.queue_depth),
+                        retry,
+                    ));
                 }
                 AdmissionPolicy::Block => {
                     // Count the job once, not once per condvar wakeup.
@@ -197,15 +219,29 @@ impl PoolHandle {
         }
     }
 
+    /// Reports one completed job's service time (simulated
+    /// microseconds); the pool folds it into the EWMA behind the
+    /// retry-after hint (`new = (7 * old + sample) / 8`).
+    pub fn record_service_micros(&self, micros: u64) {
+        let mut state = self.shared.guard();
+        state.mean_service_micros = if state.mean_service_micros == 0 {
+            micros
+        } else {
+            (state.mean_service_micros.saturating_mul(7) + micros) / 8
+        };
+    }
+
     /// Snapshot of the admission counters.
     pub fn stats(&self) -> AdmissionStats {
         let state = self.shared.guard();
+        let retry_after_micros = self.shared.retry_after_micros(&state, state.queue.len());
         AdmissionStats {
             admitted: state.admitted,
             rejected: state.rejected,
             blocked: state.blocked,
             executed: state.executed,
             peak_queue: state.peak_queue,
+            retry_after_micros,
         }
     }
 }
@@ -249,6 +285,7 @@ impl WorkerPool {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             queue_depth: config.queue_depth,
+            workers: config.workers,
             policy: config.policy,
         });
         let mut workers = Vec::with_capacity(config.workers);
@@ -449,8 +486,59 @@ mod tests {
         started.wait(); // worker is now busy; the queue is empty
         pool.handle().submit(|| {}).unwrap(); // fills the queue
         let err = pool.handle().submit(|| {}).unwrap_err();
-        assert!(matches!(err, Error::Overloaded(_)), "got {err:?}");
+        assert!(matches!(err, Error::Overloaded { .. }), "got {err:?}");
         assert_eq!(pool.handle().stats().rejected, 1);
+        let (lock, cvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+
+    #[test]
+    fn reject_carries_retry_after_hint() {
+        let pool = WorkerPool::new(AdmissionConfig {
+            workers: 2,
+            queue_depth: 4,
+            policy: AdmissionPolicy::Reject,
+        })
+        .unwrap();
+        let handle = pool.handle();
+        // No service time observed yet: no estimate.
+        assert_eq!(handle.stats().retry_after_micros, 0);
+        handle.record_service_micros(1_000);
+        // Empty queue: one service round at the mean.
+        assert_eq!(handle.stats().retry_after_micros, 1_000);
+        // A full queue of 4 plus the reject itself is 5 jobs over 2
+        // workers = 3 rounds; the rejection error carries the hint.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut started = Vec::new();
+        for _ in 0..2 {
+            let g = Arc::clone(&gate);
+            let s = Ticket::new();
+            let t = s.clone();
+            handle
+                .submit(move || {
+                    t.fill(());
+                    let (lock, cvar) = &*g;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cvar.wait(open).unwrap();
+                    }
+                })
+                .unwrap();
+            started.push(s);
+        }
+        for s in &started {
+            s.wait(); // both workers busy; queue empty
+        }
+        for _ in 0..4 {
+            handle.submit(|| {}).unwrap(); // fill the queue
+        }
+        let err = handle.submit(|| {}).unwrap_err();
+        assert_eq!(
+            err,
+            Error::overloaded("admission queue full (4 waiting)", 3_000),
+            "got {err:?}"
+        );
         let (lock, cvar) = &*gate;
         *lock.lock().unwrap() = true;
         cvar.notify_all();
@@ -490,7 +578,10 @@ mod tests {
         let pool = WorkerPool::new(AdmissionConfig::default()).unwrap();
         let handle = pool.handle();
         drop(pool);
-        assert!(matches!(handle.submit(|| {}), Err(Error::Overloaded(_))));
+        assert!(matches!(
+            handle.submit(|| {}),
+            Err(Error::Overloaded { .. })
+        ));
     }
 
     #[test]

@@ -1,16 +1,31 @@
-//! The plan cache: compiled + optimized programs memoized by query
-//! text, so repeat queries skip the frontend and the optimizer.
+//! The service caches: plans and results memoized under epoch-guarded
+//! keys.
 //!
-//! The key includes the optimization level: changing the level (the
-//! Fig. 6 ablation knob, exposed per-service by
+//! [`PlanCache`] memoizes compiled + optimized programs by query text,
+//! so repeat queries skip the frontend and the optimizer. The key
+//! includes the optimization level: changing the level (the Fig. 6
+//! ablation knob, exposed per-service by
 //! [`QueryService::set_opt_level`](crate::QueryService::set_opt_level))
 //! invalidates every plan cached at the old level simply by never
 //! matching it again. Eviction is least-recently-used under a fixed
 //! capacity.
+//!
+//! [`ResultCache`] goes one step further for read-only repeats: it
+//! memoizes whole execution reports keyed by `(plan digest,
+//! engine-state epoch)`. The epoch
+//! ([`ShardedRegistry::epoch`](pspp_runtime::ShardedRegistry::epoch))
+//! is bumped by every engine mutation (`reshard`, registration,
+//! partition/fleet changes), so a stale hit is structurally impossible:
+//! entries populated under an older engine state simply never match
+//! again, and the cache's internal epoch advance garbage-collects (and counts)
+//! them as invalidations. Both caches key by epoch for the same reason
+//! — correctness by key construction, not by scanning.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use pspp_common::partition::{fnv1a, FNV_OFFSET};
+use pspp_core::RunReport;
 use pspp_ir::Program;
 use pspp_optimizer::{OptLevel, PlacementPlan, RewriteReport};
 use pspp_telemetry::{Counter, MetricsRegistry};
@@ -36,7 +51,8 @@ impl std::fmt::Display for Dialect {
     }
 }
 
-/// Cache key: (dialect, normalized query text, optimization level).
+/// Cache key: (dialect, normalized query text, optimization level,
+/// engine-state epoch).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// The frontend dialect.
@@ -45,6 +61,22 @@ pub struct PlanKey {
     pub text: String,
     /// The optimization level the plan was produced at.
     pub opt_level: OptLevel,
+    /// The engine-state epoch the plan was produced under. A reshard
+    /// (or any other engine mutation) bumps the epoch, so plans derived
+    /// from the old layout stop matching — the same
+    /// invalidation-by-key scheme the result cache uses.
+    pub epoch: u64,
+}
+
+impl PlanKey {
+    /// Stable FNV-1a digest of this key's canonical bytes, *excluding*
+    /// the epoch — the plan-identity half of a [`ResultKey`] (the
+    /// epoch rides separately so invalidation can reason about it).
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv1a(self.dialect.to_string().as_bytes(), FNV_OFFSET);
+        h = fnv1a(format!("{:?}", self.opt_level).as_bytes(), h);
+        fnv1a(self.text.as_bytes(), h)
+    }
 }
 
 /// A compiled + optimized program with its planning artifacts.
@@ -268,6 +300,273 @@ impl PlanCache {
     }
 }
 
+/// Result-cache key: which plan, under which engine state.
+///
+/// Invalidation is the key itself: every engine mutation bumps the
+/// registry epoch, so entries recorded under the old epoch can never
+/// be returned again — no scan, no flag, no race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// [`PlanKey::digest`] of the populating plan.
+    pub plan_digest: u64,
+    /// The engine-state epoch the result was computed under.
+    pub epoch: u64,
+}
+
+/// A memoized execution: the full run report of the populating miss
+/// plus the two numbers a hit needs to bill itself honestly.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// The run report as executed on the populating miss (outputs,
+    /// traces, rewrites, placement, real ledger totals).
+    pub report: RunReport,
+    /// Order-sensitive FNV digest of the outputs — hits return the
+    /// byte-identical digest the real execution produced.
+    pub digest: u64,
+    /// The populating execution's simulated makespan: what a miss
+    /// would have cost, and the number hit-rate speedups compare
+    /// against.
+    pub exec_seconds: f64,
+}
+
+/// Counters describing result-cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups served from the cache (executor bypassed).
+    pub hits: u64,
+    /// Lookups that fell through to execution.
+    pub misses: u64,
+    /// Results inserted.
+    pub insertions: u64,
+    /// Results evicted by the LRU policy.
+    pub evictions: u64,
+    /// Stale-epoch entries garbage-collected after an engine mutation.
+    pub invalidations: u64,
+    /// Results currently resident.
+    pub len: usize,
+}
+
+impl ResultCacheStats {
+    /// Hit fraction in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Folds another partition's counters into this one (per-tenant
+    /// result-cache partitions merge into one service-wide row).
+    pub fn absorb(&mut self, other: &ResultCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.len += other.len;
+    }
+}
+
+/// Registry mirrors of the result-cache counters.
+#[derive(Debug, Clone)]
+struct ResultCacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    invalidations: Counter,
+}
+
+impl ResultCacheMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let counter = |outcome: &str| {
+            registry.counter(
+                "pspp_result_cache_lookups_total",
+                "Result-cache lookups by outcome.",
+                &[("outcome", outcome)],
+            )
+        };
+        ResultCacheMetrics {
+            hits: counter("hit"),
+            misses: counter("miss"),
+            invalidations: registry.counter(
+                "pspp_result_cache_invalidations_total",
+                "Stale-epoch results garbage-collected after engine mutations.",
+                &[],
+            ),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ResultInner {
+    map: HashMap<ResultKey, ResultEntry>,
+    tick: u64,
+    /// Highest epoch observed; entries below it are unreachable and
+    /// get garbage-collected (counted as invalidations).
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+#[derive(Debug)]
+struct ResultEntry {
+    result: Arc<CachedResult>,
+    last_used: u64,
+}
+
+/// A thread-safe LRU result cache keyed by `(plan digest, epoch)` —
+/// the [`PlanCache`] LRU, holding whole execution reports.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<ResultInner>,
+    capacity: usize,
+    metrics: Option<ResultCacheMetrics>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(ResultInner::default()),
+            capacity: capacity.max(1),
+            metrics: None,
+        }
+    }
+
+    /// Mirrors hit/miss/invalidation counters into `registry` (series
+    /// `pspp_result_cache_*`).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(ResultCacheMetrics::new(registry));
+        self
+    }
+
+    fn guard(&self) -> MutexGuard<'_, ResultInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Advances the cache to `epoch`, garbage-collecting every entry
+    /// recorded under an older epoch. Stale entries are unreachable
+    /// either way (the epoch is part of the key); this frees their
+    /// memory and counts them as invalidations.
+    fn advance_epoch(&self, inner: &mut ResultInner, epoch: u64) {
+        if epoch <= inner.epoch {
+            return;
+        }
+        inner.epoch = epoch;
+        let before = inner.map.len();
+        inner.map.retain(|k, _| k.epoch >= epoch);
+        let dropped = (before - inner.map.len()) as u64;
+        if dropped > 0 {
+            inner.invalidations += dropped;
+            if let Some(m) = &self.metrics {
+                m.invalidations.add(dropped);
+            }
+        }
+    }
+
+    /// Looks up a result, bumping its recency on a hit. The key's
+    /// epoch also advances the cache's epoch watermark, invalidating
+    /// older entries.
+    pub fn get(&self, key: &ResultKey) -> Option<Arc<CachedResult>> {
+        let mut inner = self.guard();
+        self.advance_epoch(&mut inner, key.epoch);
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let result = entry.result.clone();
+                inner.hits += 1;
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
+                Some(result)
+            }
+            None => {
+                inner.misses += 1;
+                if let Some(m) = &self.metrics {
+                    m.misses.inc();
+                }
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a result, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&self, key: ResultKey, result: Arc<CachedResult>) {
+        let mut inner = self.guard();
+        self.advance_epoch(&mut inner, key.epoch);
+        if key.epoch < inner.epoch {
+            // A straggler computed under an old engine state: never
+            // cache it, it could only ever be a stale hit.
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.insertions += 1;
+        inner.map.insert(
+            key,
+            ResultEntry {
+                result,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every cached result and resets the LRU tick (counters and
+    /// the epoch watermark survive, mirroring [`PlanCache::clear`]).
+    pub fn clear(&self) {
+        let mut inner = self.guard();
+        inner.map.clear();
+        inner.tick = 0;
+    }
+
+    /// Number of resident results.
+    pub fn len(&self) -> usize {
+        self.guard().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the effectiveness counters.
+    pub fn stats(&self) -> ResultCacheStats {
+        let inner = self.guard();
+        ResultCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            len: inner.map.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +576,7 @@ mod tests {
             dialect: Dialect::Sql,
             text: text.into(),
             opt_level: level,
+            epoch: 0,
         }
     }
 
@@ -364,5 +664,97 @@ mod tests {
         assert_eq!(inner.tick, 0, "clear() must reset the recency tick");
         drop(inner);
         assert_eq!(run(&cleared), expected, "post-clear LRU = fresh LRU");
+    }
+
+    fn cached_result() -> Arc<CachedResult> {
+        Arc::new(CachedResult {
+            report: RunReport {
+                execution: pspp_runtime::ExecutionReport {
+                    outputs: Vec::new(),
+                    node_seconds: HashMap::new(),
+                    migration_seconds: 0.0,
+                    makespan_sequential: 1e-3,
+                    makespan_pipelined: 1e-3,
+                    pipelined: false,
+                    offloaded: 0,
+                    device_assignments: HashMap::new(),
+                    traces: Vec::new(),
+                },
+                rewrites: RewriteReport::default(),
+                placement: None,
+                costs: Default::default(),
+            },
+            digest: 42,
+            exec_seconds: 1e-3,
+        })
+    }
+
+    #[test]
+    fn plan_key_digest_ignores_epoch() {
+        let mut a = key("select * from t", OptLevel::L2);
+        let mut b = a.clone();
+        a.epoch = 1;
+        b.epoch = 7;
+        assert_eq!(a.digest(), b.digest());
+        let c = key("select * from u", OptLevel::L2);
+        assert_ne!(a.digest(), c.digest());
+        let d = key("select * from t", OptLevel::L1);
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn result_cache_hits_within_an_epoch() {
+        let cache = ResultCache::new(8);
+        let k = ResultKey {
+            plan_digest: 1,
+            epoch: 3,
+        };
+        assert!(cache.get(&k).is_none());
+        cache.insert(k, cached_result());
+        assert_eq!(cache.get(&k).unwrap().digest, 42);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len, s.invalidations), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_structurally_and_collects() {
+        let cache = ResultCache::new(8);
+        let old = ResultKey {
+            plan_digest: 1,
+            epoch: 3,
+        };
+        cache.insert(old, cached_result());
+        assert_eq!(cache.len(), 1);
+        // Same plan, later engine state: miss, and the stale entry is
+        // garbage-collected and counted.
+        let new = ResultKey {
+            plan_digest: 1,
+            epoch: 4,
+        };
+        assert!(cache.get(&new).is_none());
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.len, 0);
+        // A straggler insert under the old epoch is refused.
+        cache.insert(old, cached_result());
+        assert!(cache.get(&old).is_none());
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn result_cache_lru_eviction() {
+        let cache = ResultCache::new(2);
+        let k = |d: u64| ResultKey {
+            plan_digest: d,
+            epoch: 0,
+        };
+        cache.insert(k(1), cached_result());
+        cache.insert(k(2), cached_result());
+        assert!(cache.get(&k(1)).is_some()); // 2 becomes the victim
+        cache.insert(k(3), cached_result());
+        assert!(cache.get(&k(2)).is_none());
+        assert!(cache.get(&k(1)).is_some());
+        assert!(cache.get(&k(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
     }
 }

@@ -14,10 +14,21 @@
 //!   and a bounded worker pool; [`Session`]s submit [`Query`]s through
 //!   the admission controller and wait for [`QueryResponse`]s.
 //! - [`PlanCache`] memoizes compiled + optimized plans keyed by
-//!   (dialect, query text, optimization level); cache hits skip the
-//!   frontend and optimizer entirely.
+//!   (dialect, query text, optimization level, engine-state epoch);
+//!   cache hits skip the frontend and optimizer entirely.
+//! - [`ResultCache`] memoizes whole executions keyed by `(plan digest,
+//!   engine-state epoch)`; hits bypass the executor and are billed at
+//!   lookup cost. Every engine mutation bumps the epoch, so stale hits
+//!   are structurally impossible.
 //! - [`AdmissionConfig`] bounds concurrency and queue depth, with a
-//!   [`AdmissionPolicy`] of blocking backpressure or load shedding.
+//!   [`AdmissionPolicy`] of blocking backpressure or load shedding;
+//!   rejections carry a deterministic retry-after hint derived from
+//!   queue depth and the observed mean service time.
+//! - [`SessionCore`] scales session count past the worker pool: a
+//!   deterministic event loop holds 10k–1M parked sessions as state
+//!   machines (Parked → Queued → Running → Done) on the simulated
+//!   clock, with weighted fair queueing across tenants over the
+//!   bounded submission queue.
 //! - Per-session statistics (latency histogram, cache hit rate,
 //!   rejection counts) merge into a [`ServiceReport`].
 //!
@@ -54,9 +65,17 @@
 pub mod admission;
 pub mod cache;
 pub mod service;
+pub mod sessions;
 pub mod stats;
 
 pub use admission::{AdmissionConfig, AdmissionPolicy, AdmissionStats, Ticket, WorkerPool};
-pub use cache::{CacheStats, CachedPlan, Dialect, PlanCache, PlanKey};
+pub use cache::{
+    CacheStats, CachedPlan, CachedResult, Dialect, PlanCache, PlanKey, ResultCache,
+    ResultCacheStats, ResultKey,
+};
 pub use service::{Query, QueryResponse, QueryService, ServiceConfig, Session};
+pub use sessions::{
+    ReshardEvent, SessionCore, SessionCoreConfig, SessionCoreReport, SessionScript, SessionState,
+    SessionStep, TenantReport,
+};
 pub use stats::{LatencyHistogram, ServiceReport, SessionReport};

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-use pspp_accel::CostLedger;
+use pspp_accel::{CostLedger, DeviceKind, EventKind, SimDuration};
 use pspp_common::{Error, Result};
 use pspp_core::{Polystore, RunReport};
 use pspp_frontend::HeterogeneousProgram;
@@ -23,18 +23,27 @@ use pspp_optimizer::OptLevel;
 use pspp_telemetry::MetricsRegistry;
 
 use crate::admission::{AdmissionConfig, PoolHandle, Ticket, WorkerPool};
-use crate::cache::{CacheStats, CachedPlan, Dialect, PlanCache, PlanKey};
+use crate::cache::{
+    CacheStats, CachedPlan, CachedResult, Dialect, PlanCache, PlanKey, ResultCache,
+    ResultCacheStats, ResultKey,
+};
 use crate::stats::{ServiceReport, SessionReport};
 
 /// Simulated planning-cost model (§IV-A/§IV-B: the frontend and
 /// optimizer are middleware work the plan cache exists to avoid).
 /// Charged once per cache miss: a fixed parse/setup cost, a per-byte
 /// lexing cost and a per-IR-node rewrite/placement cost.
-const PLAN_BASE_SECONDS: f64 = 200e-6;
-const PLAN_PER_BYTE_SECONDS: f64 = 1.5e-6;
-const PLAN_PER_NODE_SECONDS: f64 = 80e-6;
+pub(crate) const PLAN_BASE_SECONDS: f64 = 200e-6;
+pub(crate) const PLAN_PER_BYTE_SECONDS: f64 = 1.5e-6;
+pub(crate) const PLAN_PER_NODE_SECONDS: f64 = 80e-6;
 /// Simulated cost of a cache hit: one hash lookup.
-const CACHE_HIT_SECONDS: f64 = 2e-6;
+pub(crate) const CACHE_HIT_SECONDS: f64 = 2e-6;
+/// Simulated cost of a result-cache hit: one hash lookup plus cloning
+/// the memoized outputs (the executor is bypassed entirely).
+pub(crate) const RESULT_HIT_SECONDS: f64 = 2e-6;
+/// The ledger component a result-cache hit bills its lookup under, so
+/// traces and `EXPLAIN ANALYZE` show the hit instead of a free run.
+pub(crate) const RESULT_CACHE_COMPONENT: &str = "service.result_cache";
 
 /// A query a session can submit.
 #[derive(Debug, Clone)]
@@ -85,6 +94,9 @@ pub struct QueryResponse {
     pub report: RunReport,
     /// Whether the plan came from the cache.
     pub cache_hit: bool,
+    /// Whether the whole result came from the result cache (the
+    /// executor was bypassed and the run was billed at lookup cost).
+    pub result_cache_hit: bool,
     /// Simulated seconds spent planning (cache-hit lookups are ~free).
     pub plan_seconds: f64,
     /// Simulated end-to-end service latency: planning + execution
@@ -102,6 +114,12 @@ pub struct ServiceConfig {
     pub admission: AdmissionConfig,
     /// Plan-cache capacity, in plans.
     pub plan_cache_capacity: usize,
+    /// Result-cache toggle: `None` inherits the system's
+    /// [`PolystoreBuilder::result_cache`](pspp_core::PolystoreBuilder::result_cache)
+    /// setting (default off), `Some` overrides it per service.
+    pub result_cache: Option<bool>,
+    /// Result-cache capacity, in memoized executions.
+    pub result_cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -109,6 +127,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             admission: AdmissionConfig::default(),
             plan_cache_capacity: 256,
+            result_cache: None,
+            result_cache_capacity: 256,
         }
     }
 }
@@ -121,6 +141,7 @@ struct SessionCounters {
     rejected: u64,
     cache_hits: u64,
     cache_misses: u64,
+    result_hits: u64,
     sim_seconds: f64,
     wall_micros: u64,
     latency: crate::stats::LatencyHistogram,
@@ -147,6 +168,7 @@ impl SessionShared {
             rejected: c.rejected,
             cache_hits: c.cache_hits,
             cache_misses: c.cache_misses,
+            result_hits: c.result_hits,
             sim_seconds: c.sim_seconds,
             wall_micros: c.wall_micros,
             latency: c.latency.clone(),
@@ -161,6 +183,9 @@ struct ServiceInner {
     /// land next to the executor/placer/charger ones.
     metrics: MetricsRegistry,
     cache: PlanCache,
+    /// Epoch-keyed execution memo; `None` when the result cache is
+    /// off for this service.
+    results: Option<ResultCache>,
     opt_level: Mutex<OptLevel>,
     sessions: Mutex<Vec<Arc<SessionShared>>>,
     /// Folded statistics of closed sessions, so the session list does
@@ -179,15 +204,16 @@ impl ServiceInner {
     }
 
     /// Resolves a query to a cached plan, planning and inserting on a
-    /// miss. Returns the plan and whether it was a cache hit.
-    fn plan(&self, query: &Query, level: OptLevel) -> Result<(Arc<CachedPlan>, bool)> {
+    /// miss. Returns the plan, its key and whether it was a cache hit.
+    fn plan(&self, query: &Query, level: OptLevel) -> Result<(Arc<CachedPlan>, PlanKey, bool)> {
         let key = PlanKey {
             dialect: query.dialect(),
             text: query.key_text(),
             opt_level: level,
+            epoch: self.system.epoch(),
         };
         match self.cache.get(&key) {
-            Some(plan) => Ok((plan, true)),
+            Some(plan) => Ok((plan, key, true)),
             None => {
                 let mut program = match query {
                     Query::Sql(text) => self.system.compile_sql(text)?,
@@ -204,17 +230,56 @@ impl ServiceInner {
                     placement,
                     plan_seconds,
                 });
-                self.cache.insert(key, Arc::clone(&plan));
-                Ok((plan, false))
+                self.cache.insert(key.clone(), Arc::clone(&plan));
+                Ok((plan, key, false))
             }
         }
     }
 
     /// Plan (through the cache) and execute one query on a private
-    /// per-run ledger.
+    /// per-run ledger. With the result cache on, a `(plan digest,
+    /// epoch)` hit bypasses the executor entirely: the memoized report
+    /// is returned with its costs replaced by a single lookup event,
+    /// so the ledger (and everything built from it — traces, `EXPLAIN
+    /// ANALYZE`, the cost summary) reflects what actually ran.
     fn run_query(&self, query: &Query) -> Result<QueryResponse> {
         let level = self.effective_opt_level();
-        let (plan, cache_hit) = self.plan(query, level)?;
+        let (plan, key, cache_hit) = self.plan(query, level)?;
+        let plan_seconds = if cache_hit {
+            CACHE_HIT_SECONDS
+        } else {
+            plan.plan_seconds
+        };
+
+        let result_key = ResultKey {
+            plan_digest: key.digest(),
+            epoch: key.epoch,
+        };
+        if let Some(results) = &self.results {
+            if let Some(cached) = results.get(&result_key) {
+                let hit_ledger = CostLedger::new();
+                hit_ledger.post(
+                    RESULT_CACHE_COMPONENT,
+                    DeviceKind::Cpu,
+                    EventKind::Compute,
+                    0,
+                    SimDuration::from_secs(RESULT_HIT_SECONDS),
+                    0.0,
+                );
+                let mut report = cached.report.clone();
+                report.costs = hit_ledger.total();
+                let service_seconds = plan_seconds + RESULT_HIT_SECONDS;
+                self.count_query(query, cache_hit, service_seconds);
+                return Ok(QueryResponse {
+                    report,
+                    cache_hit,
+                    result_cache_hit: true,
+                    plan_seconds,
+                    service_seconds,
+                    wall_micros: 0, // stamped by the session wrapper
+                });
+            }
+        }
 
         let run_ledger = CostLedger::new();
         let execution = self
@@ -227,12 +292,33 @@ impl ServiceInner {
             placement: plan.placement.clone(),
             costs,
         };
-        let plan_seconds = if cache_hit {
-            CACHE_HIT_SECONDS
-        } else {
-            plan.plan_seconds
-        };
+        if let Some(results) = &self.results {
+            let digest = pspp_common::partition::fnv1a(
+                format!("{:?}", report.execution.outputs).as_bytes(),
+                pspp_common::partition::FNV_OFFSET,
+            );
+            results.insert(
+                result_key,
+                Arc::new(CachedResult {
+                    report: report.clone(),
+                    digest,
+                    exec_seconds: report.makespan(),
+                }),
+            );
+        }
         let service_seconds = plan_seconds + report.makespan();
+        self.count_query(query, cache_hit, service_seconds);
+        Ok(QueryResponse {
+            report,
+            cache_hit,
+            result_cache_hit: false,
+            plan_seconds,
+            service_seconds,
+            wall_micros: 0, // stamped by the session wrapper
+        })
+    }
+
+    fn count_query(&self, query: &Query, cache_hit: bool, service_seconds: f64) {
         self.metrics
             .counter(
                 "pspp_service_queries_total",
@@ -250,13 +336,6 @@ impl ServiceInner {
                 &[],
             )
             .observe_seconds(service_seconds);
-        Ok(QueryResponse {
-            report,
-            cache_hit,
-            plan_seconds,
-            service_seconds,
-            wall_micros: 0, // stamped by the session wrapper
-        })
     }
 }
 
@@ -278,10 +357,15 @@ impl QueryService {
         let metrics = system.metrics().clone();
         let pool = WorkerPool::new(config.admission)?;
         pool.set_metrics(&metrics);
+        let results = config
+            .result_cache
+            .unwrap_or_else(|| system.result_cache())
+            .then(|| ResultCache::new(config.result_cache_capacity).with_metrics(&metrics));
         Ok(QueryService {
             inner: Arc::new(ServiceInner {
                 system,
                 cache: PlanCache::new(config.plan_cache_capacity).with_metrics(&metrics),
+                results,
                 metrics,
                 opt_level: Mutex::new(opt_level),
                 sessions: Mutex::new(Vec::new()),
@@ -342,9 +426,32 @@ impl QueryService {
         self.inner.cache.stats()
     }
 
+    /// Result-cache counters (all zero when the result cache is off).
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.inner
+            .results
+            .as_ref()
+            .map(ResultCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Whether this service's result cache is on.
+    pub fn result_cache_enabled(&self) -> bool {
+        self.inner.results.is_some()
+    }
+
     /// Drops every cached plan.
     pub fn clear_plan_cache(&self) {
         self.inner.cache.clear();
+    }
+
+    /// Drops every memoized result (a no-op with the result cache
+    /// off). Epoch bumps make this unnecessary for correctness; it
+    /// exists for memory pressure and benchmarking cold starts.
+    pub fn clear_result_cache(&self) {
+        if let Some(results) = &self.inner.results {
+            results.clear();
+        }
     }
 
     /// Plans a query into the cache without executing it (cache
@@ -355,7 +462,7 @@ impl QueryService {
     /// Propagates compile and optimize errors.
     pub fn warm(&self, query: &Query) -> Result<bool> {
         let level = self.inner.effective_opt_level();
-        let (_, hit) = self.inner.plan(query, level)?;
+        let (_, _, hit) = self.inner.plan(query, level)?;
         Ok(!hit)
     }
 
@@ -388,11 +495,14 @@ impl QueryService {
         for s in &sessions {
             merged.absorb(s);
         }
+        let admission = self.pool.handle().stats();
         ServiceReport {
             sessions,
             merged,
             cache: self.inner.cache.stats(),
-            admission: self.pool.handle().stats(),
+            results: self.result_cache_stats(),
+            retry_after_seconds: admission.retry_after_micros as f64 * 1e-6,
+            admission,
             metrics: self.inner.metrics.snapshot(),
         }
     }
@@ -475,6 +585,7 @@ impl Session {
         let session = Arc::clone(self.shared());
         let query = query.clone();
         let admitted_at = Instant::now();
+        let pool = self.pool.clone();
         let submitted = self.pool.submit(move || {
             let outcome = catch_unwind(AssertUnwindSafe(|| service.run_query(&query)))
                 .unwrap_or_else(|_| Err(Error::Execution("query worker panicked".into())));
@@ -488,8 +599,14 @@ impl Session {
                     } else {
                         counters.cache_misses += 1;
                     }
+                    if resp.result_cache_hit {
+                        counters.result_hits += 1;
+                    }
                     counters.sim_seconds += resp.service_seconds;
                     counters.latency.record(resp.service_seconds);
+                    // Feed the retry-after EWMA: simulated service
+                    // time is the deterministic drain-rate estimate.
+                    pool.record_service_micros((resp.service_seconds * 1e6) as u64);
                 }
                 Err(_) => counters.failed += 1,
             }

@@ -8,7 +8,7 @@
 use std::fmt;
 
 use crate::admission::AdmissionStats;
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, ResultCacheStats};
 use pspp_telemetry::MetricsSnapshot;
 
 /// Log₂-bucketed latency histogram over microseconds.
@@ -113,6 +113,8 @@ pub struct SessionReport {
     pub cache_hits: u64,
     /// Plan-cache misses among completed queries.
     pub cache_misses: u64,
+    /// Result-cache hits among completed queries (executor bypassed).
+    pub result_hits: u64,
     /// Sum of simulated service seconds (plan + execution makespan).
     pub sim_seconds: f64,
     /// Sum of wall-clock microseconds spent from admission to reply.
@@ -140,6 +142,7 @@ impl SessionReport {
         self.rejected += other.rejected;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.result_hits += other.result_hits;
         self.sim_seconds += other.sim_seconds;
         self.wall_micros += other.wall_micros;
         self.latency.merge(&other.latency);
@@ -156,6 +159,12 @@ pub struct ServiceReport {
     pub merged: SessionReport,
     /// Plan-cache counters.
     pub cache: CacheStats,
+    /// Result-cache counters (all zero when the result cache is off).
+    pub results: ResultCacheStats,
+    /// The back-off hint a shed client would receive right now, in
+    /// simulated seconds (`0` before the first completed query) —
+    /// mirrors `admission.retry_after_micros`.
+    pub retry_after_seconds: f64,
     /// Admission-controller counters.
     pub admission: AdmissionStats,
     /// Snapshot of the system-wide metrics registry at report time
@@ -190,13 +199,27 @@ impl fmt::Display for ServiceReport {
             self.cache.len,
             self.cache.evictions
         )?;
+        if self.results.hits + self.results.misses > 0 {
+            writeln!(
+                f,
+                "result cache: {} hits / {} misses ({:.0}% hit rate), {} resident, \
+                 {} invalidated",
+                self.results.hits,
+                self.results.misses,
+                self.results.hit_rate() * 100.0,
+                self.results.len,
+                self.results.invalidations
+            )?;
+        }
         writeln!(
             f,
-            "admission: {} admitted, {} blocked, {} rejected, peak queue {}",
+            "admission: {} admitted, {} blocked, {} rejected, peak queue {}, \
+             retry-after {:.3} ms",
             self.admission.admitted,
             self.admission.blocked,
             self.admission.rejected,
-            self.admission.peak_queue
+            self.admission.peak_queue,
+            self.retry_after_seconds * 1e3
         )?;
         let (p50, p95, p99) = self.merged.latency.quantiles();
         write!(

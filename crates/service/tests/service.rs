@@ -244,7 +244,10 @@ fn reject_policy_sheds_excess_load() {
                 completed += 1;
             }
             Err(e) => {
-                assert!(matches!(e, pspp_common::Error::Overloaded(_)), "got {e:?}");
+                assert!(
+                    matches!(e, pspp_common::Error::Overloaded { .. }),
+                    "got {e:?}"
+                );
                 rejected += 1;
             }
         }
@@ -340,4 +343,91 @@ fn sessions_survive_heavy_interleaving() {
     assert_eq!(report.merged.completed, 32);
     assert_eq!(report.merged.failed, 0);
     assert!(report.cache.hit_rate() > 0.5);
+}
+
+#[test]
+fn result_cache_hits_bypass_the_executor_and_bill_lookup_cost() {
+    let system = shared_system(OptLevel::L2);
+    let service = QueryService::new(
+        Arc::clone(&system),
+        ServiceConfig {
+            result_cache: Some(true),
+            ..Default::default()
+        },
+    )
+    .expect("valid service config");
+    let session = service.open_session();
+    let cold = session.execute(&Query::sql(SQL)).expect("cold run");
+    let warm = session.execute(&Query::sql(SQL)).expect("warm run");
+    assert!(!cold.result_cache_hit);
+    assert!(warm.result_cache_hit, "repeat should hit the result cache");
+    // Byte-identical outputs; the hit is billed at lookup cost.
+    assert_eq!(
+        format!("{:?}", cold.report.execution.outputs),
+        format!("{:?}", warm.report.execution.outputs),
+    );
+    assert!(warm.service_seconds < cold.service_seconds);
+    assert_eq!(warm.report.costs.events, 1, "one lookup event, no executor");
+    // Billed at the flat 2 µs lookup cost, not the execution's ledger.
+    assert!((warm.report.costs.busy.as_secs() - 2e-6).abs() < 1e-12);
+    assert_ne!(warm.report.costs, cold.report.costs);
+
+    let report = service.report();
+    assert_eq!(report.results.hits, 1);
+    assert_eq!(report.results.misses, 1);
+    assert_eq!(report.merged.result_hits, 1);
+    // The hint EWMA saw both completions.
+    assert!(report.retry_after_seconds > 0.0);
+    // Metrics flow through the Prometheus path.
+    let prom = report.prometheus();
+    assert!(
+        prom.contains("pspp_result_cache_lookups_total"),
+        "missing result-cache series in:\n{prom}"
+    );
+}
+
+#[test]
+fn reshard_epoch_invalidates_cached_results() {
+    let system = Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+        patients: 150,
+        vitals_per_patient: 8,
+        seed: 99,
+    }))
+    .result_cache(true)
+    .build()
+    .expect("valid config");
+    // Warm through a service, then mutate the engine state and verify
+    // the old entry can never match again.
+    let epoch_before = system.epoch();
+    let arc = Arc::new(system);
+    let service = QueryService::new(Arc::clone(&arc), ServiceConfig::default())
+        .expect("valid service config");
+    let session = service.open_session();
+    session.execute(&Query::sql(SQL)).expect("cold run");
+    assert!(
+        session
+            .execute(&Query::sql(SQL))
+            .expect("warm")
+            .result_cache_hit
+    );
+    drop(session);
+    drop(service);
+
+    let mut system = Arc::try_unwrap(arc).expect("sole owner");
+    system
+        .reshard(
+            &TableRef::new("db1", "admissions"),
+            PartitionSpec::hash("pid", 3),
+        )
+        .expect("reshard");
+    assert!(system.epoch() > epoch_before, "mutation bumps the epoch");
+
+    let service = QueryService::new(Arc::new(system), ServiceConfig::default())
+        .expect("valid service config");
+    let session = service.open_session();
+    let after = session.execute(&Query::sql(SQL)).expect("post-reshard run");
+    assert!(
+        !after.result_cache_hit,
+        "new epoch keys can never match pre-reshard entries"
+    );
 }

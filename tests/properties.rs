@@ -422,3 +422,97 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The session core's result cache is invisible in bytes: the same
+    /// scripts over identically-built systems produce byte-identical
+    /// run digests with the cache on and off — across random session
+    /// interleavings and tenants, shard widths 1–4, shed-inducing tiny
+    /// queues, and an optional mid-run reshard that bumps the
+    /// engine-state epoch. No execution memoization: every billed miss
+    /// really runs the data plane.
+    #[test]
+    fn session_result_cache_is_invisible_in_digests(
+        seed in 0u64..1000,
+        sessions in 1usize..12,
+        width in 1u32..5,
+        reshard_at in 0.0f64..2e-3,
+        with_reshard in any::<bool>(),
+
+    ) {
+        use polystorepp::service::{
+            Query, ReshardEvent, SessionCore, SessionCoreConfig, SessionScript, SessionStep,
+        };
+
+        let pool = [
+            Query::sql(
+                "SELECT pid, age FROM admissions WHERE age >= 65 ORDER BY age DESC LIMIT 10",
+            ),
+            Query::sql("SELECT count(*) AS n FROM admissions"),
+            Query::sql("SELECT pid FROM admissions WHERE age < 40"),
+            Query::sql(
+                "SELECT name, age FROM admissions JOIN db2.patients \
+                 ON admissions.pid = patients.pid",
+            ),
+        ];
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let scripts: Vec<SessionScript> = (0..sessions)
+            .map(|_| SessionScript {
+                tenant: rng.next_bounded(3) as u32,
+                steps: (0..1 + rng.next_index(3))
+                    .map(|_| SessionStep {
+                        at: rng.next_range(0.0, 2e-3),
+                        query: rng.next_index(pool.len()) as u32,
+                    })
+                    .collect(),
+            })
+            .collect();
+        // Re-key the hash layout mid-run: same shard count (all
+        // partitioned tables on an engine must agree on the replica
+        // count) but a different distribution — rows move between
+        // shards and the engine-state epoch bumps.
+        let events: Vec<ReshardEvent> = with_reshard
+            .then(|| ReshardEvent {
+                at: reshard_at,
+                table: TableRef::new("db1", "admissions"),
+                spec: PartitionSpec::hash("age", width),
+            })
+            .into_iter()
+            .collect();
+
+        let system = |cache: bool| {
+            Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+                patients: 40,
+                vitals_per_patient: 4,
+                seed: 7,
+            }))
+            .partition(
+                TableRef::new("db1", "admissions"),
+                PartitionSpec::hash("pid", width),
+            )
+            .result_cache(cache)
+            .build()
+            .expect("valid config")
+        };
+        let run = |cache: bool| {
+            let mut core = SessionCore::new(
+                system(cache),
+                SessionCoreConfig {
+                    workers: 2,
+                    queue_depth: 2,
+                    memoize_execution: false,
+                    ..Default::default()
+                },
+            )
+            .expect("valid core config");
+            core.run_with_events(&pool, &scripts, &events)
+                .expect("run succeeds")
+        };
+        let off = run(false);
+        let on = run(true);
+        prop_assert_eq!(off.offered, on.offered);
+        prop_assert_eq!(off.digest, on.digest);
+    }
+}

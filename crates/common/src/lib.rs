@@ -33,6 +33,7 @@ pub mod ids;
 pub mod model;
 pub mod partition;
 pub mod predicate;
+pub mod repartition;
 pub mod rng;
 pub mod row;
 pub mod schema;
@@ -44,8 +45,9 @@ pub use distribution::{Distribution, JoinDistribution};
 pub use error::{Error, Result};
 pub use ids::{EngineId, TableRef};
 pub use model::{DataModel, EngineKind};
-pub use partition::{PartitionLookup, PartitionSpec, ShardId};
+pub use partition::{hash_grow_moved_fraction, PartitionLookup, PartitionSpec, ShardId};
 pub use predicate::Predicate;
+pub use repartition::{CopyKey, MaterializedRepartitions, RepartitionStats};
 pub use rng::SplitMix64;
 pub use row::Row;
 pub use schema::{Field, Schema};

@@ -199,6 +199,40 @@ impl PartitionSpec {
         }
         Ok(buckets)
     }
+    /// Destination shard of every row under this spec, in input
+    /// order — the diffing primitive behind incremental rebalance.
+    /// The registry routes each *source* shard's rows under the new
+    /// spec and moves only those whose destination differs, instead
+    /// of gathering and redistributing everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ColumnNotFound`] when the key column is
+    /// missing from `schema`, [`Error::EmptyShardSet`] for zero
+    /// shards and [`Error::Invalid`] for replicated specs (every
+    /// shard holds every row; there is nothing to diff).
+    pub fn route_rows(&self, schema: &Schema, rows: &[Row]) -> Result<Vec<ShardId>> {
+        self.validate()?;
+        let column = self
+            .partition_column()
+            .ok_or_else(|| Error::Invalid("replicated tables have no single home shard".into()))?;
+        let idx = schema.require(column)?;
+        rows.iter().map(|row| self.route(&row[idx])).collect()
+    }
+}
+
+/// Expected moved-row fraction when a hash partition grows from
+/// `from` to `to` shards with `from | to`: a row stays exactly when
+/// `hash % to < from` lands it back on its old shard, so the expected
+/// moved fraction over a uniform hash is `1 - from/to` (0.5 for
+/// 2→4). Returns `None` for non-grow or non-divisible width pairs,
+/// where no closed form holds. This is an *expectation* — guards on
+/// specific datasets should allow sampling tolerance.
+pub fn hash_grow_moved_fraction(from: u32, to: u32) -> Option<f64> {
+    if from == 0 || to <= from || !to.is_multiple_of(from) {
+        return None;
+    }
+    Some(1.0 - f64::from(from) / f64::from(to))
 }
 
 /// Anything that can answer "how is this table partitioned?" — the
@@ -343,6 +377,43 @@ mod tests {
     fn unsorted_boundaries_rejected() {
         let spec = PartitionSpec::range("k", vec![Value::Int(5), Value::Int(1)]);
         assert!(matches!(spec.validate(), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn route_rows_matches_distribute() {
+        let spec = PartitionSpec::hash("k", 4);
+        let rows: Vec<Row> = (0..100).map(|i| row![i as i64, format!("r{i}")]).collect();
+        let routes = spec.route_rows(&schema(), &rows).unwrap();
+        let buckets = spec.distribute(&schema(), &rows).unwrap();
+        for (row, shard) in rows.iter().zip(&routes) {
+            assert!(buckets[shard.index()].contains(row));
+        }
+        let spec = PartitionSpec::replicated(2);
+        assert!(matches!(
+            spec.route_rows(&schema(), &rows),
+            Err(Error::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn hash_grow_moved_fraction_closed_form() {
+        assert_eq!(hash_grow_moved_fraction(2, 4), Some(0.5));
+        assert_eq!(hash_grow_moved_fraction(1, 4), Some(0.75));
+        assert_eq!(hash_grow_moved_fraction(4, 2), None, "shrink has no bound");
+        assert_eq!(hash_grow_moved_fraction(2, 3), None, "non-divisible");
+        assert_eq!(hash_grow_moved_fraction(0, 4), None);
+        // Empirical check: routing 10k ints 2 -> 4 moves about half.
+        let old = PartitionSpec::hash("k", 2);
+        let new = PartitionSpec::hash("k", 4);
+        let rows: Vec<Row> = (0..10_000).map(|i| row![i as i64, "x"]).collect();
+        let before = old.route_rows(&schema(), &rows).unwrap();
+        let after = new.route_rows(&schema(), &rows).unwrap();
+        let moved =
+            before.iter().zip(&after).filter(|(b, a)| b != a).count() as f64 / rows.len() as f64;
+        assert!(
+            (moved - 0.5).abs() < 0.05,
+            "moved fraction {moved} should track the 0.5 expectation"
+        );
     }
 
     #[test]

@@ -31,8 +31,9 @@ pub mod shard;
 pub use graph::{NodeId, Program, ProgramNode, Stage};
 pub use op::{partial_agg_specs, AggFn, AggSpec, Operator, SortSpec, TextSearchMode, TsAgg};
 pub use shard::{
-    exchange_pays, ExchangeCounts, ExchangeKind, NodeShard, PlanOptions, ShardPlan,
-    EXCHANGE_OVERHEAD_ROWS,
+    exchange_pays, repartition_pays, shuffle_copy_key, subtree_signature, subtree_source_table,
+    ExchangeCounts, ExchangeKind, NodeShard, PlanOptions, ShardPlan, EXCHANGE_OVERHEAD_ROWS,
+    REPARTITION_COPY_BPS,
 };
 
 use serde::{Deserialize, Serialize};

@@ -45,7 +45,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use pspp_common::{Distribution, JoinDistribution, PartitionSpec, Result, ShardId, TableRef};
+use pspp_common::partition::{fnv1a, FNV_OFFSET};
+use pspp_common::{
+    CopyKey, Distribution, JoinDistribution, PartitionSpec, Result, ShardId, TableRef,
+};
 
 use crate::graph::{NodeId, Program};
 use crate::op::Operator;
@@ -71,6 +74,92 @@ pub fn exchange_pays(est_rows: Option<f64>, width: usize) -> bool {
         None => true,
         Some(rows) => rows * (1.0 - 1.0 / w) > w * EXCHANGE_OVERHEAD_ROWS,
     }
+}
+
+/// Memory bandwidth assumed for persisting an already-routed shuffle
+/// layout as a materialized copy: the rows are in memory and bucketed,
+/// so the copy streams at DRAM speed rather than the interconnect's.
+pub const REPARTITION_COPY_BPS: f64 = 10e9;
+
+/// The cost rule deciding when a shuffle layout is worth persisting:
+/// materialize once the *cumulative* simulated seconds spent
+/// re-shuffling the same subtree this epoch exceed the one-time cost
+/// of copying its `bytes` at memory speed. A single 10GbE shuffle of
+/// N bytes already costs ~8x the memory copy, so a hot layout
+/// materializes on its first routing; a layout whose shuffles are
+/// dominated by fixed overhead waits until repetition proves it hot.
+pub fn repartition_pays(cumulative_shuffle_seconds: f64, bytes: u64) -> bool {
+    cumulative_shuffle_seconds > bytes as f64 / REPARTITION_COPY_BPS
+}
+
+/// A stable digest of the operator subtree rooted at `id`: the ops of
+/// every reachable node folded in a deterministic DFS order. Two
+/// shuffles share a digest exactly when they route the output of an
+/// identical operator chain — pushed-down filters and projections
+/// change the digest, so a materialized copy of a filtered scan never
+/// serves the unfiltered one.
+pub fn subtree_signature(program: &Program, id: NodeId) -> u64 {
+    fn visit(program: &Program, id: NodeId, seen: &mut Vec<bool>, hash: &mut u64) {
+        if std::mem::replace(&mut seen[id.0], true) {
+            return;
+        }
+        let node = program.node(id);
+        *hash = fnv1a(format!("{:?}", node.op).as_bytes(), *hash);
+        *hash = fnv1a(&[u8::from(node.annotations.fused_into_consumer)], *hash);
+        for &input in &node.inputs {
+            visit(program, input, seen, hash);
+        }
+    }
+    let mut hash = FNV_OFFSET;
+    let mut seen = vec![false; program.len()];
+    visit(program, id, &mut seen, &mut hash);
+    hash
+}
+
+/// The single stored table feeding the subtree rooted at `id`, when
+/// exactly one scan does — the anchor of a materialized repartition's
+/// [`CopyKey`]. Multi-table subtrees (a shuffled join of joins) return
+/// `None` and are never materialized.
+pub fn subtree_source_table(program: &Program, id: NodeId) -> Option<TableRef> {
+    fn visit(program: &Program, id: NodeId, seen: &mut Vec<bool>, tables: &mut Vec<TableRef>) {
+        if std::mem::replace(&mut seen[id.0], true) {
+            return;
+        }
+        let node = program.node(id);
+        if let Some(t) = node.op.source_table() {
+            if !tables.contains(t) {
+                tables.push(t.clone());
+            }
+        }
+        for &input in &node.inputs {
+            visit(program, input, seen, tables);
+        }
+    }
+    let mut seen = vec![false; program.len()];
+    let mut tables = Vec::new();
+    visit(program, id, &mut seen, &mut tables);
+    match tables.as_slice() {
+        [one] => Some(one.clone()),
+        _ => None,
+    }
+}
+
+/// The [`CopyKey`] identifying a materialized layout of input edge
+/// `input` shuffled on `key` to `width` shards — `None` when the
+/// subtree has no single source table to anchor the copy.
+pub fn shuffle_copy_key(
+    program: &Program,
+    input: NodeId,
+    key: &str,
+    width: u32,
+) -> Option<CopyKey> {
+    let table = subtree_source_table(program, input)?;
+    Some(CopyKey {
+        table,
+        column: key.to_owned(),
+        width,
+        signature: subtree_signature(program, input),
+    })
 }
 
 /// How one input edge's rows reach the consuming node's tasks — the
@@ -131,14 +220,19 @@ pub struct ExchangeCounts {
     pub gathers: usize,
     /// [`ExchangeKind::Broadcast`] edges.
     pub broadcasts: usize,
-    /// [`ExchangeKind::ShuffleHash`] edges.
+    /// [`ExchangeKind::ShuffleHash`] edges that still route rows.
     pub shuffles: usize,
     /// [`ExchangeKind::MergePartials`] edges.
     pub merge_partials: usize,
+    /// [`ExchangeKind::ShuffleHash`] edges served from a materialized
+    /// repartition: the layout is persisted, so no rows move.
+    #[serde(default)]
+    pub materialized: usize,
 }
 
 impl ExchangeCounts {
-    /// Total number of row-moving exchange edges.
+    /// Total number of row-moving exchange edges (a materialized
+    /// shuffle moves none).
     pub fn total(&self) -> usize {
         self.gathers + self.broadcasts + self.shuffles + self.merge_partials
     }
@@ -193,6 +287,12 @@ pub struct NodeShard {
     /// How each input edge's rows reach this node's tasks, parallel to
     /// the node's input list (empty for sources).
     pub exchanges: Vec<ExchangeKind>,
+    /// Parallel to `exchanges` when non-empty: `true` marks a
+    /// [`ExchangeKind::ShuffleHash`] edge whose routing is served from
+    /// a materialized repartition (no rows move). Empty means no edge
+    /// is served.
+    #[serde(default)]
+    pub copy_served: Vec<bool>,
 }
 
 impl NodeShard {
@@ -205,7 +305,14 @@ impl NodeShard {
             colocated: false,
             partials_needed: false,
             exchanges: Vec::new(),
+            copy_served: Vec::new(),
         }
+    }
+
+    /// Whether input edge `idx`'s shuffle is served from a
+    /// materialized repartition.
+    pub fn is_copy_served(&self, idx: usize) -> bool {
+        self.copy_served.get(idx).copied().unwrap_or(false)
     }
 
     /// Number of tasks the node fans out into.
@@ -272,6 +379,30 @@ impl ShardPlan {
     where
         F: Fn(&TableRef) -> Option<PartitionSpec>,
     {
+        Self::plan_with_copies(program, spec_of, |_| false, options)
+    }
+
+    /// [`ShardPlan::plan`] consulting a materialized-repartition store:
+    /// `copy_of` answers whether a live persisted layout exists for a
+    /// [`CopyKey`]. Shuffle edges whose layout is stored are marked
+    /// [`NodeShard::is_copy_served`] — the executor serves them from
+    /// the copy (zero rows routed) and the cost model prices them
+    /// free — and a fully-served shuffle is planned even when
+    /// [`exchange_pays`] alone would have gathered.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardPlan::plan`].
+    pub fn plan_with_copies<F, C>(
+        program: &Program,
+        spec_of: F,
+        copy_of: C,
+        options: PlanOptions,
+    ) -> Result<ShardPlan>
+    where
+        F: Fn(&TableRef) -> Option<PartitionSpec>,
+        C: Fn(&CopyKey) -> bool,
+    {
         let order = program.topo_order()?;
         let mut nodes: Vec<NodeShard> = vec![NodeShard::single(); program.len()];
         for id in order {
@@ -284,6 +415,7 @@ impl ShardPlan {
                     e.colocated = false;
                     e.partials_needed = false;
                     e.exchanges.clear();
+                    e.copy_served.clear();
                     e
                 })
             } else if let Some(table) = node.op.source_table() {
@@ -299,6 +431,7 @@ impl ShardPlan {
                             colocated: false,
                             partials_needed: false,
                             exchanges: Vec::new(),
+                            copy_served: Vec::new(),
                         }
                     }
                     None => NodeShard::single(),
@@ -312,7 +445,9 @@ impl ShardPlan {
                         Self::preserve(&nodes, node.inputs[0], Some(columns))
                     }
                     Operator::HashJoin { left_on, right_on } if options.colocate => {
-                        Self::plan_hash_join(program, &nodes, id, left_on, right_on, options)
+                        Self::plan_hash_join(
+                            program, &nodes, id, left_on, right_on, &copy_of, options,
+                        )
                     }
                     Operator::GroupBy { keys, .. } if options.colocate => {
                         Self::plan_group_by(program, &nodes, id, keys, options)
@@ -359,13 +494,18 @@ impl ShardPlan {
 
     /// Plans a hash join: colocated when the layouts align, otherwise a
     /// cost-chosen shuffle (re-hash both sides to the join keys'
-    /// layout) or an explicit gather.
+    /// layout) or an explicit gather. Shuffle edges whose routed
+    /// layout is already materialized (`copy_of`) are marked served —
+    /// and a join whose every shuffle edge is served plans the shuffle
+    /// even when [`exchange_pays`] would have gathered, because the
+    /// movement it prices no longer happens.
     fn plan_hash_join(
         program: &Program,
         nodes: &[NodeShard],
         id: NodeId,
         left_on: &str,
         right_on: &str,
+        copy_of: &impl Fn(&CopyKey) -> bool,
         options: PlanOptions,
     ) -> NodeShard {
         let inputs = &program.node(id).inputs;
@@ -389,6 +529,7 @@ impl ShardPlan {
                         ExchangeKind::Broadcast
                     },
                 ],
+                copy_served: Vec::new(),
             },
             JoinDistribution::Gather => {
                 // Mismatched layouts: shuffle both sides to the join
@@ -400,30 +541,39 @@ impl ShardPlan {
                     .max()
                     .unwrap_or(1);
                 let est = Self::edge_rows(program, inputs.iter());
-                if options.exchange && width > 1 && exchange_pays(est, width) {
+                let w = width as u32;
+                let served = |input: NodeId, key: &str| {
+                    shuffle_copy_key(program, input, key, w).is_some_and(|k| copy_of(&k))
+                };
+                let left_served = width > 1 && served(inputs[0], left_on);
+                let right_shuffles = r.distribution.is_partitioned();
+                let right_served = right_shuffles && width > 1 && served(inputs[1], right_on);
+                let all_served = left_served && (!right_shuffles || right_served);
+                if options.exchange && width > 1 && (all_served || exchange_pays(est, width)) {
                     NodeShard {
                         // The splice restores the gathered probe order,
                         // so the shuffled join's output is Single — a
                         // downstream consumer sees exactly the gathered
                         // plan's bytes.
                         distribution: Distribution::Single,
-                        scatter: (0..width as u32).map(ShardId).collect(),
+                        scatter: (0..w).map(ShardId).collect(),
                         colocated: false,
                         partials_needed: false,
                         exchanges: vec![
                             ExchangeKind::ShuffleHash {
                                 key: left_on.to_owned(),
-                                width: width as u32,
+                                width: w,
                             },
-                            if r.distribution.is_partitioned() {
+                            if right_shuffles {
                                 ExchangeKind::ShuffleHash {
                                     key: right_on.to_owned(),
-                                    width: width as u32,
+                                    width: w,
                                 }
                             } else {
                                 ExchangeKind::Broadcast
                             },
                         ],
+                        copy_served: vec![left_served, right_served],
                     }
                 } else {
                     Self::gather_all(nodes, inputs.iter())
@@ -462,6 +612,7 @@ impl ShardPlan {
                 colocated: true,
                 partials_needed: false,
                 exchanges: vec![ExchangeKind::Local],
+                copy_served: Vec::new(),
             };
         }
         let width = src.scatter.len();
@@ -473,6 +624,7 @@ impl ShardPlan {
                 colocated: false,
                 partials_needed: false,
                 exchanges: vec![ExchangeKind::MergePartials],
+                copy_served: Vec::new(),
             }
         } else {
             Self::gather_all(nodes, inputs.iter())
@@ -506,6 +658,7 @@ impl ShardPlan {
                 colocated: true,
                 partials_needed: false,
                 exchanges: vec![ExchangeKind::Local],
+                copy_served: Vec::new(),
             }
         } else if src.distribution.is_partitioned() {
             // Re-keyed projection: explicit gather of the input.
@@ -576,11 +729,14 @@ impl ShardPlan {
     pub fn exchange_counts(&self) -> ExchangeCounts {
         let mut counts = ExchangeCounts::default();
         for node in &self.nodes {
-            for e in &node.exchanges {
+            for (idx, e) in node.exchanges.iter().enumerate() {
                 match e {
                     ExchangeKind::Local => {}
                     ExchangeKind::Gather => counts.gathers += 1,
                     ExchangeKind::Broadcast => counts.broadcasts += 1,
+                    ExchangeKind::ShuffleHash { .. } if node.is_copy_served(idx) => {
+                        counts.materialized += 1;
+                    }
                     ExchangeKind::ShuffleHash { .. } => counts.shuffles += 1,
                     ExchangeKind::MergePartials => counts.merge_partials += 1,
                 }
@@ -1037,6 +1193,95 @@ mod tests {
         assert_eq!(plan.node(j).gathered_input_count(), 2);
         // Scans still scatter: the PR-3 baseline keeps scan speedup.
         assert_eq!(plan.node(NodeId(0)).scatter_width(), 4);
+    }
+
+    #[test]
+    fn materialized_copies_mark_shuffle_edges_served() {
+        let (p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
+            (TableRef::new("db2", "b"), PartitionSpec::hash("age", 4)),
+        ]);
+        // No copies: a plain shuffle.
+        let plan =
+            ShardPlan::plan_with_copies(&p, &specs, |_| false, PlanOptions::default()).unwrap();
+        assert!(plan.node(j).shuffles());
+        assert!(!plan.node(j).is_copy_served(0));
+        assert_eq!(plan.exchange_counts().shuffles, 2);
+        assert_eq!(plan.exchange_counts().materialized, 0);
+
+        // Every layout materialized: both edges served, counted apart.
+        let plan =
+            ShardPlan::plan_with_copies(&p, &specs, |_| true, PlanOptions::default()).unwrap();
+        let join = plan.node(j);
+        assert!(join.shuffles(), "the edge kind is still a shuffle");
+        assert!(join.is_copy_served(0) && join.is_copy_served(1));
+        let counts = plan.exchange_counts();
+        assert_eq!((counts.shuffles, counts.materialized), (0, 2));
+
+        // Only the probe side materialized: the build still routes.
+        let probe_key = shuffle_copy_key(&p, NodeId(0), "pid", 4).unwrap();
+        assert_eq!(probe_key.table, TableRef::new("db1", "a"));
+        let plan =
+            ShardPlan::plan_with_copies(&p, &specs, |k| *k == probe_key, PlanOptions::default())
+                .unwrap();
+        let join = plan.node(j);
+        assert!(join.is_copy_served(0) && !join.is_copy_served(1));
+        let counts = plan.exchange_counts();
+        assert_eq!((counts.shuffles, counts.materialized), (1, 1));
+    }
+
+    #[test]
+    fn served_copies_flip_a_cost_gather_back_to_shuffle() {
+        let (mut p, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        // Tiny estimates gather without copies...
+        for id in [NodeId(0), NodeId(1)] {
+            p.node_mut(id).annotations.est_rows = Some(100.0);
+        }
+        let specs = spec_map(vec![
+            (TableRef::new("db1", "a"), PartitionSpec::hash("pid", 4)),
+            (TableRef::new("db2", "b"), PartitionSpec::hash("age", 4)),
+        ]);
+        let plan = ShardPlan::plan(&p, &specs, PlanOptions::default()).unwrap();
+        assert!(!plan.node(j).shuffles());
+        // ...but with every layout persisted the shuffle is free, so
+        // the planner keeps it.
+        let plan =
+            ShardPlan::plan_with_copies(&p, &specs, |_| true, PlanOptions::default()).unwrap();
+        assert!(plan.node(j).shuffles());
+        assert!(plan.node(j).is_copy_served(0));
+    }
+
+    #[test]
+    fn subtree_signatures_distinguish_pushed_work() {
+        let mut p = Program::new();
+        let a = p.add_source(Operator::scan(TableRef::new("db1", "a")), "sql");
+        let f = p.add_node(
+            Operator::Filter {
+                predicate: Predicate::ge("age", 10i64),
+            },
+            vec![a],
+            "sql",
+        );
+        p.mark_output(f);
+        assert_ne!(
+            subtree_signature(&p, a),
+            subtree_signature(&p, f),
+            "a filtered scan must not share a copy with the bare scan"
+        );
+        assert_eq!(subtree_source_table(&p, f), Some(TableRef::new("db1", "a")));
+        // A join of two tables has no single anchor table.
+        let (p2, j) = join_program(TableRef::new("db1", "a"), TableRef::new("db2", "b"), "pid");
+        assert_eq!(subtree_source_table(&p2, j), None);
+        assert!(shuffle_copy_key(&p2, j, "pid", 4).is_none());
+    }
+
+    #[test]
+    fn repartition_pays_weighs_cumulative_shuffles_against_the_copy() {
+        let bytes = 1_000_000u64; // 1 MB -> 100 us memory copy
+        assert!(!repartition_pays(50e-6, bytes));
+        assert!(repartition_pays(150e-6, bytes));
+        assert!(repartition_pays(1e-9, 0), "empty layouts are free to keep");
     }
 
     #[test]

@@ -11,7 +11,9 @@ use std::collections::{BTreeMap, HashMap};
 use pspp_accel::exchange::shuffle_bill;
 use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
 use pspp_accel::{AcceleratorFleet, Interconnect, KernelClass, LogCa, SimDuration};
-use pspp_common::{DataModel, DeviceKind, PartitionSpec, Result, ShardId, TableRef};
+use pspp_common::{
+    DataModel, DeviceKind, MaterializedRepartitions, PartitionSpec, Result, ShardId, TableRef,
+};
 use pspp_ir::{ExchangeCounts, ExchangeKind, NodeId, Operator, PlanOptions, Program, ShardPlan};
 
 use crate::rewrite::resolve_fused;
@@ -107,6 +109,10 @@ pub struct CostModel {
     /// Whether the executor will emit repartitioning exchanges
     /// (shuffled joins, partial-aggregate merges) — likewise mirrored.
     exchange: bool,
+    /// The deployment's materialized-repartition store, when the
+    /// executor runs with materialization on: shuffle edges with a
+    /// live stored layout plan as copy-served and price at zero.
+    repartitions: Option<MaterializedRepartitions>,
     /// Cross-engine migration link.
     pub migration_link: Interconnect,
 }
@@ -121,6 +127,7 @@ impl CostModel {
             partitions: HashMap::new(),
             colocate: true,
             exchange: true,
+            repartitions: None,
             migration_link: Interconnect::network_10g(),
         }
     }
@@ -144,6 +151,15 @@ impl CostModel {
     /// setting.
     pub fn with_exchange(mut self, on: bool) -> Self {
         self.exchange = on;
+        self
+    }
+
+    /// This model consulting the deployment's materialized-repartition
+    /// store — must mirror the executor's `materialize_repartitions`
+    /// setting so plans price the copy-served exchanges that actually
+    /// run.
+    pub fn with_repartitions(mut self, repartitions: MaterializedRepartitions) -> Self {
+        self.repartitions = Some(repartitions);
         self
     }
 
@@ -184,9 +200,10 @@ impl CostModel {
     /// Returns [`pspp_common::Error::Semantic`] on cyclic programs and
     /// spec-validation errors for invalid partition declarations.
     pub fn shard_plan(&self, program: &Program) -> Result<ShardPlan> {
-        ShardPlan::plan(
+        ShardPlan::plan_with_copies(
             program,
             |t| self.partitions.get(t).cloned(),
+            |k| self.repartitions.as_ref().is_some_and(|r| r.contains(k)),
             PlanOptions {
                 colocate: self.colocate,
                 exchange: self.colocate && self.exchange,
@@ -598,6 +615,9 @@ impl CostModel {
                 let src = program.node(resolve_fused(program, i));
                 let bytes = src.annotations.est_bytes.unwrap_or(64_000.0);
                 match plan.node(id).exchange(idx) {
+                    // A copy-served shuffle replays a stored layout:
+                    // nothing crosses the wire, nothing is priced.
+                    ExchangeKind::ShuffleHash { .. } if plan.node(id).is_copy_served(idx) => {}
                     ExchangeKind::ShuffleHash { width: w, .. } => {
                         // The shuffle's data plane is priced by the
                         // shared accel exchange model — partition +

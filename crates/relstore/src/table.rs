@@ -88,6 +88,34 @@ impl Table {
         self.indexes.contains_key(column)
     }
 
+    /// Columns carrying a secondary index, in name order.
+    pub fn indexed_columns(&self) -> Vec<String> {
+        self.indexes.keys().cloned().collect()
+    }
+
+    /// Replaces the table's entire row set in one step, revalidating
+    /// every row and rebuilding existing indexes over the new
+    /// positions. This is the rebalance write path: the *physical*
+    /// rebuild is wholesale (row positions shift, so indexes must be
+    /// re-pointed anyway), while the caller charges only the
+    /// incremental cost of the rows that actually moved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pspp_common::Error::SchemaMismatch`] on invalid rows;
+    /// the table is unchanged on error.
+    pub fn replace_rows(&mut self, rows: Vec<Row>) -> Result<()> {
+        for row in &rows {
+            self.schema.check_row(row)?;
+        }
+        self.rows = rows;
+        let columns = self.indexed_columns();
+        for col in columns {
+            self.create_index(&col)?;
+        }
+        Ok(())
+    }
+
     /// Candidate rows for a predicate: the index-selected subset when the
     /// predicate has usable bounds on an indexed column, otherwise every
     /// row. The boolean reports whether an index was used.
@@ -181,6 +209,22 @@ mod tests {
         // `Lt` bounds are inclusive at candidate level; the predicate
         // itself re-filters exactly.
         assert!(lt.len() >= 5 && lt.len() <= 6);
+    }
+
+    #[test]
+    fn replace_rows_rebuilds_indexes_or_leaves_table_untouched() {
+        let mut t = table();
+        t.create_index("k").unwrap();
+        t.replace_rows(vec![row![7i64, "seven"], row![8i64, "eight"]])
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        let (cands, used) = t.candidates(&Predicate::eq("k", 8i64)).unwrap();
+        assert!(used);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0][1], Value::from("eight"));
+        // A bad row leaves the previous contents in place.
+        assert!(t.replace_rows(vec![row!["oops", "v"]]).is_err());
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

@@ -122,6 +122,15 @@ struct ShuffleBarrier {
     /// Device the accelerated leg of the exchange ran on (`Cpu` when
     /// every stage stayed on the host).
     device: DeviceKind,
+    /// Rows served from a materialized repartition — replayed from the
+    /// stored index buckets instead of crossing the wire.
+    served_rows: u64,
+    /// Bytes those served rows would have routed.
+    served_bytes: u64,
+    /// Bytes persisted into the repartition store by this exchange.
+    stored_bytes: u64,
+    /// Simulated seconds of the one-time memory copy persisting them.
+    store_seconds: f64,
 }
 
 /// One (node, shard) unit of stage work, resolved and ready to run.
@@ -234,6 +243,9 @@ pub struct Executor {
     /// Emit shuffle/merge-partials exchanges for mismatched-key joins
     /// and non-partition-wise aggregations instead of gathering.
     exchange: bool,
+    /// Persist shuffled layouts into the registry's materialized-
+    /// repartition store and serve repeat shuffles from them.
+    materialize: bool,
     /// Metrics sink for executor/placer/charger instrumentation
     /// (`None` runs unobserved).
     metrics: Option<MetricsRegistry>,
@@ -252,6 +264,7 @@ impl Executor {
             parallel: true,
             colocate: true,
             exchange: true,
+            materialize: false,
             metrics: None,
         }
     }
@@ -304,6 +317,21 @@ impl Executor {
         self
     }
 
+    /// Enables/disables materialized repartitions (default: off): when
+    /// on, shuffle edges whose cumulative exchange cost exceeds the
+    /// one-time copy cost ([`pspp_ir::repartition_pays`]) persist their
+    /// routed layout into the registry's
+    /// [`MaterializedRepartitions`](pspp_common::MaterializedRepartitions)
+    /// store, and later executions of the same edge serve the stored
+    /// buckets — zero rows routed, zero bytes billed. Serving replays
+    /// the stored index lists against the live gathered input, so
+    /// served and routed runs stay byte-identical; any registry epoch
+    /// bump (reshard, rebalance, DDL) invalidates every stored layout.
+    pub fn materialize_repartitions(mut self, on: bool) -> Self {
+        self.materialize = on;
+        self
+    }
+
     /// Uses a specific migration path for cross-engine edges.
     pub fn migration_path(mut self, path: MigrationPath) -> Self {
         self.placer = self.placer.with_path(path);
@@ -347,16 +375,22 @@ impl Executor {
     pub fn execute(&self, program: &Program, registry: &EngineRegistry) -> Result<ExecutionReport> {
         program.validate()?;
         // Distribution is planned once, up front: the stage loop never
-        // re-derives scatter sets from the registry.
-        let plan = Placer::plan_distribution_opts(
-            program,
-            registry,
-            registry,
-            PlanOptions {
-                colocate: self.colocate,
-                exchange: self.colocate && self.exchange,
-            },
-        )?;
+        // re-derives scatter sets from the registry. With materialized
+        // repartitions on, the planner consults the registry's copy
+        // store so edges with a live layout plan as copy-served
+        // exchanges even where a fresh shuffle would not pay.
+        let options = PlanOptions {
+            colocate: self.colocate,
+            exchange: self.colocate && self.exchange,
+        };
+        let plan = if self.materialize {
+            let copies = registry.repartitions();
+            Placer::plan_distribution_copies(program, registry, registry, options, |k| {
+                copies.contains(k)
+            })?
+        } else {
+            Placer::plan_distribution_opts(program, registry, registry, options)?
+        };
         let stages = program.execution_stages()?;
         let mut results: HashMap<NodeId, Dataset> = HashMap::new();
         // Per-shard partials of nodes feeding colocated consumers, in
@@ -581,6 +615,7 @@ impl Executor {
         id: NodeId,
         plan: &ShardPlan,
         results: &HashMap<NodeId, Dataset>,
+        registry: &EngineRegistry,
     ) -> Result<(Vec<Vec<Dataset>>, ShuffleBarrier)> {
         let node = program.node(id);
         let info = plan.node(id);
@@ -589,6 +624,12 @@ impl Executor {
         let mut probe_origins: Vec<Vec<usize>> = Vec::new();
         let mut bytes = 0u64;
         let mut routed_rows = 0u64;
+        let mut served_rows = 0u64;
+        let mut served_bytes = 0u64;
+        // Freshly routed edges eligible for persistence, deferred until
+        // the exchange bill (their amortization evidence) is known.
+        let mut routed_copies: Vec<(pspp_common::CopyKey, Vec<Vec<usize>>, u64)> = Vec::new();
+        let repartitions = registry.repartitions();
         for (idx, input) in node.inputs.iter().enumerate() {
             let d = results
                 .get(input)
@@ -597,10 +638,35 @@ impl Executor {
                 ExchangeKind::ShuffleHash { key, width: w } => {
                     let schema = d.schema()?;
                     let rows = d.try_rows()?;
-                    let target = Distribution::repartition(key.clone(), *w);
-                    let buckets = target.route_indices(schema, rows)?;
-                    bytes += d.byte_size();
-                    routed_rows += rows.len() as u64;
+                    let copy_key = if self.materialize {
+                        pspp_ir::shuffle_copy_key(program, *input, key, *w)
+                    } else {
+                        None
+                    };
+                    // A live stored layout replays its index buckets
+                    // against the gathered input — byte-identical to
+                    // routing, with zero rows crossing the wire. A
+                    // stale or mismatched entry falls back to routing.
+                    let served = copy_key
+                        .as_ref()
+                        .and_then(|k| repartitions.lookup(k, rows.len()));
+                    let buckets = match served {
+                        Some(buckets) => {
+                            served_rows += rows.len() as u64;
+                            served_bytes += d.byte_size();
+                            buckets
+                        }
+                        None => {
+                            let target = Distribution::repartition(key.clone(), *w);
+                            let buckets = target.route_indices(schema, rows)?;
+                            bytes += d.byte_size();
+                            routed_rows += rows.len() as u64;
+                            if let Some(k) = copy_key {
+                                routed_copies.push((k, buckets.clone(), d.byte_size()));
+                            }
+                            buckets
+                        }
+                    };
                     for (k, bucket) in buckets.iter().enumerate() {
                         let routed: Vec<Row> = bucket.iter().map(|&i| rows[i].clone()).collect();
                         dest_inputs[k].push(Dataset::rows(
@@ -651,6 +717,25 @@ impl Executor {
         } else {
             bill.partition_device
         };
+        // Amortization bookkeeping: each freshly routed edge records
+        // its share of this exchange's bill; once the cumulative
+        // shuffle spend on a key exceeds the one-time memory copy
+        // ([`pspp_ir::repartition_pays`]), the layout persists and a
+        // copy charge is added to the barrier.
+        let mut stored_bytes = 0u64;
+        for (key, buckets, edge_bytes) in routed_copies {
+            let share = if bytes > 0 {
+                edge_bytes as f64 / bytes as f64
+            } else {
+                0.0
+            };
+            let cumulative = repartitions.observe(&key, bill.seconds * share);
+            if pspp_ir::repartition_pays(cumulative, edge_bytes) {
+                stored_bytes += edge_bytes;
+                repartitions.store(key, buckets, edge_bytes);
+            }
+        }
+        let store_seconds = stored_bytes as f64 / pspp_ir::REPARTITION_COPY_BPS;
         Ok((
             dest_inputs,
             ShuffleBarrier {
@@ -659,6 +744,10 @@ impl Executor {
                 bytes,
                 seconds,
                 device,
+                served_rows,
+                served_bytes,
+                stored_bytes,
+                store_seconds,
             },
         ))
     }
@@ -696,7 +785,8 @@ impl Executor {
                     tasks.push(Task::new(id, shard, k, Vec::new()));
                 }
             } else if info.shuffles() {
-                let (dest_inputs, barrier) = self.shuffle_inputs(program, id, plan, results)?;
+                let (dest_inputs, barrier) =
+                    self.shuffle_inputs(program, id, plan, results, registry)?;
                 barriers.insert(id, barrier);
                 for (k, inputs) in dest_inputs.into_iter().enumerate() {
                     let mut task = Task::new(id, info.scatter[k], k, inputs);
@@ -904,8 +994,8 @@ impl Executor {
         *rows = tagged.into_iter().flat_map(|(_, chunk)| chunk).collect();
         // The exchange rides the node's critical path and charges its
         // rows as migration-class transfer work.
-        run.migration_seconds += barrier.seconds;
-        run.critical_seconds += barrier.seconds;
+        run.migration_seconds += barrier.seconds + barrier.store_seconds;
+        run.critical_seconds += barrier.seconds + barrier.store_seconds;
         run.events.push(CostEvent {
             component: "exchange.shuffle".into(),
             device: barrier.device,
@@ -921,6 +1011,27 @@ impl Executor {
             seconds: barrier.seconds,
             device: barrier.device,
         });
+        if barrier.stored_bytes > 0 {
+            run.events.push(CostEvent {
+                component: "exchange.materialize".into(),
+                device: DeviceKind::Cpu,
+                kind: EventKind::Transfer,
+                bytes: barrier.stored_bytes,
+                duration: SimDuration::from_secs(barrier.store_seconds),
+                energy_j: 0.0,
+            });
+        }
+        if barrier.served_rows > 0 {
+            // Served edges replay stored buckets — no wire crossing, no
+            // charge; the trace records the movement they avoided.
+            run.exchanges.push(ExchangeTrace {
+                kind: "materialized",
+                rows: barrier.served_rows as usize,
+                bytes: barrier.served_bytes as usize,
+                seconds: 0.0,
+                device: DeviceKind::Cpu,
+            });
+        }
         Ok(run)
     }
 
@@ -1707,6 +1818,102 @@ mod tests {
         assert!(shuffle_events[0].bytes > 0);
         assert!(shuffle_events[0].duration.as_secs() > 0.0);
         assert!(report.migration_seconds >= shuffle_events[0].duration.as_secs());
+    }
+
+    #[test]
+    fn materialized_repartitions_serve_the_second_run_byte_identically() {
+        let (p, j) = pid_join_program();
+        let sharded = mismatched_registry(2);
+        let e = exec().materialize_repartitions(true);
+
+        let first = e.execute(&p, &sharded).unwrap();
+        let stats = sharded.repartitions().stats();
+        assert!(
+            stats.stores >= 1,
+            "first run persists the routed layout: {stats:?}"
+        );
+        assert!(
+            e.ledger()
+                .events()
+                .iter()
+                .any(|ev| ev.component == "exchange.materialize"),
+            "persisting the layout charges its one-time copy"
+        );
+
+        // The second plan consults the copies and serves both edges.
+        let copies = sharded.repartitions();
+        let plan = Placer::plan_distribution_copies(
+            &p,
+            &sharded,
+            &sharded,
+            pspp_ir::PlanOptions::default(),
+            |k| copies.contains(k),
+        )
+        .unwrap();
+        assert!(plan.node(j).is_copy_served(0) && plan.node(j).is_copy_served(1));
+        let counts = plan.exchange_counts();
+        assert_eq!((counts.materialized, counts.shuffles), (2, 0));
+
+        let second = e.execute(&p, &sharded).unwrap();
+        assert!(sharded.repartitions().stats().hits >= 2);
+        assert_eq!(
+            first.outputs[0].try_rows().unwrap(),
+            second.outputs[0].try_rows().unwrap(),
+            "served and routed runs must agree bit-for-bit"
+        );
+        let off = exec().execute(&p, &sharded).unwrap();
+        assert_eq!(
+            second.outputs[0].try_rows().unwrap(),
+            off.outputs[0].try_rows().unwrap(),
+            "materialize on/off must agree bit-for-bit"
+        );
+
+        // The served run moved nothing over the wire: its traces show
+        // only "materialized" exchange rows, and the barrier charge is
+        // amortized to (near) zero.
+        let kind_rows = |r: &ExecutionReport, kind: &str| -> usize {
+            r.traces
+                .iter()
+                .flat_map(|t| t.exchanges.iter())
+                .filter(|x| x.kind == kind)
+                .map(|x| x.rows)
+                .sum()
+        };
+        assert_eq!(kind_rows(&second, "shuffle"), 0, "no rows routed");
+        assert!(kind_rows(&second, "materialized") > 0);
+        assert!(
+            second.migration_seconds < first.migration_seconds,
+            "served exchange must be cheaper ({} vs {})",
+            second.migration_seconds,
+            first.migration_seconds
+        );
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_materialized_copies() {
+        let (p, _) = pid_join_program();
+        let sharded = mismatched_registry(2);
+        let e = exec().materialize_repartitions(true);
+        let first = e.execute(&p, &sharded).unwrap();
+        assert!(sharded.repartitions().stats().stores >= 1);
+
+        // Any engine-state mutation bumps the epoch; stored layouts
+        // must not serve across it.
+        sharded.bump_epoch();
+        let third = e.execute(&p, &sharded).unwrap();
+        let routed: usize = third
+            .traces
+            .iter()
+            .flat_map(|t| t.exchanges.iter())
+            .filter(|x| x.kind == "shuffle")
+            .map(|x| x.rows)
+            .sum();
+        assert!(routed > 0, "stale copies must not serve the exchange");
+        assert!(sharded.repartitions().stats().invalidations >= 1);
+        assert_eq!(
+            first.outputs[0].try_rows().unwrap(),
+            third.outputs[0].try_rows().unwrap()
+        );
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub mod registry;
 pub use dataset::{Dataset, Payload};
 pub use executor::{ExecutionReport, Executor};
 pub use physical::{AdapterRegistry, Charger, EngineAdapter, ExecCtx, Placer};
-pub use registry::{EngineInstance, EngineRegistry, ShardedRegistry};
+pub use registry::{EngineInstance, EngineRegistry, RebalanceReport, ShardedRegistry};

@@ -147,6 +147,24 @@ impl Placer {
         registry: &EngineRegistry,
         options: PlanOptions,
     ) -> Result<ShardPlan> {
+        Self::plan_distribution_copies(program, catalog, registry, options, |_| false)
+    }
+
+    /// [`Placer::plan_distribution_opts`] consulting `copy_of` for
+    /// materialized repartitions: a `ShuffleHash` edge whose
+    /// [`pspp_ir::shuffle_copy_key`] the predicate accepts plans as a
+    /// copy-served exchange (see [`ShardPlan::plan_with_copies`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Placer::plan_distribution`].
+    pub fn plan_distribution_copies(
+        program: &Program,
+        catalog: &dyn PartitionLookup,
+        registry: &EngineRegistry,
+        options: PlanOptions,
+        copy_of: impl Fn(&pspp_common::CopyKey) -> bool,
+    ) -> Result<ShardPlan> {
         let spec_of = |t: &pspp_common::TableRef| {
             registry
                 .partition(t)
@@ -165,7 +183,7 @@ impl Placer {
             registry.relational(&table.engine)?.table(&table.name)?;
             Self::scatter_for(&spec, registry.shard_count(&table.engine))?;
         }
-        ShardPlan::plan(program, spec_of, options)
+        ShardPlan::plan_with_copies(program, spec_of, copy_of, options)
     }
 
     /// The shard replicas `node` must visit: the partition spec's

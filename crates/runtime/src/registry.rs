@@ -10,11 +10,14 @@
 //! rows across N replicas by partition key.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use pspp_accel::AcceleratorFleet;
 use pspp_arraystore::ArrayStore;
 use pspp_common::{
-    EngineId, EngineKind, Error, PartitionLookup, PartitionSpec, Result, ShardId, TableRef,
+    EngineId, EngineKind, Error, MaterializedRepartitions, PartitionLookup, PartitionSpec, Result,
+    Row, ShardId, TableRef,
 };
 use pspp_graphstore::GraphStore;
 use pspp_kvstore::KvStore;
@@ -62,9 +65,42 @@ impl EngineInstance {
 /// keep compiling unchanged, with every lookup served by shard 0.
 pub type EngineRegistry = ShardedRegistry;
 
+/// What one [`ShardedRegistry::rebalance`] did: how many rows the
+/// spec diff actually moved versus left in place, and how many shard
+/// replicas were rewritten. `moved_rows / total_rows` is the quantity
+/// E22's analytic-bound guard checks (≈ `1 - w1/w2` for a hash grow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RebalanceReport {
+    /// Rows of the table across all shards.
+    pub total_rows: usize,
+    /// Rows whose shard assignment changed under the new spec.
+    pub moved_rows: usize,
+    /// Payload bytes of the moved rows (what actually crossed shards).
+    pub moved_bytes: u64,
+    /// Rows that stayed on their shard (untouched by the diff).
+    pub retained_rows: usize,
+    /// Shard replicas physically rewritten.
+    pub rebuilt_shards: usize,
+    /// Shard replicas the table now spans.
+    pub total_shards: usize,
+    /// Whether the diff path ran (false = full redistribute fallback).
+    pub incremental: bool,
+}
+
+impl RebalanceReport {
+    /// Fraction of rows moved (0 when the table is empty).
+    pub fn moved_fraction(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.moved_rows as f64 / self.total_rows as f64
+        }
+    }
+}
+
 /// All engines of a deployment: shard replicas keyed by engine id,
 /// plus the partition specs routing tables to shards.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ShardedRegistry {
     engines: BTreeMap<EngineId, Vec<EngineInstance>>,
     partitions: BTreeMap<TableRef, PartitionSpec>,
@@ -78,12 +114,31 @@ pub struct ShardedRegistry {
     /// Metrics sink for reshard instrumentation (`None` runs
     /// unobserved).
     metrics: Option<pspp_telemetry::MetricsRegistry>,
+    /// Materialized shuffle layouts, epoch-validated against this
+    /// registry (cloning the handle shares state with the executor).
+    repartitions: MaterializedRepartitions,
     /// Engine-state invalidation epoch: bumped by every mutation API
     /// (registration, `reshard`, partition/fleet changes). Result and
     /// plan caches key entries by this value, so a stale hit after any
     /// mutation is structurally impossible — the old epoch simply never
-    /// matches again.
-    epoch: u64,
+    /// matches again. Shared (atomically) with the materialized
+    /// repartition store so persisted layouts die with the epoch too.
+    epoch: Arc<AtomicU64>,
+}
+
+impl Default for ShardedRegistry {
+    fn default() -> Self {
+        let epoch = Arc::new(AtomicU64::new(0));
+        ShardedRegistry {
+            engines: BTreeMap::new(),
+            partitions: BTreeMap::new(),
+            default_fleet: None,
+            shard_fleets: BTreeMap::new(),
+            metrics: None,
+            repartitions: MaterializedRepartitions::new(Arc::clone(&epoch)),
+            epoch,
+        }
+    }
 }
 
 impl ShardedRegistry {
@@ -95,12 +150,27 @@ impl ShardedRegistry {
     /// The current engine-state epoch.
     ///
     /// Every mutation API (`register`, `register_sharded`, `reshard`,
-    /// `set_partition`, fleet changes) increments this counter. Caches
-    /// that key entries by `(digest, epoch)` — the service's plan and
-    /// result caches — therefore self-invalidate on any engine-state
-    /// change without scanning their contents.
+    /// `rebalance`, `set_partition`, fleet changes) increments this
+    /// counter. Caches that key entries by `(digest, epoch)` — the
+    /// service's plan and result caches, the materialized-repartition
+    /// store — therefore self-invalidate on any engine-state change
+    /// without scanning their contents.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Bumps the engine-state epoch without changing any engine —
+    /// the hook in-band writes (INSERT/DDL through the query path)
+    /// use to invalidate epoch-keyed caches.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The materialized-repartition store validated against this
+    /// registry's epoch. The executor persists hot shuffle layouts
+    /// here and the planner consults it; clone the handle to share.
+    pub fn repartitions(&self) -> &MaterializedRepartitions {
+        &self.repartitions
     }
 
     /// Registers a single-replica engine under its id — the
@@ -134,7 +204,7 @@ impl ShardedRegistry {
             )));
         }
         self.engines.insert(id, shards);
-        self.epoch += 1;
+        self.bump_epoch();
         Ok(())
     }
 
@@ -259,7 +329,7 @@ impl ShardedRegistry {
     /// [`ShardedRegistry::set_fleet_at`].
     pub fn set_default_fleet(&mut self, fleet: AcceleratorFleet) {
         self.default_fleet = Some(fleet);
-        self.epoch += 1;
+        self.bump_epoch();
     }
 
     /// Attaches a shard-specific device fleet — heterogeneous
@@ -268,7 +338,7 @@ impl ShardedRegistry {
     /// the shard it runs at.
     pub fn set_fleet_at(&mut self, shard: ShardId, fleet: AcceleratorFleet) {
         self.shard_fleets.insert(shard, fleet);
-        self.epoch += 1;
+        self.bump_epoch();
     }
 
     /// The device fleet serving `shard`: its override when one was
@@ -310,7 +380,7 @@ impl ShardedRegistry {
             return Err(Error::EngineNotFound(table.engine.to_string()));
         }
         self.partitions.insert(table, spec);
-        self.epoch += 1;
+        self.bump_epoch();
         Ok(())
     }
 
@@ -425,8 +495,188 @@ impl ShardedRegistry {
                 .add(all_rows.len() as u64);
         }
         self.partitions.insert(table.clone(), spec);
-        self.epoch += 1;
+        self.bump_epoch();
         Ok(())
+    }
+
+    /// Incrementally re-partitions a relational table: diffs the old
+    /// and new [`PartitionSpec`] by routing every source shard's rows
+    /// under the new spec (the same stable-FNV rule
+    /// [`PartitionSpec::route_rows`] scans use) and rewrites only the
+    /// shard replicas whose contents actually change. A hash-width
+    /// grow `w1 -> w2` with `w1 | w2` moves an expected `1 - w1/w2`
+    /// of the rows (see [`pspp_common::hash_grow_moved_fraction`]);
+    /// [`ShardedRegistry::reshard`] by contrast gathers and rewrites
+    /// everything. A table without a prior spec diffs too: its
+    /// authoritative copy sits wholly on shard replica 0, which *is*
+    /// a width-1 layout, so the first grow already moves only the
+    /// rows that leave shard 0. Only moves to or from `Replicated`
+    /// (full copies everywhere — no per-row location to diff) fall
+    /// back to the full redistribute, reported as non-incremental.
+    ///
+    /// Byte-identity with `reshard` holds by construction: each
+    /// destination's new contents are the concatenation, in ascending
+    /// source-shard order, of the source rows routed to it in their
+    /// stored order — exactly the bucket `spec.distribute` builds
+    /// from the shard-ordered gather.
+    ///
+    /// Unlike `reshard`, `rebalance` accepts width changes on an
+    /// already-sharded engine (the online-grow path): other tables'
+    /// specs keep routing their own (unchanged) extents.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedRegistry::reshard`], minus the replica-count
+    /// restriction.
+    pub fn rebalance(&mut self, table: &TableRef, spec: PartitionSpec) -> Result<RebalanceReport> {
+        spec.validate()?;
+        let n = spec.shard_count();
+        let old_spec = self.partitions.get(table).cloned();
+        // No prior spec reads as a virtual width-1 layout: the
+        // authoritative copy lives on shard replica 0 (replicas
+        // cloned from it are rebuilt below, clearing stale copies).
+        let incremental = !matches!(old_spec, Some(PartitionSpec::Replicated { .. }))
+            && !matches!(spec, PartitionSpec::Replicated { .. });
+        let shards = self
+            .engines
+            .get_mut(&table.engine)
+            .ok_or_else(|| Error::EngineNotFound(table.engine.to_string()))?;
+        if shards.iter().any(|s| s.kind() != EngineKind::Relational) {
+            return Err(Error::Invalid(format!(
+                "engine {} is {}, not relational: only relational tables rebalance",
+                table.engine,
+                shards[0].kind()
+            )));
+        }
+        let old_width = if incremental {
+            old_spec
+                .as_ref()
+                .map_or(1, PartitionSpec::shard_count)
+                .min(shards.len())
+        } else {
+            1
+        };
+        // The shard extent the table may currently occupy or will
+        // occupy: every replica outside the skip rule gets rebuilt.
+        // Without a prior spec the whole replica set is suspect
+        // (template clones carry full stale copies), as it is on the
+        // replicated fallback.
+        let extent = n.max(old_width).max(if incremental && old_spec.is_some() {
+            0
+        } else {
+            shards.len()
+        });
+
+        // Phase 1 (read-only): route each source shard's rows under
+        // the new spec and assemble per-destination buckets in
+        // (source, stored-position) order.
+        let stores: Vec<&RelationalStore> = shards
+            .iter()
+            .map(|s| match s {
+                EngineInstance::Relational(store) => store,
+                _ => unreachable!("kind checked above"),
+            })
+            .collect();
+        let t0 = stores[0].table(&table.name)?;
+        let schema = t0.schema().clone();
+        let mut buckets: Vec<Vec<Row>> = (0..extent).map(|_| Vec::new()).collect();
+        // arrivals[d] counts rows landing on d from a *different*
+        // shard; departures[s] counts rows leaving s.
+        let mut arrivals = vec![0usize; extent];
+        let mut departures = vec![0usize; extent];
+        let mut total_rows = 0usize;
+        let mut moved_rows = 0usize;
+        let mut moved_bytes = 0u64;
+        if incremental {
+            for (s, store) in stores.iter().enumerate().take(old_width) {
+                let rows = store.table(&table.name)?.rows();
+                let routes = spec.route_rows(&schema, rows)?;
+                total_rows += rows.len();
+                for (row, dest) in rows.iter().zip(routes) {
+                    let d = dest.index();
+                    if d != s {
+                        moved_rows += 1;
+                        moved_bytes += row.byte_size() as u64;
+                        arrivals[d] += 1;
+                        departures[s] += 1;
+                    }
+                    buckets[d].push(row.clone());
+                }
+            }
+        } else {
+            // Fallback: gather shard 0's copy (never-distributed and
+            // replicated tables hold full copies there) and run the
+            // plain distribute — every row counts as moved.
+            let rows = t0.rows().to_vec();
+            total_rows = rows.len();
+            moved_rows = total_rows;
+            moved_bytes = rows.iter().map(|r| r.byte_size() as u64).sum();
+            for (d, bucket) in spec.distribute(&schema, &rows)?.into_iter().enumerate() {
+                buckets[d] = bucket;
+            }
+        }
+
+        // Phase 2 (write): expand replicas if the new spec needs
+        // them, then rewrite every changed shard. A shard is
+        // unchanged — skipped entirely — only when it sits inside
+        // both the old and new extents and no row arrived or left.
+        if shards.len() < n {
+            let template = shards[0].clone();
+            shards.resize(n, template);
+        }
+        let mut rebuilt_shards = 0usize;
+        for (d, bucket) in buckets.into_iter().enumerate() {
+            let unchanged =
+                incremental && d < old_width && d < n && arrivals[d] == 0 && departures[d] == 0;
+            if unchanged {
+                continue;
+            }
+            let moved_here = if incremental {
+                arrivals[d] + departures[d]
+            } else {
+                bucket.len()
+            };
+            let EngineInstance::Relational(store) = &mut shards[d] else {
+                unreachable!("kind checked above");
+            };
+            store.rebalance_table(&table.name, bucket, moved_here)?;
+            rebuilt_shards += 1;
+        }
+
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .counter(
+                    "pspp_rebalance_total",
+                    "Incremental rebalance operations",
+                    &[("table", &table.name)],
+                )
+                .inc();
+            metrics
+                .counter(
+                    "pspp_rebalance_moved_rows_total",
+                    "Rows moved between shards by rebalance diffs",
+                    &[("table", &table.name)],
+                )
+                .add(moved_rows as u64);
+            metrics
+                .counter(
+                    "pspp_rebalance_retained_rows_total",
+                    "Rows left in place by rebalance diffs",
+                    &[("table", &table.name)],
+                )
+                .add((total_rows - moved_rows) as u64);
+        }
+        self.partitions.insert(table.clone(), spec);
+        self.bump_epoch();
+        Ok(RebalanceReport {
+            total_rows,
+            moved_rows,
+            moved_bytes,
+            retained_rows: total_rows - moved_rows,
+            rebuilt_shards,
+            total_shards: n,
+            incremental,
+        })
     }
 
     /// Counts reshard operations (and redistributed rows) into
@@ -641,6 +891,150 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 40);
+    }
+
+    fn shard_rows(r: &ShardedRegistry, t: &TableRef, shards: usize) -> Vec<Vec<Row>> {
+        (0..shards)
+            .map(|s| {
+                r.relational_shard(&t.engine, ShardId(s as u32))
+                    .unwrap()
+                    .table(&t.name)
+                    .unwrap()
+                    .rows()
+                    .to_vec()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rebalance_grow_matches_reshard_byte_for_byte() {
+        // Grow 1 -> 2 -> 4 incrementally and compare every shard's
+        // bytes against a fresh full reshard of the gathered rows.
+        let (mut live, t) = table_registry(200);
+        live.reshard(&t, PartitionSpec::hash("k", 2)).unwrap();
+        let report = live.rebalance(&t, PartitionSpec::hash("k", 4)).unwrap();
+        assert!(report.incremental);
+        assert_eq!(report.total_rows, 200);
+        assert_eq!(report.moved_rows + report.retained_rows, 200);
+        assert!(
+            report.moved_fraction() < 0.65,
+            "2->4 should move about half, moved {}",
+            report.moved_fraction()
+        );
+        assert!(report.retained_rows > 0, "the diff must retain rows");
+
+        // Reference: gather the 2-shard layout in shard order into a
+        // fresh single-replica registry, then full-reshard it to 4.
+        let (mut reference, rt) = table_registry(0);
+        let gathered: Vec<Row> = {
+            let (mut seed, st) = table_registry(200);
+            seed.reshard(&st, PartitionSpec::hash("k", 2)).unwrap();
+            shard_rows(&seed, &st, 2).into_iter().flatten().collect()
+        };
+        reference
+            .relational_mut(&rt.engine)
+            .unwrap()
+            .insert("t", gathered)
+            .unwrap();
+        reference.reshard(&rt, PartitionSpec::hash("k", 4)).unwrap();
+        assert_eq!(
+            shard_rows(&live, &t, 4),
+            shard_rows(&reference, &rt, 4),
+            "rebalance and reshard must produce identical shard contents"
+        );
+        // Indexes survive the incremental patch.
+        for s in 0..4 {
+            assert!(live
+                .relational_shard(&t.engine, ShardId(s))
+                .unwrap()
+                .table("t")
+                .unwrap()
+                .has_index("k"));
+        }
+    }
+
+    #[test]
+    fn identity_rebalance_touches_nothing() {
+        let (mut r, t) = table_registry(100);
+        r.reshard(&t, PartitionSpec::hash("k", 4)).unwrap();
+        let before = shard_rows(&r, &t, 4);
+        let report = r.rebalance(&t, PartitionSpec::hash("k", 4)).unwrap();
+        assert_eq!(report.moved_rows, 0);
+        assert_eq!(report.rebuilt_shards, 0, "no shard content changed");
+        assert_eq!(report.retained_rows, 100);
+        assert_eq!(shard_rows(&r, &t, 4), before);
+    }
+
+    #[test]
+    fn rebalance_without_prior_spec_diffs_against_shard_zero() {
+        // A never-distributed table is a width-1 layout in disguise:
+        // its authoritative copy sits wholly on shard replica 0, so
+        // the first grow already diffs instead of paying for every
+        // row — and still matches a full reshard byte-for-byte.
+        let (mut r, t) = table_registry(100);
+        let reference = {
+            let (mut full, ft) = table_registry(100);
+            full.reshard(&ft, PartitionSpec::hash("k", 2)).unwrap();
+            shard_rows(&full, &ft, 2)
+        };
+        let report = r.rebalance(&t, PartitionSpec::hash("k", 2)).unwrap();
+        assert!(report.incremental);
+        assert_eq!(report.moved_rows + report.retained_rows, 100);
+        assert!(report.retained_rows > 0, "rows routed to shard 0 stay put");
+        let bound = pspp_common::hash_grow_moved_fraction(1, 2).unwrap();
+        assert!(
+            (report.moved_fraction() - bound).abs() < 0.15,
+            "1 -> 2 should move about half, moved {}",
+            report.moved_fraction()
+        );
+        assert_eq!(shard_rows(&r, &t, 2), reference);
+    }
+
+    #[test]
+    fn rebalance_shrink_clears_trailing_shards() {
+        let (mut r, t) = table_registry(120);
+        r.reshard(&t, PartitionSpec::hash("k", 4)).unwrap();
+        let report = r.rebalance(&t, PartitionSpec::hash("k", 2)).unwrap();
+        assert!(report.incremental);
+        let rows = shard_rows(&r, &t, 4);
+        assert_eq!(rows[0].len() + rows[1].len(), 120);
+        assert!(rows[2].is_empty() && rows[3].is_empty());
+        // Reference: full reshard of the gathered 4-shard order to 2.
+        let (mut reference, rt) = table_registry(0);
+        let gathered: Vec<Row> = {
+            let (mut seed, st) = table_registry(120);
+            seed.reshard(&st, PartitionSpec::hash("k", 4)).unwrap();
+            shard_rows(&seed, &st, 4).into_iter().flatten().collect()
+        };
+        reference
+            .relational_mut(&rt.engine)
+            .unwrap()
+            .insert("t", gathered)
+            .unwrap();
+        reference.reshard(&rt, PartitionSpec::hash("k", 2)).unwrap();
+        assert_eq!(shard_rows(&r, &t, 2), shard_rows(&reference, &rt, 2));
+    }
+
+    #[test]
+    fn rebalance_bumps_epoch_and_invalidates_repartitions() {
+        let (mut r, t) = table_registry(50);
+        r.reshard(&t, PartitionSpec::hash("k", 2)).unwrap();
+        let store = r.repartitions().clone();
+        let key = pspp_common::CopyKey {
+            table: t.clone(),
+            column: "k".into(),
+            width: 2,
+            signature: 1,
+        };
+        store.store(key.clone(), vec![vec![0]], 8);
+        assert!(store.contains(&key));
+        let before = r.epoch();
+        r.rebalance(&t, PartitionSpec::hash("k", 4)).unwrap();
+        assert!(r.epoch() > before);
+        assert!(
+            !store.contains(&key),
+            "a rebalance must invalidate persisted layouts"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ use pspp_common::partition::{fnv1a, FNV_OFFSET};
 use pspp_core::RunReport;
 use pspp_ir::Program;
 use pspp_optimizer::{OptLevel, PlacementPlan, RewriteReport};
-use pspp_telemetry::{Counter, MetricsRegistry};
+use pspp_telemetry::{Counter, Gauge, MetricsRegistry};
 
 /// Which frontend produced the cached program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -329,6 +329,22 @@ pub struct CachedResult {
     pub exec_seconds: f64,
 }
 
+impl CachedResult {
+    /// Estimated resident payload bytes of this memoized execution:
+    /// the sum of its output datasets' payload bytes (rows × value
+    /// widths; models count their parameters). Empty results still
+    /// meter one byte so the budget sees every entry.
+    pub fn estimated_bytes(&self) -> u64 {
+        self.report
+            .execution
+            .outputs
+            .iter()
+            .map(pspp_runtime::Dataset::byte_size)
+            .sum::<u64>()
+            .max(1)
+    }
+}
+
 /// Counters describing result-cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResultCacheStats {
@@ -344,6 +360,9 @@ pub struct ResultCacheStats {
     pub invalidations: u64,
     /// Results currently resident.
     pub len: usize,
+    /// Estimated payload bytes currently resident (what the byte
+    /// budget meters).
+    pub bytes: u64,
 }
 
 impl ResultCacheStats {
@@ -366,6 +385,7 @@ impl ResultCacheStats {
         self.evictions += other.evictions;
         self.invalidations += other.invalidations;
         self.len += other.len;
+        self.bytes += other.bytes;
     }
 }
 
@@ -375,6 +395,7 @@ struct ResultCacheMetrics {
     hits: Counter,
     misses: Counter,
     invalidations: Counter,
+    bytes: Gauge,
 }
 
 impl ResultCacheMetrics {
@@ -394,6 +415,11 @@ impl ResultCacheMetrics {
                 "Stale-epoch results garbage-collected after engine mutations.",
                 &[],
             ),
+            bytes: registry.gauge(
+                "pspp_result_cache_bytes",
+                "High-water estimated payload bytes resident in result caches.",
+                &[],
+            ),
         }
     }
 }
@@ -405,6 +431,8 @@ struct ResultInner {
     /// Highest epoch observed; entries below it are unreachable and
     /// get garbage-collected (counted as invalidations).
     epoch: u64,
+    /// Estimated payload bytes across resident entries.
+    bytes: u64,
     hits: u64,
     misses: u64,
     insertions: u64,
@@ -416,14 +444,22 @@ struct ResultInner {
 struct ResultEntry {
     result: Arc<CachedResult>,
     last_used: u64,
+    /// [`CachedResult::estimated_bytes`] at insertion, so removal can
+    /// return exactly what was metered.
+    bytes: u64,
 }
 
 /// A thread-safe LRU result cache keyed by `(plan digest, epoch)` —
-/// the [`PlanCache`] LRU, holding whole execution reports.
+/// the [`PlanCache`] LRU, holding whole execution reports. Besides the
+/// entry-count capacity it can carry a byte budget
+/// ([`ResultCache::with_byte_budget`]): inserts evict
+/// least-recently-used entries until the resident payload estimate
+/// fits, so memoizing a few huge results cannot pin unbounded memory.
 #[derive(Debug)]
 pub struct ResultCache {
     inner: Mutex<ResultInner>,
     capacity: usize,
+    budget_bytes: Option<u64>,
     metrics: Option<ResultCacheMetrics>,
 }
 
@@ -433,8 +469,20 @@ impl ResultCache {
         ResultCache {
             inner: Mutex::new(ResultInner::default()),
             capacity: capacity.max(1),
+            budget_bytes: None,
             metrics: None,
         }
+    }
+
+    /// Caps resident payload bytes (estimated as rows × value widths):
+    /// an insert that would overflow the budget evicts
+    /// least-recently-used entries first. A single over-budget entry
+    /// still caches (the cache always admits the newest result) but
+    /// evicts everything else.
+    #[must_use]
+    pub fn with_byte_budget(mut self, bytes: u64) -> Self {
+        self.budget_bytes = Some(bytes.max(1));
+        self
     }
 
     /// Mirrors hit/miss/invalidation counters into `registry` (series
@@ -459,7 +507,16 @@ impl ResultCache {
         }
         inner.epoch = epoch;
         let before = inner.map.len();
-        inner.map.retain(|k, _| k.epoch >= epoch);
+        let mut freed = 0u64;
+        inner.map.retain(|k, e| {
+            if k.epoch >= epoch {
+                true
+            } else {
+                freed += e.bytes;
+                false
+            }
+        });
+        inner.bytes -= freed;
         let dropped = (before - inner.map.len()) as u64;
         if dropped > 0 {
             inner.invalidations += dropped;
@@ -467,6 +524,24 @@ impl ResultCache {
                 m.invalidations.add(dropped);
             }
         }
+    }
+
+    /// Removes the least-recently-used entry, returning whether one
+    /// existed.
+    fn evict_lru(inner: &mut ResultInner) -> bool {
+        let Some(victim) = inner
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k)
+        else {
+            return false;
+        };
+        if let Some(entry) = inner.map.remove(&victim) {
+            inner.bytes -= entry.bytes;
+        }
+        inner.evictions += 1;
+        true
     }
 
     /// Looks up a result, bumping its recency on a hit. The key's
@@ -497,8 +572,8 @@ impl ResultCache {
         }
     }
 
-    /// Inserts (or replaces) a result, evicting the least-recently-used
-    /// entry when full.
+    /// Inserts (or replaces) a result, evicting least-recently-used
+    /// entries while over the entry capacity or the byte budget.
     pub fn insert(&self, key: ResultKey, result: Arc<CachedResult>) {
         let mut inner = self.guard();
         self.advance_epoch(&mut inner, key.epoch);
@@ -510,24 +585,33 @@ impl ResultCache {
         inner.tick += 1;
         let tick = inner.tick;
         if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
-            if let Some(victim) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-            {
-                inner.map.remove(&victim);
-                inner.evictions += 1;
-            }
+            Self::evict_lru(&mut inner);
+        }
+        let bytes = result.estimated_bytes();
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
         }
         inner.insertions += 1;
+        inner.bytes += bytes;
         inner.map.insert(
             key,
             ResultEntry {
                 result,
                 last_used: tick,
+                bytes,
             },
         );
+        if let Some(budget) = self.budget_bytes {
+            // The fresh entry is the most recent, so it survives: the
+            // loop stops once it is the only resident entry even if it
+            // alone overflows the budget.
+            while inner.bytes > budget && inner.map.len() > 1 {
+                Self::evict_lru(&mut inner);
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.bytes.record_max(inner.bytes as i64);
+        }
     }
 
     /// Drops every cached result and resets the LRU tick (counters and
@@ -535,6 +619,7 @@ impl ResultCache {
     pub fn clear(&self) {
         let mut inner = self.guard();
         inner.map.clear();
+        inner.bytes = 0;
         inner.tick = 0;
     }
 
@@ -563,6 +648,7 @@ impl ResultCache {
             evictions: inner.evictions,
             invalidations: inner.invalidations,
             len: inner.map.len(),
+            bytes: inner.bytes,
         }
     }
 }
@@ -739,6 +825,87 @@ mod tests {
         cache.insert(old, cached_result());
         assert!(cache.get(&old).is_none());
         assert_eq!(cache.stats().len, 0);
+    }
+
+    /// A memoized result carrying `rows` one-Int rows (8 payload bytes
+    /// each), so byte-budget tests can reason in exact sizes.
+    fn sized_result(rows: usize) -> Arc<CachedResult> {
+        use pspp_common::{row, DataType, EngineId, Schema};
+        let mut base = (*cached_result()).clone();
+        base.report.execution.outputs = vec![pspp_runtime::Dataset::rows(
+            Schema::new(vec![("a", DataType::Int)]),
+            (0..rows).map(|i| row![i as i64]).collect(),
+            pspp_common::DataModel::Relational,
+            EngineId::new("db1"),
+        )];
+        Arc::new(base)
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_under_pressure() {
+        // Three 10-row results at 80 bytes each against a 170-byte
+        // budget: the third insert evicts the least-recently-used.
+        let cache = ResultCache::new(64).with_byte_budget(170);
+        let k = |d: u64| ResultKey {
+            plan_digest: d,
+            epoch: 0,
+        };
+        assert_eq!(sized_result(10).estimated_bytes(), 80);
+        cache.insert(k(1), sized_result(10));
+        cache.insert(k(2), sized_result(10));
+        assert_eq!(cache.stats().bytes, 160);
+        assert!(cache.get(&k(1)).is_some()); // 2 becomes the victim
+        cache.insert(k(3), sized_result(10));
+        let s = cache.stats();
+        assert_eq!(s.bytes, 160, "budget holds: one entry evicted");
+        assert_eq!(s.evictions, 1);
+        assert!(cache.get(&k(2)).is_none());
+        assert!(cache.get(&k(1)).is_some());
+        assert!(cache.get(&k(3)).is_some());
+    }
+
+    #[test]
+    fn oversized_entry_still_caches_but_alone() {
+        let cache = ResultCache::new(64).with_byte_budget(100);
+        let k = |d: u64| ResultKey {
+            plan_digest: d,
+            epoch: 0,
+        };
+        cache.insert(k(1), sized_result(5)); // 40 bytes
+        cache.insert(k(2), sized_result(50)); // 400 bytes > budget
+        assert!(cache.get(&k(1)).is_none(), "evicted to make room");
+        assert!(cache.get(&k(2)).is_some(), "newest always admits");
+        assert_eq!(cache.stats().bytes, 400);
+    }
+
+    #[test]
+    fn bytes_track_invalidation_and_clear() {
+        let cache = ResultCache::new(64).with_byte_budget(1 << 20);
+        cache.insert(
+            ResultKey {
+                plan_digest: 1,
+                epoch: 0,
+            },
+            sized_result(10),
+        );
+        assert_eq!(cache.stats().bytes, 80);
+        // An epoch-1 lookup garbage-collects the stale entry's bytes.
+        assert!(cache
+            .get(&ResultKey {
+                plan_digest: 1,
+                epoch: 1,
+            })
+            .is_none());
+        assert_eq!(cache.stats().bytes, 0);
+        cache.insert(
+            ResultKey {
+                plan_digest: 2,
+                epoch: 1,
+            },
+            sized_result(10),
+        );
+        cache.clear();
+        assert_eq!(cache.stats().bytes, 0);
     }
 
     #[test]

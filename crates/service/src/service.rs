@@ -85,6 +85,23 @@ impl Query {
             Query::Hetero(program) => format!("{:?}", program.specs()),
         }
     }
+
+    /// Whether this query is write/DDL-shaped: its leading keyword
+    /// mutates engine state. The service bumps the engine-state epoch
+    /// *before* planning such a query, so every plan and result cached
+    /// under the pre-write state stops matching — a stale read is
+    /// structurally impossible, not merely unlikely.
+    pub fn mutates_state(&self) -> bool {
+        match self {
+            Query::Sql(text) => {
+                let first = text.split_whitespace().next().unwrap_or("");
+                ["INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER"]
+                    .iter()
+                    .any(|kw| first.eq_ignore_ascii_case(kw))
+            }
+            Query::Nlq(_) | Query::Hetero(_) => false,
+        }
+    }
 }
 
 /// Everything the service returns for one query.
@@ -120,6 +137,12 @@ pub struct ServiceConfig {
     pub result_cache: Option<bool>,
     /// Result-cache capacity, in memoized executions.
     pub result_cache_capacity: usize,
+    /// Result-cache memory budget in estimated payload bytes (rows ×
+    /// value widths); `None` bounds by entry count only. Under a
+    /// budget, inserts evict least-recently-used results until the
+    /// resident estimate fits (`pspp_result_cache_bytes` tracks the
+    /// high-water mark).
+    pub result_cache_budget_bytes: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -129,6 +152,7 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 256,
             result_cache: None,
             result_cache_capacity: 256,
+            result_cache_budget_bytes: None,
         }
     }
 }
@@ -243,6 +267,15 @@ impl ServiceInner {
     /// so the ledger (and everything built from it — traces, `EXPLAIN
     /// ANALYZE`, the cost summary) reflects what actually ran.
     fn run_query(&self, query: &Query) -> Result<QueryResponse> {
+        // Write/DDL-shaped queries advance the engine-state epoch
+        // before planning: the epoch is part of every plan- and
+        // result-cache key, so nothing recorded under the pre-write
+        // state can ever be served again. The bump lands even when the
+        // mutation itself later fails — invalidating too eagerly is
+        // merely a cold cache; invalidating too late is a stale read.
+        if query.mutates_state() {
+            self.system.bump_epoch();
+        }
         let level = self.effective_opt_level();
         let (plan, key, cache_hit) = self.plan(query, level)?;
         let plan_seconds = if cache_hit {
@@ -360,7 +393,13 @@ impl QueryService {
         let results = config
             .result_cache
             .unwrap_or_else(|| system.result_cache())
-            .then(|| ResultCache::new(config.result_cache_capacity).with_metrics(&metrics));
+            .then(|| {
+                let cache = ResultCache::new(config.result_cache_capacity).with_metrics(&metrics);
+                match config.result_cache_budget_bytes {
+                    Some(budget) => cache.with_byte_budget(budget),
+                    None => cache,
+                }
+            });
         Ok(QueryService {
             inner: Arc::new(ServiceInner {
                 system,

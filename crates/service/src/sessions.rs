@@ -51,7 +51,7 @@ use pspp_common::partition::{fnv1a, FNV_OFFSET};
 use pspp_common::{Error, PartitionSpec, Result, TableRef};
 use pspp_core::{Polystore, RunReport};
 use pspp_optimizer::OptLevel;
-use pspp_runtime::{ExecutionReport, Payload};
+use pspp_runtime::{ExecutionReport, Payload, RebalanceReport};
 
 use crate::cache::{
     CacheStats, CachedPlan, CachedResult, PlanCache, PlanKey, ResultCache, ResultCacheStats,
@@ -66,6 +66,11 @@ use crate::stats::LatencyHistogram;
 /// Stride-scheduler scale: pass advances by `STRIDE / weight` per
 /// dispatched job.
 const STRIDE: u64 = 1 << 20;
+
+/// Floor on the retry back-off, in simulated seconds: early in a run
+/// the service-time EWMA is still zero, and a zero back-off would
+/// re-offer the step at the same instant it was refused.
+const MIN_RETRY_BACKOFF_S: f64 = 1e-3;
 
 /// One session's lifecycle position in the event loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -102,8 +107,11 @@ pub struct SessionScript {
 }
 
 /// A scripted mid-run engine mutation: at simulated second `at`, the
-/// core reshards `table` to `spec`, bumping the engine-state epoch and
-/// thereby orphaning every cached plan and result.
+/// core incrementally rebalances `table` to `spec`
+/// ([`Polystore::rebalance`] — only rows whose shard assignment
+/// changes move), bumping the engine-state epoch and thereby orphaning
+/// every cached plan and result. The per-event
+/// [`RebalanceReport`]s land in [`SessionCoreReport::rebalances`].
 #[derive(Debug, Clone)]
 pub struct ReshardEvent {
     /// Simulated second the mutation lands.
@@ -138,6 +146,16 @@ pub struct SessionCoreConfig {
     pub memoize_execution: bool,
     /// Dispatch weight per tenant id (missing/zero entries read as 1).
     pub tenant_weights: Vec<u32>,
+    /// How many times a step refused at a full queue re-offers itself
+    /// before it is shed for good. Each refusal backs the session off
+    /// by the current retry-after hint (the same EWMA-derived figure
+    /// [`SessionCoreReport::retry_after_seconds`] reports, floored at
+    /// 1ms). `0` (the default) sheds immediately —
+    /// the pre-retry behavior.
+    pub retry_max: u32,
+    /// Per-tenant result-cache byte budget (estimated payload bytes);
+    /// `None` bounds each partition by entry count only.
+    pub result_cache_budget_bytes: Option<u64>,
 }
 
 impl Default for SessionCoreConfig {
@@ -150,6 +168,8 @@ impl Default for SessionCoreConfig {
             plan_cache_capacity: 256,
             memoize_execution: false,
             tenant_weights: Vec::new(),
+            retry_max: 0,
+            result_cache_budget_bytes: None,
         }
     }
 }
@@ -167,6 +187,9 @@ pub struct TenantReport {
     pub completed: u64,
     /// Steps dropped because the submission queue was full.
     pub shed: u64,
+    /// Back-off retries taken after full-queue refusals (a step may
+    /// retry several times before completing or shedding).
+    pub retries: u64,
     /// Result-cache hits among completed steps.
     pub result_hits: u64,
     /// Result-cache misses among completed steps.
@@ -199,8 +222,10 @@ pub struct SessionCoreReport {
     pub offered: u64,
     /// Steps that completed.
     pub completed: u64,
-    /// Steps shed at a full queue.
+    /// Steps shed at a full queue (after exhausting any retries).
     pub shed: u64,
+    /// Back-off retries taken across all tenants.
+    pub retries: u64,
     /// Simulated second of the last event.
     pub makespan_seconds: f64,
     /// Order-sensitive FNV fold of every offered step's output digest
@@ -227,6 +252,10 @@ pub struct SessionCoreReport {
     pub result_cache: ResultCacheStats,
     /// Per-tenant rows, in tenant order.
     pub tenants: Vec<TenantReport>,
+    /// One report per scripted [`ReshardEvent`], in firing order: the
+    /// incremental-rebalance diffs (moved/retained rows, moved bytes)
+    /// the online-grow path produced mid-run.
+    pub rebalances: Vec<RebalanceReport>,
 }
 
 impl SessionCoreReport {
@@ -255,6 +284,14 @@ enum EventKind {
     Wake { session: u32, step: u32 },
     /// A worker's current job completes.
     Finish { worker: u32 },
+    /// A step refused at a full queue re-offers itself after backing
+    /// off (`attempt` counts prior refusals; it never exceeds
+    /// [`SessionCoreConfig::retry_max`]).
+    Retry {
+        session: u32,
+        step: u32,
+        attempt: u32,
+    },
     /// A scripted engine mutation lands.
     Reshard { index: u32 },
 }
@@ -422,7 +459,12 @@ impl SessionCore {
                     stride: STRIDE / u64::from(weight),
                     plans: PlanCache::new(self.config.plan_cache_capacity),
                     results: result_cache_on.then(|| {
-                        ResultCache::new(self.config.result_cache_capacity).with_metrics(&metrics)
+                        let cache = ResultCache::new(self.config.result_cache_capacity)
+                            .with_metrics(&metrics);
+                        match self.config.result_cache_budget_bytes {
+                            Some(budget) => cache.with_byte_budget(budget),
+                            None => cache,
+                        }
                     }),
                     report: TenantReport {
                         tenant: t as u32,
@@ -496,71 +538,25 @@ impl SessionCore {
         let mut peak_queue: usize = 0;
         let mut ewma_service_micros: u64 = 0;
         let mut clock: f64 = 0.0;
+        let mut rebalances: Vec<RebalanceReport> = Vec::with_capacity(reshards.len());
+        let rounds = (self.config.queue_depth as u64 + 1).div_ceil(self.config.workers as u64);
 
         while let Some(Reverse(event)) = heap.pop() {
             clock = event.time;
-            match event.kind {
+            // Wake and Retry share the admission path below; Reshard
+            // and Finish handle themselves and continue.
+            let (session, step, attempt) = match event.kind {
                 EventKind::Reshard { index } => {
                     let r = &reshards[index as usize];
-                    self.system.reshard(&r.table, r.spec.clone())?;
+                    rebalances.push(self.system.rebalance(&r.table, r.spec.clone())?);
+                    continue;
                 }
-                EventKind::Wake { session, step } => {
-                    let script = &scripts[session as usize];
-                    let tenant = script.tenant as usize;
-                    parked -= 1;
-                    tenants[tenant].report.offered += 1;
-                    if let Some(Reverse(worker)) = free_workers.pop() {
-                        // Straight to a worker: Parked → Queued →
-                        // Running at one instant.
-                        states[session as usize] = SessionState::Running;
-                        let measure = measure_step(
-                            &self.system,
-                            &mut tenants[tenant],
-                            &mut plan_memo,
-                            &mut exec_memo,
-                            &mut real_executions,
-                            self.config.memoize_execution,
-                            &queries[script.steps[step as usize].query as usize],
-                        )?;
-                        ewma_service_micros =
-                            fold_ewma(ewma_service_micros, measure.service_seconds);
-                        running[worker as usize] = Some(RunningJob {
-                            session,
-                            step,
-                            woke: clock,
-                            service_seconds: measure.service_seconds,
-                            digest: measure.digest,
-                            result_hit: measure.result_hit,
-                        });
-                        push_event(
-                            &mut heap,
-                            &mut seq,
-                            clock + measure.service_seconds,
-                            EventKind::Finish { worker },
-                        );
-                    } else if queued_total < self.config.queue_depth {
-                        states[session as usize] = SessionState::Queued;
-                        tenants[tenant].queue.push_back((session, step, clock));
-                        queued_total += 1;
-                        peak_queue = peak_queue.max(queued_total);
-                    } else {
-                        // Shed: the step is dropped, the session moves
-                        // on to its next step (or retires).
-                        tenants[tenant].report.shed += 1;
-                        shed_steps.push((session, step));
-                        advance_session(
-                            &mut heap,
-                            &mut seq,
-                            scripts,
-                            session,
-                            step,
-                            clock,
-                            &mut states,
-                            &mut parked,
-                        );
-                    }
-                    peak_parked = peak_parked.max(parked);
-                }
+                EventKind::Wake { session, step } => (session, step, 0u32),
+                EventKind::Retry {
+                    session,
+                    step,
+                    attempt,
+                } => (session, step, attempt),
                 EventKind::Finish { worker } => {
                     let job = running[worker as usize]
                         .take()
@@ -631,8 +627,89 @@ impl SessionCore {
                         }
                         None => free_workers.push(Reverse(worker)),
                     }
+                    continue;
                 }
+            };
+
+            // Admission (fresh wakes and retries alike): a free worker
+            // dispatches immediately, a queue slot waits, and a full
+            // queue backs off — or sheds once retries run out. Only a
+            // fresh wake counts as offered; its retries are the same
+            // step still waiting to be admitted.
+            let script = &scripts[session as usize];
+            let tenant = script.tenant as usize;
+            parked -= 1;
+            if attempt == 0 {
+                tenants[tenant].report.offered += 1;
             }
+            if let Some(Reverse(worker)) = free_workers.pop() {
+                // Straight to a worker: Parked → Queued → Running at
+                // one instant.
+                states[session as usize] = SessionState::Running;
+                let measure = measure_step(
+                    &self.system,
+                    &mut tenants[tenant],
+                    &mut plan_memo,
+                    &mut exec_memo,
+                    &mut real_executions,
+                    self.config.memoize_execution,
+                    &queries[script.steps[step as usize].query as usize],
+                )?;
+                ewma_service_micros = fold_ewma(ewma_service_micros, measure.service_seconds);
+                running[worker as usize] = Some(RunningJob {
+                    session,
+                    step,
+                    woke: clock,
+                    service_seconds: measure.service_seconds,
+                    digest: measure.digest,
+                    result_hit: measure.result_hit,
+                });
+                push_event(
+                    &mut heap,
+                    &mut seq,
+                    clock + measure.service_seconds,
+                    EventKind::Finish { worker },
+                );
+            } else if queued_total < self.config.queue_depth {
+                states[session as usize] = SessionState::Queued;
+                tenants[tenant].queue.push_back((session, step, clock));
+                queued_total += 1;
+                peak_queue = peak_queue.max(queued_total);
+            } else if attempt < self.config.retry_max {
+                // Admission-aware retry: park again and re-offer after
+                // the back-off hint a shed client would receive now.
+                tenants[tenant].report.retries += 1;
+                states[session as usize] = SessionState::Parked;
+                parked += 1;
+                let backoff = ((ewma_service_micros.saturating_mul(rounds)) as f64 * 1e-6)
+                    .max(MIN_RETRY_BACKOFF_S);
+                push_event(
+                    &mut heap,
+                    &mut seq,
+                    clock + backoff,
+                    EventKind::Retry {
+                        session,
+                        step,
+                        attempt: attempt + 1,
+                    },
+                );
+            } else {
+                // Shed: the step is dropped, the session moves on to
+                // its next step (or retires).
+                tenants[tenant].report.shed += 1;
+                shed_steps.push((session, step));
+                advance_session(
+                    &mut heap,
+                    &mut seq,
+                    scripts,
+                    session,
+                    step,
+                    clock,
+                    &mut states,
+                    &mut parked,
+                );
+            }
+            peak_parked = peak_parked.max(parked);
         }
 
         debug_assert!(
@@ -693,6 +770,7 @@ impl SessionCore {
         let mut offered = 0;
         let mut completed = 0;
         let mut shed = 0;
+        let mut retries = 0;
         for t in tenants {
             latency.merge(&t.report.latency);
             let p = t.plans.stats();
@@ -707,15 +785,16 @@ impl SessionCore {
             offered += t.report.offered;
             completed += t.report.completed;
             shed += t.report.shed;
+            retries += t.report.retries;
             tenant_reports.push(t.report);
         }
-        let rounds = (self.config.queue_depth as u64 + 1).div_ceil(self.config.workers as u64);
         Ok(SessionCoreReport {
             sessions: scripts.len(),
             workers: self.config.workers,
             offered,
             completed,
             shed,
+            retries,
             makespan_seconds: clock,
             digest,
             peak_parked,
@@ -726,6 +805,7 @@ impl SessionCore {
             plan_cache,
             result_cache,
             tenants: tenant_reports,
+            rebalances,
         })
     }
 }
@@ -1238,5 +1318,64 @@ mod tests {
         // The epoch bump forces replanning: more plan-cache misses than
         // distinct queries alone would explain.
         assert!(report.plan_cache.misses > baseline.plan_cache.misses);
+        // The mutation ran as an incremental rebalance and reported
+        // its diff.
+        assert_eq!(report.rebalances.len(), 1);
+        let diff = &report.rebalances[0];
+        assert!(diff.total_rows > 0);
+        assert_eq!(diff.total_rows, diff.moved_rows + diff.retained_rows);
+        assert_eq!(diff.total_shards, 3);
+
+        assert_eq!(baseline.rebalances.len(), 0);
+    }
+
+    #[test]
+    fn retries_absorb_a_burst_the_bare_queue_would_shed() {
+        // 16 one-step sessions against one worker and a depth-1 queue:
+        // without retries most of the burst sheds; with a generous
+        // retry allowance every refused step re-offers itself after the
+        // back-off hint until the queue drains, and nothing sheds. The
+        // digest covers all offered work either way.
+        let scripts: Vec<SessionScript> = (0..16)
+            .map(|i| SessionScript {
+                tenant: 0,
+                steps: vec![SessionStep {
+                    at: 0.0,
+                    query: (i % POOL.len()) as u32,
+                }],
+            })
+            .collect();
+        let queries = queries();
+        let config = SessionCoreConfig {
+            workers: 1,
+            queue_depth: 1,
+            memoize_execution: true,
+            ..SessionCoreConfig::default()
+        };
+        let mut bare = SessionCore::new(small_system(false), config.clone()).unwrap();
+        let mut patient = SessionCore::new(
+            small_system(false),
+            SessionCoreConfig {
+                retry_max: 64,
+                ..config
+            },
+        )
+        .unwrap();
+        let shed = bare.run(&queries, &scripts).unwrap();
+        let retried = patient.run(&queries, &scripts).unwrap();
+        assert!(shed.shed > 0, "bare depth-1 queue sheds the burst");
+        assert_eq!(shed.retries, 0);
+        assert_eq!(retried.shed, 0, "retries absorb the whole burst");
+        assert!(retried.retries > 0, "refusals were retried, not dropped");
+        assert_eq!(retried.offered, 16, "retries never recount offers");
+        assert_eq!(retried.completed, 16);
+        assert_eq!(retried.tenants[0].retries, retried.retries);
+        assert_eq!(
+            shed.digest, retried.digest,
+            "retrying changes when steps run, never what they produce"
+        );
+        // Backing off costs simulated time: the patient run finishes
+        // later than the shedding one.
+        assert!(retried.makespan_seconds > shed.makespan_seconds);
     }
 }

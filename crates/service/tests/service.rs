@@ -387,6 +387,49 @@ fn result_cache_hits_bypass_the_executor_and_bill_lookup_cost() {
 }
 
 #[test]
+fn write_shaped_queries_bump_the_epoch_and_orphan_cached_results() {
+    let system = shared_system(OptLevel::L2);
+    let epoch_before = system.epoch();
+    let service = QueryService::new(
+        Arc::clone(&system),
+        ServiceConfig {
+            result_cache: Some(true),
+            ..Default::default()
+        },
+    )
+    .expect("valid service config");
+    let session = service.open_session();
+    session.execute(&Query::sql(SQL)).expect("cold run");
+    assert!(
+        session
+            .execute(&Query::sql(SQL))
+            .expect("warm")
+            .result_cache_hit
+    );
+
+    assert!(Query::sql("INSERT INTO admissions VALUES (1)").mutates_state());
+    assert!(Query::sql("  drop table admissions").mutates_state());
+    assert!(!Query::sql(SQL).mutates_state());
+
+    // The mini-SQL frontend may reject the DML text — irrelevant: the
+    // epoch bump lands before planning, so the cached entries are
+    // orphaned whether or not the mutation itself succeeds.
+    let _ = session.execute(&Query::sql("INSERT INTO admissions VALUES (1, 2)"));
+    assert!(system.epoch() > epoch_before, "write-shaped query bumps");
+
+    let after = session.execute(&Query::sql(SQL)).expect("post-write run");
+    assert!(
+        !after.result_cache_hit,
+        "pre-write results can never serve a post-write read"
+    );
+    assert!(!after.cache_hit, "plans replan under the new epoch too");
+    assert!(
+        service.result_cache_stats().invalidations >= 1,
+        "the stale entry is garbage-collected and counted"
+    );
+}
+
+#[test]
 fn reshard_epoch_invalidates_cached_results() {
     let system = Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
         patients: 150,

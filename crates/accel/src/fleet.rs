@@ -100,6 +100,12 @@ impl Placement {
 pub struct AcceleratorFleet {
     host: DeviceProfile,
     devices: Vec<AttachedDevice>,
+    /// Declared physical instances per device kind. Absent kinds keep
+    /// the historical exclusive-access fiction (every slot prices the
+    /// device as if alone); a declared capacity makes concurrent picks
+    /// of the same device queue behind `capacity` servers.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    capacities: Vec<(DeviceKind, usize)>,
 }
 
 impl AcceleratorFleet {
@@ -108,6 +114,7 @@ impl AcceleratorFleet {
         AcceleratorFleet {
             host: DeviceProfile::cpu(),
             devices: vec![],
+            capacities: vec![],
         }
     }
 
@@ -132,6 +139,7 @@ impl AcceleratorFleet {
                     link: Interconnect::pcie(),
                 },
             ],
+            capacities: vec![],
         }
     }
 
@@ -163,6 +171,7 @@ impl AcceleratorFleet {
                     link: Interconnect::local(),
                 },
             ],
+            capacities: vec![],
         }
     }
 
@@ -171,7 +180,32 @@ impl AcceleratorFleet {
         if host.kind() != DeviceKind::Cpu {
             return Err(Error::Config("fleet host must be a CPU".into()));
         }
-        Ok(AcceleratorFleet { host, devices })
+        Ok(AcceleratorFleet {
+            host,
+            devices,
+            capacities: vec![],
+        })
+    }
+
+    /// Declares `count` physical instances of `kind` (builder style).
+    ///
+    /// Placement then serializes concurrent same-stage picks of `kind`
+    /// onto `count` servers and puts the queue wait on the critical
+    /// path; undeclared kinds keep pricing exclusive access.
+    pub fn with_capacity(mut self, kind: DeviceKind, count: usize) -> Self {
+        self.capacities.retain(|(k, _)| *k != kind);
+        if count > 0 {
+            self.capacities.push((kind, count));
+        }
+        self
+    }
+
+    /// The declared physical instance count for `kind`, if any.
+    pub fn capacity(&self, kind: DeviceKind) -> Option<usize> {
+        self.capacities
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
     }
 
     /// The host CPU profile.

@@ -1,4 +1,4 @@
-//! Reproduces every experiment table (E1–E21) from DESIGN.md.
+//! Reproduces every experiment table (E1–E23) from DESIGN.md.
 //!
 //! ```text
 //! cargo run -p pspp-bench --bin repro --release            # all

@@ -351,6 +351,10 @@ pub struct OpenLoopReport {
     /// (every offered query executes exactly once for the digest,
     /// whether or not the replay sheds it).
     pub digest: u64,
+    /// Recorded per-offered-query simulated service seconds, in
+    /// arrival order — the input for replay variants such as
+    /// [`retry_storm_schedule`].
+    pub service_seconds: Vec<f64>,
 }
 
 /// Deterministic open-loop replay: arrivals at `i / arrival_qps`, `workers`
@@ -480,7 +484,92 @@ pub fn run_open_loop(system: &Arc<Polystore>, cfg: &OpenLoopConfig) -> Result<Op
         real_rejections,
         wall_millis,
         digest,
+        service_seconds,
     })
+}
+
+/// What one retry-storm replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryStormReport {
+    /// Retry budget per query (0 = shed permanently on first reject).
+    pub retry_max: usize,
+    /// Primary arrivals offered.
+    pub offered: usize,
+    /// Queries that eventually completed (first admission counts).
+    pub completed: usize,
+    /// Queries lost after exhausting their retry budget.
+    pub lost: usize,
+    /// Total admission attempts, primaries plus retries — the storm's
+    /// amplification of offered load.
+    pub attempts: usize,
+    /// Simulated completion time of the last admitted query.
+    pub sim_makespan_seconds: f64,
+    /// Completed queries per simulated second.
+    pub goodput_qps: f64,
+}
+
+/// Deterministic retry-storm replay over recorded service times: the
+/// open-loop arrival process of [`run_open_loop`], except a rejected
+/// arrival re-arrives `backoff_s` later, up to `retry_max` times,
+/// before it is lost. Arrivals (primary and retry) are processed in
+/// time order with ties broken by query index then attempt number, so
+/// the replay is bit-reproducible. Under sustained overload retries
+/// amplify attempts without creating capacity — goodput stays pinned
+/// at the service rate — which is exactly the regression the E21
+/// metrics guard watches for.
+pub fn retry_storm_schedule(
+    service_seconds: &[f64],
+    arrival_qps: f64,
+    workers: usize,
+    queue_depth: usize,
+    retry_max: usize,
+    backoff_s: f64,
+) -> RetryStormReport {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let spacing = 1.0 / arrival_qps.max(f64::MIN_POSITIVE);
+    let backoff = backoff_s.max(f64::MIN_POSITIVE);
+    let capacity = workers.max(1) + queue_depth;
+    let mut worker_free = vec![0.0f64; workers.max(1)];
+    let mut in_system: Vec<f64> = Vec::new();
+    // Non-negative f64 bit patterns order like the floats themselves,
+    // so (time bits, index, attempt) is a total order.
+    let mut arrivals: BinaryHeap<Reverse<(u64, usize, usize)>> = (0..service_seconds.len())
+        .map(|i| Reverse(((i as f64 * spacing).to_bits(), i, 0)))
+        .collect();
+    let mut completed = 0usize;
+    let mut lost = 0usize;
+    let mut attempts = 0usize;
+    let mut makespan = 0.0f64;
+    while let Some(Reverse((bits, i, attempt))) = arrivals.pop() {
+        let t = f64::from_bits(bits);
+        attempts += 1;
+        in_system.retain(|&finish| finish > t);
+        if in_system.len() >= capacity {
+            if attempt < retry_max {
+                arrivals.push(Reverse(((t + backoff).to_bits(), i, attempt + 1)));
+            } else {
+                lost += 1;
+            }
+            continue;
+        }
+        let w = min_index(&worker_free);
+        let start = worker_free[w].max(t);
+        let finish = start + service_seconds[i];
+        worker_free[w] = finish;
+        in_system.push(finish);
+        completed += 1;
+        makespan = makespan.max(finish);
+    }
+    RetryStormReport {
+        retry_max,
+        offered: service_seconds.len(),
+        completed,
+        lost,
+        attempts,
+        sim_makespan_seconds: makespan,
+        goodput_qps: completed as f64 / makespan.max(f64::MIN_POSITIVE),
+    }
 }
 
 /// (simulated service seconds, output digest) for one response.
@@ -545,6 +634,37 @@ mod tests {
         let (admitted, _, wait) = open_loop_schedule(&times, 0.5, 1, 1);
         assert!(admitted.iter().all(|&a| a));
         assert!(wait.abs() < 1e-12, "no queueing at light load");
+    }
+
+    #[test]
+    fn retry_storm_amplifies_attempts_without_creating_capacity() {
+        // Service 1s, arrivals every 0.1s, one worker, queue depth 1:
+        // sustained overload, most primaries are rejected.
+        let times = vec![1.0; 20];
+        let base = retry_storm_schedule(&times, 10.0, 1, 1, 0, 0.05);
+        assert_eq!(base.offered, 20);
+        assert_eq!(base.completed + base.lost, 20);
+        assert_eq!(base.attempts, 20, "no retries at retry_max=0");
+        let stormy = retry_storm_schedule(&times, 10.0, 1, 1, 8, 0.05);
+        assert!(
+            stormy.attempts > base.attempts,
+            "retries must amplify offered load ({} vs {})",
+            stormy.attempts,
+            base.attempts
+        );
+        // Retries only mop up the post-arrival drain; they cannot push
+        // goodput past the service rate (1 query/s on this shape).
+        assert!(stormy.goodput_qps <= 1.0 + 1e-9);
+        assert!(base.goodput_qps <= 1.0 + 1e-9);
+        // Deterministic: same inputs, same replay.
+        assert_eq!(stormy, retry_storm_schedule(&times, 10.0, 1, 1, 8, 0.05));
+
+        // Light load: every query completes on its first attempt and
+        // the retry budget is irrelevant.
+        let light = retry_storm_schedule(&times, 0.5, 1, 1, 8, 0.05);
+        assert_eq!(light.completed, 20);
+        assert_eq!(light.lost, 0);
+        assert_eq!(light.attempts, 20);
     }
 
     #[test]

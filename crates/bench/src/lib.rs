@@ -1,5 +1,5 @@
 //! The experiment harness: one function per experiment in DESIGN.md's
-//! index (E1–E20), each returning the table it prints. The `repro`
+//! index (E1–E23), each returning the table it prints. The `repro`
 //! binary runs them (`repro --list` prints the index); the Criterion
 //! benches wrap their hot paths.
 //!
@@ -29,15 +29,15 @@ use pspp_service::{
 use pspp_telemetry::NodeTrace;
 
 /// Names of all experiments, in order.
-pub const ALL: [&str; 22] = [
+pub const ALL: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
 ];
 
 /// One-line description per experiment, in [`ALL`] order — what
 /// `repro --list` prints so nobody has to read the source to find an
 /// experiment.
-pub const DESCRIPTIONS: [(&str, &str); 22] = [
+pub const DESCRIPTIONS: [(&str, &str); 23] = [
     (
         "e1",
         "recommendation app: polystore federation vs one-size-fits-all (Fig. 1)",
@@ -123,6 +123,10 @@ pub const DESCRIPTIONS: [(&str, &str); 22] = [
         "e22",
         "online elasticity: incremental rebalance under load + materialized repartitions",
     ),
+    (
+        "e23",
+        "device-resident pipelines: kernel fusion x contended queueing x sharding",
+    ),
 ];
 
 /// The `repro --list` table: every experiment name with its one-line
@@ -198,6 +202,7 @@ pub fn run(name: &str) -> Result<String> {
         "e20" => e20_accel(),
         "e21" => e21_sessions(),
         "e22" => e22_rebalance(),
+        "e23" => e23_fusion(),
         other => Err(pspp_common::Error::Config(format!(
             "unknown experiment {other}; known: {ALL:?}"
         ))),
@@ -1893,6 +1898,62 @@ pub fn e21_sessions() -> Result<String> {
         }
     }
 
+    // Retry-storm variant: replay an overloaded open-loop arrival
+    // process with shed queries retrying after a mean-service backoff.
+    // Retries amplify attempts but cannot create capacity — goodput
+    // must stay pinned at the no-retry service rate.
+    let storm_system = Arc::new(clinical_system(
+        OptLevel::L2,
+        AcceleratorFleet::workstation(),
+        300,
+    )?);
+    let storm_base = driver::run_open_loop(
+        &storm_system,
+        &driver::OpenLoopConfig {
+            queries: 256,
+            arrival_qps: 2.0 * WORKERS as f64 / mean_service,
+            workers: WORKERS,
+            queue_depth: 8,
+            seed: SEED,
+        },
+    )?;
+    writeln!(
+        out,
+        "retry storm (open-loop 2x capacity, backoff = mean service):\n\
+         retry_max  attempts  completed  lost  goodput_qps"
+    )
+    .ok();
+    let mut storm_goodput = Vec::new();
+    for retry_max in [0usize, 1, 3, 8] {
+        let storm = driver::retry_storm_schedule(
+            &storm_base.service_seconds,
+            2.0 * WORKERS as f64 / mean_service,
+            WORKERS,
+            8,
+            retry_max,
+            mean_service,
+        );
+        writeln!(
+            out,
+            "{retry_max:<10} {:>8} {:>10} {:>5} {:>12.1}",
+            storm.attempts, storm.completed, storm.lost, storm.goodput_qps
+        )
+        .ok();
+        bench_metric(
+            &format!("retry_goodput_qps_r{retry_max}"),
+            storm.goodput_qps,
+        );
+        bench_metric(&format!("retry_attempts_r{retry_max}"), storm.attempts as f64);
+        storm_goodput.push(storm.goodput_qps);
+    }
+    if storm_goodput[3] > storm_goodput[0] * 1.10 {
+        return Err(pspp_common::Error::Execution(format!(
+            "retry storm conjured capacity: goodput {:.1} qps at retry_max=8 \
+             vs {:.1} qps at retry_max=0",
+            storm_goodput[3], storm_goodput[0]
+        )));
+    }
+
     let shed10k = shed_off[0].1;
     let shed100k = shed_off[1].1;
     let shed1m = shed_off[2].1;
@@ -2213,6 +2274,247 @@ pub fn e22_rebalance() -> Result<String> {
             grown.shed_rate()
         )));
     }
+    Ok(out)
+}
+
+/// The E23 IR workloads: a back-to-back big-sort pipeline (the fusion
+/// candidate — adjacent device-profitable kernels over one Local
+/// edge) and a twin-training fan-out (two same-stage GEMM tasks that
+/// contend for one device under capacity limits).
+fn two_sort_program() -> Program {
+    let mut p = Program::new();
+    let scan = p.add_source(
+        Operator::scan(TableRef::new("db1", "admissions")),
+        "sql",
+    );
+    let by_age = p.add_node(
+        Operator::Sort {
+            keys: vec![SortSpec {
+                column: "age".into(),
+                ascending: true,
+            }],
+        },
+        vec![scan],
+        "sql",
+    );
+    let by_pid = p.add_node(
+        Operator::Sort {
+            keys: vec![SortSpec {
+                column: "pid".into(),
+                ascending: true,
+            }],
+        },
+        vec![by_age],
+        "sql",
+    );
+    p.mark_output(by_pid);
+    p
+}
+
+fn twin_train_program() -> Program {
+    let mut p = Program::new();
+    let scan = p.add_source(
+        Operator::scan(TableRef::new("db1", "admissions")),
+        "sql",
+    );
+    for _ in 0..2 {
+        let t = p.add_node(
+            Operator::TrainMlp {
+                label_column: "long_stay".into(),
+                hidden: vec![32],
+                epochs: 2,
+                batch_size: 32,
+                learning_rate: 0.3,
+            },
+            vec![scan],
+            "ml",
+        );
+        p.mark_output(t);
+    }
+    p
+}
+
+/// E23: device-resident offload pipelines — kernel fusion x contended
+/// queueing x sharding.
+///
+/// Runs the E20-shaped mixed sort/join/GEMM workload (plus the fusion
+/// and contention IR pipelines above) over the full grid of fusion
+/// on/off x device capacity declared/exclusive x 1/2/4 shards.
+/// Claims proven: byte-identical digests at every grid point (fusion
+/// and queueing are cost-only), the fused run beats the unfused run at
+/// every (contention, shards) point, every planned fused chain
+/// executes exactly as planned (zero silent fission), and declared
+/// capacity surfaces a queue wait exactly where two same-stage tasks
+/// target the same physical device.
+pub fn e23_fusion() -> Result<String> {
+    let mut out = String::from(
+        "E23 device-resident pipelines: fusion x contention x sharding\n\
+         config               shards  chains  queue_ms  sim_ms   digest\n",
+    );
+    let sql_queries = [
+        "SELECT pid, age FROM admissions WHERE age >= 40 ORDER BY date",
+        "SELECT name, age FROM admissions JOIN db2.patients ON admissions.pid = patients.pid",
+        "SELECT pid, count(*) AS n, avg(age) AS mean_age FROM admissions GROUP BY pid",
+    ];
+    let build = |shards: usize, fusion: bool, contended: bool| {
+        let mut fleet = AcceleratorFleet::workstation();
+        if contended {
+            for kind in [DeviceKind::Gpu, DeviceKind::Fpga, DeviceKind::Tpu] {
+                fleet = fleet.with_capacity(kind, 1);
+            }
+        }
+        Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients: 60_000,
+            vitals_per_patient: 1,
+            seed: 2019,
+        }))
+        .accelerators(fleet)
+        .opt_level(OptLevel::L2)
+        .kernel_fusion(fusion)
+        .shards(shards)
+        .build()
+    };
+    // One grid point: run the mixed workload, accumulate simulated
+    // time, queue waits, the output digest, and prove every planned
+    // fused chain executed with exactly its planned membership.
+    struct Point {
+        sim_ms: f64,
+        queue_ms: f64,
+        chains: usize,
+        digest: u64,
+    }
+    let run = |system: &Polystore| -> Result<Point> {
+        let mut point = Point {
+            sim_ms: 0.0,
+            queue_ms: 0.0,
+            chains: 0,
+            digest: driver::FNV_OFFSET,
+        };
+        let programs = [two_sort_program(), twin_train_program()];
+        let mut reports = Vec::new();
+        for p in programs {
+            reports.push(system.run_program(p)?);
+        }
+        for q in sql_queries {
+            reports.push(system.run_sql(q)?);
+        }
+        for r in &reports {
+            point.sim_ms += r.makespan() * 1e3;
+            point.queue_ms += r.execution.queue_wait_seconds * 1e3;
+            point.digest =
+                driver::fnv1a(format!("{:?}", r.execution.outputs).as_bytes(), point.digest);
+            let planned = r.placement.as_ref().expect("L2 places");
+            let plan_key: Vec<_> = planned
+                .fused_chains
+                .iter()
+                .map(|c| (c.shard, c.device, c.nodes.clone()))
+                .collect();
+            let exec_key: Vec<_> = r
+                .execution
+                .fused_chains
+                .iter()
+                .map(|c| (c.shard, c.device, c.nodes.clone()))
+                .collect();
+            if plan_key != exec_key {
+                return Err(pspp_common::Error::Execution(format!(
+                    "silent fission: planned chains {plan_key:?} executed as {exec_key:?}"
+                )));
+            }
+            point.chains += exec_key.len();
+        }
+        Ok(point)
+    };
+
+    let mut baseline_digest = None;
+    let mut fusion_x_1s = 0.0;
+    let mut fusion_x_4s = 0.0;
+    let mut queue_ms_contended = 0.0;
+    for shards in [1usize, 2, 4] {
+        for contended in [false, true] {
+            let mut sim_by_fusion = [0.0f64; 2];
+            for fusion in [false, true] {
+                let point = run(&build(shards, fusion, contended)?)?;
+                let config = format!(
+                    "fusion={} queue={}",
+                    if fusion { "on " } else { "off" },
+                    if contended { "cap1" } else { "excl" },
+                );
+                writeln!(
+                    out,
+                    "{config:<20} {shards:<7} {:>6} {:>9.3} {:>8.3}  {:016x}",
+                    point.chains, point.queue_ms, point.sim_ms, point.digest
+                )
+                .ok();
+                match baseline_digest {
+                    None => baseline_digest = Some(point.digest),
+                    Some(base) if base != point.digest => {
+                        return Err(pspp_common::Error::Execution(format!(
+                            "bytes diverged at fusion={fusion} contended={contended} \
+                             shards={shards}: {:016x} vs {base:016x}",
+                            point.digest
+                        )));
+                    }
+                    Some(_) => {}
+                }
+                if fusion && point.chains == 0 {
+                    return Err(pspp_common::Error::Execution(
+                        "fusion on but no chain formed".into(),
+                    ));
+                }
+                if !fusion && point.chains != 0 {
+                    return Err(pspp_common::Error::Execution(
+                        "fusion off but chains executed".into(),
+                    ));
+                }
+                if contended && point.queue_ms <= 0.0 {
+                    return Err(pspp_common::Error::Execution(
+                        "declared capacity produced no queue wait".into(),
+                    ));
+                }
+                if !contended && point.queue_ms != 0.0 {
+                    return Err(pspp_common::Error::Execution(
+                        "exclusive fleet should never queue".into(),
+                    ));
+                }
+                sim_by_fusion[usize::from(fusion)] = point.sim_ms;
+                if contended && fusion {
+                    queue_ms_contended = point.queue_ms;
+                }
+            }
+            let fusion_x = sim_by_fusion[0] / sim_by_fusion[1].max(f64::MIN_POSITIVE);
+            if sim_by_fusion[1] >= sim_by_fusion[0] {
+                return Err(pspp_common::Error::Execution(format!(
+                    "fused does not beat unfused at shards={shards} \
+                     contended={contended}: {:.3}ms vs {:.3}ms",
+                    sim_by_fusion[1], sim_by_fusion[0]
+                )));
+            }
+            if !contended {
+                if shards == 1 {
+                    fusion_x_1s = fusion_x;
+                } else if shards == 4 {
+                    fusion_x_4s = fusion_x;
+                }
+            }
+        }
+    }
+    bench_metric("fusion_x_1s", fusion_x_1s);
+    bench_metric("fusion_x_4s", fusion_x_4s);
+    bench_metric("queue_ms_contended", queue_ms_contended);
+    writeln!(
+        out,
+        "fusion_guard: fusion_x_1s={fusion_x_1s:.4} fusion_x_4s={fusion_x_4s:.4} \
+         queue_ms={queue_ms_contended:.3}"
+    )
+    .ok();
+    writeln!(
+        out,
+        "shape check: byte-identical digests across the full grid; fused beats unfused \
+         at every (contention, shards) point; planned chains == executed chains \
+         everywhere (zero silent fission); queue waits appear exactly under declared \
+         capacity"
+    )
+    .ok();
     Ok(out)
 }
 

@@ -63,6 +63,8 @@ pub struct PolystoreBuilder {
     shard_fleets: Vec<(ShardId, AcceleratorFleet)>,
     result_cache: bool,
     materialize_repartitions: bool,
+    kernel_fusion: bool,
+    fleet_aware_placement: bool,
 }
 
 impl PolystoreBuilder {
@@ -150,6 +152,28 @@ impl PolystoreBuilder {
         self
     }
 
+    /// Enables/disables device-resident kernel fusion in the planner
+    /// (default: on): adjacent plan nodes whose device picks land on
+    /// the same coprocessor of the same shard run back-to-back on the
+    /// device, paying the host↔device (PCIe) transfer once at the
+    /// chain head instead of per node. Off restores strictly per-node
+    /// offload pricing — the unfused baseline E23 compares against.
+    pub fn kernel_fusion(mut self, on: bool) -> Self {
+        self.kernel_fusion = on;
+        self
+    }
+
+    /// Enables fleet-aware shard placement (default: off): a
+    /// cost-ranked swap over the registry's replica map that reassigns
+    /// the declared per-shard device fleets so kernel-heavy (row-heavy)
+    /// shard replicas get the accelerator-bearing fleets. Only the
+    /// fleet↔shard assignment moves — no rows are redistributed — so
+    /// results are byte-identical with the pass off.
+    pub fn fleet_aware_placement(mut self, on: bool) -> Self {
+        self.fleet_aware_placement = on;
+        self
+    }
+
     /// Enables/disables materialized repartitions (default: off): the
     /// executor persists shuffled layouts whose cumulative exchange
     /// cost exceeds the one-time copy cost into the registry's copy
@@ -200,6 +224,65 @@ impl PolystoreBuilder {
             }
         }
 
+        // Fleet-aware shard placement (opt-in): reassign the declared
+        // device fleets across the replica map so kernel-heavy
+        // (row-heavy) shards get the accelerator-bearing fleets.
+        // Shards rank by resident rows (ties to the lower id), fleets
+        // by attached-device count (ties keep their original shard
+        // order), matched rank-for-rank. Only the fleet<->shard
+        // assignment moves — rows stay put — so results are
+        // byte-identical with the pass off.
+        if self.fleet_aware_placement && !self.shard_fleets.is_empty() {
+            let registry = &self.deployment.registry;
+            let width = registry
+                .list()
+                .iter()
+                .map(|(id, _)| registry.shard_count(id))
+                .max()
+                .unwrap_or(1)
+                .max(
+                    self.shard_fleets
+                        .iter()
+                        .map(|(s, _)| s.0 as usize + 1)
+                        .max()
+                        .unwrap_or(1),
+                );
+            let mut ranked_shards: Vec<(ShardId, usize)> = (0..width as u32)
+                .map(|raw| {
+                    let shard = ShardId(raw);
+                    let rows: usize = registry
+                        .list()
+                        .iter()
+                        .filter_map(|(id, _)| registry.relational_shard(id, shard).ok())
+                        .map(|store| store.total_rows())
+                        .sum();
+                    (shard, rows)
+                })
+                .collect();
+            ranked_shards.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let fleet_for = |shard: ShardId| {
+                self.shard_fleets
+                    .iter()
+                    .find(|(s, _)| *s == shard)
+                    .map(|(_, f)| f.clone())
+                    .unwrap_or_else(|| self.fleet.clone())
+            };
+            let mut ranked_fleets: Vec<(ShardId, AcceleratorFleet)> = (0..width as u32)
+                .map(|raw| (ShardId(raw), fleet_for(ShardId(raw))))
+                .collect();
+            ranked_fleets.sort_by(|a, b| {
+                b.1.devices()
+                    .len()
+                    .cmp(&a.1.devices().len())
+                    .then(a.0.cmp(&b.0))
+            });
+            self.shard_fleets = ranked_shards
+                .into_iter()
+                .zip(ranked_fleets)
+                .map(|((shard, _), (_, fleet))| (shard, fleet))
+                .collect();
+        }
+
         // Device fleets ride the registry — the deployment-wide
         // default plus any per-shard overrides — and are mirrored into
         // the cost model, so planned and executed device picks come
@@ -227,6 +310,7 @@ impl PolystoreBuilder {
             )
             .with_colocation(self.colocated_joins)
             .with_exchange(self.exchange)
+            .with_fusion(self.kernel_fusion)
             .with_shard_fleets(shard_fleets);
         if self.materialize_repartitions {
             // The model consults the same live copy store the executor
@@ -313,6 +397,8 @@ impl Polystore {
             shard_fleets: Vec::new(),
             result_cache: false,
             materialize_repartitions: false,
+            kernel_fusion: true,
+            fleet_aware_placement: false,
         }
     }
 
@@ -1001,5 +1087,241 @@ mod tests {
             .unwrap();
         let report = s.run_program(program).unwrap();
         assert!(report.execution.outputs[0].try_model().is_ok());
+    }
+
+    fn two_sort_program() -> Program {
+        use pspp_ir::{Operator, SortSpec};
+        let mut p = Program::new();
+        let scan = p.add_source(
+            Operator::scan(TableRef::new("db1", "admissions")),
+            "sql",
+        );
+        let by_age = p.add_node(
+            Operator::Sort {
+                keys: vec![SortSpec {
+                    column: "age".into(),
+                    ascending: true,
+                }],
+            },
+            vec![scan],
+            "sql",
+        );
+        let by_pid = p.add_node(
+            Operator::Sort {
+                keys: vec![SortSpec {
+                    column: "pid".into(),
+                    ascending: true,
+                }],
+            },
+            vec![by_age],
+            "sql",
+        );
+        p.mark_output(by_pid);
+        p
+    }
+
+    /// Fleet-aware shard placement, measured end-to-end: the workstation
+    /// fleet is declared at the row-light shard, so without the pass the
+    /// gathered big sort (which runs at the row-heavy shard 0) stays on
+    /// the host. The opt-in builder pass swaps the fleets rank-for-rank,
+    /// the heavy shard gains the accelerators, the sort offloads — and
+    /// because only the fleet assignment moves (rows stay put), results
+    /// are byte-identical with the pass off.
+    #[test]
+    fn fleet_aware_placement_accelerates_the_heavy_shard() {
+        let build = |aware: bool| {
+            Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+                patients: 60_000,
+                vitals_per_patient: 1,
+                seed: 17,
+            }))
+            .accelerators(AcceleratorFleet::cpu_only())
+            .partition(
+                TableRef::new("db1", "admissions"),
+                PartitionSpec::range("pid", vec![Value::Int(54_000)]),
+            )
+            .fleet_at(ShardId(0), AcceleratorFleet::cpu_only())
+            .fleet_at(ShardId(1), AcceleratorFleet::workstation())
+            .opt_level(OptLevel::L2)
+            .fleet_aware_placement(aware)
+            .build()
+            .expect("valid config")
+        };
+        let off = build(false);
+        let on = build(true);
+        // The pass moved the device-bearing fleet to the heavy shard.
+        assert_eq!(
+            on.registry().fleet_at(ShardId(0)).map(|f| f.devices().len()),
+            Some(AcceleratorFleet::workstation().devices().len()),
+            "row-heavy shard carries the accelerators after the swap"
+        );
+        assert_eq!(
+            on.registry().fleet_at(ShardId(1)).map(|f| f.devices().len()),
+            Some(0)
+        );
+        assert_eq!(
+            off.registry().fleet_at(ShardId(0)).map(|f| f.devices().len()),
+            Some(0),
+            "without the pass the declared (mis)placement stands"
+        );
+        let a = off.run_program(two_sort_program()).unwrap();
+        let b = on.run_program(two_sort_program()).unwrap();
+        assert_eq!(
+            a.execution.outputs[0].try_rows().unwrap(),
+            b.execution.outputs[0].try_rows().unwrap(),
+            "fleet-aware placement must not change result bytes"
+        );
+        assert!(
+            b.makespan() < a.makespan(),
+            "accelerating the heavy shard improves the measured makespan \
+             ({} vs {})",
+            b.makespan(),
+            a.makespan()
+        );
+    }
+
+    /// Kernel fusion end-to-end: back-to-back big sorts fuse into one
+    /// device-resident chain; the executor runs exactly the planned
+    /// chains (no silent fission), the fused run beats the unfused one,
+    /// results stay byte-identical, and the `pspp_fused_chains` counter
+    /// survives a Prometheus render/parse round trip.
+    #[test]
+    fn fused_chains_execute_as_planned_and_export_metrics() {
+        let build = |fusion: bool| {
+            Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+                patients: 60_000,
+                vitals_per_patient: 1,
+                seed: 29,
+            }))
+            .accelerators(AcceleratorFleet::workstation())
+            .opt_level(OptLevel::L2)
+            .kernel_fusion(fusion)
+            .build()
+            .expect("valid config")
+        };
+        let fused = build(true);
+        let unfused = build(false);
+        let a = fused.run_program(two_sort_program()).unwrap();
+        let b = unfused.run_program(two_sort_program()).unwrap();
+
+        let planned = a.placement.as_ref().expect("L2 placed");
+        assert!(
+            !planned.fused_chains.is_empty(),
+            "back-to-back big sorts form a fused chain"
+        );
+        assert!(planned.fused_chains.iter().all(|c| c.nodes.len() >= 2));
+        // Planned chains == executed chains: same membership, same
+        // device, and the executor's billed transfer savings match the
+        // planner's estimate.
+        let executed = &a.execution.fused_chains;
+        assert_eq!(executed.len(), planned.fused_chains.len());
+        for (p, e) in planned.fused_chains.iter().zip(executed) {
+            assert_eq!(p.nodes, e.nodes, "chain membership executed as planned");
+            assert_eq!(p.shard, e.shard);
+            assert_eq!(p.device, e.device);
+            assert!(
+                (p.saved_seconds - e.saved_seconds).abs() <= 1e-9,
+                "planned savings {} vs executed {}",
+                p.saved_seconds,
+                e.saved_seconds
+            );
+        }
+        assert!(
+            b.placement.as_ref().expect("L2 placed").fused_chains.is_empty()
+                && b.execution.fused_chains.is_empty(),
+            "fusion off plans and executes no chains"
+        );
+        assert_eq!(
+            a.execution.outputs[0].try_rows().unwrap(),
+            b.execution.outputs[0].try_rows().unwrap(),
+            "fusion must not change result bytes"
+        );
+        assert!(
+            a.makespan() < b.makespan(),
+            "device-resident chain beats per-node PCIe round trips \
+             ({} vs {})",
+            a.makespan(),
+            b.makespan()
+        );
+
+        // Prometheus round trip: render the registry, parse it back,
+        // and find the fused-chain counter.
+        let text = pspp_telemetry::prom::render(&fused.metrics().snapshot());
+        let samples = pspp_telemetry::prom::parse(&text).expect("well-formed exposition");
+        let fused_total: f64 = samples
+            .iter()
+            .filter(|s| s.name == "pspp_fused_chains")
+            .map(|s| s.value)
+            .sum();
+        assert!(
+            fused_total >= 1.0,
+            "fused-chain counter exported: {text}"
+        );
+    }
+
+    /// Contended-device queueing end-to-end: two same-stage training
+    /// tasks target the lone TPU, the loser queues behind the winner in
+    /// deterministic slot order, the executed queue wait equals the
+    /// planned one, and `pspp_device_queue_seconds` survives a
+    /// Prometheus render/parse round trip.
+    #[test]
+    fn contended_devices_queue_and_export_wait_metrics() {
+        use pspp_ir::Operator;
+        let s = Polystore::from_deployment(datagen::clinical(&ClinicalConfig {
+            patients: 5_000,
+            vitals_per_patient: 1,
+            seed: 7,
+        }))
+        .accelerators(
+            AcceleratorFleet::workstation()
+                .with_capacity(pspp_common::DeviceKind::Tpu, 1)
+                .with_capacity(pspp_common::DeviceKind::Gpu, 1)
+                .with_capacity(pspp_common::DeviceKind::Fpga, 1),
+        )
+        .opt_level(OptLevel::L2)
+        .build()
+        .expect("valid config");
+        let mut p = Program::new();
+        let scan = p.add_source(
+            Operator::scan(TableRef::new("db1", "admissions")),
+            "sql",
+        );
+        let train = |p: &mut Program, input| {
+            p.add_node(
+                Operator::TrainMlp {
+                    label_column: "long_stay".into(),
+                    hidden: vec![64],
+                    epochs: 4,
+                    batch_size: 32,
+                    learning_rate: 0.3,
+                },
+                vec![input],
+                "ml",
+            )
+        };
+        let t1 = train(&mut p, scan);
+        let t2 = train(&mut p, scan);
+        p.mark_output(t1);
+        p.mark_output(t2);
+        let report = s.run_program(p).unwrap();
+        let planned = report.placement.as_ref().expect("L2 placed");
+        assert!(
+            planned.queue_wait_seconds > 0.0,
+            "one train queues behind the other on the lone TPU"
+        );
+        assert!(
+            (report.execution.queue_wait_seconds - planned.queue_wait_seconds).abs() <= 1e-9,
+            "executed queue wait {} matches planned {}",
+            report.execution.queue_wait_seconds,
+            planned.queue_wait_seconds
+        );
+        let text = pspp_telemetry::prom::render(&s.metrics().snapshot());
+        let samples = pspp_telemetry::prom::parse(&text).expect("well-formed exposition");
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "pspp_device_queue_seconds_count" && s.value >= 1.0),
+            "queue-wait histogram exported: {text}"
+        );
     }
 }

@@ -38,7 +38,37 @@ pub use shard::{
 
 use serde::{Deserialize, Serialize};
 
-use pspp_common::{DeviceKind, EngineId};
+use pspp_common::{DeviceKind, EngineId, ShardId};
+
+/// One node's membership in a fused device-resident chain, attached to
+/// a scatter slot by the placement pass: the chain pays the host→device
+/// transfer once at the head (`pos == 0`) and intermediate edges move
+/// over the device-local link instead of PCIe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionTag {
+    /// Index of the chain in the placement plan's `fused_chains`.
+    pub chain: usize,
+    /// Position of this node within the chain (0 = head).
+    pub pos: usize,
+    /// Total chain length in nodes.
+    pub len: usize,
+}
+
+/// A device-resident fused chain at one shard: adjacent plan nodes
+/// whose picks landed on the same coprocessor, executed back-to-back
+/// without surfacing intermediates to the host (§III–§IV: pipeline the
+/// operators, pay PCIe once).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedChain {
+    /// The shard replica the chain runs at.
+    pub shard: ShardId,
+    /// The coprocessor every member runs on.
+    pub device: DeviceKind,
+    /// Member nodes in producer → consumer order.
+    pub nodes: Vec<NodeId>,
+    /// Intermediate-transfer seconds saved vs unfused per-node offload.
+    pub saved_seconds: f64,
+}
 
 /// Per-node plan annotations filled in by the optimizer (§IV-B.3:
 /// "the core must decide where each task should be assigned").
@@ -56,6 +86,15 @@ pub struct Annotations {
     /// everywhere".
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub shard_devices: Option<Vec<DeviceKind>>,
+    /// Per scatter-slot fused-chain membership, aligned with the
+    /// [`NodeShard::scatter`] order (index 0 for unsharded nodes).
+    /// `None` (and `None` entries) mean the slot runs unfused.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_fusion: Option<Vec<Option<FusionTag>>>,
+    /// Per scatter-slot device queue wait (seconds) charged by the
+    /// contended-device pass, aligned with the scatter order.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_queue_waits: Option<Vec<f64>>,
     /// Estimated output rows.
     pub est_rows: Option<f64>,
     /// Estimated output bytes.

@@ -10,11 +10,16 @@ use std::collections::{BTreeMap, HashMap};
 
 use pspp_accel::exchange::shuffle_bill;
 use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
-use pspp_accel::{AcceleratorFleet, Interconnect, KernelClass, LogCa, SimDuration};
+use pspp_accel::{
+    AcceleratorFleet, DeploymentMode, Interconnect, KernelClass, LogCa, SimDuration,
+};
 use pspp_common::{
     DataModel, DeviceKind, MaterializedRepartitions, PartitionSpec, Result, ShardId, TableRef,
 };
-use pspp_ir::{ExchangeCounts, ExchangeKind, NodeId, Operator, PlanOptions, Program, ShardPlan};
+use pspp_ir::{
+    ExchangeCounts, ExchangeKind, FusedChain, FusionTag, NodeId, Operator, PlanOptions, Program,
+    ShardPlan,
+};
 
 use crate::rewrite::resolve_fused;
 
@@ -73,6 +78,14 @@ pub struct PlacementPlan {
     /// fleet lacks the device the default fleet would have picked —
     /// the price of heterogeneity, surfaced rather than panicked over.
     pub host_fallbacks: usize,
+    /// Device-resident fused chains formed by the fusion pass, in
+    /// discovery order. [`pspp_ir::Annotations::shard_fusion`] tags
+    /// index into this vector, so executed fusion (reported by the
+    /// executor per task) can be asserted equal to the plan.
+    pub fused_chains: Vec<FusedChain>,
+    /// Total planned device-queue wait across contended slots,
+    /// included in the affected nodes' critical paths.
+    pub queue_wait_seconds: f64,
 }
 
 impl PlacementPlan {
@@ -113,6 +126,10 @@ pub struct CostModel {
     /// executor runs with materialization on: shuffle edges with a
     /// live stored layout plan as copy-served and price at zero.
     repartitions: Option<MaterializedRepartitions>,
+    /// Whether placement runs the device-resident kernel-fusion pass
+    /// (on by default): adjacent same-device coprocessor picks form
+    /// chains that pay the host link once at the head.
+    fusion: bool,
     /// Cross-engine migration link.
     pub migration_link: Interconnect,
 }
@@ -128,8 +145,17 @@ impl CostModel {
             colocate: true,
             exchange: true,
             repartitions: None,
+            fusion: true,
             migration_link: Interconnect::network_10g(),
         }
+    }
+
+    /// This model with the kernel-fusion pass on (default) or off —
+    /// off prices every offloaded node in isolation, paying the host
+    /// link per node (the pre-pipeline baseline E23 measures against).
+    pub fn with_fusion(mut self, on: bool) -> Self {
+        self.fusion = on;
+        self
     }
 
     /// This model with the deployment's partition specs, enabling
@@ -427,15 +453,20 @@ impl CostModel {
         let mut t =
             SimDuration::from_secs(profile.cycles_to_s(cycles + profile.launch_overhead_cycles));
         if let Some(attached) = fleet.device(device) {
-            // Sorting offload ships keys + row ids (16 B/row), not whole
-            // payloads; the host applies the returned permutation.
-            let transfer_bytes = match op {
-                Operator::Sort { .. } | Operator::SortMergeJoin { .. } => est_rows as u64 * 16,
-                _ => est_bytes.max(0.0) as u64,
-            };
-            t += attached.transfer_cost(transfer_bytes);
+            t += attached.transfer_cost(Self::transfer_bytes(op, est_rows, est_bytes));
         }
         Some(t)
+    }
+
+    /// Bytes `op` ships across the offload boundary at the given
+    /// volume: sorting offload ships keys + row ids (16 B/row), not
+    /// whole payloads (the host applies the returned permutation);
+    /// everything else ships its payload.
+    pub fn transfer_bytes(op: &Operator, est_rows: f64, est_bytes: f64) -> u64 {
+        match op {
+            Operator::Sort { .. } | Operator::SortMergeJoin { .. } => est_rows.max(0.0) as u64 * 16,
+            _ => est_bytes.max(0.0) as u64,
+        }
     }
 
     /// The LogCA profitability model \[43\] for offloading `op` to
@@ -543,11 +574,14 @@ impl CostModel {
         let mut node_seconds = HashMap::new();
         let mut scatter_width = HashMap::new();
         let mut device_picks = HashMap::new();
+        let mut slot_secs: HashMap<NodeId, Vec<f64>> = HashMap::new();
+        let mut volumes: HashMap<NodeId, (f64, f64)> = HashMap::new();
+        let mut gathers: HashMap<NodeId, f64> = HashMap::new();
         let mut host_fallbacks = 0usize;
         let mut offloaded = 0usize;
         let mut total = 0.0f64;
         let mut exchange_seconds = 0.0f64;
-        for id in order {
+        for &id in &order {
             let node = program.node(id).clone();
             if node.annotations.fused_into_consumer {
                 continue;
@@ -689,8 +723,7 @@ impl CostModel {
                 .map(|(d, _)| d)
                 .unwrap_or(DeviceKind::Cpu);
             let scatter = plan.node(id).scatter.clone();
-            let mut picks = Vec::with_capacity(scatter.len());
-            let mut critical = (DeviceKind::Cpu, 0.0f64);
+            let mut per_slot = Vec::with_capacity(scatter.len());
             for &shard in &scatter {
                 let (device, secs) = match best_on(self.shard_fleet(shard)) {
                     Some((d, t)) => (d, t.as_secs()),
@@ -700,25 +733,15 @@ impl CostModel {
                     host_fallbacks += 1;
                 }
                 device_picks.insert((id, shard), device);
-                picks.push(device);
-                if secs > critical.1 || picks.len() == 1 {
-                    critical = (device, secs);
-                }
-            }
-            let seconds = critical.1 + gather;
-            if picks.iter().any(|&d| d != DeviceKind::Cpu) {
-                offloaded += 1;
+                per_slot.push(secs);
             }
             scatter_width.insert(id, width);
-            let ann = &mut program.node_mut(id).annotations;
-            // `device` carries the critical slot's pick (the single
-            // global answer pre-heterogeneity callers read);
-            // `shard_devices` the per-slot map the executor consumes.
-            ann.device = Some(critical.0);
-            ann.shard_devices = if width > 1 { Some(picks) } else { None };
-            ann.est_seconds = Some(seconds);
+            slot_secs.insert(id, per_slot);
+            volumes.insert(id, (task_rows, task_bytes));
+            gathers.insert(id, gather);
             // Engine: sources stay with their table; transforms inherit
             // the first input's engine (data gravity).
+            let ann = &mut program.node_mut(id).annotations;
             if let Some(t) = node.op.source_table() {
                 ann.engine = Some(t.engine.clone());
             } else if let Some(&first) = node.inputs.first() {
@@ -729,6 +752,69 @@ impl CostModel {
                     .clone();
                 program.node_mut(id).annotations.engine = inherited;
             }
+        }
+        // Pipeline-granular adjustment passes over the per-slot picks:
+        // device-resident kernel fusion, then contended-device
+        // queueing over the (possibly promoted) picks.
+        let mut fusion_tags: HashMap<NodeId, Vec<Option<FusionTag>>> = HashMap::new();
+        let fused_chains = if self.fusion {
+            self.fuse_pass(
+                program,
+                &plan,
+                &order,
+                &mut device_picks,
+                &mut slot_secs,
+                &volumes,
+                &mut fusion_tags,
+            )
+        } else {
+            Vec::new()
+        };
+        let (queue_waits, queue_wait_seconds) = self.queue_pass(
+            program,
+            &plan,
+            &mut device_picks,
+            &mut slot_secs,
+            &volumes,
+            &fusion_tags,
+        )?;
+        // Finalize per-node estimates from the adjusted slots: the
+        // node's estimate is the critical (slowest) slot — device time
+        // plus any queue wait — matching the executor's
+        // max-over-shards accounting.
+        for &id in &order {
+            if program.node(id).annotations.fused_into_consumer {
+                continue;
+            }
+            let scatter = &plan.node(id).scatter;
+            let secs_slots = &slot_secs[&id];
+            let waits = queue_waits.get(&id);
+            let mut picks = Vec::with_capacity(scatter.len());
+            let mut critical = (DeviceKind::Cpu, 0.0f64);
+            for (k, &shard) in scatter.iter().enumerate() {
+                let device = device_picks[&(id, shard)];
+                let secs = secs_slots[k] + waits.map_or(0.0, |w| w[k]);
+                picks.push(device);
+                if secs > critical.1 || picks.len() == 1 {
+                    critical = (device, secs);
+                }
+            }
+            let width = scatter_width[&id];
+            let seconds = critical.1 + gathers[&id];
+            if picks.iter().any(|&d| d != DeviceKind::Cpu) {
+                offloaded += 1;
+            }
+            let ann = &mut program.node_mut(id).annotations;
+            // `device` carries the critical slot's pick (the single
+            // global answer pre-heterogeneity callers read);
+            // `shard_devices` the per-slot map the executor consumes.
+            ann.device = Some(critical.0);
+            ann.shard_devices = if width > 1 { Some(picks) } else { None };
+            ann.shard_fusion = fusion_tags.get(&id).cloned();
+            ann.shard_queue_waits = waits
+                .filter(|w| w.iter().any(|&x| x > 0.0))
+                .cloned();
+            ann.est_seconds = Some(seconds);
             node_seconds.insert(id, seconds);
             total += seconds;
         }
@@ -759,7 +845,408 @@ impl CostModel {
             exchange_seconds,
             device_picks,
             host_fallbacks,
+            fused_chains,
+            queue_wait_seconds,
         })
+    }
+
+    /// Kernel-fusion pass (§III–§IV: pipeline operators on the
+    /// accelerator so intermediates never surface to the host). Walks
+    /// the plan in topological order and, per scatter slot, greedily
+    /// grows chains of adjacent nodes that can run back-to-back on the
+    /// same coprocessor of the same shard: the chain pays host→device
+    /// transfer once at the head, intermediate edges are billed at the
+    /// device-local link, and the LogCA profitability gate re-runs on
+    /// the chain as a whole — so a chain can be profitable where each
+    /// node alone is not (nodes get *promoted* onto the device), and a
+    /// set of individually-profitable nodes can stay unfused when the
+    /// chain math doesn't carry.
+    #[allow(clippy::too_many_arguments)]
+    fn fuse_pass(
+        &self,
+        program: &Program,
+        plan: &ShardPlan,
+        order: &[NodeId],
+        device_picks: &mut HashMap<(NodeId, ShardId), DeviceKind>,
+        slot_secs: &mut HashMap<NodeId, Vec<f64>>,
+        volumes: &HashMap<NodeId, (f64, f64)>,
+        fusion_tags: &mut HashMap<NodeId, Vec<Option<FusionTag>>>,
+    ) -> Vec<FusedChain> {
+        // A producer edge is fusable only when the producer's full
+        // output flows straight into this one consumer on the same
+        // shard layout: a Local exchange, single consumer, not a
+        // program output, identical scatter vectors.
+        let mut consumer_count: HashMap<NodeId, usize> = HashMap::new();
+        for n in program.nodes() {
+            if n.annotations.fused_into_consumer {
+                continue;
+            }
+            for &i in &n.inputs {
+                *consumer_count
+                    .entry(resolve_fused(program, i))
+                    .or_insert(0) += 1;
+            }
+        }
+        let outputs: Vec<NodeId> = program.outputs().to_vec();
+        // Open chains under construction, keyed by (tail node, shard).
+        struct Build {
+            shard: ShardId,
+            slot: usize,
+            device: DeviceKind,
+            nodes: Vec<NodeId>,
+            /// Fused per-member device seconds, head first.
+            member_secs: Vec<f64>,
+            /// Total fused chain seconds.
+            fused: f64,
+            /// Total standalone (pre-fusion) slot seconds.
+            solo: f64,
+            /// Host (CPU) seconds for the whole chain.
+            host: f64,
+            /// Summed launch overheads across members.
+            launch: f64,
+            /// Head transfer granularity (the one PCIe payment).
+            head_g: u64,
+        }
+        let mut open: Vec<Build> = Vec::new();
+        let mut tails: HashMap<(NodeId, ShardId), usize> = HashMap::new();
+        for &id in order {
+            let node = program.node(id);
+            if node.annotations.fused_into_consumer {
+                continue;
+            }
+            // The eligible producer edge for this node, if any: the
+            // widest Local edge whose producer feeds only us.
+            let mut producer: Option<(NodeId, f64)> = None;
+            for (idx, &i) in node.inputs.iter().enumerate() {
+                let p = resolve_fused(program, i);
+                if !matches!(plan.node(id).exchange(idx), ExchangeKind::Local) {
+                    continue;
+                }
+                if consumer_count.get(&p).copied().unwrap_or(0) != 1 {
+                    continue;
+                }
+                if outputs.contains(&p) {
+                    continue;
+                }
+                if plan.node(p).scatter != plan.node(id).scatter {
+                    continue;
+                }
+                let divisor = if plan.node(id).colocated
+                    && plan.node(i).distribution.is_partitioned()
+                {
+                    plan.scatter_width(id) as f64
+                } else {
+                    1.0
+                };
+                let bytes =
+                    program.node(p).annotations.est_bytes.unwrap_or(64_000.0) / divisor;
+                if producer.is_none_or(|(_, b)| bytes > b) {
+                    producer = Some((p, bytes));
+                }
+            }
+            let scatter = plan.node(id).scatter.clone();
+            let (c_rows, c_bytes) = volumes[&id];
+            for (k, &shard) in scatter.iter().enumerate() {
+                let fleet = self.shard_fleet(shard);
+                let solo_c = slot_secs[&id][k];
+                let host_c =
+                    match Self::node_cost_on(fleet, &node.op, DeviceKind::Cpu, c_rows, c_bytes)
+                    {
+                        Some(t) => t.as_secs(),
+                        None => continue,
+                    };
+                // Try to extend an open chain ending at our producer.
+                if let Some(&bi) = producer.and_then(|(p, _)| tails.get(&(p, shard))) {
+                    let b = &open[bi];
+                    let pick = device_picks[&(id, shard)];
+                    // A slot already committed to a *different* device
+                    // breaks the chain; a host pick is promotable.
+                    if pick == b.device || pick == DeviceKind::Cpu {
+                        let (_, edge_bytes) = producer.unwrap();
+                        if let Some(body) = self.fused_member_cost(
+                            fleet,
+                            &node.op,
+                            b.device,
+                            c_rows,
+                            c_bytes,
+                            edge_bytes,
+                        ) {
+                            // Never extend past the point where the
+                            // member itself regresses vs its solo cost.
+                            if body <= solo_c {
+                                let launch = Self::launch_secs(fleet, b.device);
+                                let b = &mut open[bi];
+                                let prev_tail = *b.nodes.last().unwrap();
+                                b.nodes.push(id);
+                                b.member_secs.push(body);
+                                b.fused += body;
+                                b.solo += solo_c;
+                                b.host += host_c;
+                                b.launch += launch;
+                                tails.remove(&(prev_tail, shard));
+                                tails.insert((id, shard), bi);
+                                continue;
+                            }
+                        }
+                    }
+                }
+                // Otherwise try to seed a fresh chain on this edge:
+                // pick the cheapest coprocessor both endpoints can run
+                // on (attached in Coprocessor mode — a standalone or
+                // bump-in-the-wire device pays no PCIe and has nothing
+                // to fuse away).
+                let Some((p, edge_bytes)) = producer else {
+                    continue;
+                };
+                let p_node = program.node(p);
+                let (p_rows, p_bytes) = volumes[&p];
+                let solo_p = slot_secs[&p][k];
+                let host_p = match Self::node_cost_on(
+                    fleet,
+                    &p_node.op,
+                    DeviceKind::Cpu,
+                    p_rows,
+                    p_bytes,
+                ) {
+                    Some(t) => t.as_secs(),
+                    None => continue,
+                };
+                let p_pick = device_picks[&(p, shard)];
+                let c_pick = device_picks[&(id, shard)];
+                let mut best: Option<(DeviceKind, f64, f64)> = None;
+                for device in DeviceKind::all() {
+                    if device == DeviceKind::Cpu {
+                        continue;
+                    }
+                    // Respect committed non-host picks: fusing must
+                    // not silently move a slot off its chosen device.
+                    if (p_pick != DeviceKind::Cpu && p_pick != device)
+                        || (c_pick != DeviceKind::Cpu && c_pick != device)
+                    {
+                        continue;
+                    }
+                    let Some(attached) = fleet.device(device) else {
+                        continue;
+                    };
+                    if attached.mode != DeploymentMode::Coprocessor {
+                        continue;
+                    }
+                    let Some(head) = Self::node_cost_on(fleet, &p_node.op, device, p_rows, p_bytes)
+                    else {
+                        continue;
+                    };
+                    let Some(body) = self.fused_member_cost(
+                        fleet, &node.op, device, c_rows, c_bytes, edge_bytes,
+                    ) else {
+                        continue;
+                    };
+                    let head = head.as_secs();
+                    if best.is_none_or(|(_, h, b)| head + body < h + b) {
+                        best = Some((device, head, body));
+                    }
+                }
+                let Some((device, head, body)) = best else {
+                    continue;
+                };
+                // A seed that is already worse than the standalone
+                // picks can never be rescued by growing — skip it.
+                if head + body > solo_p + solo_c {
+                    continue;
+                }
+                let head_g = Self::transfer_bytes(&p_node.op, p_rows, p_bytes).max(1);
+                let launch = Self::launch_secs(fleet, device);
+                let bi = open.len();
+                open.push(Build {
+                    shard,
+                    slot: k,
+                    device,
+                    nodes: vec![p, id],
+                    member_secs: vec![head, body],
+                    fused: head + body,
+                    solo: solo_p + solo_c,
+                    host: host_p + host_c,
+                    launch: launch * 2.0,
+                    head_g,
+                });
+                tails.insert((id, shard), bi);
+            }
+        }
+        // Emit: re-run the LogCA profitability gate on each chain as a
+        // whole. The chain's LogCA parameters are derived so that
+        // speedup(g) >= 1 exactly when chain host time >= fused time.
+        let mut chains = Vec::new();
+        for b in open {
+            if b.nodes.len() < 2 || b.host <= 0.0 {
+                continue;
+            }
+            let fleet = self.shard_fleet(b.shard);
+            let Some(attached) = fleet.device(b.device) else {
+                continue;
+            };
+            let g = b.head_g;
+            let gf = g as f64;
+            let link_t = attached.transfer_cost(g).as_secs();
+            let kernel_t = (b.fused - b.launch - link_t).max(1e-15);
+            let logca = LogCa::new(
+                link_t / gf,
+                b.launch,
+                b.host / gf,
+                1.0,
+                (b.host / kernel_t).max(1e-6),
+            );
+            if logca.speedup(g) < 1.0 || b.fused > b.solo {
+                continue;
+            }
+            let chain = chains.len();
+            let len = b.nodes.len();
+            for (pos, (&nid, &secs)) in b.nodes.iter().zip(&b.member_secs).enumerate() {
+                device_picks.insert((nid, b.shard), b.device);
+                slot_secs.get_mut(&nid).unwrap()[b.slot] = secs;
+                let width = plan.node(nid).scatter.len();
+                fusion_tags
+                    .entry(nid)
+                    .or_insert_with(|| vec![None; width])[b.slot] =
+                    Some(FusionTag { chain, pos, len });
+            }
+            chains.push(FusedChain {
+                shard: b.shard,
+                device: b.device,
+                nodes: b.nodes,
+                saved_seconds: b.solo - b.fused,
+            });
+        }
+        chains
+    }
+
+    /// Contended-device queueing: when several (node, shard) slots of
+    /// one execution stage pick the same *physical* device (a fleet
+    /// with declared capacity), serialize them on a deterministic queue
+    /// — stable stage order, earliest-available server, ties to the
+    /// lowest server index — and put the wait on each slot's critical
+    /// path. A non-fused slot falls back to its host when waiting
+    /// beats the exclusive-price fiction; fused members wait rather
+    /// than fission their chain.
+    fn queue_pass(
+        &self,
+        program: &Program,
+        plan: &ShardPlan,
+        device_picks: &mut HashMap<(NodeId, ShardId), DeviceKind>,
+        slot_secs: &mut HashMap<NodeId, Vec<f64>>,
+        volumes: &HashMap<NodeId, (f64, f64)>,
+        fusion_tags: &HashMap<NodeId, Vec<Option<FusionTag>>>,
+    ) -> Result<(HashMap<NodeId, Vec<f64>>, f64)> {
+        let mut waits: HashMap<NodeId, Vec<f64>> = HashMap::new();
+        let mut total = 0.0f64;
+        for stage in program.execution_stages()? {
+            // One server vector per contention domain: shards with
+            // their own fleet own their physical devices; shards on
+            // the default fleet share one pool.
+            let mut servers: HashMap<(Option<ShardId>, DeviceKind), Vec<f64>> = HashMap::new();
+            for &id in &stage.compute {
+                let node = program.node(id);
+                let scatter = plan.node(id).scatter.clone();
+                for (k, &shard) in scatter.iter().enumerate() {
+                    let device = device_picks[&(id, shard)];
+                    if device == DeviceKind::Cpu {
+                        continue;
+                    }
+                    let fleet = self.shard_fleet(shard);
+                    let Some(cap) = fleet.capacity(device) else {
+                        continue;
+                    };
+                    let domain = (
+                        if self.shard_fleets.contains_key(&shard) {
+                            Some(shard)
+                        } else {
+                            None
+                        },
+                        device,
+                    );
+                    let queue = servers
+                        .entry(domain)
+                        .or_insert_with(|| vec![0.0; cap.max(1)]);
+                    let (si, avail) = queue
+                        .iter()
+                        .enumerate()
+                        .fold((0usize, f64::INFINITY), |(bi, bt), (i, &t)| {
+                            if t < bt {
+                                (i, t)
+                            } else {
+                                (bi, bt)
+                            }
+                        });
+                    let secs = slot_secs[&id][k];
+                    let fused = fusion_tags
+                        .get(&id)
+                        .and_then(|v| v[k])
+                        .is_some();
+                    if !fused && avail > 0.0 {
+                        let (rows, bytes) = volumes[&id];
+                        if let Some(host) = Self::node_cost_on(
+                            fleet,
+                            &node.op,
+                            DeviceKind::Cpu,
+                            rows,
+                            bytes,
+                        ) {
+                            let host = host.as_secs();
+                            if host < avail + secs {
+                                // Waiting beats the fiction of
+                                // exclusive access: run on the host
+                                // instead, freeing the device.
+                                device_picks.insert((id, shard), DeviceKind::Cpu);
+                                slot_secs.get_mut(&id).unwrap()[k] = host;
+                                continue;
+                            }
+                        }
+                    }
+                    if avail > 0.0 {
+                        waits.entry(id).or_insert_with(|| vec![0.0; scatter.len()])[k] = avail;
+                        total += avail;
+                    }
+                    queue[si] = avail + secs;
+                }
+            }
+        }
+        Ok((waits, total))
+    }
+
+    /// Cost of a non-head fused-chain member on `device` at one shard:
+    /// the standalone device cost with its host→device PCIe transfer
+    /// replaced by the device-local link moving the fused edge's
+    /// bytes. Requires a Coprocessor-mode attachment (other modes pay
+    /// no transfer, so fusion has nothing to save).
+    fn fused_member_cost(
+        &self,
+        fleet: &AcceleratorFleet,
+        op: &Operator,
+        device: DeviceKind,
+        est_rows: f64,
+        est_bytes: f64,
+        edge_bytes: f64,
+    ) -> Option<f64> {
+        let attached = fleet.device(device)?;
+        if attached.mode != DeploymentMode::Coprocessor {
+            return None;
+        }
+        let full = Self::node_cost_on(fleet, op, device, est_rows, est_bytes)?.as_secs();
+        let tb = Self::transfer_bytes(op, est_rows, est_bytes);
+        let pcie = attached.transfer_cost(tb).as_secs();
+        // The resident edge bills the same transfer-bytes convention the
+        // charger uses (sorts ship key+payload pairs, not raw edge
+        // payload), so planned savings equal executed savings.
+        let local_tb = Self::transfer_bytes(op, est_rows, edge_bytes.max(0.0));
+        let local = Interconnect::local().transfer_time(local_tb).as_secs();
+        Some((full - pcie + local).max(0.0))
+    }
+
+    /// Kernel-launch overhead of `device` in seconds (zero for a fleet
+    /// without the device).
+    fn launch_secs(fleet: &AcceleratorFleet, device: DeviceKind) -> f64 {
+        fleet
+            .device(device)
+            .map(|a| a.profile.cycles_to_s(a.profile.launch_overhead_cycles))
+            .unwrap_or(0.0)
     }
 }
 
@@ -1346,4 +1833,247 @@ mod tests {
             without.node_seconds[&j_base]
         );
     }
+
+    /// A chain profitable where each node alone is not: over a slow
+    /// (4 GB/s) coprocessor link, a single 1M-row sort loses to the
+    /// host because the PCIe shuttle erodes the kernel win, so both
+    /// sorts pick the CPU in isolation. Fusing the back-to-back sorts
+    /// pays PCIe once at the head and moves the intermediate over the
+    /// device-local link — the chain-level LogCA gate passes and both
+    /// nodes get *promoted* onto the FPGA.
+    #[test]
+    fn fusion_promotes_chain_profitable_nodes() {
+        let slow_fleet = || {
+            let mut link = Interconnect::pcie();
+            link.bandwidth_bps = 4.0e9;
+            AcceleratorFleet::new(
+                DeviceProfile::cpu(),
+                vec![AttachedDevice {
+                    profile: DeviceProfile::fpga(),
+                    mode: DeploymentMode::Coprocessor,
+                    link,
+                }],
+            )
+            .expect("cpu host")
+        };
+        let mut stats = HashMap::new();
+        stats.insert(
+            TableRef::new("db1", "big"),
+            TableStats {
+                rows: 1_000_000.0,
+                row_bytes: 64.0,
+            },
+        );
+        let two_sorts = || {
+            let mut p = Program::new();
+            let s = p.add_source(Operator::scan(TableRef::new("db1", "big")), "sql");
+            let sort1 = p.add_node(
+                Operator::Sort {
+                    keys: vec![SortSpec {
+                        column: "a".into(),
+                        ascending: true,
+                    }],
+                },
+                vec![s],
+                "sql",
+            );
+            let sort2 = p.add_node(
+                Operator::Sort {
+                    keys: vec![SortSpec {
+                        column: "b".into(),
+                        ascending: true,
+                    }],
+                },
+                vec![sort1],
+                "sql",
+            );
+            p.mark_output(sort2);
+            (p, sort1, sort2)
+        };
+
+        // Unfused baseline: each sort judged alone stays on the host.
+        let off = CostModel::new(slow_fleet(), stats.clone()).with_fusion(false);
+        let (mut p_off, s1_off, s2_off) = two_sorts();
+        let plan_off = off.place(&mut p_off).unwrap();
+        assert!(plan_off.fused_chains.is_empty());
+        assert_eq!(p_off.node(s1_off).annotations.device, Some(DeviceKind::Cpu));
+        assert_eq!(p_off.node(s2_off).annotations.device, Some(DeviceKind::Cpu));
+
+        // Fused: the sort->sort chain clears the chain-level gate.
+        let on = CostModel::new(slow_fleet(), stats);
+        let (mut p_on, s1_on, s2_on) = two_sorts();
+        let plan_on = on.place(&mut p_on).unwrap();
+        let chain = plan_on
+            .fused_chains
+            .iter()
+            .find(|c| c.nodes.contains(&s2_on))
+            .expect("sort->sort fused");
+        assert_eq!(chain.device, DeviceKind::Fpga);
+        assert!(chain.nodes.contains(&s1_on), "head rides the chain");
+        assert!(chain.saved_seconds > 0.0);
+        assert_eq!(p_on.node(s1_on).annotations.device, Some(DeviceKind::Fpga));
+        assert_eq!(p_on.node(s2_on).annotations.device, Some(DeviceKind::Fpga));
+        let tag = p_on.node(s2_on).annotations.shard_fusion.as_ref().unwrap()[0]
+            .expect("tail slot tagged");
+        assert_eq!((tag.pos, tag.len), (tag.len - 1, chain.nodes.len()));
+        assert!(
+            plan_on.total_seconds < plan_off.total_seconds,
+            "fused plan {} not under unfused {}",
+            plan_on.total_seconds,
+            plan_off.total_seconds
+        );
+    }
+
+    /// The opposite gate direction: nodes that are individually
+    /// profitable on *different* devices stay unfused — fusing would
+    /// silently move one off its best device, so the chain never forms
+    /// and both keep their standalone picks.
+    #[test]
+    fn fusion_rejects_chains_across_device_picks() {
+        let m = model();
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "big")), "sql");
+        let sort = p.add_node(
+            Operator::Sort {
+                keys: vec![SortSpec {
+                    column: "k".into(),
+                    ascending: true,
+                }],
+            },
+            vec![s],
+            "sql",
+        );
+        let train = p.add_node(
+            Operator::TrainMlp {
+                label_column: "y".into(),
+                hidden: vec![64, 32],
+                epochs: 10,
+                batch_size: 32,
+                learning_rate: 0.1,
+            },
+            vec![sort],
+            "ml",
+        );
+        p.mark_output(train);
+        let plan = m.place(&mut p).unwrap();
+        assert_eq!(p.node(sort).annotations.device, Some(DeviceKind::Fpga));
+        assert_eq!(p.node(train).annotations.device, Some(DeviceKind::Tpu));
+        assert!(
+            !plan
+                .fused_chains
+                .iter()
+                .any(|c| c.nodes.contains(&sort) && c.nodes.contains(&train)),
+            "sort (FPGA) and train (TPU) must not fuse"
+        );
+    }
+
+    /// Contended-device queueing: two same-stage training nodes both
+    /// want the single declared TPU. The placer serializes them in
+    /// stable slot order — the first runs immediately, the second
+    /// carries the queue wait on its critical path — and a declared
+    /// capacity of 2 dissolves the contention.
+    #[test]
+    fn contended_device_queues_in_stable_order() {
+        let mut stats = HashMap::new();
+        stats.insert(
+            TableRef::new("db1", "big"),
+            TableStats {
+                rows: 2_000_000.0,
+                row_bytes: 64.0,
+            },
+        );
+        let train = || Operator::TrainMlp {
+            label_column: "y".into(),
+            hidden: vec![64, 32],
+            epochs: 10,
+            batch_size: 32,
+            learning_rate: 0.1,
+        };
+        let program = || {
+            let mut p = Program::new();
+            let s = p.add_source(Operator::scan(TableRef::new("db1", "big")), "sql");
+            let t1 = p.add_node(train(), vec![s], "ml");
+            let t2 = p.add_node(train(), vec![s], "ml");
+            p.mark_output(t1);
+            p.mark_output(t2);
+            (p, t1, t2)
+        };
+
+        let contended =
+            CostModel::new(AcceleratorFleet::workstation().with_capacity(DeviceKind::Tpu, 1), stats.clone());
+        let (mut p1, t1, t2) = program();
+        let plan = contended.place(&mut p1).unwrap();
+        // Training's device win is enormous, so the loser waits rather
+        // than falling back to the host.
+        assert_eq!(p1.node(t1).annotations.device, Some(DeviceKind::Tpu));
+        assert_eq!(p1.node(t2).annotations.device, Some(DeviceKind::Tpu));
+        assert!(plan.queue_wait_seconds > 0.0);
+        assert!(p1.node(t1).annotations.shard_queue_waits.is_none());
+        let waits = p1.node(t2).annotations.shard_queue_waits.as_ref().unwrap();
+        assert!((waits[0] - plan.queue_wait_seconds).abs() < 1e-12);
+        assert!(
+            plan.node_seconds[&t2] > plan.node_seconds[&t1],
+            "the queued slot's wait rides its critical path"
+        );
+
+        // Two physical TPUs: no queue, identical estimates.
+        let wide =
+            CostModel::new(AcceleratorFleet::workstation().with_capacity(DeviceKind::Tpu, 2), stats.clone());
+        let (mut p2, w1, w2) = program();
+        let plan2 = wide.place(&mut p2).unwrap();
+        assert_eq!(plan2.queue_wait_seconds, 0.0);
+        assert!((plan2.node_seconds[&w1] - plan2.node_seconds[&w2]).abs() < 1e-12);
+
+        // Undeclared capacity keeps the historical exclusive-access
+        // pricing bit-exact.
+        let fiction = CostModel::new(AcceleratorFleet::workstation(), stats);
+        let (mut p3, f1, f2) = program();
+        let plan3 = fiction.place(&mut p3).unwrap();
+        assert_eq!(plan3.queue_wait_seconds, 0.0);
+        assert_eq!(plan3.node_seconds[&f1], plan2.node_seconds[&w1]);
+        assert_eq!(plan3.node_seconds[&f2], plan2.node_seconds[&w2]);
+    }
+
+    /// When waiting beats the exclusive-price fiction, the gate sends
+    /// the queued slot back to its host: two same-stage 2M-row sorts
+    /// contend for one FPGA whose win over the host is under 2x, so
+    /// serving the second from the queue would be slower than just
+    /// running it on the CPU.
+    #[test]
+    fn contention_falls_back_to_host_when_waiting_loses() {
+        let mut stats = HashMap::new();
+        stats.insert(
+            TableRef::new("db1", "big"),
+            TableStats {
+                rows: 2_000_000.0,
+                row_bytes: 64.0,
+            },
+        );
+        let sort = |col: &str| Operator::Sort {
+            keys: vec![SortSpec {
+                column: col.into(),
+                ascending: true,
+            }],
+        };
+        let m = CostModel::new(
+            AcceleratorFleet::workstation().with_capacity(DeviceKind::Fpga, 1),
+            stats,
+        );
+        let mut p = Program::new();
+        let s = p.add_source(Operator::scan(TableRef::new("db1", "big")), "sql");
+        let s1 = p.add_node(sort("a"), vec![s], "sql");
+        let s2 = p.add_node(sort("b"), vec![s], "sql");
+        p.mark_output(s1);
+        p.mark_output(s2);
+        let plan = m.place(&mut p).unwrap();
+        assert_eq!(p.node(s1).annotations.device, Some(DeviceKind::Fpga));
+        assert_eq!(
+            p.node(s2).annotations.device,
+            Some(DeviceKind::Cpu),
+            "queued sort falls back to the host"
+        );
+        assert_eq!(plan.queue_wait_seconds, 0.0, "a fallback never waits");
+    }
 }
+
+

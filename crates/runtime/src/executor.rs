@@ -91,6 +91,14 @@ pub struct ExecutionReport {
     /// `makespan_sequential` bit-for-bit. Always collected (they are
     /// cheap and pure); renderers consume them on demand.
     pub traces: Vec<NodeTrace>,
+    /// Device-resident fused chains the tasks actually honored,
+    /// reconstructed from the per-task fusion tags and indexed like the
+    /// plan's `fused_chains` — so planned == executed fusion is
+    /// assertable (members dropped by host fallbacks surface as shorter
+    /// chains, never silently).
+    pub fused_chains: Vec<pspp_ir::FusedChain>,
+    /// Total simulated device-queue wait the tasks paid.
+    pub queue_wait_seconds: f64,
 }
 
 impl ExecutionReport {
@@ -465,6 +473,41 @@ impl Executor {
         }
 
         let (makespan_sequential, makespan_pipelined) = makespans(&stages, &node_total);
+        // Rebuild the executed fused chains from the honored per-task
+        // tags: same indices as the plan's chains, members in chain
+        // position order, savings summed from the charger's resident-
+        // link discounts.
+        let mut executed_chains: std::collections::BTreeMap<
+            usize,
+            Vec<(usize, NodeId, ShardId, DeviceKind, f64)>,
+        > = std::collections::BTreeMap::new();
+        let mut queue_wait_seconds = 0.0f64;
+        for trace in &traces {
+            for task in &trace.tasks {
+                queue_wait_seconds += task.queue_seconds;
+                if let Some(tag) = task.fused {
+                    executed_chains.entry(tag.chain).or_default().push((
+                        tag.pos,
+                        trace.id,
+                        task.shard,
+                        task.device,
+                        task.fused_saved_seconds,
+                    ));
+                }
+            }
+        }
+        let fused_chains = executed_chains
+            .into_values()
+            .map(|mut members| {
+                members.sort_by_key(|&(pos, ..)| pos);
+                pspp_ir::FusedChain {
+                    shard: members[0].2,
+                    device: members[0].3,
+                    nodes: members.iter().map(|&(_, id, ..)| id).collect(),
+                    saved_seconds: members.iter().map(|&(.., s)| s).sum(),
+                }
+            })
+            .collect();
         let outputs = program
             .outputs()
             .iter()
@@ -485,6 +528,8 @@ impl Executor {
             offloaded,
             device_assignments,
             traces,
+            fused_chains,
+            queue_wait_seconds,
         })
     }
 
@@ -534,6 +579,25 @@ impl Executor {
                         "pspp_host_fallbacks_total",
                         "Tasks whose planned accelerator was unavailable",
                         &[],
+                    )
+                    .inc();
+            }
+            if task.queue_seconds > 0.0 {
+                metrics
+                    .histogram(
+                        "pspp_device_queue_seconds",
+                        "Simulated wait for a contended device per task",
+                        &[("device", &device)],
+                    )
+                    .observe_seconds(task.queue_seconds);
+            }
+            // Count each chain once, at its head.
+            if task.fused.is_some_and(|tag| tag.pos == 0) {
+                metrics
+                    .counter(
+                        "pspp_fused_chains",
+                        "Device-resident fused chains executed",
+                        &[("device", &device)],
                     )
                     .inc();
             }
@@ -1204,13 +1268,52 @@ impl Executor {
                 .unwrap_or_else(|| output.byte_size())
         }
         .max(output.byte_size());
-        let exec_seconds = if Charger::is_ml_op(op) {
-            Charger::ml_seconds(&scoped_ledger)
+        // Fused-chain membership is honored only when the task actually
+        // runs on the planned coprocessor: a host fallback drops the
+        // tag (counted fission, never silent), and non-head members
+        // read device-resident input over the local link instead of
+        // paying the attachment's PCIe transfer.
+        let fused = node
+            .annotations
+            .shard_fusion
+            .as_ref()
+            .and_then(|tags| tags.get(slot).copied())
+            .flatten()
+            .filter(|_| device == planned && device != DeviceKind::Cpu);
+        let resident_link = pspp_accel::Interconnect::local();
+        let (exec_seconds, fused_saved_seconds) = if Charger::is_ml_op(op) {
+            (Charger::ml_seconds(&scoped_ledger), 0.0)
         } else {
             Charger::new(fleet)
                 .with_metrics(self.metrics.as_ref())
-                .charge(&scoped_ledger, op, device, work_rows as u64, work_bytes, id)
+                .with_resident_link(
+                    fused.filter(|tag| tag.pos > 0).map(|_| &resident_link),
+                )
+                .charge_detailed(&scoped_ledger, op, device, work_rows as u64, work_bytes, id)
         };
+        // A contended device serves this slot after its queue wait; the
+        // wait rides the critical path (and the ledger), but only when
+        // the task really ran on the contended device.
+        let queue_seconds = if device != DeviceKind::Cpu && device == planned {
+            node.annotations
+                .shard_queue_waits
+                .as_ref()
+                .and_then(|w| w.get(slot).copied())
+                .unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        if queue_seconds > 0.0 {
+            scoped_ledger.post(
+                format!("executor.queue_wait@{id}"),
+                device,
+                pspp_accel::EventKind::Launch,
+                0,
+                pspp_accel::SimDuration::from_secs(queue_seconds),
+                0.0,
+            );
+        }
+        let critical_seconds = exec_seconds + bill.seconds + queue_seconds;
         let task_trace = TaskTrace {
             shard,
             slot,
@@ -1219,14 +1322,17 @@ impl Executor {
             rows: output.len(),
             exec_seconds,
             migration_seconds: bill.seconds,
-            critical_seconds: exec_seconds + bill.seconds,
+            critical_seconds,
+            queue_seconds,
+            fused,
+            fused_saved_seconds,
         };
         Ok(NodeRun {
             id,
             output,
             exec_seconds,
             migration_seconds: bill.seconds,
-            critical_seconds: exec_seconds + bill.seconds,
+            critical_seconds,
             offloaded: device != DeviceKind::Cpu && fleet.device(device).is_some(),
             assignments: vec![(shard, device)],
             events: scoped_ledger.events(),

@@ -1,7 +1,7 @@
 //! The charger: simulated cost attribution for operator execution.
 
 use pspp_accel::kernels::{BitonicSorter, Gemm, HashPartitioner, StreamFilter};
-use pspp_accel::{AcceleratorFleet, CostLedger, KernelClass, SimDuration};
+use pspp_accel::{AcceleratorFleet, CostLedger, Interconnect, KernelClass, SimDuration};
 use pspp_common::DeviceKind;
 use pspp_ir::{NodeId, Operator};
 use pspp_telemetry::MetricsRegistry;
@@ -15,6 +15,11 @@ pub struct Charger<'a> {
     /// Metrics sink for kernel-charge counters; borrowed so the charger
     /// stays `Copy`.
     metrics: Option<&'a MetricsRegistry>,
+    /// Device-resident input link: a non-head fused-chain member reads
+    /// its input from the device-local memory its producer left it in,
+    /// so the host↔device transfer is billed at this link instead of
+    /// the attachment's (PCIe) link.
+    resident: Option<&'a Interconnect>,
 }
 
 impl<'a> Charger<'a> {
@@ -23,12 +28,20 @@ impl<'a> Charger<'a> {
         Charger {
             fleet,
             metrics: None,
+            resident: None,
         }
     }
 
     /// Counts kernel charges per serving device into `metrics`.
     pub fn with_metrics(mut self, metrics: Option<&'a MetricsRegistry>) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Bills the charged operator's transfer at `link` instead of the
+    /// device attachment (fused-chain members after the head).
+    pub fn with_resident_link(mut self, link: Option<&'a Interconnect>) -> Self {
+        self.resident = link;
         self
     }
 
@@ -79,6 +92,21 @@ impl<'a> Charger<'a> {
         bytes: u64,
         node: NodeId,
     ) -> f64 {
+        self.charge_detailed(ledger, op, device, rows, bytes, node).0
+    }
+
+    /// [`Charger::charge`], additionally returning the transfer seconds
+    /// saved by a device-resident input link (zero when no
+    /// [`Charger::with_resident_link`] applies).
+    pub fn charge_detailed(
+        &self,
+        ledger: &CostLedger,
+        op: &Operator,
+        device: DeviceKind,
+        rows: u64,
+        bytes: u64,
+        node: NodeId,
+    ) -> (f64, f64) {
         let kernel = Self::kernel_for(op);
         let profile = match self.fleet.profile(device) {
             Some(p) if p.supports(kernel) && p.efficiency(kernel) > 0.0 => p,
@@ -96,12 +124,28 @@ impl<'a> Charger<'a> {
         };
         let mut t =
             SimDuration::from_secs(profile.cycles_to_s(cycles + profile.launch_overhead_cycles));
+        let mut saved = 0.0f64;
         if let Some(attached) = self.fleet.device(profile.kind()) {
             let transfer_bytes = match op {
                 Operator::Sort { .. } | Operator::SortMergeJoin { .. } => rows * 16,
                 _ => bytes,
             };
-            t += attached.transfer_cost(transfer_bytes);
+            let full = attached.transfer_cost(transfer_bytes);
+            let billed = match self.resident {
+                // Resident input: the producer left the data in device
+                // memory, so the transfer crosses the local link.
+                Some(link) => {
+                    let local = link.transfer_time(transfer_bytes);
+                    if local < full {
+                        local
+                    } else {
+                        full
+                    }
+                }
+                None => full,
+            };
+            saved = (full - billed).as_secs();
+            t += billed;
         }
         ledger.post(
             format!("executor.{}@{node}", op.name()),
@@ -121,6 +165,6 @@ impl<'a> Charger<'a> {
                 )
                 .inc();
         }
-        t.as_secs()
+        (t.as_secs(), saved)
     }
 }

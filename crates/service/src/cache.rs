@@ -764,6 +764,8 @@ mod tests {
                     pipelined: false,
                     offloaded: 0,
                     device_assignments: HashMap::new(),
+                    fused_chains: Vec::new(),
+                    queue_wait_seconds: 0.0,
                     traces: Vec::new(),
                 },
                 rewrites: RewriteReport::default(),

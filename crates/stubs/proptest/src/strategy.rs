@@ -190,6 +190,8 @@ tuple_strategy! {
     (A, B)
     (A, B, C)
     (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
 }
 
 /// `&'static str` patterns of the form `[chars]{lo,hi}` generate

@@ -61,10 +61,18 @@ pub fn explain_analyze(
             } else {
                 String::new()
             };
+            let fused = task.fused.map_or_else(String::new, |tag| {
+                format!(" fused=#{}[{}/{}]", tag.chain, tag.pos + 1, tag.len)
+            });
+            let queue = if task.queue_seconds > 0.0 {
+                format!(" queue={}", dur(task.queue_seconds))
+            } else {
+                String::new()
+            };
             rows.push((
                 format!(
-                    "  {}[{}] device={:?}{} rows={}",
-                    task.shard, task.slot, task.device, fallback, task.rows
+                    "  {}[{}] device={:?}{}{}{} rows={}",
+                    task.shard, task.slot, task.device, fallback, fused, queue, task.rows
                 ),
                 String::new(),
                 dur(task.critical_seconds),
@@ -139,6 +147,13 @@ mod tests {
                 exec_seconds: 4e-4,
                 migration_seconds: 1e-4,
                 critical_seconds: 5e-4,
+                queue_seconds: 2e-5,
+                fused: Some(pspp_ir::FusionTag {
+                    chain: 0,
+                    pos: 1,
+                    len: 2,
+                }),
+                fused_saved_seconds: 0.0,
             }],
             exchanges: vec![ExchangeTrace {
                 kind: "shuffle",
@@ -163,6 +178,8 @@ mod tests {
         );
         assert!(text.contains("600.000us"), "actual column rendered: {text}");
         assert!(text.contains("host fallback"));
+        assert!(text.contains("fused=#0[2/2]"), "fused chain rendered: {text}");
+        assert!(text.contains("queue=20.000us"), "queue wait rendered: {text}");
         assert!(text.contains("exchange.shuffle rows=240"));
         assert!(text.contains("exchange_rows=240"));
     }

@@ -166,6 +166,24 @@ impl SpanTree {
                 task_detail.push(("planned".to_string(), format!("{:?}", task.planned)));
                 task_detail.push(("host_fallback".to_string(), "true".to_string()));
             }
+            if let Some(tag) = task.fused {
+                task_detail.push((
+                    "fused".to_string(),
+                    format!("#{}[{}/{}]", tag.chain, tag.pos + 1, tag.len),
+                ));
+                if task.fused_saved_seconds > 0.0 {
+                    task_detail.push((
+                        "fused_saved".to_string(),
+                        format!("{}", SimDuration::from_secs(task.fused_saved_seconds)),
+                    ));
+                }
+            }
+            if task.queue_seconds > 0.0 {
+                task_detail.push((
+                    "queue".to_string(),
+                    format!("{}", SimDuration::from_secs(task.queue_seconds)),
+                ));
+            }
             children.push(Span {
                 name: format!("{}[{}]", task.shard, task.slot),
                 kind: SpanKind::Task,
@@ -282,6 +300,9 @@ mod tests {
                         exec_seconds: 2e-4,
                         migration_seconds: 0.0,
                         critical_seconds: 2e-4,
+                        queue_seconds: 0.0,
+                        fused: None,
+                        fused_saved_seconds: 0.0,
                     },
                     TaskTrace {
                         shard: ShardId(1),
@@ -292,6 +313,9 @@ mod tests {
                         exec_seconds: 3e-4,
                         migration_seconds: 0.0,
                         critical_seconds: 3e-4,
+                        queue_seconds: 0.0,
+                        fused: None,
+                        fused_saved_seconds: 0.0,
                     },
                 ],
                 exchanges: Vec::new(),

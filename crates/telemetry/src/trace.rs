@@ -6,7 +6,7 @@
 //! insertion order to reproduce the reported makespan bit-for-bit.
 
 use pspp_common::{DeviceKind, ShardId};
-use pspp_ir::NodeId;
+use pspp_ir::{FusionTag, NodeId};
 
 /// One per-shard task inside a node's scatter/colocated/shuffle fan-out.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +27,15 @@ pub struct TaskTrace {
     pub migration_seconds: f64,
     /// The task's contribution considered for the node's critical path.
     pub critical_seconds: f64,
+    /// Simulated device-queue wait charged by the contention model.
+    pub queue_seconds: f64,
+    /// Fused-chain membership the task *honored* (None when the slot
+    /// ran unfused — including planned fusion dropped by a host
+    /// fallback).
+    pub fused: Option<FusionTag>,
+    /// Intermediate-transfer seconds this task saved by running as a
+    /// fused-chain member (PCIe swapped for the device-local link).
+    pub fused_saved_seconds: f64,
 }
 
 impl TaskTrace {

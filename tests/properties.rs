@@ -63,6 +63,58 @@ fn arb_layout() -> impl Strategy<Value = Option<PartitionSpec>> {
     ]
 }
 
+/// A random heterogeneous fleet for the fusion property: any subset of
+/// GPU/FPGA/TPU attached to the CPU host, the FPGA either a PCIe
+/// coprocessor or bump-in-the-wire, with optional per-kind capacity
+/// limits (the contended-device case).
+fn arb_fleet() -> impl Strategy<Value = AcceleratorFleet> {
+    use polystorepp::accel::fleet::AttachedDevice;
+    use polystorepp::accel::{DeploymentMode, Interconnect};
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0usize..3,
+    )
+        .prop_map(|(gpu, fpga, fpga_bitw, tpu, cap)| {
+            let mut devices = Vec::new();
+            if gpu {
+                devices.push(AttachedDevice {
+                    profile: DeviceProfile::gpu(),
+                    mode: DeploymentMode::Coprocessor,
+                    link: Interconnect::pcie(),
+                });
+            }
+            if fpga {
+                devices.push(AttachedDevice {
+                    profile: DeviceProfile::fpga(),
+                    mode: if fpga_bitw {
+                        DeploymentMode::BumpInTheWire
+                    } else {
+                        DeploymentMode::Coprocessor
+                    },
+                    link: Interconnect::pcie(),
+                });
+            }
+            if tpu {
+                devices.push(AttachedDevice {
+                    profile: DeviceProfile::tpu(),
+                    mode: DeploymentMode::Coprocessor,
+                    link: Interconnect::pcie(),
+                });
+            }
+            let mut fleet =
+                AcceleratorFleet::new(DeviceProfile::cpu(), devices).expect("cpu host");
+            if cap > 0 {
+                for kind in [DeviceKind::Gpu, DeviceKind::Fpga, DeviceKind::Tpu] {
+                    fleet = fleet.with_capacity(kind, cap);
+                }
+            }
+            fleet
+        })
+}
+
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         Just(Value::Null),
@@ -443,6 +495,84 @@ proptest! {
         let on = executor().execute(&p, &registry).expect("offload run");
         let off = executor().offload(false).execute(&p, &registry).expect("host run");
         prop_assert_eq!(format!("{:?}", on.outputs), format!("{:?}", off.outputs));
+    }
+
+    /// Kernel fusion and contended-device queueing are cost-only:
+    /// fusion-on, fusion-off and offload-off runs must produce
+    /// byte-identical outputs across arbitrary hash/range layouts at
+    /// 1–4 shards, random heterogeneous device fleets, and declared
+    /// (contended) capacities — and every chain the fused plan promises
+    /// must execute with exactly its planned membership.
+    #[test]
+    fn fusion_toggle_never_changes_bytes(
+        lk in prop::collection::vec((0i64..16, -50i64..50), 0..60),
+        rk in prop::collection::vec((0i64..16, -50i64..50), 0..60),
+        left_spec in arb_layout(),
+        right_spec in arb_layout(),
+        fleet in arb_fleet(),
+    ) {
+        let registry = exchange_registry(&lk, &rk, left_spec.clone(), right_spec.clone());
+        let program = || {
+            let mut p = Program::new();
+            let a = p.add_source(Operator::scan(TableRef::new("db1", "left")), "sql");
+            let b = p.add_source(Operator::scan(TableRef::new("db2", "right")), "sql");
+            let j = p.add_node(
+                Operator::HashJoin { left_on: "k".into(), right_on: "k".into() },
+                vec![a, b],
+                "sql",
+            );
+            let s1 = p.add_node(
+                Operator::Sort { keys: vec![SortSpec { column: "v".into(), ascending: true }] },
+                vec![j],
+                "sql",
+            );
+            let s2 = p.add_node(
+                Operator::Sort { keys: vec![SortSpec { column: "k".into(), ascending: true }] },
+                vec![s1],
+                "sql",
+            );
+            p.mark_output(s2);
+            p
+        };
+        // Inflated statistics so the back-to-back sorts offload (and
+        // fuse, where the fleet allows a device-resident chain); the
+        // executor itself only consumes annotations.
+        let mut stats = std::collections::HashMap::new();
+        for t in [TableRef::new("db1", "left"), TableRef::new("db2", "right")] {
+            stats.insert(t, TableStats { rows: 500_000.0, row_bytes: 64.0 });
+        }
+        let model = |fusion: bool| {
+            let mut m = CostModel::new(fleet.clone(), stats.clone()).with_fusion(fusion);
+            if let Some(spec) = left_spec.clone() {
+                m.set_partition(TableRef::new("db1", "left"), spec);
+            }
+            if let Some(spec) = right_spec.clone() {
+                m.set_partition(TableRef::new("db2", "right"), spec);
+            }
+            m
+        };
+        let mut fused = program();
+        let plan = model(true).place(&mut fused).expect("fused placement");
+        let mut unfused = program();
+        model(false).place(&mut unfused).expect("unfused placement");
+        let exec = || Executor::new(fleet.clone(), CostLedger::new());
+        let on = exec().execute(&fused, &registry).expect("fused run");
+        let off = exec().execute(&unfused, &registry).expect("unfused run");
+        let host = exec().offload(false).execute(&fused, &registry).expect("host run");
+        prop_assert_eq!(format!("{:?}", on.outputs), format!("{:?}", off.outputs));
+        prop_assert_eq!(format!("{:?}", on.outputs), format!("{:?}", host.outputs));
+        // Planned chains execute exactly as planned: no silent fission.
+        let planned: Vec<_> = plan
+            .fused_chains
+            .iter()
+            .map(|c| (c.shard, c.device, c.nodes.clone()))
+            .collect();
+        let executed: Vec<_> = on
+            .fused_chains
+            .iter()
+            .map(|c| (c.shard, c.device, c.nodes.clone()))
+            .collect();
+        prop_assert_eq!(planned, executed);
     }
 
     /// Observability is read-only: attaching a metrics registry and
